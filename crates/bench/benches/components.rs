@@ -1,0 +1,152 @@
+//! Criterion micro/macro benchmarks for the substrates on the evaluation
+//! hot path: packet parsing, pcap I/O, flow assembly, AfterImage feature
+//! extraction, KitNET training/execution, and scenario generation.
+//!
+//! ```text
+//! cargo bench -p idsbench-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use idsbench_core::Dataset;
+use idsbench_datasets::{scenarios, ScenarioScale};
+use idsbench_flow::{AfterImage, AfterImageConfig, FlowTable, FlowTableConfig};
+use idsbench_kitsune::kitnet::{KitNet, KitNetConfig};
+use idsbench_net::{pcap, Packet, ParsedPacket};
+
+/// A realistic packet workload: one Tiny UNSW realisation (~2-3k packets of
+/// mixed enterprise traffic).
+fn workload() -> Vec<Packet> {
+    scenarios::unsw_nb15(ScenarioScale::Tiny)
+        .generate(42)
+        .into_iter()
+        .map(|lp| lp.packet)
+        .collect()
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let packets = workload();
+    let mut group = c.benchmark_group("net");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("parse_packets", |b| {
+        b.iter(|| {
+            let mut payload = 0usize;
+            for packet in &packets {
+                payload += ParsedPacket::parse(packet).map(|p| p.payload_len).unwrap_or(0);
+            }
+            payload
+        })
+    });
+    group.finish();
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let packets = workload();
+    let image = pcap::write_all(&packets).unwrap();
+    let mut group = c.benchmark_group("pcap");
+    group.throughput(Throughput::Bytes(image.len() as u64));
+    group.bench_function("write", |b| b.iter(|| pcap::write_all(&packets).unwrap().len()));
+    group.bench_function("read", |b| b.iter(|| pcap::read_all(&image).unwrap().len()));
+    group.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let parsed: Vec<ParsedPacket> =
+        workload().iter().map(|p| ParsedPacket::parse(p).unwrap()).collect();
+    let mut group = c.benchmark_group("flow");
+    group.throughput(Throughput::Elements(parsed.len() as u64));
+    group.bench_function("table_observe", |b| {
+        b.iter_batched(
+            || FlowTable::new(FlowTableConfig::default()),
+            |mut table| {
+                let mut emitted = 0usize;
+                for packet in &parsed {
+                    emitted += table.observe(packet).len();
+                }
+                emitted + table.flush().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_afterimage(c: &mut Criterion) {
+    let parsed: Vec<ParsedPacket> =
+        workload().iter().map(|p| ParsedPacket::parse(p).unwrap()).collect();
+    let mut group = c.benchmark_group("afterimage");
+    group.throughput(Throughput::Elements(parsed.len() as u64));
+    group.bench_function("extract_100_features", |b| {
+        b.iter_batched(
+            || AfterImage::new(AfterImageConfig::default()),
+            |mut extractor| {
+                let mut acc = 0.0;
+                for packet in &parsed {
+                    acc += extractor.update(packet)[0];
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_kitnet(c: &mut Criterion) {
+    // Pre-extract a feature stream once.
+    let parsed: Vec<ParsedPacket> =
+        workload().iter().map(|p| ParsedPacket::parse(p).unwrap()).collect();
+    let mut extractor = AfterImage::new(AfterImageConfig::default());
+    let features: Vec<Vec<f64>> = parsed.iter().map(|p| extractor.update(p)).collect();
+    let clusters: Vec<Vec<usize>> = (0..100).collect::<Vec<_>>().chunks(10).map(<[usize]>::to_vec).collect();
+
+    let mut group = c.benchmark_group("kitnet");
+    group.throughput(Throughput::Elements(features.len() as u64));
+    group.bench_function("train", |b| {
+        b.iter_batched(
+            || KitNet::new(clusters.clone(), 100, KitNetConfig::default()),
+            |mut net| {
+                let mut acc = 0.0;
+                for f in &features {
+                    acc += net.train(f);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("execute", |b| {
+        let mut net = KitNet::new(clusters.clone(), 100, KitNetConfig::default());
+        for f in &features {
+            net.train(f);
+        }
+        b.iter(|| {
+            let mut net = net.clone();
+            let mut acc = 0.0;
+            for f in &features {
+                acc += net.execute(f);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets");
+    group.bench_function("generate_unsw_tiny", |b| {
+        let scenario = scenarios::unsw_nb15(ScenarioScale::Tiny);
+        b.iter(|| scenario.generate(7).len())
+    });
+    group.bench_function("generate_bot_iot_tiny", |b| {
+        let scenario = scenarios::bot_iot(ScenarioScale::Tiny);
+        b.iter(|| scenario.generate(7).len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_parsing, bench_pcap, bench_flow_table, bench_afterimage, bench_kitnet, bench_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Diagnostic: per-feature class means on a scenario's flows, to find which
+//! features separate (or leak) a given attack family. Not part of the paper
+//! reproduction; kept for calibration work.
+
+use idsbench_core::preprocess::{Pipeline, PipelineConfig};
+use idsbench_core::{AttackKind, Dataset};
+use idsbench_datasets::{scenarios, ScenarioScale};
+use idsbench_flow::FLOW_FEATURE_NAMES;
+
+fn main() {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Small);
+    let packets = scenario.generate(42);
+    let pipeline = Pipeline::new(PipelineConfig::default()).unwrap();
+    let input = pipeline.prepare("strat", packets).unwrap();
+
+    let mut sums: Vec<(f64, f64, f64)> = vec![(0.0, 0.0, 0.0); FLOW_FEATURE_NAMES.len()];
+    let (mut n_c2, mut n_tel, mut n_other) = (0.0, 0.0, 0.0);
+    for flow in input.train_flows.iter().chain(&input.eval_flows) {
+        let is_c2 = flow.label.attack_kind() == Some(AttackKind::BotnetC2);
+        let is_telemetry =
+            !flow.is_attack() && flow.record.initiator_key().dst_port == 1883;
+        if is_c2 {
+            n_c2 += 1.0;
+        } else if is_telemetry {
+            n_tel += 1.0;
+        } else {
+            n_other += 1.0;
+            continue;
+        }
+        for (i, v) in flow.features.as_slice().iter().enumerate() {
+            if is_c2 {
+                sums[i].0 += v;
+            } else {
+                sums[i].1 += v;
+            }
+        }
+    }
+    println!("c2 flows: {n_c2}, telemetry flows: {n_tel}, other: {n_other}");
+    println!("{:<26} {:>14} {:>14} {:>10}", "feature", "c2 mean", "telemetry mean", "ratio");
+    for (i, name) in FLOW_FEATURE_NAMES.iter().enumerate() {
+        let c2 = sums[i].0 / f64::max(n_c2, 1.0);
+        let tel = sums[i].1 / f64::max(n_tel, 1.0);
+        let ratio = if tel.abs() > 1e-12 { c2 / tel } else { f64::NAN };
+        if !(0.8..1.25).contains(&ratio) {
+            println!("{:<26} {:>14.5} {:>14.5} {:>10.3}", name, c2, tel, ratio);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Preprocessing-impact ablation (Section V factor 5): the supervised DNN
+//! with and without min-max feature scaling and class rebalancing, plus the
+//! original study's classical-ML baselines under the standard pipeline.
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_preprocessing -- --scale small
+//! ```
+
+use idsbench_bench::{scale_from_args, seed_from_args, standard_scenarios};
+use idsbench_core::runner::{evaluate, EvalConfig};
+use idsbench_core::Detector;
+use idsbench_dnn::baselines::{DecisionTree, KNearest, LogisticRegression, NaiveBayes};
+use idsbench_dnn::{Dnn, DnnConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let config = EvalConfig { dataset_seed: seed, ..Default::default() };
+
+    println!("variant,dataset,accuracy,precision,recall,f1,auc");
+    for scenario in standard_scenarios(scale) {
+        let variants: Vec<(&str, Box<dyn Detector>)> = vec![
+            ("dnn", Box::new(Dnn::default())),
+            (
+                "dnn-no-normalize",
+                Box::new(Dnn::new(DnnConfig { normalize: false, ..Default::default() })),
+            ),
+            (
+                "dnn-no-rebalance",
+                Box::new(Dnn::new(DnnConfig { rebalance: false, ..Default::default() })),
+            ),
+            ("logreg", Box::new(LogisticRegression::default())),
+            ("naive-bayes", Box::new(NaiveBayes::default())),
+            ("decision-tree", Box::new(DecisionTree::default())),
+            ("knn", Box::new(KNearest::default())),
+        ];
+        for (label, mut detector) in variants {
+            let e = evaluate(detector.as_mut(), &scenario, &config).expect("evaluate");
+            println!(
+                "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                label, e.dataset, e.metrics.accuracy, e.metrics.precision, e.metrics.recall,
+                e.metrics.f1, e.auc
+            );
+        }
+    }
+}

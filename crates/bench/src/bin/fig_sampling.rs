@@ -1,0 +1,40 @@
+//! Sampling ablation (Section IV-A step 1): Table IV metrics as the random
+//! flow-sampling rate drops from 100% to 10%. Emits CSV, one row per
+//! (IDS, dataset, rate).
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_sampling -- --scale small
+//! ```
+
+use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors, standard_scenarios};
+use idsbench_core::runner::{run_grid, EvalConfig};
+use idsbench_core::Dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+
+    println!("sampling_rate,detector,dataset,accuracy,precision,recall,f1,eval_items");
+    for rate in [1.0, 0.5, 0.25, 0.1] {
+        let scenarios = standard_scenarios(scale);
+        let datasets: Vec<&dyn Dataset> = scenarios.iter().map(|s| s as &dyn Dataset).collect();
+        let detectors = standard_detectors();
+        let mut config = EvalConfig { dataset_seed: seed, ..Default::default() };
+        config.pipeline.sampling_rate = rate;
+        let experiments = run_grid(&detectors, &datasets, &config).expect("grid");
+        for e in experiments {
+            println!(
+                "{:.2},{},{},{:.4},{:.4},{:.4},{:.4},{}",
+                rate,
+                e.detector,
+                e.dataset,
+                e.metrics.accuracy,
+                e.metrics.precision,
+                e.metrics.recall,
+                e.metrics.f1,
+                e.eval_items
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Threshold-sensitivity figure (Section IV-A step 4): how each IDS's
+//! reported metrics move as the calibration rule's false-positive tolerance
+//! sweeps from strict to lax. Emits CSV series, one row per
+//! (IDS, dataset, fpr-cap).
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_threshold_sweep -- --scale small
+//! ```
+
+use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors, standard_scenarios};
+use idsbench_core::metrics::ConfusionMatrix;
+use idsbench_core::preprocess::{Pipeline, PipelineConfig};
+use idsbench_core::threshold::ThresholdPolicy;
+use idsbench_core::Dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let caps = [0.01, 0.05, 0.10, 0.25, 0.50];
+
+    println!("detector,dataset,max_fpr,threshold,accuracy,precision,recall,f1");
+    for scenario in standard_scenarios(scale) {
+        let packets = scenario.generate(seed);
+        let pipeline = Pipeline::new(PipelineConfig::default()).expect("valid config");
+        let input = pipeline.prepare(&scenario.info().name, packets).expect("preprocess");
+        for (name, factory) in standard_detectors() {
+            let mut detector = factory();
+            let scores = detector.score(&input);
+            let labels = input.eval_labels(detector.input_format());
+            for cap in caps {
+                let policy = ThresholdPolicy::DetectionFirst { max_fpr: cap };
+                let threshold = policy.calibrate(&scores, &labels);
+                let m = ConfusionMatrix::from_scores(&scores, &labels, threshold).metrics();
+                println!(
+                    "{},{},{:.2},{:.6e},{:.4},{:.4},{:.4},{:.4}",
+                    name,
+                    scenario.info().name,
+                    cap,
+                    threshold,
+                    m.accuracy,
+                    m.precision,
+                    m.recall,
+                    m.f1
+                );
+            }
+        }
+    }
+}

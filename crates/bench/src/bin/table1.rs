@@ -1,0 +1,18 @@
+//! Regenerates the paper's Table I: NIDSs investigated, with inclusion/
+//! exclusion outcomes.
+//!
+//! ```text
+//! cargo run -p idsbench-bench --bin table1
+//! ```
+
+use idsbench_core::registry;
+
+fn main() {
+    println!("## Table I — IDSs investigated\n");
+    println!("{}", registry::render_table1());
+    let included = registry::investigated_ids().iter().filter(|e| e.included()).count();
+    println!(
+        "\n{included} of {} investigated systems were usable out of the box.",
+        registry::investigated_ids().len()
+    );
+}

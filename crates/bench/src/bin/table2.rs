@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table II: datasets used for evaluation.
+//!
+//! ```text
+//! cargo run -p idsbench-bench --bin table2
+//! ```
+
+use idsbench_core::registry;
+
+fn main() {
+    println!("## Table II — datasets used for evaluation\n");
+    println!("{}", registry::render_table2());
+}

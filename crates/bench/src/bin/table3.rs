@@ -1,0 +1,12 @@
+//! Regenerates the paper's Table III: datasets considered but not used.
+//!
+//! ```text
+//! cargo run -p idsbench-bench --bin table3
+//! ```
+
+use idsbench_core::registry;
+
+fn main() {
+    println!("## Table III — datasets considered but not used for evaluation\n");
+    println!("{}", registry::render_table3());
+}

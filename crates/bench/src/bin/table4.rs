@@ -1,0 +1,50 @@
+//! Regenerates the paper's Table IV: performance of the four IDSs across
+//! the five datasets, printed in the paper's layout plus a side-by-side
+//! paper-vs-measured comparison.
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin table4 -- --scale full --seed 42
+//! ```
+
+use idsbench_bench::{paper_cell, scale_from_args, seed_from_args, standard_detectors, standard_scenarios};
+use idsbench_core::runner::{run_grid, EvalConfig};
+use idsbench_core::{report, Dataset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+
+    let scenarios = standard_scenarios(scale);
+    let datasets: Vec<&dyn Dataset> = scenarios.iter().map(|s| s as &dyn Dataset).collect();
+    let detectors = standard_detectors();
+    let config = EvalConfig { dataset_seed: seed, ..Default::default() };
+
+    eprintln!("running {} × {} grid at {scale:?} scale (seed {seed})…", detectors.len(), datasets.len());
+    let started = std::time::Instant::now();
+    let experiments = run_grid(&detectors, &datasets, &config).expect("grid evaluation failed");
+    eprintln!("grid completed in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!("## Table IV — performance results for tested IDSs and datasets (measured)\n");
+    println!("{}", report::render_table4(&experiments));
+
+    println!("\n## Paper vs measured (F1 per cell)\n");
+    println!("| IDS | Dataset | F1 (paper) | F1 (measured) | Acc (paper) | Acc (measured) |");
+    println!("|---|---|---|---|---|---|");
+    for experiment in &experiments {
+        if let Some(paper) = paper_cell(&experiment.detector, &experiment.dataset) {
+            println!(
+                "| {} | {} | {:.4} | {:.4} | {:.4} | {:.4} |",
+                experiment.detector,
+                experiment.dataset,
+                paper.f1,
+                experiment.metrics.f1,
+                paper.accuracy,
+                experiment.metrics.accuracy,
+            );
+        }
+    }
+
+    println!("\n## Diagnostics (CSV)\n");
+    println!("{}", report::render_csv(&experiments));
+}

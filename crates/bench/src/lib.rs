@@ -1,0 +1,155 @@
+//! Shared harness code for the paper-table regeneration binaries.
+//!
+//! Provides the standard detector roster (the four systems of Table IV with
+//! their out-of-the-box configurations), the paper's published Table IV
+//! numbers for side-by-side comparison, and small CLI helpers shared by the
+//! `table*`/`fig_*` binaries.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use idsbench_core::runner::DetectorFactory;
+use idsbench_core::Detector;
+use idsbench_datasets::{scenarios, Scenario, ScenarioScale};
+use idsbench_dnn::Dnn;
+use idsbench_helad::Helad;
+use idsbench_kitsune::Kitsune;
+use idsbench_slips::Slips;
+
+/// The four evaluated systems, in Table IV's block order, with out-of-the-
+/// box configurations.
+pub fn standard_detectors() -> Vec<(String, DetectorFactory<'static>)> {
+    vec![
+        ("Kitsune".to_string(), Box::new(|| Box::new(Kitsune::default()) as Box<dyn Detector>) as DetectorFactory),
+        ("HELAD".to_string(), Box::new(|| Box::new(Helad::default()) as Box<dyn Detector>)),
+        ("DNN".to_string(), Box::new(|| Box::new(Dnn::default()) as Box<dyn Detector>)),
+        ("Slips".to_string(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
+    ]
+}
+
+/// The five dataset scenarios in Table IV's row order.
+pub fn standard_scenarios(scale: ScenarioScale) -> Vec<Scenario> {
+    scenarios::all_scenarios(scale)
+}
+
+/// One cell of the paper's published Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperCell {
+    /// IDS name.
+    pub detector: &'static str,
+    /// Dataset name (this workspace's scenario naming).
+    pub dataset: &'static str,
+    /// Published accuracy.
+    pub accuracy: f64,
+    /// Published precision.
+    pub precision: f64,
+    /// Published recall.
+    pub recall: f64,
+    /// Published F1.
+    pub f1: f64,
+}
+
+const fn cell(
+    detector: &'static str,
+    dataset: &'static str,
+    accuracy: f64,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+) -> PaperCell {
+    PaperCell { detector, dataset, accuracy, precision, recall, f1 }
+}
+
+/// The paper's Table IV, verbatim.
+pub const PAPER_TABLE4: [PaperCell; 20] = [
+    cell("Kitsune", "UNSW-NB15", 0.6954, 0.0221, 0.2136, 0.0401),
+    cell("Kitsune", "BoT IoT", 0.9923, 0.8153, 0.8609, 0.8375),
+    cell("Kitsune", "CICIDS2017", 0.5540, 0.0109, 0.9753, 0.0216),
+    cell("Kitsune", "Stratosphere", 0.9921, 0.9981, 0.9027, 0.9480),
+    cell("Kitsune", "Mirai", 0.8902, 0.9999, 0.8788, 0.9354),
+    cell("HELAD", "UNSW-NB15", 0.9717, 0.0201, 0.0107, 0.0140),
+    cell("HELAD", "BoT IoT", 0.9793, 0.6916, 0.9011, 0.7826),
+    cell("HELAD", "CICIDS2017", 0.6437, 0.9682, 0.3706, 0.5360),
+    cell("HELAD", "Stratosphere", 0.9846, 0.9805, 1.0000, 0.9902),
+    cell("HELAD", "Mirai", 0.8898, 0.9939, 0.8786, 0.9327),
+    cell("DNN", "UNSW-NB15", 0.9820, 0.9820, 1.0000, 0.9910),
+    cell("DNN", "BoT IoT", 0.9770, 0.9770, 1.0000, 0.9884),
+    cell("DNN", "CICIDS2017", 0.9800, 0.9800, 1.0000, 0.9899),
+    cell("DNN", "Stratosphere", 0.2110, 0.2110, 1.0000, 0.3485),
+    cell("DNN", "Mirai", 0.9060, 0.9060, 1.0000, 0.9507),
+    cell("Slips", "UNSW-NB15", 0.8735, 0.0000, 0.0000, 0.0000),
+    cell("Slips", "BoT IoT", 0.0018, 0.0000, 0.0000, 0.0000),
+    cell("Slips", "CICIDS2017", 0.9370, 0.0037, 0.0447, 0.0068),
+    cell("Slips", "Stratosphere", 0.6745, 0.8809, 0.4739, 0.6163),
+    cell("Slips", "Mirai", 0.8040, 0.1243, 0.0159, 0.0282),
+];
+
+/// Looks up a paper cell by detector and dataset name.
+pub fn paper_cell(detector: &str, dataset: &str) -> Option<&'static PaperCell> {
+    PAPER_TABLE4.iter().find(|c| c.detector == detector && c.dataset == dataset)
+}
+
+/// Parses `--scale tiny|small|full` from CLI args (default `small`).
+pub fn scale_from_args(args: &[String]) -> ScenarioScale {
+    match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("tiny") => ScenarioScale::Tiny,
+        Some("full") => ScenarioScale::Full,
+        _ => ScenarioScale::Small,
+    }
+}
+
+/// Parses `--seed N` from CLI args (default 42).
+pub fn seed_from_args(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_table_iv_order() {
+        let names: Vec<String> = standard_detectors().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["Kitsune", "HELAD", "DNN", "Slips"]);
+    }
+
+    #[test]
+    fn paper_table_is_complete() {
+        assert_eq!(PAPER_TABLE4.len(), 20);
+        for detector in ["Kitsune", "HELAD", "DNN", "Slips"] {
+            for dataset in ["UNSW-NB15", "BoT IoT", "CICIDS2017", "Stratosphere", "Mirai"] {
+                assert!(paper_cell(detector, dataset).is_some(), "{detector}/{dataset}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_averages_match_published() {
+        // The paper reports DNN's average F1 as 0.8537 — the highest.
+        let dnn_f1: f64 = PAPER_TABLE4
+            .iter()
+            .filter(|c| c.detector == "DNN")
+            .map(|c| c.f1)
+            .sum::<f64>()
+            / 5.0;
+        assert!((dnn_f1 - 0.8537).abs() < 1e-3, "dnn avg f1 = {dnn_f1}");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args = vec!["--scale".to_string(), "full".to_string(), "--seed".to_string(), "7".to_string()];
+        assert_eq!(scale_from_args(&args), ScenarioScale::Full);
+        assert_eq!(seed_from_args(&args), 7);
+        assert_eq!(scale_from_args(&[]), ScenarioScale::Small);
+        assert_eq!(seed_from_args(&[]), 42);
+    }
+}

@@ -1,0 +1,173 @@
+use idsbench_flow::{FlowFeatures, FlowRecord};
+
+use crate::label::{Label, LabeledPacket};
+
+/// The input shape a detector consumes — the packets-vs-flows compatibility
+/// axis the paper highlights as a major practical obstacle (Section I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputFormat {
+    /// Consumes raw packets in timestamp order (Kitsune, HELAD).
+    Packets,
+    /// Consumes assembled flow records (DNN, Slips).
+    Flows,
+}
+
+/// A completed flow with its statistical features and ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledFlow {
+    /// The assembled flow.
+    pub record: FlowRecord,
+    /// CICFlowMeter-style feature vector.
+    pub features: FlowFeatures,
+    /// Ground truth (attack if any constituent packet was attack traffic).
+    pub label: Label,
+}
+
+impl LabeledFlow {
+    /// Shorthand for `label.is_attack()`.
+    pub fn is_attack(&self) -> bool {
+        self.label.is_attack()
+    }
+}
+
+/// Preprocessed data handed to a detector: a leading *training* slice and
+/// the *evaluation* slice it must score.
+///
+/// Both shapes are always populated, so a detector declares its preference
+/// via [`Detector::input_format`] and reads the matching pair. Supervised
+/// detectors may read labels from the training slice; reading evaluation
+/// labels is the pipeline-integrity violation the score-count check cannot
+/// catch, so it is forbidden by convention and exercised in integration
+/// tests via label-shuffling.
+#[derive(Debug, Clone)]
+pub struct DetectorInput {
+    /// Training packets (timestamp order).
+    pub train_packets: Vec<LabeledPacket>,
+    /// Evaluation packets (timestamp order).
+    pub eval_packets: Vec<LabeledPacket>,
+    /// Training flows (first-seen order).
+    pub train_flows: Vec<LabeledFlow>,
+    /// Evaluation flows (first-seen order).
+    pub eval_flows: Vec<LabeledFlow>,
+}
+
+impl DetectorInput {
+    /// Number of items a detector must score given its input format.
+    pub fn eval_len(&self, format: InputFormat) -> usize {
+        match format {
+            InputFormat::Packets => self.eval_packets.len(),
+            InputFormat::Flows => self.eval_flows.len(),
+        }
+    }
+
+    /// Ground-truth labels of the evaluation items for the given format.
+    pub fn eval_labels(&self, format: InputFormat) -> Vec<bool> {
+        match format {
+            InputFormat::Packets => self.eval_packets.iter().map(LabeledPacket::is_attack).collect(),
+            InputFormat::Flows => self.eval_flows.iter().map(LabeledFlow::is_attack).collect(),
+        }
+    }
+
+    /// Attack kinds of the evaluation items (`None` for benign), aligned
+    /// with [`DetectorInput::eval_labels`]. Used for per-family recall
+    /// breakdowns.
+    pub fn eval_kinds(&self, format: InputFormat) -> Vec<Option<crate::AttackKind>> {
+        match format {
+            InputFormat::Packets => {
+                self.eval_packets.iter().map(|p| p.label.attack_kind()).collect()
+            }
+            InputFormat::Flows => self.eval_flows.iter().map(|f| f.label.attack_kind()).collect(),
+        }
+    }
+}
+
+/// A binary verdict produced by applying a calibrated threshold to a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Scored below the threshold.
+    Benign,
+    /// Scored at or above the threshold.
+    Alert,
+}
+
+/// A network intrusion detection system under evaluation.
+///
+/// The contract mirrors the paper's methodology: the detector is constructed
+/// with its out-of-the-box configuration (step 3), trains/calibrates itself
+/// on the training slice as its published protocol dictates, and emits one
+/// anomaly score per evaluation item. Threshold selection is *not* the
+/// detector's job — the pipeline applies a standardized policy (step 4)
+/// uniformly across systems.
+///
+/// The trait is object-safe; the experiment runner works with
+/// `Box<dyn Detector>`.
+pub trait Detector: Send {
+    /// Human-readable system name as used in the paper (e.g. `"Kitsune"`).
+    fn name(&self) -> &str;
+
+    /// Which input shape this detector consumes.
+    fn input_format(&self) -> InputFormat;
+
+    /// Trains on the training slice and returns one anomaly score per
+    /// evaluation item (higher = more anomalous). The returned vector's
+    /// length must equal `input.eval_len(self.input_format())`.
+    fn score(&mut self, input: &DetectorInput) -> Vec<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idsbench_net::{Packet, Timestamp};
+
+    /// Scores packets by wire length — a trivially correct detector used to
+    /// exercise the trait machinery.
+    #[derive(Debug)]
+    struct LengthDetector;
+
+    impl Detector for LengthDetector {
+        fn name(&self) -> &str {
+            "length"
+        }
+
+        fn input_format(&self) -> InputFormat {
+            InputFormat::Packets
+        }
+
+        fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
+            input.eval_packets.iter().map(|p| p.packet.wire_len() as f64).collect()
+        }
+    }
+
+    fn input_with_eval_packets(n: usize) -> DetectorInput {
+        DetectorInput {
+            train_packets: Vec::new(),
+            eval_packets: (0..n)
+                .map(|i| {
+                    LabeledPacket::new(
+                        Packet::new(Timestamp::from_micros(i as u64), vec![0u8; 60 + i]),
+                        Label::Benign,
+                    )
+                })
+                .collect(),
+            train_flows: Vec::new(),
+            eval_flows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn detector_as_trait_object() {
+        let mut detector: Box<dyn Detector> = Box::new(LengthDetector);
+        let input = input_with_eval_packets(3);
+        let scores = detector.score(&input);
+        assert_eq!(scores, vec![60.0, 61.0, 62.0]);
+        assert_eq!(detector.name(), "length");
+        assert_eq!(input.eval_len(detector.input_format()), 3);
+    }
+
+    #[test]
+    fn eval_labels_match_format() {
+        let input = input_with_eval_packets(2);
+        assert_eq!(input.eval_labels(InputFormat::Packets), vec![false, false]);
+        assert_eq!(input.eval_labels(InputFormat::Flows), Vec::<bool>::new());
+    }
+}

@@ -1,0 +1,45 @@
+//! The `idsbench` evaluation pipeline — the primary contribution of
+//! *Expectations Versus Reality: Evaluating Intrusion Detection Systems in
+//! Practice* (DSN 2025) as a reusable library.
+//!
+//! The paper proposes (and executes) a standardized pipeline for comparing
+//! network IDSs across datasets. This crate implements that pipeline:
+//!
+//! 1. **Vocabulary** — [`Label`]/[`AttackKind`]/[`LabeledPacket`] ground
+//!    truth, the [`Dataset`] trait, and the [`Detector`] trait with its two
+//!    input shapes ([`InputFormat::Packets`] vs [`InputFormat::Flows`] — the
+//!    format-compatibility problem Section I discusses at length).
+//! 2. **Preprocessing** (Section IV-A steps 1–2) — [`preprocess::Pipeline`]:
+//!    random flow sampling, timestamp re-sorting, train/eval splitting, and
+//!    label-preserving flow assembly.
+//! 3. **Deployment** (step 3) — detectors run with their out-of-the-box
+//!    configurations captured as `Default` impls.
+//! 4. **Threshold calibration** (step 4) — [`threshold::ThresholdPolicy`]:
+//!    a standardized rule applied uniformly to every IDS.
+//! 5. **Metrics & reporting** — [`metrics`] (accuracy/precision/recall/F1,
+//!    ROC/PR/AUC) and [`report`] renderers that reproduce the paper's table
+//!    layouts, plus [`registry`] holding Tables I–III as data.
+//! 6. **Execution** — [`runner`]: the IDS × dataset grid, parallelized with
+//!    crossbeam scoped threads.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod dataset;
+mod detector;
+mod error;
+mod label;
+pub mod metrics;
+pub mod preprocess;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod threshold;
+
+pub use dataset::{Dataset, DatasetInfo};
+pub use detector::{Detector, DetectorInput, InputFormat, LabeledFlow, Verdict};
+pub use error::CoreError;
+pub use label::{AttackKind, Label, LabeledPacket};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,363 @@
+//! Confusion-matrix metrics and score-ranking curves.
+//!
+//! The paper evaluates with accuracy, precision, recall, and F1 (Section
+//! IV-B) and explicitly warns that accuracy alone misleads on imbalanced
+//! datasets (Section V). This module implements those metrics plus ROC/PR
+//! curves and AUC for the threshold-sensitivity ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion matrix.
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_core::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::default();
+/// cm.record(true, true); // predicted attack, was attack
+/// cm.record(false, true); // predicted benign, was attack
+/// cm.record(false, false);
+/// assert_eq!(cm.true_positives, 1);
+/// assert_eq!(cm.false_negatives, 1);
+/// assert!((cm.recall() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Attack items predicted as attack.
+    pub true_positives: u64,
+    /// Benign items predicted as attack.
+    pub false_positives: u64,
+    /// Benign items predicted as benign.
+    pub true_negatives: u64,
+    /// Attack items predicted as benign.
+    pub false_negatives: u64,
+}
+
+impl ConfusionMatrix {
+    /// Tallies one decision.
+    pub fn record(&mut self, predicted_attack: bool, actually_attack: bool) {
+        match (predicted_attack, actually_attack) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Builds a matrix by thresholding `scores` against `labels`
+    /// (`score >= threshold` ⇒ alert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_scores(scores: &[f64], labels: &[bool], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        let mut cm = ConfusionMatrix::default();
+        for (&score, &label) in scores.iter().zip(labels) {
+            cm.record(score >= threshold, label);
+        }
+        cm
+    }
+
+    /// Total items.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Accuracy: fraction of correct decisions (0 on an empty matrix).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.true_positives + self.true_negatives, self.total())
+    }
+
+    /// Precision: TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_positives)
+    }
+
+    /// Recall (detection rate): TP / (TP + FN); 0 when there were no attacks.
+    pub fn recall(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_negatives)
+    }
+
+    /// False-positive rate: FP / (FP + TN); 0 when there was no benign
+    /// traffic.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.false_positives, self.false_positives + self.true_negatives)
+    }
+
+    /// F1: harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        }
+    }
+
+    /// The four headline metrics as a [`Metrics`] record.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            accuracy: self.accuracy(),
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+        }
+    }
+}
+
+fn ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+/// The four metrics reported per (IDS, dataset) cell of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Fraction of correct decisions.
+    pub accuracy: f64,
+    /// TP / predicted positives.
+    pub precision: f64,
+    /// TP / actual positives (detection rate).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Element-wise mean of several metric records (the "Average:" rows of
+    /// Table IV). Returns zeros for an empty slice.
+    pub fn mean(items: &[Metrics]) -> Metrics {
+        if items.is_empty() {
+            return Metrics::default();
+        }
+        let n = items.len() as f64;
+        Metrics {
+            accuracy: items.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            precision: items.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: items.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: items.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+/// One point of a ROC or precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Threshold producing this point.
+    pub threshold: f64,
+    /// X coordinate (FPR for ROC, recall for PR).
+    pub x: f64,
+    /// Y coordinate (TPR for ROC, precision for PR).
+    pub y: f64,
+}
+
+/// Computes the ROC curve (FPR, TPR) over all distinct score thresholds.
+///
+/// Points are ordered by increasing FPR. Degenerate inputs (no positives or
+/// no negatives) yield an empty curve.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<CurvePoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count() as f64;
+    let negatives = labels.len() as f64 - positives;
+    if positives == 0.0 || negatives == 0.0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut points = Vec::new();
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume all items tied at this score.
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push(CurvePoint { threshold, x: fp / negatives, y: tp / positives });
+    }
+    points
+}
+
+/// Area under the ROC curve via trapezoidal integration (0.5 for random
+/// scores, 0 for an empty curve).
+pub fn auc(points: &[CurvePoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let mut area = 0.0;
+    let mut prev = CurvePoint { threshold: f64::INFINITY, x: 0.0, y: 0.0 };
+    for point in points {
+        area += (point.x - prev.x) * (point.y + prev.y) / 2.0;
+        prev = *point;
+    }
+    // Close the curve to (1, 1).
+    area += (1.0 - prev.x) * (1.0 + prev.y) / 2.0;
+    area
+}
+
+/// Computes the precision-recall curve over all distinct score thresholds,
+/// ordered by increasing recall.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pr_curve(scores: &[f64], labels: &[bool]) -> Vec<CurvePoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count() as f64;
+    if positives == 0.0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut points = Vec::new();
+    let mut tp = 0.0;
+    let mut predicted = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1.0;
+            }
+            predicted += 1.0;
+            i += 1;
+        }
+        points.push(CurvePoint { threshold, x: tp / positives, y: tp / predicted });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, 0.5);
+        let m = cm.metrics();
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(auc(&roc_curve(&scores, &labels)), 1.0);
+    }
+
+    #[test]
+    fn all_positive_predictor_matches_table_iv_degenerate_rows() {
+        // DNN on Stratosphere predicted everything attack: acc == prec ==
+        // attack share, recall == 1.
+        let labels = [true, false, false, false, true];
+        let scores = [1.0; 5];
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, 0.5);
+        let m = cm.metrics();
+        assert!((m.accuracy - 0.4).abs() < 1e-12);
+        assert!((m.precision - 0.4).abs() < 1e-12);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn all_negative_predictor_matches_slips_rows() {
+        // Slips on UNSW alerted on nothing: precision = recall = f1 = 0,
+        // accuracy = benign share.
+        let labels = [true, false, false, false];
+        let scores = [0.0; 4];
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, 0.5);
+        let m = cm.metrics();
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert!((m.accuracy - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let cm = ConfusionMatrix::default();
+        let m = cm.metrics();
+        assert_eq!((m.accuracy, m.precision, m.recall, m.f1), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn random_scores_have_auc_near_half() {
+        // Deterministic pseudo-random scores via a linear congruential step.
+        let mut state = 12345u64;
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            scores.push((state >> 11) as f64 / (1u64 << 53) as f64);
+            labels.push(i % 2 == 0);
+        }
+        let a = auc(&roc_curve(&scores, &labels));
+        assert!((a - 0.5).abs() < 0.05, "auc = {a}");
+    }
+
+    #[test]
+    fn roc_handles_no_positives() {
+        assert!(roc_curve(&[1.0, 2.0], &[false, false]).is_empty());
+        assert!(pr_curve(&[1.0, 2.0], &[false, false]).is_empty());
+    }
+
+    #[test]
+    fn roc_is_monotone_in_fpr_and_tpr() {
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.65, 0.2, 0.9];
+        let labels = [false, true, false, true, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        for pair in curve.windows(2) {
+            assert!(pair[1].x >= pair[0].x);
+            assert!(pair[1].y >= pair[0].y);
+        }
+    }
+
+    #[test]
+    fn tied_scores_are_grouped() {
+        let scores = [0.5, 0.5, 0.5];
+        let labels = [true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].x, 1.0);
+        assert_eq!(curve[0].y, 1.0);
+    }
+
+    #[test]
+    fn metrics_mean_matches_paper_average_rows() {
+        let rows = [
+            Metrics { accuracy: 0.8, precision: 0.5, recall: 0.4, f1: 0.44 },
+            Metrics { accuracy: 0.6, precision: 0.7, recall: 0.8, f1: 0.75 },
+        ];
+        let avg = Metrics::mean(&rows);
+        assert!((avg.accuracy - 0.7).abs() < 1e-12);
+        assert!((avg.precision - 0.6).abs() < 1e-12);
+        assert!((avg.recall - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let cm = ConfusionMatrix {
+            true_positives: 30,
+            false_positives: 10,
+            true_negatives: 50,
+            false_negatives: 10,
+        };
+        let p = 0.75;
+        let r = 0.75;
+        assert!((cm.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+}

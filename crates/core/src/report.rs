@@ -1,0 +1,313 @@
+//! Renderers reproducing the paper's table layouts.
+//!
+//! [`render_table4`] prints the performance grid in the exact shape of the
+//! paper's Table IV: one block per IDS, one row per dataset, an `Average:`
+//! row per block, the column-wide maximum of each metric **bolded**, and the
+//! best F1 per dataset marked (the paper uses blue text; we use a `†`
+//! suffix).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::metrics::Metrics;
+use crate::runner::Experiment;
+
+/// Renders the Table IV layout as Markdown (see module docs).
+///
+/// Experiments must be detector-major ordered, as produced by
+/// [`crate::runner::run_grid`]. Returns an empty table for no input.
+pub fn render_table4(experiments: &[Experiment]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| Dataset | Acc. | Prec. | Rec. | F1 |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
+
+    // Column-wide maxima (over every row of every block, as in the paper).
+    let max = fold_metrics(experiments.iter().map(|e| e.metrics));
+
+    // Best F1 per dataset across detectors.
+    let datasets: BTreeSet<&str> = experiments.iter().map(|e| e.dataset.as_str()).collect();
+    let best_f1: Vec<(&str, f64)> = datasets
+        .iter()
+        .map(|&d| {
+            let best = experiments
+                .iter()
+                .filter(|e| e.dataset == d)
+                .map(|e| e.metrics.f1)
+                .fold(f64::NEG_INFINITY, f64::max);
+            (d, best)
+        })
+        .collect();
+
+    let mut current_detector: Option<&str> = None;
+    let mut block: Vec<Metrics> = Vec::new();
+    for experiment in experiments {
+        if current_detector != Some(experiment.detector.as_str()) {
+            if current_detector.is_some() {
+                emit_average(&mut out, &block, &max);
+                block.clear();
+            }
+            current_detector = Some(experiment.detector.as_str());
+            let _ = writeln!(out, "| **IDS: {}** | | | | |", experiment.detector);
+        }
+        block.push(experiment.metrics);
+        let dataset_best = best_f1
+            .iter()
+            .find(|(d, _)| *d == experiment.dataset)
+            .map(|(_, f)| *f)
+            .unwrap_or(f64::NEG_INFINITY);
+        let f1_mark = if experiment.metrics.f1 >= dataset_best { " †" } else { "" };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {}{} |",
+            experiment.dataset,
+            fmt_cell(experiment.metrics.accuracy, max.accuracy),
+            fmt_cell(experiment.metrics.precision, max.precision),
+            fmt_cell(experiment.metrics.recall, max.recall),
+            fmt_cell(experiment.metrics.f1, max.f1),
+            f1_mark,
+        );
+    }
+    if current_detector.is_some() {
+        emit_average(&mut out, &block, &max);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "**Bold**: highest value of all IDSs for the metric column.");
+    let _ = writeln!(out, "†: highest F1 score of all IDSs for the dataset.");
+    out
+}
+
+fn emit_average(out: &mut String, block: &[Metrics], max: &Metrics) {
+    let avg = Metrics::mean(block);
+    let _ = writeln!(
+        out,
+        "| *Average:* | {} | {} | {} | {} |",
+        fmt_cell(avg.accuracy, max.accuracy),
+        fmt_cell(avg.precision, max.precision),
+        fmt_cell(avg.recall, max.recall),
+        fmt_cell(avg.f1, max.f1),
+    );
+}
+
+fn fold_metrics(metrics: impl Iterator<Item = Metrics>) -> Metrics {
+    metrics.fold(Metrics::default(), |acc, m| Metrics {
+        accuracy: acc.accuracy.max(m.accuracy),
+        precision: acc.precision.max(m.precision),
+        recall: acc.recall.max(m.recall),
+        f1: acc.f1.max(m.f1),
+    })
+}
+
+fn fmt_cell(value: f64, column_max: f64) -> String {
+    if value >= column_max && column_max > 0.0 {
+        format!("**{value:.4}**")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Renders the per-attack-family recall breakdown as Markdown: one row per
+/// family, one column per detector, for a single dataset's experiments.
+/// This is the "attack types" axis of the paper's Section V discussion.
+pub fn render_family_breakdown(dataset: &str, experiments: &[Experiment]) -> String {
+    let rows: Vec<&Experiment> = experiments.iter().filter(|e| e.dataset == dataset).collect();
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    let mut families: Vec<&str> = rows
+        .iter()
+        .flat_map(|e| e.family_recall.iter().map(|(name, _, _)| name.as_str()))
+        .collect();
+    families.sort_unstable();
+    families.dedup();
+
+    let _ = write!(out, "| Family (items) |");
+    for e in &rows {
+        let _ = write!(out, " {} |", e.detector);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in &rows {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for family in families {
+        let count = rows
+            .iter()
+            .find_map(|e| {
+                e.family_recall.iter().find(|(n, _, _)| n == family).map(|(_, _, c)| *c)
+            })
+            .unwrap_or(0);
+        let _ = write!(out, "| {family} ({count}) |");
+        for e in &rows {
+            match e.family_recall.iter().find(|(n, _, _)| n == family) {
+                Some((_, recall, _)) => {
+                    let _ = write!(out, " {recall:.3} |");
+                }
+                None => {
+                    let _ = write!(out, " – |");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders experiments as CSV with full diagnostics (one row per cell).
+pub fn render_csv(experiments: &[Experiment]) -> String {
+    let mut out = String::from(
+        "detector,dataset,accuracy,precision,recall,f1,threshold,eval_items,attack_share,auc,fpr,detector_seconds\n",
+    );
+    for e in experiments {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6e},{},{:.6},{:.6},{:.6},{:.3}",
+            e.detector,
+            e.dataset,
+            e.metrics.accuracy,
+            e.metrics.precision,
+            e.metrics.recall,
+            e.metrics.f1,
+            e.threshold,
+            e.eval_items,
+            e.attack_share,
+            e.auc,
+            e.false_positive_rate,
+            e.detector_seconds,
+        );
+    }
+    out
+}
+
+/// Renders a compact fixed-width console table (handy for examples).
+pub fn render_console(experiments: &[Experiment]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<16} {:>8} {:>8} {:>8} {:>8}",
+        "IDS", "Dataset", "Acc.", "Prec.", "Rec.", "F1"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(66));
+    let mut current: Option<&str> = None;
+    let mut block: Vec<Metrics> = Vec::new();
+    for e in experiments {
+        if current != Some(e.detector.as_str()) {
+            if !block.is_empty() {
+                let avg = Metrics::mean(&block);
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:<16} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+                    "", "Average:", avg.accuracy, avg.precision, avg.recall, avg.f1
+                );
+                block.clear();
+            }
+            current = Some(e.detector.as_str());
+        }
+        block.push(e.metrics);
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            e.detector, e.dataset, e.metrics.accuracy, e.metrics.precision, e.metrics.recall, e.metrics.f1
+        );
+    }
+    if !block.is_empty() {
+        let avg = Metrics::mean(&block);
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            "", "Average:", avg.accuracy, avg.precision, avg.recall, avg.f1
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment(detector: &str, dataset: &str, f1: f64) -> Experiment {
+        Experiment {
+            detector: detector.to_string(),
+            dataset: dataset.to_string(),
+            metrics: Metrics { accuracy: 0.9, precision: 0.8, recall: 0.7, f1 },
+            threshold: 0.5,
+            eval_items: 100,
+            attack_share: 0.2,
+            auc: 0.9,
+            false_positive_rate: 0.05,
+            detector_seconds: 0.1,
+            family_recall: vec![("syn-flood".to_string(), 0.9, 100)],
+        }
+    }
+
+    #[test]
+    fn table4_contains_blocks_and_averages() {
+        let experiments = vec![
+            experiment("Kitsune", "UNSW-NB15", 0.5),
+            experiment("Kitsune", "Mirai", 0.9),
+            experiment("DNN", "UNSW-NB15", 0.95),
+            experiment("DNN", "Mirai", 0.6),
+        ];
+        let table = render_table4(&experiments);
+        assert!(table.contains("**IDS: Kitsune**"));
+        assert!(table.contains("**IDS: DNN**"));
+        assert_eq!(table.matches("*Average:*").count(), 2);
+        // Best per dataset markers: DNN wins UNSW, Kitsune wins Mirai.
+        let lines: Vec<&str> = table.lines().collect();
+        let kitsune_mirai = lines.iter().find(|l| l.starts_with("| Mirai") ).unwrap();
+        assert!(kitsune_mirai.contains('†'));
+    }
+
+    #[test]
+    fn column_max_is_bolded() {
+        let experiments = vec![
+            experiment("A", "d1", 0.2),
+            experiment("B", "d1", 0.9),
+        ];
+        let table = render_table4(&experiments);
+        assert!(table.contains("**0.9000**"));
+        // 0.2 must not be bolded.
+        assert!(!table.contains("**0.2000**"));
+    }
+
+    #[test]
+    fn family_breakdown_renders_per_detector_columns() {
+        let mut a = experiment("A", "d1", 0.5);
+        a.family_recall = vec![("syn-flood".into(), 0.9, 50), ("stealth".into(), 0.1, 10)];
+        let mut b = experiment("B", "d1", 0.6);
+        b.family_recall = vec![("syn-flood".into(), 0.4, 50)];
+        let table = render_family_breakdown("d1", &[a, b]);
+        assert!(table.contains("| syn-flood (50) | 0.900 | 0.400 |"), "{table}");
+        assert!(table.contains("| stealth (10) | 0.100 | – |"), "{table}");
+        assert!(render_family_breakdown("unknown", &[]).is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let experiments = vec![experiment("A", "d1", 0.5)];
+        let csv = render_csv(&experiments);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("detector,dataset"));
+        assert!(lines.next().unwrap().starts_with("A,d1,"));
+    }
+
+    #[test]
+    fn console_table_renders_all_rows() {
+        let experiments = vec![
+            experiment("A", "d1", 0.5),
+            experiment("A", "d2", 0.6),
+        ];
+        let text = render_console(&experiments);
+        assert!(text.contains("d1"));
+        assert!(text.contains("d2"));
+        assert!(text.contains("Average:"));
+    }
+
+    #[test]
+    fn empty_input_renders_cleanly() {
+        let table = render_table4(&[]);
+        assert!(table.contains("| Dataset |"));
+        assert!(render_csv(&[]).starts_with("detector,"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Standardized anomaly-threshold calibration (Section IV-A step 4).
+//!
+//! The paper applies one calibration rule uniformly to every IDS:
+//! "identifying the threshold value that maximised the detection rate of
+//! anomalous packets while maintaining a tolerable level of false
+//! positives." This module implements that rule ([`ThresholdPolicy::
+//! DetectionFirst`]) plus the common alternatives used in the ablation
+//! benches.
+
+use crate::metrics::ConfusionMatrix;
+
+/// A rule for choosing the alert threshold from scored evaluation output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ThresholdPolicy {
+    /// The paper's rule: among candidate thresholds whose false-positive
+    /// rate does not exceed `max_fpr`, pick the one with the highest
+    /// detection rate (recall); ties break toward fewer false positives.
+    /// Falls back to the threshold with the lowest FPR if none satisfies
+    /// the cap.
+    DetectionFirst {
+        /// The "tolerable level of false positives".
+        max_fpr: f64,
+    },
+    /// Maximize F1 over all candidate thresholds.
+    MaxF1,
+    /// A fixed, externally supplied threshold.
+    Fixed(f64),
+    /// Mean + `k`·std of the *training-phase* scores — the rule shipped in
+    /// Kitsune's own examples. The statistics must be supplied by the
+    /// detector through the score stream's leading `train_len` items.
+    TrainQuantile {
+        /// Quantile of training scores used as the threshold (e.g. 0.999).
+        quantile: f64,
+    },
+}
+
+impl Default for ThresholdPolicy {
+    /// The paper's rule with a 25% false-positive tolerance — loose enough
+    /// to favour detection rate, as the published Table IV rows imply.
+    fn default() -> Self {
+        ThresholdPolicy::DetectionFirst { max_fpr: 0.25 }
+    }
+}
+
+impl ThresholdPolicy {
+    /// Calibrates a threshold from evaluation scores and ground truth.
+    ///
+    /// Candidate thresholds are the distinct scores present (plus +∞ for
+    /// "never alert"). Returns +∞ for empty input, which yields an
+    /// all-benign verdict downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn calibrate(&self, scores: &[f64], labels: &[bool]) -> f64 {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        if scores.is_empty() {
+            return f64::INFINITY;
+        }
+        match *self {
+            ThresholdPolicy::Fixed(threshold) => threshold,
+            ThresholdPolicy::TrainQuantile { quantile } => quantile_of(scores, quantile),
+            ThresholdPolicy::MaxF1 => {
+                let mut best = (f64::INFINITY, -1.0);
+                for &candidate in candidates(scores).iter() {
+                    let f1 = ConfusionMatrix::from_scores(scores, labels, candidate).f1();
+                    if f1 > best.1 {
+                        best = (candidate, f1);
+                    }
+                }
+                best.0
+            }
+            ThresholdPolicy::DetectionFirst { max_fpr } => {
+                let mut best: Option<(f64, f64, f64)> = None; // (threshold, recall, fpr)
+                let mut fallback: Option<(f64, f64)> = None; // (threshold, fpr)
+                for &candidate in candidates(scores).iter() {
+                    let cm = ConfusionMatrix::from_scores(scores, labels, candidate);
+                    let recall = cm.recall();
+                    let fpr = cm.false_positive_rate();
+                    if fpr <= max_fpr {
+                        let better = match best {
+                            None => true,
+                            Some((_, r, f)) => recall > r || (recall == r && fpr < f),
+                        };
+                        if better {
+                            best = Some((candidate, recall, fpr));
+                        }
+                    }
+                    let lower_fpr = match fallback {
+                        None => true,
+                        Some((_, f)) => fpr < f,
+                    };
+                    if lower_fpr {
+                        fallback = Some((candidate, fpr));
+                    }
+                }
+                best.map(|(t, _, _)| t)
+                    .or(fallback.map(|(t, _)| t))
+                    .unwrap_or(f64::INFINITY)
+            }
+        }
+    }
+}
+
+/// Distinct finite score values, descending, capped to a manageable count by
+/// quantile subsampling (calibration cost stays O(n log n) regardless of
+/// score cardinality).
+fn candidates(scores: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.dedup();
+    const MAX_CANDIDATES: usize = 512;
+    let mut kept = if sorted.len() > MAX_CANDIDATES {
+        let step = sorted.len() as f64 / MAX_CANDIDATES as f64;
+        let mut sampled: Vec<f64> =
+            (0..MAX_CANDIDATES).map(|i| sorted[(i as f64 * step) as usize]).collect();
+        // Always keep the extremes.
+        sampled.push(*sorted.last().expect("non-empty"));
+        sampled.dedup();
+        sampled
+    } else {
+        sorted
+    };
+    // "Never alert" must always be a candidate: a detector that produces one
+    // constant score (e.g. a rule-based system that found nothing) must be
+    // able to stay silent rather than alert on everything.
+    kept.insert(0, f64::INFINITY);
+    kept
+}
+
+fn quantile_of(scores: &[f64], quantile: f64) -> f64 {
+    let mut sorted: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    if sorted.is_empty() {
+        return f64::INFINITY;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = quantile.clamp(0.0, 1.0);
+    let index = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[index]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Well-separated scores: attacks around 0.9, benign around 0.1.
+    fn separated() -> (Vec<f64>, Vec<bool>) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            scores.push(0.1 + (i as f64) * 1e-4);
+            labels.push(false);
+            scores.push(0.9 + (i as f64) * 1e-4);
+            labels.push(true);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn max_f1_finds_separating_threshold() {
+        let (scores, labels) = separated();
+        let t = ThresholdPolicy::MaxF1.calibrate(&scores, &labels);
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, t);
+        assert_eq!(cm.f1(), 1.0);
+    }
+
+    #[test]
+    fn detection_first_finds_separating_threshold() {
+        let (scores, labels) = separated();
+        let t = ThresholdPolicy::default().calibrate(&scores, &labels);
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, t);
+        assert_eq!(cm.recall(), 1.0);
+        assert!(cm.false_positive_rate() <= 0.25);
+    }
+
+    #[test]
+    fn detection_first_respects_fpr_cap() {
+        // Scores where catching the last attacks costs huge FPR.
+        let mut scores = vec![0.9; 10]; // 10 easy attacks
+        let mut labels = vec![true; 10];
+        scores.push(0.05); // 1 hard attack below all benign
+        labels.push(true);
+        scores.extend(vec![0.5; 100]); // benign wall
+        labels.extend(vec![false; 100]);
+        let t = ThresholdPolicy::DetectionFirst { max_fpr: 0.10 }.calibrate(&scores, &labels);
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, t);
+        assert!(cm.false_positive_rate() <= 0.10, "fpr = {}", cm.false_positive_rate());
+        assert!((cm.recall() - 10.0 / 11.0).abs() < 1e-9, "recall = {}", cm.recall());
+    }
+
+    #[test]
+    fn detection_first_with_loose_cap_floods_false_positives() {
+        // The Kitsune-on-CICIDS2017 phenomenon: overlapping score
+        // distributions + detection-first calibration = high recall, terrible
+        // precision.
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..400 {
+            scores.push((i % 100) as f64); // benign spread over 0..99
+            labels.push(false);
+        }
+        for i in 0..20 {
+            scores.push(50.0 + (i % 50) as f64); // attacks inside the benign range
+            labels.push(true);
+        }
+        let t = ThresholdPolicy::DetectionFirst { max_fpr: 0.5 }.calibrate(&scores, &labels);
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, t);
+        assert!(cm.recall() >= 0.9);
+        assert!(cm.precision() < 0.25, "precision = {}", cm.precision());
+    }
+
+    #[test]
+    fn fixed_policy_is_verbatim() {
+        let t = ThresholdPolicy::Fixed(3.25).calibrate(&[1.0, 2.0], &[false, true]);
+        assert_eq!(t, 3.25);
+    }
+
+    #[test]
+    fn train_quantile_tracks_distribution() {
+        let scores: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let labels = vec![false; 1000];
+        let t = ThresholdPolicy::TrainQuantile { quantile: 0.99 }.calibrate(&scores, &labels);
+        assert!((t - 989.0).abs() <= 1.0, "t = {t}");
+    }
+
+    #[test]
+    fn empty_input_never_alerts() {
+        let t = ThresholdPolicy::default().calibrate(&[], &[]);
+        assert!(t.is_infinite());
+    }
+
+    #[test]
+    fn candidate_subsampling_keeps_extremes() {
+        let scores: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let c = candidates(&scores);
+        assert!(c.len() <= 600);
+        assert!(c[0].is_infinite());
+        assert_eq!(c[1], 9999.0);
+        assert_eq!(*c.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn constant_zero_scores_never_alert_under_detection_first() {
+        // A rule-based detector that found nothing emits all-zero scores; the
+        // calibrated threshold must be "never alert", not "alert everything".
+        let scores = vec![0.0; 100];
+        let mut labels = vec![false; 100];
+        labels[3] = true;
+        let t = ThresholdPolicy::default().calibrate(&scores, &labels);
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, t);
+        assert_eq!(cm.false_positives, 0);
+        assert_eq!(cm.recall(), 0.0);
+        assert!((cm.accuracy() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_are_ignored_in_candidates() {
+        let scores = vec![f64::NAN, 1.0, 2.0];
+        let labels = vec![false, false, true];
+        let t = ThresholdPolicy::MaxF1.calibrate(&scores, &labels);
+        assert!(t.is_finite());
+    }
+}

@@ -1,0 +1,158 @@
+use std::net::Ipv4Addr;
+
+use idsbench_net::MacAddr;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A synthetic endpoint: a MAC/IPv4 pair.
+///
+/// Hosts are derived deterministically from `(subnet, index)` so scenario
+/// topology is stable across runs and seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Host {
+    /// Hardware address.
+    pub mac: MacAddr,
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+}
+
+impl Host {
+    /// Creates the `index`-th host of `/24` subnet number `subnet`
+    /// (`10.<subnet/256>.<subnet%256>.<index>`).
+    pub fn new(subnet: u16, index: u8) -> Self {
+        let [hi, lo] = subnet.to_be_bytes();
+        Host {
+            mac: MacAddr::from_host_id(u32::from(subnet) << 8 | u32::from(index)),
+            ip: Ipv4Addr::new(10, hi, lo, index),
+        }
+    }
+
+    /// Creates an *external* (internet) host. External hosts live in
+    /// `203.0.x.y` (TEST-NET-3-adjacent) and get MACs of the site gateway,
+    /// matching how a capture at the site border sees them.
+    pub fn external(id: u16) -> Self {
+        let [hi, lo] = id.to_be_bytes();
+        Host {
+            mac: MacAddr::from_host_id(0xffff_0000),
+            ip: Ipv4Addr::new(203, 0, hi, lo),
+        }
+    }
+
+    /// A host with a randomly spoofed source IP (used by flood generators).
+    /// The MAC stays the sender's real one, as on a real LAN capture.
+    pub fn spoofed(real_mac: MacAddr, rng: &mut SmallRng) -> Self {
+        Host {
+            mac: real_mac,
+            ip: Ipv4Addr::new(
+                rng.random_range(1..=223),
+                rng.random_range(0..=255),
+                rng.random_range(0..=255),
+                rng.random_range(1..=254),
+            ),
+        }
+    }
+}
+
+/// A deterministic pool of hosts within one subnet.
+#[derive(Debug, Clone)]
+pub struct HostPool {
+    hosts: Vec<Host>,
+}
+
+impl HostPool {
+    /// Creates `count` hosts in `/24` subnet `subnet`, indices starting
+    /// at 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds 254.
+    pub fn subnet(subnet: u16, count: usize) -> Self {
+        assert!(count <= 254, "a /24 holds at most 254 hosts");
+        HostPool { hosts: (0..count).map(|i| Host::new(subnet, (i + 1) as u8)).collect() }
+    }
+
+    /// Creates `count` external hosts with ids starting at `base`.
+    pub fn external(base: u16, count: usize) -> Self {
+        HostPool { hosts: (0..count).map(|i| Host::external(base + i as u16)).collect() }
+    }
+
+    /// Creates a pool from an explicit host list.
+    pub fn from_hosts(hosts: Vec<Host>) -> Self {
+        HostPool { hosts }
+    }
+
+    /// Number of hosts in the pool.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// The hosts as a slice.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Host at `index` (wrapping).
+    pub fn get(&self, index: usize) -> Host {
+        self.hosts[index % self.hosts.len()]
+    }
+
+    /// A uniformly random host from the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty.
+    pub fn pick(&self, rng: &mut SmallRng) -> Host {
+        assert!(!self.hosts.is_empty(), "cannot pick from an empty pool");
+        self.hosts[rng.random_range(0..self.hosts.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hosts_are_deterministic_and_distinct() {
+        assert_eq!(Host::new(5, 10), Host::new(5, 10));
+        assert_ne!(Host::new(5, 10), Host::new(5, 11));
+        assert_ne!(Host::new(5, 10), Host::new(6, 10));
+        assert_eq!(Host::new(1, 2).ip, Ipv4Addr::new(10, 0, 1, 2));
+    }
+
+    #[test]
+    fn external_hosts_use_public_range() {
+        let h = Host::external(300);
+        assert_eq!(h.ip.octets()[0], 203);
+        assert_ne!(Host::external(1), Host::external(2));
+    }
+
+    #[test]
+    fn spoofed_hosts_vary() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mac = MacAddr::from_host_id(9);
+        let a = Host::spoofed(mac, &mut rng);
+        let b = Host::spoofed(mac, &mut rng);
+        assert_ne!(a.ip, b.ip);
+        assert_eq!(a.mac, mac);
+    }
+
+    #[test]
+    fn pool_indexing_wraps() {
+        let pool = HostPool::subnet(1, 3);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.get(0), pool.get(3));
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 254")]
+    fn oversized_subnet_panics() {
+        let _ = HostPool::subnet(1, 255);
+    }
+}

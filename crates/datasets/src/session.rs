@@ -1,0 +1,379 @@
+//! Packet-level session emission helpers shared by every generator.
+//!
+//! All synthetic traffic flows through [`SessionEmitter`], which builds real
+//! frames with [`idsbench_net::PacketBuilder`] — so generated traffic is
+//! byte-valid and survives the same parsing path as pcap replays.
+
+use idsbench_core::{Label, LabeledPacket};
+use idsbench_net::{IcmpHeader, PacketBuilder, TcpFlags, TcpHeader, Timestamp};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::host::Host;
+
+/// Emits labeled packets for common session shapes.
+///
+/// Wraps the output vector, a label, and a little TCP sequence-number state
+/// so generators stay concise.
+#[derive(Debug)]
+pub struct SessionEmitter<'a> {
+    out: &'a mut Vec<LabeledPacket>,
+    label: Label,
+}
+
+impl<'a> SessionEmitter<'a> {
+    /// Creates an emitter appending to `out` with every packet labeled
+    /// `label`.
+    pub fn new(out: &'a mut Vec<LabeledPacket>, label: Label) -> Self {
+        SessionEmitter { out, label }
+    }
+
+    /// Emits one raw TCP packet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_packet(
+        &mut self,
+        src: Host,
+        dst: Host,
+        sport: u16,
+        dport: u16,
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+        payload_len: usize,
+        t: f64,
+    ) {
+        let mut header = TcpHeader::new(sport, dport, flags);
+        header.seq = seq;
+        header.ack = ack;
+        let packet = PacketBuilder::new()
+            .ethernet(src.mac, dst.mac)
+            .ipv4(src.ip, dst.ip)
+            .tcp_header(header)
+            .payload_len(payload_len)
+            .build(Timestamp::from_secs_f64(t.max(0.0)));
+        self.out.push(LabeledPacket::new(packet, self.label));
+    }
+
+    /// Emits one UDP packet.
+    pub fn udp_packet(
+        &mut self,
+        src: Host,
+        dst: Host,
+        sport: u16,
+        dport: u16,
+        payload_len: usize,
+        t: f64,
+    ) {
+        let packet = PacketBuilder::new()
+            .ethernet(src.mac, dst.mac)
+            .ipv4(src.ip, dst.ip)
+            .udp(sport, dport)
+            .payload_len(payload_len)
+            .build(Timestamp::from_secs_f64(t.max(0.0)));
+        self.out.push(LabeledPacket::new(packet, self.label));
+    }
+
+    /// Emits an ICMP echo request.
+    pub fn icmp_echo(&mut self, src: Host, dst: Host, sequence: u16, t: f64) {
+        let packet = PacketBuilder::new()
+            .ethernet(src.mac, dst.mac)
+            .ipv4(src.ip, dst.ip)
+            .icmp(IcmpHeader::echo_request(0x77, sequence))
+            .payload_len(48)
+            .build(Timestamp::from_secs_f64(t.max(0.0)));
+        self.out.push(LabeledPacket::new(packet, self.label));
+    }
+
+    /// Emits a complete TCP session: handshake, a request/response exchange
+    /// per entry of `exchanges` (`(client_bytes, server_bytes)`), and
+    /// FIN teardown. Returns the timestamp after the final packet.
+    ///
+    /// `gap` is the think time between exchanges (seconds); per-packet
+    /// pacing inside an exchange is derived from it with jitter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp_session(
+        &mut self,
+        client: Host,
+        server: Host,
+        sport: u16,
+        dport: u16,
+        start: f64,
+        exchanges: &[(usize, usize)],
+        gap: f64,
+        rng: &mut SmallRng,
+    ) -> f64 {
+        const MSS: usize = 1400;
+        let mut t = start;
+        let mut seq_c: u32 = rng.random();
+        let mut seq_s: u32 = rng.random();
+        let rtt = 0.002 + rng.random_range(0.0..0.004);
+
+        // Handshake.
+        self.tcp_packet(client, server, sport, dport, TcpFlags::SYN, seq_c, 0, 0, t);
+        seq_c = seq_c.wrapping_add(1);
+        t += rtt / 2.0;
+        self.tcp_packet(server, client, dport, sport, TcpFlags::SYN | TcpFlags::ACK, seq_s, seq_c, 0, t);
+        seq_s = seq_s.wrapping_add(1);
+        t += rtt / 2.0;
+        self.tcp_packet(client, server, sport, dport, TcpFlags::ACK, seq_c, seq_s, 0, t);
+
+        // Exchanges.
+        for &(client_bytes, server_bytes) in exchanges {
+            t += gap * rng.random_range(0.5..1.5);
+            for chunk in chunks(client_bytes, MSS) {
+                self.tcp_packet(
+                    client,
+                    server,
+                    sport,
+                    dport,
+                    TcpFlags::PSH | TcpFlags::ACK,
+                    seq_c,
+                    seq_s,
+                    chunk,
+                    t,
+                );
+                seq_c = seq_c.wrapping_add(chunk as u32);
+                t += rng.random_range(0.001..0.004);
+            }
+            t += rtt / 2.0;
+            for chunk in chunks(server_bytes, MSS) {
+                self.tcp_packet(
+                    server,
+                    client,
+                    dport,
+                    sport,
+                    TcpFlags::PSH | TcpFlags::ACK,
+                    seq_s,
+                    seq_c,
+                    chunk,
+                    t,
+                );
+                seq_s = seq_s.wrapping_add(chunk as u32);
+                t += rng.random_range(0.001..0.004);
+            }
+            // Client ACKs the response.
+            self.tcp_packet(client, server, sport, dport, TcpFlags::ACK, seq_c, seq_s, 0, t);
+        }
+
+        // Teardown.
+        t += rng.random_range(0.001..0.05);
+        self.tcp_packet(
+            client,
+            server,
+            sport,
+            dport,
+            TcpFlags::FIN | TcpFlags::ACK,
+            seq_c,
+            seq_s,
+            0,
+            t,
+        );
+        t += rtt / 2.0;
+        self.tcp_packet(
+            server,
+            client,
+            dport,
+            sport,
+            TcpFlags::FIN | TcpFlags::ACK,
+            seq_s,
+            seq_c.wrapping_add(1),
+            0,
+            t,
+        );
+        t += rtt / 2.0;
+        self.tcp_packet(
+            client,
+            server,
+            sport,
+            dport,
+            TcpFlags::ACK,
+            seq_c.wrapping_add(1),
+            seq_s.wrapping_add(1),
+            0,
+            t,
+        );
+        t
+    }
+
+    /// Emits a UDP query/response pair; returns the time after the response.
+    #[allow(clippy::too_many_arguments)]
+    pub fn udp_exchange(
+        &mut self,
+        client: Host,
+        server: Host,
+        sport: u16,
+        dport: u16,
+        start: f64,
+        query_len: usize,
+        response_len: usize,
+        rng: &mut SmallRng,
+    ) -> f64 {
+        self.udp_packet(client, server, sport, dport, query_len, start);
+        let t = start + rng.random_range(0.001..0.02);
+        self.udp_packet(server, client, dport, sport, response_len, t);
+        t
+    }
+
+    /// Emits an *unanswered* TCP SYN (scan probe / flood unit). With
+    /// probability `rst_probability` the target answers with RST, as closed
+    /// ports do.
+    #[allow(clippy::too_many_arguments)]
+    pub fn syn_probe(
+        &mut self,
+        src: Host,
+        dst: Host,
+        sport: u16,
+        dport: u16,
+        t: f64,
+        rst_probability: f64,
+        rng: &mut SmallRng,
+    ) {
+        let seq: u32 = rng.random();
+        self.tcp_packet(src, dst, sport, dport, TcpFlags::SYN, seq, 0, 0, t);
+        if rng.random_range(0.0..1.0) < rst_probability {
+            self.tcp_packet(
+                dst,
+                src,
+                dport,
+                sport,
+                TcpFlags::RST | TcpFlags::ACK,
+                0,
+                seq.wrapping_add(1),
+                0,
+                t + 0.001,
+            );
+        }
+    }
+}
+
+fn chunks(total: usize, mss: usize) -> Vec<usize> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(total / mss + 1);
+    let mut remaining = total;
+    while remaining > 0 {
+        let chunk = remaining.min(mss);
+        out.push(chunk);
+        remaining -= chunk;
+    }
+    out
+}
+
+/// Draws from a bounded Pareto distribution (heavy-tailed sizes for
+/// enterprise traffic).
+pub(crate) fn pareto(rng: &mut SmallRng, min: f64, alpha: f64, cap: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    (min / u.powf(1.0 / alpha)).min(cap)
+}
+
+/// Draws an exponential inter-arrival gap with the given mean (Poisson
+/// process).
+pub(crate) fn exponential_gap(rng: &mut SmallRng, mean: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idsbench_core::AttackKind;
+    use idsbench_net::ParsedPacket;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tcp_session_emits_valid_ordered_packets() {
+        let mut out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut emitter = SessionEmitter::new(&mut out, Label::Benign);
+        let end = emitter.tcp_session(
+            Host::new(1, 1),
+            Host::new(1, 2),
+            40000,
+            80,
+            10.0,
+            &[(300, 5000), (200, 1500)],
+            0.2,
+            &mut rng,
+        );
+        assert!(end > 10.0);
+        assert!(out.len() >= 3 + 2 + 3); // handshake + data + teardown at minimum
+        let mut prev = 0.0;
+        for lp in &out {
+            let parsed = ParsedPacket::parse(&lp.packet).unwrap();
+            assert!(parsed.ts.as_secs_f64() >= prev);
+            prev = parsed.ts.as_secs_f64();
+            assert_eq!(lp.label, Label::Benign);
+        }
+        // First packet is a SYN from the client.
+        let first = ParsedPacket::parse(&out[0].packet).unwrap();
+        assert!(first.tcp().unwrap().flags.contains(TcpFlags::SYN));
+        assert_eq!(first.dst_port(), Some(80));
+    }
+
+    #[test]
+    fn large_exchange_is_segmented_at_mss() {
+        let mut out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut emitter = SessionEmitter::new(&mut out, Label::Benign);
+        emitter.tcp_session(
+            Host::new(1, 1),
+            Host::new(1, 2),
+            40000,
+            80,
+            0.0,
+            &[(100, 10_000)],
+            0.1,
+            &mut rng,
+        );
+        let data_packets = out
+            .iter()
+            .map(|lp| ParsedPacket::parse(&lp.packet).unwrap())
+            .filter(|p| p.payload_len > 0 && p.src_port() == Some(80))
+            .count();
+        assert_eq!(data_packets, 8, "10000 bytes at mss 1400 = 8 segments");
+    }
+
+    #[test]
+    fn syn_probe_label_and_rst() {
+        let mut out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut emitter =
+            SessionEmitter::new(&mut out, Label::Attack(AttackKind::PortScan));
+        emitter.syn_probe(Host::new(1, 9), Host::new(1, 2), 55555, 22, 1.0, 1.0, &mut rng);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|lp| lp.is_attack()));
+        let rst = ParsedPacket::parse(&out[1].packet).unwrap();
+        assert!(rst.tcp().unwrap().flags.contains(TcpFlags::RST));
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x = pareto(&mut rng, 100.0, 1.3, 50_000.0);
+            assert!((100.0..=50_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_gap_has_right_mean() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exponential_gap(&mut rng, 0.5)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn udp_exchange_round_trip() {
+        let mut out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut emitter = SessionEmitter::new(&mut out, Label::Benign);
+        emitter.udp_exchange(Host::new(1, 1), Host::new(1, 53), 5353, 53, 2.0, 60, 200, &mut rng);
+        assert_eq!(out.len(), 2);
+        let response = ParsedPacket::parse(&out[1].packet).unwrap();
+        assert_eq!(response.src_port(), Some(53));
+        assert_eq!(response.payload_len, 200);
+    }
+}

@@ -1,0 +1,370 @@
+//! Damped incremental statistics ("AfterImage"), the O(1)-per-update
+//! streaming moments introduced by Kitsune and reused by HELAD.
+//!
+//! Each statistic maintains a weight, linear sum, and squared sum that decay
+//! exponentially with wall-clock time: an observation inserted `Δt` seconds
+//! ago contributes with weight `2^(-λΔt)`. Recent traffic therefore dominates
+//! the estimate, and a single parameter λ selects the effective time window.
+
+/// A 1-D damped incremental statistic.
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_flow::DampedStat;
+///
+/// let mut stat = DampedStat::new(0.1);
+/// stat.insert(0.0, 10.0);
+/// stat.insert(1.0, 20.0);
+/// assert!(stat.mean() > 10.0 && stat.mean() < 20.0);
+/// // The newer observation carries more weight.
+/// assert!(stat.mean() > 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DampedStat {
+    lambda: f64,
+    weight: f64,
+    linear_sum: f64,
+    squared_sum: f64,
+    last_time: f64,
+    last_residual: f64,
+    initialized: bool,
+}
+
+impl DampedStat {
+    /// Creates a statistic with decay rate `lambda` (per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+        DampedStat {
+            lambda,
+            weight: 0.0,
+            linear_sum: 0.0,
+            squared_sum: 0.0,
+            last_time: 0.0,
+            last_residual: 0.0,
+            initialized: false,
+        }
+    }
+
+    /// The decay rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Decays the sums to time `t` without inserting an observation.
+    ///
+    /// Out-of-order timestamps (`t` earlier than the last update) apply no
+    /// decay, matching the reference implementation.
+    pub fn decay_to(&mut self, t: f64) {
+        if !self.initialized {
+            self.last_time = t;
+            self.initialized = true;
+            return;
+        }
+        let dt = t - self.last_time;
+        if dt > 0.0 {
+            let factor = 2f64.powf(-self.lambda * dt);
+            self.weight *= factor;
+            self.linear_sum *= factor;
+            self.squared_sum *= factor;
+            self.last_time = t;
+        }
+    }
+
+    /// Inserts observation `x` at time `t` (seconds).
+    pub fn insert(&mut self, t: f64, x: f64) {
+        self.decay_to(t);
+        self.weight += 1.0;
+        self.linear_sum += x;
+        self.squared_sum += x * x;
+        self.last_residual = x - self.mean();
+    }
+
+    /// Current (damped) weight — the effective number of recent observations.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Damped mean (0 when the weight is zero).
+    pub fn mean(&self) -> f64 {
+        if self.weight > 0.0 {
+            self.linear_sum / self.weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Damped variance (never negative).
+    pub fn variance(&self) -> f64 {
+        if self.weight > 0.0 {
+            let mean = self.linear_sum / self.weight;
+            (self.squared_sum / self.weight - mean * mean).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Damped standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Residual of the most recent observation against the mean at insert
+    /// time. Used for cross-stream covariance.
+    pub fn last_residual(&self) -> f64 {
+        self.last_residual
+    }
+
+    /// Time of the last update or decay.
+    pub fn last_time(&self) -> f64 {
+        self.last_time
+    }
+
+    /// The `[weight, mean, std]` feature triple exported by the Kitsune
+    /// extractor.
+    pub fn snapshot(&self) -> [f64; 3] {
+        [self.weight(), self.mean(), self.std()]
+    }
+}
+
+/// A pair of damped streams with damped cross-covariance, used for the
+/// channel (src↔dst) and socket statistics.
+///
+/// Stream `a` carries one direction, stream `b` the other. The covariance is
+/// estimated from products of residuals, as in the reference AfterImage
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DampedPairStat {
+    a: DampedStat,
+    b: DampedStat,
+    joint_weight: f64,
+    residual_products: f64,
+    lambda: f64,
+    last_time: f64,
+    initialized: bool,
+}
+
+impl DampedPairStat {
+    /// Creates a pair statistic with decay rate `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        DampedPairStat {
+            a: DampedStat::new(lambda),
+            b: DampedStat::new(lambda),
+            joint_weight: 0.0,
+            residual_products: 0.0,
+            lambda,
+            last_time: 0.0,
+            initialized: false,
+        }
+    }
+
+    fn decay_joint(&mut self, t: f64) {
+        if !self.initialized {
+            self.last_time = t;
+            self.initialized = true;
+            return;
+        }
+        let dt = t - self.last_time;
+        if dt > 0.0 {
+            let factor = 2f64.powf(-self.lambda * dt);
+            self.joint_weight *= factor;
+            self.residual_products *= factor;
+            self.last_time = t;
+        }
+    }
+
+    /// Inserts observation `x` into stream `a` at time `t`.
+    pub fn insert_a(&mut self, t: f64, x: f64) {
+        self.decay_joint(t);
+        self.a.insert(t, x);
+        self.joint_weight += 1.0;
+        self.residual_products += self.a.last_residual() * self.b.last_residual();
+    }
+
+    /// Inserts observation `x` into stream `b` at time `t`.
+    pub fn insert_b(&mut self, t: f64, x: f64) {
+        self.decay_joint(t);
+        self.b.insert(t, x);
+        self.joint_weight += 1.0;
+        self.residual_products += self.a.last_residual() * self.b.last_residual();
+    }
+
+    /// Stream `a`.
+    pub fn a(&self) -> &DampedStat {
+        &self.a
+    }
+
+    /// Stream `b`.
+    pub fn b(&self) -> &DampedStat {
+        &self.b
+    }
+
+    /// 2-D magnitude: `sqrt(mean_a² + mean_b²)`.
+    pub fn magnitude(&self) -> f64 {
+        (self.a.mean().powi(2) + self.b.mean().powi(2)).sqrt()
+    }
+
+    /// 2-D radius: `sqrt(var_a² + var_b²)`.
+    pub fn radius(&self) -> f64 {
+        (self.a.variance().powi(2) + self.b.variance().powi(2)).sqrt()
+    }
+
+    /// Damped covariance estimate.
+    pub fn covariance(&self) -> f64 {
+        if self.joint_weight > 0.0 {
+            self.residual_products / self.joint_weight
+        } else {
+            0.0
+        }
+    }
+
+    /// Damped Pearson correlation coefficient (0 when either stream is
+    /// degenerate).
+    pub fn correlation(&self) -> f64 {
+        let denom = self.a.std() * self.b.std();
+        if denom > 0.0 {
+            (self.covariance() / denom).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Time of the most recent update.
+    pub fn last_time(&self) -> f64 {
+        self.last_time
+    }
+
+    /// The 7-feature group exported by the Kitsune extractor for the stream
+    /// that just received a packet: `[w, mean, std]` of that stream plus
+    /// `[magnitude, radius, covariance, correlation]` of the pair.
+    pub fn snapshot_for_a(&self) -> [f64; 7] {
+        let [w, mean, std] = self.a.snapshot();
+        [w, mean, std, self.magnitude(), self.radius(), self.covariance(), self.correlation()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constant_stream_is_constant() {
+        let mut stat = DampedStat::new(1.0);
+        for i in 0..100 {
+            stat.insert(i as f64 * 0.01, 5.0);
+        }
+        assert!((stat.mean() - 5.0).abs() < 1e-9);
+        assert!(stat.variance() < 1e-9);
+    }
+
+    #[test]
+    fn weight_decays_by_half_life() {
+        let mut stat = DampedStat::new(1.0); // half-life = 1s
+        stat.insert(0.0, 1.0);
+        assert!((stat.weight() - 1.0).abs() < 1e-12);
+        stat.decay_to(1.0);
+        assert!((stat.weight() - 0.5).abs() < 1e-12);
+        stat.decay_to(2.0);
+        assert!((stat.weight() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recent_observations_dominate() {
+        let mut stat = DampedStat::new(2.0);
+        stat.insert(0.0, 0.0);
+        stat.insert(5.0, 100.0);
+        assert!(stat.mean() > 99.0, "old observation decayed to ~nothing: {}", stat.mean());
+    }
+
+    #[test]
+    fn variance_is_never_negative() {
+        let mut stat = DampedStat::new(0.5);
+        for i in 0..1000 {
+            stat.insert(i as f64 * 1e-4, if i % 2 == 0 { 1e9 } else { 1e-9 });
+        }
+        assert!(stat.variance() >= 0.0);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_apply_no_decay() {
+        let mut stat = DampedStat::new(1.0);
+        stat.insert(10.0, 1.0);
+        let w = stat.weight();
+        stat.decay_to(5.0); // earlier than last update
+        assert_eq!(stat.weight(), w + 0.0);
+    }
+
+    #[test]
+    fn correlated_pair_has_positive_pcc() {
+        let mut pair = DampedPairStat::new(0.1);
+        // Alternate between the two directions with correlated magnitudes.
+        for i in 0..200 {
+            let t = i as f64 * 0.01;
+            let x = (i % 10) as f64;
+            pair.insert_a(t, x);
+            pair.insert_b(t + 0.001, x + 0.5);
+        }
+        assert!(pair.correlation() > 0.5, "pcc = {}", pair.correlation());
+    }
+
+    #[test]
+    fn anticorrelated_pair_has_negative_pcc() {
+        let mut pair = DampedPairStat::new(0.1);
+        for i in 0..200 {
+            let t = i as f64 * 0.01;
+            let x = (i % 10) as f64;
+            pair.insert_a(t, x);
+            pair.insert_b(t + 0.001, 10.0 - x);
+        }
+        assert!(pair.correlation() < -0.5, "pcc = {}", pair.correlation());
+    }
+
+    #[test]
+    fn correlation_is_clamped() {
+        let mut pair = DampedPairStat::new(1.0);
+        pair.insert_a(0.0, 1.0);
+        pair.insert_b(0.0, 1.0);
+        let pcc = pair.correlation();
+        assert!((-1.0..=1.0).contains(&pcc));
+    }
+
+    #[test]
+    fn one_sided_pair_behaves_like_single_stat() {
+        let mut pair = DampedPairStat::new(0.5);
+        let mut single = DampedStat::new(0.5);
+        for i in 0..50 {
+            let t = i as f64 * 0.1;
+            let x = (i as f64).sqrt();
+            pair.insert_a(t, x);
+            single.insert(t, x);
+        }
+        assert!((pair.a().mean() - single.mean()).abs() < 1e-12);
+        assert!((pair.a().std() - single.std()).abs() < 1e-12);
+        assert_eq!(pair.b().weight(), 0.0);
+        assert_eq!(pair.correlation(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_panics() {
+        let _ = DampedStat::new(0.0);
+    }
+
+    #[test]
+    fn snapshot_layout() {
+        let mut stat = DampedStat::new(1.0);
+        stat.insert(0.0, 2.0);
+        let [w, mean, std] = stat.snapshot();
+        assert_eq!(w, 1.0);
+        assert_eq!(mean, 2.0);
+        assert_eq!(std, 0.0);
+    }
+}

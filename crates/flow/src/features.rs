@@ -1,0 +1,266 @@
+use idsbench_net::IpProtocol;
+
+use crate::record::FlowRecord;
+
+/// Number of features in the per-flow statistical vector.
+pub const FLOW_FEATURE_COUNT: usize = 42;
+
+/// Names of the per-flow features, index-aligned with
+/// [`FlowFeatures::to_vec`].
+pub const FLOW_FEATURE_NAMES: [&str; FLOW_FEATURE_COUNT] = [
+    "duration",
+    "protocol_tcp",
+    "protocol_udp",
+    "protocol_icmp",
+    "dst_port",
+    "fwd_packets",
+    "bwd_packets",
+    "fwd_bytes",
+    "bwd_bytes",
+    "fwd_payload_bytes",
+    "bwd_payload_bytes",
+    "fwd_len_mean",
+    "fwd_len_std",
+    "fwd_len_min",
+    "fwd_len_max",
+    "bwd_len_mean",
+    "bwd_len_std",
+    "bwd_len_min",
+    "bwd_len_max",
+    "iat_mean",
+    "iat_std",
+    "iat_min",
+    "iat_max",
+    "fwd_iat_mean",
+    "fwd_iat_std",
+    "bwd_iat_mean",
+    "bwd_iat_std",
+    "fin_count",
+    "syn_count",
+    "rst_count",
+    "psh_count",
+    "ack_count",
+    "urg_count",
+    "packets_per_second",
+    "bytes_per_second",
+    "down_up_ratio",
+    "mean_packet_size",
+    "fwd_segment_size_mean",
+    "bwd_segment_size_mean",
+    "bidirectional",
+    "unanswered_syn",
+    "payload_ratio",
+];
+
+/// The CICFlowMeter-style statistical feature vector of a flow.
+///
+/// This is the "flow format" input shape in the paper's pipeline: the
+/// supervised DNN consumes these, and dataset scenarios label them. The
+/// vector layout is stable and documented by [`FLOW_FEATURE_NAMES`].
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_flow::{FlowFeatures, FLOW_FEATURE_COUNT};
+///
+/// # use idsbench_flow::{FlowTable, FlowTableConfig};
+/// # use idsbench_net::{MacAddr, PacketBuilder, ParsedPacket, TcpFlags, Timestamp};
+/// # use std::net::Ipv4Addr;
+/// # fn main() -> Result<(), idsbench_net::NetError> {
+/// # let mut table = FlowTable::new(FlowTableConfig::default());
+/// # let packet = PacketBuilder::new()
+/// #     .ethernet(MacAddr::from_host_id(1), MacAddr::from_host_id(2))
+/// #     .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+/// #     .tcp(40000, 80, TcpFlags::SYN)
+/// #     .build(Timestamp::from_secs(1));
+/// # table.observe(&ParsedPacket::parse(&packet)?);
+/// # let record = table.flush().pop().unwrap();
+/// let features = FlowFeatures::from_record(&record);
+/// assert_eq!(features.to_vec().len(), FLOW_FEATURE_COUNT);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowFeatures {
+    values: [f64; FLOW_FEATURE_COUNT],
+}
+
+impl FlowFeatures {
+    /// Computes the feature vector of a completed flow.
+    pub fn from_record(record: &FlowRecord) -> Self {
+        let duration = record.duration().as_secs_f64();
+        let safe_duration = duration.max(1e-6);
+        let total_packets = record.total_packets() as f64;
+        let total_bytes = record.total_bytes() as f64;
+        let total_payload = (record.forward_payload_bytes + record.backward_payload_bytes) as f64;
+        let ik = record.initiator_key();
+
+        let mut values = [0.0; FLOW_FEATURE_COUNT];
+        let mut i = 0;
+        let mut push = |v: f64| {
+            values[i] = v;
+            i += 1;
+        };
+
+        push(duration);
+        push(f64::from(ik.protocol == IpProtocol::Tcp));
+        push(f64::from(ik.protocol == IpProtocol::Udp));
+        push(f64::from(ik.protocol == IpProtocol::Icmp));
+        push(f64::from(ik.dst_port));
+        push(record.forward_packets as f64);
+        push(record.backward_packets as f64);
+        push(record.forward_bytes as f64);
+        push(record.backward_bytes as f64);
+        push(record.forward_payload_bytes as f64);
+        push(record.backward_payload_bytes as f64);
+        push(record.forward_len.mean());
+        push(record.forward_len.population_std());
+        push(record.forward_len.min());
+        push(record.forward_len.max());
+        push(record.backward_len.mean());
+        push(record.backward_len.population_std());
+        push(record.backward_len.min());
+        push(record.backward_len.max());
+        push(record.iat.mean());
+        push(record.iat.population_std());
+        push(record.iat.min());
+        push(record.iat.max());
+        push(record.forward_iat.mean());
+        push(record.forward_iat.population_std());
+        push(record.backward_iat.mean());
+        push(record.backward_iat.population_std());
+        for count in record.flag_counts {
+            push(count as f64);
+        }
+        push(total_packets / safe_duration);
+        push(total_bytes / safe_duration);
+        push(if record.forward_bytes > 0 {
+            record.backward_bytes as f64 / record.forward_bytes as f64
+        } else {
+            0.0
+        });
+        push(if total_packets > 0.0 { total_bytes / total_packets } else { 0.0 });
+        push(if record.forward_packets > 0 {
+            record.forward_payload_bytes as f64 / record.forward_packets as f64
+        } else {
+            0.0
+        });
+        push(if record.backward_packets > 0 {
+            record.backward_payload_bytes as f64 / record.backward_packets as f64
+        } else {
+            0.0
+        });
+        push(f64::from(record.is_bidirectional()));
+        push(f64::from(record.is_unanswered_syn()));
+        push(if total_bytes > 0.0 { total_payload / total_bytes } else { 0.0 });
+        debug_assert_eq!(i, FLOW_FEATURE_COUNT);
+
+        FlowFeatures { values }
+    }
+
+    /// The feature values, index-aligned with [`FLOW_FEATURE_NAMES`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.values.to_vec()
+    }
+
+    /// The feature values as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Looks a feature up by name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use idsbench_flow::FlowFeatures;
+    /// # use idsbench_flow::{FlowTable, FlowTableConfig};
+    /// # use idsbench_net::{MacAddr, PacketBuilder, ParsedPacket, TcpFlags, Timestamp};
+    /// # use std::net::Ipv4Addr;
+    /// # fn main() -> Result<(), idsbench_net::NetError> {
+    /// # let mut table = FlowTable::new(FlowTableConfig::default());
+    /// # let packet = PacketBuilder::new()
+    /// #     .ethernet(MacAddr::from_host_id(1), MacAddr::from_host_id(2))
+    /// #     .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    /// #     .tcp(40000, 80, TcpFlags::SYN)
+    /// #     .build(Timestamp::from_secs(1));
+    /// # table.observe(&ParsedPacket::parse(&packet)?);
+    /// # let record = table.flush().pop().unwrap();
+    /// let features = FlowFeatures::from_record(&record);
+    /// assert_eq!(features.get("dst_port"), Some(80.0));
+    /// assert_eq!(features.get("no_such_feature"), None);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn get(&self, name: &str) -> Option<f64> {
+        FLOW_FEATURE_NAMES.iter().position(|&n| n == name).map(|i| self.values[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{FlowTable, FlowTableConfig};
+    use idsbench_net::{MacAddr, PacketBuilder, ParsedPacket, TcpFlags, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn record_from_exchange() -> FlowRecord {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        let mk = |src: (u8, u16), dst: (u8, u16), flags: TcpFlags, payload: usize, t: f64| {
+            let p = PacketBuilder::new()
+                .ethernet(MacAddr::from_host_id(src.0 as u32), MacAddr::from_host_id(dst.0 as u32))
+                .ipv4(Ipv4Addr::new(10, 0, 0, src.0), Ipv4Addr::new(10, 0, 0, dst.0))
+                .tcp(src.1, dst.1, flags)
+                .payload_len(payload)
+                .build(Timestamp::from_secs_f64(t));
+            ParsedPacket::parse(&p).unwrap()
+        };
+        table.observe(&mk((1, 5000), (2, 80), TcpFlags::SYN, 0, 0.0));
+        table.observe(&mk((2, 80), (1, 5000), TcpFlags::SYN | TcpFlags::ACK, 0, 0.01));
+        table.observe(&mk((1, 5000), (2, 80), TcpFlags::ACK, 200, 0.02));
+        table.observe(&mk((2, 80), (1, 5000), TcpFlags::PSH | TcpFlags::ACK, 1000, 0.03));
+        table.flush().pop().unwrap()
+    }
+
+    #[test]
+    fn names_and_count_agree() {
+        assert_eq!(FLOW_FEATURE_NAMES.len(), FLOW_FEATURE_COUNT);
+        // Names must be unique.
+        let mut names: Vec<&str> = FLOW_FEATURE_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FLOW_FEATURE_COUNT);
+    }
+
+    #[test]
+    fn feature_values_are_sane() {
+        let features = FlowFeatures::from_record(&record_from_exchange());
+        assert_eq!(features.get("protocol_tcp"), Some(1.0));
+        assert_eq!(features.get("protocol_udp"), Some(0.0));
+        assert_eq!(features.get("dst_port"), Some(80.0));
+        assert_eq!(features.get("fwd_packets"), Some(2.0));
+        assert_eq!(features.get("bwd_packets"), Some(2.0));
+        assert_eq!(features.get("bidirectional"), Some(1.0));
+        assert_eq!(features.get("unanswered_syn"), Some(0.0));
+        assert!(features.get("duration").unwrap() > 0.0);
+        assert!(features.get("bytes_per_second").unwrap() > 0.0);
+        assert!(features.get("down_up_ratio").unwrap() > 1.0, "server sent more than client");
+    }
+
+    #[test]
+    fn all_features_finite() {
+        let features = FlowFeatures::from_record(&record_from_exchange());
+        for (name, value) in FLOW_FEATURE_NAMES.iter().zip(features.as_slice()) {
+            assert!(value.is_finite(), "feature {name} is not finite: {value}");
+        }
+    }
+
+    #[test]
+    fn flag_counts_align_with_names() {
+        let features = FlowFeatures::from_record(&record_from_exchange());
+        assert_eq!(features.get("syn_count"), Some(2.0));
+        assert_eq!(features.get("psh_count"), Some(1.0));
+        assert_eq!(features.get("fin_count"), Some(0.0));
+        assert_eq!(features.get("ack_count"), Some(3.0));
+    }
+}

@@ -1,0 +1,147 @@
+use std::fmt;
+use std::net::IpAddr;
+
+use idsbench_net::{IpProtocol, ParsedPacket};
+
+/// Direction of a packet within a bidirectional flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowDirection {
+    /// Same direction as the first packet of the flow (initiator → responder).
+    Forward,
+    /// Opposite direction (responder → initiator).
+    Backward,
+}
+
+/// A directional 5-tuple identifying one side of a conversation.
+///
+/// `FlowKey` is directional (src → dst); [`FlowKey::canonical`] maps both
+/// directions of a conversation to the same key so the flow table can
+/// aggregate bidirectionally.
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_flow::FlowKey;
+/// use idsbench_net::IpProtocol;
+/// use std::net::{IpAddr, Ipv4Addr};
+///
+/// let forward = FlowKey {
+///     src_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+///     dst_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+///     src_port: 40000,
+///     dst_port: 80,
+///     protocol: IpProtocol::Tcp,
+/// };
+/// let backward = forward.reversed();
+/// assert_eq!(forward.canonical().0, backward.canonical().0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source IP address.
+    pub src_ip: IpAddr,
+    /// Destination IP address.
+    pub dst_ip: IpAddr,
+    /// Source transport port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination transport port (0 for port-less protocols).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+}
+
+impl FlowKey {
+    /// Extracts the directional key from a parsed packet, or `None` for
+    /// non-IP traffic.
+    pub fn from_packet(packet: &ParsedPacket) -> Option<Self> {
+        let src_ip = packet.src_ip()?;
+        let dst_ip = packet.dst_ip()?;
+        let protocol = packet.ip_protocol()?;
+        Some(FlowKey {
+            src_ip,
+            dst_ip,
+            src_port: packet.src_port().unwrap_or(0),
+            dst_port: packet.dst_port().unwrap_or(0),
+            protocol,
+        })
+    }
+
+    /// The same conversation viewed from the other side.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// Canonical (direction-independent) form plus the direction this key
+    /// had relative to it.
+    ///
+    /// The canonical form orders endpoints by `(ip, port)` so both directions
+    /// of a conversation collapse to one key.
+    pub fn canonical(&self) -> (FlowKey, FlowDirection) {
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port) {
+            (*self, FlowDirection::Forward)
+        } else {
+            (self.reversed(), FlowDirection::Backward)
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{}",
+            self.protocol, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(a: u8, ap: u16, b: u8, bp: u16) -> FlowKey {
+        FlowKey {
+            src_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, a)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, b)),
+            src_port: ap,
+            dst_port: bp,
+            protocol: IpProtocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn reversal_is_involutive() {
+        let k = key(1, 1000, 2, 80);
+        assert_eq!(k.reversed().reversed(), k);
+    }
+
+    #[test]
+    fn both_directions_share_canonical_key() {
+        let k = key(1, 1000, 2, 80);
+        let (c1, d1) = k.canonical();
+        let (c2, d2) = k.reversed().canonical();
+        assert_eq!(c1, c2);
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn same_hosts_different_ports_are_distinct() {
+        let (c1, _) = key(1, 1000, 2, 80).canonical();
+        let (c2, _) = key(1, 1001, 2, 80).canonical();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = key(1, 1000, 2, 80).to_string();
+        assert!(s.contains("tcp"));
+        assert!(s.contains("10.0.0.1:1000"));
+        assert!(s.contains("10.0.0.2:80"));
+    }
+}

@@ -1,0 +1,355 @@
+use std::collections::HashMap;
+
+use idsbench_net::{Duration, ParsedPacket, Timestamp};
+
+use crate::key::FlowKey;
+use crate::record::{FlowRecord, FlowTermination};
+
+/// Configuration for [`FlowTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTableConfig {
+    /// A flow with no traffic for this long is emitted.
+    pub idle_timeout: Duration,
+    /// A flow older than this is cut and emitted even while active
+    /// (matching NetFlow/CICFlowMeter exporter behaviour).
+    pub active_timeout: Duration,
+    /// How long a TCP flow lingers after teardown so trailing ACKs and
+    /// retransmits join it (TIME_WAIT). A new SYN on the same 5-tuple ends
+    /// the lingering flow immediately.
+    pub time_wait: Duration,
+    /// Maximum number of concurrently tracked flows; the stalest flow is
+    /// evicted when the limit is hit.
+    pub max_flows: usize,
+}
+
+impl Default for FlowTableConfig {
+    /// CICFlowMeter-compatible defaults: 120 s idle timeout, 30 min active
+    /// timeout, 10 s TIME_WAIT, one million tracked flows.
+    fn default() -> Self {
+        FlowTableConfig {
+            idle_timeout: Duration::from_secs(120),
+            active_timeout: Duration::from_secs(1800),
+            time_wait: Duration::from_secs(10),
+            max_flows: 1_000_000,
+        }
+    }
+}
+
+/// Assembles packets into bidirectional flows.
+///
+/// Feed packets in timestamp order via [`FlowTable::observe`]; completed
+/// flows are returned as they terminate (TCP close, idle timeout, active
+/// timeout, capacity eviction). Call [`FlowTable::flush`] at end of trace to
+/// drain the remainder.
+#[derive(Debug)]
+pub struct FlowTable {
+    config: FlowTableConfig,
+    flows: HashMap<FlowKey, FlowRecord>,
+    last_sweep: Timestamp,
+    emitted: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_flows` is zero.
+    pub fn new(config: FlowTableConfig) -> Self {
+        assert!(config.max_flows > 0, "max_flows must be at least 1");
+        FlowTable { config, flows: HashMap::new(), last_sweep: Timestamp::ZERO, emitted: 0 }
+    }
+
+    /// Number of flows currently being tracked.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total flows emitted so far (not counting those still open).
+    pub fn flows_emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Accumulates one packet, returning any flows that completed as a
+    /// result (timeouts are checked lazily against this packet's timestamp).
+    ///
+    /// Non-IP packets (e.g. ARP) are ignored and produce no flow.
+    pub fn observe(&mut self, packet: &ParsedPacket) -> Vec<FlowRecord> {
+        let Some(key) = FlowKey::from_packet(packet) else {
+            return Vec::new();
+        };
+        let (canonical, direction) = key.canonical();
+        let mut completed = self.sweep(packet.ts);
+
+        // An existing flow that idled out must be emitted before this packet
+        // opens a fresh one (the sweep above already handled that case).
+        let is_fresh_syn = matches!(
+            packet.transport,
+            Some(idsbench_net::TransportLayer::Tcp(h))
+                if h.flags.contains(idsbench_net::TcpFlags::SYN)
+                    && !h.flags.contains(idsbench_net::TcpFlags::ACK)
+        );
+        let record = match self.flows.entry(canonical) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                if entry.get().closing && is_fresh_syn {
+                    // TIME_WAIT ended by a new connection on the same tuple.
+                    let mut old = entry.insert(FlowRecord::open(canonical, direction, packet));
+                    old.termination = FlowTermination::TcpClose;
+                    Some(old)
+                } else {
+                    entry.get_mut().update(direction, packet);
+                    if entry.get().tcp_closed() {
+                        // Linger in TIME_WAIT; trailing ACKs join this flow.
+                        entry.get_mut().closing = true;
+                        None
+                    } else if packet.ts.saturating_since(entry.get().first_seen)
+                        >= self.config.active_timeout
+                    {
+                        let mut record = entry.remove();
+                        record.termination = FlowTermination::ActiveTimeout;
+                        Some(record)
+                    } else {
+                        None
+                    }
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(FlowRecord::open(canonical, direction, packet));
+                None
+            }
+        };
+        if let Some(record) = record {
+            self.emitted += 1;
+            completed.push(record);
+        }
+
+        if self.flows.len() > self.config.max_flows {
+            completed.extend(self.evict_stalest());
+        }
+        completed
+    }
+
+    /// Emits every flow still open, in first-seen order. Flows already in
+    /// TIME_WAIT report [`FlowTermination::TcpClose`].
+    pub fn flush(&mut self) -> Vec<FlowRecord> {
+        let mut records: Vec<FlowRecord> = self
+            .flows
+            .drain()
+            .map(|(_, mut record)| {
+                record.termination = if record.closing {
+                    FlowTermination::TcpClose
+                } else {
+                    FlowTermination::Flush
+                };
+                record
+            })
+            .collect();
+        records.sort_by_key(|r| (r.first_seen, r.key));
+        self.emitted += records.len() as u64;
+        records
+    }
+
+    /// Lazily emits idle flows. Runs at most once per second of trace time
+    /// to keep `observe` amortized O(1).
+    fn sweep(&mut self, now: Timestamp) -> Vec<FlowRecord> {
+        if now.saturating_since(self.last_sweep) < Duration::from_secs(1) {
+            return Vec::new();
+        }
+        self.last_sweep = now;
+        let idle = self.config.idle_timeout;
+        let time_wait = self.config.time_wait;
+        let expired: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, record)| {
+                let quiet = now.saturating_since(record.last_seen);
+                quiet >= if record.closing { time_wait } else { idle }
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        let mut records: Vec<FlowRecord> = expired
+            .into_iter()
+            .filter_map(|key| self.flows.remove(&key))
+            .map(|mut record| {
+                record.termination = if record.closing {
+                    FlowTermination::TcpClose
+                } else {
+                    FlowTermination::IdleTimeout
+                };
+                record
+            })
+            .collect();
+        records.sort_by_key(|r| (r.first_seen, r.key));
+        self.emitted += records.len() as u64;
+        records
+    }
+
+    fn evict_stalest(&mut self) -> Option<FlowRecord> {
+        let stalest = self.flows.iter().min_by_key(|(k, r)| (r.last_seen, **k)).map(|(k, _)| *k)?;
+        let mut record = self.flows.remove(&stalest)?;
+        record.termination = FlowTermination::Evicted;
+        self.emitted += 1;
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idsbench_net::{MacAddr, PacketBuilder, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn tcp_packet(src: (u8, u16), dst: (u8, u16), flags: TcpFlags, t: f64) -> ParsedPacket {
+        let p = PacketBuilder::new()
+            .ethernet(MacAddr::from_host_id(src.0 as u32), MacAddr::from_host_id(dst.0 as u32))
+            .ipv4(Ipv4Addr::new(10, 0, 0, src.0), Ipv4Addr::new(10, 0, 0, dst.0))
+            .tcp(src.1, dst.1, flags)
+            .build(Timestamp::from_secs_f64(t));
+        ParsedPacket::parse(&p).unwrap()
+    }
+
+    fn udp_packet(src: (u8, u16), dst: (u8, u16), t: f64) -> ParsedPacket {
+        let p = PacketBuilder::new()
+            .ethernet(MacAddr::from_host_id(src.0 as u32), MacAddr::from_host_id(dst.0 as u32))
+            .ipv4(Ipv4Addr::new(10, 0, 0, src.0), Ipv4Addr::new(10, 0, 0, dst.0))
+            .udp(src.1, dst.1)
+            .payload(&[0; 32])
+            .build(Timestamp::from_secs_f64(t));
+        ParsedPacket::parse(&p).unwrap()
+    }
+
+    #[test]
+    fn bidirectional_aggregation() {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        assert!(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, 0.0)).is_empty());
+        assert!(table
+            .observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::SYN | TcpFlags::ACK, 0.01))
+            .is_empty());
+        assert_eq!(table.active_flows(), 1);
+        let flows = table.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].forward_packets, 1);
+        assert_eq!(flows[0].backward_packets, 1);
+    }
+
+    #[test]
+    fn tcp_close_lingers_in_time_wait_then_emits() {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, 0.0));
+        table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::FIN | TcpFlags::ACK, 0.1));
+        let done = table.observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::FIN | TcpFlags::ACK, 0.2));
+        // TIME_WAIT: not emitted yet, so the final ACK can still join.
+        assert!(done.is_empty());
+        let done = table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, 0.21));
+        assert!(done.is_empty());
+        let flows = table.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].termination, FlowTermination::TcpClose);
+        assert_eq!(flows[0].total_packets(), 4, "trailing ack joins the closed flow");
+    }
+
+    #[test]
+    fn final_ack_does_not_dangle_into_next_session() {
+        // Two back-to-back sessions on the same 5-tuple: each must come out
+        // as its own complete flow with a sub-second duration.
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        let mut emitted = Vec::new();
+        for session in 0..2 {
+            let t0 = session as f64 * 15.0;
+            emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, t0)));
+            emitted.extend(table.observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::SYN | TcpFlags::ACK, t0 + 0.01)));
+            emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, t0 + 0.02)));
+            emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::FIN | TcpFlags::ACK, t0 + 0.03)));
+            emitted.extend(table.observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::FIN | TcpFlags::ACK, t0 + 0.04)));
+            emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, t0 + 0.05)));
+        }
+        emitted.extend(table.flush());
+        assert_eq!(emitted.len(), 2);
+        for flow in &emitted {
+            assert_eq!(flow.total_packets(), 6);
+            assert!(flow.duration().as_secs_f64() < 1.0, "duration {}", flow.duration());
+            assert_eq!(flow.termination, FlowTermination::TcpClose);
+        }
+    }
+
+    #[test]
+    fn idle_timeout_emits_flow() {
+        let config = FlowTableConfig { idle_timeout: Duration::from_secs(10), ..Default::default() };
+        let mut table = FlowTable::new(config);
+        table.observe(&udp_packet((1, 999), (2, 53), 0.0));
+        // A packet from an unrelated flow far in the future triggers the sweep.
+        let done = table.observe(&udp_packet((3, 999), (4, 53), 100.0));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].termination, FlowTermination::IdleTimeout);
+        assert_eq!(table.active_flows(), 1);
+    }
+
+    #[test]
+    fn active_timeout_cuts_long_flow() {
+        let config = FlowTableConfig {
+            idle_timeout: Duration::from_secs(1000),
+            active_timeout: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let mut table = FlowTable::new(config);
+        let mut emitted = Vec::new();
+        for i in 0..100 {
+            emitted.extend(table.observe(&udp_packet((1, 999), (2, 53), i as f64)));
+        }
+        assert!(!emitted.is_empty(), "long-lived flow must be segmented");
+        assert_eq!(emitted[0].termination, FlowTermination::ActiveTimeout);
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let config = FlowTableConfig { max_flows: 5, ..Default::default() };
+        let mut table = FlowTable::new(config);
+        let mut evicted = Vec::new();
+        for i in 0..10u16 {
+            evicted.extend(table.observe(&udp_packet((1, 1000 + i), (2, 53), i as f64 * 1e-3)));
+        }
+        assert!(table.active_flows() <= 5);
+        assert!(evicted.iter().any(|r| r.termination == FlowTermination::Evicted));
+    }
+
+    #[test]
+    fn flush_orders_by_first_seen() {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        table.observe(&udp_packet((5, 1000), (2, 53), 3.0));
+        table.observe(&udp_packet((1, 1000), (2, 53), 1.0));
+        table.observe(&udp_packet((3, 1000), (2, 53), 2.0));
+        let flows = table.flush();
+        let times: Vec<f64> = flows.iter().map(|f| f.first_seen.as_secs_f64()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        assert_eq!(table.flows_emitted(), 3);
+    }
+
+    #[test]
+    fn non_ip_packets_are_ignored() {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        let arp = PacketBuilder::new()
+            .ethernet(MacAddr::from_host_id(1), MacAddr::BROADCAST)
+            .arp(idsbench_net::ArpPacket::request(
+                MacAddr::from_host_id(1),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 254),
+            ))
+            .build(Timestamp::ZERO);
+        let parsed = ParsedPacket::parse(&arp).unwrap();
+        assert!(table.observe(&parsed).is_empty());
+        assert_eq!(table.active_flows(), 0);
+    }
+
+    #[test]
+    fn reopened_flow_after_close_is_new_record() {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, 0.0));
+        table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::RST, 0.1));
+        // Same 5-tuple again: a brand-new flow.
+        table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, 5.0));
+        let flows = table.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].forward_packets, 1);
+        assert!((flows[0].first_seen.as_secs_f64() - 5.0).abs() < 1e-9);
+    }
+}

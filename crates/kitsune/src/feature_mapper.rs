@@ -1,0 +1,220 @@
+//! Kitsune's feature mapper: groups correlated features so each group fits
+//! a small autoencoder.
+//!
+//! During the *feature-mapping grace period* the mapper accumulates
+//! incremental statistics (sums, squares, cross-products) over the feature
+//! stream. At the end it computes the pairwise correlation-distance matrix
+//! `d(i,j) = 1 − |ρ(i,j)|` and clusters features agglomeratively (average
+//! linkage) under a maximum-cluster-size constraint, so every cluster maps
+//! to one ensemble autoencoder with at most `max_size` inputs.
+
+/// Streaming statistics sufficient for a pairwise correlation matrix.
+#[derive(Debug, Clone)]
+pub struct CorrelationTracker {
+    width: usize,
+    count: u64,
+    sums: Vec<f64>,
+    squares: Vec<f64>,
+    /// Upper-triangular cross-product sums, indexed by `i * width + j`.
+    products: Vec<f64>,
+}
+
+impl CorrelationTracker {
+    /// Creates a tracker for `width`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        CorrelationTracker {
+            width,
+            count: 0,
+            sums: vec![0.0; width],
+            squares: vec![0.0; width],
+            products: vec![0.0; width * width],
+        }
+    }
+
+    /// Number of vectors observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feature-vector width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Accumulates one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn observe(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.width, "vector width mismatch");
+        self.count += 1;
+        for (i, &xi) in x.iter().enumerate() {
+            self.sums[i] += xi;
+            self.squares[i] += xi * xi;
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                self.products[i * self.width + j] += xi * xj;
+            }
+        }
+    }
+
+    /// Pearson correlation between features `i` and `j` (0 when either is
+    /// constant).
+    pub fn correlation(&self, i: usize, j: usize) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+        if lo == hi {
+            return 1.0;
+        }
+        let mean_i = self.sums[lo] / n;
+        let mean_j = self.sums[hi] / n;
+        let var_i = self.squares[lo] / n - mean_i * mean_i;
+        let var_j = self.squares[hi] / n - mean_j * mean_j;
+        if var_i <= 1e-18 || var_j <= 1e-18 {
+            return 0.0;
+        }
+        let cov = self.products[lo * self.width + hi] / n - mean_i * mean_j;
+        (cov / (var_i * var_j).sqrt()).clamp(-1.0, 1.0)
+    }
+
+    /// Clusters features into groups of at most `max_size` by average-linkage
+    /// agglomeration on correlation distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn cluster(&self, max_size: usize) -> Vec<Vec<usize>> {
+        assert!(max_size > 0, "max_size must be positive");
+        let mut clusters: Vec<Vec<usize>> = (0..self.width).map(|i| vec![i]).collect();
+        loop {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for a in 0..clusters.len() {
+                for b in (a + 1)..clusters.len() {
+                    if clusters[a].len() + clusters[b].len() > max_size {
+                        continue;
+                    }
+                    let d = self.average_distance(&clusters[a], &clusters[b]);
+                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                        best = Some((a, b, d));
+                    }
+                }
+            }
+            // Stop when no pair fits under the size cap, or the closest pair
+            // is essentially uncorrelated (distance ≈ 1).
+            let Some((a, b, d)) = best else { break };
+            if d > 0.95 && clusters.len() <= self.width.div_ceil(max_size).max(1) {
+                break;
+            }
+            let merged = clusters.swap_remove(b);
+            let target = if a == clusters.len() { b } else { a };
+            clusters[target].extend(merged);
+            if clusters.iter().all(|c| c.len() >= max_size) {
+                break;
+            }
+        }
+        for cluster in &mut clusters {
+            cluster.sort_unstable();
+        }
+        clusters.sort_by_key(|c| c[0]);
+        clusters
+    }
+
+    fn average_distance(&self, a: &[usize], b: &[usize]) -> f64 {
+        let mut total = 0.0;
+        for &i in a {
+            for &j in b {
+                total += 1.0 - self.correlation(i, j).abs();
+            }
+        }
+        total / (a.len() * b.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Features 0/1 move together, 2/3 move together, independently of 0/1.
+    fn correlated_tracker() -> CorrelationTracker {
+        let mut tracker = CorrelationTracker::new(4);
+        let mut phase = 0.0f64;
+        for i in 0..500 {
+            phase += 0.1;
+            let a = phase.sin();
+            let b = ((i * 7919) % 97) as f64 / 97.0; // decorrelated pseudo-noise
+            tracker.observe(&[a, 2.0 * a + 0.001 * b, b, 3.0 * b - 1.0]);
+        }
+        tracker
+    }
+
+    #[test]
+    fn correlation_identifies_pairs() {
+        let tracker = correlated_tracker();
+        assert!(tracker.correlation(0, 1) > 0.99);
+        assert!(tracker.correlation(2, 3) > 0.99);
+        assert!(tracker.correlation(0, 2).abs() < 0.3);
+        assert_eq!(tracker.correlation(1, 1), 1.0);
+        assert_eq!(tracker.correlation(0, 1), tracker.correlation(1, 0));
+    }
+
+    #[test]
+    fn clustering_groups_correlated_features() {
+        let tracker = correlated_tracker();
+        let clusters = tracker.cluster(2);
+        assert_eq!(clusters.len(), 2);
+        assert!(clusters.contains(&vec![0, 1]));
+        assert!(clusters.contains(&vec![2, 3]));
+    }
+
+    #[test]
+    fn cluster_size_cap_is_respected() {
+        let mut tracker = CorrelationTracker::new(10);
+        // All features perfectly correlated.
+        for i in 0..200 {
+            let v = i as f64;
+            tracker.observe(&vec![v; 10]);
+        }
+        for cap in [1, 3, 4, 10] {
+            let clusters = tracker.cluster(cap);
+            assert!(clusters.iter().all(|c| c.len() <= cap), "cap {cap}: {clusters:?}");
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            assert_eq!(total, 10, "every feature appears exactly once");
+        }
+    }
+
+    #[test]
+    fn every_feature_lands_in_exactly_one_cluster() {
+        let tracker = correlated_tracker();
+        let clusters = tracker.cluster(3);
+        let mut seen: Vec<usize> = clusters.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn constant_feature_has_zero_correlation() {
+        let mut tracker = CorrelationTracker::new(2);
+        for i in 0..100 {
+            tracker.observe(&[5.0, i as f64]);
+        }
+        assert_eq!(tracker.correlation(0, 1), 0.0);
+    }
+
+    #[test]
+    fn undersampled_tracker_is_neutral() {
+        let mut tracker = CorrelationTracker::new(3);
+        tracker.observe(&[1.0, 2.0, 3.0]);
+        assert_eq!(tracker.correlation(0, 1), 0.0);
+        let clusters = tracker.cluster(2);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! KitNET: the ensemble of small autoencoders at the heart of Kitsune.
+//!
+//! Each feature cluster (from the feature mapper) feeds one small
+//! autoencoder; the vector of per-cluster reconstruction RMSEs feeds an
+//! *output* autoencoder whose RMSE is the final anomaly score. All training
+//! is online single-sample SGD on min-max-normalized inputs, exactly as in
+//! the reference implementation.
+
+use idsbench_nn::{Autoencoder, AutoencoderConfig, MinMaxNormalizer};
+
+/// Configuration for [`KitNet`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KitNetConfig {
+    /// Hidden width as a fraction of each autoencoder's input width.
+    pub hidden_ratio: f64,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for KitNetConfig {
+    /// The reference defaults: β = 0.75, learning rate 0.1.
+    fn default() -> Self {
+        KitNetConfig { hidden_ratio: 0.75, learning_rate: 0.1, seed: 0 }
+    }
+}
+
+/// The KitNET ensemble (see module docs).
+#[derive(Debug, Clone)]
+pub struct KitNet {
+    clusters: Vec<Vec<usize>>,
+    ensemble: Vec<Autoencoder>,
+    output: Autoencoder,
+    input_norm: MinMaxNormalizer,
+    score_norm: MinMaxNormalizer,
+    trained: u64,
+    executed: u64,
+}
+
+impl KitNet {
+    /// Builds an ensemble for the given feature clusters over
+    /// `feature_width`-dimensional input vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is empty, any cluster is empty, or any index is
+    /// out of range for `feature_width`.
+    pub fn new(clusters: Vec<Vec<usize>>, feature_width: usize, config: KitNetConfig) -> Self {
+        assert!(!clusters.is_empty(), "ensemble needs at least one cluster");
+        for cluster in &clusters {
+            assert!(!cluster.is_empty(), "clusters must be non-empty");
+            assert!(
+                cluster.iter().all(|&i| i < feature_width),
+                "cluster index out of range"
+            );
+        }
+        let ensemble: Vec<Autoencoder> = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, cluster)| {
+                Autoencoder::new(
+                    cluster.len(),
+                    AutoencoderConfig {
+                        hidden_ratio: config.hidden_ratio,
+                        learning_rate: config.learning_rate,
+                        seed: config.seed.wrapping_add(i as u64 * 7877),
+                    },
+                )
+            })
+            .collect();
+        let output = Autoencoder::new(
+            clusters.len(),
+            AutoencoderConfig {
+                hidden_ratio: config.hidden_ratio,
+                learning_rate: config.learning_rate,
+                seed: config.seed ^ 0x00ff_00ff,
+            },
+        );
+        let score_norm = MinMaxNormalizer::new(clusters.len());
+        KitNet {
+            clusters,
+            ensemble,
+            output,
+            input_norm: MinMaxNormalizer::new(feature_width),
+            score_norm,
+            trained: 0,
+            executed: 0,
+        }
+    }
+
+    /// Number of ensemble autoencoders.
+    pub fn ensemble_size(&self) -> usize {
+        self.ensemble.len()
+    }
+
+    /// Samples consumed in training mode.
+    pub fn trained_samples(&self) -> u64 {
+        self.trained
+    }
+
+    /// Samples scored in execution mode.
+    pub fn executed_samples(&self) -> u64 {
+        self.executed
+    }
+
+    fn split(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        self.clusters
+            .iter()
+            .map(|cluster| cluster.iter().map(|&i| x[i]).collect())
+            .collect()
+    }
+
+    /// One online training step (updates normalizers and all autoencoders);
+    /// returns the pre-update anomaly score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn train(&mut self, x: &[f64]) -> f64 {
+        let normalized = self.input_norm.observe_and_transform(x);
+        let parts = self.split(&normalized);
+        let rmses: Vec<f64> = self
+            .ensemble
+            .iter_mut()
+            .zip(parts)
+            .map(|(ae, part)| ae.train_sample(&part))
+            .collect();
+        self.trained += 1;
+        let scaled = self.scale_scores(&rmses, true);
+        self.output.train_sample(&scaled)
+    }
+
+    /// Scores a sample without updating weights (execution phase). The
+    /// input normalizer still widens, matching the reference behaviour of
+    /// normalizing by the range observed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn execute(&mut self, x: &[f64]) -> f64 {
+        let normalized = self.input_norm.observe_and_transform(x);
+        let rmses: Vec<f64> = self
+            .ensemble
+            .iter()
+            .zip(self.split(&normalized))
+            .map(|(ae, part)| ae.score(&part))
+            .collect();
+        self.executed += 1;
+        let scaled = self.scale_scores(&rmses, false);
+        self.output.score(&scaled)
+    }
+
+    fn scale_scores(&mut self, rmses: &[f64], learn: bool) -> Vec<f64> {
+        if learn {
+            self.score_norm.observe(rmses);
+        }
+        self.score_norm.transform(rmses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_net() -> KitNet {
+        KitNet::new(vec![vec![0, 1], vec![2, 3]], 4, KitNetConfig::default())
+    }
+
+    #[test]
+    fn training_lowers_scores_on_the_manifold() {
+        let mut net = simple_net();
+        let pattern = [10.0, 20.0, 5.0, 1.0];
+        let other = [11.0, 19.0, 5.5, 1.2];
+        for _ in 0..600 {
+            net.train(&pattern);
+            net.train(&other);
+        }
+        let on_manifold = net.execute(&[10.5, 19.5, 5.2, 1.1]);
+        let off_manifold = net.execute(&[20.0, 1.0, 0.0, 9.0]);
+        assert!(
+            off_manifold > on_manifold,
+            "anomaly {off_manifold} must exceed normal {on_manifold}"
+        );
+    }
+
+    #[test]
+    fn execute_does_not_update_weights() {
+        let mut net = simple_net();
+        for _ in 0..50 {
+            net.train(&[1.0, 2.0, 3.0, 4.0]);
+        }
+        let a = net.execute(&[5.0, 5.0, 5.0, 5.0]);
+        let b = net.execute(&[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a, b, "execution must be weight-pure");
+        assert_eq!(net.executed_samples(), 2);
+        assert_eq!(net.trained_samples(), 50);
+    }
+
+    #[test]
+    fn scores_are_finite_and_nonnegative() {
+        let mut net = simple_net();
+        for i in 0..100 {
+            let x = [i as f64, (i * 2) as f64, (i % 7) as f64, 0.5];
+            let s = net.train(&x);
+            assert!(s.is_finite() && s >= 0.0);
+        }
+        let s = net.execute(&[1e9, -1e9, 0.0, 42.0]);
+        assert!(s.is_finite() && s >= 0.0);
+    }
+
+    #[test]
+    fn ensemble_structure_matches_clusters() {
+        let net = KitNet::new(
+            vec![vec![0], vec![1, 2], vec![3, 4, 5]],
+            6,
+            KitNetConfig::default(),
+        );
+        assert_eq!(net.ensemble_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster index out of range")]
+    fn out_of_range_cluster_panics() {
+        let _ = KitNet::new(vec![vec![0, 7]], 4, KitNetConfig::default());
+    }
+}

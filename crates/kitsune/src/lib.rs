@@ -1,0 +1,252 @@
+//! Kitsune (Mirsky et al., NDSS'18) reimplemented for the `idsbench`
+//! evaluation pipeline.
+//!
+//! Kitsune is an online, unsupervised, plug-and-play NIDS:
+//!
+//! 1. **AfterImage** extracts a ~100-dimensional temporal-context vector per
+//!    packet ([`idsbench_flow::AfterImage`]).
+//! 2. A **feature mapper** clusters correlated features during a grace
+//!    period ([`feature_mapper::CorrelationTracker`]).
+//! 3. **KitNET** — an ensemble of small autoencoders plus an output
+//!    autoencoder — is trained online on the (assumed benign) leading
+//!    traffic; its reconstruction RMSE is the anomaly score
+//!    ([`kitnet::KitNet`]).
+//!
+//! The [`Kitsune`] type wires these into the [`Detector`] contract: it
+//! spends the training slice on feature mapping and ensemble training, then
+//! scores every evaluation packet.
+//!
+//! # Examples
+//!
+//! ```
+//! use idsbench_core::{Detector, InputFormat};
+//! use idsbench_kitsune::Kitsune;
+//!
+//! let detector = Kitsune::default();
+//! assert_eq!(detector.input_format(), InputFormat::Packets);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod feature_mapper;
+pub mod kitnet;
+
+use idsbench_core::{Detector, DetectorInput, InputFormat, LabeledPacket};
+use idsbench_flow::{AfterImage, AfterImageConfig};
+use idsbench_net::ParsedPacket;
+
+use feature_mapper::CorrelationTracker;
+use kitnet::{KitNet, KitNetConfig};
+
+/// Configuration for [`Kitsune`] (the reference defaults out of the box,
+/// per the paper's step 3: no per-dataset tuning).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KitsuneConfig {
+    /// Maximum features per ensemble autoencoder (`m` in the paper).
+    pub max_autoencoder_size: usize,
+    /// Fraction of the training slice spent on feature mapping.
+    pub fm_grace_fraction: f64,
+    /// AfterImage damped-window configuration.
+    pub afterimage: AfterImageConfig,
+    /// Ensemble training configuration.
+    pub kitnet: KitNetConfig,
+}
+
+impl Default for KitsuneConfig {
+    /// Reference defaults: m = 10, 10% FM grace, standard λ bank.
+    fn default() -> Self {
+        KitsuneConfig {
+            max_autoencoder_size: 10,
+            fm_grace_fraction: 0.10,
+            afterimage: AfterImageConfig::default(),
+            kitnet: KitNetConfig::default(),
+        }
+    }
+}
+
+/// The Kitsune NIDS (see crate docs).
+#[derive(Debug)]
+pub struct Kitsune {
+    config: KitsuneConfig,
+}
+
+impl Kitsune {
+    /// Creates a Kitsune instance with the given configuration.
+    pub fn new(config: KitsuneConfig) -> Self {
+        Kitsune { config }
+    }
+}
+
+impl Default for Kitsune {
+    fn default() -> Self {
+        Kitsune::new(KitsuneConfig::default())
+    }
+}
+
+fn features_of(
+    extractor: &mut AfterImage,
+    packet: &LabeledPacket,
+) -> Option<Vec<f64>> {
+    let parsed = ParsedPacket::parse(&packet.packet).ok()?;
+    Some(extractor.update(&parsed))
+}
+
+impl Detector for Kitsune {
+    fn name(&self) -> &str {
+        "Kitsune"
+    }
+
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Packets
+    }
+
+    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
+        let mut extractor = AfterImage::new(self.config.afterimage.clone());
+        let width = extractor.feature_count();
+
+        // Phase 1 — feature mapping over the leading slice of the training
+        // data. Feature vectors are buffered so the ensemble can train on
+        // them afterwards without re-extracting.
+        let fm_len = ((input.train_packets.len() as f64 * self.config.fm_grace_fraction) as usize)
+            .clamp(1.min(input.train_packets.len()), 5_000);
+        let mut tracker = CorrelationTracker::new(width);
+        let mut buffered: Vec<Option<Vec<f64>>> = Vec::with_capacity(input.train_packets.len());
+        for packet in &input.train_packets[..fm_len.min(input.train_packets.len())] {
+            let features = features_of(&mut extractor, packet);
+            if let Some(f) = &features {
+                tracker.observe(f);
+            }
+            buffered.push(features);
+        }
+        let clusters = if tracker.count() >= 2 {
+            tracker.cluster(self.config.max_autoencoder_size)
+        } else {
+            // Degenerate trace: one cluster per feature block.
+            (0..width)
+                .collect::<Vec<_>>()
+                .chunks(self.config.max_autoencoder_size)
+                .map(<[usize]>::to_vec)
+                .collect()
+        };
+
+        // Phase 2 — online ensemble training over the whole training slice.
+        let mut net = KitNet::new(clusters, width, self.config.kitnet);
+        for features in buffered.iter().flatten() {
+            net.train(features);
+        }
+        if input.train_packets.len() > fm_len {
+            for packet in &input.train_packets[fm_len..] {
+                if let Some(features) = features_of(&mut extractor, packet) {
+                    net.train(&features);
+                }
+            }
+        }
+
+        // Phase 3 — execution: one score per evaluation packet. Unparseable
+        // packets score 0 (pass-through), keeping stream alignment.
+        input
+            .eval_packets
+            .iter()
+            .map(|packet| match features_of(&mut extractor, packet) {
+                Some(features) => net.execute(&features),
+                None => 0.0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idsbench_core::{AttackKind, Label};
+    use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
+    use std::net::Ipv4Addr;
+
+    /// Regular benign telemetry plus a mid-eval flood burst.
+    fn toy_input() -> DetectorInput {
+        let mut packets = Vec::new();
+        // Benign: two devices, periodic small packets.
+        for i in 0..2400u32 {
+            let device = (i % 2) as u8 + 1;
+            let p = PacketBuilder::new()
+                .ethernet(MacAddr::from_host_id(device as u32), MacAddr::from_host_id(100))
+                .ipv4(Ipv4Addr::new(10, 0, 0, device), Ipv4Addr::new(10, 0, 0, 100))
+                .tcp(40_000 + device as u16, 1883, TcpFlags::PSH | TcpFlags::ACK)
+                .payload_len(64)
+                .build(Timestamp::from_micros(u64::from(i) * 50_000));
+            packets.push(LabeledPacket::new(p, Label::Benign));
+        }
+        // Attack: a rapid large-packet burst from a new source late in the
+        // trace.
+        for i in 0..300u32 {
+            let p = PacketBuilder::new()
+                .ethernet(MacAddr::from_host_id(66), MacAddr::from_host_id(100))
+                .ipv4(Ipv4Addr::new(66, 6, 6, 6), Ipv4Addr::new(10, 0, 0, 100))
+                .udp(1000 + (i % 100) as u16, 53)
+                .payload_len(1200)
+                .build(Timestamp::from_micros(95_000_000 + u64::from(i) * 100));
+            packets.push(LabeledPacket::new(p, Label::Attack(AttackKind::UdpFlood)));
+        }
+        packets.sort_by_key(|lp| lp.packet.ts);
+        let split = packets.len() * 3 / 10;
+        // Ensure the training prefix is clean.
+        assert!(packets[..split].iter().all(|p| !p.is_attack()));
+        let (train, eval) = packets.split_at(split);
+        DetectorInput {
+            train_packets: train.to_vec(),
+            eval_packets: eval.to_vec(),
+            train_flows: Vec::new(),
+            eval_flows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn flood_scores_above_benign_baseline() {
+        let input = toy_input();
+        let mut kitsune = Kitsune::default();
+        let scores = kitsune.score(&input);
+        assert_eq!(scores.len(), input.eval_packets.len());
+
+        let mut attack_scores = Vec::new();
+        let mut benign_scores = Vec::new();
+        for (score, packet) in scores.iter().zip(&input.eval_packets) {
+            if packet.is_attack() {
+                attack_scores.push(*score);
+            } else {
+                benign_scores.push(*score);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&attack_scores) > 1.5 * mean(&benign_scores),
+            "attack mean {} vs benign mean {}",
+            mean(&attack_scores),
+            mean(&benign_scores)
+        );
+    }
+
+    #[test]
+    fn scores_are_finite_nonnegative() {
+        let input = toy_input();
+        let mut kitsune = Kitsune::default();
+        for score in kitsune.score(&input) {
+            assert!(score.is_finite() && score >= 0.0);
+        }
+    }
+
+    #[test]
+    fn name_and_format() {
+        let kitsune = Kitsune::default();
+        assert_eq!(kitsune.name(), "Kitsune");
+        assert_eq!(kitsune.input_format(), InputFormat::Packets);
+    }
+
+    #[test]
+    fn empty_eval_slice_yields_no_scores() {
+        let mut input = toy_input();
+        input.eval_packets.clear();
+        let mut kitsune = Kitsune::default();
+        assert!(kitsune.score(&input).is_empty());
+    }
+}

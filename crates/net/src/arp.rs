@@ -1,0 +1,156 @@
+use std::net::Ipv4Addr;
+
+use crate::{MacAddr, NetError, Result};
+
+/// Length of an Ethernet/IPv4 ARP packet in bytes.
+const ARP_PACKET_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ArpOperation {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+    /// Any other operation code.
+    Other(u16),
+}
+
+impl ArpOperation {
+    /// The on-wire operation code.
+    pub const fn as_u16(self) -> u16 {
+        match self {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+            ArpOperation::Other(v) => v,
+        }
+    }
+}
+
+impl From<u16> for ArpOperation {
+    fn from(v: u16) -> Self {
+        match v {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            other => ArpOperation::Other(other),
+        }
+    }
+}
+
+/// An Ethernet/IPv4 ARP packet.
+///
+/// Only the hardware/protocol combination seen in the evaluated datasets
+/// (Ethernet + IPv4) is supported; other combinations are rejected on parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub operation: ArpOperation,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Creates a who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: ArpOperation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Parses an ARP packet from the front of `data`.
+    ///
+    /// Returns the packet and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] for short input and
+    /// [`NetError::InvalidField`] for non-Ethernet/IPv4 ARP.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < ARP_PACKET_LEN {
+            return Err(NetError::truncated("arp packet", ARP_PACKET_LEN, data.len()));
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        if htype != 1 || ptype != 0x0800 || data[4] != 6 || data[5] != 4 {
+            return Err(NetError::invalid(
+                "arp packet",
+                format!("unsupported htype/ptype {htype}/{ptype:#06x}"),
+            ));
+        }
+        let mut sender_mac = [0u8; 6];
+        let mut target_mac = [0u8; 6];
+        sender_mac.copy_from_slice(&data[8..14]);
+        target_mac.copy_from_slice(&data[18..24]);
+        Ok((
+            ArpPacket {
+                operation: ArpOperation::from(u16::from_be_bytes([data[6], data[7]])),
+                sender_mac: MacAddr::new(sender_mac),
+                sender_ip: Ipv4Addr::new(data[14], data[15], data[16], data[17]),
+                target_mac: MacAddr::new(target_mac),
+                target_ip: Ipv4Addr::new(data[24], data[25], data[26], data[27]),
+            },
+            ARP_PACKET_LEN,
+        ))
+    }
+
+    /// Serializes to the 28-byte wire form.
+    pub fn to_bytes(&self) -> [u8; ARP_PACKET_LEN] {
+        let mut out = [0u8; ARP_PACKET_LEN];
+        out[0..2].copy_from_slice(&1u16.to_be_bytes()); // Ethernet
+        out[2..4].copy_from_slice(&0x0800u16.to_be_bytes()); // IPv4
+        out[4] = 6;
+        out[5] = 4;
+        out[6..8].copy_from_slice(&self.operation.as_u16().to_be_bytes());
+        out[8..14].copy_from_slice(&self.sender_mac.octets());
+        out[14..18].copy_from_slice(&self.sender_ip.octets());
+        out[18..24].copy_from_slice(&self.target_mac.octets());
+        out[24..28].copy_from_slice(&self.target_ip.octets());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let packet = ArpPacket::request(
+            MacAddr::from_host_id(3),
+            Ipv4Addr::new(192, 168, 1, 3),
+            Ipv4Addr::new(192, 168, 1, 1),
+        );
+        let (parsed, consumed) = ArpPacket::parse(&packet.to_bytes()).unwrap();
+        assert_eq!(consumed, 28);
+        assert_eq!(parsed, packet);
+        assert_eq!(parsed.operation, ArpOperation::Request);
+    }
+
+    #[test]
+    fn rejects_non_ethernet_arp() {
+        let mut bytes = ArpPacket::request(
+            MacAddr::ZERO,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::UNSPECIFIED,
+        )
+        .to_bytes();
+        bytes[1] = 6; // token ring
+        assert!(matches!(ArpPacket::parse(&bytes), Err(NetError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(matches!(ArpPacket::parse(&[0; 27]), Err(NetError::Truncated { .. })));
+    }
+}

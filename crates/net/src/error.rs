@@ -1,0 +1,111 @@
+use std::fmt;
+use std::io;
+
+/// Error type for packet parsing, serialization, and capture-file I/O.
+///
+/// All fallible operations in this crate return [`NetError`]. The variants
+/// carry enough context to diagnose malformed traffic encountered during a
+/// replay run without aborting the whole evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The buffer ended before a complete header could be read.
+    Truncated {
+        /// What was being parsed when the data ran out.
+        what: &'static str,
+        /// Number of bytes required.
+        needed: usize,
+        /// Number of bytes available.
+        got: usize,
+    },
+    /// A header field held a value that violates the protocol specification.
+    InvalidField {
+        /// What was being parsed.
+        what: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A pcap file began with an unrecognized magic number.
+    BadPcapMagic(u32),
+    /// A pcap file used a link type other than Ethernet (`LINKTYPE_ETHNET`).
+    UnsupportedLinkType(u32),
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: needed {needed} bytes, got {got}")
+            }
+            NetError::InvalidField { what, detail } => {
+                write!(f, "invalid {what}: {detail}")
+            }
+            NetError::BadPcapMagic(magic) => {
+                write!(f, "unrecognized pcap magic number {magic:#010x}")
+            }
+            NetError::UnsupportedLinkType(lt) => {
+                write!(f, "unsupported pcap link type {lt} (only Ethernet is supported)")
+            }
+            NetError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(err: io::Error) -> Self {
+        NetError::Io(err)
+    }
+}
+
+impl NetError {
+    /// Convenience constructor for [`NetError::Truncated`].
+    pub(crate) fn truncated(what: &'static str, needed: usize, got: usize) -> Self {
+        NetError::Truncated { what, needed, got }
+    }
+
+    /// Convenience constructor for [`NetError::InvalidField`].
+    pub(crate) fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
+        NetError::InvalidField { what, detail: detail.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = NetError::truncated("tcp header", 20, 7);
+        assert_eq!(err.to_string(), "truncated tcp header: needed 20 bytes, got 7");
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error as _;
+        let err = NetError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetError>();
+    }
+
+    #[test]
+    fn bad_magic_display_includes_hex() {
+        let err = NetError::BadPcapMagic(0xdeadbeef);
+        assert!(err.to_string().contains("0xdeadbeef"));
+    }
+}

@@ -1,0 +1,140 @@
+use crate::{MacAddr, NetError, Result};
+
+/// Length of an Ethernet II header in bytes.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// The EtherType field of an Ethernet II frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`).
+    Arp,
+    /// IPv6 (`0x86dd`).
+    Ipv6,
+    /// Any other EtherType, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The on-wire 16-bit value.
+    pub const fn as_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II frame header.
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_net::{EthernetHeader, EtherType, MacAddr};
+///
+/// let header = EthernetHeader {
+///     dst: MacAddr::BROADCAST,
+///     src: MacAddr::from_host_id(7),
+///     ethertype: EtherType::Ipv4,
+/// };
+/// let bytes = header.to_bytes();
+/// let (parsed, consumed) = EthernetHeader::parse(&bytes).unwrap();
+/// assert_eq!(parsed, header);
+/// assert_eq!(consumed, idsbench_net::ETHERNET_HEADER_LEN);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Parses a header from the front of `data`.
+    ///
+    /// Returns the header and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] if `data` is shorter than
+    /// [`ETHERNET_HEADER_LEN`].
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return Err(NetError::truncated("ethernet header", ETHERNET_HEADER_LEN, data.len()));
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = EtherType::from(u16::from_be_bytes([data[12], data[13]]));
+        Ok((
+            EthernetHeader { dst: MacAddr::new(dst), src: MacAddr::new(src), ethertype },
+            ETHERNET_HEADER_LEN,
+        ))
+    }
+
+    /// Serializes the header to its 14-byte wire form.
+    pub fn to_bytes(&self) -> [u8; ETHERNET_HEADER_LEN] {
+        let mut out = [0u8; ETHERNET_HEADER_LEN];
+        out[0..6].copy_from_slice(&self.dst.octets());
+        out[6..12].copy_from_slice(&self.src.octets());
+        out[12..14].copy_from_slice(&self.ethertype.as_u16().to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_short_input() {
+        let err = EthernetHeader::parse(&[0u8; 13]).unwrap_err();
+        assert!(matches!(err, NetError::Truncated { needed: 14, got: 13, .. }));
+    }
+
+    #[test]
+    fn unknown_ethertype_is_preserved() {
+        let et = EtherType::from(0x88cc); // LLDP
+        assert_eq!(et, EtherType::Other(0x88cc));
+        assert_eq!(et.as_u16(), 0x88cc);
+    }
+
+    #[test]
+    fn known_ethertypes_round_trip() {
+        for et in [EtherType::Ipv4, EtherType::Arp, EtherType::Ipv6] {
+            assert_eq!(EtherType::from(et.as_u16()), et);
+        }
+    }
+
+    #[test]
+    fn serialization_layout() {
+        let header = EthernetHeader {
+            dst: MacAddr::new([1, 2, 3, 4, 5, 6]),
+            src: MacAddr::new([7, 8, 9, 10, 11, 12]),
+            ethertype: EtherType::Ipv6,
+        };
+        let bytes = header.to_bytes();
+        assert_eq!(&bytes[0..6], &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(&bytes[6..12], &[7, 8, 9, 10, 11, 12]);
+        assert_eq!(&bytes[12..14], &[0x86, 0xdd]);
+    }
+}

@@ -1,0 +1,130 @@
+use crate::{NetError, Result};
+
+/// Length of the fixed ICMP header in bytes.
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// ICMP message types used by the evaluation traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestinationUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11).
+    TimeExceeded,
+    /// Any other type.
+    Other(u8),
+}
+
+impl IcmpType {
+    /// The on-wire type value.
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestinationUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(v) => v,
+        }
+    }
+}
+
+impl From<u8> for IcmpType {
+    fn from(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestinationUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Other(other),
+        }
+    }
+}
+
+/// An ICMP message header (type, code, checksum, and the 4-byte "rest of
+/// header" field, which for echo messages holds identifier and sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IcmpHeader {
+    /// Message type.
+    pub icmp_type: IcmpType,
+    /// Message code.
+    pub code: u8,
+    /// Checksum as seen on the wire.
+    pub checksum: u16,
+    /// Remaining 4 header bytes, interpretation depends on the type.
+    pub rest: [u8; 4],
+}
+
+impl IcmpHeader {
+    /// Creates an echo-request header with the given identifier and sequence
+    /// number and a zero checksum.
+    pub fn echo_request(identifier: u16, sequence: u16) -> Self {
+        let mut rest = [0u8; 4];
+        rest[0..2].copy_from_slice(&identifier.to_be_bytes());
+        rest[2..4].copy_from_slice(&sequence.to_be_bytes());
+        IcmpHeader { icmp_type: IcmpType::EchoRequest, code: 0, checksum: 0, rest }
+    }
+
+    /// Parses a header from the front of `data`.
+    ///
+    /// Returns the header and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] for short input.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < ICMP_HEADER_LEN {
+            return Err(NetError::truncated("icmp header", ICMP_HEADER_LEN, data.len()));
+        }
+        let mut rest = [0u8; 4];
+        rest.copy_from_slice(&data[4..8]);
+        Ok((
+            IcmpHeader {
+                icmp_type: IcmpType::from(data[0]),
+                code: data[1],
+                checksum: u16::from_be_bytes([data[2], data[3]]),
+                rest,
+            },
+            ICMP_HEADER_LEN,
+        ))
+    }
+
+    /// Serializes to the 8-byte wire form, writing the stored checksum
+    /// verbatim.
+    pub fn to_bytes(&self) -> [u8; ICMP_HEADER_LEN] {
+        let mut out = [0u8; ICMP_HEADER_LEN];
+        out[0] = self.icmp_type.as_u8();
+        out[1] = self.code;
+        out[2..4].copy_from_slice(&self.checksum.to_be_bytes());
+        out[4..8].copy_from_slice(&self.rest);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let header = IcmpHeader::echo_request(0x1234, 7);
+        let (parsed, consumed) = IcmpHeader::parse(&header.to_bytes()).unwrap();
+        assert_eq!(consumed, ICMP_HEADER_LEN);
+        assert_eq!(parsed, header);
+        assert_eq!(parsed.icmp_type, IcmpType::EchoRequest);
+    }
+
+    #[test]
+    fn unknown_type_preserved() {
+        assert_eq!(IcmpType::from(42), IcmpType::Other(42));
+        assert_eq!(IcmpType::Other(42).as_u8(), 42);
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(matches!(IcmpHeader::parse(&[0; 7]), Err(NetError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,257 @@
+use std::net::Ipv4Addr;
+
+use crate::checksum::internet_checksum;
+use crate::{NetError, Result};
+
+/// Minimum length of an IPv4 header (no options) in bytes.
+pub const IPV4_MIN_HEADER_LEN: usize = 20;
+
+/// An IP protocol number, as carried in the IPv4 `protocol` field and the
+/// IPv6 `next header` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// The on-wire protocol number.
+    pub const fn as_u8(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl std::fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "icmp"),
+            IpProtocol::Tcp => write!(f, "tcp"),
+            IpProtocol::Udp => write!(f, "udp"),
+            IpProtocol::Other(v) => write!(f, "proto-{v}"),
+        }
+    }
+}
+
+/// An IPv4 header.
+///
+/// Options are supported on parse (skipped and accounted for in the reported
+/// header length) but never emitted by [`Ipv4Header::to_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Differentiated services / TOS byte.
+    pub dscp_ecn: u8,
+    /// Total length of the datagram (header + payload) in bytes.
+    pub total_len: u16,
+    /// Datagram identification (used for fragment reassembly).
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-byte units.
+    pub fragment_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Header length in bytes (20 when no options are present).
+    pub header_len: u8,
+}
+
+impl Ipv4Header {
+    /// Creates a plain header (no options, no fragmentation) for a payload of
+    /// `payload_len` bytes.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, payload_len: usize) -> Self {
+        Ipv4Header {
+            dscp_ecn: 0,
+            total_len: (IPV4_MIN_HEADER_LEN + payload_len) as u16,
+            identification: 0,
+            dont_fragment: true,
+            more_fragments: false,
+            fragment_offset: 0,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+            header_len: IPV4_MIN_HEADER_LEN as u8,
+        }
+    }
+
+    /// Parses a header from the front of `data`.
+    ///
+    /// Returns the header and the number of bytes consumed (the header length
+    /// including any options).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] if `data` is shorter than the declared
+    /// header length and [`NetError::InvalidField`] if the version or IHL
+    /// fields are malformed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return Err(NetError::truncated("ipv4 header", IPV4_MIN_HEADER_LEN, data.len()));
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(NetError::invalid("ipv4 header", format!("version {version}, expected 4")));
+        }
+        let ihl = (data[0] & 0x0f) as usize * 4;
+        if ihl < IPV4_MIN_HEADER_LEN {
+            return Err(NetError::invalid("ipv4 header", format!("ihl {ihl} < 20 bytes")));
+        }
+        if data.len() < ihl {
+            return Err(NetError::truncated("ipv4 options", ihl, data.len()));
+        }
+        let flags = data[6] >> 5;
+        let fragment_offset = u16::from_be_bytes([data[6] & 0x1f, data[7]]);
+        Ok((
+            Ipv4Header {
+                dscp_ecn: data[1],
+                total_len: u16::from_be_bytes([data[2], data[3]]),
+                identification: u16::from_be_bytes([data[4], data[5]]),
+                dont_fragment: flags & 0b010 != 0,
+                more_fragments: flags & 0b001 != 0,
+                fragment_offset,
+                ttl: data[8],
+                protocol: IpProtocol::from(data[9]),
+                src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+                dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+                header_len: ihl as u8,
+            },
+            ihl,
+        ))
+    }
+
+    /// Serializes the header to its 20-byte option-less wire form with a
+    /// correct header checksum.
+    pub fn to_bytes(&self) -> [u8; IPV4_MIN_HEADER_LEN] {
+        let mut out = [0u8; IPV4_MIN_HEADER_LEN];
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = self.dscp_ecn;
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        let flags =
+            u8::from(self.dont_fragment) << 1 | u8::from(self.more_fragments);
+        out[6] = flags << 5 | ((self.fragment_offset >> 8) as u8 & 0x1f);
+        out[7] = self.fragment_offset as u8;
+        out[8] = self.ttl;
+        out[9] = self.protocol.as_u8();
+        // checksum at [10..12], zero for now
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+        let sum = internet_checksum(&out);
+        out[10..12].copy_from_slice(&sum.to_be_bytes());
+        out
+    }
+
+    /// Whether this datagram is a fragment (either flag or a nonzero offset).
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments || self.fragment_offset != 0
+    }
+
+    /// Length of the payload in bytes according to `total_len`.
+    pub fn payload_len(&self) -> usize {
+        (self.total_len as usize).saturating_sub(self.header_len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(10, 1, 2, 3),
+            IpProtocol::Tcp,
+            100,
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let header = sample();
+        let bytes = header.to_bytes();
+        let (parsed, consumed) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(consumed, IPV4_MIN_HEADER_LEN);
+        assert_eq!(parsed, header);
+    }
+
+    #[test]
+    fn emitted_checksum_verifies() {
+        let bytes = sample().to_bytes();
+        assert_eq!(internet_checksum(&bytes), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x65; // version 6
+        assert!(matches!(Ipv4Header::parse(&bytes), Err(NetError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_ihl() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x43; // IHL 3 -> 12 bytes
+        assert!(matches!(Ipv4Header::parse(&bytes), Err(NetError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn parses_options_length() {
+        let mut bytes = vec![0u8; 24];
+        bytes[0] = 0x46; // IHL 6 -> 24 bytes
+        bytes[2..4].copy_from_slice(&24u16.to_be_bytes());
+        bytes[9] = 17;
+        let (header, consumed) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(consumed, 24);
+        assert_eq!(header.header_len, 24);
+        assert_eq!(header.payload_len(), 0);
+    }
+
+    #[test]
+    fn fragment_fields_round_trip() {
+        let mut header = sample();
+        header.dont_fragment = false;
+        header.more_fragments = true;
+        header.fragment_offset = 0x1abc;
+        let (parsed, _) = Ipv4Header::parse(&header.to_bytes()).unwrap();
+        assert!(parsed.is_fragment());
+        assert_eq!(parsed.fragment_offset, 0x1abc);
+        assert!(parsed.more_fragments);
+        assert!(!parsed.dont_fragment);
+    }
+
+    #[test]
+    fn protocol_display() {
+        assert_eq!(IpProtocol::Tcp.to_string(), "tcp");
+        assert_eq!(IpProtocol::Other(89).to_string(), "proto-89");
+    }
+}

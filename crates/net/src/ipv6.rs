@@ -1,0 +1,143 @@
+use std::net::Ipv6Addr;
+
+use crate::ipv4::IpProtocol;
+use crate::{NetError, Result};
+
+/// Length of the fixed IPv6 header in bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// The fixed IPv6 header.
+///
+/// Extension headers are not interpreted; `next_header` reports whatever
+/// immediately follows the fixed header. The synthetic scenarios in
+/// `idsbench-datasets` emit plain TCP/UDP-over-IPv6 only, matching the IPv6
+/// share observed in the evaluated datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv6Header {
+    /// Traffic class byte.
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length in bytes (everything after the fixed header).
+    pub payload_len: u16,
+    /// Protocol of the next header.
+    pub next_header: IpProtocol,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Creates a plain header for a payload of `payload_len` bytes.
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: IpProtocol, payload_len: usize) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: payload_len as u16,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Parses a fixed header from the front of `data`.
+    ///
+    /// Returns the header and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] for short input and
+    /// [`NetError::InvalidField`] if the version nibble is not 6.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < IPV6_HEADER_LEN {
+            return Err(NetError::truncated("ipv6 header", IPV6_HEADER_LEN, data.len()));
+        }
+        let version = data[0] >> 4;
+        if version != 6 {
+            return Err(NetError::invalid("ipv6 header", format!("version {version}, expected 6")));
+        }
+        let traffic_class = (data[0] << 4) | (data[1] >> 4);
+        let flow_label =
+            (u32::from(data[1] & 0x0f) << 16) | (u32::from(data[2]) << 8) | u32::from(data[3]);
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&data[8..24]);
+        dst.copy_from_slice(&data[24..40]);
+        Ok((
+            Ipv6Header {
+                traffic_class,
+                flow_label,
+                payload_len: u16::from_be_bytes([data[4], data[5]]),
+                next_header: IpProtocol::from(data[6]),
+                hop_limit: data[7],
+                src: Ipv6Addr::from(src),
+                dst: Ipv6Addr::from(dst),
+            },
+            IPV6_HEADER_LEN,
+        ))
+    }
+
+    /// Serializes the fixed header to its 40-byte wire form.
+    pub fn to_bytes(&self) -> [u8; IPV6_HEADER_LEN] {
+        let mut out = [0u8; IPV6_HEADER_LEN];
+        out[0] = 0x60 | (self.traffic_class >> 4);
+        out[1] = (self.traffic_class << 4) | ((self.flow_label >> 16) as u8 & 0x0f);
+        out[2] = (self.flow_label >> 8) as u8;
+        out[3] = self.flow_label as u8;
+        out[4..6].copy_from_slice(&self.payload_len.to_be_bytes());
+        out[6] = self.next_header.as_u8();
+        out[7] = self.hop_limit;
+        out[8..24].copy_from_slice(&self.src.octets());
+        out[24..40].copy_from_slice(&self.dst.octets());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Header {
+        let mut header = Ipv6Header::new(
+            Ipv6Addr::new(0xfd00, 0, 0, 0, 0, 0, 0, 1),
+            Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+            IpProtocol::Udp,
+            64,
+        );
+        header.traffic_class = 0xa5;
+        header.flow_label = 0xfffff;
+        header
+    }
+
+    #[test]
+    fn round_trip() {
+        let header = sample();
+        let (parsed, consumed) = Ipv6Header::parse(&header.to_bytes()).unwrap();
+        assert_eq!(consumed, IPV6_HEADER_LEN);
+        assert_eq!(parsed, header);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 0x45;
+        assert!(matches!(Ipv6Header::parse(&bytes), Err(NetError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(matches!(Ipv6Header::parse(&[0x60; 39]), Err(NetError::Truncated { .. })));
+    }
+
+    #[test]
+    fn flow_label_is_20_bits() {
+        let bytes = sample().to_bytes();
+        let (parsed, _) = Ipv6Header::parse(&bytes).unwrap();
+        assert_eq!(parsed.flow_label, 0xfffff);
+        assert_eq!(parsed.traffic_class, 0xa5);
+    }
+}

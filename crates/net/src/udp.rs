@@ -1,0 +1,100 @@
+use crate::{NetError, Result};
+
+/// Length of a UDP header in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP datagram header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload in bytes.
+    pub length: u16,
+    /// Checksum as seen on the wire (zero means "not computed" in IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header for a payload of `payload_len` bytes with a zero
+    /// checksum.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: (UDP_HEADER_LEN + payload_len) as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Parses a header from the front of `data`.
+    ///
+    /// Returns the header and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Truncated`] for short input and
+    /// [`NetError::InvalidField`] if the length field is below the header
+    /// size.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(NetError::truncated("udp header", UDP_HEADER_LEN, data.len()));
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]);
+        if (length as usize) < UDP_HEADER_LEN {
+            return Err(NetError::invalid("udp header", format!("length {length} < 8")));
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                length,
+                checksum: u16::from_be_bytes([data[6], data[7]]),
+            },
+            UDP_HEADER_LEN,
+        ))
+    }
+
+    /// Serializes to the 8-byte wire form, writing the stored checksum
+    /// verbatim.
+    pub fn to_bytes(&self) -> [u8; UDP_HEADER_LEN] {
+        let mut out = [0u8; UDP_HEADER_LEN];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        out
+    }
+
+    /// Payload length in bytes according to the length field.
+    pub fn payload_len(&self) -> usize {
+        (self.length as usize).saturating_sub(UDP_HEADER_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let header = UdpHeader::new(53, 33333, 120);
+        let (parsed, consumed) = UdpHeader::parse(&header.to_bytes()).unwrap();
+        assert_eq!(consumed, UDP_HEADER_LEN);
+        assert_eq!(parsed, header);
+        assert_eq!(parsed.payload_len(), 120);
+    }
+
+    #[test]
+    fn rejects_undersized_length_field() {
+        let mut bytes = UdpHeader::new(1, 2, 0).to_bytes();
+        bytes[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert!(matches!(UdpHeader::parse(&bytes), Err(NetError::InvalidField { .. })));
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(matches!(UdpHeader::parse(&[0; 7]), Err(NetError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,95 @@
+use crate::matrix::Matrix;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Activation {
+    /// Logistic sigmoid `1/(1+e^-x)`.
+    Sigmoid,
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (linear output layer).
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn apply(self, x: &Matrix) -> Matrix {
+        match self {
+            Activation::Sigmoid => x.map(sigmoid),
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Tanh => x.map(f64::tanh),
+            Activation::Linear => x.clone(),
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, expressed in terms of
+    /// the *activated* output `y = f(x)` (all four supported functions admit
+    /// this form, which avoids caching pre-activations).
+    pub fn derivative_from_output(self, y: &Matrix) -> Matrix {
+        match self {
+            Activation::Sigmoid => y.map(|v| v * (1.0 - v)),
+            Activation::Relu => y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Tanh => y.map(|v| 1.0 - v * v),
+            Activation::Linear => y.map(|_| 1.0),
+        }
+    }
+}
+
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        // Numerically stable branch for large negative inputs.
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(1000.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-1000.0).abs() < 1e-12);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.5]]);
+        assert_eq!(Activation::Relu.apply(&x), Matrix::from_rows(&[&[0.0, 0.0, 2.5]]));
+    }
+
+    #[test]
+    fn derivatives_match_numeric() {
+        let points = [-2.0, -0.5, 0.1, 1.5];
+        let eps = 1e-6;
+        for act in [Activation::Sigmoid, Activation::Tanh, Activation::Linear] {
+            for &p in &points {
+                let x = Matrix::from_rows(&[&[p]]);
+                let y = act.apply(&x);
+                let analytic = act.derivative_from_output(&y).get(0, 0);
+                let xp = Matrix::from_rows(&[&[p + eps]]);
+                let xm = Matrix::from_rows(&[&[p - eps]]);
+                let numeric = (act.apply(&xp).get(0, 0) - act.apply(&xm).get(0, 0)) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "{act:?} at {p}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_derivative_from_output() {
+        let x = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        let y = Activation::Relu.apply(&x);
+        let d = Activation::Relu.derivative_from_output(&y);
+        assert_eq!(d, Matrix::from_rows(&[&[0.0, 1.0]]));
+    }
+}

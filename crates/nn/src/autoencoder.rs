@@ -1,0 +1,199 @@
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::matrix::Matrix;
+use crate::optimizer::Sgd;
+
+/// Configuration for [`Autoencoder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoencoderConfig {
+    /// Hidden width as a fraction of the input width (KitNET uses 0.75).
+    pub hidden_ratio: f64,
+    /// SGD learning rate for online training.
+    pub learning_rate: f64,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for AutoencoderConfig {
+    /// KitNET defaults: `hidden_ratio` 0.75, learning rate 0.1.
+    fn default() -> Self {
+        AutoencoderConfig { hidden_ratio: 0.75, learning_rate: 0.1, seed: 0 }
+    }
+}
+
+/// A shallow sigmoid autoencoder trained online, one sample at a time.
+///
+/// This is the building block of both Kitsune's KitNET ensemble and HELAD's
+/// anomaly scorer. Inputs are expected in `[0, 1]` (see
+/// [`crate::MinMaxNormalizer`]); the anomaly signal is the reconstruction
+/// RMSE.
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_nn::{Autoencoder, AutoencoderConfig};
+///
+/// let mut ae = Autoencoder::new(4, AutoencoderConfig::default());
+/// // Train on a repeated "normal" pattern…
+/// for _ in 0..200 {
+///     ae.train_sample(&[0.1, 0.9, 0.1, 0.9]);
+/// }
+/// // …then an unseen pattern reconstructs worse.
+/// assert!(ae.score(&[0.9, 0.1, 0.9, 0.1]) > ae.score(&[0.1, 0.9, 0.1, 0.9]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    encoder: Dense,
+    decoder: Dense,
+    optimizer: Sgd,
+    input_size: usize,
+    trained_samples: u64,
+}
+
+impl Autoencoder {
+    /// Creates an autoencoder for `input_size` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_size` is zero or the configuration is out of range
+    /// (`hidden_ratio` outside `(0, 1]`, non-positive learning rate).
+    pub fn new(input_size: usize, config: AutoencoderConfig) -> Self {
+        assert!(input_size > 0, "input size must be positive");
+        assert!(
+            config.hidden_ratio > 0.0 && config.hidden_ratio <= 1.0,
+            "hidden_ratio must be in (0, 1]"
+        );
+        let hidden = ((input_size as f64 * config.hidden_ratio).ceil() as usize).max(1);
+        Autoencoder {
+            encoder: Dense::new(input_size, hidden, Activation::Sigmoid, 0, config.seed),
+            decoder: Dense::new(hidden, input_size, Activation::Sigmoid, 2, config.seed ^ 0x5eed),
+            optimizer: Sgd::new(config.learning_rate),
+            input_size,
+            trained_samples: 0,
+        }
+    }
+
+    /// Input (and output) width.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_size(&self) -> usize {
+        self.encoder.output_size()
+    }
+
+    /// Number of training samples consumed.
+    pub fn trained_samples(&self) -> u64 {
+        self.trained_samples
+    }
+
+    /// Reconstruction RMSE of `x` without updating weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_size, "input width mismatch");
+        let input = Matrix::row_vector(x);
+        let reconstruction = self.decoder.forward(&self.encoder.forward(&input));
+        rmse(&input, &reconstruction)
+    }
+
+    /// One online SGD step on `x`; returns the RMSE measured *before* the
+    /// update (the score Kitsune reports during its training phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn train_sample(&mut self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.input_size, "input width mismatch");
+        let input = Matrix::row_vector(x);
+        let hidden = self.encoder.forward_training(&input);
+        let reconstruction = self.decoder.forward_training(&hidden);
+        let error = rmse(&input, &reconstruction);
+        // d(MSE)/d(reconstruction) = 2(x̂ - x)/n
+        let grad = (&reconstruction - &input).scale(2.0 / self.input_size as f64);
+        let grad_hidden = self.decoder.backward(&grad, &mut self.optimizer);
+        self.encoder.backward(&grad_hidden, &mut self.optimizer);
+        self.trained_samples += 1;
+        error
+    }
+}
+
+fn rmse(x: &Matrix, reconstruction: &Matrix) -> f64 {
+    let diff = x - reconstruction;
+    (diff.as_slice().iter().map(|d| d * d).sum::<f64>() / x.cols() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hidden_size_follows_ratio() {
+        let ae = Autoencoder::new(100, AutoencoderConfig::default());
+        assert_eq!(ae.hidden_size(), 75);
+        let ae = Autoencoder::new(3, AutoencoderConfig { hidden_ratio: 0.5, ..Default::default() });
+        assert_eq!(ae.hidden_size(), 2);
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let mut ae = Autoencoder::new(8, AutoencoderConfig::default());
+        let pattern = [0.2, 0.8, 0.2, 0.8, 0.5, 0.5, 0.1, 0.9];
+        let first = ae.score(&pattern);
+        for _ in 0..500 {
+            ae.train_sample(&pattern);
+        }
+        let last = ae.score(&pattern);
+        assert!(last < first * 0.5, "rmse {first} -> {last}");
+    }
+
+    #[test]
+    fn anomalies_score_higher_than_trained_manifold() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut ae = Autoencoder::new(6, AutoencoderConfig::default());
+        // Normal data: low values with small jitter.
+        for _ in 0..2000 {
+            let x: Vec<f64> = (0..6).map(|_| rng.random_range(0.0..0.2)).collect();
+            ae.train_sample(&x);
+        }
+        let normal: Vec<f64> = (0..6).map(|_| rng.random_range(0.0..0.2)).collect();
+        let anomaly = vec![0.95; 6];
+        assert!(
+            ae.score(&anomaly) > 2.0 * ae.score(&normal),
+            "anomaly {} vs normal {}",
+            ae.score(&anomaly),
+            ae.score(&normal)
+        );
+    }
+
+    #[test]
+    fn score_is_pure() {
+        let mut ae = Autoencoder::new(4, AutoencoderConfig::default());
+        for _ in 0..10 {
+            ae.train_sample(&[0.1, 0.2, 0.3, 0.4]);
+        }
+        let a = ae.score(&[0.5; 4]);
+        let b = ae.score(&[0.5; 4]);
+        assert_eq!(a, b);
+        assert_eq!(ae.trained_samples(), 10);
+    }
+
+    #[test]
+    fn rmse_is_nonnegative_and_bounded_for_unit_inputs() {
+        let ae = Autoencoder::new(5, AutoencoderConfig::default());
+        let score = ae.score(&[0.0, 1.0, 0.0, 1.0, 0.5]);
+        assert!((0.0..=1.0).contains(&score), "sigmoid outputs keep rmse in [0,1]: {score}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_width_panics() {
+        let ae = Autoencoder::new(4, AutoencoderConfig::default());
+        let _ = ae.score(&[0.0; 3]);
+    }
+}

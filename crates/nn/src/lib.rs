@@ -1,0 +1,64 @@
+//! Minimal neural-network substrate for the `idsbench` replay-evaluation
+//! framework.
+//!
+//! Three of the four evaluated IDSs are neural: Kitsune (an ensemble of
+//! small autoencoders), HELAD (autoencoder + LSTM ensemble), and the
+//! supervised three-layer DNN. This crate provides exactly the machinery
+//! those systems need — no more:
+//!
+//! * [`Matrix`]: a small row-major dense matrix,
+//! * [`Dense`] layers with [`Activation`] functions and [`Loss`] functions,
+//! * [`Mlp`]: a feed-forward network with backprop training,
+//! * [`Autoencoder`]: online single-sample training with RMSE scoring,
+//! * [`Lstm`] / [`LstmRegressor`]: a single-layer LSTM sequence regressor
+//!   trained with truncated BPTT,
+//! * [`MinMaxNormalizer`] / [`ZScoreNormalizer`]: streaming normalizers,
+//! * [`Sgd`] / [`Adam`]: optimizers with per-parameter state.
+//!
+//! Everything is deterministic given a seed; no threads, no SIMD, no
+//! external math libraries.
+//!
+//! # Examples
+//!
+//! Train a tiny network on XOR:
+//!
+//! ```
+//! use idsbench_nn::{Activation, Adam, Loss, Matrix, MlpBuilder};
+//!
+//! let mut mlp = MlpBuilder::new(2)
+//!     .layer(8, Activation::Tanh)
+//!     .layer(1, Activation::Sigmoid)
+//!     .seed(7)
+//!     .build();
+//! let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+//! let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+//! let mut opt = Adam::new(0.05);
+//! for _ in 0..800 {
+//!     mlp.train_batch(&x, &y, Loss::Mse, &mut opt);
+//! }
+//! let out = mlp.predict(&x);
+//! assert!(out.get(0, 0) < 0.2 && out.get(1, 0) > 0.8);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod activation;
+mod autoencoder;
+mod dense;
+mod loss;
+mod lstm;
+mod matrix;
+mod mlp;
+mod normalize;
+mod optimizer;
+
+pub use activation::Activation;
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use dense::Dense;
+pub use loss::Loss;
+pub use lstm::{Lstm, LstmRegressor, LstmRegressorConfig};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpBuilder};
+pub use normalize::{MinMaxNormalizer, ZScoreNormalizer};
+pub use optimizer::{Adam, Optimizer, Sgd};

@@ -1,0 +1,130 @@
+use crate::matrix::Matrix;
+
+/// Training loss functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Loss {
+    /// Mean squared error.
+    Mse,
+    /// Binary cross-entropy over sigmoid outputs.
+    BinaryCrossEntropy,
+}
+
+impl Loss {
+    /// Mean loss over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prediction` and `target` have different shapes.
+    pub fn value(self, prediction: &Matrix, target: &Matrix) -> f64 {
+        assert_eq!(
+            (prediction.rows(), prediction.cols()),
+            (target.rows(), target.cols()),
+            "loss shape mismatch"
+        );
+        let n = (prediction.rows() * prediction.cols()) as f64;
+        match self {
+            Loss::Mse => {
+                let diff = prediction - target;
+                diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n
+            }
+            Loss::BinaryCrossEntropy => {
+                prediction
+                    .as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(&p, &y)| {
+                        let p = p.clamp(1e-12, 1.0 - 1e-12);
+                        -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+                    })
+                    .sum::<f64>()
+                    / n
+            }
+        }
+    }
+
+    /// Gradient of the mean loss with respect to the prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prediction` and `target` have different shapes.
+    pub fn gradient(self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(
+            (prediction.rows(), prediction.cols()),
+            (target.rows(), target.cols()),
+            "loss shape mismatch"
+        );
+        let n = (prediction.rows() * prediction.cols()) as f64;
+        match self {
+            Loss::Mse => (prediction - target).scale(2.0 / n),
+            Loss::BinaryCrossEntropy => Matrix::from_fn(
+                prediction.rows(),
+                prediction.cols(),
+                |r, c| {
+                    let p = prediction.get(r, c).clamp(1e-12, 1.0 - 1e-12);
+                    let y = target.get(r, c);
+                    ((p - y) / (p * (1.0 - p))) / n
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_exact_prediction_is_zero() {
+        let p = Matrix::from_rows(&[&[0.5, 1.0]]);
+        assert_eq!(Loss::Mse.value(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let y = Matrix::from_rows(&[&[0.0, 0.0]]);
+        assert!((Loss::Mse.value(&p, &y) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_penalizes_confident_mistakes() {
+        let good = Matrix::from_rows(&[&[0.99]]);
+        let bad = Matrix::from_rows(&[&[0.01]]);
+        let target = Matrix::from_rows(&[&[1.0]]);
+        assert!(Loss::BinaryCrossEntropy.value(&bad, &target) > Loss::BinaryCrossEntropy.value(&good, &target));
+    }
+
+    #[test]
+    fn gradients_match_numeric() {
+        let eps = 1e-6;
+        for loss in [Loss::Mse, Loss::BinaryCrossEntropy] {
+            let p = Matrix::from_rows(&[&[0.3, 0.7], &[0.5, 0.9]]);
+            let y = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0]]);
+            let grad = loss.gradient(&p, &y);
+            for r in 0..2 {
+                for c in 0..2 {
+                    let mut pp = p.clone();
+                    pp.set(r, c, p.get(r, c) + eps);
+                    let mut pm = p.clone();
+                    pm.set(r, c, p.get(r, c) - eps);
+                    let numeric = (loss.value(&pp, &y) - loss.value(&pm, &y)) / (2.0 * eps);
+                    assert!(
+                        (grad.get(r, c) - numeric).abs() < 1e-5,
+                        "{loss:?} grad({r},{c}): {} vs numeric {numeric}",
+                        grad.get(r, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bce_handles_saturated_predictions() {
+        let p = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let v = Loss::BinaryCrossEntropy.value(&p, &y);
+        assert!(v.is_finite());
+        assert!(Loss::BinaryCrossEntropy.gradient(&p, &y).as_slice().iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,158 @@
+//! Failure-injection and pipeline-integrity tests: detectors must behave
+//! sanely on pathological inputs and must not peek at evaluation labels.
+
+use idsbench::core::preprocess::{Pipeline, PipelineConfig};
+use idsbench::core::{AttackKind, Dataset, Detector, DetectorInput, Label};
+use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::dnn::Dnn;
+use idsbench::helad::Helad;
+use idsbench::kitsune::Kitsune;
+use idsbench::slips::Slips;
+
+fn prepared_input() -> DetectorInput {
+    let scenario = scenarios::bot_iot(ScenarioScale::Tiny);
+    let packets = scenario.generate(3);
+    Pipeline::new(PipelineConfig::default()).unwrap().prepare("toy", packets).unwrap()
+}
+
+fn flip_eval_labels(input: &DetectorInput) -> DetectorInput {
+    let mut flipped = input.clone();
+    for packet in &mut flipped.eval_packets {
+        packet.label = match packet.label {
+            Label::Benign => Label::Attack(AttackKind::Stealth),
+            Label::Attack(_) => Label::Benign,
+        };
+    }
+    for flow in &mut flipped.eval_flows {
+        flow.label = match flow.label {
+            Label::Benign => Label::Attack(AttackKind::Stealth),
+            Label::Attack(_) => Label::Benign,
+        };
+    }
+    flipped
+}
+
+/// The core integrity rule: scores must be a function of traffic only —
+/// flipping every *evaluation* label must not change a single score.
+#[test]
+fn no_detector_reads_evaluation_labels() {
+    let input = prepared_input();
+    let flipped = flip_eval_labels(&input);
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(Kitsune::default()),
+        Box::new(Helad::default()),
+        Box::new(Dnn::default()),
+        Box::new(Slips::default()),
+    ];
+    for mut detector in detectors {
+        let name = detector.name().to_string();
+        let scores_original = detector.score(&input);
+        let mut fresh: Box<dyn Detector> = match name.as_str() {
+            "Kitsune" => Box::new(Kitsune::default()),
+            "HELAD" => Box::new(Helad::default()),
+            "DNN" => Box::new(Dnn::default()),
+            _ => Box::new(Slips::default()),
+        };
+        let scores_flipped = fresh.score(&flipped);
+        assert_eq!(scores_original, scores_flipped, "{name} peeked at evaluation labels");
+    }
+}
+
+/// The supervised DNN must, by contrast, depend on its *training* labels.
+#[test]
+fn dnn_depends_on_training_labels() {
+    let input = prepared_input();
+    let mut corrupted = input.clone();
+    for flow in &mut corrupted.train_flows {
+        flow.label = match flow.label {
+            Label::Benign => Label::Attack(AttackKind::Stealth),
+            Label::Attack(_) => Label::Benign,
+        };
+    }
+    let a = Dnn::default().score(&input);
+    let b = Dnn::default().score(&corrupted);
+    assert_ne!(a, b, "supervised training must react to label changes");
+}
+
+/// Detectors must handle an empty training slice without panicking.
+#[test]
+fn detectors_survive_empty_training() {
+    let mut input = prepared_input();
+    input.train_packets.clear();
+    input.train_flows.clear();
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(Kitsune::default()),
+        Box::new(Helad::default()),
+        Box::new(Dnn::default()),
+        Box::new(Slips::default()),
+    ];
+    for mut detector in detectors {
+        let format = detector.input_format();
+        let scores = detector.score(&input);
+        assert_eq!(scores.len(), input.eval_len(format), "{}", detector.name());
+        assert!(scores.iter().all(|s| s.is_finite()), "{}", detector.name());
+    }
+}
+
+/// Detectors must handle a single-item evaluation slice.
+#[test]
+fn detectors_survive_minimal_eval() {
+    let mut input = prepared_input();
+    input.eval_packets.truncate(1);
+    input.eval_flows.truncate(1);
+    let detectors: Vec<Box<dyn Detector>> = vec![
+        Box::new(Kitsune::default()),
+        Box::new(Helad::default()),
+        Box::new(Dnn::default()),
+        Box::new(Slips::default()),
+    ];
+    for mut detector in detectors {
+        let format = detector.input_format();
+        let scores = detector.score(&input);
+        assert_eq!(scores.len(), input.eval_len(format), "{}", detector.name());
+    }
+}
+
+/// A truncated/corrupted packet in the eval stream must not break packet
+/// detectors (they score it neutrally and stay aligned).
+#[test]
+fn corrupt_packets_do_not_derail_packet_detectors() {
+    use idsbench::core::LabeledPacket;
+    use idsbench::net::{Packet, Timestamp};
+
+    let mut input = prepared_input();
+    // Inject garbage frames into the eval stream.
+    for i in 0..5u64 {
+        input.eval_packets.push(LabeledPacket::new(
+            Packet::new(Timestamp::from_secs(10_000 + i), vec![0xff; 7]),
+            Label::Benign,
+        ));
+    }
+    for mut detector in [
+        Box::new(Kitsune::default()) as Box<dyn Detector>,
+        Box::new(Helad::default()),
+    ] {
+        let scores = detector.score(&input);
+        assert_eq!(scores.len(), input.eval_packets.len(), "{}", detector.name());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}
+
+/// The pipeline rejects empty datasets instead of producing empty grids.
+#[test]
+fn pipeline_rejects_empty_input() {
+    let pipeline = Pipeline::new(PipelineConfig::default()).unwrap();
+    assert!(pipeline.prepare("nothing", Vec::new()).is_err());
+}
+
+/// Sampling at very low rates still yields a coherent, label-aligned input.
+#[test]
+fn aggressive_sampling_keeps_alignment() {
+    let scenario = scenarios::cicids2017(ScenarioScale::Tiny);
+    let packets = scenario.generate(4);
+    let config = PipelineConfig { sampling_rate: 0.05, ..Default::default() };
+    let input = Pipeline::new(config).unwrap().prepare("sampled", packets).unwrap();
+    assert!(!input.eval_packets.is_empty());
+    let labels = input.eval_labels(idsbench::core::InputFormat::Packets);
+    assert_eq!(labels.len(), input.eval_packets.len());
+}

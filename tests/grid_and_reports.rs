@@ -1,0 +1,63 @@
+//! Integration tests for the parallel grid runner and the table renderers,
+//! exercising the same code path as the Table IV regeneration binary.
+
+use idsbench::core::report;
+use idsbench::core::runner::{run_grid, DetectorFactory, EvalConfig};
+use idsbench::core::{registry, Dataset, Detector};
+use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::dnn::baselines::DecisionTree;
+use idsbench::slips::Slips;
+
+#[test]
+fn grid_produces_detector_major_table() {
+    let a = scenarios::bot_iot(ScenarioScale::Tiny);
+    let b = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let datasets: Vec<&dyn Dataset> = vec![&a, &b];
+    let detectors: Vec<(String, DetectorFactory)> = vec![
+        ("Slips".into(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
+        ("DecisionTree".into(), Box::new(|| Box::new(DecisionTree::default()) as Box<dyn Detector>)),
+    ];
+    let experiments = run_grid(&detectors, &datasets, &EvalConfig::default()).unwrap();
+    assert_eq!(experiments.len(), 4);
+    let cells: Vec<(&str, &str)> =
+        experiments.iter().map(|e| (e.detector.as_str(), e.dataset.as_str())).collect();
+    assert_eq!(
+        cells,
+        vec![
+            ("Slips", "BoT IoT"),
+            ("Slips", "Stratosphere"),
+            ("DecisionTree", "BoT IoT"),
+            ("DecisionTree", "Stratosphere"),
+        ]
+    );
+
+    // The renderers accept the grid output directly.
+    let table = report::render_table4(&experiments);
+    assert!(table.contains("**IDS: Slips**"));
+    assert!(table.contains("**IDS: DecisionTree**"));
+    let csv = report::render_csv(&experiments);
+    assert_eq!(csv.lines().count(), 5); // header + 4 cells
+}
+
+#[test]
+fn registry_tables_render() {
+    let t1 = registry::render_table1();
+    assert_eq!(t1.lines().count(), 2 + 15, "15 investigated systems");
+    assert!(t1.contains("Kitsune"));
+    assert!(t1.contains("Used in Paper"));
+    let t2 = registry::render_table2();
+    assert_eq!(t2.lines().count(), 2 + 5, "5 selected datasets");
+    let t3 = registry::render_table3();
+    assert_eq!(t3.lines().count(), 2 + 11, "11 excluded dataset rows");
+}
+
+#[test]
+fn scenario_names_align_with_registry_naming() {
+    // Table IV rows must be producible for each scenario name used by the
+    // bench harness.
+    let names: Vec<String> = scenarios::all_scenarios(ScenarioScale::Tiny)
+        .iter()
+        .map(|s| s.info().name.clone())
+        .collect();
+    assert_eq!(names, vec!["UNSW-NB15", "BoT IoT", "CICIDS2017", "Stratosphere", "Mirai"]);
+}

@@ -1,0 +1,57 @@
+//! Integration test: scenarios survive the pcap container byte-exactly, so
+//! evaluating from a replayed capture equals evaluating in memory.
+
+use idsbench::core::preprocess::Pipeline;
+use idsbench::core::{Dataset, Detector, LabeledPacket};
+use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::net::pcap;
+use idsbench::slips::Slips;
+
+#[test]
+fn every_scenario_round_trips_through_pcap() {
+    for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+        let labeled = scenario.generate(5);
+        let packets: Vec<_> = labeled.iter().map(|lp| lp.packet.clone()).collect();
+        let image = pcap::write_all(&packets).unwrap();
+        let replayed = pcap::read_all(&image).unwrap();
+        assert_eq!(replayed, packets, "{} must survive the container", scenario.info().name);
+    }
+}
+
+#[test]
+fn replayed_capture_yields_identical_scores() {
+    let scenario = scenarios::unsw_nb15(ScenarioScale::Tiny);
+    let labeled = scenario.generate(3);
+
+    // In-memory path.
+    let pipeline = Pipeline::new(Default::default()).unwrap();
+    let input_memory = pipeline.prepare("mem", labeled.clone()).unwrap();
+    let scores_memory = Slips::default().score(&input_memory);
+
+    // Pcap replay path.
+    let packets: Vec<_> = labeled.iter().map(|lp| lp.packet.clone()).collect();
+    let labels: Vec<_> = labeled.iter().map(|lp| lp.label).collect();
+    let image = pcap::write_all(&packets).unwrap();
+    let replayed: Vec<LabeledPacket> = pcap::read_all(&image)
+        .unwrap()
+        .into_iter()
+        .zip(labels)
+        .map(|(packet, label)| LabeledPacket::new(packet, label))
+        .collect();
+    let input_replay = pipeline.prepare("replay", replayed).unwrap();
+    let scores_replay = Slips::default().score(&input_replay);
+
+    assert_eq!(scores_memory, scores_replay);
+}
+
+#[test]
+fn all_generated_packets_parse() {
+    use idsbench::net::ParsedPacket;
+    for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+        for lp in scenario.generate(11) {
+            ParsedPacket::parse(&lp.packet).unwrap_or_else(|e| {
+                panic!("{}: generated packet failed to parse: {e}", scenario.info().name)
+            });
+        }
+    }
+}
