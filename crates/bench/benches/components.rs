@@ -16,11 +16,7 @@ use idsbench_net::{pcap, Packet, ParsedPacket};
 /// A realistic packet workload: one Tiny UNSW realisation (~2-3k packets of
 /// mixed enterprise traffic).
 fn workload() -> Vec<Packet> {
-    scenarios::unsw_nb15(ScenarioScale::Tiny)
-        .generate(42)
-        .into_iter()
-        .map(|lp| lp.packet)
-        .collect()
+    scenarios::unsw_nb15(ScenarioScale::Tiny).generate(42).into_iter().map(|lp| lp.packet).collect()
 }
 
 fn bench_parsing(c: &mut Criterion) {
@@ -97,7 +93,8 @@ fn bench_kitnet(c: &mut Criterion) {
         workload().iter().map(|p| ParsedPacket::parse(p).unwrap()).collect();
     let mut extractor = AfterImage::new(AfterImageConfig::default());
     let features: Vec<Vec<f64>> = parsed.iter().map(|p| extractor.update(p)).collect();
-    let clusters: Vec<Vec<usize>> = (0..100).collect::<Vec<_>>().chunks(10).map(<[usize]>::to_vec).collect();
+    let clusters: Vec<Vec<usize>> =
+        (0..100).collect::<Vec<_>>().chunks(10).map(<[usize]>::to_vec).collect();
 
     let mut group = c.benchmark_group("kitnet");
     group.throughput(Throughput::Elements(features.len() as u64));

@@ -17,8 +17,7 @@ fn main() {
     let (mut n_c2, mut n_tel, mut n_other) = (0.0, 0.0, 0.0);
     for flow in input.train_flows.iter().chain(&input.eval_flows) {
         let is_c2 = flow.label.attack_kind() == Some(AttackKind::BotnetC2);
-        let is_telemetry =
-            !flow.is_attack() && flow.record.initiator_key().dst_port == 1883;
+        let is_telemetry = !flow.is_attack() && flow.record.initiator_key().dst_port == 1883;
         if is_c2 {
             n_c2 += 1.0;
         } else if is_telemetry {

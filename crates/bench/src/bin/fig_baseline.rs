@@ -30,10 +30,17 @@ fn main() {
             let e = evaluate(detector.as_mut(), &scenario, &config).expect("evaluate");
             println!(
                 "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                e.detector, label, e.metrics.accuracy, e.metrics.precision, e.metrics.recall,
-                e.metrics.f1, e.auc
+                e.detector,
+                label,
+                e.metrics.accuracy,
+                e.metrics.precision,
+                e.metrics.recall,
+                e.metrics.f1,
+                e.auc
             );
         }
     }
-    eprintln!("\nExpected shape: both detectors lose most of their F1 when the clean prefix is removed.");
+    eprintln!(
+        "\nExpected shape: both detectors lose most of their F1 when the clean prefix is removed."
+    );
 }

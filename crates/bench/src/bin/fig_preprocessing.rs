@@ -39,8 +39,13 @@ fn main() {
             let e = evaluate(detector.as_mut(), &scenario, &config).expect("evaluate");
             println!(
                 "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                label, e.dataset, e.metrics.accuracy, e.metrics.precision, e.metrics.recall,
-                e.metrics.f1, e.auc
+                label,
+                e.dataset,
+                e.metrics.accuracy,
+                e.metrics.precision,
+                e.metrics.recall,
+                e.metrics.f1,
+                e.auc
             );
         }
     }

@@ -1,0 +1,83 @@
+//! Streaming scaling figure: packets/sec of the sharded online replay
+//! engine at shard counts {1, 2, 4, 8}, with detection quality alongside so
+//! regressions in either dimension are visible in one artifact.
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_streaming -- --scale small
+//! ```
+//!
+//! Emits one machine-readable line to stdout, prefixed `BENCH `, holding a
+//! JSON object with every per-(scenario, shards) run report; a human-
+//! readable table goes to stderr. Throughput scales with *available
+//! hardware*: on a single-core host the 4-shard run degrades gracefully to
+//! ~1× (the `parallelism` field records what the host offered, so results
+//! stay interpretable).
+
+use idsbench_bench::{scale_from_args, seed_from_args};
+use idsbench_core::StreamingDetector;
+use idsbench_datasets::{scenarios, Scenario};
+use idsbench_kitsune::Kitsune;
+use idsbench_stream::{run_stream, ScenarioSource, StreamConfig, StreamReport};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WARMUP_FRACTION: f64 = 0.3;
+
+fn kitsune() -> Box<dyn StreamingDetector> {
+    Box::new(Kitsune::default())
+}
+
+fn stream_once(scenario: &Scenario, seed: u64, shards: usize) -> StreamReport {
+    let (warmup, source) = ScenarioSource::new(scenario, seed).split_warmup(WARMUP_FRACTION);
+    let config = StreamConfig { shards, ..Default::default() };
+    run_stream(&kitsune, &warmup, source, &config).expect("streaming run").report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!("scenario,shards,packets,packets_per_sec,p50_us,p99_us,f1,auc");
+    let mut reports = Vec::new();
+    for scenario in [scenarios::mirai(scale), scenarios::stratosphere_iot(scale)] {
+        let mut baseline_pps = 0.0;
+        for shards in SHARD_COUNTS {
+            let report = stream_once(&scenario, seed, shards);
+            eprintln!(
+                "{},{},{},{:.0},{:.1},{:.1},{:.4},{:.4}",
+                report.source,
+                shards,
+                report.eval_packets,
+                report.throughput.packets_per_sec,
+                report.throughput.p50_latency_us,
+                report.throughput.p99_latency_us,
+                report.metrics.f1,
+                report.auc,
+            );
+            if shards == 1 {
+                baseline_pps = report.throughput.packets_per_sec;
+            } else if shards == 4 && baseline_pps > 0.0 {
+                eprintln!(
+                    "# {}: 4-shard speedup {:.2}x over 1 shard ({parallelism} cores available)",
+                    report.source,
+                    report.throughput.packets_per_sec / baseline_pps,
+                );
+            }
+            reports.push(report);
+        }
+    }
+
+    let scale_name = match scale {
+        idsbench_datasets::ScenarioScale::Tiny => "tiny",
+        idsbench_datasets::ScenarioScale::Small => "small",
+        idsbench_datasets::ScenarioScale::Full => "full",
+    };
+    let results: Vec<String> = reports.iter().map(StreamReport::to_json).collect();
+    let shard_counts = SHARD_COUNTS.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+    println!(
+        "BENCH {{\"bench\":\"fig_streaming\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
+         \"parallelism\":{parallelism},\"shard_counts\":[{shard_counts}],\"results\":[{}]}}",
+        results.join(","),
+    );
+}

@@ -6,7 +6,9 @@
 //! cargo run --release -p idsbench-bench --bin table4 -- --scale full --seed 42
 //! ```
 
-use idsbench_bench::{paper_cell, scale_from_args, seed_from_args, standard_detectors, standard_scenarios};
+use idsbench_bench::{
+    paper_cell, scale_from_args, seed_from_args, standard_detectors, standard_scenarios,
+};
 use idsbench_core::runner::{run_grid, EvalConfig};
 use idsbench_core::{report, Dataset};
 
@@ -20,7 +22,11 @@ fn main() {
     let detectors = standard_detectors();
     let config = EvalConfig { dataset_seed: seed, ..Default::default() };
 
-    eprintln!("running {} × {} grid at {scale:?} scale (seed {seed})…", detectors.len(), datasets.len());
+    eprintln!(
+        "running {} × {} grid at {scale:?} scale (seed {seed})…",
+        detectors.len(),
+        datasets.len()
+    );
     let started = std::time::Instant::now();
     let experiments = run_grid(&detectors, &datasets, &config).expect("grid evaluation failed");
     eprintln!("grid completed in {:.1}s", started.elapsed().as_secs_f64());

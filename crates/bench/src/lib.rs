@@ -20,7 +20,10 @@ use idsbench_slips::Slips;
 /// box configurations.
 pub fn standard_detectors() -> Vec<(String, DetectorFactory<'static>)> {
     vec![
-        ("Kitsune".to_string(), Box::new(|| Box::new(Kitsune::default()) as Box<dyn Detector>) as DetectorFactory),
+        (
+            "Kitsune".to_string(),
+            Box::new(|| Box::new(Kitsune::default()) as Box<dyn Detector>) as DetectorFactory,
+        ),
         ("HELAD".to_string(), Box::new(|| Box::new(Helad::default()) as Box<dyn Detector>)),
         ("DNN".to_string(), Box::new(|| Box::new(Dnn::default()) as Box<dyn Detector>)),
         ("Slips".to_string(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
@@ -91,11 +94,7 @@ pub fn paper_cell(detector: &str, dataset: &str) -> Option<&'static PaperCell> {
 
 /// Parses `--scale tiny|small|full` from CLI args (default `small`).
 pub fn scale_from_args(args: &[String]) -> ScenarioScale {
-    match args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(String::as_str)
     {
         Some("tiny") => ScenarioScale::Tiny,
         Some("full") => ScenarioScale::Full,
@@ -135,18 +134,15 @@ mod tests {
     #[test]
     fn paper_averages_match_published() {
         // The paper reports DNN's average F1 as 0.8537 — the highest.
-        let dnn_f1: f64 = PAPER_TABLE4
-            .iter()
-            .filter(|c| c.detector == "DNN")
-            .map(|c| c.f1)
-            .sum::<f64>()
-            / 5.0;
+        let dnn_f1: f64 =
+            PAPER_TABLE4.iter().filter(|c| c.detector == "DNN").map(|c| c.f1).sum::<f64>() / 5.0;
         assert!((dnn_f1 - 0.8537).abs() < 1e-3, "dnn avg f1 = {dnn_f1}");
     }
 
     #[test]
     fn arg_parsing() {
-        let args = vec!["--scale".to_string(), "full".to_string(), "--seed".to_string(), "7".to_string()];
+        let args =
+            vec!["--scale".to_string(), "full".to_string(), "--seed".to_string(), "7".to_string()];
         assert_eq!(scale_from_args(&args), ScenarioScale::Full);
         assert_eq!(seed_from_args(&args), 7);
         assert_eq!(scale_from_args(&[]), ScenarioScale::Small);

@@ -79,9 +79,8 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let dataset: Box<dyn Dataset> = Box::new(Fixed {
-            info: DatasetInfo::new("fixed", "ten packets", "unit test", 2024),
-        });
+        let dataset: Box<dyn Dataset> =
+            Box::new(Fixed { info: DatasetInfo::new("fixed", "ten packets", "unit test", 2024) });
         assert_eq!(dataset.info().name, "fixed");
         assert_eq!(dataset.generate(5).len(), 10);
         // Determinism in seed.

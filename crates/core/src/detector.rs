@@ -63,7 +63,9 @@ impl DetectorInput {
     /// Ground-truth labels of the evaluation items for the given format.
     pub fn eval_labels(&self, format: InputFormat) -> Vec<bool> {
         match format {
-            InputFormat::Packets => self.eval_packets.iter().map(LabeledPacket::is_attack).collect(),
+            InputFormat::Packets => {
+                self.eval_packets.iter().map(LabeledPacket::is_attack).collect()
+            }
             InputFormat::Flows => self.eval_flows.iter().map(LabeledFlow::is_attack).collect(),
         }
     }

@@ -32,6 +32,11 @@ pub enum CoreError {
         /// Parse error message.
         detail: String,
     },
+    /// A streaming run failed (packet source error or dead shard worker).
+    Stream {
+        /// Description of the failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +54,7 @@ impl fmt::Display for CoreError {
             CoreError::MalformedPacket { index, detail } => {
                 write!(f, "malformed packet at index {index}: {detail}")
             }
+            CoreError::Stream { detail } => write!(f, "streaming run failed: {detail}"),
         }
     }
 }
@@ -60,6 +66,12 @@ impl CoreError {
     pub(crate) fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
         CoreError::InvalidConfig { what, detail: detail.into() }
     }
+
+    /// Convenience constructor for [`CoreError::Stream`], public so the
+    /// streaming engine crate can raise pipeline errors of the same type.
+    pub fn stream(detail: impl Into<String>) -> Self {
+        CoreError::Stream { detail: detail.into() }
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +82,8 @@ mod tests {
     fn display_messages() {
         let err = CoreError::EmptyDataset { dataset: "unsw".into() };
         assert_eq!(err.to_string(), "dataset \"unsw\" produced no evaluable items");
-        let err = CoreError::ScoreCountMismatch { detector: "kitsune".into(), expected: 10, got: 9 };
+        let err =
+            CoreError::ScoreCountMismatch { detector: "kitsune".into(), expected: 10, got: 9 };
         assert!(err.to_string().contains("9 scores for 10 items"));
     }
 

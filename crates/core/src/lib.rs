@@ -34,12 +34,14 @@ pub mod preprocess;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod streaming;
 pub mod threshold;
 
 pub use dataset::{Dataset, DatasetInfo};
 pub use detector::{Detector, DetectorInput, InputFormat, LabeledFlow, Verdict};
 pub use error::CoreError;
 pub use label::{AttackKind, Label, LabeledPacket};
+pub use streaming::{Streamed, StreamingDetector, StreamingFactory};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

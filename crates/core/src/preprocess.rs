@@ -120,8 +120,6 @@ impl Pipeline {
             return Err(CoreError::EmptyDataset { dataset: name.to_string() });
         }
         let sorted = sort_by_timestamp(sampled);
-        let split = ((sorted.len() as f64) * self.config.train_fraction) as usize;
-        let (train_packets, eval_packets) = (sorted[..split].to_vec(), sorted[split..].to_vec());
 
         // Flows are assembled over the whole (sampled, sorted) trace so flow
         // boundaries do not depend on where the packet split lands, then
@@ -129,6 +127,7 @@ impl Pipeline {
         let flows = self.assemble_flows(&sorted)?;
         let (train_flows, eval_flows) = self.split_flows(flows);
 
+        let (train_packets, eval_packets) = split_at_fraction(sorted, self.config.train_fraction);
         Ok(DetectorInput { train_packets, eval_packets, train_flows, eval_flows })
     }
 
@@ -182,9 +181,9 @@ impl Pipeline {
                     None => true,
                     Some(key) => {
                         let (canonical, _) = key.canonical();
-                        *keep
-                            .entry(canonical)
-                            .or_insert_with(|| rng.random_range(0.0..1.0) < self.config.sampling_rate)
+                        *keep.entry(canonical).or_insert_with(|| {
+                            rng.random_range(0.0..1.0) < self.config.sampling_rate
+                        })
                     }
                 }
             })
@@ -202,9 +201,8 @@ impl Pipeline {
         let mut table = FlowTable::new(self.config.flow_config);
         let mut records = Vec::new();
         for (index, lp) in packets.iter().enumerate() {
-            let parsed = ParsedPacket::parse(&lp.packet).map_err(|e| {
-                CoreError::MalformedPacket { index, detail: e.to_string() }
-            })?;
+            let parsed = ParsedPacket::parse(&lp.packet)
+                .map_err(|e| CoreError::MalformedPacket { index, detail: e.to_string() })?;
             if let Some(key) = FlowKey::from_packet(&parsed) {
                 let (canonical, _) = key.canonical();
                 labels
@@ -234,6 +232,20 @@ impl Pipeline {
 fn sort_by_timestamp(mut packets: Vec<LabeledPacket>) -> Vec<LabeledPacket> {
     packets.sort_by_key(|lp| lp.packet.ts);
     packets
+}
+
+/// Step 3: splits a timestamp-sorted trace at the leading `fraction` of
+/// packets (`⌊len · fraction⌋`) into (train/warmup, eval) — the *single*
+/// definition of the train/eval split rule. The batch pipeline and the
+/// streaming engine's warmup split both call this function, which is what
+/// keeps the streaming↔batch parity invariant stable under maintenance.
+pub fn split_at_fraction(
+    mut packets: Vec<LabeledPacket>,
+    fraction: f64,
+) -> (Vec<LabeledPacket>, Vec<LabeledPacket>) {
+    let split = ((packets.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    let rest = packets.split_off(split.min(packets.len()));
+    (packets, rest)
 }
 
 fn shuffle(flows: &mut [LabeledFlow], rng: &mut SmallRng) {
@@ -287,7 +299,8 @@ mod tests {
 
     #[test]
     fn sampling_keeps_whole_flows() {
-        let config = PipelineConfig { sampling_rate: 0.5, train_fraction: 0.0, ..Default::default() };
+        let config =
+            PipelineConfig { sampling_rate: 0.5, train_fraction: 0.0, ..Default::default() };
         let pipeline = Pipeline::new(config).unwrap();
         let input = pipeline.prepare("t", many_flows(100, 4)).unwrap();
         // Every surviving flow must have all 4 packets.
@@ -313,11 +326,7 @@ mod tests {
         let config2 = PipelineConfig { sampling_rate: 0.3, seed: 99, ..Default::default() };
         let c = Pipeline::new(config2).unwrap().prepare("t", many_flows(50, 2)).unwrap();
         // Different seed virtually always keeps a different subset.
-        assert_ne!(
-            a.eval_packets.len() + a.train_packets.len(),
-            0,
-            "sanity: non-empty"
-        );
+        assert_ne!(a.eval_packets.len() + a.train_packets.len(), 0, "sanity: non-empty");
         let _ = c;
     }
 
@@ -332,8 +341,8 @@ mod tests {
 
     #[test]
     fn flows_inherit_attack_labels() {
-        let pipeline = Pipeline::new(PipelineConfig { train_fraction: 0.0, ..Default::default() })
-            .unwrap();
+        let pipeline =
+            Pipeline::new(PipelineConfig { train_fraction: 0.0, ..Default::default() }).unwrap();
         let mut packets = many_flows(3, 2);
         packets.push(tcp_packet(
             (9, 6666),
@@ -362,13 +371,15 @@ mod tests {
     fn invalid_configs_are_rejected() {
         assert!(Pipeline::new(PipelineConfig { sampling_rate: 0.0, ..Default::default() }).is_err());
         assert!(Pipeline::new(PipelineConfig { sampling_rate: 1.5, ..Default::default() }).is_err());
-        assert!(Pipeline::new(PipelineConfig { train_fraction: 1.0, ..Default::default() }).is_err());
+        assert!(
+            Pipeline::new(PipelineConfig { train_fraction: 1.0, ..Default::default() }).is_err()
+        );
     }
 
     #[test]
     fn eval_labels_align_with_flows() {
-        let pipeline = Pipeline::new(PipelineConfig { train_fraction: 0.0, ..Default::default() })
-            .unwrap();
+        let pipeline =
+            Pipeline::new(PipelineConfig { train_fraction: 0.0, ..Default::default() }).unwrap();
         let input = pipeline.prepare("t", many_flows(4, 2)).unwrap();
         let labels = input.eval_labels(crate::InputFormat::Flows);
         assert_eq!(labels.len(), input.eval_flows.len());

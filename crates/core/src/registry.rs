@@ -258,7 +258,8 @@ pub fn render_table1() -> String {
             UsabilityOutcome::UsedInPaper => "Used in Paper".to_string(),
             UsabilityOutcome::Excluded(reason) => reason.clone(),
         };
-        let _ = writeln!(out, "| {} | {} | {} | {} | {} |", e.name, e.year, e.dataset, source, outcome);
+        let _ =
+            writeln!(out, "| {} | {} | {} | {} | {} |", e.name, e.year, e.dataset, source, outcome);
     }
     out
 }

@@ -134,9 +134,7 @@ pub fn render_family_breakdown(dataset: &str, experiments: &[Experiment]) -> Str
     for family in families {
         let count = rows
             .iter()
-            .find_map(|e| {
-                e.family_recall.iter().find(|(n, _, _)| n == family).map(|(_, _, c)| *c)
-            })
+            .find_map(|e| e.family_recall.iter().find(|(n, _, _)| n == family).map(|(_, _, c)| *c))
             .unwrap_or(0);
         let _ = write!(out, "| {family} ({count}) |");
         for e in &rows {
@@ -208,7 +206,12 @@ pub fn render_console(experiments: &[Experiment]) -> String {
         let _ = writeln!(
             out,
             "{:<12} {:<16} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
-            e.detector, e.dataset, e.metrics.accuracy, e.metrics.precision, e.metrics.recall, e.metrics.f1
+            e.detector,
+            e.dataset,
+            e.metrics.accuracy,
+            e.metrics.precision,
+            e.metrics.recall,
+            e.metrics.f1
         );
     }
     if !block.is_empty() {
@@ -255,16 +258,13 @@ mod tests {
         assert_eq!(table.matches("*Average:*").count(), 2);
         // Best per dataset markers: DNN wins UNSW, Kitsune wins Mirai.
         let lines: Vec<&str> = table.lines().collect();
-        let kitsune_mirai = lines.iter().find(|l| l.starts_with("| Mirai") ).unwrap();
+        let kitsune_mirai = lines.iter().find(|l| l.starts_with("| Mirai")).unwrap();
         assert!(kitsune_mirai.contains('†'));
     }
 
     #[test]
     fn column_max_is_bolded() {
-        let experiments = vec![
-            experiment("A", "d1", 0.2),
-            experiment("B", "d1", 0.9),
-        ];
+        let experiments = vec![experiment("A", "d1", 0.2), experiment("B", "d1", 0.9)];
         let table = render_table4(&experiments);
         assert!(table.contains("**0.9000**"));
         // 0.2 must not be bolded.
@@ -294,10 +294,7 @@ mod tests {
 
     #[test]
     fn console_table_renders_all_rows() {
-        let experiments = vec![
-            experiment("A", "d1", 0.5),
-            experiment("A", "d2", 0.6),
-        ];
+        let experiments = vec![experiment("A", "d1", 0.5), experiment("A", "d2", 0.6)];
         let text = render_console(&experiments);
         assert!(text.contains("d1"));
         assert!(text.contains("d2"));

@@ -143,13 +143,13 @@ pub fn run_grid(
     datasets: &[&dyn Dataset],
     config: &EvalConfig,
 ) -> Result<Vec<Experiment>> {
-    let cells: Vec<(usize, usize)> = (0..detectors.len())
-        .flat_map(|d| (0..datasets.len()).map(move |s| (d, s)))
-        .collect();
+    let cells: Vec<(usize, usize)> =
+        (0..detectors.len()).flat_map(|d| (0..datasets.len()).map(move |s| (d, s))).collect();
     let results: Mutex<Vec<(usize, Result<Experiment>)>> = Mutex::new(Vec::new());
     let next: Mutex<usize> = Mutex::new(0);
 
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(cells.len().max(1));
+    let workers =
+        std::thread::available_parallelism().map_or(4, |n| n.get()).min(cells.len().max(1));
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| loop {

@@ -1,0 +1,181 @@
+//! Online detection: the [`StreamingDetector`] contract and its batch
+//! adapter.
+//!
+//! The paper's central criticism is that IDS evaluations are batch-shaped
+//! while deployments are stream-shaped: a detector in production consumes an
+//! unbounded packet sequence one packet at a time, under throughput
+//! pressure, with no second pass. [`StreamingDetector`] is that contract —
+//! a detector warms up once on a (presumed benign) leading traffic slice,
+//! then must emit one anomaly score per packet, immediately, forever.
+//!
+//! The two shapes interoperate in both directions:
+//!
+//! * [`Streamed`] lifts any `StreamingDetector` into the batch [`Detector`]
+//!   trait, so online systems slot into the existing grid runner unchanged.
+//! * An online system that also implements [`Detector`] directly (as Kitsune
+//!   does) must produce *identical* scores through both paths — the
+//!   `stream_batch_parity` integration test pins that equivalence.
+
+use crate::detector::{Detector, DetectorInput, InputFormat};
+use crate::label::LabeledPacket;
+
+/// A network IDS that scores packets online, one at a time.
+///
+/// The contract mirrors deployment rather than evaluation: `warmup` receives
+/// the leading traffic slice exactly once (the detector trains or calibrates
+/// itself as its published protocol dictates), after which `score_packet` is
+/// called per packet in arrival order and must return an anomaly score
+/// (higher = more anomalous) without seeing any future packet.
+///
+/// Implementations carry mutable state across calls (damped statistics,
+/// model weights under online training, flow tables); the sharded executor
+/// therefore gives every shard its own instance via [`StreamingFactory`].
+pub trait StreamingDetector: Send {
+    /// Human-readable system name (e.g. `"Kitsune"`).
+    fn name(&self) -> &str;
+
+    /// Consumes the training slice once, before any scoring.
+    fn warmup(&mut self, train: &[LabeledPacket]);
+
+    /// Scores one packet in arrival order.
+    fn score_packet(&mut self, packet: &LabeledPacket) -> f64;
+}
+
+impl StreamingDetector for Box<dyn StreamingDetector> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn warmup(&mut self, train: &[LabeledPacket]) {
+        self.as_mut().warmup(train);
+    }
+
+    fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
+        self.as_mut().score_packet(packet)
+    }
+}
+
+/// A named factory producing fresh [`StreamingDetector`] instances — one per
+/// shard, so no state is shared across flow partitions.
+pub type StreamingFactory<'a> = Box<dyn Fn() -> Box<dyn StreamingDetector> + Send + Sync + 'a>;
+
+/// Adapter lifting a [`StreamingDetector`] into the batch [`Detector`]
+/// contract: warm up on the training packets, then score each evaluation
+/// packet in order.
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_core::streaming::{Streamed, StreamingDetector};
+/// use idsbench_core::{Detector, LabeledPacket};
+///
+/// /// Scores every packet by wire length.
+/// #[derive(Debug)]
+/// struct Length;
+///
+/// impl StreamingDetector for Length {
+///     fn name(&self) -> &str {
+///         "length"
+///     }
+///     fn warmup(&mut self, _train: &[LabeledPacket]) {}
+///     fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
+///         packet.packet.wire_len() as f64
+///     }
+/// }
+///
+/// let adapted: Box<dyn Detector> = Box::new(Streamed::new(Length));
+/// assert_eq!(adapted.name(), "length");
+/// ```
+#[derive(Debug)]
+pub struct Streamed<D> {
+    inner: D,
+}
+
+impl<D: StreamingDetector> Streamed<D> {
+    /// Wraps an online detector for batch evaluation.
+    pub fn new(inner: D) -> Self {
+        Streamed { inner }
+    }
+
+    /// Returns the wrapped detector.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: StreamingDetector> Detector for Streamed<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Packets
+    }
+
+    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
+        self.inner.warmup(&input.train_packets);
+        input.eval_packets.iter().map(|p| self.inner.score_packet(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use idsbench_net::{Packet, Timestamp};
+
+    /// Counts warmup packets and scores by position after warmup.
+    #[derive(Debug, Default)]
+    struct Counting {
+        warmed: usize,
+        scored: usize,
+    }
+
+    impl StreamingDetector for Counting {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn warmup(&mut self, train: &[LabeledPacket]) {
+            self.warmed = train.len();
+        }
+
+        fn score_packet(&mut self, _packet: &LabeledPacket) -> f64 {
+            self.scored += 1;
+            (self.warmed + self.scored) as f64
+        }
+    }
+
+    fn packets(n: usize) -> Vec<LabeledPacket> {
+        (0..n)
+            .map(|i| {
+                LabeledPacket::new(
+                    Packet::new(Timestamp::from_micros(i as u64), vec![0u8; 60]),
+                    Label::Benign,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streamed_adapter_replays_in_order() {
+        let mut adapted = Streamed::new(Counting::default());
+        let input = DetectorInput {
+            train_packets: packets(10),
+            eval_packets: packets(3),
+            train_flows: Vec::new(),
+            eval_flows: Vec::new(),
+        };
+        let scores = adapted.score(&input);
+        assert_eq!(scores, vec![11.0, 12.0, 13.0]);
+        assert_eq!(adapted.into_inner().warmed, 10);
+    }
+
+    #[test]
+    fn boxed_streaming_detector_delegates() {
+        let mut boxed: Box<dyn StreamingDetector> = Box::new(Counting::default());
+        boxed.warmup(&packets(2));
+        assert_eq!(boxed.name(), "counting");
+        assert_eq!(boxed.score_packet(&packets(1)[0]), 3.0);
+    }
+}

@@ -95,9 +95,7 @@ impl ThresholdPolicy {
                         fallback = Some((candidate, fpr));
                     }
                 }
-                best.map(|(t, _, _)| t)
-                    .or(fallback.map(|(t, _)| t))
-                    .unwrap_or(f64::INFINITY)
+                best.map(|(t, _, _)| t).or(fallback.map(|(t, _)| t)).unwrap_or(f64::INFINITY)
             }
         }
     }

@@ -213,11 +213,8 @@ impl TrafficGenerator for AddressSweep {
                 if t >= self.window.1 {
                     break 'outer;
                 }
-                let src = if self.spoofed {
-                    Host::spoofed(self.scanner.mac, rng)
-                } else {
-                    self.scanner
-                };
+                let src =
+                    if self.spoofed { Host::spoofed(self.scanner.mac, rng) } else { self.scanner };
                 let sport = rng.random_range(32768..61000);
                 emitter.syn_probe(src, self.targets.get(index), sport, self.dport, t, 0.3, rng);
                 t += exponential_gap(rng, 1.0 / self.rate);
@@ -364,9 +361,27 @@ impl TrafficGenerator for MiraiPropagation {
             let dport = if rng.random_range(0.0..1.0) < 0.8 { 23 } else { 2323 };
             if rng.random_range(0.0..1.0) < self.success_rate {
                 // Credential brute + report + loader download.
-                emitter.tcp_session(scanner, target, sport, dport, t, &[(40, 60), (60, 30)], 0.05, rng);
+                emitter.tcp_session(
+                    scanner,
+                    target,
+                    sport,
+                    dport,
+                    t,
+                    &[(40, 60), (60, 30)],
+                    0.05,
+                    rng,
+                );
                 let dl_port = rng.random_range(32768..61000);
-                emitter.tcp_session(target, self.loader, dl_port, 80, t + 0.4, &[(120, 60_000)], 0.01, rng);
+                emitter.tcp_session(
+                    target,
+                    self.loader,
+                    dl_port,
+                    80,
+                    t + 0.4,
+                    &[(120, 60_000)],
+                    0.01,
+                    rng,
+                );
             } else {
                 emitter.syn_probe(scanner, target, sport, dport, t, 0.15, rng);
             }
@@ -403,7 +418,16 @@ impl TrafficGenerator for Exfiltration {
             let start = self.window.0 + rng.random_range(0.0..span);
             let sport = rng.random_range(32768..61000);
             let size = (self.bytes_per_session as f64 * rng.random_range(0.5..2.0)) as usize;
-            emitter.tcp_session(self.source, self.sink, sport, 443, start, &[(size, 200)], 0.01, rng);
+            emitter.tcp_session(
+                self.source,
+                self.sink,
+                sport,
+                443,
+                start,
+                &[(size, 200)],
+                0.01,
+                rng,
+            );
         }
     }
 }
@@ -436,7 +460,16 @@ impl TrafficGenerator for Fuzzing {
             let sport = rng.random_range(32768..61000);
             // Malformed-looking bursts: random odd sizes, no meaningful reply.
             let size = pareto(rng, 20.0, 1.1, 4000.0) as usize;
-            emitter.tcp_session(self.attacker, self.target, sport, self.dport, t, &[(size, 40)], 0.005, rng);
+            emitter.tcp_session(
+                self.attacker,
+                self.target,
+                sport,
+                self.dport,
+                t,
+                &[(size, 40)],
+                0.005,
+                rng,
+            );
             t += exponential_gap(rng, 1.0 / self.rate);
         }
     }
@@ -475,7 +508,16 @@ impl TrafficGenerator for Stealth {
             let exchanges: Vec<(usize, usize)> = (0..count)
                 .map(|_| (rng.random_range(150..600), rng.random_range(800..8000)))
                 .collect();
-            emitter.tcp_session(self.attacker, self.server, sport, self.dport, start, &exchanges, 0.7, rng);
+            emitter.tcp_session(
+                self.attacker,
+                self.server,
+                sport,
+                self.dport,
+                start,
+                &exchanges,
+                0.7,
+                rng,
+            );
         }
     }
 }
@@ -506,7 +548,16 @@ impl TrafficGenerator for WebAttack {
             let start = self.window.0 + rng.random_range(0.0..span);
             let sport = rng.random_range(32768..61000);
             let injected = rng.random_range(2_000..12_000);
-            emitter.tcp_session(self.attacker, self.server, sport, 80, start, &[(injected, 600)], 0.05, rng);
+            emitter.tcp_session(
+                self.attacker,
+                self.server,
+                sport,
+                80,
+                start,
+                &[(injected, 600)],
+                0.05,
+                rng,
+            );
         }
     }
 }
@@ -561,7 +612,8 @@ mod tests {
             .filter_map(|p| {
                 let parsed = ParsedPacket::parse(&p.packet).unwrap();
                 // Only count probes (to the target), not RSTs back.
-                (parsed.dst_ip() == Some(Host::new(1, 5).ip.into())).then(|| parsed.dst_port().unwrap())
+                (parsed.dst_ip() == Some(Host::new(1, 5).ip.into()))
+                    .then(|| parsed.dst_port().unwrap())
             })
             .collect();
         assert_eq!(ports.len(), 200);
@@ -584,10 +636,7 @@ mod tests {
             .iter()
             .filter(|p| {
                 let parsed = ParsedPacket::parse(&p.packet).unwrap();
-                parsed
-                    .tcp()
-                    .map(|t| t.flags == TcpFlags::SYN)
-                    .unwrap_or(false)
+                parsed.tcp().map(|t| t.flags == TcpFlags::SYN).unwrap_or(false)
             })
             .map(|p| p.packet.ts.as_secs_f64())
             .collect();

@@ -376,7 +376,10 @@ mod tests {
                 let parsed = ParsedPacket::parse(&p.packet).unwrap();
                 parsed
                     .tcp()
-                    .map(|t| t.flags.contains(idsbench_net::TcpFlags::SYN) && !t.flags.contains(idsbench_net::TcpFlags::ACK))
+                    .map(|t| {
+                        t.flags.contains(idsbench_net::TcpFlags::SYN)
+                            && !t.flags.contains(idsbench_net::TcpFlags::ACK)
+                    })
                     .unwrap_or(false)
             })
             .map(|p| p.packet.ts.as_secs_f64())

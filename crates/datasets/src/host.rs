@@ -32,10 +32,7 @@ impl Host {
     /// matching how a capture at the site border sees them.
     pub fn external(id: u16) -> Self {
         let [hi, lo] = id.to_be_bytes();
-        Host {
-            mac: MacAddr::from_host_id(0xffff_0000),
-            ip: Ipv4Addr::new(203, 0, hi, lo),
-        }
+        Host { mac: MacAddr::from_host_id(0xffff_0000), ip: Ipv4Addr::new(203, 0, hi, lo) }
     }
 
     /// A host with a randomly spoofed source IP (used by flood generators).

@@ -46,6 +46,6 @@ pub mod scenarios;
 mod session;
 
 pub use host::{Host, HostPool};
-pub use scenario::{Scenario, ScenarioBuilder, TrafficGenerator, TrafficStats};
+pub use scenario::{split_at_fraction, Scenario, ScenarioBuilder, TrafficGenerator, TrafficStats};
 pub use scenarios::{all_scenarios, ScenarioScale};
 pub use session::SessionEmitter;

@@ -86,7 +86,23 @@ impl Scenario {
     pub fn stats(&self, seed: u64) -> TrafficStats {
         TrafficStats::of(&self.generate(seed))
     }
+
+    /// Generates one realisation and splits it into a leading warmup slice
+    /// and the remainder — the generator-as-source entry point for the
+    /// streaming engine. See [`split_at_fraction`] for the split rule.
+    pub fn generate_split(
+        &self,
+        seed: u64,
+        fraction: f64,
+    ) -> (Vec<LabeledPacket>, Vec<LabeledPacket>) {
+        split_at_fraction(self.generate(seed), fraction)
+    }
 }
+
+/// The batch pipeline's train/eval split rule, re-exported so generator
+/// users can split realisations without importing the pipeline. One shared
+/// definition is what keeps the `stream_batch_parity` invariant stable.
+pub use idsbench_core::preprocess::split_at_fraction;
 
 impl Dataset for Scenario {
     fn info(&self) -> &DatasetInfo {

@@ -112,7 +112,17 @@ impl<'a> SessionEmitter<'a> {
         self.tcp_packet(client, server, sport, dport, TcpFlags::SYN, seq_c, 0, 0, t);
         seq_c = seq_c.wrapping_add(1);
         t += rtt / 2.0;
-        self.tcp_packet(server, client, dport, sport, TcpFlags::SYN | TcpFlags::ACK, seq_s, seq_c, 0, t);
+        self.tcp_packet(
+            server,
+            client,
+            dport,
+            sport,
+            TcpFlags::SYN | TcpFlags::ACK,
+            seq_s,
+            seq_c,
+            0,
+            t,
+        );
         seq_s = seq_s.wrapping_add(1);
         t += rtt / 2.0;
         self.tcp_packet(client, server, sport, dport, TcpFlags::ACK, seq_c, seq_s, 0, t);
@@ -338,8 +348,7 @@ mod tests {
     fn syn_probe_label_and_rst() {
         let mut out = Vec::new();
         let mut rng = SmallRng::seed_from_u64(3);
-        let mut emitter =
-            SessionEmitter::new(&mut out, Label::Attack(AttackKind::PortScan));
+        let mut emitter = SessionEmitter::new(&mut out, Label::Attack(AttackKind::PortScan));
         emitter.syn_probe(Host::new(1, 9), Host::new(1, 2), 55555, 22, 1.0, 1.0, &mut rng);
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|lp| lp.is_attack()));

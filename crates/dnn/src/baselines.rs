@@ -77,8 +77,7 @@ impl Detector for NaiveBayes {
         if input.train_flows.is_empty() {
             return vec![0.5; input.eval_flows.len()];
         }
-        let rows: Vec<Vec<f64>> =
-            input.train_flows.iter().map(|f| f.features.to_vec()).collect();
+        let rows: Vec<Vec<f64>> = input.train_flows.iter().map(|f| f.features.to_vec()).collect();
         let scaler = ZScoreNormalizer::fit(&rows);
         let width = scaler.width();
 
@@ -240,11 +239,8 @@ impl Detector for DecisionTree {
         if input.train_flows.is_empty() {
             return vec![0.5; input.eval_flows.len()];
         }
-        let rows: Vec<(Vec<f64>, bool)> = input
-            .train_flows
-            .iter()
-            .map(|f| (f.features.to_vec(), f.is_attack()))
-            .collect();
+        let rows: Vec<(Vec<f64>, bool)> =
+            input.train_flows.iter().map(|f| (f.features.to_vec(), f.is_attack())).collect();
         let indices: Vec<usize> = (0..rows.len()).collect();
         let root = build_tree(&rows, &indices, 0, self.max_depth, self.min_samples);
         input.eval_flows.iter().map(|f| tree_score(&root, f.features.as_slice())).collect()
@@ -294,12 +290,12 @@ impl Detector for KNearest {
                 let mut distances: Vec<(f64, f64)> = points
                     .iter()
                     .map(|(p, label)| {
-                        let d: f64 =
-                            p.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                        let d: f64 = p.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
                         (d, *label)
                     })
                     .collect();
-                distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                distances
+                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 distances[..k].iter().map(|(_, label)| label).sum::<f64>() / k as f64
             })
             .collect()

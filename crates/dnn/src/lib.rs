@@ -218,8 +218,8 @@ mod tests {
             packets.push(LabeledPacket::new(p, Label::Attack(AttackKind::PortScan)));
         }
         packets.sort_by_key(|lp| lp.packet.ts);
-        let pipeline = Pipeline::new(PipelineConfig { train_fraction: 0.5, ..Default::default() })
-            .unwrap();
+        let pipeline =
+            Pipeline::new(PipelineConfig { train_fraction: 0.5, ..Default::default() }).unwrap();
         pipeline.prepare("toy", packets).unwrap()
     }
 
@@ -268,9 +268,8 @@ mod tests {
 
     #[test]
     fn rebalance_reaches_parity() {
-        let rows: Vec<(Vec<f64>, f64)> = (0..100)
-            .map(|i| (vec![i as f64], f64::from(i < 10)))
-            .collect();
+        let rows: Vec<(Vec<f64>, f64)> =
+            (0..100).map(|i| (vec![i as f64], f64::from(i < 10))).collect();
         let balanced = rebalance(rows, 1);
         let positives = balanced.iter().filter(|(_, y)| *y > 0.5).count();
         let negatives = balanced.len() - positives;

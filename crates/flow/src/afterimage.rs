@@ -164,10 +164,8 @@ impl AfterImage {
 
         // --- MI: source MAC+IP bandwidth -------------------------------
         if let Some(src_ip) = packet.src_ip() {
-            let entry = self
-                .mac_ip
-                .entry((packet.src_mac(), src_ip))
-                .or_insert_with(|| BandwidthEntry {
+            let entry =
+                self.mac_ip.entry((packet.src_mac(), src_ip)).or_insert_with(|| BandwidthEntry {
                     stats: lambdas.iter().map(|&l| DampedStat::new(l)).collect(),
                     last_seen: t,
                 });

@@ -121,8 +121,10 @@ impl RunningStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
-        self.mean = (self.mean * self.count as f64 + other.mean * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean =
+            (self.mean * self.count as f64 + other.mean * other.count as f64) / total as f64;
         self.count = total;
         self.sum += other.sum;
         self.min = self.min.min(other.min);

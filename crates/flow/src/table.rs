@@ -136,11 +136,8 @@ impl FlowTable {
             .flows
             .drain()
             .map(|(_, mut record)| {
-                record.termination = if record.closing {
-                    FlowTermination::TcpClose
-                } else {
-                    FlowTermination::Flush
-                };
+                record.termination =
+                    if record.closing { FlowTermination::TcpClose } else { FlowTermination::Flush };
                 record
             })
             .collect();
@@ -237,7 +234,8 @@ mod tests {
         let mut table = FlowTable::new(FlowTableConfig::default());
         table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, 0.0));
         table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::FIN | TcpFlags::ACK, 0.1));
-        let done = table.observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::FIN | TcpFlags::ACK, 0.2));
+        let done =
+            table.observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::FIN | TcpFlags::ACK, 0.2));
         // TIME_WAIT: not emitted yet, so the final ACK can still join.
         assert!(done.is_empty());
         let done = table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, 0.21));
@@ -257,11 +255,36 @@ mod tests {
         for session in 0..2 {
             let t0 = session as f64 * 15.0;
             emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, t0)));
-            emitted.extend(table.observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::SYN | TcpFlags::ACK, t0 + 0.01)));
-            emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, t0 + 0.02)));
-            emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::FIN | TcpFlags::ACK, t0 + 0.03)));
-            emitted.extend(table.observe(&tcp_packet((2, 80), (1, 5000), TcpFlags::FIN | TcpFlags::ACK, t0 + 0.04)));
-            emitted.extend(table.observe(&tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, t0 + 0.05)));
+            emitted.extend(table.observe(&tcp_packet(
+                (2, 80),
+                (1, 5000),
+                TcpFlags::SYN | TcpFlags::ACK,
+                t0 + 0.01,
+            )));
+            emitted.extend(table.observe(&tcp_packet(
+                (1, 5000),
+                (2, 80),
+                TcpFlags::ACK,
+                t0 + 0.02,
+            )));
+            emitted.extend(table.observe(&tcp_packet(
+                (1, 5000),
+                (2, 80),
+                TcpFlags::FIN | TcpFlags::ACK,
+                t0 + 0.03,
+            )));
+            emitted.extend(table.observe(&tcp_packet(
+                (2, 80),
+                (1, 5000),
+                TcpFlags::FIN | TcpFlags::ACK,
+                t0 + 0.04,
+            )));
+            emitted.extend(table.observe(&tcp_packet(
+                (1, 5000),
+                (2, 80),
+                TcpFlags::ACK,
+                t0 + 0.05,
+            )));
         }
         emitted.extend(table.flush());
         assert_eq!(emitted.len(), 2);
@@ -274,7 +297,8 @@ mod tests {
 
     #[test]
     fn idle_timeout_emits_flow() {
-        let config = FlowTableConfig { idle_timeout: Duration::from_secs(10), ..Default::default() };
+        let config =
+            FlowTableConfig { idle_timeout: Duration::from_secs(10), ..Default::default() };
         let mut table = FlowTable::new(config);
         table.observe(&udp_packet((1, 999), (2, 53), 0.0));
         // A packet from an unrelated flow far in the future triggers the sweep.

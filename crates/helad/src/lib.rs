@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+use idsbench_core::streaming::StreamingDetector;
 use idsbench_core::{Detector, DetectorInput, InputFormat, LabeledPacket};
 use idsbench_flow::{AfterImage, AfterImageConfig};
 use idsbench_net::ParsedPacket;
@@ -88,9 +89,16 @@ impl Default for HeladConfig {
 }
 
 /// The HELAD NIDS (see crate docs).
+///
+/// Like [`Kitsune`](https://docs.rs/idsbench-kitsune), HELAD implements both
+/// evaluation contracts over one training/scoring code path ([`Helad::fit`]
+/// → [`HeladEngine`]), so batch and single-shard streaming runs produce
+/// bit-identical scores.
 #[derive(Debug)]
 pub struct Helad {
     config: HeladConfig,
+    /// The fitted online engine, populated by [`StreamingDetector::warmup`].
+    engine: Option<HeladEngine>,
 }
 
 impl Helad {
@@ -105,31 +113,13 @@ impl Helad {
             config.weight_ae + config.weight_lstm > 0.0,
             "at least one ensemble weight must be positive"
         );
-        Helad { config }
-    }
-}
-
-impl Default for Helad {
-    fn default() -> Self {
-        Helad::new(HeladConfig::default())
-    }
-}
-
-fn features_of(extractor: &mut AfterImage, packet: &LabeledPacket) -> Option<Vec<f64>> {
-    let parsed = ParsedPacket::parse(&packet.packet).ok()?;
-    Some(extractor.update(&parsed))
-}
-
-impl Detector for Helad {
-    fn name(&self) -> &str {
-        "HELAD"
+        Helad { config, engine: None }
     }
 
-    fn input_format(&self) -> InputFormat {
-        InputFormat::Packets
-    }
-
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
+    /// Trains the autoencoder and LSTM over the (assumed benign) training
+    /// slice and returns the fitted per-packet scoring engine — the single
+    /// training path behind both the batch and the streaming contract.
+    pub fn fit(&self, train: &[LabeledPacket]) -> HeladEngine {
         let mut extractor = AfterImage::new(self.config.afterimage.clone());
         let width = extractor.feature_count();
         let mut norm = MinMaxNormalizer::new(width);
@@ -153,8 +143,8 @@ impl Detector for Helad {
         // Phase 1 — train the autoencoder over the (assumed benign)
         // training slice. The first pass extracts features and widens the
         // normalizer; subsequent epochs retrain on the buffered vectors.
-        let mut buffered: Vec<Vec<f64>> = Vec::with_capacity(input.train_packets.len());
-        for packet in &input.train_packets {
+        let mut buffered: Vec<Vec<f64>> = Vec::with_capacity(train.len());
+        for packet in train {
             if let Some(features) = features_of(&mut extractor, packet) {
                 norm.observe(&features);
                 buffered.push(features);
@@ -182,53 +172,127 @@ impl Detector for Helad {
             }
         }
 
-        // Phase 3 — execution: blended anomaly score per evaluation packet.
-        let mut recent: Vec<f64> = history.iter().rev().take(window).rev().copied().collect();
-        let smooth = self.config.smooth_window.max(1);
-        let mut channel_history: std::collections::HashMap<
-            (std::net::IpAddr, std::net::IpAddr),
-            std::collections::VecDeque<f64>,
-        > = std::collections::HashMap::new();
-        input
-            .eval_packets
-            .iter()
-            .map(|packet| {
-                let Ok(parsed) = ParsedPacket::parse(&packet.packet) else {
-                    return 0.0;
-                };
-                let features = extractor.update(&parsed);
-                // HELAD fits its scaler offline on the training set; out-of-
-                // range eval features clamp to the boundary (and read as
-                // anomalous) rather than re-scaling the whole space.
-                let normalized = norm.transform(&features);
-                let rmse = autoencoder.score(&normalized);
-                let surprise = if recent.len() == window {
-                    let sequence: Vec<Vec<f64>> = recent.iter().map(|&s| vec![s]).collect();
-                    (rmse - lstm.predict(&sequence)).abs()
-                } else {
-                    0.0
-                };
-                recent.push(rmse);
-                if recent.len() > window {
-                    recent.remove(0);
+        let recent: Vec<f64> = history.iter().rev().take(window).rev().copied().collect();
+        HeladEngine {
+            extractor,
+            norm,
+            autoencoder,
+            lstm,
+            recent,
+            channel_history: std::collections::HashMap::new(),
+            window,
+            smooth: self.config.smooth_window.max(1),
+            weight_ae: self.config.weight_ae,
+            weight_lstm: self.config.weight_lstm,
+        }
+    }
+}
+
+/// A fitted HELAD ensemble scoring packets one at a time (phase 3): damped
+/// feature extraction, offline-fitted normalizer, trained autoencoder and
+/// LSTM, plus the rolling score and per-channel smoothing state.
+#[derive(Debug)]
+pub struct HeladEngine {
+    extractor: AfterImage,
+    norm: MinMaxNormalizer,
+    autoencoder: Autoencoder,
+    lstm: LstmRegressor,
+    /// Rolling window of recent reconstruction errors fed to the LSTM.
+    recent: Vec<f64>,
+    /// Recent errors per src↔dst channel for the smoothing term.
+    channel_history: std::collections::HashMap<
+        (std::net::IpAddr, std::net::IpAddr),
+        std::collections::VecDeque<f64>,
+    >,
+    window: usize,
+    smooth: usize,
+    weight_ae: f64,
+    weight_lstm: f64,
+}
+
+impl HeladEngine {
+    /// Scores one packet: blended reconstruction error and LSTM surprise.
+    /// Unparseable packets score 0 (pass-through), keeping stream alignment.
+    pub fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
+        let Ok(parsed) = ParsedPacket::parse(&packet.packet) else {
+            return 0.0;
+        };
+        let features = self.extractor.update(&parsed);
+        // HELAD fits its scaler offline on the training set; out-of-range
+        // eval features clamp to the boundary (and read as anomalous)
+        // rather than re-scaling the whole space.
+        let normalized = self.norm.transform(&features);
+        let rmse = self.autoencoder.score(&normalized);
+        let surprise = if self.recent.len() == self.window {
+            let sequence: Vec<Vec<f64>> = self.recent.iter().map(|&s| vec![s]).collect();
+            (rmse - self.lstm.predict(&sequence)).abs()
+        } else {
+            0.0
+        };
+        self.recent.push(rmse);
+        if self.recent.len() > self.window {
+            self.recent.remove(0);
+        }
+        // Per-channel smoothing: a channel's sustained anomaly stays high;
+        // other channels keep their own quiet history.
+        let smoothed = match (parsed.src_ip(), parsed.dst_ip()) {
+            (Some(a), Some(b)) => {
+                let key = if a <= b { (a, b) } else { (b, a) };
+                let history = self.channel_history.entry(key).or_default();
+                history.push_back(rmse);
+                if history.len() > self.smooth {
+                    history.pop_front();
                 }
-                // Per-channel smoothing: a channel's sustained anomaly stays
-                // high; other channels keep their own quiet history.
-                let smoothed = match (parsed.src_ip(), parsed.dst_ip()) {
-                    (Some(a), Some(b)) => {
-                        let key = if a <= b { (a, b) } else { (b, a) };
-                        let history = channel_history.entry(key).or_default();
-                        history.push_back(rmse);
-                        if history.len() > smooth {
-                            history.pop_front();
-                        }
-                        history.iter().sum::<f64>() / history.len() as f64
-                    }
-                    _ => rmse,
-                };
-                self.config.weight_ae * smoothed + self.config.weight_lstm * surprise
-            })
-            .collect()
+                history.iter().sum::<f64>() / history.len() as f64
+            }
+            _ => rmse,
+        };
+        self.weight_ae * smoothed + self.weight_lstm * surprise
+    }
+}
+
+impl Default for Helad {
+    fn default() -> Self {
+        Helad::new(HeladConfig::default())
+    }
+}
+
+fn features_of(extractor: &mut AfterImage, packet: &LabeledPacket) -> Option<Vec<f64>> {
+    let parsed = ParsedPacket::parse(&packet.packet).ok()?;
+    Some(extractor.update(&parsed))
+}
+
+impl Detector for Helad {
+    fn name(&self) -> &str {
+        "HELAD"
+    }
+
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Packets
+    }
+
+    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
+        let mut engine = self.fit(&input.train_packets);
+        input.eval_packets.iter().map(|packet| engine.score_packet(packet)).collect()
+    }
+}
+
+impl StreamingDetector for Helad {
+    fn name(&self) -> &str {
+        "HELAD"
+    }
+
+    fn warmup(&mut self, train: &[LabeledPacket]) {
+        self.engine = Some(self.fit(train));
+    }
+
+    fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
+        // Scoring without warmup degrades to an untrained engine rather than
+        // panicking — the stream keeps flowing, as a deployed IDS must.
+        if self.engine.is_none() {
+            self.engine = Some(self.fit(&[]));
+        }
+        self.engine.as_mut().expect("engine fitted above").score_packet(packet)
     }
 }
 
@@ -371,7 +435,9 @@ mod tests {
     #[test]
     fn name_and_format() {
         let helad = Helad::default();
-        assert_eq!(helad.name(), "HELAD");
+        // Both the batch and streaming contracts report the same name.
+        assert_eq!(Detector::name(&helad), "HELAD");
+        assert_eq!(StreamingDetector::name(&helad), "HELAD");
         assert_eq!(helad.input_format(), InputFormat::Packets);
     }
 

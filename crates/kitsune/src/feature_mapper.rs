@@ -180,7 +180,7 @@ mod tests {
         // All features perfectly correlated.
         for i in 0..200 {
             let v = i as f64;
-            tracker.observe(&vec![v; 10]);
+            tracker.observe(&[v; 10]);
         }
         for cap in [1, 3, 4, 10] {
             let clusters = tracker.cluster(cap);

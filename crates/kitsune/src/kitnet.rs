@@ -50,10 +50,7 @@ impl KitNet {
         assert!(!clusters.is_empty(), "ensemble needs at least one cluster");
         for cluster in &clusters {
             assert!(!cluster.is_empty(), "clusters must be non-empty");
-            assert!(
-                cluster.iter().all(|&i| i < feature_width),
-                "cluster index out of range"
-            );
+            assert!(cluster.iter().all(|&i| i < feature_width), "cluster index out of range");
         }
         let ensemble: Vec<Autoencoder> = clusters
             .iter()
@@ -105,10 +102,7 @@ impl KitNet {
     }
 
     fn split(&self, x: &[f64]) -> Vec<Vec<f64>> {
-        self.clusters
-            .iter()
-            .map(|cluster| cluster.iter().map(|&i| x[i]).collect())
-            .collect()
+        self.clusters.iter().map(|cluster| cluster.iter().map(|&i| x[i]).collect()).collect()
     }
 
     /// One online training step (updates normalizers and all autoencoders);
@@ -120,12 +114,8 @@ impl KitNet {
     pub fn train(&mut self, x: &[f64]) -> f64 {
         let normalized = self.input_norm.observe_and_transform(x);
         let parts = self.split(&normalized);
-        let rmses: Vec<f64> = self
-            .ensemble
-            .iter_mut()
-            .zip(parts)
-            .map(|(ae, part)| ae.train_sample(&part))
-            .collect();
+        let rmses: Vec<f64> =
+            self.ensemble.iter_mut().zip(parts).map(|(ae, part)| ae.train_sample(&part)).collect();
         self.trained += 1;
         let scaled = self.scale_scores(&rmses, true);
         self.output.train_sample(&scaled)
@@ -211,11 +201,7 @@ mod tests {
 
     #[test]
     fn ensemble_structure_matches_clusters() {
-        let net = KitNet::new(
-            vec![vec![0], vec![1, 2], vec![3, 4, 5]],
-            6,
-            KitNetConfig::default(),
-        );
+        let net = KitNet::new(vec![vec![0], vec![1, 2], vec![3, 4, 5]], 6, KitNetConfig::default());
         assert_eq!(net.ensemble_size(), 3);
     }
 

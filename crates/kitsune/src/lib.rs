@@ -32,6 +32,7 @@
 pub mod feature_mapper;
 pub mod kitnet;
 
+use idsbench_core::streaming::StreamingDetector;
 use idsbench_core::{Detector, DetectorInput, InputFormat, LabeledPacket};
 use idsbench_flow::{AfterImage, AfterImageConfig};
 use idsbench_net::ParsedPacket;
@@ -66,53 +67,42 @@ impl Default for KitsuneConfig {
 }
 
 /// The Kitsune NIDS (see crate docs).
+///
+/// Implements both evaluation contracts over one training/scoring code path
+/// ([`Kitsune::fit`] → [`KitsuneEngine`]), so a batch [`Detector::score`]
+/// call and a [`StreamingDetector`] replay of the same packets produce
+/// bit-identical scores.
 #[derive(Debug)]
 pub struct Kitsune {
     config: KitsuneConfig,
+    /// The fitted online engine, populated by [`StreamingDetector::warmup`].
+    engine: Option<KitsuneEngine>,
 }
 
 impl Kitsune {
     /// Creates a Kitsune instance with the given configuration.
     pub fn new(config: KitsuneConfig) -> Self {
-        Kitsune { config }
-    }
-}
-
-impl Default for Kitsune {
-    fn default() -> Self {
-        Kitsune::new(KitsuneConfig::default())
-    }
-}
-
-fn features_of(
-    extractor: &mut AfterImage,
-    packet: &LabeledPacket,
-) -> Option<Vec<f64>> {
-    let parsed = ParsedPacket::parse(&packet.packet).ok()?;
-    Some(extractor.update(&parsed))
-}
-
-impl Detector for Kitsune {
-    fn name(&self) -> &str {
-        "Kitsune"
+        Kitsune { config, engine: None }
     }
 
-    fn input_format(&self) -> InputFormat {
-        InputFormat::Packets
-    }
-
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
+    /// Runs feature mapping and online ensemble training over the training
+    /// slice, returning the fitted per-packet scoring engine.
+    ///
+    /// This is the single training path behind both the batch and the
+    /// streaming contract. An empty training slice yields a degenerate (but
+    /// functional) engine: one feature cluster per block, untrained weights.
+    pub fn fit(&self, train: &[LabeledPacket]) -> KitsuneEngine {
         let mut extractor = AfterImage::new(self.config.afterimage.clone());
         let width = extractor.feature_count();
 
         // Phase 1 — feature mapping over the leading slice of the training
         // data. Feature vectors are buffered so the ensemble can train on
         // them afterwards without re-extracting.
-        let fm_len = ((input.train_packets.len() as f64 * self.config.fm_grace_fraction) as usize)
-            .clamp(1.min(input.train_packets.len()), 5_000);
+        let fm_len = ((train.len() as f64 * self.config.fm_grace_fraction) as usize)
+            .clamp(1.min(train.len()), 5_000);
         let mut tracker = CorrelationTracker::new(width);
-        let mut buffered: Vec<Option<Vec<f64>>> = Vec::with_capacity(input.train_packets.len());
-        for packet in &input.train_packets[..fm_len.min(input.train_packets.len())] {
+        let mut buffered: Vec<Option<Vec<f64>>> = Vec::with_capacity(fm_len);
+        for packet in &train[..fm_len.min(train.len())] {
             let features = features_of(&mut extractor, packet);
             if let Some(f) = &features {
                 tracker.observe(f);
@@ -135,24 +125,83 @@ impl Detector for Kitsune {
         for features in buffered.iter().flatten() {
             net.train(features);
         }
-        if input.train_packets.len() > fm_len {
-            for packet in &input.train_packets[fm_len..] {
+        if train.len() > fm_len {
+            for packet in &train[fm_len..] {
                 if let Some(features) = features_of(&mut extractor, packet) {
                     net.train(&features);
                 }
             }
         }
 
-        // Phase 3 — execution: one score per evaluation packet. Unparseable
-        // packets score 0 (pass-through), keeping stream alignment.
-        input
-            .eval_packets
-            .iter()
-            .map(|packet| match features_of(&mut extractor, packet) {
-                Some(features) => net.execute(&features),
-                None => 0.0,
-            })
-            .collect()
+        KitsuneEngine { extractor, net }
+    }
+}
+
+/// A fitted Kitsune: damped-statistics extractor plus trained KitNET
+/// ensemble, scoring packets one at a time (phase 3 of the crate docs).
+///
+/// The engine is deliberately *stateful*: AfterImage statistics keep
+/// evolving as evaluation packets arrive, exactly as in the reference
+/// implementation's execution phase.
+#[derive(Debug)]
+pub struct KitsuneEngine {
+    extractor: AfterImage,
+    net: KitNet,
+}
+
+impl KitsuneEngine {
+    /// Scores one packet. Unparseable packets score 0 (pass-through),
+    /// keeping stream alignment.
+    pub fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
+        match features_of(&mut self.extractor, packet) {
+            Some(features) => self.net.execute(&features),
+            None => 0.0,
+        }
+    }
+}
+
+impl Default for Kitsune {
+    fn default() -> Self {
+        Kitsune::new(KitsuneConfig::default())
+    }
+}
+
+fn features_of(extractor: &mut AfterImage, packet: &LabeledPacket) -> Option<Vec<f64>> {
+    let parsed = ParsedPacket::parse(&packet.packet).ok()?;
+    Some(extractor.update(&parsed))
+}
+
+impl Detector for Kitsune {
+    fn name(&self) -> &str {
+        "Kitsune"
+    }
+
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Packets
+    }
+
+    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
+        let mut engine = self.fit(&input.train_packets);
+        input.eval_packets.iter().map(|packet| engine.score_packet(packet)).collect()
+    }
+}
+
+impl StreamingDetector for Kitsune {
+    fn name(&self) -> &str {
+        "Kitsune"
+    }
+
+    fn warmup(&mut self, train: &[LabeledPacket]) {
+        self.engine = Some(self.fit(train));
+    }
+
+    fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
+        // Scoring without warmup degrades to an untrained engine rather than
+        // panicking — the stream keeps flowing, as a deployed IDS must.
+        if self.engine.is_none() {
+            self.engine = Some(self.fit(&[]));
+        }
+        self.engine.as_mut().expect("engine fitted above").score_packet(packet)
     }
 }
 
@@ -238,7 +287,9 @@ mod tests {
     #[test]
     fn name_and_format() {
         let kitsune = Kitsune::default();
-        assert_eq!(kitsune.name(), "Kitsune");
+        // Both the batch and streaming contracts report the same name.
+        assert_eq!(Detector::name(&kitsune), "Kitsune");
+        assert_eq!(StreamingDetector::name(&kitsune), "Kitsune");
         assert_eq!(kitsune.input_format(), InputFormat::Packets);
     }
 

@@ -74,11 +74,7 @@ impl From<MacAddr> for [u8; 6] {
 impl fmt::Display for MacAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let o = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            o[0], o[1], o[2], o[3], o[4], o[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", o[0], o[1], o[2], o[3], o[4], o[5])
     }
 }
 
@@ -97,7 +93,10 @@ impl FromStr for MacAddr {
             count += 1;
         }
         if count != 6 {
-            return Err(NetError::invalid("mac address", format!("expected 6 octets, got {count}")));
+            return Err(NetError::invalid(
+                "mac address",
+                format!("expected 6 octets, got {count}"),
+            ));
         }
         Ok(MacAddr(octets))
     }

@@ -139,12 +139,9 @@ mod tests {
 
     #[test]
     fn rejects_non_ethernet_arp() {
-        let mut bytes = ArpPacket::request(
-            MacAddr::ZERO,
-            Ipv4Addr::UNSPECIFIED,
-            Ipv4Addr::UNSPECIFIED,
-        )
-        .to_bytes();
+        let mut bytes =
+            ArpPacket::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED)
+                .to_bytes();
         bytes[1] = 6; // token ring
         assert!(matches!(ArpPacket::parse(&bytes), Err(NetError::InvalidField { .. })));
     }

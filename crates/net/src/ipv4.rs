@@ -157,8 +157,7 @@ impl Ipv4Header {
         out[1] = self.dscp_ecn;
         out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
         out[4..6].copy_from_slice(&self.identification.to_be_bytes());
-        let flags =
-            u8::from(self.dont_fragment) << 1 | u8::from(self.more_fragments);
+        let flags = u8::from(self.dont_fragment) << 1 | u8::from(self.more_fragments);
         out[6] = flags << 5 | ((self.fragment_offset >> 8) as u8 & 0x1f);
         out[7] = self.fragment_offset as u8;
         out[8] = self.ttl;

@@ -156,6 +156,23 @@ impl<R: Read> PcapReader<R> {
     }
 }
 
+impl PcapReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a capture file for buffered streaming reads.
+    ///
+    /// The returned reader is lazy: records decode one at a time as
+    /// [`PcapReader::next_packet`] (or the iterator) is driven, so captures
+    /// larger than memory replay fine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] when the file cannot be opened and any
+    /// [`PcapReader::new`] error for a bad global header.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        PcapReader::new(std::io::BufReader::new(file))
+    }
+}
+
 impl<R: Read> Iterator for PcapReader<R> {
     type Item = Result<Packet>;
 
@@ -186,7 +203,7 @@ impl<W: Write> PcapWriter<W> {
         header[0..4].copy_from_slice(&MAGIC_MICROS.to_le_bytes());
         header[4..6].copy_from_slice(&2u16.to_le_bytes()); // major
         header[6..8].copy_from_slice(&4u16.to_le_bytes()); // minor
-        // thiszone (8..12) and sigfigs (12..16) are zero.
+                                                           // thiszone (8..12) and sigfigs (12..16) are zero.
         header[16..20].copy_from_slice(&DEFAULT_SNAPLEN.to_le_bytes());
         header[20..24].copy_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
         sink.write_all(&header)?;

@@ -43,7 +43,10 @@ impl Timestamp {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "timestamp seconds must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "timestamp seconds must be finite and non-negative"
+        );
         Timestamp { micros: (secs * 1e6).round() as u64 }
     }
 
@@ -145,7 +148,10 @@ impl Duration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration seconds must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration seconds must be finite and non-negative"
+        );
         Duration { micros: (secs * 1e6).round() as u64 }
     }
 
@@ -230,9 +236,8 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: Duration = [Duration::from_secs(1), Duration::from_millis(500)]
-            .into_iter()
-            .sum();
+        let total: Duration =
+            [Duration::from_secs(1), Duration::from_millis(500)].into_iter().sum();
         assert_eq!(total, Duration::from_millis(1500));
     }
 }

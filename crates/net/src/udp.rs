@@ -20,12 +20,7 @@ impl UdpHeader {
     /// Creates a header for a payload of `payload_len` bytes with a zero
     /// checksum.
     pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
-        UdpHeader {
-            src_port,
-            dst_port,
-            length: (UDP_HEADER_LEN + payload_len) as u16,
-            checksum: 0,
-        }
+        UdpHeader { src_port, dst_port, length: (UDP_HEADER_LEN + payload_len) as u16, checksum: 0 }
     }
 
     /// Parses a header from the front of `data`.

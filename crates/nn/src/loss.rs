@@ -57,15 +57,13 @@ impl Loss {
         let n = (prediction.rows() * prediction.cols()) as f64;
         match self {
             Loss::Mse => (prediction - target).scale(2.0 / n),
-            Loss::BinaryCrossEntropy => Matrix::from_fn(
-                prediction.rows(),
-                prediction.cols(),
-                |r, c| {
+            Loss::BinaryCrossEntropy => {
+                Matrix::from_fn(prediction.rows(), prediction.cols(), |r, c| {
                     let p = prediction.get(r, c).clamp(1e-12, 1.0 - 1e-12);
                     let y = target.get(r, c);
                     ((p - y) / (p * (1.0 - p))) / n
-                },
-            ),
+                })
+            }
         }
     }
 }
@@ -92,7 +90,10 @@ mod tests {
         let good = Matrix::from_rows(&[&[0.99]]);
         let bad = Matrix::from_rows(&[&[0.01]]);
         let target = Matrix::from_rows(&[&[1.0]]);
-        assert!(Loss::BinaryCrossEntropy.value(&bad, &target) > Loss::BinaryCrossEntropy.value(&good, &target));
+        assert!(
+            Loss::BinaryCrossEntropy.value(&bad, &target)
+                > Loss::BinaryCrossEntropy.value(&good, &target)
+        );
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl Mlp {
 
     /// Total number of trainable scalars.
     pub fn parameter_count(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.input_size() * l.output_size() + l.output_size())
-            .sum()
+        self.layers.iter().map(|l| l.input_size() * l.output_size() + l.output_size()).sum()
     }
 }
 

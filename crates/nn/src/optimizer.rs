@@ -68,11 +68,8 @@ impl Optimizer for Sgd {
             .velocity
             .entry(param_id)
             .or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
-        for ((v, p), g) in velocity
-            .as_mut_slice()
-            .iter_mut()
-            .zip(param.as_mut_slice())
-            .zip(grad.as_slice())
+        for ((v, p), g) in
+            velocity.as_mut_slice().iter_mut().zip(param.as_mut_slice()).zip(grad.as_slice())
         {
             *v = self.momentum * *v - self.lr * g;
             *p += *v;

@@ -531,7 +531,7 @@ mod tests {
     /// to an internal server does not.
     #[test]
     fn upload_module_is_external_only() {
-        let mut big_upload = |dst: Ipv4Addr, label: Label, out: &mut Vec<LabeledPacket>| {
+        let big_upload = |dst: Ipv4Addr, label: Label, out: &mut Vec<LabeledPacket>| {
             // ~1.4 MB upstream in 1000 packets.
             for i in 0..1000u32 {
                 let p = PacketBuilder::new()

@@ -1,0 +1,626 @@
+//! The sharded streaming executor: flow-hashed fan-out of an online packet
+//! stream onto N scoring workers with bounded-channel backpressure.
+//!
+//! ```text
+//!                    ┌─ shard 0: detector₀ + flow set ─┐
+//!  source ─ feeder ──┼─ shard 1: detector₁ + flow set ─┼── merge ─ report
+//!   (pull)  (hash by └─ shard N: detectorN + flow set ─┘
+//!            flow key, bounded channels, per-shard batches)
+//! ```
+//!
+//! Invariants the design pins down:
+//!
+//! * **Per-flow locality.** Packets are routed by the *canonical* 5-tuple
+//!   hash, so both directions of a conversation always reach the same shard
+//!   and each shard's detector sees every flow it owns in arrival order.
+//!   Decisions for a given flow are therefore identical regardless of how
+//!   many other shards exist.
+//! * **Backpressure, not buffering.** Feeder→shard channels are bounded; a
+//!   slow shard stalls the feeder (and, through [`BoundedSource`], the
+//!   producer) instead of ballooning memory.
+//! * **Batch-amortised handoff.** The feeder hands packets over in
+//!   configurable per-shard batches so channel synchronisation cost is
+//!   amortised; scoring itself remains strictly per-packet.
+//! * **Warmup off the clock.** Every shard trains its own detector instance
+//!   on the shared warmup slice before the feeder starts the throughput
+//!   clock, so reported packets/sec measures scoring, not training.
+//!
+//! [`BoundedSource`]: crate::source::BoundedSource
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use crossbeam::channel;
+use idsbench_core::metrics::{auc, roc_curve, ConfusionMatrix};
+use idsbench_core::threshold::ThresholdPolicy;
+use idsbench_core::{CoreError, LabeledPacket, Result, StreamingDetector};
+use idsbench_flow::FlowKey;
+use idsbench_net::ParsedPacket;
+
+use crate::metrics::{family_recall, window_metrics, ScoredPacket, Throughput};
+use crate::report::{ShardStats, StreamReport};
+use crate::source::PacketSource;
+
+/// How the alert threshold is resolved at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdMode {
+    /// Replay-evaluation mode: collect all scores, then apply the same
+    /// standardized calibration rule the batch pipeline uses — streaming and
+    /// batch results stay directly comparable.
+    Calibrated(ThresholdPolicy),
+    /// Deployment mode: a fixed threshold known up front; decisions are
+    /// final the moment a packet is scored.
+    Fixed(f64),
+}
+
+impl Default for ThresholdMode {
+    fn default() -> Self {
+        ThresholdMode::Calibrated(ThresholdPolicy::default())
+    }
+}
+
+/// Configuration of one streaming run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Number of scoring shards (worker threads), each owning an independent
+    /// detector instance and flow set.
+    pub shards: usize,
+    /// Packets per feeder→shard batch (channel-synchronisation amortisation).
+    pub batch_size: usize,
+    /// Channel capacity per shard, in batches (the backpressure bound).
+    pub channel_capacity: usize,
+    /// Tumbling metrics-window length on the traffic timeline, seconds.
+    pub window_secs: f64,
+    /// Threshold resolution mode.
+    pub threshold: ThresholdMode,
+}
+
+impl Default for StreamConfig {
+    /// One shard, 32-packet batches, 64 batches of backpressure headroom,
+    /// 10-second metric windows, batch-compatible calibration.
+    fn default() -> Self {
+        StreamConfig {
+            shards: 1,
+            batch_size: 32,
+            channel_capacity: 64,
+            window_secs: 10.0,
+            threshold: ThresholdMode::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(CoreError::stream("shards must be >= 1"));
+        }
+        if self.batch_size == 0 {
+            return Err(CoreError::stream("batch_size must be >= 1"));
+        }
+        if self.channel_capacity == 0 {
+            return Err(CoreError::stream("channel_capacity must be >= 1"));
+        }
+        // NaN must be rejected too, hence the negated comparison shape.
+        if self.window_secs.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(CoreError::stream("window_secs must be positive"));
+        }
+        if let ThresholdMode::Fixed(threshold) = self.threshold {
+            if threshold.is_nan() {
+                // `score >= NaN` is always false: the run would complete but
+                // silently never alert.
+                return Err(CoreError::stream("fixed threshold must not be NaN"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a streaming run: the report plus the raw per-packet score
+/// stream in arrival order (what parity tests and calibration sweeps need).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRun {
+    /// The merged, threshold-resolved report.
+    pub report: StreamReport,
+    /// Score of packet `seq`, for every fed packet.
+    pub scores: Vec<f64>,
+    /// Ground truth of packet `seq`, aligned with `scores`.
+    pub labels: Vec<bool>,
+}
+
+/// One packet in flight from the feeder to a shard.
+struct StreamItem {
+    seq: u64,
+    packet: LabeledPacket,
+    key: Option<FlowKey>,
+}
+
+/// What a shard hands back when its channel drains.
+struct ShardOutcome {
+    shard: usize,
+    records: Vec<ScoredPacket>,
+    detector_seconds: f64,
+    warmup_seconds: f64,
+    flows: usize,
+}
+
+/// Deterministic shard routing: canonical flow-key hash, stable across runs
+/// (`DefaultHasher` with default keys). Non-IP packets ride on shard 0.
+fn shard_of(key: &Option<FlowKey>, shards: usize) -> usize {
+    match key {
+        None => 0,
+        Some(key) => {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            key.hash(&mut hasher);
+            (hasher.finish() % shards as u64) as usize
+        }
+    }
+}
+
+fn window_of(packet: &LabeledPacket, window_secs: f64) -> u64 {
+    let window_micros = (window_secs * 1e6) as u64;
+    packet.packet.ts.as_micros() / window_micros.max(1)
+}
+
+/// Runs one streaming evaluation: warms a detector per shard on `warmup`,
+/// then drains `source` through the sharded scoring pipeline and merges the
+/// result into a [`StreamReport`].
+///
+/// The factory is invoked once per shard; each instance must be independent
+/// (the paper's out-of-the-box rule, per shard instead of per grid cell).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Stream`] for invalid configuration, a failing packet
+/// source, or a panicked shard worker.
+pub fn run_stream(
+    factory: &(dyn Fn() -> Box<dyn StreamingDetector> + Sync),
+    warmup: &[LabeledPacket],
+    mut source: impl PacketSource,
+    config: &StreamConfig,
+) -> Result<StreamRun> {
+    config.validate()?;
+    let shards = config.shards;
+    let source_name = source.name().to_string();
+    let detector_name = factory().name().to_string();
+
+    // Everyone (shards + feeder) meets here after warmup, so the throughput
+    // clock starts only when scoring can actually proceed.
+    let start_line = Barrier::new(shards + 1);
+
+    let mut channels: Vec<channel::Sender<Vec<StreamItem>>> = Vec::new();
+    let mut receivers: Vec<channel::Receiver<Vec<StreamItem>>> = Vec::new();
+    for _ in 0..shards {
+        let (tx, rx) = channel::bounded(config.channel_capacity);
+        channels.push(tx);
+        receivers.push(rx);
+    }
+
+    let window_secs = config.window_secs;
+    let run = std::thread::scope(|scope| -> Result<(Vec<ShardOutcome>, u64, f64)> {
+        let mut workers = Vec::new();
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            let start_line = &start_line;
+            workers.push(scope.spawn(move || -> Option<ShardOutcome> {
+                // A warmup panic must not strand the barrier (the feeder
+                // would deadlock behind it): catch it, pass the start line,
+                // and disconnect so the feeder sees the shard as dead.
+                let warmup_started = Instant::now();
+                let warmed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut detector = factory();
+                    detector.warmup(warmup);
+                    detector
+                }));
+                let warmup_seconds = warmup_started.elapsed().as_secs_f64();
+                start_line.wait();
+                let mut detector = match warmed {
+                    Ok(detector) => detector,
+                    Err(_) => {
+                        drop(rx);
+                        return None;
+                    }
+                };
+
+                let mut records = Vec::new();
+                let mut flows: HashSet<FlowKey> = HashSet::new();
+                let mut detector_nanos = 0u128;
+                for batch in rx.iter() {
+                    for item in batch {
+                        let scored_at = Instant::now();
+                        let score = detector.score_packet(&item.packet);
+                        let latency = scored_at.elapsed();
+                        detector_nanos += latency.as_nanos();
+                        let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+                        if let Some(key) = item.key {
+                            flows.insert(key);
+                        }
+                        records.push(ScoredPacket {
+                            seq: item.seq,
+                            window: window_of(&item.packet, window_secs),
+                            score,
+                            latency_nanos,
+                            label: item.packet.is_attack(),
+                            kind: item.packet.label.attack_kind(),
+                        });
+                    }
+                }
+                Some(ShardOutcome {
+                    shard,
+                    records,
+                    detector_seconds: detector_nanos as f64 / 1e9,
+                    warmup_seconds,
+                    flows: flows.len(),
+                })
+            }));
+        }
+
+        // ---- Feeder (this thread): route, batch, apply backpressure. ----
+        start_line.wait();
+        let clock = Instant::now();
+        let mut batches: Vec<Vec<StreamItem>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut seq = 0u64;
+        let mut source_error: Option<CoreError> = None;
+        loop {
+            match source.next_packet() {
+                Ok(Some(packet)) => {
+                    let key = ParsedPacket::parse(&packet.packet)
+                        .ok()
+                        .and_then(|parsed| FlowKey::from_packet(&parsed))
+                        .map(|key| key.canonical().0);
+                    let shard = shard_of(&key, shards);
+                    batches[shard].push(StreamItem { seq, packet, key });
+                    seq += 1;
+                    if batches[shard].len() >= config.batch_size {
+                        let batch = std::mem::take(&mut batches[shard]);
+                        if channels[shard].send(batch).is_err() {
+                            source_error = Some(CoreError::stream(format!("shard {shard} died")));
+                            break;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    source_error = Some(e);
+                    break;
+                }
+            }
+        }
+        // Flush partial batches and close the channels so shards drain out.
+        for (shard, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                let _ = channels[shard].send(batch);
+            }
+        }
+        channels.clear(); // drops every sender
+
+        let mut outcomes = Vec::new();
+        let mut worker_failure = None;
+        for worker in workers {
+            match worker.join() {
+                Ok(Some(outcome)) => outcomes.push(outcome),
+                Ok(None) => {
+                    worker_failure = Some(CoreError::stream("shard worker panicked in warmup"))
+                }
+                Err(_) => worker_failure = Some(CoreError::stream("shard worker panicked")),
+            }
+        }
+        let wall_seconds = clock.elapsed().as_secs_f64();
+        // A dead worker is the root cause when both fired (the feeder sees
+        // it only as a closed channel), so report it first.
+        if let Some(e) = worker_failure {
+            return Err(e);
+        }
+        if let Some(e) = source_error {
+            return Err(e);
+        }
+        Ok((outcomes, seq, wall_seconds))
+    });
+    let (mut outcomes, fed, wall_seconds) = run?;
+    outcomes.sort_by_key(|o| o.shard);
+
+    Ok(finalise(detector_name, source_name, warmup.len(), fed, wall_seconds, outcomes, config))
+}
+
+/// Merges shard outcomes, resolves the threshold, and assembles the report.
+fn finalise(
+    detector: String,
+    source: String,
+    warmup_packets: usize,
+    fed: u64,
+    wall_seconds: f64,
+    outcomes: Vec<ShardOutcome>,
+    config: &StreamConfig,
+) -> StreamRun {
+    let mut records: Vec<ScoredPacket> = Vec::with_capacity(fed as usize);
+    let mut shard_stats = Vec::with_capacity(outcomes.len());
+    let mut detector_seconds = 0.0;
+    let mut warmup_seconds: f64 = 0.0;
+    for outcome in outcomes {
+        shard_stats.push(ShardStats {
+            shard: outcome.shard,
+            packets: outcome.records.len(),
+            flows: outcome.flows,
+            detector_seconds: outcome.detector_seconds,
+        });
+        detector_seconds += outcome.detector_seconds;
+        warmup_seconds = warmup_seconds.max(outcome.warmup_seconds);
+        records.extend(outcome.records);
+    }
+    records.sort_by_key(|r| r.seq);
+
+    let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
+    let labels: Vec<bool> = records.iter().map(|r| r.label).collect();
+    let threshold = match config.threshold {
+        ThresholdMode::Fixed(t) => t,
+        ThresholdMode::Calibrated(policy) => policy.calibrate(&scores, &labels),
+    };
+
+    let cm = ConfusionMatrix::from_scores(&scores, &labels, threshold);
+    let attacks = labels.iter().filter(|&&l| l).count();
+    let report = StreamReport {
+        detector,
+        source,
+        shards: config.shards,
+        batch_size: config.batch_size,
+        warmup_packets,
+        eval_packets: records.len(),
+        attack_share: if labels.is_empty() { 0.0 } else { attacks as f64 / labels.len() as f64 },
+        threshold,
+        metrics: cm.metrics(),
+        false_positive_rate: cm.false_positive_rate(),
+        auc: auc(&roc_curve(&scores, &labels)),
+        family_recall: family_recall(&records, threshold),
+        windows: window_metrics(&records, config.window_secs, threshold),
+        throughput: Throughput::from_run(
+            records.len(),
+            wall_seconds,
+            records.iter().map(|r| r.latency_nanos).collect(),
+            detector_seconds,
+            warmup_seconds,
+        ),
+        shard_stats,
+    };
+    StreamRun { report, scores, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use idsbench_core::{AttackKind, Label};
+    use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
+    use std::net::Ipv4Addr;
+
+    /// Scores by wire length after counting warmup packets; tracks call
+    /// order so tests can assert per-shard arrival order.
+    #[derive(Debug, Default)]
+    struct LengthDetector {
+        warmed: usize,
+    }
+
+    impl StreamingDetector for LengthDetector {
+        fn name(&self) -> &str {
+            "length"
+        }
+
+        fn warmup(&mut self, train: &[LabeledPacket]) {
+            self.warmed = train.len();
+        }
+
+        fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
+            packet.packet.wire_len() as f64
+        }
+    }
+
+    fn flow_packet(host: u8, port: u16, t_micros: u64, attack: bool) -> LabeledPacket {
+        let payload = if attack { 900 } else { 40 };
+        let p = PacketBuilder::new()
+            .ethernet(MacAddr::from_host_id(host as u32), MacAddr::from_host_id(200))
+            .ipv4(Ipv4Addr::new(10, 0, 0, host), Ipv4Addr::new(10, 0, 0, 200))
+            .tcp(port, 80, TcpFlags::ACK)
+            .payload_len(payload)
+            .build(Timestamp::from_micros(t_micros));
+        let label = if attack { Label::Attack(AttackKind::SynFlood) } else { Label::Benign };
+        LabeledPacket::new(p, label)
+    }
+
+    fn workload(n: usize) -> Vec<LabeledPacket> {
+        (0..n)
+            .map(|i| {
+                flow_packet((i % 7) as u8 + 1, 1000 + (i % 13) as u16, i as u64 * 1000, i % 10 == 0)
+            })
+            .collect()
+    }
+
+    fn factory() -> Box<dyn StreamingDetector> {
+        Box::new(LengthDetector::default())
+    }
+
+    #[test]
+    fn single_shard_scores_every_packet_in_order() {
+        let packets = workload(200);
+        let run = run_stream(
+            &factory,
+            &packets[..50],
+            VecSource::new("toy", packets[50..].to_vec()),
+            &StreamConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.scores.len(), 150);
+        assert_eq!(run.report.eval_packets, 150);
+        assert_eq!(run.report.warmup_packets, 50);
+        // Length oracle: attacks are the large packets.
+        assert_eq!(run.report.metrics.recall, 1.0);
+        assert_eq!(run.report.metrics.precision, 1.0);
+        assert_eq!(run.report.detector, "length");
+        assert_eq!(run.report.source, "toy");
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard_scores() {
+        let packets = workload(400);
+        let single = run_stream(
+            &factory,
+            &packets[..100],
+            VecSource::new("toy", packets[100..].to_vec()),
+            &StreamConfig::default(),
+        )
+        .unwrap();
+        let sharded = run_stream(
+            &factory,
+            &packets[..100],
+            VecSource::new("toy", packets[100..].to_vec()),
+            &StreamConfig { shards: 4, batch_size: 7, ..Default::default() },
+        )
+        .unwrap();
+        // A stateless per-packet scorer must agree exactly across shardings;
+        // seq-indexed merge restores arrival order.
+        assert_eq!(single.scores, sharded.scores);
+        assert_eq!(single.labels, sharded.labels);
+        assert_eq!(single.report.metrics, sharded.report.metrics);
+        assert_eq!(sharded.report.shard_stats.len(), 4);
+        let spread: usize = sharded.report.shard_stats.iter().map(|s| s.packets).sum();
+        assert_eq!(spread, 300);
+        assert!(
+            sharded.report.shard_stats.iter().filter(|s| s.packets > 0).count() > 1,
+            "flow hashing must actually spread load"
+        );
+    }
+
+    #[test]
+    fn flows_stay_on_one_shard() {
+        // All packets share one flow: every one must land on a single shard.
+        let packets: Vec<LabeledPacket> =
+            (0..100).map(|i| flow_packet(1, 1000, i * 1000, false)).collect();
+        let run = run_stream(
+            &factory,
+            &[],
+            VecSource::new("one-flow", packets),
+            &StreamConfig { shards: 4, ..Default::default() },
+        )
+        .unwrap();
+        let active: Vec<_> = run.report.shard_stats.iter().filter(|s| s.packets > 0).collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].packets, 100);
+        assert_eq!(active[0].flows, 1);
+    }
+
+    #[test]
+    fn windows_split_the_traffic_timeline() {
+        // 100 packets at 1ms spacing → 0.1s of traffic; 0.02s windows → 5.
+        let packets = workload(100);
+        let run = run_stream(
+            &factory,
+            &[],
+            VecSource::new("toy", packets),
+            &StreamConfig { window_secs: 0.02, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(run.report.windows.len(), 5);
+        assert_eq!(run.report.windows.iter().map(|w| w.packets).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn fixed_threshold_mode_applies_verbatim() {
+        let packets = workload(100);
+        let run = run_stream(
+            &factory,
+            &[],
+            VecSource::new("toy", packets),
+            &StreamConfig { threshold: ThresholdMode::Fixed(500.0), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(run.report.threshold, 500.0);
+        assert_eq!(run.report.metrics.recall, 1.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = |c: StreamConfig| {
+            run_stream(&factory, &[], VecSource::new("x", Vec::new()), &c).unwrap_err()
+        };
+        assert!(matches!(
+            bad(StreamConfig { shards: 0, ..Default::default() }),
+            CoreError::Stream { .. }
+        ));
+        assert!(matches!(
+            bad(StreamConfig { batch_size: 0, ..Default::default() }),
+            CoreError::Stream { .. }
+        ));
+        assert!(matches!(
+            bad(StreamConfig { window_secs: 0.0, ..Default::default() }),
+            CoreError::Stream { .. }
+        ));
+        assert!(matches!(
+            bad(StreamConfig { window_secs: f64::NAN, ..Default::default() }),
+            CoreError::Stream { .. }
+        ));
+        assert!(matches!(
+            bad(StreamConfig { threshold: ThresholdMode::Fixed(f64::NAN), ..Default::default() }),
+            CoreError::Stream { .. }
+        ));
+    }
+
+    #[test]
+    fn warmup_panic_fails_the_run_instead_of_deadlocking() {
+        /// Panics during training, as a buggy detector would.
+        #[derive(Debug)]
+        struct Exploding;
+
+        impl StreamingDetector for Exploding {
+            fn name(&self) -> &str {
+                "exploding"
+            }
+            fn warmup(&mut self, _train: &[LabeledPacket]) {
+                panic!("train-time bug");
+            }
+            fn score_packet(&mut self, _packet: &LabeledPacket) -> f64 {
+                0.0
+            }
+        }
+
+        let err = run_stream(
+            &|| Box::new(Exploding) as Box<dyn StreamingDetector>,
+            &workload(10),
+            VecSource::new("toy", workload(100)),
+            &StreamConfig { shards: 2, ..Default::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Stream { .. }), "{err}");
+        assert!(err.to_string().contains("warmup"), "{err}");
+    }
+
+    #[test]
+    fn empty_source_yields_empty_report() {
+        let run = run_stream(
+            &factory,
+            &[],
+            VecSource::new("empty", Vec::new()),
+            &StreamConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.report.eval_packets, 0);
+        assert_eq!(run.report.threshold, f64::INFINITY);
+        assert!(run.report.windows.is_empty());
+    }
+
+    #[test]
+    fn report_reconciles_with_batch_experiment_shape() {
+        let packets = workload(200);
+        let run = run_stream(
+            &factory,
+            &packets[..60],
+            VecSource::new("toy", packets[60..].to_vec()),
+            &StreamConfig::default(),
+        )
+        .unwrap();
+        let experiment = run.report.to_experiment();
+        assert_eq!(experiment.detector, "length");
+        assert_eq!(experiment.dataset, "toy");
+        assert_eq!(experiment.eval_items, 140);
+        assert_eq!(experiment.metrics, run.report.metrics);
+        assert_eq!(experiment.threshold, run.report.threshold);
+        assert_eq!(experiment.family_recall, run.report.family_recall);
+    }
+}

@@ -1,0 +1,66 @@
+//! `idsbench-stream` — the online replay-evaluation engine.
+//!
+//! The paper's core finding is that batch evaluation flatters IDSs:
+//! deployed detectors consume an *unbounded stream* one packet at a time
+//! under throughput pressure, and several published results do not survive
+//! that shift. This crate is the workspace's streaming counterpart to the
+//! batch runner in `idsbench-core`:
+//!
+//! * [`source`] — [`PacketSource`] unifies scenario generators, pcap
+//!   captures, and in-memory traces behind one pull iterator;
+//!   [`BoundedSource`] adds bounded-channel backpressure between producer
+//!   and scorer.
+//! * [`executor`] — [`run_stream`] hashes packets by canonical flow key
+//!   onto N shard workers, each owning an independent
+//!   [`StreamingDetector`](idsbench_core::StreamingDetector) instance and
+//!   flow set, with per-shard batches amortising the channel handoff.
+//! * [`metrics`] — windowed precision/recall/FPR over the traffic timeline
+//!   plus exact p50/p99 per-packet scoring latency and packets/sec.
+//! * [`report`] — [`StreamReport`] merges the shards and reconciles with
+//!   the batch `Experiment` shape ([`StreamReport::to_experiment`]), so
+//!   streaming and batch numbers are directly comparable; the
+//!   `stream_batch_parity` integration test pins single-shard streaming to
+//!   batch `evaluate()` exactly.
+//!
+//! # Quickstart
+//!
+//! Stream Kitsune over the Stratosphere scenario on four shards:
+//!
+//! ```
+//! use idsbench_core::StreamingDetector;
+//! use idsbench_datasets::{scenarios, ScenarioScale};
+//! use idsbench_kitsune::Kitsune;
+//! use idsbench_stream::{run_stream, ScenarioSource, StreamConfig};
+//!
+//! # fn main() -> Result<(), idsbench_core::CoreError> {
+//! let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+//! let (warmup, source) = ScenarioSource::new(&scenario, 42).split_warmup(0.3);
+//! let config = StreamConfig { shards: 4, ..Default::default() };
+//! let run = run_stream(
+//!     &|| Box::new(Kitsune::default()) as Box<dyn StreamingDetector>,
+//!     &warmup,
+//!     source,
+//!     &config,
+//! )?;
+//! println!(
+//!     "F1 {:.4} at {:.0} packets/sec across {} shards",
+//!     run.report.metrics.f1,
+//!     run.report.throughput.packets_per_sec,
+//!     run.report.shards,
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod executor;
+pub mod metrics;
+pub mod report;
+pub mod source;
+
+pub use executor::{run_stream, StreamConfig, StreamRun, ThresholdMode};
+pub use metrics::{ScoredPacket, Throughput, WindowMetrics};
+pub use report::{ShardStats, StreamReport};
+pub use source::{BoundedSource, PacketSource, PcapLabeler, PcapSource, ScenarioSource, VecSource};

@@ -1,0 +1,203 @@
+//! Live stream metrics: windowed detection quality and latency/throughput
+//! accounting, merged across shards.
+//!
+//! Each shard records one lightweight [`ScoredPacket`] per evaluation packet
+//! while it runs; at finalisation the executor merges the per-shard streams,
+//! resolves the alert threshold, and folds the records into overall and
+//! per-window confusion metrics. Latency percentiles are exact (computed
+//! over all recorded per-packet scoring times, not a sketch).
+
+use idsbench_core::metrics::ConfusionMatrix;
+use idsbench_core::AttackKind;
+
+/// One scored evaluation packet, as recorded inside a shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredPacket {
+    /// Arrival index in the merged input stream (assigned by the feeder).
+    pub seq: u64,
+    /// Tumbling window index (`ts / window`).
+    pub window: u64,
+    /// Anomaly score emitted by the shard's detector.
+    pub score: f64,
+    /// Nanoseconds spent inside the detector for this packet.
+    pub latency_nanos: u64,
+    /// Ground truth.
+    pub label: bool,
+    /// Attack family for per-family recall (`None` for benign).
+    pub kind: Option<AttackKind>,
+}
+
+/// Detection quality over one tumbling time window of the traffic timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowMetrics {
+    /// Window index (`start_secs / window length`).
+    pub index: u64,
+    /// Window start on the traffic timeline, in seconds.
+    pub start_secs: f64,
+    /// Evaluation packets in the window.
+    pub packets: usize,
+    /// Attack packets in the window.
+    pub attacks: usize,
+    /// Alerts raised in the window.
+    pub alerts: usize,
+    /// Precision within the window.
+    pub precision: f64,
+    /// Recall within the window.
+    pub recall: f64,
+    /// False-positive rate within the window.
+    pub false_positive_rate: f64,
+}
+
+/// Folds scored packets into per-window metrics at a resolved threshold.
+/// Windows with no packets are omitted (sparse traffic timelines).
+pub fn window_metrics(
+    records: &[ScoredPacket],
+    window_secs: f64,
+    threshold: f64,
+) -> Vec<WindowMetrics> {
+    let mut by_window: std::collections::BTreeMap<u64, (ConfusionMatrix, usize)> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        let (cm, packets) = by_window.entry(r.window).or_default();
+        cm.record(r.score >= threshold, r.label);
+        *packets += 1;
+    }
+    by_window
+        .into_iter()
+        .map(|(index, (cm, packets))| WindowMetrics {
+            index,
+            start_secs: index as f64 * window_secs,
+            packets,
+            attacks: (cm.true_positives + cm.false_negatives) as usize,
+            alerts: (cm.true_positives + cm.false_positives) as usize,
+            precision: cm.precision(),
+            recall: cm.recall(),
+            false_positive_rate: cm.false_positive_rate(),
+        })
+        .collect()
+}
+
+/// Per-family recall at a resolved threshold:
+/// `(family name, recall, packets of that family)`, sorted by family name —
+/// the same shape the batch runner reports.
+pub fn family_recall(records: &[ScoredPacket], threshold: f64) -> Vec<(String, f64, usize)> {
+    let mut per_family: std::collections::BTreeMap<&'static str, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        if let Some(kind) = r.kind {
+            let entry = per_family.entry(kind.name()).or_default();
+            entry.1 += 1;
+            if r.score >= threshold {
+                entry.0 += 1;
+            }
+        }
+    }
+    per_family
+        .into_iter()
+        .map(|(name, (hit, total))| (name.to_string(), hit as f64 / total.max(1) as f64, total))
+        .collect()
+}
+
+/// Exact percentile over per-packet scoring latencies (nanoseconds).
+/// `q` in `[0, 1]`; returns 0 for an empty set.
+pub fn latency_percentile(sorted_nanos: &[u64], q: f64) -> u64 {
+    if sorted_nanos.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_nanos.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted_nanos[rank]
+}
+
+/// Wall-clock throughput and latency summary of one streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Throughput {
+    /// Wall-clock seconds from first fed packet to last scored packet
+    /// (warmup excluded).
+    pub wall_seconds: f64,
+    /// Evaluation packets scored per wall-clock second.
+    pub packets_per_sec: f64,
+    /// Median per-packet scoring latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile per-packet scoring latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Summed busy time inside detectors across all shards, seconds.
+    pub detector_seconds: f64,
+    /// Slowest shard's warmup (training) time, seconds.
+    pub warmup_seconds: f64,
+}
+
+impl Throughput {
+    /// Builds the summary from run totals and the merged latency set.
+    pub fn from_run(
+        packets: usize,
+        wall_seconds: f64,
+        mut latencies_nanos: Vec<u64>,
+        detector_seconds: f64,
+        warmup_seconds: f64,
+    ) -> Self {
+        latencies_nanos.sort_unstable();
+        Throughput {
+            wall_seconds,
+            packets_per_sec: if wall_seconds > 0.0 { packets as f64 / wall_seconds } else { 0.0 },
+            p50_latency_us: latency_percentile(&latencies_nanos, 0.50) as f64 / 1_000.0,
+            p99_latency_us: latency_percentile(&latencies_nanos, 0.99) as f64 / 1_000.0,
+            detector_seconds,
+            warmup_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, window: u64, score: f64, label: bool) -> ScoredPacket {
+        ScoredPacket { seq, window, score, latency_nanos: 100, label, kind: None }
+    }
+
+    #[test]
+    fn windows_partition_the_stream() {
+        let records = vec![
+            record(0, 0, 0.9, true),
+            record(1, 0, 0.1, false),
+            record(2, 1, 0.8, false),
+            record(3, 3, 0.2, true),
+        ];
+        let windows = window_metrics(&records, 10.0, 0.5);
+        assert_eq!(windows.len(), 3, "empty window 2 omitted");
+        assert_eq!(windows[0].packets, 2);
+        assert_eq!(windows[0].recall, 1.0);
+        assert_eq!(windows[0].precision, 1.0);
+        assert_eq!(windows[1].start_secs, 10.0);
+        assert_eq!(windows[1].false_positive_rate, 1.0);
+        assert_eq!(windows[2].recall, 0.0);
+        assert_eq!(windows[2].alerts, 0);
+    }
+
+    #[test]
+    fn family_recall_counts_hits() {
+        let mut records = vec![record(0, 0, 0.9, true), record(1, 0, 0.2, true)];
+        records[0].kind = Some(AttackKind::SynFlood);
+        records[1].kind = Some(AttackKind::SynFlood);
+        let families = family_recall(&records, 0.5);
+        assert_eq!(families, vec![("syn-flood".to_string(), 0.5, 2)]);
+    }
+
+    #[test]
+    fn percentiles_are_exact() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(latency_percentile(&sorted, 0.0), 1);
+        assert_eq!(latency_percentile(&sorted, 0.50), 51);
+        assert_eq!(latency_percentile(&sorted, 0.99), 99);
+        assert_eq!(latency_percentile(&sorted, 1.0), 100);
+        assert_eq!(latency_percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn throughput_divides_by_wall_time() {
+        let t = Throughput::from_run(1000, 2.0, vec![1_000, 2_000, 3_000], 1.5, 0.25);
+        assert_eq!(t.packets_per_sec, 500.0);
+        assert_eq!(t.p50_latency_us, 2.0);
+        assert_eq!(t.warmup_seconds, 0.25);
+    }
+}

@@ -1,0 +1,285 @@
+//! The streaming run report and its reconciliation with the batch
+//! [`Experiment`] shape.
+
+use idsbench_core::metrics::Metrics;
+use idsbench_core::runner::Experiment;
+
+use crate::metrics::{Throughput, WindowMetrics};
+
+/// Per-shard accounting of one streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Evaluation packets this shard scored.
+    pub packets: usize,
+    /// Distinct canonical flows this shard owned.
+    pub flows: usize,
+    /// Busy seconds inside this shard's detector.
+    pub detector_seconds: f64,
+}
+
+/// The merged outcome of one streaming run — the streaming counterpart of a
+/// batch [`Experiment`] cell, extended with the live dimensions batch
+/// evaluation cannot observe (windowed quality, latency, throughput,
+/// per-shard load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Detector name.
+    pub detector: String,
+    /// Packet-source (dataset/capture) name.
+    pub source: String,
+    /// Shard count the run used.
+    pub shards: usize,
+    /// Per-shard feeder batch size.
+    pub batch_size: usize,
+    /// Packets in the shared warmup slice.
+    pub warmup_packets: usize,
+    /// Evaluation packets scored.
+    pub eval_packets: usize,
+    /// Fraction of evaluation packets that are attacks.
+    pub attack_share: f64,
+    /// Resolved alert threshold.
+    pub threshold: f64,
+    /// Overall headline metrics at the resolved threshold.
+    pub metrics: Metrics,
+    /// Overall false-positive rate at the resolved threshold.
+    pub false_positive_rate: f64,
+    /// Area under the ROC curve of the raw score stream.
+    pub auc: f64,
+    /// Per-attack-family recall, sorted by family name.
+    pub family_recall: Vec<(String, f64, usize)>,
+    /// Detection quality per tumbling traffic-time window.
+    pub windows: Vec<WindowMetrics>,
+    /// Wall-clock throughput and latency summary.
+    pub throughput: Throughput,
+    /// Per-shard load breakdown.
+    pub shard_stats: Vec<ShardStats>,
+}
+
+impl StreamReport {
+    /// Projects this report onto the batch [`Experiment`] shape, so
+    /// streaming and batch results of the same detector/dataset pair can sit
+    /// in the same tables.
+    ///
+    /// `detector_seconds` maps to the summed busy time across shards (the
+    /// batch field measures one detector's scoring call).
+    pub fn to_experiment(&self) -> Experiment {
+        Experiment {
+            detector: self.detector.clone(),
+            dataset: self.source.clone(),
+            metrics: self.metrics,
+            threshold: self.threshold,
+            eval_items: self.eval_packets,
+            attack_share: self.attack_share,
+            auc: self.auc,
+            false_positive_rate: self.false_positive_rate,
+            detector_seconds: self.throughput.detector_seconds,
+            family_recall: self.family_recall.clone(),
+        }
+    }
+
+    /// Serializes the report as a self-contained JSON object.
+    ///
+    /// Hand-rolled (the offline `serde` stand-in carries no data model);
+    /// the layout is stable and consumed by the `fig_streaming` bench.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        json_str(&mut out, "detector", &self.detector);
+        out.push(',');
+        json_str(&mut out, "source", &self.source);
+        out.push(',');
+        json_num(&mut out, "shards", self.shards as f64);
+        out.push(',');
+        json_num(&mut out, "batch_size", self.batch_size as f64);
+        out.push(',');
+        json_num(&mut out, "warmup_packets", self.warmup_packets as f64);
+        out.push(',');
+        json_num(&mut out, "eval_packets", self.eval_packets as f64);
+        out.push(',');
+        json_num(&mut out, "attack_share", self.attack_share);
+        out.push(',');
+        json_num(&mut out, "threshold", self.threshold);
+        out.push(',');
+        json_num(&mut out, "accuracy", self.metrics.accuracy);
+        out.push(',');
+        json_num(&mut out, "precision", self.metrics.precision);
+        out.push(',');
+        json_num(&mut out, "recall", self.metrics.recall);
+        out.push(',');
+        json_num(&mut out, "f1", self.metrics.f1);
+        out.push(',');
+        json_num(&mut out, "false_positive_rate", self.false_positive_rate);
+        out.push(',');
+        json_num(&mut out, "auc", self.auc);
+        out.push(',');
+        json_num(&mut out, "wall_seconds", self.throughput.wall_seconds);
+        out.push(',');
+        json_num(&mut out, "packets_per_sec", self.throughput.packets_per_sec);
+        out.push(',');
+        json_num(&mut out, "p50_latency_us", self.throughput.p50_latency_us);
+        out.push(',');
+        json_num(&mut out, "p99_latency_us", self.throughput.p99_latency_us);
+        out.push(',');
+        json_num(&mut out, "detector_seconds", self.throughput.detector_seconds);
+        out.push(',');
+        json_num(&mut out, "warmup_seconds", self.throughput.warmup_seconds);
+        out.push(',');
+        out.push_str("\"family_recall\":[");
+        for (i, (family, recall, packets)) in self.family_recall.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_str(&mut out, "family", family);
+            out.push(',');
+            json_num(&mut out, "recall", *recall);
+            out.push(',');
+            json_num(&mut out, "packets", *packets as f64);
+            out.push('}');
+        }
+        out.push_str("],\"windows\":[");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "start_secs", w.start_secs);
+            out.push(',');
+            json_num(&mut out, "packets", w.packets as f64);
+            out.push(',');
+            json_num(&mut out, "attacks", w.attacks as f64);
+            out.push(',');
+            json_num(&mut out, "alerts", w.alerts as f64);
+            out.push(',');
+            json_num(&mut out, "precision", w.precision);
+            out.push(',');
+            json_num(&mut out, "recall", w.recall);
+            out.push(',');
+            json_num(&mut out, "false_positive_rate", w.false_positive_rate);
+            out.push('}');
+        }
+        out.push_str("],\"shard_stats\":[");
+        for (i, s) in self.shard_stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "shard", s.shard as f64);
+            out.push(',');
+            json_num(&mut out, "packets", s.packets as f64);
+            out.push(',');
+            json_num(&mut out, "flows", s.flows as f64);
+            out.push(',');
+            json_num(&mut out, "detector_seconds", s.detector_seconds);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_num(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    if value.is_finite() {
+        // Integral values print without a fraction so counts stay counts.
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            out.push_str(&format!("{}", value as i64));
+        } else {
+            out.push_str(&format!("{value}"));
+        }
+    } else {
+        // JSON has no Infinity/NaN; null is the conventional encoding.
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> StreamReport {
+        StreamReport {
+            detector: "length \"v2\"".to_string(),
+            source: "toy".to_string(),
+            shards: 2,
+            batch_size: 32,
+            warmup_packets: 10,
+            eval_packets: 90,
+            attack_share: 0.1,
+            threshold: f64::INFINITY,
+            metrics: Metrics { accuracy: 0.9, precision: 1.0, recall: 0.5, f1: 2.0 / 3.0 },
+            false_positive_rate: 0.0,
+            auc: 0.95,
+            family_recall: vec![("syn-flood".to_string(), 0.5, 9)],
+            windows: vec![WindowMetrics {
+                index: 0,
+                start_secs: 0.0,
+                packets: 90,
+                attacks: 9,
+                alerts: 5,
+                precision: 1.0,
+                recall: 0.5,
+                false_positive_rate: 0.0,
+            }],
+            throughput: Throughput {
+                wall_seconds: 0.5,
+                packets_per_sec: 180.0,
+                p50_latency_us: 2.0,
+                p99_latency_us: 9.0,
+                detector_seconds: 0.4,
+                warmup_seconds: 0.1,
+            },
+            shard_stats: vec![
+                ShardStats { shard: 0, packets: 50, flows: 3, detector_seconds: 0.2 },
+                ShardStats { shard: 1, packets: 40, flows: 2, detector_seconds: 0.2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"detector\":\"length \\\"v2\\\"\""));
+        assert!(json.contains("\"threshold\":null"), "infinity must encode as null");
+        assert!(json.contains("\"packets_per_sec\":180"));
+        assert!(json.contains("\"windows\":[{"));
+        assert!(json.contains("\"shard_stats\":[{\"shard\":0"));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn experiment_projection_keeps_headline_numbers() {
+        let r = report();
+        let e = r.to_experiment();
+        assert_eq!(e.detector, r.detector);
+        assert_eq!(e.dataset, r.source);
+        assert_eq!(e.metrics, r.metrics);
+        assert_eq!(e.eval_items, 90);
+        assert_eq!(e.detector_seconds, 0.4);
+    }
+}

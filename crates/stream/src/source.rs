@@ -1,0 +1,330 @@
+//! Packet sources: the pull side of the streaming engine.
+//!
+//! A [`PacketSource`] unifies everything that can produce labeled packets —
+//! scenario generators, pcap captures, in-memory vectors — behind one pull
+//! iterator the sharded executor drains. [`BoundedSource`] decouples a slow
+//! producer onto its own thread with a bounded channel, giving real
+//! backpressure between I/O and scoring.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+
+use crossbeam::channel;
+use idsbench_core::{CoreError, Dataset, Label, LabeledPacket, Result};
+use idsbench_net::pcap::PcapReader;
+use idsbench_net::Packet;
+
+/// A pull source of labeled packets, in arrival (timestamp) order.
+///
+/// `next_packet` returns `Ok(None)` at a clean end of stream and an error
+/// when the underlying producer fails (e.g. a truncated capture file).
+pub trait PacketSource {
+    /// Short name used in reports (dataset or capture name).
+    fn name(&self) -> &str;
+
+    /// Pulls the next packet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates producer failures; a source that has returned an error is
+    /// not required to be pollable again.
+    fn next_packet(&mut self) -> Result<Option<LabeledPacket>>;
+}
+
+/// An in-memory source: replays a vector of labeled packets.
+#[derive(Debug)]
+pub struct VecSource {
+    name: String,
+    packets: VecDeque<LabeledPacket>,
+}
+
+impl VecSource {
+    /// Creates a source replaying `packets` in the given order.
+    pub fn new(name: impl Into<String>, packets: Vec<LabeledPacket>) -> Self {
+        VecSource { name: name.into(), packets: packets.into() }
+    }
+
+    /// Packets remaining.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the source is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+impl PacketSource for VecSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_packet(&mut self) -> Result<Option<LabeledPacket>> {
+        Ok(self.packets.pop_front())
+    }
+}
+
+/// A source backed by a dataset scenario: one seeded realisation, replayed
+/// in timestamp order.
+///
+/// Generation happens eagerly at construction (scenario generators are
+/// batch-shaped); the streaming engine still *consumes* the result packet by
+/// packet, which is the property the evaluation depends on.
+#[derive(Debug)]
+pub struct ScenarioSource {
+    inner: VecSource,
+}
+
+impl ScenarioSource {
+    /// Generates one realisation of `dataset` with `seed`.
+    pub fn new(dataset: &dyn Dataset, seed: u64) -> Self {
+        let mut packets = dataset.generate(seed);
+        packets.sort_by_key(|lp| lp.packet.ts);
+        ScenarioSource { inner: VecSource::new(dataset.info().name.clone(), packets) }
+    }
+
+    /// Splits off the leading `fraction` of packets as a warmup slice,
+    /// leaving this source holding the remainder.
+    ///
+    /// Delegates to [`idsbench_datasets::split_at_fraction`], the batch
+    /// pipeline's train/eval split rule, so a streaming run over the
+    /// remainder scores exactly the packets the batch runner scores.
+    pub fn split_warmup(self, fraction: f64) -> (Vec<LabeledPacket>, Self) {
+        let packets: Vec<LabeledPacket> = self.inner.packets.into();
+        let (warmup, rest) = idsbench_datasets::split_at_fraction(packets, fraction);
+        (warmup, ScenarioSource { inner: VecSource::new(self.inner.name, rest) })
+    }
+
+    /// Packets remaining.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the source is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl PacketSource for ScenarioSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_packet(&mut self) -> Result<Option<LabeledPacket>> {
+        self.inner.next_packet()
+    }
+}
+
+/// Ground-truth labeler applied to pcap packets (captures carry no labels).
+pub type PcapLabeler = Box<dyn FnMut(&Packet) -> Label + Send>;
+
+/// A lazy pcap source: packets are decoded from the capture one record at a
+/// time as the executor pulls — the file is never materialised in memory.
+pub struct PcapSource<R> {
+    name: String,
+    reader: PcapReader<R>,
+    labeler: PcapLabeler,
+}
+
+impl<R> std::fmt::Debug for PcapSource<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PcapSource").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl PcapSource<BufReader<File>> {
+    /// Opens a capture file, labeling every packet with `labeler`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open and pcap-header errors.
+    pub fn open(path: impl AsRef<Path>, labeler: PcapLabeler) -> Result<Self> {
+        let path = path.as_ref();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let reader = PcapReader::open(path)
+            .map_err(|e| CoreError::stream(format!("open {}: {e}", path.display())))?;
+        Ok(PcapSource { name, reader, labeler })
+    }
+}
+
+impl<R: Read> PcapSource<R> {
+    /// Wraps an already-open pcap reader.
+    pub fn new(name: impl Into<String>, reader: PcapReader<R>, labeler: PcapLabeler) -> Self {
+        PcapSource { name: name.into(), reader, labeler }
+    }
+
+    /// Wraps a reader, labeling every packet benign (the common case for
+    /// live-capture smoke tests without ground truth).
+    pub fn benign(name: impl Into<String>, reader: PcapReader<R>) -> Self {
+        PcapSource::new(name, reader, Box::new(|_| Label::Benign))
+    }
+}
+
+impl<R: Read> PacketSource for PcapSource<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_packet(&mut self) -> Result<Option<LabeledPacket>> {
+        let packet = self
+            .reader
+            .next_packet()
+            .map_err(|e| CoreError::stream(format!("pcap {}: {e}", self.name)))?;
+        Ok(packet.map(|p| {
+            let label = (self.labeler)(&p);
+            LabeledPacket::new(p, label)
+        }))
+    }
+}
+
+/// Decouples a producer onto its own thread behind a bounded channel.
+///
+/// The producer thread pulls from the wrapped source and blocks whenever
+/// `capacity` packets are already in flight — backpressure, so a fast reader
+/// cannot balloon memory ahead of slow detectors. Dropping the
+/// `BoundedSource` disconnects the channel and lets the producer exit.
+#[derive(Debug)]
+pub struct BoundedSource {
+    name: String,
+    receiver: channel::Receiver<Result<LabeledPacket>>,
+    producer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BoundedSource {
+    /// Spawns the producer thread for `source` with room for `capacity`
+    /// in-flight packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn spawn(mut source: impl PacketSource + Send + 'static, capacity: usize) -> Self {
+        let name = source.name().to_string();
+        let (tx, rx) = channel::bounded(capacity);
+        let producer = std::thread::spawn(move || loop {
+            match source.next_packet() {
+                Ok(Some(packet)) => {
+                    if tx.send(Ok(packet)).is_err() {
+                        return; // consumer gone
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        });
+        BoundedSource { name, receiver: rx, producer: Some(producer) }
+    }
+}
+
+impl PacketSource for BoundedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_packet(&mut self) -> Result<Option<LabeledPacket>> {
+        match self.receiver.recv() {
+            Ok(Ok(packet)) => Ok(Some(packet)),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Ok(None), // producer finished and disconnected
+        }
+    }
+}
+
+impl Drop for BoundedSource {
+    fn drop(&mut self) {
+        // Disconnect first so a blocked producer wakes, then reap it.
+        self.receiver = channel::bounded(1).1;
+        if let Some(handle) = self.producer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idsbench_net::pcap::PcapWriter;
+    use idsbench_net::Timestamp;
+
+    fn packets(n: usize) -> Vec<LabeledPacket> {
+        (0..n)
+            .map(|i| {
+                LabeledPacket::new(
+                    Packet::new(Timestamp::from_micros(i as u64), vec![0u8; 60]),
+                    Label::Benign,
+                )
+            })
+            .collect()
+    }
+
+    fn drain(mut source: impl PacketSource) -> Vec<LabeledPacket> {
+        let mut out = Vec::new();
+        while let Some(p) = source.next_packet().unwrap() {
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn vec_source_replays_in_order() {
+        let original = packets(5);
+        let source = VecSource::new("v", original.clone());
+        assert_eq!(source.len(), 5);
+        assert_eq!(drain(source), original);
+    }
+
+    #[test]
+    fn pcap_source_is_lazy_and_labeled() {
+        let mut image = Vec::new();
+        let mut writer = PcapWriter::new(&mut image).unwrap();
+        for lp in packets(4) {
+            writer.write_packet(&lp.packet).unwrap();
+        }
+        writer.flush().unwrap();
+
+        let reader = PcapReader::new(std::io::Cursor::new(image)).unwrap();
+        let source = PcapSource::benign("cap", reader);
+        let got = drain(source);
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|p| !p.is_attack()));
+    }
+
+    #[test]
+    fn pcap_source_surfaces_truncation() {
+        let mut image = Vec::new();
+        let mut writer = PcapWriter::new(&mut image).unwrap();
+        for lp in packets(2) {
+            writer.write_packet(&lp.packet).unwrap();
+        }
+        writer.flush().unwrap();
+        image.truncate(image.len() - 5);
+
+        let reader = PcapReader::new(std::io::Cursor::new(image)).unwrap();
+        let mut source = PcapSource::benign("cut", reader);
+        assert!(source.next_packet().unwrap().is_some());
+        assert!(source.next_packet().is_err());
+    }
+
+    #[test]
+    fn bounded_source_preserves_stream() {
+        let original = packets(100);
+        let bounded = BoundedSource::spawn(VecSource::new("v", original.clone()), 8);
+        assert_eq!(bounded.name(), "v");
+        assert_eq!(drain(bounded), original);
+    }
+
+    #[test]
+    fn bounded_source_drop_does_not_hang() {
+        let bounded = BoundedSource::spawn(VecSource::new("v", packets(10_000)), 2);
+        drop(bounded); // producer blocked on a full channel must still exit
+    }
+}

@@ -25,7 +25,10 @@ fn main() -> Result<(), CoreError> {
         ("Slips".into(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
     ];
 
-    eprintln!("running {} cells — this takes a minute in release mode…", detectors.len() * datasets.len());
+    eprintln!(
+        "running {} cells — this takes a minute in release mode…",
+        detectors.len() * datasets.len()
+    );
     let experiments = run_grid(&detectors, &datasets, &EvalConfig::default())?;
 
     println!("{}", report::render_console(&experiments));

@@ -25,7 +25,11 @@ fn main() -> Result<(), CoreError> {
 
     println!("IDS:       {}", experiment.detector);
     println!("dataset:   {}", experiment.dataset);
-    println!("items:     {} ({}% attack)", experiment.eval_items, (experiment.attack_share * 100.0).round());
+    println!(
+        "items:     {} ({}% attack)",
+        experiment.eval_items,
+        (experiment.attack_share * 100.0).round()
+    );
     println!("accuracy:  {:.4}", experiment.metrics.accuracy);
     println!("precision: {:.4}", experiment.metrics.precision);
     println!("recall:    {:.4}", experiment.metrics.recall);

@@ -128,10 +128,9 @@ fn corrupt_packets_do_not_derail_packet_detectors() {
             Label::Benign,
         ));
     }
-    for mut detector in [
-        Box::new(Kitsune::default()) as Box<dyn Detector>,
-        Box::new(Helad::default()),
-    ] {
+    for mut detector in
+        [Box::new(Kitsune::default()) as Box<dyn Detector>, Box::new(Helad::default())]
+    {
         let scores = detector.score(&input);
         assert_eq!(scores.len(), input.eval_packets.len(), "{}", detector.name());
         assert!(scores.iter().all(|s| s.is_finite()));

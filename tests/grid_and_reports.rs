@@ -15,7 +15,10 @@ fn grid_produces_detector_major_table() {
     let datasets: Vec<&dyn Dataset> = vec![&a, &b];
     let detectors: Vec<(String, DetectorFactory)> = vec![
         ("Slips".into(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
-        ("DecisionTree".into(), Box::new(|| Box::new(DecisionTree::default()) as Box<dyn Detector>)),
+        (
+            "DecisionTree".into(),
+            Box::new(|| Box::new(DecisionTree::default()) as Box<dyn Detector>),
+        ),
     ];
     let experiments = run_grid(&detectors, &datasets, &EvalConfig::default()).unwrap();
     assert_eq!(experiments.len(), 4);

@@ -24,9 +24,7 @@ fn every_detector_runs_on_every_scenario() {
     for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
         for mut detector in all_detectors() {
             let experiment = evaluate(detector.as_mut(), &scenario, &EvalConfig::default())
-                .unwrap_or_else(|e| {
-                    panic!("{} on {}: {e}", detector.name(), scenario.info().name)
-                });
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", detector.name(), scenario.info().name));
             let m = experiment.metrics;
             for (name, v) in [
                 ("accuracy", m.accuracy),
@@ -84,11 +82,14 @@ fn supervised_detector_beats_chance_on_separable_data() {
 fn slips_stays_silent_on_unsw_and_bot_iot() {
     // The paper's most cited negative result: Slips produces no (correct)
     // alerts on UNSW-NB15 and BoT-IoT.
-    for scenario in [scenarios::unsw_nb15(ScenarioScale::Tiny), scenarios::bot_iot(ScenarioScale::Tiny)] {
+    for scenario in
+        [scenarios::unsw_nb15(ScenarioScale::Tiny), scenarios::bot_iot(ScenarioScale::Tiny)]
+    {
         let mut slips = Slips::default();
         let experiment = evaluate(&mut slips, &scenario, &EvalConfig::default()).unwrap();
         assert_eq!(
-            experiment.metrics.recall, 0.0,
+            experiment.metrics.recall,
+            0.0,
             "Slips on {} should detect nothing",
             scenario.info().name
         );

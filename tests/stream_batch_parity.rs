@@ -1,0 +1,150 @@
+//! Streaming ↔ batch parity: the invariant that makes streaming results
+//! citable next to batch results.
+//!
+//! A single-shard streaming run of Kitsune must reproduce the batch
+//! `evaluate()` pipeline *exactly* — same per-packet scores (bitwise; both
+//! paths share one `fit`/`score_packet` code path), hence the same
+//! calibrated threshold, alert decisions, and metrics. Multi-shard runs
+//! repartition detector state, so their scores may legitimately differ —
+//! but flow→shard routing must be deterministic and keep every flow whole
+//! on one shard, so decisions are reproducible and per-flow consistent.
+
+use std::collections::HashSet;
+
+use idsbench::core::preprocess::Pipeline;
+use idsbench::core::runner::{evaluate, EvalConfig};
+use idsbench::core::{Dataset, Detector, StreamingDetector};
+use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::flow::FlowKey;
+use idsbench::kitsune::Kitsune;
+use idsbench::net::ParsedPacket;
+use idsbench::stream::{run_stream, PacketSource, ScenarioSource, StreamConfig, StreamRun};
+
+fn kitsune() -> Box<dyn StreamingDetector> {
+    Box::new(Kitsune::default())
+}
+
+fn stream_kitsune(seed: u64, shards: usize) -> StreamRun {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let (warmup, source) = ScenarioSource::new(&scenario, seed).split_warmup(0.3);
+    run_stream(&kitsune, &warmup, source, &StreamConfig { shards, ..Default::default() })
+        .expect("streaming run")
+}
+
+#[test]
+fn single_shard_scores_match_batch_bitwise() {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let config = EvalConfig::default();
+
+    // The batch pipeline's own preprocessing, then a direct score call.
+    let pipeline = Pipeline::new(config.pipeline).expect("valid default pipeline");
+    let input = pipeline
+        .prepare(&scenario.info().name, scenario.generate(config.dataset_seed))
+        .expect("preprocess");
+    let batch_scores = Detector::score(&mut Kitsune::default(), &input);
+
+    let run = stream_kitsune(config.dataset_seed, 1);
+    assert_eq!(run.scores.len(), batch_scores.len());
+    for (i, (stream, batch)) in run.scores.iter().zip(&batch_scores).enumerate() {
+        assert_eq!(
+            stream.to_bits(),
+            batch.to_bits(),
+            "score {i} diverged: streaming {stream} vs batch {batch}"
+        );
+    }
+    // Identical scores + identical calibration rule ⇒ identical decisions.
+    let labels: Vec<bool> = input.eval_packets.iter().map(|p| p.is_attack()).collect();
+    assert_eq!(run.labels, labels);
+}
+
+#[test]
+fn single_shard_report_matches_batch_experiment_within_1e9() {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let config = EvalConfig::default();
+    let batch = evaluate(&mut Kitsune::default(), &scenario, &config).expect("batch evaluate");
+
+    let run = stream_kitsune(config.dataset_seed, 1);
+    let streamed = run.report.to_experiment();
+
+    assert_eq!(streamed.eval_items, batch.eval_items);
+    let close = |a: f64, b: f64, what: &str| {
+        assert!((a - b).abs() <= 1e-9, "{what}: streaming {a} vs batch {b}");
+    };
+    close(streamed.threshold, batch.threshold, "threshold");
+    close(streamed.metrics.accuracy, batch.metrics.accuracy, "accuracy");
+    close(streamed.metrics.precision, batch.metrics.precision, "precision");
+    close(streamed.metrics.recall, batch.metrics.recall, "recall");
+    close(streamed.metrics.f1, batch.metrics.f1, "f1");
+    close(streamed.auc, batch.auc, "auc");
+    close(streamed.false_positive_rate, batch.false_positive_rate, "fpr");
+    close(streamed.attack_share, batch.attack_share, "attack share");
+    assert_eq!(streamed.family_recall, batch.family_recall, "per-family recall");
+}
+
+#[test]
+fn helad_single_shard_scores_match_batch_bitwise() {
+    use idsbench::helad::Helad;
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let config = EvalConfig::default();
+    let pipeline = Pipeline::new(config.pipeline).expect("valid default pipeline");
+    let input = pipeline
+        .prepare(&scenario.info().name, scenario.generate(config.dataset_seed))
+        .expect("preprocess");
+    let batch_scores = Detector::score(&mut Helad::default(), &input);
+
+    let (warmup, source) = ScenarioSource::new(&scenario, config.dataset_seed).split_warmup(0.3);
+    let run = run_stream(
+        &|| Box::new(Helad::default()) as Box<dyn StreamingDetector>,
+        &warmup,
+        source,
+        &StreamConfig::default(),
+    )
+    .expect("streaming run");
+    assert_eq!(run.scores.len(), batch_scores.len());
+    for (i, (stream, batch)) in run.scores.iter().zip(&batch_scores).enumerate() {
+        assert_eq!(
+            stream.to_bits(),
+            batch.to_bits(),
+            "HELAD score {i} diverged: streaming {stream} vs batch {batch}"
+        );
+    }
+}
+
+#[test]
+fn multi_shard_runs_are_deterministic_and_flow_consistent() {
+    let first = stream_kitsune(0, 4);
+    let second = stream_kitsune(0, 4);
+
+    // Determinism: identical routing and per-shard state ⇒ identical scores.
+    assert_eq!(first.scores, second.scores);
+    assert_eq!(first.report.metrics, second.report.metrics);
+
+    // Flow consistency: every canonical flow lives whole on one shard, so
+    // the per-shard distinct-flow counts add up to the global flow count.
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let (_, mut source) = ScenarioSource::new(&scenario, 0).split_warmup(0.3);
+    let mut global_flows: HashSet<FlowKey> = HashSet::new();
+    while let Some(lp) = source.next_packet().expect("source") {
+        if let Ok(parsed) = ParsedPacket::parse(&lp.packet) {
+            if let Some(key) = FlowKey::from_packet(&parsed) {
+                global_flows.insert(key.canonical().0);
+            }
+        }
+    }
+    let sharded_flows: usize = first.report.shard_stats.iter().map(|s| s.flows).sum();
+    assert_eq!(sharded_flows, global_flows.len(), "a flow was split across shards");
+    assert!(
+        first.report.shard_stats.iter().filter(|s| s.packets > 0).count() > 1,
+        "the Tiny trace must spread across more than one shard"
+    );
+}
+
+#[test]
+fn use_packet_source_trait_directly() {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let mut source = ScenarioSource::new(&scenario, 1);
+    assert_eq!(source.name(), "Stratosphere");
+    let first = source.next_packet().expect("pull").expect("non-empty");
+    let second = source.next_packet().expect("pull").expect("non-empty");
+    assert!(first.packet.ts <= second.packet.ts);
+}

@@ -1,0 +1,338 @@
+//! Minimal offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam)
+//! crate.
+//!
+//! The build environment has no route to crates.io, so the workspace vendors
+//! the two pieces it uses:
+//!
+//! * [`thread::scope`] — crossbeam's scoped-thread API, delegating to
+//!   `std::thread::scope` (std has had scoped threads since 1.63; crossbeam's
+//!   remains the interface the evaluation runner was written against).
+//! * [`channel`] — bounded MPMC channels with blocking `send`/`recv`,
+//!   built on `Mutex` + `Condvar`. This is the backpressure primitive the
+//!   streaming executor's feeder→shard queues rely on.
+
+#![deny(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention.
+
+    /// A handle for spawning threads inside a [`scope`] call.
+    ///
+    /// `Copy` so it can be captured by several closures at once.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it can
+        /// spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// The real crossbeam returns `Err` when a child panicked. Delegating to
+    /// `std::thread::scope` propagates child panics instead, so this wrapper
+    /// only ever returns `Ok` — callers that `.expect()` the result observe
+    /// identical behaviour either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub mod channel {
+    //! Bounded multi-producer multi-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        /// Signalled when the queue gains an item or loses all senders.
+        not_empty: Condvar,
+        /// Signalled when the queue loses an item or loses all receivers.
+        not_full: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T: fmt::Display> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates a bounded channel with room for `capacity` in-flight items.
+    /// `send` blocks while the channel is full — the backpressure contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (rendezvous channels are not needed
+    /// here and would complicate the state machine).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "bounded(0) rendezvous channels are not supported");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.items.len() < state.capacity {
+                    state.items.push_back(value);
+                    drop(state);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives or the channel is closed.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when the channel is empty and every sender
+        /// has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.not_full.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// A blocking iterator that ends when the channel closes.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received items; see [`Receiver::iter`].
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers += 1;
+            drop(state);
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            let last = state.receivers == 0;
+            drop(state);
+            if last {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u64; 8];
+        let result = thread::scope(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.spawn(move |_| *slot = i as u64 + 1);
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+        assert_eq!(data, (1..=8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn channel_round_trips_in_order() {
+        let (tx, rx) = channel::bounded(4);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn bounded_send_applies_backpressure() {
+        let (tx, rx) = channel::bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The channel is now full; a further send must block until recv.
+        let t0 = std::time::Instant::now();
+        let handle = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            t0.elapsed()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(rx.recv().unwrap(), 1);
+        let blocked_for = handle.join().unwrap();
+        assert!(blocked_for >= std::time::Duration::from_millis(40), "{blocked_for:?}");
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn recv_errors_when_senders_gone() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_errors_when_receivers_gone() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn mpmc_clones_share_the_stream() {
+        let (tx, rx) = channel::bounded(8);
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        std::thread::spawn(move || tx.send(1).unwrap());
+        std::thread::spawn(move || tx2.send(2).unwrap());
+        let mut got = vec![rx.recv().unwrap(), rx2.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

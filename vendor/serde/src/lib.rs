@@ -1,0 +1,21 @@
+//! Minimal offline stand-in for [`serde`](https://docs.rs/serde).
+//!
+//! The build environment has no route to crates.io. Nothing in this
+//! workspace drives serde's data model — report/bench JSON is hand-rolled —
+//! so `Serialize`/`Deserialize` are *marker* traits here: they keep the
+//! seed code's `#[derive(Serialize, Deserialize)]` annotations compiling
+//! (and meaningful as declarations of intent) without pulling in the real
+//! framework. Swap this directory for the real dependency when a registry
+//! is available; no call sites need to change.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that are serializable in spirit; see the crate docs for
+/// why this stand-in carries no methods.
+pub trait Serialize {}
+
+/// Marker for types that are deserializable in spirit; see the crate docs
+/// for why this stand-in carries no methods.
+pub trait Deserialize {}

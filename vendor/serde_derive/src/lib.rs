@@ -1,0 +1,75 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stand-in defines `Serialize`/`Deserialize` as
+//! *marker* traits (nothing in this workspace drives serde's data model —
+//! JSON output is hand-rolled where needed). These derives therefore only
+//! have to emit `impl Serialize for T {}`. Implemented with a hand-written
+//! token walk because `syn`/`quote` are unavailable offline.
+//!
+//! Limitations (deliberate): generic types get a best-effort impl only when
+//! they have no type parameters; a type parameter makes the derive emit
+//! nothing, which is still sound because the traits carry no methods and no
+//! workspace code bounds on them generically.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the name of the struct/enum a derive was applied to, or `None` for
+/// shapes this mini-derive does not handle (e.g. generics).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            // Outer attribute: `#` followed by a bracketed group — skip both.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "pub" {
+                    // Skip an optional `(crate)`-style visibility scope.
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                } else if word == "struct" || word == "enum" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        _ => return None,
+                    };
+                    // A `<` right after the name means type parameters.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name);
+                } else {
+                    // `union`, or something unexpected: bail.
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}
