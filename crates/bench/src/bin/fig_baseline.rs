@@ -8,7 +8,7 @@
 
 use idsbench_bench::{scale_from_args, seed_from_args};
 use idsbench_core::runner::{evaluate, EvalConfig};
-use idsbench_core::Detector;
+use idsbench_core::EventDetector;
 use idsbench_datasets::scenarios;
 use idsbench_helad::Helad;
 use idsbench_kitsune::Kitsune;
@@ -24,7 +24,7 @@ fn main() {
         ("clean-prefix", scenarios::stratosphere_iot(scale)),
         ("contaminated", scenarios::stratosphere_iot_contaminated(scale)),
     ] {
-        let detectors: Vec<Box<dyn Detector>> =
+        let detectors: Vec<Box<dyn EventDetector>> =
             vec![Box::new(Kitsune::default()), Box::new(Helad::default())];
         for mut detector in detectors {
             let e = evaluate(detector.as_mut(), &scenario, &config).expect("evaluate");

@@ -8,7 +8,7 @@
 
 use idsbench_bench::{scale_from_args, seed_from_args, standard_scenarios};
 use idsbench_core::runner::{evaluate, EvalConfig};
-use idsbench_core::Detector;
+use idsbench_core::EventDetector;
 use idsbench_dnn::baselines::{DecisionTree, KNearest, LogisticRegression, NaiveBayes};
 use idsbench_dnn::{Dnn, DnnConfig};
 
@@ -20,7 +20,7 @@ fn main() {
 
     println!("variant,dataset,accuracy,precision,recall,f1,auc");
     for scenario in standard_scenarios(scale) {
-        let variants: Vec<(&str, Box<dyn Detector>)> = vec![
+        let variants: Vec<(&str, Box<dyn EventDetector>)> = vec![
             ("dnn", Box::new(Dnn::default())),
             (
                 "dnn-no-normalize",

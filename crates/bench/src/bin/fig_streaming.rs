@@ -14,7 +14,7 @@
 //! stay interpretable).
 
 use idsbench_bench::{scale_from_args, seed_from_args};
-use idsbench_core::StreamingDetector;
+use idsbench_core::EventDetector;
 use idsbench_datasets::{scenarios, Scenario};
 use idsbench_kitsune::Kitsune;
 use idsbench_stream::{run_stream, ScenarioSource, StreamConfig, StreamReport};
@@ -22,7 +22,7 @@ use idsbench_stream::{run_stream, ScenarioSource, StreamConfig, StreamReport};
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WARMUP_FRACTION: f64 = 0.3;
 
-fn kitsune() -> Box<dyn StreamingDetector> {
+fn kitsune() -> Box<dyn EventDetector> {
     Box::new(Kitsune::default())
 }
 

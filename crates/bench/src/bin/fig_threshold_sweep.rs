@@ -10,6 +10,7 @@
 use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors, standard_scenarios};
 use idsbench_core::metrics::ConfusionMatrix;
 use idsbench_core::preprocess::{Pipeline, PipelineConfig};
+use idsbench_core::runner::replay;
 use idsbench_core::threshold::ThresholdPolicy;
 use idsbench_core::Dataset;
 
@@ -23,15 +24,17 @@ fn main() {
     for scenario in standard_scenarios(scale) {
         let packets = scenario.generate(seed);
         let pipeline = Pipeline::new(PipelineConfig::default()).expect("valid config");
-        let input = pipeline.prepare(&scenario.info().name, packets).expect("preprocess");
+        let input = pipeline.prepare_events(&scenario.info().name, packets).expect("preprocess");
         for (name, factory) in standard_detectors() {
             let mut detector = factory();
-            let scores = detector.score(&input);
-            let labels = input.eval_labels(detector.input_format());
+            // One event replay per detector; every cap recalibrates the same
+            // score stream.
+            let replayed = replay(detector.as_mut(), &input).expect("replay");
+            let (scores, labels) = (&replayed.scores, &replayed.labels);
             for cap in caps {
                 let policy = ThresholdPolicy::DetectionFirst { max_fpr: cap };
-                let threshold = policy.calibrate(&scores, &labels);
-                let m = ConfusionMatrix::from_scores(&scores, &labels, threshold).metrics();
+                let threshold = policy.calibrate(scores, labels);
+                let m = ConfusionMatrix::from_scores(scores, labels, threshold).metrics();
                 println!(
                     "{},{},{:.2},{:.6e},{:.4},{:.4},{:.4},{:.4}",
                     name,

@@ -9,7 +9,7 @@
 #![deny(missing_debug_implementations)]
 
 use idsbench_core::runner::DetectorFactory;
-use idsbench_core::Detector;
+use idsbench_core::EventDetector;
 use idsbench_datasets::{scenarios, Scenario, ScenarioScale};
 use idsbench_dnn::Dnn;
 use idsbench_helad::Helad;
@@ -22,11 +22,11 @@ pub fn standard_detectors() -> Vec<(String, DetectorFactory<'static>)> {
     vec![
         (
             "Kitsune".to_string(),
-            Box::new(|| Box::new(Kitsune::default()) as Box<dyn Detector>) as DetectorFactory,
+            Box::new(|| Box::new(Kitsune::default()) as Box<dyn EventDetector>) as DetectorFactory,
         ),
-        ("HELAD".to_string(), Box::new(|| Box::new(Helad::default()) as Box<dyn Detector>)),
-        ("DNN".to_string(), Box::new(|| Box::new(Dnn::default()) as Box<dyn Detector>)),
-        ("Slips".to_string(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
+        ("HELAD".to_string(), Box::new(|| Box::new(Helad::default()) as Box<dyn EventDetector>)),
+        ("DNN".to_string(), Box::new(|| Box::new(Dnn::default()) as Box<dyn EventDetector>)),
+        ("Slips".to_string(), Box::new(|| Box::new(Slips::default()) as Box<dyn EventDetector>)),
     ]
 }
 

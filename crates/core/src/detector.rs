@@ -1,14 +1,27 @@
+//! Shared detector vocabulary: input formats, labeled flows, verdicts, and
+//! the legacy materialized [`DetectorInput`] view.
+//!
+//! The detector *contract* itself lives in [`crate::event`]: every system
+//! implements [`EventDetector`](crate::event::EventDetector) over the
+//! parse-once event stream. This module keeps the pieces both the event
+//! path and the offline analysis tools share.
+
 use idsbench_flow::{FlowFeatures, FlowRecord};
 
 use crate::label::{Label, LabeledPacket};
 
 /// The input shape a detector consumes — the packets-vs-flows compatibility
 /// axis the paper highlights as a major practical obstacle (Section I).
+///
+/// Under the Event API both shapes travel on one stream: packet detectors
+/// score [`Event::Packet`](crate::event::Event::Packet) events, flow
+/// detectors score [`Event::FlowEvicted`](crate::event::Event::FlowEvicted)
+/// events emitted by the flow table's eviction path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InputFormat {
-    /// Consumes raw packets in timestamp order (Kitsune, HELAD).
+    /// Scores packet events in timestamp order (Kitsune, HELAD).
     Packets,
-    /// Consumes assembled flow records (DNN, Slips).
+    /// Scores flow-eviction events (DNN, Slips).
     Flows,
 }
 
@@ -30,15 +43,15 @@ impl LabeledFlow {
     }
 }
 
-/// Preprocessed data handed to a detector: a leading *training* slice and
-/// the *evaluation* slice it must score.
+/// Fully materialized preprocessed data: a leading *training* slice and the
+/// *evaluation* slice, in both shapes.
 ///
-/// Both shapes are always populated, so a detector declares its preference
-/// via [`Detector::input_format`] and reads the matching pair. Supervised
-/// detectors may read labels from the training slice; reading evaluation
-/// labels is the pipeline-integrity violation the score-count check cannot
-/// catch, so it is forbidden by convention and exercised in integration
-/// tests via label-shuffling.
+/// This is the offline analysis view produced by
+/// [`Pipeline::prepare`](crate::preprocess::Pipeline::prepare) — useful for
+/// feature inspection and ablations that want all flows in hand at once.
+/// Evaluation runs do **not** use it: the event drivers replay
+/// [`ParsedView`](crate::event::ParsedView)s and deliver flows at eviction
+/// time instead of materializing them up front.
 #[derive(Debug, Clone)]
 pub struct DetectorInput {
     /// Training packets (timestamp order).
@@ -52,7 +65,7 @@ pub struct DetectorInput {
 }
 
 impl DetectorInput {
-    /// Number of items a detector must score given its input format.
+    /// Number of evaluation items of the given format.
     pub fn eval_len(&self, format: InputFormat) -> usize {
         match format {
             InputFormat::Packets => self.eval_packets.len(),
@@ -92,53 +105,10 @@ pub enum Verdict {
     Alert,
 }
 
-/// A network intrusion detection system under evaluation.
-///
-/// The contract mirrors the paper's methodology: the detector is constructed
-/// with its out-of-the-box configuration (step 3), trains/calibrates itself
-/// on the training slice as its published protocol dictates, and emits one
-/// anomaly score per evaluation item. Threshold selection is *not* the
-/// detector's job — the pipeline applies a standardized policy (step 4)
-/// uniformly across systems.
-///
-/// The trait is object-safe; the experiment runner works with
-/// `Box<dyn Detector>`.
-pub trait Detector: Send {
-    /// Human-readable system name as used in the paper (e.g. `"Kitsune"`).
-    fn name(&self) -> &str;
-
-    /// Which input shape this detector consumes.
-    fn input_format(&self) -> InputFormat;
-
-    /// Trains on the training slice and returns one anomaly score per
-    /// evaluation item (higher = more anomalous). The returned vector's
-    /// length must equal `input.eval_len(self.input_format())`.
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64>;
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use idsbench_net::{Packet, Timestamp};
-
-    /// Scores packets by wire length — a trivially correct detector used to
-    /// exercise the trait machinery.
-    #[derive(Debug)]
-    struct LengthDetector;
-
-    impl Detector for LengthDetector {
-        fn name(&self) -> &str {
-            "length"
-        }
-
-        fn input_format(&self) -> InputFormat {
-            InputFormat::Packets
-        }
-
-        fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-            input.eval_packets.iter().map(|p| p.packet.wire_len() as f64).collect()
-        }
-    }
 
     fn input_with_eval_packets(n: usize) -> DetectorInput {
         DetectorInput {
@@ -157,13 +127,10 @@ mod tests {
     }
 
     #[test]
-    fn detector_as_trait_object() {
-        let mut detector: Box<dyn Detector> = Box::new(LengthDetector);
+    fn eval_len_matches_format() {
         let input = input_with_eval_packets(3);
-        let scores = detector.score(&input);
-        assert_eq!(scores, vec![60.0, 61.0, 62.0]);
-        assert_eq!(detector.name(), "length");
-        assert_eq!(input.eval_len(detector.input_format()), 3);
+        assert_eq!(input.eval_len(InputFormat::Packets), 3);
+        assert_eq!(input.eval_len(InputFormat::Flows), 0);
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! The parse-once Event data plane: one detector contract for packets,
+//! flows, batch, and stream.
+//!
+//! The paper's two hardest practical boundaries are the packets-vs-flows
+//! input split (Section I) and the batch-vs-deployment split. This module
+//! removes both from the detector contract:
+//!
+//! * **Parse once.** Every packet is decoded exactly once, at the edge of
+//!   the pipeline, into a [`ParsedView`] ([`ParsedView::from_packet`] is the
+//!   single `ParsedPacket::parse` call site of the data plane — pinned by
+//!   the `parse_once` integration test). Flow-key routing, flow assembly,
+//!   and detector features all read that one view; no detector re-parses
+//!   raw bytes internally.
+//! * **One event stream.** The replay delivers a uniform stream of
+//!   [`Event`]s: a [`Event::Packet`] per packet in arrival order, and a
+//!   [`Event::FlowEvicted`] whenever the flow table emits a completed flow
+//!   — eviction timing included, because when a flow is scored is itself a
+//!   detection variable (Ficke et al.).
+//! * **One contract.** [`EventDetector`] replaces the old
+//!   `Detector`/`StreamingDetector` split: `fit` consumes the training
+//!   slice once, then `on_event` must score each event of the detector's
+//!   [`InputFormat`] immediately, with no second pass. The batch runner
+//!   (`runner::evaluate`) and the sharded streaming executor
+//!   (`idsbench-stream`) are two drivers of this same contract, and a
+//!   single-shard streaming run reproduces batch evaluation bitwise.
+//!
+//! # Examples
+//!
+//! A trivial packet detector under the unified contract:
+//!
+//! ```
+//! use idsbench_core::event::{Event, EventDetector, ParsedView, TrainView};
+//! use idsbench_core::{InputFormat, Label, LabeledPacket};
+//! use idsbench_net::{Packet, Timestamp};
+//!
+//! /// Scores every packet by wire length.
+//! #[derive(Debug)]
+//! struct Length;
+//!
+//! impl EventDetector for Length {
+//!     fn name(&self) -> &str {
+//!         "length"
+//!     }
+//!     fn input_format(&self) -> InputFormat {
+//!         InputFormat::Packets
+//!     }
+//!     fn fit(&mut self, _train: &TrainView) {}
+//!     fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+//!         match event {
+//!             Event::Packet(view) => Some(view.packet.packet.wire_len() as f64),
+//!             Event::FlowEvicted(_) => None,
+//!         }
+//!     }
+//! }
+//!
+//! let mut detector = Length;
+//! detector.fit(&TrainView::default());
+//! let view = ParsedView::from_packet(LabeledPacket::new(
+//!     Packet::new(Timestamp::ZERO, vec![0u8; 60]),
+//!     Label::Benign,
+//! ));
+//! assert_eq!(detector.on_event(&Event::Packet(&view)), Some(60.0));
+//! ```
+
+use std::collections::HashMap;
+
+use idsbench_flow::{FlowFeatures, FlowKey, FlowRecord, FlowTable, FlowTableConfig};
+use idsbench_net::ParsedPacket;
+
+use crate::detector::{InputFormat, LabeledFlow};
+use crate::label::{Label, LabeledPacket};
+
+/// A labeled packet paired with its one-and-only parsed view.
+///
+/// Construction ([`ParsedView::from_packet`]) is the data plane's single
+/// parse site: the decoded headers and the canonical flow key derived from
+/// them ride along with the packet through routing, flow assembly, and
+/// detector feature extraction, so nothing downstream ever re-parses the
+/// raw bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedView {
+    /// The raw packet and its ground-truth label.
+    pub packet: LabeledPacket,
+    /// The decoded headers, or `None` when the frame is malformed. A
+    /// malformed frame still flows through the pipeline (a deployed IDS
+    /// must pass it through, not crash); packet detectors score it
+    /// neutrally and it carries no flow identity.
+    pub parsed: Option<ParsedPacket>,
+    /// Canonical (direction-independent) 5-tuple, or `None` for non-IP or
+    /// malformed frames. Precomputed here because every driver needs it:
+    /// the streaming feeder routes on it and the flow assembler groups by
+    /// it.
+    pub flow_key: Option<FlowKey>,
+}
+
+impl ParsedView {
+    /// Parses a labeled packet into its view — **the** `ParsedPacket::parse`
+    /// call of the evaluation data plane (exactly one per packet; the
+    /// `parse_once` integration test counts).
+    pub fn from_packet(packet: LabeledPacket) -> Self {
+        let parsed = ParsedPacket::parse(&packet.packet).ok();
+        let flow_key = parsed.as_ref().and_then(FlowKey::from_packet).map(|key| key.canonical().0);
+        ParsedView { packet, parsed, flow_key }
+    }
+
+    /// Ground-truth label of the underlying packet.
+    pub fn label(&self) -> Label {
+        self.packet.label
+    }
+
+    /// Shorthand for `label().is_attack()`.
+    pub fn is_attack(&self) -> bool {
+        self.packet.is_attack()
+    }
+}
+
+/// One observable occurrence in the replayed traffic timeline.
+///
+/// Packet events arrive in timestamp order; flow events are interleaved at
+/// the exact moment the flow table evicts the record (TCP close, idle or
+/// active timeout, capacity eviction, end-of-stream flush) — the timing a
+/// deployed flow-input IDS actually experiences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event<'a> {
+    /// A packet arrived.
+    Packet(&'a ParsedView),
+    /// The flow table evicted a completed flow.
+    FlowEvicted(&'a LabeledFlow),
+}
+
+impl Event<'_> {
+    /// Ground truth of the packet or flow this event carries.
+    pub fn label(&self) -> Label {
+        match self {
+            Event::Packet(view) => view.label(),
+            Event::FlowEvicted(flow) => flow.label,
+        }
+    }
+
+    /// Which input format this event belongs to.
+    pub fn format(&self) -> InputFormat {
+        match self {
+            Event::Packet(_) => InputFormat::Packets,
+            Event::FlowEvicted(_) => InputFormat::Flows,
+        }
+    }
+}
+
+/// The training slice in both shapes, parsed once and shared by every
+/// driver: packet views in timestamp order plus the flows the eviction path
+/// emitted while replaying them (flush included, so no training packet is
+/// silently dropped from the flow view).
+///
+/// Supervised detectors may read labels here — training labels are the only
+/// labels a detector is ever allowed to consume. Evaluation labels never
+/// reach a detector: `on_event` hands over traffic, not ground truth.
+#[derive(Debug, Clone, Default)]
+pub struct TrainView {
+    /// Training packets with their parsed views, in timestamp order.
+    pub packets: Vec<ParsedView>,
+    /// Flows assembled from exactly those packets, in eviction order
+    /// (flush-at-end sorted by first-seen time).
+    pub flows: Vec<LabeledFlow>,
+}
+
+impl TrainView {
+    /// Builds the view from already-parsed training packets: replays them
+    /// through a fresh [`FlowEventAssembler`] and keeps both shapes.
+    pub fn assemble(packets: Vec<ParsedView>, flow_config: FlowTableConfig) -> Self {
+        let mut assembler = FlowEventAssembler::new(flow_config);
+        let mut flows = Vec::new();
+        for view in &packets {
+            assembler.observe(view, |flow| flows.push(flow));
+        }
+        flows.extend(assembler.flush());
+        TrainView { packets, flows }
+    }
+}
+
+/// A network IDS under the unified evaluation contract (see module docs).
+///
+/// The lifecycle mirrors deployment: `fit` consumes the training slice
+/// exactly once (the detector trains or calibrates itself as its published
+/// protocol dictates — the paper's out-of-the-box rule), then `on_event` is
+/// called for every event in arrival order and must return a score for each
+/// event of the detector's [`InputFormat`] immediately, without seeing any
+/// future event.
+///
+/// Implementations carry mutable state across calls (damped statistics,
+/// model weights, behavioural profiles); the sharded executor therefore
+/// gives every shard its own instance via [`EventFactory`].
+///
+/// The trait is object-safe; both drivers work with
+/// `Box<dyn EventDetector>`.
+pub trait EventDetector: Send {
+    /// Human-readable system name as used in the paper (e.g. `"Kitsune"`).
+    fn name(&self) -> &str;
+
+    /// Which event kind this detector scores. The drivers use this for two
+    /// things: they only run the flow-eviction path when the detector
+    /// consumes flows, and they verify one score came back per event of
+    /// this format.
+    fn input_format(&self) -> InputFormat;
+
+    /// Consumes the training slice once, before any scoring.
+    fn fit(&mut self, train: &TrainView);
+
+    /// Observes one event. Must return `Some(score)` (higher = more
+    /// anomalous) for every event matching [`EventDetector::input_format`]
+    /// and `None` for the rest. Packet detectors still receive flow events
+    /// only if a driver chooses to deliver them (they are free to ignore
+    /// them); flow detectors always receive the packet events too, since
+    /// real deployments see the packets their flows are made of.
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64>;
+}
+
+impl EventDetector for Box<dyn EventDetector> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn input_format(&self) -> InputFormat {
+        self.as_ref().input_format()
+    }
+
+    fn fit(&mut self, train: &TrainView) {
+        self.as_mut().fit(train);
+    }
+
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        self.as_mut().on_event(event)
+    }
+}
+
+/// A named factory producing fresh [`EventDetector`] instances — one per
+/// grid cell in the batch runner, one per shard in the streaming executor,
+/// so no state leaks between datasets or flow partitions.
+pub type EventFactory<'a> = Box<dyn Fn() -> Box<dyn EventDetector> + Send + Sync + 'a>;
+
+/// Turns a parsed packet stream into labeled [`Event::FlowEvicted`] events.
+///
+/// Owns a [`FlowTable`] plus the label fold: a flow inherits the attack
+/// label (and kind) of its constituent packets via the canonical 5-tuple;
+/// mixed tuples (benign and attack traffic sharing an exact 5-tuple) label
+/// the flow as attack, matching the labelling practice of the real
+/// datasets. Both replay drivers — batch and each streaming shard — run one
+/// assembler over the packets they own, which is what makes their flow
+/// event streams identical for identically-routed traffic.
+#[derive(Debug)]
+pub struct FlowEventAssembler {
+    table: FlowTable,
+    labels: HashMap<FlowKey, Label>,
+}
+
+impl FlowEventAssembler {
+    /// Creates an assembler with an empty flow table.
+    pub fn new(config: FlowTableConfig) -> Self {
+        FlowEventAssembler { table: FlowTable::new(config), labels: HashMap::new() }
+    }
+
+    /// Feeds one parsed view; evicted flows (if any) are handed to `emit`
+    /// as labeled flows, in eviction order. Malformed and non-IP packets
+    /// are passed over (they carry no flow identity).
+    pub fn observe(&mut self, view: &ParsedView, mut emit: impl FnMut(LabeledFlow)) {
+        let Some(parsed) = &view.parsed else {
+            return;
+        };
+        if let Some(key) = view.flow_key {
+            self.labels
+                .entry(key)
+                .and_modify(|existing| {
+                    if !existing.is_attack() && view.packet.label.is_attack() {
+                        *existing = view.packet.label;
+                    }
+                })
+                .or_insert(view.packet.label);
+        }
+        let labels = &self.labels;
+        self.table.observe_with(parsed, |record| emit(Self::labeled(labels, record)));
+    }
+
+    /// Emits every flow still open, in first-seen order (end of stream).
+    pub fn flush(&mut self) -> Vec<LabeledFlow> {
+        let labels = &self.labels;
+        self.table.flush().into_iter().map(|record| Self::labeled(labels, record)).collect()
+    }
+
+    /// Number of flows currently being tracked.
+    pub fn active_flows(&self) -> usize {
+        self.table.active_flows()
+    }
+
+    fn labeled(labels: &HashMap<FlowKey, Label>, record: FlowRecord) -> LabeledFlow {
+        let label = labels.get(&record.key).copied().unwrap_or(Label::Benign);
+        let features = FlowFeatures::from_record(&record);
+        LabeledFlow { record, features, label }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::AttackKind;
+    use idsbench_net::{MacAddr, Packet, PacketBuilder, TcpFlags, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn tcp_view(src: (u8, u16), dst: (u8, u16), t: f64, label: Label) -> ParsedView {
+        let p = PacketBuilder::new()
+            .ethernet(MacAddr::from_host_id(src.0 as u32), MacAddr::from_host_id(dst.0 as u32))
+            .ipv4(Ipv4Addr::new(10, 0, 0, src.0), Ipv4Addr::new(10, 0, 0, dst.0))
+            .tcp(src.1, dst.1, TcpFlags::ACK)
+            .payload(&[0; 20])
+            .build(Timestamp::from_secs_f64(t));
+        ParsedView::from_packet(LabeledPacket::new(p, label))
+    }
+
+    #[test]
+    fn view_precomputes_canonical_flow_key() {
+        let forward = tcp_view((1, 40_000), (2, 80), 0.0, Label::Benign);
+        let backward = tcp_view((2, 80), (1, 40_000), 0.1, Label::Benign);
+        assert!(forward.parsed.is_some());
+        assert_eq!(forward.flow_key, backward.flow_key, "both directions share one key");
+        assert!(forward.flow_key.is_some());
+    }
+
+    #[test]
+    fn malformed_frame_yields_keyless_view() {
+        let garbage =
+            LabeledPacket::new(Packet::new(Timestamp::ZERO, vec![0xff; 7]), Label::Benign);
+        let view = ParsedView::from_packet(garbage);
+        assert!(view.parsed.is_none());
+        assert!(view.flow_key.is_none());
+        assert!(!view.is_attack());
+    }
+
+    #[test]
+    fn event_carries_label_and_format() {
+        let view = tcp_view((1, 40_000), (2, 80), 0.0, Label::Attack(AttackKind::PortScan));
+        let event = Event::Packet(&view);
+        assert!(event.label().is_attack());
+        assert_eq!(event.format(), InputFormat::Packets);
+    }
+
+    #[test]
+    fn assembler_labels_flows_from_constituent_packets() {
+        let mut assembler = FlowEventAssembler::new(FlowTableConfig::default());
+        let views = [
+            tcp_view((1, 40_000), (2, 80), 0.0, Label::Benign),
+            tcp_view((2, 80), (1, 40_000), 0.1, Label::Attack(AttackKind::Exfiltration)),
+        ];
+        for view in &views {
+            assembler.observe(view, |_| panic!("nothing should evict yet"));
+        }
+        let flows = assembler.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].label.attack_kind(), Some(AttackKind::Exfiltration));
+        assert_eq!(flows[0].record.total_packets(), 2);
+    }
+
+    #[test]
+    fn train_view_assembles_both_shapes() {
+        let views = vec![
+            tcp_view((1, 40_000), (2, 80), 0.0, Label::Benign),
+            tcp_view((3, 41_000), (2, 80), 0.5, Label::Benign),
+        ];
+        let train = TrainView::assemble(views, FlowTableConfig::default());
+        assert_eq!(train.packets.len(), 2);
+        assert_eq!(train.flows.len(), 2, "flush must surface open flows");
+    }
+}

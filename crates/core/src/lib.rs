@@ -5,10 +5,13 @@
 //! The paper proposes (and executes) a standardized pipeline for comparing
 //! network IDSs across datasets. This crate implements that pipeline:
 //!
-//! 1. **Vocabulary** — [`Label`]/[`AttackKind`]/[`LabeledPacket`] ground
-//!    truth, the [`Dataset`] trait, and the [`Detector`] trait with its two
-//!    input shapes ([`InputFormat::Packets`] vs [`InputFormat::Flows`] — the
-//!    format-compatibility problem Section I discusses at length).
+//! 1. **Vocabulary & contract** — [`Label`]/[`AttackKind`]/[`LabeledPacket`]
+//!    ground truth, the [`Dataset`] trait, and the parse-once [`event`]
+//!    model: every packet is decoded exactly once into a [`ParsedView`] and
+//!    every detector implements one [`EventDetector`] contract over
+//!    [`Event::Packet`] and [`Event::FlowEvicted`] events ([`InputFormat`]
+//!    names the two shapes — the format-compatibility problem Section I
+//!    discusses at length).
 //! 2. **Preprocessing** (Section IV-A steps 1–2) — [`preprocess::Pipeline`]:
 //!    random flow sampling, timestamp re-sorting, train/eval splitting, and
 //!    label-preserving flow assembly.
@@ -28,20 +31,20 @@
 mod dataset;
 mod detector;
 mod error;
+pub mod event;
 mod label;
 pub mod metrics;
 pub mod preprocess;
 pub mod registry;
 pub mod report;
 pub mod runner;
-pub mod streaming;
 pub mod threshold;
 
 pub use dataset::{Dataset, DatasetInfo};
-pub use detector::{Detector, DetectorInput, InputFormat, LabeledFlow, Verdict};
+pub use detector::{DetectorInput, InputFormat, LabeledFlow, Verdict};
 pub use error::CoreError;
+pub use event::{Event, EventDetector, EventFactory, FlowEventAssembler, ParsedView, TrainView};
 pub use label::{AttackKind, Label, LabeledPacket};
-pub use streaming::{Streamed, StreamingDetector, StreamingFactory};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -45,6 +45,14 @@ impl ConfusionMatrix {
         }
     }
 
+    /// Adds another matrix's counts into this one (shard merging).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
     /// Builds a matrix by thresholding `scores` against `labels`
     /// (`score >= threshold` ⇒ alert).
     ///

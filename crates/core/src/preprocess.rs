@@ -23,15 +23,26 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::detector::{DetectorInput, LabeledFlow};
+use crate::event::{ParsedView, TrainView};
 use crate::label::{Label, LabeledPacket};
 use crate::{CoreError, Result};
 
-/// How assembled flows are divided into training and evaluation sets.
+/// How assembled flows are divided into training and evaluation sets — in
+/// the *materialized* [`Pipeline::prepare`] view only.
 ///
 /// Packet-input IDSs always receive a *temporal* split (they train on
 /// leading traffic, as their published protocols dictate). Flow-input IDSs
 /// were originally evaluated on record-level splits of labelled CSVs —
-/// k-fold style, not temporal — so the pipeline reproduces that by default.
+/// k-fold style, not temporal — so the materialized view reproduces that by
+/// default.
+///
+/// The event drivers ([`Pipeline::prepare_events`], `runner::evaluate`, the
+/// streaming executor) deliberately ignore this knob: a stream has no
+/// second pass to shuffle flows through, so training flows are always the
+/// ones assembled from the leading packet slice and evaluation flows arrive
+/// at flow-table eviction time. That temporal discipline *is* the
+/// deployment reality the redesign models (it also removes the
+/// future-into-training leak this option's own docs acknowledge).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FlowSplit {
     /// First `train_fraction` of flows by start time.
@@ -51,7 +62,9 @@ pub struct PipelineConfig {
     /// Fraction of the trace (by packet count, after sorting) available for
     /// training/calibration.
     pub train_fraction: f64,
-    /// How flows are split into train/eval sets.
+    /// How flows are split into train/eval sets in the materialized
+    /// [`Pipeline::prepare`] view. Ignored by the event drivers, which are
+    /// always temporal (see [`FlowSplit`]).
     pub flow_split: FlowSplit,
     /// Seed for the sampling RNG.
     pub seed: u64,
@@ -71,6 +84,26 @@ impl Default for PipelineConfig {
             flow_config: FlowTableConfig::default(),
         }
     }
+}
+
+/// Prepared input for event replay: the training slice in both shapes plus
+/// the evaluation packets as parsed views, produced by
+/// [`Pipeline::prepare_events`].
+///
+/// Evaluation flows are deliberately *not* materialized here — the drivers
+/// deliver them as [`Event::FlowEvicted`](crate::event::Event::FlowEvicted)
+/// events at the moment the flow table evicts them, because eviction timing
+/// is part of what is being evaluated.
+#[derive(Debug, Clone)]
+pub struct EventInput {
+    /// The training slice: parsed packets plus the flows assembled from
+    /// exactly those packets.
+    pub train: TrainView,
+    /// Evaluation packets with their parsed views, in timestamp order.
+    pub eval: Vec<ParsedView>,
+    /// Flow-table parameters the eval replay must use (the same ones the
+    /// training flows were assembled with).
+    pub flow_config: FlowTableConfig,
 }
 
 /// The preprocessing pipeline (see module docs).
@@ -107,7 +140,62 @@ impl Pipeline {
         &self.config
     }
 
-    /// Runs the full pipeline on a labeled packet stream.
+    /// Runs the parse-once pipeline for event replay: decode every packet
+    /// exactly once, flow-sample on the precomputed keys, sort, split, and
+    /// assemble the training slice's flow view.
+    ///
+    /// This is the preparation step behind [`crate::runner::evaluate`] and
+    /// the entry point for replaying externally captured traffic (pcap)
+    /// through the event drivers. Unlike the materialized
+    /// [`Pipeline::prepare`], malformed frames are *not* an error here:
+    /// they ride through as keyless [`ParsedView`]s that packet detectors
+    /// score neutrally, exactly as a deployed IDS passes them through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDataset`] if nothing survives sampling.
+    pub fn prepare_events(&self, name: &str, packets: Vec<LabeledPacket>) -> Result<EventInput> {
+        // The data plane's single parse per packet (see `event` module).
+        let views: Vec<ParsedView> = packets.into_iter().map(ParsedView::from_packet).collect();
+        let sampled = self.sample_flow_views(views);
+        if sampled.is_empty() {
+            return Err(CoreError::EmptyDataset { dataset: name.to_string() });
+        }
+        let mut sorted = sampled;
+        sorted.sort_by_key(|view| view.packet.packet.ts);
+
+        let (train_views, eval) = split_at_fraction(sorted, self.config.train_fraction);
+        let train = TrainView::assemble(train_views, self.config.flow_config);
+        Ok(EventInput { train, eval, flow_config: self.config.flow_config })
+    }
+
+    /// Step 1 for the event path: random flow sampling on the precomputed
+    /// canonical keys. Packets without flow identity — non-IP *and*
+    /// malformed frames — are always retained, honouring the event
+    /// pipeline's pass-through promise (the legacy [`Pipeline::prepare`]
+    /// instead drops unparseable packets when sampling). Keep/drop
+    /// decisions for parseable traffic are identical to the legacy path:
+    /// the RNG is consumed once per newly seen flow, in the same order.
+    fn sample_flow_views(&self, views: Vec<ParsedView>) -> Vec<ParsedView> {
+        if self.config.sampling_rate >= 1.0 {
+            return views;
+        }
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut keep: HashMap<FlowKey, bool> = HashMap::new();
+        views
+            .into_iter()
+            .filter(|view| match view.flow_key {
+                None => true,
+                Some(key) => *keep
+                    .entry(key)
+                    .or_insert_with(|| rng.random_range(0.0..1.0) < self.config.sampling_rate),
+            })
+            .collect()
+    }
+
+    /// Runs the full pipeline on a labeled packet stream, materializing
+    /// both train/eval shapes up front — the offline analysis view (the
+    /// event drivers use [`Pipeline::prepare_events`] instead).
     ///
     /// # Errors
     ///
@@ -235,17 +323,15 @@ fn sort_by_timestamp(mut packets: Vec<LabeledPacket>) -> Vec<LabeledPacket> {
 }
 
 /// Step 3: splits a timestamp-sorted trace at the leading `fraction` of
-/// packets (`⌊len · fraction⌋`) into (train/warmup, eval) — the *single*
-/// definition of the train/eval split rule. The batch pipeline and the
-/// streaming engine's warmup split both call this function, which is what
-/// keeps the streaming↔batch parity invariant stable under maintenance.
-pub fn split_at_fraction(
-    mut packets: Vec<LabeledPacket>,
-    fraction: f64,
-) -> (Vec<LabeledPacket>, Vec<LabeledPacket>) {
-    let split = ((packets.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
-    let rest = packets.split_off(split.min(packets.len()));
-    (packets, rest)
+/// items (`⌊len · fraction⌋`) into (train/warmup, eval) — the *single*
+/// definition of the train/eval split rule. The batch pipeline (packets
+/// and parsed views alike) and the streaming engine's warmup split all call
+/// this function, which is what keeps the streaming↔batch parity invariant
+/// stable under maintenance.
+pub fn split_at_fraction<T>(mut items: Vec<T>, fraction: f64) -> (Vec<T>, Vec<T>) {
+    let split = ((items.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    let rest = items.split_off(split.min(items.len()));
+    (items, rest)
 }
 
 fn shuffle(flows: &mut [LabeledFlow], rng: &mut SmallRng) {

@@ -155,12 +155,12 @@ pub fn render_family_breakdown(dataset: &str, experiments: &[Experiment]) -> Str
 /// Renders experiments as CSV with full diagnostics (one row per cell).
 pub fn render_csv(experiments: &[Experiment]) -> String {
     let mut out = String::from(
-        "detector,dataset,accuracy,precision,recall,f1,threshold,eval_items,attack_share,auc,fpr,detector_seconds\n",
+        "detector,dataset,accuracy,precision,recall,f1,threshold,eval_items,attack_share,auc,fpr,train_seconds,score_seconds\n",
     );
     for e in experiments {
         let _ = writeln!(
             out,
-            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6e},{},{:.6},{:.6},{:.6},{:.3}",
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6e},{},{:.6},{:.6},{:.6},{:.3},{:.3}",
             e.detector,
             e.dataset,
             e.metrics.accuracy,
@@ -172,7 +172,8 @@ pub fn render_csv(experiments: &[Experiment]) -> String {
             e.attack_share,
             e.auc,
             e.false_positive_rate,
-            e.detector_seconds,
+            e.train_seconds,
+            e.score_seconds,
         );
     }
     out
@@ -239,7 +240,8 @@ mod tests {
             attack_share: 0.2,
             auc: 0.9,
             false_positive_rate: 0.05,
-            detector_seconds: 0.1,
+            train_seconds: 0.08,
+            score_seconds: 0.02,
             family_recall: vec![("syn-flood".to_string(), 0.9, 100)],
         }
     }

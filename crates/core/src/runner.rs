@@ -1,5 +1,11 @@
-//! The experiment runner: evaluates every IDS on every dataset and collects
-//! Table IV-shaped results.
+//! The experiment runner: the *batch driver* of the Event contract.
+//!
+//! [`evaluate`] runs the full paper pipeline — generate → parse-once
+//! preprocess → `fit` → event replay → calibrate threshold → confusion
+//! metrics — by replaying the evaluation slice as an event stream through
+//! an [`EventDetector`]. The sharded streaming executor in
+//! `idsbench-stream` drives the *same* contract over the same events, which
+//! is why a single-shard streaming run reproduces these results bitwise.
 //!
 //! Each grid cell is independent (fresh detector instance, fresh dataset
 //! realisation from the configured seed), so cells run in parallel on
@@ -9,11 +15,12 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
-use crate::detector::Detector;
+use crate::detector::InputFormat;
+use crate::event::{Event, EventDetector, EventFactory, FlowEventAssembler};
 use crate::metrics::{auc, roc_curve, ConfusionMatrix, Metrics};
-use crate::preprocess::{Pipeline, PipelineConfig};
+use crate::preprocess::{EventInput, Pipeline, PipelineConfig};
 use crate::threshold::ThresholdPolicy;
-use crate::{CoreError, Result};
+use crate::{AttackKind, CoreError, Result};
 
 /// Configuration for one evaluation run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -38,16 +45,22 @@ pub struct Experiment {
     pub metrics: Metrics,
     /// Calibrated alert threshold.
     pub threshold: f64,
-    /// Number of scored evaluation items (packets or flows).
+    /// Number of scored evaluation events (packets or flows).
     pub eval_items: usize,
-    /// Fraction of evaluation items that are attacks.
+    /// Fraction of scored evaluation events that are attacks.
     pub attack_share: f64,
     /// Area under the ROC curve of the raw scores.
     pub auc: f64,
     /// False-positive rate at the calibrated threshold.
     pub false_positive_rate: f64,
-    /// Wall-clock seconds spent inside the detector.
-    pub detector_seconds: f64,
+    /// Wall-clock seconds spent in `fit` — the one-time training and
+    /// calibration cost a deployment pays once.
+    pub train_seconds: f64,
+    /// Wall-clock seconds spent in `on_event` — the recurring per-event
+    /// scoring cost a deployment pays forever. Kept separate from
+    /// [`Experiment::train_seconds`] so practicality comparisons do not
+    /// launder training time into per-packet cost (or vice versa).
+    pub score_seconds: f64,
     /// Per-attack-family recall at the calibrated threshold:
     /// `(family name, recall, evaluation items of that family)`, sorted by
     /// family name. The axis along which the paper explains every
@@ -55,29 +68,88 @@ pub struct Experiment {
     pub family_recall: Vec<(String, f64, usize)>,
 }
 
-/// Evaluates one detector on one dataset.
-///
-/// Runs the full paper pipeline: generate → preprocess → score → calibrate
-/// threshold → confusion metrics.
+/// The raw outcome of one event replay, before threshold calibration: one
+/// entry per scored event, in delivery order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredReplay {
+    /// Anomaly scores, one per scored event.
+    pub scores: Vec<f64>,
+    /// Ground truth aligned with `scores`.
+    pub labels: Vec<bool>,
+    /// Attack kinds aligned with `scores` (`None` for benign).
+    pub kinds: Vec<Option<AttackKind>>,
+    /// Seconds spent inside `fit`.
+    pub train_seconds: f64,
+    /// Seconds spent inside `on_event` calls.
+    pub score_seconds: f64,
+    /// Packet events delivered.
+    pub eval_packets: usize,
+    /// Flow-eviction events delivered (zero for packet-format detectors,
+    /// whose replay skips flow assembly entirely).
+    pub eval_flows: usize,
+}
+
+/// Fits a detector on the prepared training slice, then replays the
+/// evaluation slice as an event stream: one [`Event::Packet`] per parsed
+/// view in order and — for flow-format detectors — one
+/// [`Event::FlowEvicted`] at each flow-table eviction, with an end-of-
+/// stream flush. No packet is parsed here; the views were decoded once in
+/// [`Pipeline::prepare_events`].
 ///
 /// # Errors
 ///
-/// Propagates preprocessing errors and returns
-/// [`CoreError::ScoreCountMismatch`] if the detector mis-sizes its output.
-pub fn evaluate(
-    detector: &mut dyn Detector,
-    dataset: &dyn Dataset,
-    config: &EvalConfig,
-) -> Result<Experiment> {
-    let packets = dataset.generate(config.dataset_seed);
-    let pipeline = Pipeline::new(config.pipeline)?;
-    let input = pipeline.prepare(&dataset.info().name, packets)?;
+/// Returns [`CoreError::ScoreCountMismatch`] if the detector fails to
+/// return exactly one score per event of its declared input format.
+pub fn replay(detector: &mut dyn EventDetector, input: &EventInput) -> Result<ScoredReplay> {
+    let fit_started = std::time::Instant::now();
+    detector.fit(&input.train);
+    let train_seconds = fit_started.elapsed().as_secs_f64();
 
     let format = detector.input_format();
-    let expected = input.eval_len(format);
-    let started = std::time::Instant::now();
-    let scores = detector.score(&input);
-    let detector_seconds = started.elapsed().as_secs_f64();
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    let mut kinds = Vec::new();
+    let mut score_nanos = 0u128;
+    let mut eval_flows = 0usize;
+
+    let mut deliver = |detector: &mut dyn EventDetector, event: Event<'_>| {
+        let started = std::time::Instant::now();
+        let score = detector.on_event(&event);
+        score_nanos += started.elapsed().as_nanos();
+        if let Some(score) = score {
+            let label = event.label();
+            scores.push(score);
+            labels.push(label.is_attack());
+            kinds.push(label.attack_kind());
+        }
+    };
+
+    // Flow assembly runs only when the detector consumes flows; packet
+    // detectors pay nothing for the shape they ignore.
+    let mut assembler =
+        matches!(format, InputFormat::Flows).then(|| FlowEventAssembler::new(input.flow_config));
+    let mut evicted = Vec::new();
+    for view in &input.eval {
+        deliver(detector, Event::Packet(view));
+        if let Some(assembler) = &mut assembler {
+            assembler.observe(view, |flow| evicted.push(flow));
+            for flow in evicted.drain(..) {
+                eval_flows += 1;
+                deliver(detector, Event::FlowEvicted(&flow));
+            }
+        }
+    }
+    if let Some(mut assembler) = assembler {
+        for flow in assembler.flush() {
+            eval_flows += 1;
+            deliver(detector, Event::FlowEvicted(&flow));
+        }
+    }
+
+    let expected = match format {
+        InputFormat::Packets => input.eval.len(),
+        InputFormat::Flows => eval_flows,
+    };
     if scores.len() != expected {
         return Err(CoreError::ScoreCountMismatch {
             detector: detector.name().to_string(),
@@ -85,17 +157,45 @@ pub fn evaluate(
             got: scores.len(),
         });
     }
+    Ok(ScoredReplay {
+        scores,
+        labels,
+        kinds,
+        train_seconds,
+        score_seconds: score_nanos as f64 / 1e9,
+        eval_packets: input.eval.len(),
+        eval_flows,
+    })
+}
 
-    let labels = input.eval_labels(format);
-    let threshold = config.policy.calibrate(&scores, &labels);
-    let cm = ConfusionMatrix::from_scores(&scores, &labels, threshold);
-    let attacks = labels.iter().filter(|&&l| l).count();
+/// Evaluates one detector on one dataset.
+///
+/// Runs the full paper pipeline: generate → parse-once preprocess → fit →
+/// event replay → calibrate threshold → confusion metrics.
+///
+/// # Errors
+///
+/// Propagates preprocessing errors and returns
+/// [`CoreError::ScoreCountMismatch`] if the detector skips or double-scores
+/// events of its declared format.
+pub fn evaluate(
+    detector: &mut dyn EventDetector,
+    dataset: &dyn Dataset,
+    config: &EvalConfig,
+) -> Result<Experiment> {
+    let packets = dataset.generate(config.dataset_seed);
+    let pipeline = Pipeline::new(config.pipeline)?;
+    let input = pipeline.prepare_events(&dataset.info().name, packets)?;
+    let replayed = replay(detector, &input)?;
+
+    let threshold = config.policy.calibrate(&replayed.scores, &replayed.labels);
+    let cm = ConfusionMatrix::from_scores(&replayed.scores, &replayed.labels, threshold);
+    let attacks = replayed.labels.iter().filter(|&&l| l).count();
 
     // Per-family recall at the calibrated threshold.
-    let kinds = input.eval_kinds(format);
     let mut per_family: std::collections::BTreeMap<&'static str, (usize, usize)> =
         std::collections::BTreeMap::new();
-    for (score, kind) in scores.iter().zip(&kinds) {
+    for (score, kind) in replayed.scores.iter().zip(&replayed.kinds) {
         if let Some(kind) = kind {
             let entry = per_family.entry(kind.name()).or_default();
             entry.1 += 1;
@@ -109,23 +209,25 @@ pub fn evaluate(
         .map(|(name, (hit, total))| (name.to_string(), hit as f64 / total.max(1) as f64, total))
         .collect();
 
+    let eval_items = replayed.labels.len();
     Ok(Experiment {
         detector: detector.name().to_string(),
         dataset: dataset.info().name.clone(),
         metrics: cm.metrics(),
         threshold,
-        eval_items: labels.len(),
-        attack_share: if labels.is_empty() { 0.0 } else { attacks as f64 / labels.len() as f64 },
-        auc: auc(&roc_curve(&scores, &labels)),
+        eval_items,
+        attack_share: if eval_items == 0 { 0.0 } else { attacks as f64 / eval_items as f64 },
+        auc: auc(&roc_curve(&replayed.scores, &replayed.labels)),
         false_positive_rate: cm.false_positive_rate(),
-        detector_seconds,
+        train_seconds: replayed.train_seconds,
+        score_seconds: replayed.score_seconds,
         family_recall,
     })
 }
 
 /// A named detector factory: the grid builds a fresh instance per cell so
 /// no state leaks between datasets (the paper's out-of-the-box rule).
-pub type DetectorFactory<'a> = Box<dyn Fn() -> Box<dyn Detector> + Send + Sync + 'a>;
+pub type DetectorFactory<'a> = EventFactory<'a>;
 
 /// Evaluates every detector on every dataset, in parallel.
 ///
@@ -183,7 +285,7 @@ pub fn run_grid(
 mod tests {
     use super::*;
     use crate::dataset::DatasetInfo;
-    use crate::detector::{DetectorInput, InputFormat};
+    use crate::event::TrainView;
     use crate::label::{AttackKind, Label, LabeledPacket};
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
     use std::net::Ipv4Addr;
@@ -229,7 +331,7 @@ mod tests {
     #[derive(Debug)]
     struct LengthDetector;
 
-    impl Detector for LengthDetector {
+    impl EventDetector for LengthDetector {
         fn name(&self) -> &str {
             "length"
         }
@@ -238,15 +340,47 @@ mod tests {
             InputFormat::Packets
         }
 
-        fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-            input.eval_packets.iter().map(|p| p.packet.wire_len() as f64).collect()
+        fn fit(&mut self, _train: &TrainView) {}
+
+        fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+            match event {
+                Event::Packet(view) => Some(view.packet.packet.wire_len() as f64),
+                Event::FlowEvicted(_) => None,
+            }
         }
     }
 
+    /// Scores flow events by forward packet count — exercises the flow
+    /// eviction path of the batch driver.
     #[derive(Debug)]
-    struct BrokenDetector;
+    struct FlowCounter;
 
-    impl Detector for BrokenDetector {
+    impl EventDetector for FlowCounter {
+        fn name(&self) -> &str {
+            "flow-counter"
+        }
+
+        fn input_format(&self) -> InputFormat {
+            InputFormat::Flows
+        }
+
+        fn fit(&mut self, _train: &TrainView) {}
+
+        fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+            match event {
+                Event::Packet(_) => None,
+                Event::FlowEvicted(flow) => Some(flow.record.total_packets() as f64),
+            }
+        }
+    }
+
+    /// Drops every other packet score — must be caught by the count check.
+    #[derive(Debug)]
+    struct BrokenDetector {
+        seen: usize,
+    }
+
+    impl EventDetector for BrokenDetector {
         fn name(&self) -> &str {
             "broken"
         }
@@ -255,8 +389,16 @@ mod tests {
             InputFormat::Packets
         }
 
-        fn score(&mut self, _input: &DetectorInput) -> Vec<f64> {
-            vec![0.0] // wrong length
+        fn fit(&mut self, _train: &TrainView) {}
+
+        fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+            match event {
+                Event::Packet(_) => {
+                    self.seen += 1;
+                    (self.seen % 2 == 0).then_some(0.0)
+                }
+                Event::FlowEvicted(_) => None,
+            }
         }
     }
 
@@ -271,6 +413,19 @@ mod tests {
         assert_eq!(experiment.auc, 1.0);
         assert_eq!(experiment.dataset, "toy");
         assert_eq!(experiment.detector, "length");
+        assert!(experiment.train_seconds >= 0.0);
+        assert!(experiment.score_seconds > 0.0);
+    }
+
+    #[test]
+    fn flow_detector_scores_eviction_events() {
+        let dataset = ToyDataset::new("toy");
+        let mut detector = FlowCounter;
+        let experiment = evaluate(&mut detector, &dataset, &EvalConfig::default()).unwrap();
+        assert!(experiment.eval_items > 0, "flow events must have been delivered");
+        // All toy packets share one canonical 5-tuple family per src port;
+        // the point here is just that the eviction path produced events.
+        assert_eq!(experiment.detector, "flow-counter");
     }
 
     #[test]
@@ -290,7 +445,7 @@ mod tests {
     #[test]
     fn mismatched_score_count_is_detected() {
         let dataset = ToyDataset::new("toy");
-        let mut detector = BrokenDetector;
+        let mut detector = BrokenDetector { seen: 0 };
         let err = evaluate(&mut detector, &dataset, &EvalConfig::default()).unwrap_err();
         assert!(matches!(err, CoreError::ScoreCountMismatch { .. }));
     }
@@ -301,8 +456,8 @@ mod tests {
         let b = ToyDataset::new("beta");
         let datasets: Vec<&dyn Dataset> = vec![&a, &b];
         let detectors: Vec<(String, DetectorFactory)> = vec![
-            ("length".into(), Box::new(|| Box::new(LengthDetector) as Box<dyn Detector>)),
-            ("length2".into(), Box::new(|| Box::new(LengthDetector) as Box<dyn Detector>)),
+            ("length".into(), Box::new(|| Box::new(LengthDetector) as Box<dyn EventDetector>)),
+            ("length2".into(), Box::new(|| Box::new(LengthDetector) as Box<dyn EventDetector>)),
         ];
         let results = run_grid(&detectors, &datasets, &EvalConfig::default()).unwrap();
         assert_eq!(results.len(), 4);
@@ -318,8 +473,10 @@ mod tests {
     fn grid_propagates_cell_errors() {
         let a = ToyDataset::new("alpha");
         let datasets: Vec<&dyn Dataset> = vec![&a];
-        let detectors: Vec<(String, DetectorFactory)> =
-            vec![("broken".into(), Box::new(|| Box::new(BrokenDetector) as Box<dyn Detector>))];
+        let detectors: Vec<(String, DetectorFactory)> = vec![(
+            "broken".into(),
+            Box::new(|| Box::new(BrokenDetector { seen: 0 }) as Box<dyn EventDetector>),
+        )];
         assert!(run_grid(&detectors, &datasets, &EvalConfig::default()).is_err());
     }
 

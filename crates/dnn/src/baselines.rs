@@ -1,33 +1,51 @@
 //! The classical-ML baselines from the DNN study (logistic regression,
 //! Gaussian naive Bayes, decision tree, k-nearest-neighbours), each exposed
-//! as a [`Detector`] so the ablation bench can run them through the same
-//! pipeline as the headline systems.
+//! as an [`EventDetector`] so the ablation bench can run them through the
+//! same event pipeline as the headline systems: train once in `fit`, then
+//! score each flow the moment the flow table evicts it.
 
-use idsbench_core::{Detector, DetectorInput, InputFormat};
-use idsbench_nn::{Activation, Adam, Loss, Matrix, MinMaxNormalizer, MlpBuilder, ZScoreNormalizer};
+use idsbench_core::{Event, EventDetector, InputFormat, LabeledFlow, TrainView};
+use idsbench_nn::{
+    Activation, Adam, Loss, Matrix, MinMaxNormalizer, Mlp, MlpBuilder, ZScoreNormalizer,
+};
 
-fn training_matrix(input: &DetectorInput) -> Option<(Vec<Vec<f64>>, Vec<f64>, MinMaxNormalizer)> {
-    if input.train_flows.is_empty() {
+fn training_matrix(train: &TrainView) -> Option<(Vec<Vec<f64>>, Vec<f64>, MinMaxNormalizer)> {
+    if train.flows.is_empty() {
         return None;
     }
-    let width = input.train_flows[0].features.as_slice().len();
+    let width = train.flows[0].features.as_slice().len();
     let mut norm = MinMaxNormalizer::new(width);
-    for flow in &input.train_flows {
+    for flow in &train.flows {
         norm.observe(flow.features.as_slice());
     }
     let x: Vec<Vec<f64>> =
-        input.train_flows.iter().map(|f| norm.transform(f.features.as_slice())).collect();
-    let y: Vec<f64> = input.train_flows.iter().map(|f| f64::from(f.is_attack())).collect();
+        train.flows.iter().map(|f| norm.transform(f.features.as_slice())).collect();
+    let y: Vec<f64> = train.flows.iter().map(|f| f64::from(f.is_attack())).collect();
     Some((x, y, norm))
 }
+
+/// The untrained fallback every baseline shares: a neutral 0.5 per flow, so
+/// the calibration layer chooses "never alert".
+const NEUTRAL: f64 = 0.5;
 
 /// Logistic regression: a single sigmoid unit trained with Adam.
 #[derive(Debug, Default)]
 pub struct LogisticRegression {
-    _private: (),
+    model: Option<(Mlp, MinMaxNormalizer)>,
 }
 
-impl Detector for LogisticRegression {
+impl LogisticRegression {
+    fn score_flow(&mut self, flow: &LabeledFlow) -> f64 {
+        match &mut self.model {
+            Some((model, norm)) => model
+                .predict(&Matrix::row_vector(&norm.transform(flow.features.as_slice())))
+                .get(0, 0),
+            None => NEUTRAL,
+        }
+    }
+}
+
+impl EventDetector for LogisticRegression {
     fn name(&self) -> &str {
         "LogReg"
     }
@@ -36,9 +54,10 @@ impl Detector for LogisticRegression {
         InputFormat::Flows
     }
 
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        let Some((x, y, norm)) = training_matrix(input) else {
-            return vec![0.5; input.eval_flows.len()];
+    fn fit(&mut self, train: &TrainView) {
+        let Some((x, y, norm)) = training_matrix(train) else {
+            self.model = None;
+            return;
         };
         let width = x[0].len();
         let mut model = MlpBuilder::new(width).layer(1, Activation::Sigmoid).seed(11).build();
@@ -48,58 +67,41 @@ impl Detector for LogisticRegression {
         for _ in 0..200 {
             model.train_batch(&matrix, &targets, Loss::BinaryCrossEntropy, &mut opt);
         }
-        input
-            .eval_flows
-            .iter()
-            .map(|f| {
-                model.predict(&Matrix::row_vector(&norm.transform(f.features.as_slice()))).get(0, 0)
-            })
-            .collect()
+        self.model = Some((model, norm));
     }
+
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(_) => None,
+            Event::FlowEvicted(flow) => Some(self.score_flow(flow)),
+        }
+    }
+}
+
+/// Fitted per-class Gaussian statistics for [`NaiveBayes`].
+#[derive(Debug)]
+struct NbModel {
+    scaler: ZScoreNormalizer,
+    /// (sum, sumsq, n) per feature per class.
+    stats: [[(f64, f64, u64); 64]; 2],
+    prior_attack: f64,
 }
 
 /// Gaussian naive Bayes over z-scored features.
 #[derive(Debug, Default)]
 pub struct NaiveBayes {
-    _private: (),
+    model: Option<NbModel>,
 }
 
-impl Detector for NaiveBayes {
-    fn name(&self) -> &str {
-        "NaiveBayes"
-    }
-
-    fn input_format(&self) -> InputFormat {
-        InputFormat::Flows
-    }
-
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        if input.train_flows.is_empty() {
-            return vec![0.5; input.eval_flows.len()];
-        }
-        let rows: Vec<Vec<f64>> = input.train_flows.iter().map(|f| f.features.to_vec()).collect();
-        let scaler = ZScoreNormalizer::fit(&rows);
-        let width = scaler.width();
-
-        // Per-class feature means/variances.
-        let mut stats = [[(0.0f64, 0.0f64, 0u64); 64]; 2]; // (sum, sumsq, n) per feature per class
-        assert!(width <= 64, "baseline supports up to 64 features");
-        for flow in &input.train_flows {
-            let class = usize::from(flow.is_attack());
-            let z = scaler.transform(flow.features.as_slice());
-            for (i, &v) in z.iter().enumerate() {
-                let (s, ss, n) = stats[class][i];
-                stats[class][i] = (s + v, ss + v * v, n + 1);
-            }
-        }
-        let attack_count = input.train_flows.iter().filter(|f| f.is_attack()).count();
-        let prior_attack =
-            (attack_count as f64 / input.train_flows.len() as f64).clamp(1e-6, 1.0 - 1e-6);
-
+impl NaiveBayes {
+    fn score_flow(&self, flow: &LabeledFlow) -> f64 {
+        let Some(model) = &self.model else {
+            return NEUTRAL;
+        };
         let log_likelihood = |class: usize, z: &[f64]| -> f64 {
             let mut total = 0.0;
             for (i, &v) in z.iter().enumerate() {
-                let (s, ss, n) = stats[class][i];
+                let (s, ss, n) = model.stats[class][i];
                 if n < 2 {
                     continue;
                 }
@@ -109,21 +111,56 @@ impl Detector for NaiveBayes {
             }
             total
         };
+        let z = model.scaler.transform(flow.features.as_slice());
+        let log_attack = log_likelihood(1, &z) + model.prior_attack.ln();
+        let log_benign = log_likelihood(0, &z) + (1.0 - model.prior_attack).ln();
+        // Posterior P(attack | x) via the log-sum-exp trick.
+        let max = log_attack.max(log_benign);
+        let attack = (log_attack - max).exp();
+        let benign = (log_benign - max).exp();
+        attack / (attack + benign)
+    }
+}
 
-        input
-            .eval_flows
-            .iter()
-            .map(|f| {
-                let z = scaler.transform(f.features.as_slice());
-                let log_attack = log_likelihood(1, &z) + prior_attack.ln();
-                let log_benign = log_likelihood(0, &z) + (1.0 - prior_attack).ln();
-                // Posterior P(attack | x) via the log-sum-exp trick.
-                let max = log_attack.max(log_benign);
-                let attack = (log_attack - max).exp();
-                let benign = (log_benign - max).exp();
-                attack / (attack + benign)
-            })
-            .collect()
+impl EventDetector for NaiveBayes {
+    fn name(&self) -> &str {
+        "NaiveBayes"
+    }
+
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Flows
+    }
+
+    fn fit(&mut self, train: &TrainView) {
+        if train.flows.is_empty() {
+            self.model = None;
+            return;
+        }
+        let rows: Vec<Vec<f64>> = train.flows.iter().map(|f| f.features.to_vec()).collect();
+        let scaler = ZScoreNormalizer::fit(&rows);
+        let width = scaler.width();
+        assert!(width <= 64, "baseline supports up to 64 features");
+
+        // Per-class feature means/variances.
+        let mut stats = [[(0.0f64, 0.0f64, 0u64); 64]; 2];
+        for flow in &train.flows {
+            let class = usize::from(flow.is_attack());
+            let z = scaler.transform(flow.features.as_slice());
+            for (i, &v) in z.iter().enumerate() {
+                let (s, ss, n) = stats[class][i];
+                stats[class][i] = (s + v, ss + v * v, n + 1);
+            }
+        }
+        let attack_count = train.flows.iter().filter(|f| f.is_attack()).count();
+        let prior_attack = (attack_count as f64 / train.flows.len() as f64).clamp(1e-6, 1.0 - 1e-6);
+        self.model = Some(NbModel { scaler, stats, prior_attack });
+    }
+
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(_) => None,
+            Event::FlowEvicted(flow) => Some(self.score_flow(flow)),
+        }
     }
 }
 
@@ -134,11 +171,12 @@ pub struct DecisionTree {
     pub max_depth: usize,
     /// Minimum samples to attempt a split.
     pub min_samples: usize,
+    root: Option<Node>,
 }
 
 impl Default for DecisionTree {
     fn default() -> Self {
-        DecisionTree { max_depth: 6, min_samples: 10 }
+        DecisionTree { max_depth: 6, min_samples: 10, root: None }
     }
 }
 
@@ -226,7 +264,7 @@ fn tree_score(node: &Node, x: &[f64]) -> f64 {
     }
 }
 
-impl Detector for DecisionTree {
+impl EventDetector for DecisionTree {
     fn name(&self) -> &str {
         "DecisionTree"
     }
@@ -235,16 +273,34 @@ impl Detector for DecisionTree {
         InputFormat::Flows
     }
 
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        if input.train_flows.is_empty() {
-            return vec![0.5; input.eval_flows.len()];
+    fn fit(&mut self, train: &TrainView) {
+        if train.flows.is_empty() {
+            self.root = None;
+            return;
         }
         let rows: Vec<(Vec<f64>, bool)> =
-            input.train_flows.iter().map(|f| (f.features.to_vec(), f.is_attack())).collect();
+            train.flows.iter().map(|f| (f.features.to_vec(), f.is_attack())).collect();
         let indices: Vec<usize> = (0..rows.len()).collect();
-        let root = build_tree(&rows, &indices, 0, self.max_depth, self.min_samples);
-        input.eval_flows.iter().map(|f| tree_score(&root, f.features.as_slice())).collect()
+        self.root = Some(build_tree(&rows, &indices, 0, self.max_depth, self.min_samples));
     }
+
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(_) => None,
+            Event::FlowEvicted(flow) => Some(match &self.root {
+                Some(root) => tree_score(root, flow.features.as_slice()),
+                None => NEUTRAL,
+            }),
+        }
+    }
+}
+
+/// Fitted nearest-neighbour reference set for [`KNearest`].
+#[derive(Debug)]
+struct KnnModel {
+    points: Vec<(Vec<f64>, f64)>,
+    norm: MinMaxNormalizer,
+    k: usize,
 }
 
 /// k-nearest-neighbours on min-max-scaled features (Euclidean distance,
@@ -255,15 +311,35 @@ pub struct KNearest {
     pub k: usize,
     /// Maximum training points retained (subsampled deterministically).
     pub max_points: usize,
+    model: Option<KnnModel>,
 }
 
 impl Default for KNearest {
     fn default() -> Self {
-        KNearest { k: 5, max_points: 2_000 }
+        KNearest { k: 5, max_points: 2_000, model: None }
     }
 }
 
-impl Detector for KNearest {
+impl KNearest {
+    fn score_flow(&self, flow: &LabeledFlow) -> f64 {
+        let Some(model) = &self.model else {
+            return NEUTRAL;
+        };
+        let q = model.norm.transform(flow.features.as_slice());
+        let mut distances: Vec<(f64, f64)> = model
+            .points
+            .iter()
+            .map(|(p, label)| {
+                let d: f64 = p.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, *label)
+            })
+            .collect();
+        distances.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        distances[..model.k].iter().map(|(_, label)| label).sum::<f64>() / model.k as f64
+    }
+}
+
+impl EventDetector for KNearest {
     fn name(&self) -> &str {
         "kNN"
     }
@@ -272,47 +348,36 @@ impl Detector for KNearest {
         InputFormat::Flows
     }
 
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        let Some((x, y, norm)) = training_matrix(input) else {
-            return vec![0.5; input.eval_flows.len()];
+    fn fit(&mut self, train: &TrainView) {
+        let Some((x, y, norm)) = training_matrix(train) else {
+            self.model = None;
+            return;
         };
         // Deterministic stride subsampling.
         let stride = (x.len() / self.max_points.max(1)).max(1);
-        let points: Vec<(&Vec<f64>, f64)> =
-            x.iter().zip(&y).step_by(stride).map(|(xi, &yi)| (xi, yi)).collect();
+        let points: Vec<(Vec<f64>, f64)> = x.into_iter().zip(y).step_by(stride).collect();
         let k = self.k.clamp(1, points.len());
+        self.model = Some(KnnModel { points, norm, k });
+    }
 
-        input
-            .eval_flows
-            .iter()
-            .map(|f| {
-                let q = norm.transform(f.features.as_slice());
-                let mut distances: Vec<(f64, f64)> = points
-                    .iter()
-                    .map(|(p, label)| {
-                        let d: f64 = p.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
-                        (d, *label)
-                    })
-                    .collect();
-                distances
-                    .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-                distances[..k].iter().map(|(_, label)| label).sum::<f64>() / k as f64
-            })
-            .collect()
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(_) => None,
+            Event::FlowEvicted(flow) => Some(self.score_flow(flow)),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use idsbench_core::{Detector, LabeledFlow};
-
-    use idsbench_core::preprocess::{Pipeline, PipelineConfig};
+    use idsbench_core::preprocess::{EventInput, Pipeline, PipelineConfig};
+    use idsbench_core::runner::replay;
     use idsbench_core::{AttackKind, Label, LabeledPacket};
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
     use std::net::Ipv4Addr;
 
-    fn labelled_input() -> DetectorInput {
+    fn labelled_input() -> EventInput {
         let mut packets = Vec::new();
         for i in 0..300u32 {
             let client = (i % 6) as u8 + 1;
@@ -335,14 +400,16 @@ mod tests {
         packets.sort_by_key(|lp| lp.packet.ts);
         Pipeline::new(PipelineConfig { train_fraction: 0.5, ..Default::default() })
             .unwrap()
-            .prepare("toy", packets)
+            .prepare_events("toy", packets)
             .unwrap()
     }
 
-    fn separation(scores: &[f64], flows: &[LabeledFlow]) -> (f64, f64) {
+    fn separation(detector: &mut dyn EventDetector, input: &EventInput) -> (f64, f64) {
+        let replayed = replay(detector, input).unwrap();
+        assert!(!replayed.scores.is_empty(), "{}", detector.name());
         let (mut attack, mut benign) = (Vec::new(), Vec::new());
-        for (score, flow) in scores.iter().zip(flows) {
-            if flow.is_attack() {
+        for (score, &label) in replayed.scores.iter().zip(&replayed.labels) {
+            if label {
                 attack.push(*score);
             } else {
                 benign.push(*score);
@@ -355,16 +422,14 @@ mod tests {
     #[test]
     fn every_baseline_separates_the_easy_case() {
         let input = labelled_input();
-        let detectors: Vec<Box<dyn Detector>> = vec![
+        let detectors: Vec<Box<dyn EventDetector>> = vec![
             Box::new(LogisticRegression::default()),
             Box::new(NaiveBayes::default()),
             Box::new(DecisionTree::default()),
             Box::new(KNearest::default()),
         ];
         for mut detector in detectors {
-            let scores = detector.score(&input);
-            assert_eq!(scores.len(), input.eval_flows.len(), "{}", detector.name());
-            let (attack, benign) = separation(&scores, &input.eval_flows);
+            let (attack, benign) = separation(detector.as_mut(), &input);
             assert!(
                 attack > benign + 0.2,
                 "{}: attack {attack} vs benign {benign}",
@@ -376,23 +441,24 @@ mod tests {
     #[test]
     fn decision_tree_is_deterministic() {
         let input = labelled_input();
-        let a = DecisionTree::default().score(&input);
-        let b = DecisionTree::default().score(&input);
+        let a = replay(&mut DecisionTree::default(), &input).unwrap().scores;
+        let b = replay(&mut DecisionTree::default(), &input).unwrap().scores;
         assert_eq!(a, b);
     }
 
     #[test]
     fn baselines_handle_empty_training() {
         let mut input = labelled_input();
-        input.train_flows.clear();
+        input.train.flows.clear();
+        input.train.packets.clear();
         for mut detector in [
-            Box::new(LogisticRegression::default()) as Box<dyn Detector>,
+            Box::new(LogisticRegression::default()) as Box<dyn EventDetector>,
             Box::new(NaiveBayes::default()),
             Box::new(DecisionTree::default()),
             Box::new(KNearest::default()),
         ] {
-            let scores = detector.score(&input);
-            assert!(scores.iter().all(|&s| s == 0.5), "{}", detector.name());
+            let replayed = replay(detector.as_mut(), &input).unwrap();
+            assert!(replayed.scores.iter().all(|&s| s == 0.5), "{}", detector.name());
         }
     }
 

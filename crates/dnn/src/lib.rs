@@ -19,7 +19,7 @@
 
 pub mod baselines;
 
-use idsbench_core::{Detector, DetectorInput, InputFormat};
+use idsbench_core::{Event, EventDetector, InputFormat, LabeledFlow, TrainView};
 use idsbench_nn::{Activation, Adam, Loss, Matrix, MinMaxNormalizer, Mlp, MlpBuilder};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -60,10 +60,36 @@ impl Default for DnnConfig {
     }
 }
 
+/// A trained DNN: the fitted scaler plus the network, scoring one flow at a
+/// time as the flow table evicts it.
+#[derive(Debug)]
+struct DnnModel {
+    norm: MinMaxNormalizer,
+    mlp: Mlp,
+    normalize: bool,
+}
+
+impl DnnModel {
+    fn score_flow(&mut self, flow: &LabeledFlow) -> f64 {
+        let features = if self.normalize {
+            self.norm.transform(flow.features.as_slice())
+        } else {
+            flow.features.as_slice().to_vec()
+        };
+        self.mlp.predict(&Matrix::row_vector(&features)).get(0, 0)
+    }
+}
+
 /// The supervised DNN NIDS (see crate docs).
+///
+/// Streaming-native under the Event API: training consumes the labelled
+/// training flows once in [`EventDetector::fit`], then every
+/// [`Event::FlowEvicted`] is scored the moment the flow table emits it —
+/// the model never waits for a materialized evaluation set.
 #[derive(Debug)]
 pub struct Dnn {
     config: DnnConfig,
+    model: Option<DnnModel>,
 }
 
 impl Dnn {
@@ -74,7 +100,7 @@ impl Dnn {
     /// Panics if no hidden layers are configured.
     pub fn new(config: DnnConfig) -> Self {
         assert!(!config.hidden_layers.is_empty(), "at least one hidden layer required");
-        Dnn { config }
+        Dnn { config, model: None }
     }
 }
 
@@ -84,7 +110,7 @@ impl Default for Dnn {
     }
 }
 
-impl Detector for Dnn {
+impl EventDetector for Dnn {
     fn name(&self) -> &str {
         "DNN"
     }
@@ -93,20 +119,19 @@ impl Detector for Dnn {
         InputFormat::Flows
     }
 
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        if input.eval_flows.is_empty() {
-            return Vec::new();
-        }
-        if input.train_flows.is_empty() {
-            // No labelled training data: emit a neutral constant score. The
-            // calibration layer then chooses "never alert".
-            return vec![0.5; input.eval_flows.len()];
+    fn fit(&mut self, train: &TrainView) {
+        if train.flows.is_empty() {
+            // No labelled training data: stay untrained and emit a neutral
+            // constant score per flow. The calibration layer then chooses
+            // "never alert".
+            self.model = None;
+            return;
         }
 
         // Min-max scaling fitted on the training flows only.
-        let width = input.train_flows[0].features.as_slice().len();
+        let width = train.flows[0].features.as_slice().len();
         let mut norm = MinMaxNormalizer::new(width);
-        for flow in &input.train_flows {
+        for flow in &train.flows {
             norm.observe(flow.features.as_slice());
         }
         let scale = |features: &[f64]| -> Vec<f64> {
@@ -117,8 +142,8 @@ impl Detector for Dnn {
             }
         };
 
-        let mut rows: Vec<(Vec<f64>, f64)> = input
-            .train_flows
+        let mut rows: Vec<(Vec<f64>, f64)> = train
+            .flows
             .iter()
             .map(|flow| (scale(flow.features.as_slice()), f64::from(flow.is_attack())))
             .collect();
@@ -145,14 +170,17 @@ impl Detector for Dnn {
             }
         }
 
-        input
-            .eval_flows
-            .iter()
-            .map(|flow| {
-                let x = Matrix::row_vector(&scale(flow.features.as_slice()));
-                mlp.predict(&x).get(0, 0)
-            })
-            .collect()
+        self.model = Some(DnnModel { norm, mlp, normalize: self.config.normalize });
+    }
+
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(_) => None,
+            Event::FlowEvicted(flow) => Some(match &mut self.model {
+                Some(model) => model.score_flow(flow),
+                None => 0.5,
+            }),
+        }
     }
 }
 
@@ -183,14 +211,15 @@ fn rebalance(rows: Vec<(Vec<f64>, f64)>, seed: u64) -> Vec<(Vec<f64>, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use idsbench_core::preprocess::{Pipeline, PipelineConfig};
+    use idsbench_core::preprocess::{EventInput, Pipeline, PipelineConfig};
+    use idsbench_core::runner::{replay, ScoredReplay};
     use idsbench_core::{AttackKind, Label, LabeledPacket};
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
     use std::net::Ipv4Addr;
 
     /// Benign = ordinary paired exchanges; attack = unanswered SYN probes to
     /// many ports (a port scan), which flow features separate trivially.
-    fn labelled_input() -> DetectorInput {
+    fn labelled_input() -> EventInput {
         let mut packets = Vec::new();
         for i in 0..400u32 {
             let client = (i % 8) as u8 + 1;
@@ -220,20 +249,24 @@ mod tests {
         packets.sort_by_key(|lp| lp.packet.ts);
         let pipeline =
             Pipeline::new(PipelineConfig { train_fraction: 0.5, ..Default::default() }).unwrap();
-        pipeline.prepare("toy", packets).unwrap()
+        pipeline.prepare_events("toy", packets).unwrap()
+    }
+
+    fn run(dnn: &mut Dnn, input: &EventInput) -> ScoredReplay {
+        replay(dnn, input).unwrap()
     }
 
     #[test]
     fn learns_to_separate_scan_flows() {
         let input = labelled_input();
-        assert!(!input.train_flows.is_empty());
-        assert!(input.train_flows.iter().any(|f| f.is_attack()));
+        assert!(!input.train.flows.is_empty());
+        assert!(input.train.flows.iter().any(|f| f.is_attack()));
         let mut dnn = Dnn::default();
-        let scores = dnn.score(&input);
-        assert_eq!(scores.len(), input.eval_flows.len());
+        let replayed = run(&mut dnn, &input);
+        assert!(!replayed.scores.is_empty());
         let (mut attack, mut benign) = (Vec::new(), Vec::new());
-        for (score, flow) in scores.iter().zip(&input.eval_flows) {
-            if flow.is_attack() {
+        for (score, &label) in replayed.scores.iter().zip(&replayed.labels) {
+            if label {
                 attack.push(*score);
             } else {
                 benign.push(*score);
@@ -252,7 +285,7 @@ mod tests {
     fn scores_are_probabilities() {
         let input = labelled_input();
         let mut dnn = Dnn::default();
-        for score in dnn.score(&input) {
+        for score in run(&mut dnn, &input).scores {
             assert!((0.0..=1.0).contains(&score));
         }
     }
@@ -260,10 +293,12 @@ mod tests {
     #[test]
     fn empty_training_emits_neutral_scores() {
         let mut input = labelled_input();
-        input.train_flows.clear();
+        input.train.flows.clear();
+        input.train.packets.clear();
         let mut dnn = Dnn::default();
-        let scores = dnn.score(&input);
-        assert!(scores.iter().all(|&s| s == 0.5));
+        let replayed = run(&mut dnn, &input);
+        assert!(!replayed.scores.is_empty());
+        assert!(replayed.scores.iter().all(|&s| s == 0.5));
     }
 
     #[test]
@@ -286,8 +321,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let input = labelled_input();
-        let a = Dnn::default().score(&input);
-        let b = Dnn::default().score(&input);
+        let a = run(&mut Dnn::default(), &input).scores;
+        let b = run(&mut Dnn::default(), &input).scores;
         assert_eq!(a, b);
     }
 }

@@ -75,11 +75,26 @@ impl FlowTable {
     ///
     /// Non-IP packets (e.g. ARP) are ignored and produce no flow.
     pub fn observe(&mut self, packet: &ParsedPacket) -> Vec<FlowRecord> {
+        let mut completed = Vec::new();
+        self.observe_with(packet, |record| completed.push(record));
+        completed
+    }
+
+    /// Callback form of [`FlowTable::observe`]: evicted flows are handed to
+    /// `emit` instead of being collected into a fresh vector.
+    ///
+    /// This is the eviction path of the Event API — the per-packet hot loop
+    /// of both the batch replay and the streaming shards, where most packets
+    /// evict nothing and the `Vec` allocation of [`FlowTable::observe`]
+    /// would be pure overhead.
+    pub fn observe_with(&mut self, packet: &ParsedPacket, mut emit: impl FnMut(FlowRecord)) {
         let Some(key) = FlowKey::from_packet(packet) else {
-            return Vec::new();
+            return;
         };
         let (canonical, direction) = key.canonical();
-        let mut completed = self.sweep(packet.ts);
+        for record in self.sweep(packet.ts) {
+            emit(record);
+        }
 
         // An existing flow that idled out must be emitted before this packet
         // opens a fresh one (the sweep above already handled that case).
@@ -120,13 +135,14 @@ impl FlowTable {
         };
         if let Some(record) = record {
             self.emitted += 1;
-            completed.push(record);
+            emit(record);
         }
 
         if self.flows.len() > self.config.max_flows {
-            completed.extend(self.evict_stalest());
+            if let Some(record) = self.evict_stalest() {
+                emit(record);
+            }
         }
-        completed
     }
 
     /// Emits every flow still open, in first-seen order. Flows already in

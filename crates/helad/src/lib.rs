@@ -29,10 +29,8 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use idsbench_core::streaming::StreamingDetector;
-use idsbench_core::{Detector, DetectorInput, InputFormat, LabeledPacket};
+use idsbench_core::{Event, EventDetector, InputFormat, ParsedView, TrainView};
 use idsbench_flow::{AfterImage, AfterImageConfig};
-use idsbench_net::ParsedPacket;
 use idsbench_nn::{
     Autoencoder, AutoencoderConfig, LstmRegressor, LstmRegressorConfig, MinMaxNormalizer,
 };
@@ -90,14 +88,15 @@ impl Default for HeladConfig {
 
 /// The HELAD NIDS (see crate docs).
 ///
-/// Like [`Kitsune`](https://docs.rs/idsbench-kitsune), HELAD implements both
-/// evaluation contracts over one training/scoring code path ([`Helad::fit`]
-/// → [`HeladEngine`]), so batch and single-shard streaming runs produce
-/// bit-identical scores.
+/// Like [`Kitsune`](https://docs.rs/idsbench-kitsune), HELAD implements the
+/// unified [`EventDetector`] contract over one training/scoring code path
+/// ([`Helad::fit`] → [`HeladEngine`]), so batch and single-shard streaming
+/// runs produce bit-identical scores — and every packet is consumed through
+/// its already-parsed view, never re-parsed.
 #[derive(Debug)]
 pub struct Helad {
     config: HeladConfig,
-    /// The fitted online engine, populated by [`StreamingDetector::warmup`].
+    /// The fitted online engine, populated by [`EventDetector::fit`].
     engine: Option<HeladEngine>,
 }
 
@@ -118,8 +117,9 @@ impl Helad {
 
     /// Trains the autoencoder and LSTM over the (assumed benign) training
     /// slice and returns the fitted per-packet scoring engine — the single
-    /// training path behind both the batch and the streaming contract.
-    pub fn fit(&self, train: &[LabeledPacket]) -> HeladEngine {
+    /// training path behind both drivers of the event contract.
+    pub fn fit(&self, train: &TrainView) -> HeladEngine {
+        let train = &train.packets;
         let mut extractor = AfterImage::new(self.config.afterimage.clone());
         let width = extractor.feature_count();
         let mut norm = MinMaxNormalizer::new(width);
@@ -144,8 +144,8 @@ impl Helad {
         // training slice. The first pass extracts features and widens the
         // normalizer; subsequent epochs retrain on the buffered vectors.
         let mut buffered: Vec<Vec<f64>> = Vec::with_capacity(train.len());
-        for packet in train {
-            if let Some(features) = features_of(&mut extractor, packet) {
+        for view in train.iter() {
+            if let Some(features) = features_of(&mut extractor, view) {
                 norm.observe(&features);
                 buffered.push(features);
             }
@@ -211,13 +211,14 @@ pub struct HeladEngine {
 }
 
 impl HeladEngine {
-    /// Scores one packet: blended reconstruction error and LSTM surprise.
-    /// Unparseable packets score 0 (pass-through), keeping stream alignment.
-    pub fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
-        let Ok(parsed) = ParsedPacket::parse(&packet.packet) else {
+    /// Scores one packet from its parsed view: blended reconstruction error
+    /// and LSTM surprise. Malformed packets (no parsed view) score 0
+    /// (pass-through), keeping stream alignment.
+    pub fn score_view(&mut self, view: &ParsedView) -> f64 {
+        let Some(parsed) = &view.parsed else {
             return 0.0;
         };
-        let features = self.extractor.update(&parsed);
+        let features = self.extractor.update(parsed);
         // HELAD fits its scaler offline on the training set; out-of-range
         // eval features clamp to the boundary (and read as anomalous)
         // rather than re-scaling the whole space.
@@ -257,12 +258,11 @@ impl Default for Helad {
     }
 }
 
-fn features_of(extractor: &mut AfterImage, packet: &LabeledPacket) -> Option<Vec<f64>> {
-    let parsed = ParsedPacket::parse(&packet.packet).ok()?;
-    Some(extractor.update(&parsed))
+fn features_of(extractor: &mut AfterImage, view: &ParsedView) -> Option<Vec<f64>> {
+    view.parsed.as_ref().map(|parsed| extractor.update(parsed))
 }
 
-impl Detector for Helad {
+impl EventDetector for Helad {
     fn name(&self) -> &str {
         "HELAD"
     }
@@ -271,35 +271,30 @@ impl Detector for Helad {
         InputFormat::Packets
     }
 
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        let mut engine = self.fit(&input.train_packets);
-        input.eval_packets.iter().map(|packet| engine.score_packet(packet)).collect()
-    }
-}
-
-impl StreamingDetector for Helad {
-    fn name(&self) -> &str {
-        "HELAD"
+    fn fit(&mut self, train: &TrainView) {
+        self.engine = Some(Helad::fit(self, train));
     }
 
-    fn warmup(&mut self, train: &[LabeledPacket]) {
-        self.engine = Some(self.fit(train));
-    }
-
-    fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
-        // Scoring without warmup degrades to an untrained engine rather than
-        // panicking — the stream keeps flowing, as a deployed IDS must.
-        if self.engine.is_none() {
-            self.engine = Some(self.fit(&[]));
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(view) => {
+                // Scoring without fit degrades to an untrained engine rather
+                // than panicking — the stream keeps flowing, as a deployed
+                // IDS must.
+                if self.engine.is_none() {
+                    self.engine = Some(Helad::fit(self, &TrainView::default()));
+                }
+                Some(self.engine.as_mut().expect("engine fitted above").score_view(view))
+            }
+            Event::FlowEvicted(_) => None,
         }
-        self.engine.as_mut().expect("engine fitted above").score_packet(packet)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use idsbench_core::{AttackKind, Label};
+    use idsbench_core::{AttackKind, Label, LabeledPacket};
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
     use std::net::Ipv4Addr;
 
@@ -318,50 +313,65 @@ mod tests {
             .collect()
     }
 
-    fn clean_baseline_input() -> DetectorInput {
-        let mut packets = periodic_benign(2000, 0);
-        for i in 0..400u32 {
-            let p = PacketBuilder::new()
-                .ethernet(MacAddr::from_host_id(77), MacAddr::from_host_id(100))
-                .ipv4(Ipv4Addr::new(7, 7, 7, 7), Ipv4Addr::new(10, 0, 0, 100))
-                .udp(2000 + (i % 64) as u16, 80)
-                .payload_len(1100)
-                .build(Timestamp::from_micros(70_000_000 + u64::from(i) * 150));
-            packets.push(LabeledPacket::new(p, Label::Attack(AttackKind::UdpFlood)));
-        }
-        packets.sort_by_key(|lp| lp.packet.ts);
-        let split = packets.len() * 3 / 10;
-        assert!(packets[..split].iter().all(|p| !p.is_attack()));
-        let (train, eval) = packets.split_at(split);
-        DetectorInput {
-            train_packets: train.to_vec(),
-            eval_packets: eval.to_vec(),
-            train_flows: Vec::new(),
-            eval_flows: Vec::new(),
-        }
+    fn flood(count: u32, start_micros: u64, step_micros: u64) -> Vec<LabeledPacket> {
+        (0..count)
+            .map(|i| {
+                let p = PacketBuilder::new()
+                    .ethernet(MacAddr::from_host_id(77), MacAddr::from_host_id(100))
+                    .ipv4(Ipv4Addr::new(7, 7, 7, 7), Ipv4Addr::new(10, 0, 0, 100))
+                    .udp(2000 + (i % 64) as u16, 80)
+                    .payload_len(1100)
+                    .build(Timestamp::from_micros(start_micros + u64::from(i) * step_micros));
+                LabeledPacket::new(p, Label::Attack(AttackKind::UdpFlood))
+            })
+            .collect()
     }
 
-    #[test]
-    fn clean_baseline_separates_attacks() {
-        let input = clean_baseline_input();
-        let mut helad = Helad::default();
-        let scores = helad.score(&input);
-        assert_eq!(scores.len(), input.eval_packets.len());
+    /// Sorts, splits 30/70 at the packet level, and parses once.
+    fn split_views(mut packets: Vec<LabeledPacket>) -> (TrainView, Vec<ParsedView>) {
+        packets.sort_by_key(|lp| lp.packet.ts);
+        let split = packets.len() * 3 / 10;
+        let mut views: Vec<ParsedView> = packets.into_iter().map(ParsedView::from_packet).collect();
+        let eval = views.split_off(split);
+        (TrainView { packets: views, flows: Vec::new() }, eval)
+    }
+
+    fn clean_baseline_input() -> (TrainView, Vec<ParsedView>) {
+        let mut packets = periodic_benign(2000, 0);
+        packets.extend(flood(400, 70_000_000, 150));
+        let (train, eval) = split_views(packets);
+        assert!(train.packets.iter().all(|v| !v.is_attack()));
+        (train, eval)
+    }
+
+    fn score_all(helad: &mut Helad, train: &TrainView, eval: &[ParsedView]) -> Vec<f64> {
+        helad.fit(train);
+        eval.iter()
+            .map(|view| helad.on_event(&Event::Packet(view)).expect("packet event scored"))
+            .collect()
+    }
+
+    fn mean_split(scores: &[f64], eval: &[ParsedView]) -> (f64, f64) {
         let (mut attack, mut benign) = (Vec::new(), Vec::new());
-        for (score, packet) in scores.iter().zip(&input.eval_packets) {
-            if packet.is_attack() {
+        for (score, view) in scores.iter().zip(eval) {
+            if view.is_attack() {
                 attack.push(*score);
             } else {
                 benign.push(*score);
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(
-            mean(&attack) > 1.5 * mean(&benign),
-            "attack mean {} vs benign mean {}",
-            mean(&attack),
-            mean(&benign)
-        );
+        (mean(&attack), mean(&benign))
+    }
+
+    #[test]
+    fn clean_baseline_separates_attacks() {
+        let (train, eval) = clean_baseline_input();
+        let mut helad = Helad::default();
+        let scores = score_all(&mut helad, &train, &eval);
+        assert_eq!(scores.len(), eval.len());
+        let (attack, benign) = mean_split(&scores, &eval);
+        assert!(attack > 1.5 * benign, "attack mean {attack} vs benign mean {benign}");
     }
 
     #[test]
@@ -369,54 +379,23 @@ mod tests {
         // Same attack, but the *training* slice is saturated with identical
         // flood traffic — HELAD normalizes it (the UNSW failure mode).
         let mut packets = periodic_benign(2000, 0);
-        for i in 0..1200u32 {
-            let p = PacketBuilder::new()
-                .ethernet(MacAddr::from_host_id(77), MacAddr::from_host_id(100))
-                .ipv4(Ipv4Addr::new(7, 7, 7, 7), Ipv4Addr::new(10, 0, 0, 100))
-                .udp(2000 + (i % 64) as u16, 80)
-                .payload_len(1100)
-                .build(Timestamp::from_micros(1_000_000 + u64::from(i) * 60_000));
-            packets.push(LabeledPacket::new(p, Label::Attack(AttackKind::UdpFlood)));
-        }
-        packets.sort_by_key(|lp| lp.packet.ts);
-        let split = packets.len() * 3 / 10;
-        let (train, eval) = packets.split_at(split);
+        packets.extend(flood(1200, 1_000_000, 60_000));
+        let (train, eval) = split_views(packets);
         assert!(
-            train.iter().filter(|p| p.is_attack()).count() > 100,
+            train.packets.iter().filter(|v| v.is_attack()).count() > 100,
             "training slice must be contaminated"
         );
-        let input = DetectorInput {
-            train_packets: train.to_vec(),
-            eval_packets: eval.to_vec(),
-            train_flows: Vec::new(),
-            eval_flows: Vec::new(),
-        };
         let mut helad = Helad::default();
-        let scores = helad.score(&input);
-        let (mut attack, mut benign) = (Vec::new(), Vec::new());
-        for (score, packet) in scores.iter().zip(&input.eval_packets) {
-            if packet.is_attack() {
-                attack.push(*score);
-            } else {
-                benign.push(*score);
-            }
-        }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        let contaminated_ratio = mean(&attack) / mean(&benign);
+        let scores = score_all(&mut helad, &train, &eval);
+        let (attack, benign) = mean_split(&scores, &eval);
+        let contaminated_ratio = attack / benign;
 
         // Compare with the clean-baseline ratio on the same attack shape.
-        let clean_input = clean_baseline_input();
+        let (clean_train, clean_eval) = clean_baseline_input();
         let mut helad2 = Helad::default();
-        let clean_scores = helad2.score(&clean_input);
-        let (mut attack2, mut benign2) = (Vec::new(), Vec::new());
-        for (score, packet) in clean_scores.iter().zip(&clean_input.eval_packets) {
-            if packet.is_attack() {
-                attack2.push(*score);
-            } else {
-                benign2.push(*score);
-            }
-        }
-        let clean_ratio = mean(&attack2) / mean(&benign2);
+        let clean_scores = score_all(&mut helad2, &clean_train, &clean_eval);
+        let (attack2, benign2) = mean_split(&clean_scores, &clean_eval);
+        let clean_ratio = attack2 / benign2;
         assert!(
             contaminated_ratio < clean_ratio,
             "contamination must narrow the anomaly gap: {contaminated_ratio} vs {clean_ratio}"
@@ -425,9 +404,9 @@ mod tests {
 
     #[test]
     fn scores_are_finite() {
-        let input = clean_baseline_input();
+        let (train, eval) = clean_baseline_input();
         let mut helad = Helad::default();
-        for score in helad.score(&input) {
+        for score in score_all(&mut helad, &train, &eval) {
             assert!(score.is_finite() && score >= 0.0);
         }
     }
@@ -435,10 +414,15 @@ mod tests {
     #[test]
     fn name_and_format() {
         let helad = Helad::default();
-        // Both the batch and streaming contracts report the same name.
-        assert_eq!(Detector::name(&helad), "HELAD");
-        assert_eq!(StreamingDetector::name(&helad), "HELAD");
+        assert_eq!(helad.name(), "HELAD");
         assert_eq!(helad.input_format(), InputFormat::Packets);
+    }
+
+    #[test]
+    fn scoring_without_fit_does_not_panic() {
+        let (_, eval) = clean_baseline_input();
+        let mut helad = Helad::default();
+        assert!(helad.on_event(&Event::Packet(&eval[0])).expect("scored").is_finite());
     }
 
     #[test]

@@ -12,14 +12,19 @@
 //!    traffic; its reconstruction RMSE is the anomaly score
 //!    ([`kitnet::KitNet`]).
 //!
-//! The [`Kitsune`] type wires these into the [`Detector`] contract: it
-//! spends the training slice on feature mapping and ensemble training, then
-//! scores every evaluation packet.
+//! The [`Kitsune`] type wires these into the unified
+//! [`EventDetector`] contract: [`EventDetector::fit`] spends the training
+//! slice on feature mapping and ensemble training, then every
+//! [`Event::Packet`] is scored from its already-parsed view — Kitsune never
+//! touches raw bytes, so the pipeline's parse-once guarantee holds through
+//! the detector. Batch evaluation and a single-shard streaming replay of
+//! the same packets produce bit-identical scores (one `fit`/`score_view`
+//! code path).
 //!
 //! # Examples
 //!
 //! ```
-//! use idsbench_core::{Detector, InputFormat};
+//! use idsbench_core::{EventDetector, InputFormat};
 //! use idsbench_kitsune::Kitsune;
 //!
 //! let detector = Kitsune::default();
@@ -32,10 +37,8 @@
 pub mod feature_mapper;
 pub mod kitnet;
 
-use idsbench_core::streaming::StreamingDetector;
-use idsbench_core::{Detector, DetectorInput, InputFormat, LabeledPacket};
+use idsbench_core::{Event, EventDetector, InputFormat, ParsedView, TrainView};
 use idsbench_flow::{AfterImage, AfterImageConfig};
-use idsbench_net::ParsedPacket;
 
 use feature_mapper::CorrelationTracker;
 use kitnet::{KitNet, KitNetConfig};
@@ -67,15 +70,10 @@ impl Default for KitsuneConfig {
 }
 
 /// The Kitsune NIDS (see crate docs).
-///
-/// Implements both evaluation contracts over one training/scoring code path
-/// ([`Kitsune::fit`] → [`KitsuneEngine`]), so a batch [`Detector::score`]
-/// call and a [`StreamingDetector`] replay of the same packets produce
-/// bit-identical scores.
 #[derive(Debug)]
 pub struct Kitsune {
     config: KitsuneConfig,
-    /// The fitted online engine, populated by [`StreamingDetector::warmup`].
+    /// The fitted online engine, populated by [`EventDetector::fit`].
     engine: Option<KitsuneEngine>,
 }
 
@@ -88,12 +86,13 @@ impl Kitsune {
     /// Runs feature mapping and online ensemble training over the training
     /// slice, returning the fitted per-packet scoring engine.
     ///
-    /// This is the single training path behind both the batch and the
-    /// streaming contract. An empty training slice yields a degenerate (but
+    /// This is the single training path behind both drivers of the event
+    /// contract. An empty training slice yields a degenerate (but
     /// functional) engine: one feature cluster per block, untrained weights.
-    pub fn fit(&self, train: &[LabeledPacket]) -> KitsuneEngine {
+    pub fn fit(&self, train: &TrainView) -> KitsuneEngine {
         let mut extractor = AfterImage::new(self.config.afterimage.clone());
         let width = extractor.feature_count();
+        let train = &train.packets;
 
         // Phase 1 — feature mapping over the leading slice of the training
         // data. Feature vectors are buffered so the ensemble can train on
@@ -102,8 +101,8 @@ impl Kitsune {
             .clamp(1.min(train.len()), 5_000);
         let mut tracker = CorrelationTracker::new(width);
         let mut buffered: Vec<Option<Vec<f64>>> = Vec::with_capacity(fm_len);
-        for packet in &train[..fm_len.min(train.len())] {
-            let features = features_of(&mut extractor, packet);
+        for view in &train[..fm_len.min(train.len())] {
+            let features = features_of(&mut extractor, view);
             if let Some(f) = &features {
                 tracker.observe(f);
             }
@@ -126,8 +125,8 @@ impl Kitsune {
             net.train(features);
         }
         if train.len() > fm_len {
-            for packet in &train[fm_len..] {
-                if let Some(features) = features_of(&mut extractor, packet) {
+            for view in &train[fm_len..] {
+                if let Some(features) = features_of(&mut extractor, view) {
                     net.train(&features);
                 }
             }
@@ -150,10 +149,10 @@ pub struct KitsuneEngine {
 }
 
 impl KitsuneEngine {
-    /// Scores one packet. Unparseable packets score 0 (pass-through),
-    /// keeping stream alignment.
-    pub fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
-        match features_of(&mut self.extractor, packet) {
+    /// Scores one packet from its parsed view. Malformed packets (no
+    /// parsed view) score 0 (pass-through), keeping stream alignment.
+    pub fn score_view(&mut self, view: &ParsedView) -> f64 {
+        match features_of(&mut self.extractor, view) {
             Some(features) => self.net.execute(&features),
             None => 0.0,
         }
@@ -166,12 +165,11 @@ impl Default for Kitsune {
     }
 }
 
-fn features_of(extractor: &mut AfterImage, packet: &LabeledPacket) -> Option<Vec<f64>> {
-    let parsed = ParsedPacket::parse(&packet.packet).ok()?;
-    Some(extractor.update(&parsed))
+fn features_of(extractor: &mut AfterImage, view: &ParsedView) -> Option<Vec<f64>> {
+    view.parsed.as_ref().map(|parsed| extractor.update(parsed))
 }
 
-impl Detector for Kitsune {
+impl EventDetector for Kitsune {
     fn name(&self) -> &str {
         "Kitsune"
     }
@@ -180,40 +178,36 @@ impl Detector for Kitsune {
         InputFormat::Packets
     }
 
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        let mut engine = self.fit(&input.train_packets);
-        input.eval_packets.iter().map(|packet| engine.score_packet(packet)).collect()
-    }
-}
-
-impl StreamingDetector for Kitsune {
-    fn name(&self) -> &str {
-        "Kitsune"
+    fn fit(&mut self, train: &TrainView) {
+        self.engine = Some(Kitsune::fit(self, train));
     }
 
-    fn warmup(&mut self, train: &[LabeledPacket]) {
-        self.engine = Some(self.fit(train));
-    }
-
-    fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
-        // Scoring without warmup degrades to an untrained engine rather than
-        // panicking — the stream keeps flowing, as a deployed IDS must.
-        if self.engine.is_none() {
-            self.engine = Some(self.fit(&[]));
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(view) => {
+                // Scoring without fit degrades to an untrained engine rather
+                // than panicking — the stream keeps flowing, as a deployed
+                // IDS must.
+                if self.engine.is_none() {
+                    self.engine = Some(Kitsune::fit(self, &TrainView::default()));
+                }
+                Some(self.engine.as_mut().expect("engine fitted above").score_view(view))
+            }
+            Event::FlowEvicted(_) => None,
         }
-        self.engine.as_mut().expect("engine fitted above").score_packet(packet)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use idsbench_core::{AttackKind, Label};
+    use idsbench_core::{AttackKind, Label, LabeledPacket};
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
     use std::net::Ipv4Addr;
 
-    /// Regular benign telemetry plus a mid-eval flood burst.
-    fn toy_input() -> DetectorInput {
+    /// Regular benign telemetry plus a mid-eval flood burst, pre-parsed
+    /// into (train view, eval views).
+    fn toy_input() -> (TrainView, Vec<ParsedView>) {
         let mut packets = Vec::new();
         // Benign: two devices, periodic small packets.
         for i in 0..2400u32 {
@@ -241,26 +235,30 @@ mod tests {
         let split = packets.len() * 3 / 10;
         // Ensure the training prefix is clean.
         assert!(packets[..split].iter().all(|p| !p.is_attack()));
-        let (train, eval) = packets.split_at(split);
-        DetectorInput {
-            train_packets: train.to_vec(),
-            eval_packets: eval.to_vec(),
-            train_flows: Vec::new(),
-            eval_flows: Vec::new(),
-        }
+        let views: Vec<ParsedView> = packets.into_iter().map(ParsedView::from_packet).collect();
+        let mut train = views;
+        let eval = train.split_off(split);
+        (TrainView { packets: train, flows: Vec::new() }, eval)
+    }
+
+    fn score_all(detector: &mut Kitsune, train: &TrainView, eval: &[ParsedView]) -> Vec<f64> {
+        detector.fit(train);
+        eval.iter()
+            .map(|view| detector.on_event(&Event::Packet(view)).expect("packet event scored"))
+            .collect()
     }
 
     #[test]
     fn flood_scores_above_benign_baseline() {
-        let input = toy_input();
+        let (train, eval) = toy_input();
         let mut kitsune = Kitsune::default();
-        let scores = kitsune.score(&input);
-        assert_eq!(scores.len(), input.eval_packets.len());
+        let scores = score_all(&mut kitsune, &train, &eval);
+        assert_eq!(scores.len(), eval.len());
 
         let mut attack_scores = Vec::new();
         let mut benign_scores = Vec::new();
-        for (score, packet) in scores.iter().zip(&input.eval_packets) {
-            if packet.is_attack() {
+        for (score, view) in scores.iter().zip(&eval) {
+            if view.is_attack() {
                 attack_scores.push(*score);
             } else {
                 benign_scores.push(*score);
@@ -277,9 +275,9 @@ mod tests {
 
     #[test]
     fn scores_are_finite_nonnegative() {
-        let input = toy_input();
+        let (train, eval) = toy_input();
         let mut kitsune = Kitsune::default();
-        for score in kitsune.score(&input) {
+        for score in score_all(&mut kitsune, &train, &eval) {
             assert!(score.is_finite() && score >= 0.0);
         }
     }
@@ -287,17 +285,30 @@ mod tests {
     #[test]
     fn name_and_format() {
         let kitsune = Kitsune::default();
-        // Both the batch and streaming contracts report the same name.
-        assert_eq!(Detector::name(&kitsune), "Kitsune");
-        assert_eq!(StreamingDetector::name(&kitsune), "Kitsune");
+        assert_eq!(kitsune.name(), "Kitsune");
         assert_eq!(kitsune.input_format(), InputFormat::Packets);
     }
 
     #[test]
-    fn empty_eval_slice_yields_no_scores() {
-        let mut input = toy_input();
-        input.eval_packets.clear();
+    fn flow_events_are_not_kitsunes_shape() {
+        let (train, eval) = toy_input();
         let mut kitsune = Kitsune::default();
-        assert!(kitsune.score(&input).is_empty());
+        let _ = score_all(&mut kitsune, &train, &eval[..10]);
+        // A flow eviction must pass through unscored.
+        let mut assembler = idsbench_core::FlowEventAssembler::new(Default::default());
+        for view in &eval[..50] {
+            assembler.observe(view, |_| {});
+        }
+        for flow in assembler.flush() {
+            assert_eq!(kitsune.on_event(&Event::FlowEvicted(&flow)), None);
+        }
+    }
+
+    #[test]
+    fn scoring_without_fit_does_not_panic() {
+        let (_, eval) = toy_input();
+        let mut kitsune = Kitsune::default();
+        let score = kitsune.on_event(&Event::Packet(&eval[0]));
+        assert!(score.expect("scored").is_finite());
     }
 }

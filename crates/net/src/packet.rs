@@ -86,7 +86,24 @@ pub struct ParsedPacket {
     pub wire_len: usize,
 }
 
+/// Process-wide count of [`ParsedPacket::parse`] invocations.
+///
+/// Parsing is the dominant fixed cost of the evaluation data plane, and the
+/// parse-once Event API promises each packet is decoded exactly once across
+/// the whole pipeline. The counter makes that promise testable (see the
+/// `parse_once` integration test); a relaxed atomic increment is noise next
+/// to the header decoding itself.
+static PARSE_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 impl ParsedPacket {
+    /// Total [`ParsedPacket::parse`] calls made by this process so far.
+    ///
+    /// Monotonically increasing; take a delta around the region of interest.
+    /// Counts attempts, including ones that return an error.
+    pub fn parse_calls() -> u64 {
+        PARSE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Decodes a packet.
     ///
     /// # Errors
@@ -95,6 +112,7 @@ impl ParsedPacket {
     /// truncated Ethernet or IP header, or an IHL smaller than the legal
     /// minimum. Unknown protocols parse successfully as opaque layers.
     pub fn parse(packet: &Packet) -> Result<Self> {
+        PARSE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let data = &packet.data[..];
         let (ethernet, eth_len) = EthernetHeader::parse(data)?;
         let rest = &data[eth_len..];

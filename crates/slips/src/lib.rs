@@ -2,9 +2,9 @@
 //! `idsbench` evaluation pipeline.
 //!
 //! Slips models traffic per *profile* (source host) and *time window*,
-//! accumulating **evidence** from independent detection modules until a
-//! window crosses the alert threshold. This reimplementation carries the
-//! modules that drive Slips' published behaviour on the paper's datasets:
+//! accumulating **evidence** from independent detection modules. This
+//! reimplementation carries the modules that drive Slips' published
+//! behaviour on the paper's datasets:
 //!
 //! * **Periodicity (behavioural model)** — repeated flows to the same
 //!   external service with low inter-flow jitter (botnet C2 beaconing);
@@ -15,6 +15,15 @@
 //! * **Brute force** — repeated short sessions to an authentication port.
 //! * **Threat intelligence** — destination matches a blacklist feed.
 //! * **Long connection / large upload** — auxiliary low-weight evidence.
+//!
+//! Slips is *streaming-native* under the Event API: it consumes
+//! [`Event::FlowEvicted`] events and must score each flow **at eviction
+//! time**, from the behavioural state accumulated so far — no second pass,
+//! no retroactive evidence. A beacon therefore scores zero until its group
+//! has shown enough periodic repetitions, and the early probes of a scan
+//! score zero until the per-window counter crosses its threshold: the
+//! flow-eviction timing the false-negative root-cause literature identifies
+//! as a detection variable is part of the contract, not an artifact.
 //!
 //! The structural weaknesses the paper measures fall out of this design:
 //! spoofed floods never accumulate evidence on any profile (BoT-IoT ≈ zero
@@ -28,7 +37,7 @@
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 
-use idsbench_core::{Detector, DetectorInput, InputFormat, LabeledFlow};
+use idsbench_core::{Event, EventDetector, InputFormat, LabeledFlow, TrainView};
 
 /// Evidence weights per module (relative importance, as in Slips'
 /// `evidence` severity levels).
@@ -127,10 +136,36 @@ impl Default for SlipsConfig {
     }
 }
 
+/// How many of a group's most recent flow start-times the periodicity
+/// module keeps. Bounds both memory and per-eviction cost on long-lived
+/// groups (a persistent beacon otherwise accumulates state forever), the
+/// way Slips' real profiles are windowed; the cap is far above
+/// `c2_min_flows`, so detection behaviour only changes for groups with
+/// hundreds of repetitions — by then the verdict is long since stable.
+const MAX_GROUP_HISTORY: usize = 256;
+
+/// Online behavioural state: what every profile has shown so far. Window
+/// maps are bounded by the traffic itself (profiles × windows × services),
+/// exactly like Slips' Redis profiles; group histories are capped at
+/// [`MAX_GROUP_HISTORY`] entries.
+#[derive(Debug, Default)]
+struct BehaviourState {
+    /// (profile, dst, dport) → most recent first-seen times of the group's
+    /// flows, kept sorted for the gap statistics.
+    groups: HashMap<(IpAddr, IpAddr, u16), Vec<f64>>,
+    /// (profile, window, dst) → distinct unanswered destination ports.
+    vertical: HashMap<(IpAddr, u64, IpAddr), HashSet<u16>>,
+    /// (profile, window, dport) → distinct unanswered destinations.
+    horizontal: HashMap<(IpAddr, u64, u16), HashSet<IpAddr>>,
+    /// (profile, window, dst, auth port) → sessions so far.
+    auth: HashMap<(IpAddr, u64, IpAddr, u16), usize>,
+}
+
 /// The Slips-style behavioural NIDS (see crate docs).
 #[derive(Debug)]
 pub struct Slips {
     config: SlipsConfig,
+    state: BehaviourState,
 }
 
 impl Slips {
@@ -141,7 +176,7 @@ impl Slips {
     /// Panics if the window length is not positive.
     pub fn new(config: SlipsConfig) -> Self {
         assert!(config.window_secs > 0.0, "window length must be positive");
-        Slips { config }
+        Slips { config, state: BehaviourState::default() }
     }
 
     fn matches_prefix(ip: IpAddr, prefix: (std::net::Ipv4Addr, u8)) -> bool {
@@ -167,6 +202,86 @@ impl Slips {
     fn window_of(&self, flow: &LabeledFlow) -> u64 {
         (flow.record.first_seen.as_secs_f64() / self.config.window_secs) as u64
     }
+
+    /// Folds one evicted flow into the behavioural state and returns the
+    /// evidence this flow carries *at this moment* — the deployment-shaped
+    /// scoring rule (see crate docs). Shared by `fit` (training flows warm
+    /// the state, scores discarded) and `on_event`.
+    fn observe_flow(&mut self, flow: &LabeledFlow) -> f64 {
+        let weights = self.config.weights;
+        let key = flow.record.initiator_key();
+        let profile = key.src_ip;
+        let window = self.window_of(flow);
+        let start = flow.record.first_seen.as_secs_f64();
+        let mut evidence = 0.0;
+
+        // Per-flow modules fire immediately.
+        if self.is_blacklisted(key.dst_ip) {
+            evidence += weights.threat_intel;
+        }
+        if flow.record.duration().as_secs_f64() > self.config.long_connection_secs {
+            evidence += weights.long_connection;
+        }
+        if flow.record.forward_payload_bytes > self.config.upload_bytes
+            && self.is_external(key.dst_ip)
+        {
+            evidence += weights.upload;
+        }
+
+        // Periodicity (the behavioural model): this flow joins its
+        // (profile, dst, service) group; once the group has enough members
+        // and their inter-start gaps are regular, the flow is beaconing.
+        if self.is_external(key.dst_ip)
+            && !self.config.periodic_port_whitelist.contains(&key.dst_port)
+        {
+            let members = self.state.groups.entry((profile, key.dst_ip, key.dst_port)).or_default();
+            let at = members.partition_point(|&t| t <= start);
+            members.insert(at, start);
+            if members.len() > MAX_GROUP_HISTORY {
+                members.remove(0); // slide the window: drop the oldest start
+            }
+            if members.len() >= self.config.c2_min_flows {
+                let gaps: Vec<f64> = members.windows(2).map(|w| w[1] - w[0]).collect();
+                let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                if mean > 0.0 {
+                    let var =
+                        gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+                    if var.sqrt() / mean <= self.config.c2_max_cv {
+                        evidence += weights.periodicity;
+                    }
+                }
+            }
+        }
+
+        // Scan modules: evidence lands on the probe flows from the moment
+        // the per-window counters cross their thresholds.
+        if is_unanswered(flow) {
+            let ports = self.state.vertical.entry((profile, window, key.dst_ip)).or_default();
+            ports.insert(key.dst_port);
+            if ports.len() >= self.config.scan_port_threshold {
+                evidence += weights.port_scan
+                    * (ports.len() as f64 / self.config.scan_port_threshold as f64);
+            }
+            let hosts = self.state.horizontal.entry((profile, window, key.dst_port)).or_default();
+            hosts.insert(key.dst_ip);
+            if hosts.len() >= self.config.sweep_host_threshold {
+                evidence +=
+                    weights.sweep * (hosts.len() as f64 / self.config.sweep_host_threshold as f64);
+            }
+        }
+
+        // Brute force: repeated sessions to one authentication service.
+        if self.config.auth_ports.contains(&key.dst_port) {
+            let count =
+                self.state.auth.entry((profile, window, key.dst_ip, key.dst_port)).or_default();
+            *count += 1;
+            if *count >= self.config.brute_force_threshold {
+                evidence += weights.brute_force;
+            }
+        }
+
+        evidence
+    }
 }
 
 impl Default for Slips {
@@ -181,7 +296,7 @@ fn is_unanswered(flow: &LabeledFlow) -> bool {
     flow.record.is_unanswered_syn() || !flow.record.is_bidirectional()
 }
 
-impl Detector for Slips {
+impl EventDetector for Slips {
     fn name(&self) -> &str {
         "Slips"
     }
@@ -190,118 +305,21 @@ impl Detector for Slips {
         InputFormat::Flows
     }
 
-    fn score(&mut self, input: &DetectorInput) -> Vec<f64> {
-        let weights = self.config.weights;
-        // Warm up on training flows, score evaluation flows: both feed the
-        // behavioural state; only evaluation flows receive scores. Evidence
-        // is attributed to the flows that triggered each module (Slips
-        // alerts carry the offending connections as their evidence set).
-        let all: Vec<&LabeledFlow> =
-            input.train_flows.iter().chain(input.eval_flows.iter()).collect();
-
-        // Per-flow accumulated evidence, indexed into `all`.
-        let mut evidence: Vec<f64> = vec![0.0; all.len()];
-        // (profile, dst, dport) → (start time, flow index), for periodicity.
-        let mut groups: HashMap<(IpAddr, IpAddr, u16), Vec<(f64, usize)>> = HashMap::new();
-        // (profile, window, dst) → unanswered (port, flow index) set.
-        let mut vertical: HashMap<(IpAddr, u64, IpAddr), Vec<(u16, usize)>> = HashMap::new();
-        // (profile, window, port) → unanswered (dst, flow index) set.
-        let mut horizontal: HashMap<(IpAddr, u64, u16), Vec<(IpAddr, usize)>> = HashMap::new();
-        // (profile, window, dst, auth port) → member flow indices.
-        let mut auth_counts: HashMap<(IpAddr, u64, IpAddr, u16), Vec<usize>> = HashMap::new();
-
-        for (index, flow) in all.iter().enumerate() {
-            let key = flow.record.initiator_key();
-            let profile = key.src_ip;
-            let window = self.window_of(flow);
-            let start = flow.record.first_seen.as_secs_f64();
-
-            groups.entry((profile, key.dst_ip, key.dst_port)).or_default().push((start, index));
-
-            if is_unanswered(flow) {
-                vertical
-                    .entry((profile, window, key.dst_ip))
-                    .or_default()
-                    .push((key.dst_port, index));
-                horizontal
-                    .entry((profile, window, key.dst_port))
-                    .or_default()
-                    .push((key.dst_ip, index));
-            }
-            if self.config.auth_ports.contains(&key.dst_port) {
-                auth_counts
-                    .entry((profile, window, key.dst_ip, key.dst_port))
-                    .or_default()
-                    .push(index);
-            }
-
-            // Per-flow modules accumulate immediately.
-            if self.is_blacklisted(key.dst_ip) {
-                evidence[index] += weights.threat_intel;
-            }
-            if flow.record.duration().as_secs_f64() > self.config.long_connection_secs {
-                evidence[index] += weights.long_connection;
-            }
-            if flow.record.forward_payload_bytes > self.config.upload_bytes
-                && self.is_external(key.dst_ip)
-            {
-                evidence[index] += weights.upload;
-            }
+    /// Training flows warm the behavioural state (profiles, groups, window
+    /// counters) without emitting scores, so evaluation flows are judged
+    /// against everything the site has already shown.
+    fn fit(&mut self, train: &TrainView) {
+        for flow in &train.flows {
+            let _ = self.observe_flow(flow);
         }
+    }
 
-        // Periodicity module (the behavioural model).
-        for ((_profile, dst, dport), mut members) in groups {
-            if members.len() < self.config.c2_min_flows
-                || !self.is_external(dst)
-                || self.config.periodic_port_whitelist.contains(&dport)
-            {
-                continue;
-            }
-            members.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-            let gaps: Vec<f64> = members.windows(2).map(|w| w[1].0 - w[0].0).collect();
-            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            if mean <= 0.0 {
-                continue;
-            }
-            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
-            let cv = var.sqrt() / mean;
-            if cv <= self.config.c2_max_cv {
-                for (_, index) in members {
-                    evidence[index] += weights.periodicity;
-                }
-            }
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            // Slips builds its state from flows; packets pass through.
+            Event::Packet(_) => None,
+            Event::FlowEvicted(flow) => Some(self.observe_flow(flow)),
         }
-
-        // Scan modules: evidence lands on the probe flows themselves.
-        for ((_profile, _window, _dst), members) in vertical {
-            let distinct: HashSet<u16> = members.iter().map(|(port, _)| *port).collect();
-            if distinct.len() >= self.config.scan_port_threshold {
-                let strength = distinct.len() as f64 / self.config.scan_port_threshold as f64;
-                for (_, index) in members {
-                    evidence[index] += weights.port_scan * strength;
-                }
-            }
-        }
-        for ((_profile, _window, _port), members) in horizontal {
-            let distinct: HashSet<IpAddr> = members.iter().map(|(dst, _)| *dst).collect();
-            if distinct.len() >= self.config.sweep_host_threshold {
-                let strength = distinct.len() as f64 / self.config.sweep_host_threshold as f64;
-                for (_, index) in members {
-                    evidence[index] += weights.sweep * strength;
-                }
-            }
-        }
-        for ((_profile, _window, _dst, _port), members) in auth_counts {
-            if members.len() >= self.config.brute_force_threshold {
-                for index in members {
-                    evidence[index] += weights.brute_force;
-                }
-            }
-        }
-
-        // Scores for the evaluation flows (they follow the training flows in
-        // `all`).
-        evidence.split_off(input.train_flows.len())
     }
 }
 
@@ -309,6 +327,7 @@ impl Detector for Slips {
 mod tests {
     use super::*;
     use idsbench_core::preprocess::{Pipeline, PipelineConfig};
+    use idsbench_core::runner::replay;
     use idsbench_core::{AttackKind, Label, LabeledPacket};
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
     use std::net::Ipv4Addr;
@@ -337,17 +356,32 @@ mod tests {
         out.push(LabeledPacket::new(r, label));
     }
 
-    fn prepare(packets: Vec<LabeledPacket>) -> DetectorInput {
+    /// Runs the full event replay (all flows are evaluation flows) and
+    /// returns `(score, label, kind)` per flow event in eviction order.
+    fn flow_scores(
+        slips: &mut Slips,
+        packets: Vec<LabeledPacket>,
+    ) -> Vec<(f64, bool, Option<AttackKind>)> {
         let mut sorted = packets;
         sorted.sort_by_key(|lp| lp.packet.ts);
-        Pipeline::new(PipelineConfig { train_fraction: 0.0, ..Default::default() })
+        let input = Pipeline::new(PipelineConfig { train_fraction: 0.0, ..Default::default() })
             .unwrap()
-            .prepare("toy", sorted)
-            .unwrap()
+            .prepare_events("toy", sorted)
+            .unwrap();
+        let replayed = replay(slips, &input).unwrap();
+        replayed
+            .scores
+            .iter()
+            .zip(&replayed.labels)
+            .zip(&replayed.kinds)
+            .map(|((&s, &l), &k)| (s, l, k))
+            .collect()
     }
 
-    /// Periodic beacons to an external controller are flagged; jittery
-    /// browsing to the same controller is not.
+    /// Periodic beacons to an external controller are flagged once the
+    /// group shows enough regular repetitions; jittery browsing to the same
+    /// block never is. The first `c2_min_flows - 1` beacons legitimately
+    /// score zero — at eviction time nothing distinguishes them yet.
     #[test]
     fn periodicity_module_catches_beacons() {
         let mut packets = Vec::new();
@@ -374,19 +408,22 @@ mod tests {
                 Label::Benign,
             );
         }
-        let input = prepare(packets);
-        let scores = Slips::default().score(&input);
-        for (score, flow) in scores.iter().zip(&input.eval_flows) {
-            if flow.is_attack() {
-                assert!(*score > 0.0, "beacon flow must accumulate evidence");
-            } else {
+        let scores = flow_scores(&mut Slips::default(), packets);
+        let flagged_beacons =
+            scores.iter().filter(|(s, _, k)| *k == Some(AttackKind::BotnetC2) && *s > 0.0).count();
+        assert!(
+            flagged_beacons >= 12 - SlipsConfig::default().c2_min_flows,
+            "established beacon flows must accumulate evidence ({flagged_beacons} flagged)"
+        );
+        for (score, _, kind) in &scores {
+            if kind.is_none() {
                 assert_eq!(*score, 0.0, "irregular browsing must stay clean");
             }
         }
     }
 
-    /// A fast vertical scan accumulates evidence; spoofed one-flow profiles
-    /// never do.
+    /// A fast vertical scan accumulates evidence once the port counter
+    /// crosses the threshold; spoofed one-flow profiles never do.
     #[test]
     fn scans_are_caught_spoofed_floods_are_not() {
         let mut packets = Vec::new();
@@ -410,19 +447,23 @@ mod tests {
                 .build(Timestamp::from_secs_f64(8.0 + f64::from(i) * 0.01));
             packets.push(LabeledPacket::new(p, Label::Attack(AttackKind::SynFlood)));
         }
-        let input = prepare(packets);
-        let scores = Slips::default().score(&input);
-        let mut scan_scores = Vec::new();
-        let mut flood_scores = Vec::new();
-        for (score, flow) in scores.iter().zip(&input.eval_flows) {
-            match flow.label.attack_kind() {
-                Some(AttackKind::PortScan) => scan_scores.push(*score),
-                Some(AttackKind::SynFlood) => flood_scores.push(*score),
-                _ => {}
-            }
-        }
-        assert!(scan_scores.iter().all(|&s| s > 0.0), "scan flows must be flagged");
-        assert!(flood_scores.iter().all(|&s| s == 0.0), "spoofed flood must stay invisible");
+        let scores = flow_scores(&mut Slips::default(), packets);
+        let scan: Vec<f64> = scores
+            .iter()
+            .filter(|(_, _, k)| *k == Some(AttackKind::PortScan))
+            .map(|(s, _, _)| *s)
+            .collect();
+        let flood: Vec<f64> = scores
+            .iter()
+            .filter(|(_, _, k)| *k == Some(AttackKind::SynFlood))
+            .map(|(s, _, _)| *s)
+            .collect();
+        let threshold = SlipsConfig::default().scan_port_threshold;
+        assert!(
+            scan.iter().filter(|&&s| s > 0.0).count() >= scan.len() - threshold,
+            "scan flows past the threshold must be flagged"
+        );
+        assert!(flood.iter().all(|&s| s == 0.0), "spoofed flood must stay invisible");
     }
 
     #[test]
@@ -442,13 +483,11 @@ mod tests {
             5.0,
             Label::Benign,
         );
-        let input = prepare(packets);
-        let scores = Slips::default().score(&input);
-        for (score, flow) in scores.iter().zip(&input.eval_flows) {
-            if flow.is_attack() {
-                assert!(*score >= 1.0, "blacklisted dst must carry TI evidence");
+        for (score, label, _) in flow_scores(&mut Slips::default(), packets) {
+            if label {
+                assert!(score >= 1.0, "blacklisted dst must carry TI evidence");
             } else {
-                assert_eq!(*score, 0.0);
+                assert_eq!(score, 0.0);
             }
         }
     }
@@ -465,9 +504,8 @@ mod tests {
                 Label::Attack(AttackKind::BruteForce),
             );
         }
-        let input = prepare(packets);
-        let scores = Slips::default().score(&input);
-        assert!(scores.iter().any(|&s| s > 0.0));
+        let scores = flow_scores(&mut Slips::default(), packets);
+        assert!(scores.iter().any(|(s, _, _)| *s > 0.0));
     }
 
     #[test]
@@ -482,9 +520,8 @@ mod tests {
                 .build(Timestamp::from_secs_f64(f64::from(i) * 61.0));
             packets.push(LabeledPacket::new(p, Label::Attack(AttackKind::PortScan)));
         }
-        let input = prepare(packets);
-        let scores = Slips::default().score(&input);
-        assert!(scores.iter().all(|&s| s == 0.0), "low-and-slow must evade: {scores:?}");
+        let scores = flow_scores(&mut Slips::default(), packets);
+        assert!(scores.iter().all(|(s, _, _)| *s == 0.0), "low-and-slow must evade: {scores:?}");
     }
 
     #[test]
@@ -500,9 +537,8 @@ mod tests {
                 .build(Timestamp::from_secs_f64(i as f64 * 64.0));
             packets.push(LabeledPacket::new(p, Label::Benign));
         }
-        let input = prepare(packets);
-        let scores = Slips::default().score(&input);
-        assert!(scores.iter().all(|&s| s == 0.0), "ntp must stay whitelisted: {scores:?}");
+        let scores = flow_scores(&mut Slips::default(), packets);
+        assert!(scores.iter().all(|(s, _, _)| *s == 0.0), "ntp must stay whitelisted: {scores:?}");
     }
 
     /// Long connections accumulate low-weight evidence.
@@ -519,10 +555,9 @@ mod tests {
                 .build(Timestamp::from_secs_f64(f64::from(i) * 50.0));
             packets.push(LabeledPacket::new(p, Label::Benign));
         }
-        let input = prepare(packets);
-        let scores = Slips::default().score(&input);
+        let scores = flow_scores(&mut Slips::default(), packets);
         assert!(
-            scores.iter().any(|&s| (s - 0.25).abs() < 1e-9),
+            scores.iter().any(|(s, _, _)| (s - 0.25).abs() < 1e-9),
             "long-connection evidence (0.25) expected: {scores:?}"
         );
     }
@@ -549,15 +584,19 @@ mod tests {
             Label::Attack(AttackKind::Exfiltration),
             &mut external,
         );
-        let input = prepare(external);
-        let scores = Slips::default().score(&input);
-        assert!(scores.iter().any(|&s| s >= 0.5), "external upload must be flagged: {scores:?}");
+        let scores = flow_scores(&mut Slips::default(), external);
+        assert!(
+            scores.iter().any(|(s, _, _)| *s >= 0.5),
+            "external upload must be flagged: {scores:?}"
+        );
 
         let mut internal = Vec::new();
         big_upload(Ipv4Addr::new(10, 0, 0, 99), Label::Benign, &mut internal);
-        let input = prepare(internal);
-        let scores = Slips::default().score(&input);
-        assert!(scores.iter().all(|&s| s == 0.0), "internal upload must stay clean: {scores:?}");
+        let scores = flow_scores(&mut Slips::default(), internal);
+        assert!(
+            scores.iter().all(|(s, _, _)| *s == 0.0),
+            "internal upload must stay clean: {scores:?}"
+        );
     }
 
     /// A custom blacklist replaces the default feed.
@@ -571,11 +610,57 @@ mod tests {
             2.0,
             Label::Benign,
         );
-        let input = prepare(packets);
         // Empty feed: the default-blacklisted destination goes unflagged.
         let mut slips = Slips::new(SlipsConfig { blacklist: Vec::new(), ..Default::default() });
-        let scores = slips.score(&input);
-        assert!(scores.iter().all(|&s| s == 0.0));
+        let scores = flow_scores(&mut slips, packets);
+        assert!(scores.iter().all(|(s, _, _)| *s == 0.0));
+    }
+
+    /// Training flows warm the behavioural state: a beacon group whose
+    /// early members arrived during training is flagged from the first
+    /// evaluation flow.
+    #[test]
+    fn fit_warms_the_profile_state() {
+        let bot = Ipv4Addr::new(10, 0, 0, 5);
+        let c2 = Ipv4Addr::new(198, 51, 100, 7);
+        let beacon = |i: u16, out: &mut Vec<LabeledPacket>| {
+            tcp_exchange(
+                out,
+                (bot, 5, 45_000 + i),
+                (c2, 99, 8080),
+                10.0 + f64::from(i) * 30.0,
+                Label::Attack(AttackKind::BotnetC2),
+            );
+        };
+        let mut train_packets = Vec::new();
+        for i in 0..8u16 {
+            beacon(i, &mut train_packets);
+        }
+        let input = Pipeline::new(PipelineConfig { train_fraction: 0.0, ..Default::default() })
+            .unwrap()
+            .prepare_events("warm", train_packets)
+            .unwrap();
+        // Hand-build the train view from the replayed flows.
+        let mut slips = Slips::default();
+        let mut probe = Slips::default();
+        let warm_flows = replay(&mut probe, &input).unwrap();
+        assert!(warm_flows.scores.len() >= 8);
+
+        // Reuse the same eviction stream as training data...
+        let mut collector = idsbench_core::FlowEventAssembler::new(input.flow_config);
+        let mut flows = Vec::new();
+        for view in &input.eval {
+            collector.observe(view, |f| flows.push(f));
+        }
+        flows.extend(collector.flush());
+        slips.fit(&TrainView { packets: Vec::new(), flows });
+
+        // ...then the next beacon in the cadence must be flagged
+        // immediately.
+        let mut next = Vec::new();
+        beacon(8, &mut next);
+        let scores = flow_scores(&mut slips, next);
+        assert!(scores.iter().any(|(s, _, _)| *s > 0.0), "warmed group must flag: {scores:?}");
     }
 
     #[test]

@@ -1,28 +1,41 @@
 //! The sharded streaming executor: flow-hashed fan-out of an online packet
-//! stream onto N scoring workers with bounded-channel backpressure.
+//! stream onto N scoring workers with bounded-channel backpressure — the
+//! *streaming driver* of the Event contract.
 //!
 //! ```text
-//!                    ┌─ shard 0: detector₀ + flow set ─┐
-//!  source ─ feeder ──┼─ shard 1: detector₁ + flow set ─┼── merge ─ report
-//!   (pull)  (hash by └─ shard N: detectorN + flow set ─┘
-//!            flow key, bounded channels, per-shard batches)
+//!                    ┌─ shard 0: detector₀ + flow table ─┐
+//!  source ─ feeder ──┼─ shard 1: detector₁ + flow table ─┼── merge ─ report
+//!   (pull)  (parse   └─ shard N: detectorN + flow table ─┘
+//!            once, hash by flow key, bounded channels, batches)
 //! ```
 //!
 //! Invariants the design pins down:
 //!
-//! * **Per-flow locality.** Packets are routed by the *canonical* 5-tuple
+//! * **Parse once.** The feeder decodes each packet into a
+//!   [`ParsedView`] — the pipeline's single `ParsedPacket::parse` site —
+//!   routes on the view's precomputed canonical flow key, and ships the
+//!   view to the shard. Detectors and per-shard flow tables all consume
+//!   that same view; nothing downstream re-parses.
+//! * **Per-flow locality.** Packets are routed by the canonical 5-tuple
 //!   hash, so both directions of a conversation always reach the same shard
-//!   and each shard's detector sees every flow it owns in arrival order.
-//!   Decisions for a given flow are therefore identical regardless of how
-//!   many other shards exist.
+//!   and each shard's detector (and flow table) sees every flow it owns in
+//!   arrival order. Flow-eviction events therefore fire on the shard that
+//!   owns the flow.
+//! * **One contract, two drivers.** Shards deliver the same event stream
+//!   the batch runner replays — packet events in order, flow evictions at
+//!   flow-table eviction time, flush at end of stream — to the same
+//!   [`EventDetector`] contract. A single-shard run reproduces batch
+//!   `evaluate()` bitwise, for packet *and* flow detectors.
 //! * **Backpressure, not buffering.** Feeder→shard channels are bounded; a
 //!   slow shard stalls the feeder (and, through [`BoundedSource`], the
 //!   producer) instead of ballooning memory.
-//! * **Batch-amortised handoff.** The feeder hands packets over in
-//!   configurable per-shard batches so channel synchronisation cost is
-//!   amortised; scoring itself remains strictly per-packet.
-//! * **Warmup off the clock.** Every shard trains its own detector instance
-//!   on the shared warmup slice before the feeder starts the throughput
+//! * **Zero-buffer deployment mode.** With a fixed threshold
+//!   ([`ThresholdMode::Fixed`]) decisions are final at scoring time, so
+//!   shards fold them straight into online aggregates and no per-event
+//!   score is ever recorded — memory grows with windows and distinct
+//!   flows (shard accounting and flow labels), never with event count.
+//! * **Warmup off the clock.** Every shard fits its own detector instance
+//!   on the shared [`TrainView`] before the feeder starts the throughput
 //!   clock, so reported packets/sec measures scoring, not training.
 //!
 //! [`BoundedSource`]: crate::source::BoundedSource
@@ -35,11 +48,13 @@ use std::time::Instant;
 use crossbeam::channel;
 use idsbench_core::metrics::{auc, roc_curve, ConfusionMatrix};
 use idsbench_core::threshold::ThresholdPolicy;
-use idsbench_core::{CoreError, LabeledPacket, Result, StreamingDetector};
-use idsbench_flow::FlowKey;
-use idsbench_net::ParsedPacket;
+use idsbench_core::{
+    CoreError, Event, EventDetector, FlowEventAssembler, InputFormat, LabeledPacket, ParsedView,
+    Result, TrainView,
+};
+use idsbench_flow::{FlowKey, FlowTableConfig};
 
-use crate::metrics::{family_recall, window_metrics, ScoredPacket, Throughput};
+use crate::metrics::{family_recall, window_metrics, OnlineStats, ScoredEvent, Throughput};
 use crate::report::{ShardStats, StreamReport};
 use crate::source::PacketSource;
 
@@ -51,7 +66,9 @@ pub enum ThresholdMode {
     /// batch results stay directly comparable.
     Calibrated(ThresholdPolicy),
     /// Deployment mode: a fixed threshold known up front; decisions are
-    /// final the moment a packet is scored.
+    /// final the moment an event is scored, so the run aggregates online
+    /// and records no per-event scores at all (zero-buffer mode — see
+    /// module docs; AUC is unavailable and reported as NaN).
     Fixed(f64),
 }
 
@@ -65,7 +82,7 @@ impl Default for ThresholdMode {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
     /// Number of scoring shards (worker threads), each owning an independent
-    /// detector instance and flow set.
+    /// detector instance and flow table.
     pub shards: usize,
     /// Packets per feeder→shard batch (channel-synchronisation amortisation).
     pub batch_size: usize,
@@ -75,11 +92,16 @@ pub struct StreamConfig {
     pub window_secs: f64,
     /// Threshold resolution mode.
     pub threshold: ThresholdMode,
+    /// Flow-table parameters for the per-shard eviction path (flow-format
+    /// detectors only). Must match the batch pipeline's
+    /// `PipelineConfig::flow_config` for parity.
+    pub flow: FlowTableConfig,
 }
 
 impl Default for StreamConfig {
     /// One shard, 32-packet batches, 64 batches of backpressure headroom,
-    /// 10-second metric windows, batch-compatible calibration.
+    /// 10-second metric windows, batch-compatible calibration, default
+    /// flow table.
     fn default() -> Self {
         StreamConfig {
             shards: 1,
@@ -87,6 +109,7 @@ impl Default for StreamConfig {
             channel_capacity: 64,
             window_secs: 10.0,
             threshold: ThresholdMode::default(),
+            flow: FlowTableConfig::default(),
         }
     }
 }
@@ -117,31 +140,76 @@ impl StreamConfig {
     }
 }
 
-/// The outcome of a streaming run: the report plus the raw per-packet score
-/// stream in arrival order (what parity tests and calibration sweeps need).
+/// The outcome of a streaming run: the report plus the raw per-event score
+/// stream in event order (what parity tests and calibration sweeps need).
+///
+/// In zero-buffer mode ([`ThresholdMode::Fixed`]) `scores` and `labels` are
+/// empty — nothing was recorded, by design.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamRun {
     /// The merged, threshold-resolved report.
     pub report: StreamReport,
-    /// Score of packet `seq`, for every fed packet.
+    /// Score per scored event, in batch-replay event order.
     pub scores: Vec<f64>,
-    /// Ground truth of packet `seq`, aligned with `scores`.
+    /// Ground truth aligned with `scores`.
     pub labels: Vec<bool>,
 }
 
-/// One packet in flight from the feeder to a shard.
+/// One packet in flight from the feeder to a shard: the parsed view rides
+/// along, so the shard never touches raw bytes.
 struct StreamItem {
     seq: u64,
-    packet: LabeledPacket,
-    key: Option<FlowKey>,
+    view: ParsedView,
+}
+
+/// Per-shard recording state, chosen by threshold mode.
+enum Recorder {
+    /// Replay mode: keep every scored event for post-hoc calibration.
+    Full(Vec<ScoredEvent>),
+    /// Zero-buffer mode: fold into online aggregates at a fixed threshold.
+    Online(Box<OnlineStats>, f64),
+}
+
+impl Recorder {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        seq: u64,
+        sub: u32,
+        window: u64,
+        score: f64,
+        latency_nanos: u64,
+        label: idsbench_core::Label,
+    ) {
+        match self {
+            Recorder::Full(records) => records.push(ScoredEvent {
+                seq,
+                sub,
+                window,
+                score,
+                latency_nanos,
+                label: label.is_attack(),
+                kind: label.attack_kind(),
+            }),
+            Recorder::Online(stats, threshold) => stats.record(
+                window,
+                score,
+                *threshold,
+                label.is_attack(),
+                label.attack_kind(),
+                latency_nanos,
+            ),
+        }
+    }
 }
 
 /// What a shard hands back when its channel drains.
 struct ShardOutcome {
     shard: usize,
-    records: Vec<ScoredPacket>,
-    detector_seconds: f64,
-    warmup_seconds: f64,
+    recorder: Recorder,
+    score_seconds: f64,
+    fit_seconds: f64,
+    packets: usize,
     flows: usize,
 }
 
@@ -158,13 +226,79 @@ fn shard_of(key: &Option<FlowKey>, shards: usize) -> usize {
     }
 }
 
-fn window_of(packet: &LabeledPacket, window_secs: f64) -> u64 {
+fn window_of_micros(micros: u64, window_secs: f64) -> u64 {
     let window_micros = (window_secs * 1e6) as u64;
-    packet.packet.ts.as_micros() / window_micros.max(1)
+    micros / window_micros.max(1)
 }
 
-/// Runs one streaming evaluation: warms a detector per shard on `warmup`,
-/// then drains `source` through the sharded scoring pipeline and merges the
+/// The per-shard event loop: scores the packet event, feeds the shard's
+/// flow table (flow-format detectors only), and scores the evictions — the
+/// exact event order the batch driver replays.
+struct ShardLoop {
+    detector: Box<dyn EventDetector>,
+    recorder: Recorder,
+    assembler: Option<FlowEventAssembler>,
+    evicted: Vec<idsbench_core::LabeledFlow>,
+    flows: HashSet<FlowKey>,
+    window_secs: f64,
+    score_nanos: u128,
+    packets: usize,
+}
+
+impl ShardLoop {
+    fn on_packet(&mut self, item: StreamItem) {
+        self.packets += 1;
+        if let Some(key) = item.view.flow_key {
+            self.flows.insert(key);
+        }
+        let started = Instant::now();
+        let score = self.detector.on_event(&Event::Packet(&item.view));
+        let latency = started.elapsed();
+        self.score_nanos += latency.as_nanos();
+        if let Some(score) = score {
+            let window = window_of_micros(item.view.packet.packet.ts.as_micros(), self.window_secs);
+            let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.recorder.push(item.seq, 0, window, score, latency_nanos, item.view.label());
+        }
+        if let Some(assembler) = &mut self.assembler {
+            let evicted = &mut self.evicted;
+            assembler.observe(&item.view, |flow| evicted.push(flow));
+            // Take/restore so the buffer's capacity survives eviction
+            // bursts (on_flow needs &mut self, so draining in place would
+            // alias the borrow).
+            let mut evicted = std::mem::take(&mut self.evicted);
+            for (index, flow) in evicted.drain(..).enumerate() {
+                self.on_flow(item.seq, index as u32 + 1, flow);
+            }
+            self.evicted = evicted;
+        }
+    }
+
+    fn on_flow(&mut self, seq: u64, sub: u32, flow: idsbench_core::LabeledFlow) {
+        let started = Instant::now();
+        let score = self.detector.on_event(&Event::FlowEvicted(&flow));
+        let latency = started.elapsed();
+        self.score_nanos += latency.as_nanos();
+        if let Some(score) = score {
+            let window = window_of_micros(flow.record.last_seen.as_micros(), self.window_secs);
+            let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.recorder.push(seq, sub, window, score, latency_nanos, flow.label);
+        }
+    }
+
+    /// End of stream: flush the flow table (same as the batch driver).
+    fn finish(&mut self) {
+        if let Some(mut assembler) = self.assembler.take() {
+            for (index, flow) in assembler.flush().into_iter().enumerate() {
+                self.on_flow(u64::MAX, index as u32, flow);
+            }
+        }
+    }
+}
+
+/// Runs one streaming evaluation: assembles the shared [`TrainView`] from
+/// `warmup` (parsing each packet once), fits a detector per shard, then
+/// drains `source` through the sharded scoring pipeline and merges the
 /// result into a [`StreamReport`].
 ///
 /// The factory is invoked once per shard; each instance must be independent
@@ -175,7 +309,7 @@ fn window_of(packet: &LabeledPacket, window_secs: f64) -> u64 {
 /// Returns [`CoreError::Stream`] for invalid configuration, a failing packet
 /// source, or a panicked shard worker.
 pub fn run_stream(
-    factory: &(dyn Fn() -> Box<dyn StreamingDetector> + Sync),
+    factory: &(dyn Fn() -> Box<dyn EventDetector> + Sync),
     warmup: &[LabeledPacket],
     mut source: impl PacketSource,
     config: &StreamConfig,
@@ -183,9 +317,22 @@ pub fn run_stream(
     config.validate()?;
     let shards = config.shards;
     let source_name = source.name().to_string();
-    let detector_name = factory().name().to_string();
+    let (detector_name, format) = {
+        let probe = factory();
+        (probe.name().to_string(), probe.input_format())
+    };
 
-    // Everyone (shards + feeder) meets here after warmup, so the throughput
+    // One shared train view for every shard: the warmup slice is parsed
+    // once and its flows assembled once, here (not per shard).
+    let assembly_started = Instant::now();
+    let train = TrainView::assemble(
+        warmup.iter().cloned().map(ParsedView::from_packet).collect(),
+        config.flow,
+    );
+    let assembly_seconds = assembly_started.elapsed().as_secs_f64();
+    let train = &train;
+
+    // Everyone (shards + feeder) meets here after fit, so the throughput
     // clock starts only when scoring can actually proceed.
     let start_line = Barrier::new(shards + 1);
 
@@ -198,23 +345,25 @@ pub fn run_stream(
     }
 
     let window_secs = config.window_secs;
+    let threshold_mode = config.threshold;
+    let flow_config = config.flow;
     let run = std::thread::scope(|scope| -> Result<(Vec<ShardOutcome>, u64, f64)> {
         let mut workers = Vec::new();
         for (shard, rx) in receivers.into_iter().enumerate() {
             let start_line = &start_line;
             workers.push(scope.spawn(move || -> Option<ShardOutcome> {
-                // A warmup panic must not strand the barrier (the feeder
-                // would deadlock behind it): catch it, pass the start line,
-                // and disconnect so the feeder sees the shard as dead.
-                let warmup_started = Instant::now();
-                let warmed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // A fit panic must not strand the barrier (the feeder would
+                // deadlock behind it): catch it, pass the start line, and
+                // disconnect so the feeder sees the shard as dead.
+                let fit_started = Instant::now();
+                let fitted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let mut detector = factory();
-                    detector.warmup(warmup);
+                    detector.fit(train);
                     detector
                 }));
-                let warmup_seconds = warmup_started.elapsed().as_secs_f64();
+                let fit_seconds = fit_started.elapsed().as_secs_f64();
                 start_line.wait();
-                let mut detector = match warmed {
+                let detector = match fitted {
                     Ok(detector) => detector,
                     Err(_) => {
                         drop(rx);
@@ -222,40 +371,40 @@ pub fn run_stream(
                     }
                 };
 
-                let mut records = Vec::new();
-                let mut flows: HashSet<FlowKey> = HashSet::new();
-                let mut detector_nanos = 0u128;
+                let recorder = match threshold_mode {
+                    ThresholdMode::Fixed(threshold) => Recorder::Online(Box::default(), threshold),
+                    ThresholdMode::Calibrated(_) => Recorder::Full(Vec::new()),
+                };
+                let mut state = ShardLoop {
+                    detector,
+                    recorder,
+                    assembler: matches!(format, InputFormat::Flows)
+                        .then(|| FlowEventAssembler::new(flow_config)),
+                    evicted: Vec::new(),
+                    flows: HashSet::new(),
+                    window_secs,
+                    score_nanos: 0,
+                    packets: 0,
+                };
                 for batch in rx.iter() {
                     for item in batch {
-                        let scored_at = Instant::now();
-                        let score = detector.score_packet(&item.packet);
-                        let latency = scored_at.elapsed();
-                        detector_nanos += latency.as_nanos();
-                        let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-                        if let Some(key) = item.key {
-                            flows.insert(key);
-                        }
-                        records.push(ScoredPacket {
-                            seq: item.seq,
-                            window: window_of(&item.packet, window_secs),
-                            score,
-                            latency_nanos,
-                            label: item.packet.is_attack(),
-                            kind: item.packet.label.attack_kind(),
-                        });
+                        state.on_packet(item);
                     }
                 }
+                state.finish();
                 Some(ShardOutcome {
                     shard,
-                    records,
-                    detector_seconds: detector_nanos as f64 / 1e9,
-                    warmup_seconds,
-                    flows: flows.len(),
+                    recorder: state.recorder,
+                    score_seconds: state.score_nanos as f64 / 1e9,
+                    fit_seconds,
+                    packets: state.packets,
+                    flows: state.flows.len(),
                 })
             }));
         }
 
-        // ---- Feeder (this thread): route, batch, apply backpressure. ----
+        // ---- Feeder (this thread): parse once, route, batch, apply
+        // backpressure. ----
         start_line.wait();
         let clock = Instant::now();
         let mut batches: Vec<Vec<StreamItem>> = (0..shards).map(|_| Vec::new()).collect();
@@ -264,12 +413,10 @@ pub fn run_stream(
         loop {
             match source.next_packet() {
                 Ok(Some(packet)) => {
-                    let key = ParsedPacket::parse(&packet.packet)
-                        .ok()
-                        .and_then(|parsed| FlowKey::from_packet(&parsed))
-                        .map(|key| key.canonical().0);
-                    let shard = shard_of(&key, shards);
-                    batches[shard].push(StreamItem { seq, packet, key });
+                    // The eval stream's single parse per packet.
+                    let view = ParsedView::from_packet(packet);
+                    let shard = shard_of(&view.flow_key, shards);
+                    batches[shard].push(StreamItem { seq, view });
                     seq += 1;
                     if batches[shard].len() >= config.batch_size {
                         let batch = std::mem::take(&mut batches[shard]);
@@ -300,7 +447,7 @@ pub fn run_stream(
             match worker.join() {
                 Ok(Some(outcome)) => outcomes.push(outcome),
                 Ok(None) => {
-                    worker_failure = Some(CoreError::stream("shard worker panicked in warmup"))
+                    worker_failure = Some(CoreError::stream("shard worker panicked in fit"))
                 }
                 Err(_) => worker_failure = Some(CoreError::stream("shard worker panicked")),
             }
@@ -319,35 +466,105 @@ pub fn run_stream(
     let (mut outcomes, fed, wall_seconds) = run?;
     outcomes.sort_by_key(|o| o.shard);
 
-    Ok(finalise(detector_name, source_name, warmup.len(), fed, wall_seconds, outcomes, config))
+    Ok(finalise(
+        detector_name,
+        source_name,
+        warmup.len(),
+        fed,
+        wall_seconds,
+        assembly_seconds,
+        outcomes,
+        config,
+    ))
 }
 
 /// Merges shard outcomes, resolves the threshold, and assembles the report.
+#[allow(clippy::too_many_arguments)]
 fn finalise(
     detector: String,
     source: String,
     warmup_packets: usize,
     fed: u64,
     wall_seconds: f64,
+    assembly_seconds: f64,
     outcomes: Vec<ShardOutcome>,
     config: &StreamConfig,
 ) -> StreamRun {
-    let mut records: Vec<ScoredPacket> = Vec::with_capacity(fed as usize);
     let mut shard_stats = Vec::with_capacity(outcomes.len());
-    let mut detector_seconds = 0.0;
-    let mut warmup_seconds: f64 = 0.0;
+    let mut score_seconds = 0.0;
+    let mut fit_seconds: f64 = 0.0;
+    let mut full: Vec<(usize, ScoredEvent)> = Vec::new();
+    let mut online: Option<OnlineStats> = None;
+    let mut fixed_threshold = None;
     for outcome in outcomes {
+        let items = match &outcome.recorder {
+            Recorder::Full(records) => records.len(),
+            Recorder::Online(stats, _) => stats.events,
+        };
         shard_stats.push(ShardStats {
             shard: outcome.shard,
-            packets: outcome.records.len(),
+            packets: outcome.packets,
+            items,
             flows: outcome.flows,
-            detector_seconds: outcome.detector_seconds,
+            score_seconds: outcome.score_seconds,
         });
-        detector_seconds += outcome.detector_seconds;
-        warmup_seconds = warmup_seconds.max(outcome.warmup_seconds);
-        records.extend(outcome.records);
+        score_seconds += outcome.score_seconds;
+        fit_seconds = fit_seconds.max(outcome.fit_seconds);
+        match outcome.recorder {
+            Recorder::Full(records) => {
+                full.extend(records.into_iter().map(|r| (outcome.shard, r)));
+            }
+            Recorder::Online(stats, threshold) => {
+                fixed_threshold = Some(threshold);
+                match &mut online {
+                    Some(merged) => merged.merge(&stats),
+                    None => online = Some(*stats),
+                }
+            }
+        }
     }
-    records.sort_by_key(|r| r.seq);
+    let train_seconds = assembly_seconds + fit_seconds;
+
+    if let Some(stats) = online {
+        // Zero-buffer path: everything was aggregated online; no scores
+        // exist to calibrate or rank, so AUC is undefined.
+        let threshold = fixed_threshold.unwrap_or(f64::INFINITY);
+        let report = StreamReport {
+            detector,
+            source,
+            shards: config.shards,
+            batch_size: config.batch_size,
+            warmup_packets,
+            eval_packets: fed as usize,
+            eval_items: stats.events,
+            attack_share: if stats.events == 0 {
+                0.0
+            } else {
+                stats.attacks as f64 / stats.events as f64
+            },
+            threshold,
+            metrics: stats.cm.metrics(),
+            false_positive_rate: stats.cm.false_positive_rate(),
+            auc: f64::NAN,
+            family_recall: stats.family_recall(),
+            windows: stats.window_metrics(config.window_secs),
+            throughput: Throughput::from_histogram(
+                fed as usize,
+                wall_seconds,
+                &stats.latency,
+                score_seconds,
+                train_seconds,
+            ),
+            shard_stats,
+        };
+        return StreamRun { report, scores: Vec::new(), labels: Vec::new() };
+    }
+
+    // Replay path: restore the batch driver's event order — packet seq,
+    // then the evictions it triggered; flush events (seq = MAX) ordered by
+    // shard then flush index.
+    full.sort_by_key(|(shard, r)| (r.seq, *shard, r.sub));
+    let records: Vec<ScoredEvent> = full.into_iter().map(|(_, r)| r).collect();
 
     let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
     let labels: Vec<bool> = records.iter().map(|r| r.label).collect();
@@ -364,7 +581,8 @@ fn finalise(
         shards: config.shards,
         batch_size: config.batch_size,
         warmup_packets,
-        eval_packets: records.len(),
+        eval_packets: fed as usize,
+        eval_items: records.len(),
         attack_share: if labels.is_empty() { 0.0 } else { attacks as f64 / labels.len() as f64 },
         threshold,
         metrics: cm.metrics(),
@@ -373,11 +591,11 @@ fn finalise(
         family_recall: family_recall(&records, threshold),
         windows: window_metrics(&records, config.window_secs, threshold),
         throughput: Throughput::from_run(
-            records.len(),
+            fed as usize,
             wall_seconds,
             records.iter().map(|r| r.latency_nanos).collect(),
-            detector_seconds,
-            warmup_seconds,
+            score_seconds,
+            train_seconds,
         ),
         shard_stats,
     };
@@ -392,24 +610,54 @@ mod tests {
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
     use std::net::Ipv4Addr;
 
-    /// Scores by wire length after counting warmup packets; tracks call
-    /// order so tests can assert per-shard arrival order.
+    /// Scores by wire length after counting warmup packets.
     #[derive(Debug, Default)]
     struct LengthDetector {
         warmed: usize,
     }
 
-    impl StreamingDetector for LengthDetector {
+    impl EventDetector for LengthDetector {
         fn name(&self) -> &str {
             "length"
         }
 
-        fn warmup(&mut self, train: &[LabeledPacket]) {
-            self.warmed = train.len();
+        fn input_format(&self) -> InputFormat {
+            InputFormat::Packets
         }
 
-        fn score_packet(&mut self, packet: &LabeledPacket) -> f64 {
-            packet.packet.wire_len() as f64
+        fn fit(&mut self, train: &TrainView) {
+            self.warmed = train.packets.len();
+        }
+
+        fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+            match event {
+                Event::Packet(view) => Some(view.packet.packet.wire_len() as f64),
+                Event::FlowEvicted(_) => None,
+            }
+        }
+    }
+
+    /// Scores each evicted flow by its packet count — exercises the
+    /// per-shard eviction path.
+    #[derive(Debug, Default)]
+    struct FlowCounter;
+
+    impl EventDetector for FlowCounter {
+        fn name(&self) -> &str {
+            "flow-counter"
+        }
+
+        fn input_format(&self) -> InputFormat {
+            InputFormat::Flows
+        }
+
+        fn fit(&mut self, _train: &TrainView) {}
+
+        fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+            match event {
+                Event::Packet(_) => None,
+                Event::FlowEvicted(flow) => Some(flow.record.total_packets() as f64),
+            }
         }
     }
 
@@ -433,8 +681,12 @@ mod tests {
             .collect()
     }
 
-    fn factory() -> Box<dyn StreamingDetector> {
+    fn factory() -> Box<dyn EventDetector> {
         Box::new(LengthDetector::default())
+    }
+
+    fn flow_factory() -> Box<dyn EventDetector> {
+        Box::new(FlowCounter)
     }
 
     #[test]
@@ -448,6 +700,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(run.scores.len(), 150);
+        assert_eq!(run.report.eval_items, 150);
         assert_eq!(run.report.eval_packets, 150);
         assert_eq!(run.report.warmup_packets, 50);
         // Length oracle: attacks are the large packets.
@@ -489,6 +742,37 @@ mod tests {
     }
 
     #[test]
+    fn flow_detector_scores_evictions_on_owning_shards() {
+        let packets = workload(300);
+        let single = run_stream(
+            &flow_factory,
+            &packets[..60],
+            VecSource::new("toy", packets[60..].to_vec()),
+            &StreamConfig::default(),
+        )
+        .unwrap();
+        assert!(single.report.eval_items > 0, "flow events must be scored");
+        assert_eq!(single.report.eval_packets, 240);
+        // Flow events ≠ packet events: the report keeps both.
+        assert!(single.report.eval_items < single.report.eval_packets);
+
+        let sharded = run_stream(
+            &flow_factory,
+            &packets[..60],
+            VecSource::new("toy", packets[60..].to_vec()),
+            &StreamConfig { shards: 4, batch_size: 5, ..Default::default() },
+        )
+        .unwrap();
+        // Per-flow locality: the same flows are assembled whole on their
+        // owning shards, so the multiset of flow scores is identical.
+        let mut a = single.scores.clone();
+        let mut b = sharded.scores.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b, "sharding must not split or merge flows");
+    }
+
+    #[test]
     fn flows_stay_on_one_shard() {
         // All packets share one flow: every one must land on a single shard.
         let packets: Vec<LabeledPacket> =
@@ -522,17 +806,58 @@ mod tests {
     }
 
     #[test]
-    fn fixed_threshold_mode_applies_verbatim() {
+    fn fixed_threshold_mode_is_zero_buffer() {
         let packets = workload(100);
         let run = run_stream(
             &factory,
             &[],
-            VecSource::new("toy", packets),
+            VecSource::new("toy", packets.clone()),
             &StreamConfig { threshold: ThresholdMode::Fixed(500.0), ..Default::default() },
         )
         .unwrap();
         assert_eq!(run.report.threshold, 500.0);
         assert_eq!(run.report.metrics.recall, 1.0);
+        // Zero-buffer: no per-event scores were recorded; AUC undefined.
+        assert!(run.scores.is_empty());
+        assert!(run.labels.is_empty());
+        assert!(run.report.auc.is_nan());
+        assert_eq!(run.report.eval_items, 100);
+
+        // The online aggregation must agree with a calibrated replay run
+        // resolved at the same threshold.
+        let replayed =
+            run_stream(&factory, &[], VecSource::new("toy", packets), &StreamConfig::default())
+                .unwrap();
+        let cm = ConfusionMatrix::from_scores(&replayed.scores, &replayed.labels, 500.0);
+        assert_eq!(run.report.metrics, cm.metrics());
+        assert_eq!(run.report.false_positive_rate, cm.false_positive_rate());
+        assert_eq!(
+            run.report.windows.iter().map(|w| w.packets).sum::<usize>(),
+            replayed.report.eval_items
+        );
+    }
+
+    #[test]
+    fn zero_buffer_mode_covers_flow_detectors() {
+        let packets = workload(300);
+        let fixed = run_stream(
+            &flow_factory,
+            &packets[..60],
+            VecSource::new("toy", packets[60..].to_vec()),
+            &StreamConfig { shards: 2, threshold: ThresholdMode::Fixed(3.0), ..Default::default() },
+        )
+        .unwrap();
+        assert!(fixed.scores.is_empty());
+        assert!(fixed.report.eval_items > 0);
+        let replayed = run_stream(
+            &flow_factory,
+            &packets[..60],
+            VecSource::new("toy", packets[60..].to_vec()),
+            &StreamConfig { shards: 2, ..Default::default() },
+        )
+        .unwrap();
+        let cm = ConfusionMatrix::from_scores(&replayed.scores, &replayed.labels, 3.0);
+        assert_eq!(fixed.report.metrics, cm.metrics());
     }
 
     #[test]
@@ -563,32 +888,35 @@ mod tests {
     }
 
     #[test]
-    fn warmup_panic_fails_the_run_instead_of_deadlocking() {
+    fn fit_panic_fails_the_run_instead_of_deadlocking() {
         /// Panics during training, as a buggy detector would.
         #[derive(Debug)]
         struct Exploding;
 
-        impl StreamingDetector for Exploding {
+        impl EventDetector for Exploding {
             fn name(&self) -> &str {
                 "exploding"
             }
-            fn warmup(&mut self, _train: &[LabeledPacket]) {
+            fn input_format(&self) -> InputFormat {
+                InputFormat::Packets
+            }
+            fn fit(&mut self, _train: &TrainView) {
                 panic!("train-time bug");
             }
-            fn score_packet(&mut self, _packet: &LabeledPacket) -> f64 {
-                0.0
+            fn on_event(&mut self, _event: &Event<'_>) -> Option<f64> {
+                Some(0.0)
             }
         }
 
         let err = run_stream(
-            &|| Box::new(Exploding) as Box<dyn StreamingDetector>,
+            &|| Box::new(Exploding) as Box<dyn EventDetector>,
             &workload(10),
             VecSource::new("toy", workload(100)),
             &StreamConfig { shards: 2, ..Default::default() },
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::Stream { .. }), "{err}");
-        assert!(err.to_string().contains("warmup"), "{err}");
+        assert!(err.to_string().contains("fit"), "{err}");
     }
 
     #[test]
@@ -600,7 +928,7 @@ mod tests {
             &StreamConfig::default(),
         )
         .unwrap();
-        assert_eq!(run.report.eval_packets, 0);
+        assert_eq!(run.report.eval_items, 0);
         assert_eq!(run.report.threshold, f64::INFINITY);
         assert!(run.report.windows.is_empty());
     }
@@ -622,5 +950,7 @@ mod tests {
         assert_eq!(experiment.metrics, run.report.metrics);
         assert_eq!(experiment.threshold, run.report.threshold);
         assert_eq!(experiment.family_recall, run.report.family_recall);
+        assert_eq!(experiment.score_seconds, run.report.throughput.score_seconds);
+        assert_eq!(experiment.train_seconds, run.report.throughput.train_seconds);
     }
 }

@@ -1,33 +1,41 @@
-//! `idsbench-stream` — the online replay-evaluation engine.
+//! `idsbench-stream` — the online replay-evaluation engine: the *streaming
+//! driver* of the core Event contract.
 //!
 //! The paper's core finding is that batch evaluation flatters IDSs:
-//! deployed detectors consume an *unbounded stream* one packet at a time
+//! deployed detectors consume an *unbounded stream* one event at a time
 //! under throughput pressure, and several published results do not survive
-//! that shift. This crate is the workspace's streaming counterpart to the
-//! batch runner in `idsbench-core`:
+//! that shift. This crate drives the same
+//! [`EventDetector`](idsbench_core::EventDetector) contract as the batch
+//! runner in `idsbench-core`, sharded:
 //!
 //! * [`source`] — [`PacketSource`] unifies scenario generators, pcap
 //!   captures, and in-memory traces behind one pull iterator;
 //!   [`BoundedSource`] adds bounded-channel backpressure between producer
 //!   and scorer.
-//! * [`executor`] — [`run_stream`] hashes packets by canonical flow key
-//!   onto N shard workers, each owning an independent
-//!   [`StreamingDetector`](idsbench_core::StreamingDetector) instance and
-//!   flow set, with per-shard batches amortising the channel handoff.
+//! * [`executor`] — [`run_stream`] parses each packet exactly once in the
+//!   feeder, hashes the resulting view by canonical flow key onto N shard
+//!   workers — each owning an independent detector instance *and flow
+//!   table* — and delivers the same event stream batch evaluation replays:
+//!   packet events in order, flow-eviction events the moment the shard's
+//!   flow table emits them. Flow-input systems (Slips, DNN) are therefore
+//!   streaming-native, not batch adapters.
 //! * [`metrics`] — windowed precision/recall/FPR over the traffic timeline
-//!   plus exact p50/p99 per-packet scoring latency and packets/sec.
+//!   plus per-event scoring latency and packets/sec; with a fixed
+//!   deployment threshold the engine runs *zero-buffer* ([`OnlineStats`]):
+//!   pure online aggregation, no per-event score recording.
 //! * [`report`] — [`StreamReport`] merges the shards and reconciles with
 //!   the batch `Experiment` shape ([`StreamReport::to_experiment`]), so
 //!   streaming and batch numbers are directly comparable; the
 //!   `stream_batch_parity` integration test pins single-shard streaming to
-//!   batch `evaluate()` exactly.
+//!   batch `evaluate()` bitwise — for all four systems, flow-input ones
+//!   included.
 //!
 //! # Quickstart
 //!
 //! Stream Kitsune over the Stratosphere scenario on four shards:
 //!
 //! ```
-//! use idsbench_core::StreamingDetector;
+//! use idsbench_core::EventDetector;
 //! use idsbench_datasets::{scenarios, ScenarioScale};
 //! use idsbench_kitsune::Kitsune;
 //! use idsbench_stream::{run_stream, ScenarioSource, StreamConfig};
@@ -37,7 +45,7 @@
 //! let (warmup, source) = ScenarioSource::new(&scenario, 42).split_warmup(0.3);
 //! let config = StreamConfig { shards: 4, ..Default::default() };
 //! let run = run_stream(
-//!     &|| Box::new(Kitsune::default()) as Box<dyn StreamingDetector>,
+//!     &|| Box::new(Kitsune::default()) as Box<dyn EventDetector>,
 //!     &warmup,
 //!     source,
 //!     &config,
@@ -61,6 +69,6 @@ pub mod report;
 pub mod source;
 
 pub use executor::{run_stream, StreamConfig, StreamRun, ThresholdMode};
-pub use metrics::{ScoredPacket, Throughput, WindowMetrics};
+pub use metrics::{LatencyHistogram, OnlineStats, ScoredEvent, Throughput, WindowMetrics};
 pub use report::{ShardStats, StreamReport};
 pub use source::{BoundedSource, PacketSource, PcapLabeler, PcapSource, ScenarioSource, VecSource};

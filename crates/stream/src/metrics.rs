@@ -1,25 +1,42 @@
 //! Live stream metrics: windowed detection quality and latency/throughput
 //! accounting, merged across shards.
 //!
-//! Each shard records one lightweight [`ScoredPacket`] per evaluation packet
-//! while it runs; at finalisation the executor merges the per-shard streams,
-//! resolves the alert threshold, and folds the records into overall and
-//! per-window confusion metrics. Latency percentiles are exact (computed
-//! over all recorded per-packet scoring times, not a sketch).
+//! Two recording modes exist, matching the executor's
+//! [`ThresholdMode`](crate::executor::ThresholdMode):
+//!
+//! * **Replay mode** (calibrated threshold): each shard records one
+//!   lightweight [`ScoredEvent`] per scored event; at finalisation the
+//!   executor merges the per-shard streams, resolves the threshold, and
+//!   folds the records into overall and per-window confusion metrics.
+//!   Latency percentiles are exact.
+//! * **Zero-buffer mode** (fixed threshold): decisions are final the moment
+//!   an event is scored, so each shard folds them straight into an
+//!   [`OnlineStats`] — confusion counts, per-window counts, per-family
+//!   counts, and a logarithmic [`LatencyHistogram`] — and no per-event
+//!   record is ever stored. Memory stays O(windows + families), not
+//!   O(events); percentiles are approximate to within one histogram bucket
+//!   (≤ 12.5% relative error).
+
+use std::collections::BTreeMap;
 
 use idsbench_core::metrics::ConfusionMatrix;
 use idsbench_core::AttackKind;
 
-/// One scored evaluation packet, as recorded inside a shard.
+/// One scored evaluation event, as recorded inside a shard in replay mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ScoredPacket {
-    /// Arrival index in the merged input stream (assigned by the feeder).
+pub struct ScoredEvent {
+    /// Arrival index of the packet that triggered this event (assigned by
+    /// the feeder); `u64::MAX` for end-of-stream flush evictions.
     pub seq: u64,
+    /// Orders multiple events triggered by one packet: `0` for the packet
+    /// event itself, `1..` for the flow evictions it caused (and the flush
+    /// index at end of stream).
+    pub sub: u32,
     /// Tumbling window index (`ts / window`).
     pub window: u64,
     /// Anomaly score emitted by the shard's detector.
     pub score: f64,
-    /// Nanoseconds spent inside the detector for this packet.
+    /// Nanoseconds spent inside the detector for this event.
     pub latency_nanos: u64,
     /// Ground truth.
     pub label: bool,
@@ -34,9 +51,9 @@ pub struct WindowMetrics {
     pub index: u64,
     /// Window start on the traffic timeline, in seconds.
     pub start_secs: f64,
-    /// Evaluation packets in the window.
+    /// Scored events in the window.
     pub packets: usize,
-    /// Attack packets in the window.
+    /// Attack events in the window.
     pub attacks: usize,
     /// Alerts raised in the window.
     pub alerts: usize,
@@ -48,20 +65,10 @@ pub struct WindowMetrics {
     pub false_positive_rate: f64,
 }
 
-/// Folds scored packets into per-window metrics at a resolved threshold.
-/// Windows with no packets are omitted (sparse traffic timelines).
-pub fn window_metrics(
-    records: &[ScoredPacket],
+fn windows_from_parts(
+    by_window: BTreeMap<u64, (ConfusionMatrix, usize)>,
     window_secs: f64,
-    threshold: f64,
 ) -> Vec<WindowMetrics> {
-    let mut by_window: std::collections::BTreeMap<u64, (ConfusionMatrix, usize)> =
-        std::collections::BTreeMap::new();
-    for r in records {
-        let (cm, packets) = by_window.entry(r.window).or_default();
-        cm.record(r.score >= threshold, r.label);
-        *packets += 1;
-    }
     by_window
         .into_iter()
         .map(|(index, (cm, packets))| WindowMetrics {
@@ -77,12 +84,36 @@ pub fn window_metrics(
         .collect()
 }
 
+fn families_from_parts(
+    per_family: BTreeMap<&'static str, (usize, usize)>,
+) -> Vec<(String, f64, usize)> {
+    per_family
+        .into_iter()
+        .map(|(name, (hit, total))| (name.to_string(), hit as f64 / total.max(1) as f64, total))
+        .collect()
+}
+
+/// Folds scored events into per-window metrics at a resolved threshold.
+/// Windows with no events are omitted (sparse traffic timelines).
+pub fn window_metrics(
+    records: &[ScoredEvent],
+    window_secs: f64,
+    threshold: f64,
+) -> Vec<WindowMetrics> {
+    let mut by_window: BTreeMap<u64, (ConfusionMatrix, usize)> = BTreeMap::new();
+    for r in records {
+        let (cm, packets) = by_window.entry(r.window).or_default();
+        cm.record(r.score >= threshold, r.label);
+        *packets += 1;
+    }
+    windows_from_parts(by_window, window_secs)
+}
+
 /// Per-family recall at a resolved threshold:
-/// `(family name, recall, packets of that family)`, sorted by family name —
+/// `(family name, recall, events of that family)`, sorted by family name —
 /// the same shape the batch runner reports.
-pub fn family_recall(records: &[ScoredPacket], threshold: f64) -> Vec<(String, f64, usize)> {
-    let mut per_family: std::collections::BTreeMap<&'static str, (usize, usize)> =
-        std::collections::BTreeMap::new();
+pub fn family_recall(records: &[ScoredEvent], threshold: f64) -> Vec<(String, f64, usize)> {
+    let mut per_family: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
     for r in records {
         if let Some(kind) = r.kind {
             let entry = per_family.entry(kind.name()).or_default();
@@ -92,13 +123,181 @@ pub fn family_recall(records: &[ScoredPacket], threshold: f64) -> Vec<(String, f
             }
         }
     }
-    per_family
-        .into_iter()
-        .map(|(name, (hit, total))| (name.to_string(), hit as f64 / total.max(1) as f64, total))
-        .collect()
+    families_from_parts(per_family)
 }
 
-/// Exact percentile over per-packet scoring latencies (nanoseconds).
+/// Pure online aggregation of scored events against a fixed threshold —
+/// the zero-buffer recording mode. Everything the final [`StreamReport`]
+/// (except AUC, which fundamentally needs the score set) is folded in as
+/// events arrive; nothing is replayed afterwards.
+///
+/// [`StreamReport`]: crate::report::StreamReport
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    /// Overall confusion counts at the fixed threshold.
+    pub cm: ConfusionMatrix,
+    /// Per-window confusion counts and event totals.
+    pub windows: BTreeMap<u64, (ConfusionMatrix, usize)>,
+    /// Per-family `(alerts, total)` counts.
+    pub families: BTreeMap<&'static str, (usize, usize)>,
+    /// Scoring-latency histogram (log-bucketed).
+    pub latency: LatencyHistogram,
+    /// Scored events folded in.
+    pub events: usize,
+    /// Attack events folded in.
+    pub attacks: usize,
+}
+
+impl OnlineStats {
+    /// Folds one scored event in.
+    pub fn record(
+        &mut self,
+        window: u64,
+        score: f64,
+        threshold: f64,
+        label: bool,
+        kind: Option<AttackKind>,
+        latency_nanos: u64,
+    ) {
+        let alert = score >= threshold;
+        self.cm.record(alert, label);
+        let (cm, packets) = self.windows.entry(window).or_default();
+        cm.record(alert, label);
+        *packets += 1;
+        if let Some(kind) = kind {
+            let entry = self.families.entry(kind.name()).or_default();
+            entry.1 += 1;
+            if alert {
+                entry.0 += 1;
+            }
+        }
+        self.latency.record(latency_nanos);
+        self.events += 1;
+        self.attacks += usize::from(label);
+    }
+
+    /// Merges another shard's aggregation into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        self.cm.merge(&other.cm);
+        for (&window, &(cm, packets)) in &other.windows {
+            let entry = self.windows.entry(window).or_default();
+            entry.0.merge(&cm);
+            entry.1 += packets;
+        }
+        for (&family, &(hit, total)) in &other.families {
+            let entry = self.families.entry(family).or_default();
+            entry.0 += hit;
+            entry.1 += total;
+        }
+        self.latency.merge(&other.latency);
+        self.events += other.events;
+        self.attacks += other.attacks;
+    }
+
+    /// Renders the per-window metrics (same shape as replay mode).
+    pub fn window_metrics(&self, window_secs: f64) -> Vec<WindowMetrics> {
+        windows_from_parts(self.windows.clone(), window_secs)
+    }
+
+    /// Renders the per-family recall (same shape as replay mode).
+    pub fn family_recall(&self) -> Vec<(String, f64, usize)> {
+        families_from_parts(self.families.clone())
+    }
+}
+
+/// Number of linear sub-buckets per power of two in [`LatencyHistogram`].
+const SUBBUCKETS: usize = 8;
+/// Bucket count: 61 octaves above the exact small-value range, 8 sub-buckets
+/// each, plus the 8 exact buckets for 0–7 ns.
+const BUCKETS: usize = SUBBUCKETS + 61 * SUBBUCKETS;
+
+/// A fixed-size logarithmic histogram of per-event scoring latencies.
+///
+/// Values bucket by their top three significand bits (8 linear sub-buckets
+/// per power of two), so any percentile read back is within 12.5% of the
+/// true value — plenty for deployment-mode monitoring, with no per-event
+/// allocation.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: Box::new([0; BUCKETS]), count: 0 }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram").field("count", &self.count).finish_non_exhaustive()
+    }
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUBBUCKETS as u64 {
+        return nanos as usize;
+    }
+    let log = 63 - nanos.leading_zeros() as usize; // floor(log2), >= 3 here
+    let sub = ((nanos >> (log - 3)) & 0x7) as usize;
+    SUBBUCKETS + (log - 3) * SUBBUCKETS + sub
+}
+
+fn bucket_value(bucket: usize) -> u64 {
+    if bucket < SUBBUCKETS {
+        return bucket as u64;
+    }
+    let log = (bucket - SUBBUCKETS) / SUBBUCKETS + 3;
+    let sub = ((bucket - SUBBUCKETS) % SUBBUCKETS) as u64;
+    // Midpoint of the bucket's value range.
+    ((8 + sub) << (log - 3)) + (1u64 << (log - 3)) / 2
+}
+
+impl LatencyHistogram {
+    /// Records one latency value.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[bucket_of(nanos)] += 1;
+        self.count += 1;
+    }
+
+    /// Values recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`) in nanoseconds; 0 when
+    /// empty. Accurate to within one bucket (≤ 12.5% relative error).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                return bucket_value(bucket);
+            }
+        }
+        bucket_value(BUCKETS - 1)
+    }
+}
+
+/// Exact percentile over per-event scoring latencies (nanoseconds).
 /// `q` in `[0, 1]`; returns 0 for an empty set.
 pub fn latency_percentile(sorted_nanos: &[u64], q: f64) -> u64 {
     if sorted_nanos.is_empty() {
@@ -111,19 +310,21 @@ pub fn latency_percentile(sorted_nanos: &[u64], q: f64) -> u64 {
 /// Wall-clock throughput and latency summary of one streaming run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Throughput {
-    /// Wall-clock seconds from first fed packet to last scored packet
-    /// (warmup excluded).
+    /// Wall-clock seconds from first fed packet to last scored event
+    /// (training excluded).
     pub wall_seconds: f64,
-    /// Evaluation packets scored per wall-clock second.
+    /// Evaluation packets fed per wall-clock second.
     pub packets_per_sec: f64,
-    /// Median per-packet scoring latency, microseconds.
+    /// Median per-event scoring latency, microseconds.
     pub p50_latency_us: f64,
-    /// 99th-percentile per-packet scoring latency, microseconds.
+    /// 99th-percentile per-event scoring latency, microseconds.
     pub p99_latency_us: f64,
-    /// Summed busy time inside detectors across all shards, seconds.
-    pub detector_seconds: f64,
-    /// Slowest shard's warmup (training) time, seconds.
-    pub warmup_seconds: f64,
+    /// Summed busy time inside `on_event` across all shards, seconds — the
+    /// recurring per-event cost of the detector.
+    pub score_seconds: f64,
+    /// One-time training cost: shared train-view assembly plus the slowest
+    /// shard's `fit`, seconds.
+    pub train_seconds: f64,
 }
 
 impl Throughput {
@@ -132,8 +333,8 @@ impl Throughput {
         packets: usize,
         wall_seconds: f64,
         mut latencies_nanos: Vec<u64>,
-        detector_seconds: f64,
-        warmup_seconds: f64,
+        score_seconds: f64,
+        train_seconds: f64,
     ) -> Self {
         latencies_nanos.sort_unstable();
         Throughput {
@@ -141,8 +342,27 @@ impl Throughput {
             packets_per_sec: if wall_seconds > 0.0 { packets as f64 / wall_seconds } else { 0.0 },
             p50_latency_us: latency_percentile(&latencies_nanos, 0.50) as f64 / 1_000.0,
             p99_latency_us: latency_percentile(&latencies_nanos, 0.99) as f64 / 1_000.0,
-            detector_seconds,
-            warmup_seconds,
+            score_seconds,
+            train_seconds,
+        }
+    }
+
+    /// Builds the summary from a zero-buffer histogram instead of a full
+    /// latency set (percentiles approximate, see [`LatencyHistogram`]).
+    pub fn from_histogram(
+        packets: usize,
+        wall_seconds: f64,
+        latency: &LatencyHistogram,
+        score_seconds: f64,
+        train_seconds: f64,
+    ) -> Self {
+        Throughput {
+            wall_seconds,
+            packets_per_sec: if wall_seconds > 0.0 { packets as f64 / wall_seconds } else { 0.0 },
+            p50_latency_us: latency.percentile(0.50) as f64 / 1_000.0,
+            p99_latency_us: latency.percentile(0.99) as f64 / 1_000.0,
+            score_seconds,
+            train_seconds,
         }
     }
 }
@@ -151,8 +371,8 @@ impl Throughput {
 mod tests {
     use super::*;
 
-    fn record(seq: u64, window: u64, score: f64, label: bool) -> ScoredPacket {
-        ScoredPacket { seq, window, score, latency_nanos: 100, label, kind: None }
+    fn record(seq: u64, window: u64, score: f64, label: bool) -> ScoredEvent {
+        ScoredEvent { seq, sub: 0, window, score, latency_nanos: 100, label, kind: None }
     }
 
     #[test]
@@ -184,6 +404,42 @@ mod tests {
     }
 
     #[test]
+    fn online_stats_match_replayed_records() {
+        let records = vec![
+            record(0, 0, 0.9, true),
+            record(1, 0, 0.1, false),
+            record(2, 1, 0.8, false),
+            record(3, 3, 0.2, true),
+        ];
+        let threshold = 0.5;
+        let mut online = OnlineStats::default();
+        for r in &records {
+            online.record(r.window, r.score, threshold, r.label, r.kind, r.latency_nanos);
+        }
+        assert_eq!(online.events, 4);
+        assert_eq!(online.attacks, 2);
+        assert_eq!(online.window_metrics(10.0), window_metrics(&records, 10.0, threshold));
+        assert_eq!(online.family_recall(), family_recall(&records, threshold));
+    }
+
+    #[test]
+    fn online_stats_merge_is_additive() {
+        let threshold = 0.5;
+        let mut a = OnlineStats::default();
+        let mut b = OnlineStats::default();
+        let mut whole = OnlineStats::default();
+        for (i, r) in (0..10).map(|i| record(i, i / 3, i as f64 / 10.0, i % 2 == 0)).enumerate() {
+            let half = if i % 2 == 0 { &mut a } else { &mut b };
+            half.record(r.window, r.score, threshold, r.label, r.kind, r.latency_nanos);
+            whole.record(r.window, r.score, threshold, r.label, r.kind, r.latency_nanos);
+        }
+        a.merge(&b);
+        assert_eq!(a.events, whole.events);
+        assert_eq!(a.cm, whole.cm);
+        assert_eq!(a.window_metrics(10.0), whole.window_metrics(10.0));
+    }
+
+    #[test]
     fn percentiles_are_exact() {
         let sorted: Vec<u64> = (1..=100).collect();
         assert_eq!(latency_percentile(&sorted, 0.0), 1);
@@ -194,10 +450,43 @@ mod tests {
     }
 
     #[test]
+    fn histogram_percentiles_are_close() {
+        let mut hist = LatencyHistogram::default();
+        for n in 1..=10_000u64 {
+            hist.record(n);
+        }
+        assert_eq!(hist.len(), 10_000);
+        let p50 = hist.percentile(0.50) as f64;
+        let p99 = hist.percentile(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.13, "p50 ≈ {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.13, "p99 ≈ {p99}");
+        assert_eq!(LatencyHistogram::default().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        for n in 0..100u64 {
+            a.record(n);
+            b.record(n * 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn small_latencies_bucket_exactly() {
+        for n in 0..8u64 {
+            assert_eq!(bucket_value(bucket_of(n)), n);
+        }
+    }
+
+    #[test]
     fn throughput_divides_by_wall_time() {
         let t = Throughput::from_run(1000, 2.0, vec![1_000, 2_000, 3_000], 1.5, 0.25);
         assert_eq!(t.packets_per_sec, 500.0);
         assert_eq!(t.p50_latency_us, 2.0);
-        assert_eq!(t.warmup_seconds, 0.25);
+        assert_eq!(t.train_seconds, 0.25);
     }
 }

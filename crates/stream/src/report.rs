@@ -11,12 +11,15 @@ use crate::metrics::{Throughput, WindowMetrics};
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
-    /// Evaluation packets this shard scored.
+    /// Packet events routed to this shard.
     pub packets: usize,
+    /// Events this shard's detector scored (packets or flow evictions,
+    /// per the detector's input format).
+    pub items: usize,
     /// Distinct canonical flows this shard owned.
     pub flows: usize,
-    /// Busy seconds inside this shard's detector.
-    pub detector_seconds: f64,
+    /// Busy seconds inside this shard's `on_event` calls.
+    pub score_seconds: f64,
 }
 
 /// The merged outcome of one streaming run — the streaming counterpart of a
@@ -35,9 +38,12 @@ pub struct StreamReport {
     pub batch_size: usize,
     /// Packets in the shared warmup slice.
     pub warmup_packets: usize,
-    /// Evaluation packets scored.
+    /// Evaluation packets fed through the shards.
     pub eval_packets: usize,
-    /// Fraction of evaluation packets that are attacks.
+    /// Evaluation events scored — equals `eval_packets` for packet-format
+    /// detectors, the flow-eviction count for flow-format detectors.
+    pub eval_items: usize,
+    /// Fraction of scored evaluation events that are attacks.
     pub attack_share: f64,
     /// Resolved alert threshold.
     pub threshold: f64,
@@ -45,7 +51,9 @@ pub struct StreamReport {
     pub metrics: Metrics,
     /// Overall false-positive rate at the resolved threshold.
     pub false_positive_rate: f64,
-    /// Area under the ROC curve of the raw score stream.
+    /// Area under the ROC curve of the raw score stream. `NaN` in
+    /// zero-buffer mode (fixed threshold), where no scores are recorded to
+    /// rank.
     pub auc: f64,
     /// Per-attack-family recall, sorted by family name.
     pub family_recall: Vec<(String, f64, usize)>,
@@ -62,19 +70,21 @@ impl StreamReport {
     /// streaming and batch results of the same detector/dataset pair can sit
     /// in the same tables.
     ///
-    /// `detector_seconds` maps to the summed busy time across shards (the
-    /// batch field measures one detector's scoring call).
+    /// `score_seconds` maps to the summed busy time across shards and
+    /// `train_seconds` to the shared assembly plus the slowest shard's fit
+    /// (the batch fields measure one detector's calls).
     pub fn to_experiment(&self) -> Experiment {
         Experiment {
             detector: self.detector.clone(),
             dataset: self.source.clone(),
             metrics: self.metrics,
             threshold: self.threshold,
-            eval_items: self.eval_packets,
+            eval_items: self.eval_items,
             attack_share: self.attack_share,
             auc: self.auc,
             false_positive_rate: self.false_positive_rate,
-            detector_seconds: self.throughput.detector_seconds,
+            train_seconds: self.throughput.train_seconds,
+            score_seconds: self.throughput.score_seconds,
             family_recall: self.family_recall.clone(),
         }
     }
@@ -97,6 +107,8 @@ impl StreamReport {
         json_num(&mut out, "warmup_packets", self.warmup_packets as f64);
         out.push(',');
         json_num(&mut out, "eval_packets", self.eval_packets as f64);
+        out.push(',');
+        json_num(&mut out, "eval_items", self.eval_items as f64);
         out.push(',');
         json_num(&mut out, "attack_share", self.attack_share);
         out.push(',');
@@ -122,9 +134,9 @@ impl StreamReport {
         out.push(',');
         json_num(&mut out, "p99_latency_us", self.throughput.p99_latency_us);
         out.push(',');
-        json_num(&mut out, "detector_seconds", self.throughput.detector_seconds);
+        json_num(&mut out, "score_seconds", self.throughput.score_seconds);
         out.push(',');
-        json_num(&mut out, "warmup_seconds", self.throughput.warmup_seconds);
+        json_num(&mut out, "train_seconds", self.throughput.train_seconds);
         out.push(',');
         out.push_str("\"family_recall\":[");
         for (i, (family, recall, packets)) in self.family_recall.iter().enumerate() {
@@ -170,9 +182,11 @@ impl StreamReport {
             out.push(',');
             json_num(&mut out, "packets", s.packets as f64);
             out.push(',');
+            json_num(&mut out, "items", s.items as f64);
+            out.push(',');
             json_num(&mut out, "flows", s.flows as f64);
             out.push(',');
-            json_num(&mut out, "detector_seconds", s.detector_seconds);
+            json_num(&mut out, "score_seconds", s.score_seconds);
             out.push('}');
         }
         out.push_str("]}");
@@ -227,6 +241,7 @@ mod tests {
             batch_size: 32,
             warmup_packets: 10,
             eval_packets: 90,
+            eval_items: 90,
             attack_share: 0.1,
             threshold: f64::INFINITY,
             metrics: Metrics { accuracy: 0.9, precision: 1.0, recall: 0.5, f1: 2.0 / 3.0 },
@@ -248,12 +263,12 @@ mod tests {
                 packets_per_sec: 180.0,
                 p50_latency_us: 2.0,
                 p99_latency_us: 9.0,
-                detector_seconds: 0.4,
-                warmup_seconds: 0.1,
+                score_seconds: 0.4,
+                train_seconds: 0.1,
             },
             shard_stats: vec![
-                ShardStats { shard: 0, packets: 50, flows: 3, detector_seconds: 0.2 },
-                ShardStats { shard: 1, packets: 40, flows: 2, detector_seconds: 0.2 },
+                ShardStats { shard: 0, packets: 50, items: 50, flows: 3, score_seconds: 0.2 },
+                ShardStats { shard: 1, packets: 40, items: 40, flows: 2, score_seconds: 0.2 },
             ],
         }
     }
@@ -280,6 +295,7 @@ mod tests {
         assert_eq!(e.dataset, r.source);
         assert_eq!(e.metrics, r.metrics);
         assert_eq!(e.eval_items, 90);
-        assert_eq!(e.detector_seconds, 0.4);
+        assert_eq!(e.score_seconds, 0.4);
+        assert_eq!(e.train_seconds, 0.1);
     }
 }

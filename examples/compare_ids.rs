@@ -7,7 +7,7 @@
 
 use idsbench::core::report;
 use idsbench::core::runner::{run_grid, DetectorFactory, EvalConfig};
-use idsbench::core::{CoreError, Dataset, Detector};
+use idsbench::core::{CoreError, Dataset, EventDetector};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::dnn::Dnn;
 use idsbench::helad::Helad;
@@ -19,10 +19,10 @@ fn main() -> Result<(), CoreError> {
     let datasets: Vec<&dyn Dataset> = scenarios.iter().map(|s| s as &dyn Dataset).collect();
 
     let detectors: Vec<(String, DetectorFactory)> = vec![
-        ("Kitsune".into(), Box::new(|| Box::new(Kitsune::default()) as Box<dyn Detector>)),
-        ("HELAD".into(), Box::new(|| Box::new(Helad::default()) as Box<dyn Detector>)),
-        ("DNN".into(), Box::new(|| Box::new(Dnn::default()) as Box<dyn Detector>)),
-        ("Slips".into(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
+        ("Kitsune".into(), Box::new(|| Box::new(Kitsune::default()) as Box<dyn EventDetector>)),
+        ("HELAD".into(), Box::new(|| Box::new(Helad::default()) as Box<dyn EventDetector>)),
+        ("DNN".into(), Box::new(|| Box::new(Dnn::default()) as Box<dyn EventDetector>)),
+        ("Slips".into(), Box::new(|| Box::new(Slips::default()) as Box<dyn EventDetector>)),
     ];
 
     eprintln!(

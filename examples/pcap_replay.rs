@@ -10,7 +10,8 @@
 //! ```
 
 use idsbench::core::preprocess::Pipeline;
-use idsbench::core::{Dataset, Detector, LabeledPacket};
+use idsbench::core::runner::replay;
+use idsbench::core::{Dataset, LabeledPacket};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::helad::Helad;
 use idsbench::net::pcap::{PcapReader, PcapWriter};
@@ -43,13 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("replayed {} packets from the capture", replayed.len());
 
     // The replayed stream is byte-identical to the generated one, so the
-    // evaluation below matches an in-memory run exactly.
+    // event replay below matches an in-memory run exactly: parse once,
+    // fit on the training slice, score each packet event.
     let pipeline = Pipeline::new(Default::default())?;
-    let input = pipeline.prepare("mirai-replay", replayed)?;
+    let input = pipeline.prepare_events("mirai-replay", replayed)?;
     let mut detector = Helad::default();
-    let scores = detector.score(&input);
-    let labels = input.eval_labels(detector.input_format());
-    let auc = idsbench::core::metrics::auc(&idsbench::core::metrics::roc_curve(&scores, &labels));
-    println!("HELAD on the replay: {} scores, AUC {:.3}", scores.len(), auc);
+    let scored = replay(&mut detector, &input)?;
+    let auc = idsbench::core::metrics::auc(&idsbench::core::metrics::roc_curve(
+        &scored.scores,
+        &scored.labels,
+    ));
+    println!("HELAD on the replay: {} scores, AUC {:.3}", scored.scores.len(), auc);
     Ok(())
 }

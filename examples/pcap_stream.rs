@@ -10,7 +10,7 @@
 //! cargo run --release --example pcap_stream
 //! ```
 
-use idsbench::core::{Label, StreamingDetector};
+use idsbench::core::{EventDetector, Label};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::kitsune::Kitsune;
 use idsbench::net::pcap::PcapWriter;
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = BoundedSource::spawn(source, 512);
 
     let run = run_stream(
-        &|| Box::new(Kitsune::default()) as Box<dyn StreamingDetector>,
+        &|| Box::new(Kitsune::default()) as Box<dyn EventDetector>,
         &warmup,
         source,
         &StreamConfig {

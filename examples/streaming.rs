@@ -8,7 +8,7 @@
 //! ```
 
 use idsbench::core::runner::{evaluate, EvalConfig};
-use idsbench::core::{CoreError, StreamingDetector};
+use idsbench::core::{CoreError, EventDetector};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::kitsune::Kitsune;
 use idsbench::stream::{run_stream, ScenarioSource, StreamConfig};
@@ -26,7 +26,7 @@ fn main() -> Result<(), CoreError> {
     //    hashed by flow key, scored one at a time with backpressure.
     let (warmup, source) = ScenarioSource::new(&dataset, seed).split_warmup(0.3);
     let run = run_stream(
-        &|| Box::new(Kitsune::default()) as Box<dyn StreamingDetector>,
+        &|| Box::new(Kitsune::default()) as Box<dyn EventDetector>,
         &warmup,
         source,
         &StreamConfig { shards: 2, window_secs: 60.0, ..Default::default() },
@@ -37,8 +37,8 @@ fn main() -> Result<(), CoreError> {
         run.report.metrics.f1, run.report.eval_packets, run.report.shards
     );
     println!(
-        "          {:.0} packets/sec, latency p50 {:.1} µs / p99 {:.1} µs, warmup {:.2} s",
-        t.packets_per_sec, t.p50_latency_us, t.p99_latency_us, t.warmup_seconds
+        "          {:.0} packets/sec, latency p50 {:.1} µs / p99 {:.1} µs, training {:.2} s",
+        t.packets_per_sec, t.p50_latency_us, t.p99_latency_us, t.train_seconds
     );
 
     // 3. What batch evaluation cannot show: how detection quality moves
@@ -55,7 +55,7 @@ fn main() -> Result<(), CoreError> {
     for s in &run.report.shard_stats {
         println!(
             "\n  shard {}: {} packets across {} flows ({:.2} s busy)",
-            s.shard, s.packets, s.flows, s.detector_seconds
+            s.shard, s.packets, s.flows, s.score_seconds
         );
     }
     Ok(())

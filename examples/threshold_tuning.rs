@@ -9,8 +9,9 @@
 
 use idsbench::core::metrics::{auc, roc_curve, ConfusionMatrix};
 use idsbench::core::preprocess::Pipeline;
+use idsbench::core::runner::replay;
 use idsbench::core::threshold::ThresholdPolicy;
-use idsbench::core::{CoreError, Dataset, Detector};
+use idsbench::core::{CoreError, Dataset};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::kitsune::Kitsune;
 
@@ -18,11 +19,11 @@ fn main() -> Result<(), CoreError> {
     let dataset = scenarios::cicids2017(ScenarioScale::Small);
     let packets = dataset.generate(42);
     let pipeline = Pipeline::new(Default::default())?;
-    let input = pipeline.prepare(&dataset.info().name, packets)?;
+    let input = pipeline.prepare_events(&dataset.info().name, packets)?;
 
     let mut detector = Kitsune::default();
-    let scores = detector.score(&input);
-    let labels = input.eval_labels(detector.input_format());
+    let scored = replay(&mut detector, &input)?;
+    let (scores, labels) = (scored.scores, scored.labels);
     println!(
         "Kitsune on {}: {} eval packets, AUC {:.3}\n",
         dataset.info().name,

@@ -3,7 +3,7 @@
 
 use idsbench::core::report;
 use idsbench::core::runner::{run_grid, DetectorFactory, EvalConfig};
-use idsbench::core::{registry, Dataset, Detector};
+use idsbench::core::{registry, Dataset, EventDetector};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::dnn::baselines::DecisionTree;
 use idsbench::slips::Slips;
@@ -14,10 +14,10 @@ fn grid_produces_detector_major_table() {
     let b = scenarios::stratosphere_iot(ScenarioScale::Tiny);
     let datasets: Vec<&dyn Dataset> = vec![&a, &b];
     let detectors: Vec<(String, DetectorFactory)> = vec![
-        ("Slips".into(), Box::new(|| Box::new(Slips::default()) as Box<dyn Detector>)),
+        ("Slips".into(), Box::new(|| Box::new(Slips::default()) as Box<dyn EventDetector>)),
         (
             "DecisionTree".into(),
-            Box::new(|| Box::new(DecisionTree::default()) as Box<dyn Detector>),
+            Box::new(|| Box::new(DecisionTree::default()) as Box<dyn EventDetector>),
         ),
     ];
     let experiments = run_grid(&detectors, &datasets, &EvalConfig::default()).unwrap();

@@ -1,0 +1,88 @@
+//! Pins the Event API's headline guarantee: **exactly one
+//! `ParsedPacket::parse` per packet across the whole pipeline** — the
+//! feeder routes, the flow table assembles, and every detector extracts
+//! features from the same parsed view, with no re-parse anywhere.
+//!
+//! The check reads the process-wide parse counter
+//! (`ParsedPacket::parse_calls`), so everything lives in one `#[test]`
+//! function: a second concurrent test in this binary would race the
+//! counter. (Other test binaries are separate processes and cannot
+//! interfere.)
+
+use idsbench::core::preprocess::Pipeline;
+use idsbench::core::runner::{replay, EvalConfig};
+use idsbench::core::{Dataset, EventDetector};
+use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::kitsune::Kitsune;
+use idsbench::net::ParsedPacket;
+use idsbench::slips::Slips;
+use idsbench::stream::{run_stream, ScenarioSource, StreamConfig};
+
+#[test]
+fn exactly_one_parse_per_packet_across_the_pipeline() {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let config = EvalConfig::default();
+
+    // Dataset generation synthesizes frames; it must not decode them.
+    let before = ParsedPacket::parse_calls();
+    let packets = scenario.generate(config.dataset_seed);
+    let total = packets.len() as u64;
+    assert!(total > 0);
+    assert_eq!(
+        ParsedPacket::parse_calls() - before,
+        0,
+        "generators must build packets without parsing them"
+    );
+
+    // Batch preprocessing parses each packet exactly once...
+    let pipeline = Pipeline::new(config.pipeline).expect("valid default pipeline");
+    let before = ParsedPacket::parse_calls();
+    let input = pipeline.prepare_events("strat", packets).expect("preprocess");
+    assert_eq!(
+        ParsedPacket::parse_calls() - before,
+        total,
+        "prepare_events must parse each packet exactly once"
+    );
+
+    // ...and no detector re-parses during replay — neither the flow-event
+    // path (Slips: flow table + eviction events) nor the packet path
+    // (Kitsune: AfterImage features).
+    let before = ParsedPacket::parse_calls();
+    replay(&mut Slips::default(), &input).expect("slips replay");
+    assert_eq!(
+        ParsedPacket::parse_calls() - before,
+        0,
+        "flow-event replay must reuse the parsed views"
+    );
+    let before = ParsedPacket::parse_calls();
+    replay(&mut Kitsune::default(), &input).expect("kitsune replay");
+    assert_eq!(
+        ParsedPacket::parse_calls() - before,
+        0,
+        "packet-event replay must reuse the parsed views"
+    );
+
+    // The sharded streaming executor holds the same invariant: the warmup
+    // slice is parsed once (shared across shards, not per shard) and each
+    // fed packet once in the feeder, regardless of shard count.
+    for (factory, shards) in [
+        (
+            &(|| Box::new(Kitsune::default()) as Box<dyn EventDetector>)
+                as &(dyn Fn() -> Box<dyn EventDetector> + Sync),
+            2usize,
+        ),
+        (&(|| Box::new(Slips::default()) as Box<dyn EventDetector>), 1usize),
+    ] {
+        let (warmup, source) =
+            ScenarioSource::new(&scenario, config.dataset_seed).split_warmup(0.3);
+        let expected = (warmup.len() + source.len()) as u64;
+        let before = ParsedPacket::parse_calls();
+        run_stream(factory, &warmup, source, &StreamConfig { shards, ..Default::default() })
+            .expect("streaming run");
+        assert_eq!(
+            ParsedPacket::parse_calls() - before,
+            expected,
+            "streaming must parse warmup + eval packets exactly once ({shards} shards)"
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //! evaluating from a replayed capture equals evaluating in memory.
 
 use idsbench::core::preprocess::Pipeline;
-use idsbench::core::{Dataset, Detector, LabeledPacket};
+use idsbench::core::runner::replay;
+use idsbench::core::{Dataset, LabeledPacket};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::net::pcap;
 use idsbench::slips::Slips;
@@ -25,21 +26,21 @@ fn replayed_capture_yields_identical_scores() {
 
     // In-memory path.
     let pipeline = Pipeline::new(Default::default()).unwrap();
-    let input_memory = pipeline.prepare("mem", labeled.clone()).unwrap();
-    let scores_memory = Slips::default().score(&input_memory);
+    let input_memory = pipeline.prepare_events("mem", labeled.clone()).unwrap();
+    let scores_memory = replay(&mut Slips::default(), &input_memory).unwrap().scores;
 
     // Pcap replay path.
     let packets: Vec<_> = labeled.iter().map(|lp| lp.packet.clone()).collect();
     let labels: Vec<_> = labeled.iter().map(|lp| lp.label).collect();
     let image = pcap::write_all(&packets).unwrap();
-    let replayed: Vec<LabeledPacket> = pcap::read_all(&image)
+    let recovered: Vec<LabeledPacket> = pcap::read_all(&image)
         .unwrap()
         .into_iter()
         .zip(labels)
         .map(|(packet, label)| LabeledPacket::new(packet, label))
         .collect();
-    let input_replay = pipeline.prepare("replay", replayed).unwrap();
-    let scores_replay = Slips::default().score(&input_replay);
+    let input_replay = pipeline.prepare_events("replay", recovered).unwrap();
+    let scores_replay = replay(&mut Slips::default(), &input_replay).unwrap().scores;
 
     assert_eq!(scores_memory, scores_replay);
 }

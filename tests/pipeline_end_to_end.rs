@@ -3,14 +3,14 @@
 //! hold across crate boundaries.
 
 use idsbench::core::runner::{evaluate, EvalConfig};
-use idsbench::core::{Dataset, Detector};
+use idsbench::core::{Dataset, EventDetector};
 use idsbench::datasets::{scenarios, ScenarioScale};
 use idsbench::dnn::Dnn;
 use idsbench::helad::Helad;
 use idsbench::kitsune::Kitsune;
 use idsbench::slips::Slips;
 
-fn all_detectors() -> Vec<Box<dyn Detector>> {
+fn all_detectors() -> Vec<Box<dyn EventDetector>> {
     vec![
         Box::new(Kitsune::default()),
         Box::new(Helad::default()),
@@ -50,7 +50,7 @@ fn every_detector_runs_on_every_scenario() {
 fn evaluation_is_deterministic() {
     let scenario = scenarios::bot_iot(ScenarioScale::Tiny);
     let config = EvalConfig { dataset_seed: 9, ..Default::default() };
-    let run = |mut d: Box<dyn Detector>| evaluate(d.as_mut(), &scenario, &config).unwrap();
+    let run = |mut d: Box<dyn EventDetector>| evaluate(d.as_mut(), &scenario, &config).unwrap();
     for factory in [0usize, 1, 2, 3] {
         let a = run(all_detectors().remove(factory));
         let b = run(all_detectors().remove(factory));

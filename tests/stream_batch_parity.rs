@@ -1,60 +1,106 @@
 //! Streaming ↔ batch parity: the invariant that makes streaming results
 //! citable next to batch results.
 //!
-//! A single-shard streaming run of Kitsune must reproduce the batch
-//! `evaluate()` pipeline *exactly* — same per-packet scores (bitwise; both
-//! paths share one `fit`/`score_packet` code path), hence the same
-//! calibrated threshold, alert decisions, and metrics. Multi-shard runs
-//! repartition detector state, so their scores may legitimately differ —
+//! Batch `evaluate()` and the sharded streaming executor are two drivers of
+//! the same `EventDetector` contract over the same parse-once event stream,
+//! so a single-shard streaming run must reproduce the batch pipeline
+//! *exactly* — same per-event scores (bitwise), hence the same calibrated
+//! threshold, alert decisions, and metrics. That now includes the
+//! flow-event systems (Slips, DNN): their flow-eviction events fire at the
+//! same flow-table moments in both drivers. Multi-shard runs repartition
+//! detector and flow-table state, so their scores may legitimately differ —
 //! but flow→shard routing must be deterministic and keep every flow whole
 //! on one shard, so decisions are reproducible and per-flow consistent.
 
 use std::collections::HashSet;
 
 use idsbench::core::preprocess::Pipeline;
-use idsbench::core::runner::{evaluate, EvalConfig};
-use idsbench::core::{Dataset, Detector, StreamingDetector};
+use idsbench::core::runner::{evaluate, replay, EvalConfig};
+use idsbench::core::{Dataset, EventDetector};
 use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::dnn::Dnn;
 use idsbench::flow::FlowKey;
+use idsbench::helad::Helad;
 use idsbench::kitsune::Kitsune;
 use idsbench::net::ParsedPacket;
+use idsbench::slips::Slips;
 use idsbench::stream::{run_stream, PacketSource, ScenarioSource, StreamConfig, StreamRun};
 
-fn kitsune() -> Box<dyn StreamingDetector> {
+fn kitsune() -> Box<dyn EventDetector> {
     Box::new(Kitsune::default())
 }
 
-fn stream_kitsune(seed: u64, shards: usize) -> StreamRun {
+/// A shareable detector factory, as `run_stream` consumes them.
+type Factory = Box<dyn Fn() -> Box<dyn EventDetector> + Sync>;
+
+/// The batch driver's raw score stream for this detector on Stratosphere
+/// Tiny under the default config.
+fn batch_scores(detector: &mut dyn EventDetector) -> Vec<f64> {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let config = EvalConfig::default();
+    let pipeline = Pipeline::new(config.pipeline).expect("valid default pipeline");
+    let input = pipeline
+        .prepare_events(&scenario.info().name, scenario.generate(config.dataset_seed))
+        .expect("preprocess");
+    replay(detector, &input).expect("batch replay").scores
+}
+
+/// A streaming run over the identical warmup/eval split.
+fn stream_run(
+    factory: &(dyn Fn() -> Box<dyn EventDetector> + Sync),
+    seed: u64,
+    shards: usize,
+) -> StreamRun {
     let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
     let (warmup, source) = ScenarioSource::new(&scenario, seed).split_warmup(0.3);
-    run_stream(&kitsune, &warmup, source, &StreamConfig { shards, ..Default::default() })
+    run_stream(factory, &warmup, source, &StreamConfig { shards, ..Default::default() })
         .expect("streaming run")
 }
 
-#[test]
-fn single_shard_scores_match_batch_bitwise() {
-    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
-    let config = EvalConfig::default();
-
-    // The batch pipeline's own preprocessing, then a direct score call.
-    let pipeline = Pipeline::new(config.pipeline).expect("valid default pipeline");
-    let input = pipeline
-        .prepare(&scenario.info().name, scenario.generate(config.dataset_seed))
-        .expect("preprocess");
-    let batch_scores = Detector::score(&mut Kitsune::default(), &input);
-
-    let run = stream_kitsune(config.dataset_seed, 1);
-    assert_eq!(run.scores.len(), batch_scores.len());
-    for (i, (stream, batch)) in run.scores.iter().zip(&batch_scores).enumerate() {
+fn assert_bitwise(name: &str, stream: &[f64], batch: &[f64]) {
+    assert_eq!(stream.len(), batch.len(), "{name}: event counts diverged");
+    for (i, (s, b)) in stream.iter().zip(batch).enumerate() {
         assert_eq!(
-            stream.to_bits(),
-            batch.to_bits(),
-            "score {i} diverged: streaming {stream} vs batch {batch}"
+            s.to_bits(),
+            b.to_bits(),
+            "{name} score {i} diverged: streaming {s} vs batch {b}"
         );
     }
-    // Identical scores + identical calibration rule ⇒ identical decisions.
-    let labels: Vec<bool> = input.eval_packets.iter().map(|p| p.is_attack()).collect();
-    assert_eq!(run.labels, labels);
+}
+
+/// The acceptance invariant, for every evaluated system: packet-event
+/// detectors and flow-event detectors alike reproduce batch evaluation
+/// bitwise through a single-shard stream.
+#[test]
+fn single_shard_scores_match_batch_bitwise_for_all_four_systems() {
+    let factories: Vec<(&str, Factory)> = vec![
+        ("Kitsune", Box::new(|| Box::new(Kitsune::default()) as Box<dyn EventDetector>)),
+        ("HELAD", Box::new(|| Box::new(Helad::default()) as Box<dyn EventDetector>)),
+        ("DNN", Box::new(|| Box::new(Dnn::default()) as Box<dyn EventDetector>)),
+        ("Slips", Box::new(|| Box::new(Slips::default()) as Box<dyn EventDetector>)),
+    ];
+    for (name, factory) in &factories {
+        let batch = batch_scores(factory().as_mut());
+        assert!(!batch.is_empty(), "{name}: batch produced no scores");
+        let run = stream_run(factory.as_ref(), EvalConfig::default().dataset_seed, 1);
+        assert_bitwise(name, &run.scores, &batch);
+    }
+}
+
+#[test]
+fn flow_event_detectors_score_flows_not_packets() {
+    let run = stream_run(
+        &|| Box::new(Slips::default()) as Box<dyn EventDetector>,
+        EvalConfig::default().dataset_seed,
+        1,
+    );
+    assert!(run.report.eval_items > 0, "Slips must score flow events");
+    assert!(
+        run.report.eval_items < run.report.eval_packets,
+        "flow events must be fewer than packets ({} vs {})",
+        run.report.eval_items,
+        run.report.eval_packets
+    );
 }
 
 #[test]
@@ -63,7 +109,7 @@ fn single_shard_report_matches_batch_experiment_within_1e9() {
     let config = EvalConfig::default();
     let batch = evaluate(&mut Kitsune::default(), &scenario, &config).expect("batch evaluate");
 
-    let run = stream_kitsune(config.dataset_seed, 1);
+    let run = stream_run(&kitsune, config.dataset_seed, 1);
     let streamed = run.report.to_experiment();
 
     assert_eq!(streamed.eval_items, batch.eval_items);
@@ -82,38 +128,31 @@ fn single_shard_report_matches_batch_experiment_within_1e9() {
 }
 
 #[test]
-fn helad_single_shard_scores_match_batch_bitwise() {
-    use idsbench::helad::Helad;
+fn slips_report_matches_batch_experiment_within_1e9() {
     let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
     let config = EvalConfig::default();
-    let pipeline = Pipeline::new(config.pipeline).expect("valid default pipeline");
-    let input = pipeline
-        .prepare(&scenario.info().name, scenario.generate(config.dataset_seed))
-        .expect("preprocess");
-    let batch_scores = Detector::score(&mut Helad::default(), &input);
+    let batch = evaluate(&mut Slips::default(), &scenario, &config).expect("batch evaluate");
 
-    let (warmup, source) = ScenarioSource::new(&scenario, config.dataset_seed).split_warmup(0.3);
-    let run = run_stream(
-        &|| Box::new(Helad::default()) as Box<dyn StreamingDetector>,
-        &warmup,
-        source,
-        &StreamConfig::default(),
-    )
-    .expect("streaming run");
-    assert_eq!(run.scores.len(), batch_scores.len());
-    for (i, (stream, batch)) in run.scores.iter().zip(&batch_scores).enumerate() {
-        assert_eq!(
-            stream.to_bits(),
-            batch.to_bits(),
-            "HELAD score {i} diverged: streaming {stream} vs batch {batch}"
-        );
-    }
+    let run = stream_run(
+        &|| Box::new(Slips::default()) as Box<dyn EventDetector>,
+        config.dataset_seed,
+        1,
+    );
+    let streamed = run.report.to_experiment();
+    assert_eq!(streamed.eval_items, batch.eval_items, "flow-event counts");
+    let close = |a: f64, b: f64, what: &str| {
+        assert!((a - b).abs() <= 1e-9, "{what}: streaming {a} vs batch {b}");
+    };
+    close(streamed.threshold, batch.threshold, "threshold");
+    close(streamed.metrics.f1, batch.metrics.f1, "f1");
+    close(streamed.auc, batch.auc, "auc");
+    assert_eq!(streamed.family_recall, batch.family_recall, "per-family recall");
 }
 
 #[test]
 fn multi_shard_runs_are_deterministic_and_flow_consistent() {
-    let first = stream_kitsune(0, 4);
-    let second = stream_kitsune(0, 4);
+    let first = stream_run(&kitsune, 0, 4);
+    let second = stream_run(&kitsune, 0, 4);
 
     // Determinism: identical routing and per-shard state ⇒ identical scores.
     assert_eq!(first.scores, second.scores);

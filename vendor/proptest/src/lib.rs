@@ -1,7 +1,7 @@
 //! Minimal offline stand-in for [`proptest`](https://docs.rs/proptest).
 //!
 //! The build environment has no route to crates.io, so the workspace vendors
-//! the slice of proptest it uses: the [`proptest!`] macro, [`Strategy`] with
+//! the slice of proptest it uses: the [`proptest!`] macro, [`strategy::Strategy`] with
 //! `prop_map`/`prop_filter`, range and tuple strategies, [`collection::vec`],
 //! [`arbitrary`] via [`any`], and the `prop_assert*` macros.
 //!
@@ -359,7 +359,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable size arguments for [`vec`]: an exact count or a range.
+    /// Acceptable size arguments for [`vec()`]: an exact count or a range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -391,7 +391,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
