@@ -1,0 +1,164 @@
+//! Hot-path figure: packets/sec and allocator traffic of the steady-state
+//! scoring loop, for all four evaluated systems on one fixed scenario.
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_hotpath -- --scale small
+//! ```
+//!
+//! The binary installs a counting global allocator, fits each system on the
+//! scenario's training slice, replays the first half of the evaluation
+//! slice as warmup (maps fill, scratch buffers reach steady-state
+//! capacity), then measures wall-clock time and allocator traffic over the
+//! second half — the deployment regime where Kitsune and HELAD must
+//! allocate nothing per packet (`tests/hot_path_allocs.rs` pins exactly
+//! that; this figure tracks it as a trajectory).
+//!
+//! One `BENCH `-prefixed JSON line goes to stdout and the same object is
+//! written to `BENCH_hotpath.json` in the working directory (the repo root
+//! in CI, uploaded as an artifact); a human-readable table goes to stderr.
+
+use std::time::Instant;
+
+use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors};
+use idsbench_core::allocwatch::{allocation_snapshot, CountingAllocator};
+use idsbench_core::{
+    Dataset, Event, EventDetector, FlowEventAssembler, InputFormat, ParsedView, TrainView,
+};
+use idsbench_datasets::scenarios;
+use idsbench_flow::FlowTableConfig;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One detector's hot-path measurement.
+struct HotPathRow {
+    detector: String,
+    packets: usize,
+    events_scored: usize,
+    packets_per_sec: f64,
+    allocs_per_packet: f64,
+    bytes_per_packet: f64,
+}
+
+impl HotPathRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"detector\":\"{}\",\"packets\":{},\"events_scored\":{},\
+             \"packets_per_sec\":{:.1},\"allocs_per_packet\":{:.4},\
+             \"bytes_per_packet\":{:.1}}}",
+            self.detector,
+            self.packets,
+            self.events_scored,
+            self.packets_per_sec,
+            self.allocs_per_packet,
+            self.bytes_per_packet,
+        )
+    }
+}
+
+/// Replays `views` through the detector (packet events, plus flow
+/// evictions for flow-format detectors); returns scored-event count.
+fn replay_views(
+    detector: &mut dyn EventDetector,
+    assembler: &mut Option<FlowEventAssembler>,
+    evicted: &mut Vec<idsbench_core::LabeledFlow>,
+    views: &[ParsedView],
+) -> usize {
+    let mut scored = 0usize;
+    for view in views {
+        if detector.on_event(&Event::Packet(view)).is_some() {
+            scored += 1;
+        }
+        if let Some(assembler) = assembler {
+            assembler.observe(view, |flow| evicted.push(flow));
+            for flow in evicted.drain(..) {
+                if detector.on_event(&Event::FlowEvicted(&flow)).is_some() {
+                    scored += 1;
+                }
+            }
+        }
+    }
+    scored
+}
+
+fn measure(
+    name: &str,
+    detector: &mut dyn EventDetector,
+    train: &TrainView,
+    eval: &[ParsedView],
+) -> HotPathRow {
+    detector.fit(train);
+    let mut assembler = matches!(detector.input_format(), InputFormat::Flows)
+        .then(|| FlowEventAssembler::new(FlowTableConfig::default()));
+    let mut evicted = Vec::new();
+
+    // Warmup: first half of the evaluation slice off the clock.
+    let split = eval.len() / 2;
+    replay_views(detector, &mut assembler, &mut evicted, &eval[..split]);
+
+    // Measured steady state: second half.
+    let measured = &eval[split..];
+    let before = allocation_snapshot();
+    let clock = Instant::now();
+    let scored = replay_views(detector, &mut assembler, &mut evicted, measured);
+    let seconds = clock.elapsed().as_secs_f64();
+    let after = allocation_snapshot();
+
+    let packets = measured.len();
+    HotPathRow {
+        detector: name.to_string(),
+        packets,
+        events_scored: scored,
+        packets_per_sec: packets as f64 / seconds.max(1e-12),
+        allocs_per_packet: after.allocations_since(&before) as f64 / packets.max(1) as f64,
+        bytes_per_packet: after.bytes_since(&before) as f64 / packets.max(1) as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+
+    // One fixed scenario so the trajectory stays comparable PR over PR.
+    let scenario = scenarios::stratosphere_iot(scale);
+    let packets = scenario.generate(seed);
+    let split = packets.len() * 3 / 10;
+    let mut views: Vec<ParsedView> = packets.into_iter().map(ParsedView::from_packet).collect();
+    let eval = views.split_off(split);
+    let train = TrainView::assemble(views, FlowTableConfig::default());
+
+    eprintln!("detector,packets,events_scored,packets_per_sec,allocs_per_packet,bytes_per_packet");
+    let mut rows = Vec::new();
+    for (name, factory) in standard_detectors() {
+        let mut detector = factory();
+        let row = measure(&name, detector.as_mut(), &train, &eval);
+        eprintln!(
+            "{},{},{},{:.0},{:.4},{:.1}",
+            row.detector,
+            row.packets,
+            row.events_scored,
+            row.packets_per_sec,
+            row.allocs_per_packet,
+            row.bytes_per_packet,
+        );
+        rows.push(row);
+    }
+
+    let scale_name = match scale {
+        idsbench_datasets::ScenarioScale::Tiny => "tiny",
+        idsbench_datasets::ScenarioScale::Small => "small",
+        idsbench_datasets::ScenarioScale::Full => "full",
+    };
+    let results: Vec<String> = rows.iter().map(HotPathRow::to_json).collect();
+    let json = format!(
+        "{{\"bench\":\"fig_hotpath\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
+         \"scenario\":\"{}\",\"results\":[{}]}}",
+        scenario.info().name,
+        results.join(","),
+    );
+    if let Err(e) = std::fs::write("BENCH_hotpath.json", format!("{json}\n")) {
+        eprintln!("# failed to write BENCH_hotpath.json: {e}");
+    }
+    println!("BENCH {json}");
+}

@@ -28,6 +28,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod allocwatch;
 mod dataset;
 mod detector;
 mod error;

@@ -20,7 +20,7 @@
 pub mod baselines;
 
 use idsbench_core::{Event, EventDetector, InputFormat, LabeledFlow, TrainView};
-use idsbench_nn::{Activation, Adam, Loss, Matrix, MinMaxNormalizer, Mlp, MlpBuilder};
+use idsbench_nn::{Activation, Adam, Loss, Matrix, MinMaxNormalizer, Mlp, MlpBuilder, Workspace};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -67,16 +67,24 @@ struct DnnModel {
     norm: MinMaxNormalizer,
     mlp: Mlp,
     normalize: bool,
+    /// Reused normalized-feature buffer.
+    feat_buf: Vec<f64>,
+    /// Reused per-flow input row.
+    input: Matrix,
+    /// Reused NN inference scratch.
+    ws: Workspace,
 }
 
 impl DnnModel {
     fn score_flow(&mut self, flow: &LabeledFlow) -> f64 {
-        let features = if self.normalize {
-            self.norm.transform(flow.features.as_slice())
+        let features = flow.features.as_slice();
+        if self.normalize {
+            self.norm.transform_into(features, &mut self.feat_buf);
+            self.input.set_row(&self.feat_buf);
         } else {
-            flow.features.as_slice().to_vec()
-        };
-        self.mlp.predict(&Matrix::row_vector(&features)).get(0, 0)
+            self.input.set_row(features);
+        }
+        self.mlp.predict_with(&self.input, &mut self.ws).get(0, 0)
     }
 }
 
@@ -170,7 +178,15 @@ impl EventDetector for Dnn {
             }
         }
 
-        self.model = Some(DnnModel { norm, mlp, normalize: self.config.normalize });
+        let ws = mlp.workspace();
+        self.model = Some(DnnModel {
+            norm,
+            mlp,
+            normalize: self.config.normalize,
+            feat_buf: Vec::with_capacity(width),
+            input: Matrix::zeros(1, width),
+            ws,
+        });
     }
 
     fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {

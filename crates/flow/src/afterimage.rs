@@ -156,11 +156,21 @@ impl AfterImage {
     /// Non-IP packets still produce a vector (all-zero except MAC-level
     /// weight features) so packet- and feature-streams stay aligned.
     pub fn update(&mut self, packet: &ParsedPacket) -> Vec<f64> {
+        let mut features = Vec::with_capacity(self.feature_count());
+        self.update_into(packet, &mut features);
+        features
+    }
+
+    /// [`AfterImage::update`] into a caller-owned buffer (cleared and
+    /// refilled). On traffic whose entities are already tracked this
+    /// performs zero heap allocations — the per-packet feature-extraction
+    /// step of the Kitsune/HELAD scoring hot path.
+    pub fn update_into(&mut self, packet: &ParsedPacket, features: &mut Vec<f64>) {
         self.packets_seen += 1;
         let t = packet.ts.as_secs_f64();
         let size = packet.wire_len as f64;
-        let lambdas = self.config.lambdas.clone();
-        let mut features = Vec::with_capacity(self.feature_count());
+        let lambdas = &self.config.lambdas;
+        features.clear();
 
         // --- MI: source MAC+IP bandwidth -------------------------------
         if let Some(src_ip) = packet.src_ip() {
@@ -182,7 +192,7 @@ impl AfterImage {
             // Pad the channel/socket groups for non-IP packets.
             features.extend(std::iter::repeat(0.0).take((7 + 3 + 7) * lambdas.len()));
             debug_assert_eq!(features.len(), self.feature_count());
-            return features;
+            return;
         };
 
         // --- HH: channel bandwidth (with cross-direction covariance) ----
@@ -253,7 +263,6 @@ impl AfterImage {
 
         debug_assert_eq!(features.len(), self.feature_count());
         self.maybe_purge();
-        features
     }
 
     /// Total tracked entities across all aggregate maps.

@@ -32,8 +32,49 @@
 use idsbench_core::{Event, EventDetector, InputFormat, ParsedView, TrainView};
 use idsbench_flow::{AfterImage, AfterImageConfig};
 use idsbench_nn::{
-    Autoencoder, AutoencoderConfig, LstmRegressor, LstmRegressorConfig, MinMaxNormalizer,
+    Autoencoder, AutoencoderConfig, LstmRegressor, LstmRegressorConfig, MinMaxNormalizer, Workspace,
 };
+
+/// A fixed-capacity ring of the most recent reconstruction errors — the
+/// LSTM's input window, kept allocation-free (the old implementation
+/// rebuilt a `Vec<Vec<f64>>` sequence per packet).
+#[derive(Debug, Clone)]
+struct ScoreRing {
+    buf: Vec<f64>,
+    /// Index of the oldest element.
+    head: usize,
+    len: usize,
+}
+
+impl ScoreRing {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        ScoreRing { buf: vec![0.0; capacity], head: 0, len: 0 }
+    }
+
+    /// Appends a score, overwriting the oldest once full.
+    fn push(&mut self, value: f64) {
+        let capacity = self.buf.len();
+        if self.len < capacity {
+            self.buf[(self.head + self.len) % capacity] = value;
+            self.len += 1;
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % capacity;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Oldest-to-newest iteration (the chronological order the LSTM
+    /// expects).
+    fn iter(&self) -> impl Iterator<Item = &f64> + '_ {
+        let capacity = self.buf.len();
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % capacity])
+    }
+}
 
 /// Configuration for [`Helad`] (out-of-the-box defaults).
 #[derive(Debug, Clone, PartialEq)]
@@ -172,7 +213,11 @@ impl Helad {
             }
         }
 
-        let recent: Vec<f64> = history.iter().rev().take(window).rev().copied().collect();
+        let mut recent = ScoreRing::new(window);
+        for &score in history.iter().rev().take(window).rev() {
+            recent.push(score);
+        }
+        let ws = autoencoder.workspace();
         HeladEngine {
             extractor,
             norm,
@@ -184,6 +229,9 @@ impl Helad {
             smooth: self.config.smooth_window.max(1),
             weight_ae: self.config.weight_ae,
             weight_lstm: self.config.weight_lstm,
+            feat_buf: Vec::with_capacity(width),
+            norm_buf: Vec::with_capacity(width),
+            ws,
         }
     }
 }
@@ -198,7 +246,7 @@ pub struct HeladEngine {
     autoencoder: Autoencoder,
     lstm: LstmRegressor,
     /// Rolling window of recent reconstruction errors fed to the LSTM.
-    recent: Vec<f64>,
+    recent: ScoreRing,
     /// Recent errors per src↔dst channel for the smoothing term.
     channel_history: std::collections::HashMap<
         (std::net::IpAddr, std::net::IpAddr),
@@ -208,32 +256,40 @@ pub struct HeladEngine {
     smooth: usize,
     weight_ae: f64,
     weight_lstm: f64,
+    /// Reused per-packet feature buffer.
+    feat_buf: Vec<f64>,
+    /// Reused normalized-feature buffer.
+    norm_buf: Vec<f64>,
+    /// Shared NN inference scratch (autoencoder and LSTM).
+    ws: Workspace,
 }
 
 impl HeladEngine {
     /// Scores one packet from its parsed view: blended reconstruction error
     /// and LSTM surprise. Malformed packets (no parsed view) score 0
     /// (pass-through), keeping stream alignment.
+    ///
+    /// Steady-state allocation-free: extraction, normalization, both model
+    /// forward passes, and the score ring all reuse engine-owned buffers
+    /// (pinned by the `hot_path_allocs` integration test).
     pub fn score_view(&mut self, view: &ParsedView) -> f64 {
         let Some(parsed) = &view.parsed else {
             return 0.0;
         };
-        let features = self.extractor.update(parsed);
+        self.extractor.update_into(parsed, &mut self.feat_buf);
         // HELAD fits its scaler offline on the training set; out-of-range
         // eval features clamp to the boundary (and read as anomalous)
         // rather than re-scaling the whole space.
-        let normalized = self.norm.transform(&features);
-        let rmse = self.autoencoder.score(&normalized);
+        self.norm.transform_into(&self.feat_buf, &mut self.norm_buf);
+        let rmse = self.autoencoder.score_with(&self.norm_buf, &mut self.ws);
         let surprise = if self.recent.len() == self.window {
-            let sequence: Vec<Vec<f64>> = self.recent.iter().map(|&s| vec![s]).collect();
-            (rmse - self.lstm.predict(&sequence)).abs()
+            let predicted =
+                self.lstm.predict_with(self.recent.iter().map(std::slice::from_ref), &mut self.ws);
+            (rmse - predicted).abs()
         } else {
             0.0
         };
         self.recent.push(rmse);
-        if self.recent.len() > self.window {
-            self.recent.remove(0);
-        }
         // Per-channel smoothing: a channel's sustained anomaly stays high;
         // other channels keep their own quiet history.
         let smoothed = match (parsed.src_ip(), parsed.dst_ip()) {

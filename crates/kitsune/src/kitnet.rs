@@ -6,7 +6,7 @@
 //! is online single-sample SGD on min-max-normalized inputs, exactly as in
 //! the reference implementation.
 
-use idsbench_nn::{Autoencoder, AutoencoderConfig, MinMaxNormalizer};
+use idsbench_nn::{Autoencoder, AutoencoderConfig, MinMaxNormalizer, Workspace};
 
 /// Configuration for [`KitNet`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,15 +27,32 @@ impl Default for KitNetConfig {
 }
 
 /// The KitNET ensemble (see module docs).
+///
+/// The per-sample data path is allocation-free in steady state: the
+/// cluster partition is precomputed at construction time as a flattened
+/// index map, and normalization, partitioning, per-cluster RMSEs, and the
+/// output-layer input all write into scratch buffers owned by the ensemble
+/// (plus one shared [`Workspace`] for every autoencoder forward pass).
 #[derive(Debug, Clone)]
 pub struct KitNet {
     clusters: Vec<Vec<usize>>,
+    /// Concatenated cluster indices: partitioning a feature vector is one
+    /// gather pass `part_buf[i] = x[flat[i]]`, no per-cluster `Vec`s.
+    flat: Vec<usize>,
+    /// Cluster `k` owns `part_buf[offsets[k]..offsets[k + 1]]`.
+    offsets: Vec<usize>,
     ensemble: Vec<Autoencoder>,
     output: Autoencoder,
     input_norm: MinMaxNormalizer,
     score_norm: MinMaxNormalizer,
     trained: u64,
     executed: u64,
+    // Scratch (reused every sample, allocation-free once warm).
+    norm_buf: Vec<f64>,
+    part_buf: Vec<f64>,
+    rmse_buf: Vec<f64>,
+    scaled_buf: Vec<f64>,
+    ws: Workspace,
 }
 
 impl KitNet {
@@ -75,20 +92,46 @@ impl KitNet {
             },
         );
         let score_norm = MinMaxNormalizer::new(clusters.len());
+        let mut offsets = Vec::with_capacity(clusters.len() + 1);
+        offsets.push(0);
+        let mut flat = Vec::new();
+        for cluster in &clusters {
+            flat.extend_from_slice(cluster);
+            offsets.push(flat.len());
+        }
+        let widest = ensemble
+            .iter()
+            .chain(std::iter::once(&output))
+            .map(|ae| ae.input_size().max(ae.hidden_size()))
+            .max()
+            .expect("ensemble is non-empty");
+        let cluster_count = clusters.len();
         KitNet {
             clusters,
+            part_buf: vec![0.0; flat.len()],
+            flat,
+            offsets,
             ensemble,
             output,
             input_norm: MinMaxNormalizer::new(feature_width),
             score_norm,
             trained: 0,
             executed: 0,
+            norm_buf: Vec::with_capacity(feature_width),
+            rmse_buf: vec![0.0; cluster_count],
+            scaled_buf: Vec::with_capacity(cluster_count),
+            ws: Workspace::with_max_width(widest),
         }
     }
 
     /// Number of ensemble autoencoders.
     pub fn ensemble_size(&self) -> usize {
         self.ensemble.len()
+    }
+
+    /// The fitted feature clusters, one per ensemble autoencoder.
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
     }
 
     /// Samples consumed in training mode.
@@ -101,8 +144,15 @@ impl KitNet {
         self.executed
     }
 
-    fn split(&self, x: &[f64]) -> Vec<Vec<f64>> {
-        self.clusters.iter().map(|cluster| cluster.iter().map(|&i| x[i]).collect()).collect()
+    /// Normalizes `x` into `norm_buf` and gathers the cluster partitions
+    /// into `part_buf` through the precomputed index map — the shared
+    /// allocation-free front half of [`KitNet::train`] and
+    /// [`KitNet::execute`].
+    fn stage_sample(&mut self, x: &[f64]) {
+        self.input_norm.observe_and_transform_into(x, &mut self.norm_buf);
+        for (slot, &index) in self.part_buf.iter_mut().zip(&self.flat) {
+            *slot = self.norm_buf[index];
+        }
     }
 
     /// One online training step (updates normalizers and all autoencoders);
@@ -112,40 +162,36 @@ impl KitNet {
     ///
     /// Panics if `x` has the wrong width.
     pub fn train(&mut self, x: &[f64]) -> f64 {
-        let normalized = self.input_norm.observe_and_transform(x);
-        let parts = self.split(&normalized);
-        let rmses: Vec<f64> =
-            self.ensemble.iter_mut().zip(parts).map(|(ae, part)| ae.train_sample(&part)).collect();
+        self.stage_sample(x);
+        let KitNet { ensemble, part_buf, offsets, rmse_buf, .. } = self;
+        for (k, ae) in ensemble.iter_mut().enumerate() {
+            rmse_buf[k] = ae.train_sample(&part_buf[offsets[k]..offsets[k + 1]]);
+        }
         self.trained += 1;
-        let scaled = self.scale_scores(&rmses, true);
-        self.output.train_sample(&scaled)
+        self.score_norm.observe(&self.rmse_buf);
+        self.score_norm.transform_into(&self.rmse_buf, &mut self.scaled_buf);
+        self.output.train_sample(&self.scaled_buf)
     }
 
     /// Scores a sample without updating weights (execution phase). The
     /// input normalizer still widens, matching the reference behaviour of
     /// normalizing by the range observed so far.
     ///
+    /// Allocation-free in steady state: every intermediate lives in the
+    /// ensemble's scratch buffers.
+    ///
     /// # Panics
     ///
     /// Panics if `x` has the wrong width.
     pub fn execute(&mut self, x: &[f64]) -> f64 {
-        let normalized = self.input_norm.observe_and_transform(x);
-        let rmses: Vec<f64> = self
-            .ensemble
-            .iter()
-            .zip(self.split(&normalized))
-            .map(|(ae, part)| ae.score(&part))
-            .collect();
-        self.executed += 1;
-        let scaled = self.scale_scores(&rmses, false);
-        self.output.score(&scaled)
-    }
-
-    fn scale_scores(&mut self, rmses: &[f64], learn: bool) -> Vec<f64> {
-        if learn {
-            self.score_norm.observe(rmses);
+        self.stage_sample(x);
+        let KitNet { ensemble, part_buf, offsets, rmse_buf, ws, .. } = self;
+        for (k, ae) in ensemble.iter().enumerate() {
+            rmse_buf[k] = ae.score_with(&part_buf[offsets[k]..offsets[k + 1]], ws);
         }
-        self.score_norm.transform(rmses)
+        self.executed += 1;
+        self.score_norm.transform_into(&self.rmse_buf, &mut self.scaled_buf);
+        self.output.score_with(&self.scaled_buf, &mut self.ws)
     }
 }
 

@@ -125,14 +125,15 @@ impl Kitsune {
             net.train(features);
         }
         if train.len() > fm_len {
+            let mut features = Vec::with_capacity(width);
             for view in &train[fm_len..] {
-                if let Some(features) = features_of(&mut extractor, view) {
+                if features_into(&mut extractor, view, &mut features) {
                     net.train(&features);
                 }
             }
         }
 
-        KitsuneEngine { extractor, net }
+        KitsuneEngine { extractor, net, feat_buf: Vec::with_capacity(width) }
     }
 }
 
@@ -146,16 +147,24 @@ impl Kitsune {
 pub struct KitsuneEngine {
     extractor: AfterImage,
     net: KitNet,
+    /// Reused per-packet feature buffer — the glue that keeps the
+    /// extractor→ensemble hand-off off the heap.
+    feat_buf: Vec<f64>,
 }
 
 impl KitsuneEngine {
     /// Scores one packet from its parsed view. Malformed packets (no
     /// parsed view) score 0 (pass-through), keeping stream alignment.
+    ///
+    /// Steady-state allocation-free: feature extraction, normalization,
+    /// cluster partitioning, and every autoencoder forward pass write into
+    /// buffers owned by the engine (pinned by the `hot_path_allocs`
+    /// integration test).
     pub fn score_view(&mut self, view: &ParsedView) -> f64 {
-        match features_of(&mut self.extractor, view) {
-            Some(features) => self.net.execute(&features),
-            None => 0.0,
+        if !features_into(&mut self.extractor, view, &mut self.feat_buf) {
+            return 0.0;
         }
+        self.net.execute(&self.feat_buf)
     }
 }
 
@@ -167,6 +176,19 @@ impl Default for Kitsune {
 
 fn features_of(extractor: &mut AfterImage, view: &ParsedView) -> Option<Vec<f64>> {
     view.parsed.as_ref().map(|parsed| extractor.update(parsed))
+}
+
+/// Extracts features into a reused buffer; `false` for malformed packets
+/// (buffer contents unspecified). The allocation-free sibling of
+/// [`features_of`] used on the per-packet paths.
+fn features_into(extractor: &mut AfterImage, view: &ParsedView, buf: &mut Vec<f64>) -> bool {
+    match &view.parsed {
+        Some(parsed) => {
+            extractor.update_into(parsed, buf);
+            true
+        }
+        None => false,
+    }
 }
 
 impl EventDetector for Kitsune {

@@ -17,11 +17,22 @@ pub enum Activation {
 impl Activation {
     /// Applies the activation element-wise.
     pub fn apply(self, x: &Matrix) -> Matrix {
-        match self {
-            Activation::Sigmoid => x.map(sigmoid),
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::Tanh => x.map(f64::tanh),
-            Activation::Linear => x.clone(),
+        let mut out = x.clone();
+        self.apply_assign(&mut out);
+        out
+    }
+
+    /// Applies the activation element-wise in place — the allocation-free
+    /// kernel behind [`Activation::apply`] and the inference hot path.
+    pub fn apply_assign(self, x: &mut Matrix) {
+        let f: fn(f64) -> f64 = match self {
+            Activation::Sigmoid => sigmoid,
+            Activation::Relu => |v| v.max(0.0),
+            Activation::Tanh => f64::tanh,
+            Activation::Linear => return,
+        };
+        for v in x.as_mut_slice() {
+            *v = f(*v);
         }
     }
 

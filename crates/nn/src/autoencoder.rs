@@ -2,6 +2,7 @@ use crate::activation::Activation;
 use crate::dense::Dense;
 use crate::matrix::Matrix;
 use crate::optimizer::Sgd;
+use crate::workspace::Workspace;
 
 /// Configuration for [`Autoencoder`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,16 +89,34 @@ impl Autoencoder {
         self.trained_samples
     }
 
+    /// A workspace presized for this autoencoder's layers (the buffers for
+    /// [`Autoencoder::score_with`] allocated up front).
+    pub fn workspace(&self) -> Workspace {
+        Workspace::with_max_width(self.input_size.max(self.hidden_size()))
+    }
+
     /// Reconstruction RMSE of `x` without updating weights.
     ///
     /// # Panics
     ///
     /// Panics if `x` has the wrong width.
     pub fn score(&self, x: &[f64]) -> f64 {
+        self.score_with(x, &mut Workspace::new())
+    }
+
+    /// [`Autoencoder::score`] through caller-owned scratch: bitwise the
+    /// same RMSE, zero heap allocations once `ws` is warm. This is the
+    /// steady-state entry point of the Kitsune/HELAD scoring hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn score_with(&self, x: &[f64], ws: &mut Workspace) -> f64 {
         assert_eq!(x.len(), self.input_size, "input width mismatch");
-        let input = Matrix::row_vector(x);
-        let reconstruction = self.decoder.forward(&self.encoder.forward(&input));
-        rmse(&input, &reconstruction)
+        ws.input.set_row(x);
+        self.encoder.forward_into(&ws.input, &mut ws.ping);
+        self.decoder.forward_into(&ws.ping, &mut ws.pong);
+        rmse(&ws.input, &ws.pong)
     }
 
     /// One online SGD step on `x`; returns the RMSE measured *before* the
@@ -109,8 +128,8 @@ impl Autoencoder {
     pub fn train_sample(&mut self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.input_size, "input width mismatch");
         let input = Matrix::row_vector(x);
-        let hidden = self.encoder.forward_training(&input);
-        let reconstruction = self.decoder.forward_training(&hidden);
+        let hidden = self.encoder.forward_training(input.clone());
+        let reconstruction = self.decoder.forward_training(hidden);
         let error = rmse(&input, &reconstruction);
         // d(MSE)/d(reconstruction) = 2(x̂ - x)/n
         let grad = (&reconstruction - &input).scale(2.0 / self.input_size as f64);
@@ -122,8 +141,16 @@ impl Autoencoder {
 }
 
 fn rmse(x: &Matrix, reconstruction: &Matrix) -> f64 {
-    let diff = x - reconstruction;
-    (diff.as_slice().iter().map(|d| d * d).sum::<f64>() / x.cols() as f64).sqrt()
+    let sum: f64 = x
+        .as_slice()
+        .iter()
+        .zip(reconstruction.as_slice())
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum();
+    (sum / x.cols() as f64).sqrt()
 }
 
 #[cfg(test)]

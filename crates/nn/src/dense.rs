@@ -59,14 +59,31 @@ impl Dense {
 
     /// Forward pass without caching (inference).
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        self.activation.apply(&x.matmul(&self.weights).add_row_broadcast(&self.bias))
+        let mut out = Matrix::zeros(x.rows(), self.output_size());
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Forward pass written into caller-owned scratch: `out` is reshaped to
+    /// `x.rows() × output_size` and filled with `f(x·W + b)` without any
+    /// heap allocation (once `out` has capacity). Bitwise-identical to
+    /// [`Dense::forward`].
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weights, out);
+        out.add_assign_row_broadcast(&self.bias);
+        self.activation.apply_assign(out);
     }
 
     /// Forward pass that caches activations for a subsequent
     /// [`Dense::backward`].
-    pub fn forward_training(&mut self, x: &Matrix) -> Matrix {
-        let out = self.forward(x);
-        self.cached_input = Some(x.clone());
+    ///
+    /// Takes the input by value: it is moved into the cache (no copy), the
+    /// output is cloned into the cache once, and returned — one copy per
+    /// training step instead of the three a borrow-and-clone signature
+    /// forces.
+    pub fn forward_training(&mut self, x: Matrix) -> Matrix {
+        let out = self.forward(&x);
+        self.cached_input = Some(x);
         self.cached_output = Some(out.clone());
         out
     }
@@ -113,7 +130,7 @@ mod tests {
         let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, 0.25]]);
         let y = Matrix::from_rows(&[&[2.0], &[-1.0], &[1.0], &[0.75]]);
         for _ in 0..3000 {
-            let out = layer.forward_training(&x);
+            let out = layer.forward_training(x.clone());
             let grad = Loss::Mse.gradient(&out, &y);
             layer.backward(&grad, &mut opt);
         }
@@ -141,7 +158,7 @@ mod tests {
         }
 
         let mut layer = Dense::new(2, 1, Activation::Sigmoid, 0, 11);
-        let out = layer.forward_training(&x);
+        let out = layer.forward_training(x.clone());
         let grad_out = Loss::Mse.gradient(&out, &y);
         let grad_in = layer.backward(&grad_out, &mut Frozen);
 

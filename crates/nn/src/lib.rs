@@ -13,7 +13,9 @@
 //! * [`Lstm`] / [`LstmRegressor`]: a single-layer LSTM sequence regressor
 //!   trained with truncated BPTT,
 //! * [`MinMaxNormalizer`] / [`ZScoreNormalizer`]: streaming normalizers,
-//! * [`Sgd`] / [`Adam`]: optimizers with per-parameter state.
+//! * [`Sgd`] / [`Adam`]: optimizers with per-parameter state,
+//! * [`Workspace`]: caller-owned scratch buffers for allocation-free
+//!   steady-state inference (`score_with`/`predict_with` entry points).
 //!
 //! Everything is deterministic given a seed; no threads, no SIMD, no
 //! external math libraries.
@@ -52,6 +54,7 @@ mod matrix;
 mod mlp;
 mod normalize;
 mod optimizer;
+mod workspace;
 
 pub use activation::Activation;
 pub use autoencoder::{Autoencoder, AutoencoderConfig};
@@ -62,3 +65,4 @@ pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpBuilder};
 pub use normalize::{MinMaxNormalizer, ZScoreNormalizer};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use workspace::Workspace;

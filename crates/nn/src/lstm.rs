@@ -1,6 +1,7 @@
 use crate::activation::sigmoid;
 use crate::matrix::Matrix;
 use crate::optimizer::{Adam, Optimizer};
+use crate::workspace::Workspace;
 
 /// A single-layer LSTM (no peepholes, forget-gate bias initialized to 1).
 ///
@@ -97,15 +98,49 @@ impl Lstm {
     ///
     /// Panics if any input vector has the wrong width.
     pub fn final_hidden(&self, inputs: &[Vec<f64>]) -> Matrix {
-        let mut h = Matrix::zeros(1, self.hidden_size);
-        let mut c = Matrix::zeros(1, self.hidden_size);
-        for x in inputs {
+        let mut ws = Workspace::new();
+        self.final_hidden_with(inputs.iter().map(Vec::as_slice), &mut ws).clone()
+    }
+
+    /// [`Lstm::final_hidden`] through caller-owned scratch: runs the
+    /// timestep slices through preallocated gate/state buffers and returns
+    /// a reference to the final hidden state inside `ws` — zero heap
+    /// allocations once `ws` is warm, bitwise the same state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice has the wrong width.
+    pub fn final_hidden_with<'w, 'x>(
+        &self,
+        steps: impl Iterator<Item = &'x [f64]>,
+        ws: &'w mut Workspace,
+    ) -> &'w Matrix {
+        let h = self.hidden_size;
+        ws.hidden.reshape_zeroed(1, h);
+        ws.cell.reshape_zeroed(1, h);
+        for x in steps {
             assert_eq!(x.len(), self.input_size, "input width mismatch");
-            let (h2, c2, _) = self.step(&Matrix::row_vector(x), &h, &c);
-            h = h2;
-            c = c2;
+            ws.input.set_row(x);
+            // z = (x·Wx + b) + h·Wh, summed in exactly the order the
+            // allocating `step` uses so both paths stay bit-identical.
+            ws.input.matmul_into(&self.w_x, &mut ws.gates);
+            ws.gates.add_assign_row_broadcast(&self.bias);
+            ws.hidden.matmul_into(&self.w_h, &mut ws.gates_h);
+            ws.gates.add_assign(&ws.gates_h);
+            let gates = ws.gates.as_slice();
+            let hidden = ws.hidden.as_mut_slice();
+            let cell = ws.cell.as_mut_slice();
+            for j in 0..h {
+                let i_gate = sigmoid(gates[j]);
+                let f_gate = sigmoid(gates[h + j]);
+                let g_gate = gates[2 * h + j].tanh();
+                let o_gate = sigmoid(gates[3 * h + j]);
+                let c = f_gate * cell[j] + i_gate * g_gate;
+                cell[j] = c;
+                hidden[j] = o_gate * c.tanh();
+            }
         }
-        h
+        &ws.hidden
     }
 }
 
@@ -191,8 +226,35 @@ impl LstmRegressor {
     /// Panics if `inputs` is empty or any vector has the wrong width.
     pub fn predict(&self, inputs: &[Vec<f64>]) -> f64 {
         assert!(!inputs.is_empty(), "sequence must be non-empty");
-        let h = self.lstm.final_hidden(inputs);
-        h.matmul(&self.head_w).get(0, 0) + self.head_b.get(0, 0)
+        let mut ws = Workspace::new();
+        self.predict_with(inputs.iter().map(Vec::as_slice), &mut ws)
+    }
+
+    /// [`LstmRegressor::predict`] through caller-owned scratch: zero heap
+    /// allocations once `ws` is warm, bitwise the same prediction. The
+    /// caller guarantees a non-empty sequence (an empty iterator predicts
+    /// from the zero hidden state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice has the wrong width.
+    pub fn predict_with<'x>(
+        &self,
+        steps: impl Iterator<Item = &'x [f64]>,
+        ws: &mut Workspace,
+    ) -> f64 {
+        let h = self.lstm.final_hidden_with(steps, ws);
+        // 1×h · h×1 head matmul, accumulated in the same order `matmul`
+        // uses so the scalar comes out bit-identical.
+        let dot =
+            h.row(0).iter().zip(self.head_w.as_slice()).fold(0.0, |acc, (&a, &b)| acc + a * b);
+        dot + self.head_b.get(0, 0)
+    }
+
+    /// A workspace presized for this regressor's LSTM (the buffers for
+    /// [`LstmRegressor::predict_with`] allocated up front).
+    pub fn workspace(&self) -> Workspace {
+        Workspace::for_lstm(self.lstm.input_size, self.lstm.hidden_size)
     }
 
     /// One BPTT step on `(inputs, target)`; returns the squared error before

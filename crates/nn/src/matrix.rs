@@ -74,6 +74,30 @@ impl Matrix {
         Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
     }
 
+    /// Reshapes this matrix to `rows × cols`, reusing the existing
+    /// allocation. Contents are unspecified afterwards; the buffer only
+    /// grows, never shrinks its capacity — the scratch-space contract that
+    /// makes repeated inference allocation-free once every shape has been
+    /// seen.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to a 1×n row and copies `values` in — the allocation-free
+    /// counterpart of [`Matrix::row_vector`].
+    pub fn set_row(&mut self, values: &[f64]) {
+        self.reshape(1, values.len());
+        self.data.copy_from_slice(values);
+    }
+
+    /// Reshapes to `rows × cols` and zeroes every element.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.reshape(rows, cols);
+        self.data.fill(0.0);
+    }
+
     /// Creates a matrix with Xavier/Glorot-uniform entries, deterministic in
     /// `seed`.
     pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
@@ -140,18 +164,27 @@ impl Matrix {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product `self · other` written into `out` (reshaped as
+    /// needed), allocating nothing once `out` has the right capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reshape_zeroed(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(other_row) {
@@ -159,7 +192,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transpose.
@@ -192,9 +224,37 @@ impl Matrix {
     ///
     /// Panics if `row` is not 1×cols.
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign_row_broadcast(row);
+        out
+    }
+
+    /// In-place [`Matrix::add_row_broadcast`]: adds `row` to every row of
+    /// `self` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not 1×cols.
+    pub fn add_assign_row_broadcast(&mut self, row: &Matrix) {
         assert_eq!(row.rows, 1, "broadcast row must be 1xN");
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
-        Matrix::from_fn(self.rows, self.cols, |r, c| self.get(r, c) + row.get(0, c))
+        for chunk in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in chunk.iter_mut().zip(&row.data) {
+                *v += b;
+            }
+        }
+    }
+
+    /// In-place element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (v, &b) in self.data.iter_mut().zip(&other.data) {
+            *v += b;
+        }
     }
 
     /// Sums each column into a 1×cols matrix; used for bias gradients.
@@ -221,6 +281,14 @@ impl Matrix {
     /// Frobenius norm.
     pub fn norm(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl Default for Matrix {
+    /// An empty 0×0 matrix — the starting state of scratch buffers, which
+    /// [`Matrix::reshape`] grows on first use.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 
@@ -337,6 +405,35 @@ mod tests {
         assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[3.0, -8.0]]));
         assert_eq!(&a * 2.0, Matrix::from_rows(&[&[2.0, -4.0]]));
         assert_eq!(a.map(f64::abs), Matrix::from_rows(&[&[1.0, 2.0]]));
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_ops() {
+        let a = Matrix::xavier(3, 4, 7);
+        let b = Matrix::xavier(4, 2, 8);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Reuse with a different shape: capacity survives, contents don't.
+        let c = Matrix::xavier(4, 6, 9);
+        a.matmul_into(&c, &mut out);
+        assert_eq!(out, a.matmul(&c));
+
+        let mut x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let row = Matrix::row_vector(&[10.0, 20.0]);
+        let broadcast = x.add_row_broadcast(&row);
+        x.add_assign_row_broadcast(&row);
+        assert_eq!(x, broadcast);
+
+        let mut s = Matrix::from_rows(&[&[1.0, -1.0]]);
+        s.add_assign(&Matrix::from_rows(&[&[0.5, 0.5]]));
+        assert_eq!(s, Matrix::from_rows(&[&[1.5, -0.5]]));
+
+        let mut r = Matrix::default();
+        r.set_row(&[7.0, 8.0, 9.0]);
+        assert_eq!(r, Matrix::row_vector(&[7.0, 8.0, 9.0]));
+        r.set_row(&[1.0]);
+        assert_eq!(r, Matrix::row_vector(&[1.0]));
     }
 
     #[test]

@@ -3,6 +3,7 @@ use crate::dense::Dense;
 use crate::loss::Loss;
 use crate::matrix::Matrix;
 use crate::optimizer::Optimizer;
+use crate::workspace::Workspace;
 
 /// A feed-forward network of [`Dense`] layers.
 ///
@@ -20,7 +21,44 @@ impl Mlp {
     ///
     /// Panics if `x` does not have [`Mlp::input_size`] columns.
     pub fn predict(&self, x: &Matrix) -> Matrix {
-        self.layers.iter().fold(x.clone(), |acc, layer| layer.forward(&acc))
+        self.predict_with(x, &mut Workspace::new()).clone()
+    }
+
+    /// [`Mlp::predict`] through caller-owned scratch: the layers ping-pong
+    /// between two workspace buffers and the returned reference points at
+    /// the final activation — zero heap allocations once `ws` is warm, and
+    /// bitwise the same output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not have [`Mlp::input_size`] columns or the
+    /// network has no layers.
+    pub fn predict_with<'w>(&self, x: &Matrix, ws: &'w mut Workspace) -> &'w Matrix {
+        assert!(!self.layers.is_empty(), "network needs at least one layer");
+        let mut into_ping = true;
+        for (i, layer) in self.layers.iter().enumerate() {
+            match (i == 0, into_ping) {
+                (true, _) => layer.forward_into(x, &mut ws.ping),
+                (false, true) => layer.forward_into(&ws.pong, &mut ws.ping),
+                (false, false) => layer.forward_into(&ws.ping, &mut ws.pong),
+            }
+            into_ping = !into_ping;
+        }
+        // `into_ping` has flipped past the last write: the final activation
+        // sits in the buffer the *last* iteration wrote.
+        if into_ping {
+            &ws.pong
+        } else {
+            &ws.ping
+        }
+    }
+
+    /// A workspace presized for this network's widest layer (the buffers
+    /// for [`Mlp::predict_with`] on row-vector inputs allocated up front).
+    pub fn workspace(&self) -> Workspace {
+        let widest =
+            self.layers.iter().map(|l| l.input_size().max(l.output_size())).max().unwrap_or(0);
+        Workspace::with_max_width(widest)
     }
 
     /// One optimization step on a batch; returns the pre-step loss.
@@ -37,7 +75,7 @@ impl Mlp {
     ) -> f64 {
         let mut activation = x.clone();
         for layer in &mut self.layers {
-            activation = layer.forward_training(&activation);
+            activation = layer.forward_training(activation);
         }
         let loss_value = loss.value(&activation, y);
         let mut grad = loss.gradient(&activation, y);

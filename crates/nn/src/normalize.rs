@@ -74,24 +74,45 @@ impl MinMaxNormalizer {
     ///
     /// Panics if `x` has the wrong width.
     pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.transform_into(x, &mut out);
+        out
+    }
+
+    /// [`MinMaxNormalizer::transform`] into a caller-owned buffer (cleared
+    /// and refilled): zero heap allocations once `out` has capacity — the
+    /// per-packet normalization step of the scoring hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn transform_into(&self, x: &[f64], out: &mut Vec<f64>) {
         assert_eq!(x.len(), self.width(), "vector width mismatch");
-        x.iter()
-            .zip(self.mins.iter().zip(&self.maxs))
-            .map(|(&v, (&min, &max))| {
-                let range = max - min;
-                if !range.is_finite() || range <= 0.0 {
-                    0.0
-                } else {
-                    ((v - min) / range).clamp(0.0, 1.0)
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend(x.iter().zip(self.mins.iter().zip(&self.maxs)).map(|(&v, (&min, &max))| {
+            let range = max - min;
+            if !range.is_finite() || range <= 0.0 {
+                0.0
+            } else {
+                ((v - min) / range).clamp(0.0, 1.0)
+            }
+        }));
     }
 
     /// Convenience: observe then transform (the online-learning idiom).
     pub fn observe_and_transform(&mut self, x: &[f64]) -> Vec<f64> {
         self.observe(x);
         self.transform(x)
+    }
+
+    /// Allocation-free [`MinMaxNormalizer::observe_and_transform`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn observe_and_transform_into(&mut self, x: &[f64], out: &mut Vec<f64>) {
+        self.observe(x);
+        self.transform_into(x, out);
     }
 }
 

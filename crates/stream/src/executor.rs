@@ -343,6 +343,13 @@ pub fn run_stream(
         channels.push(tx);
         receivers.push(rx);
     }
+    // Drained batch buffers flow back to the feeder through this channel,
+    // so the steady-state fan-out allocates no fresh `Vec` per batch — the
+    // per-item cost is channel transfer plus detector arithmetic. Both ends
+    // use the non-blocking ops: recycling is an optimisation, never a stall
+    // (a full return lane just drops the buffer).
+    let (recycle_tx, recycle_rx) =
+        channel::bounded::<Vec<StreamItem>>(shards * config.channel_capacity + shards);
 
     let window_secs = config.window_secs;
     let threshold_mode = config.threshold;
@@ -351,6 +358,7 @@ pub fn run_stream(
         let mut workers = Vec::new();
         for (shard, rx) in receivers.into_iter().enumerate() {
             let start_line = &start_line;
+            let recycle = recycle_tx.clone();
             workers.push(scope.spawn(move || -> Option<ShardOutcome> {
                 // A fit panic must not strand the barrier (the feeder would
                 // deadlock behind it): catch it, pass the start line, and
@@ -386,10 +394,11 @@ pub fn run_stream(
                     score_nanos: 0,
                     packets: 0,
                 };
-                for batch in rx.iter() {
-                    for item in batch {
+                for mut batch in rx.iter() {
+                    for item in batch.drain(..) {
                         state.on_packet(item);
                     }
+                    let _ = recycle.try_send(batch);
                 }
                 state.finish();
                 Some(ShardOutcome {
@@ -419,7 +428,10 @@ pub fn run_stream(
                     batches[shard].push(StreamItem { seq, view });
                     seq += 1;
                     if batches[shard].len() >= config.batch_size {
-                        let batch = std::mem::take(&mut batches[shard]);
+                        // Swap in a recycled buffer (or an empty placeholder
+                        // that first pushes grow) before shipping the full one.
+                        let replacement = recycle_rx.try_recv().unwrap_or_default();
+                        let batch = std::mem::replace(&mut batches[shard], replacement);
                         if channels[shard].send(batch).is_err() {
                             source_error = Some(CoreError::stream(format!("shard {shard} died")));
                             break;

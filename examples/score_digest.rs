@@ -1,0 +1,32 @@
+//! Prints a bit-level digest of every batch score for all four systems.
+use idsbench::core::preprocess::Pipeline;
+use idsbench::core::runner::{replay, EvalConfig};
+use idsbench::core::{Dataset, EventDetector};
+use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::dnn::Dnn;
+use idsbench::helad::Helad;
+use idsbench::kitsune::Kitsune;
+use idsbench::slips::Slips;
+
+fn main() {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let config = EvalConfig::default();
+    let pipeline = Pipeline::new(config.pipeline).expect("pipeline");
+    let input = pipeline
+        .prepare_events(&scenario.info().name, scenario.generate(config.dataset_seed))
+        .expect("preprocess");
+    let detectors: Vec<Box<dyn EventDetector>> = vec![
+        Box::new(Kitsune::default()),
+        Box::new(Helad::default()),
+        Box::new(Dnn::default()),
+        Box::new(Slips::default()),
+    ];
+    for mut d in detectors {
+        let scores = replay(d.as_mut(), &input).expect("replay").scores;
+        let mut digest = 0u64;
+        for s in &scores {
+            digest = digest.rotate_left(7) ^ s.to_bits();
+        }
+        println!("{} {} {:016x}", d.name(), scores.len(), digest);
+    }
+}

@@ -1,0 +1,100 @@
+//! Pins the tentpole invariant of the allocation-free scoring hot path:
+//! once Kitsune and HELAD are fitted and warmed up, scoring a packet
+//! performs **zero** heap allocations.
+//!
+//! The test binary installs [`CountingAllocator`] as its global allocator,
+//! fits each system, replays a warmup slice so every per-entity map entry
+//! and every scratch buffer reaches its steady-state capacity, and then
+//! counts allocator traffic across a measured scoring pass over traffic on
+//! the *same* flows (fresh timestamps, so damped statistics keep evolving
+//! forward in time, exactly like a long-running deployment).
+//!
+//! Everything runs inside a single `#[test]` because the counters are
+//! process-global: parallel test threads would bleed allocations into each
+//! other's measurement windows.
+
+use idsbench::core::allocwatch::{allocation_snapshot, CountingAllocator};
+use idsbench::core::{Event, EventDetector, Label, LabeledPacket, ParsedView, TrainView};
+use idsbench::helad::Helad;
+use idsbench::kitsune::Kitsune;
+use idsbench::net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
+use std::net::Ipv4Addr;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Periodic traffic over a fixed set of flows: four devices talking to one
+/// server on stable 5-tuples. Replaying later index ranges reuses the same
+/// channels/sockets with later timestamps, so a warmed detector sees no new
+/// entities — the steady state of a deployment.
+fn packet_at(i: u64) -> ParsedView {
+    let device = (i % 4) as u8 + 1;
+    let p = PacketBuilder::new()
+        .ethernet(MacAddr::from_host_id(u32::from(device)), MacAddr::from_host_id(100))
+        .ipv4(Ipv4Addr::new(10, 0, 0, device), Ipv4Addr::new(10, 0, 0, 100))
+        .tcp(40_000 + u16::from(device), 1883, TcpFlags::PSH | TcpFlags::ACK)
+        .payload_len(64 + (i % 32) as usize)
+        .build(Timestamp::from_micros(i * 10_000));
+    ParsedView::from_packet(LabeledPacket::new(p, Label::Benign))
+}
+
+/// Scores `measure` after `warmup` and returns the allocator traffic of the
+/// measured pass.
+fn measured_allocations(
+    detector: &mut dyn EventDetector,
+    warmup: &[ParsedView],
+    measure: &[ParsedView],
+) -> (u64, u64) {
+    for view in warmup {
+        let score = detector.on_event(&Event::Packet(view)).expect("packet event scored");
+        assert!(score.is_finite(), "{}: warmup score must be finite", detector.name());
+    }
+    let before = allocation_snapshot();
+    let mut checksum = 0.0;
+    for view in measure {
+        checksum += detector.on_event(&Event::Packet(view)).expect("packet event scored");
+    }
+    let after = allocation_snapshot();
+    assert!(checksum.is_finite(), "{}: scores must stay finite", detector.name());
+    (after.allocations_since(&before), after.bytes_since(&before))
+}
+
+#[test]
+fn steady_state_scoring_allocates_nothing() {
+    // Sanity: the counting allocator must actually be live in this binary,
+    // otherwise the zero assertions below would be vacuous.
+    let before = allocation_snapshot();
+    let probe: Vec<u8> = Vec::with_capacity(4096);
+    std::hint::black_box(&probe);
+    let after = allocation_snapshot();
+    assert!(after.allocations_since(&before) >= 1, "counting allocator is not installed");
+    assert!(after.bytes_since(&before) >= 4096);
+    drop(probe);
+
+    let views: Vec<ParsedView> = (0..2_000).map(packet_at).collect();
+    let (train, rest) = views.split_at(600);
+    let (warm, measure) = rest.split_at(700);
+    let train = TrainView { packets: train.to_vec(), flows: Vec::new() };
+
+    let mut kitsune = Kitsune::default();
+    kitsune.fit(&train);
+    let (allocs, bytes) = measured_allocations(&mut kitsune, warm, measure);
+    assert_eq!(
+        allocs,
+        0,
+        "Kitsune steady-state scoring must not allocate ({allocs} allocations, {bytes} bytes \
+         over {} packets)",
+        measure.len()
+    );
+
+    let mut helad = Helad::default();
+    helad.fit(&train);
+    let (allocs, bytes) = measured_allocations(&mut helad, warm, measure);
+    assert_eq!(
+        allocs,
+        0,
+        "HELAD steady-state scoring must not allocate ({allocs} allocations, {bytes} bytes \
+         over {} packets)",
+        measure.len()
+    );
+}

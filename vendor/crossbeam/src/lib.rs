@@ -95,6 +95,24 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is full; the value is handed back.
+        Full(T),
+        /// Every receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel holds no item right now.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     impl<T> fmt::Debug for Sender<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("Sender { .. }")
@@ -164,6 +182,26 @@ pub mod channel {
                 state = self.shared.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         }
+
+        /// Enqueues `value` only if there is room right now — never blocks.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value when the channel is full or every receiver has
+        /// been dropped.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.items.len() >= state.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -186,6 +224,25 @@ pub mod channel {
                 }
                 state = self.shared.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
             }
+        }
+
+        /// Dequeues an item only if one is ready right now — never blocks.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TryRecvError::Empty`] when the channel has no item and
+        /// [`TryRecvError::Disconnected`] when it never will again.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
         }
 
         /// A blocking iterator that ends when the channel closes.
@@ -308,6 +365,20 @@ mod tests {
         assert!(blocked_for >= std::time::Duration::from_millis(40), "{blocked_for:?}");
         assert_eq!(rx.recv().unwrap(), 2);
         assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn try_ops_never_block() {
+        let (tx, rx) = channel::bounded(1);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Disconnected(3)));
     }
 
     #[test]
