@@ -1,17 +1,29 @@
 //! Hot-path figure: packets/sec and allocator traffic of the steady-state
-//! scoring loop, for all four evaluated systems on one fixed scenario.
+//! scoring loop, for all four evaluated systems on one fixed scenario —
+//! plus the feeder transport path (pooled pcap capture → parse) and the
+//! raw matmul microkernel rate.
 //!
 //! ```text
 //! cargo run --release -p idsbench-bench --bin fig_hotpath -- --scale small
+//! cargo run --release -p idsbench-bench --bin fig_hotpath -- --scale small \
+//!     --baseline /tmp/hotpath_baseline.json   # CI regression gate
 //! ```
 //!
 //! The binary installs a counting global allocator, fits each system on the
 //! scenario's training slice, replays the first half of the evaluation
 //! slice as warmup (maps fill, scratch buffers reach steady-state
 //! capacity), then measures wall-clock time and allocator traffic over the
-//! second half — the deployment regime where Kitsune and HELAD must
-//! allocate nothing per packet (`tests/hot_path_allocs.rs` pins exactly
-//! that; this figure tracks it as a trajectory).
+//! second half — the deployment regime where the detectors must allocate
+//! nothing per packet (`tests/hot_path_allocs.rs` pins exactly that; this
+//! figure tracks it as a trajectory). The `Transport` row replays the same
+//! packets through a `PcapSource` whose `PayloadArena` recycles capture
+//! buffers the way the stream executor's return lane does, measuring the
+//! feeder's own per-packet cost (read + pooled buffer + parse).
+//!
+//! With `--baseline <path>` the run additionally compares its packets/sec
+//! against a previously committed `BENCH_hotpath.json` and exits non-zero
+//! on a >25% regression for any row present in both — the CI gate that
+//! keeps the trajectory monotone.
 //!
 //! One `BENCH `-prefixed JSON line goes to stdout and the same object is
 //! written to `BENCH_hotpath.json` in the working directory (the repo root
@@ -22,15 +34,22 @@ use std::time::Instant;
 use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors};
 use idsbench_core::allocwatch::{allocation_snapshot, CountingAllocator};
 use idsbench_core::{
-    Dataset, Event, EventDetector, FlowEventAssembler, InputFormat, ParsedView, TrainView,
+    Dataset, Event, EventDetector, FlowEventAssembler, InputFormat, LabeledPacket, ParsedView,
+    TrainView,
 };
 use idsbench_datasets::scenarios;
 use idsbench_flow::FlowTableConfig;
+use idsbench_net::pcap::{PcapReader, PcapWriter};
+use idsbench_nn::Matrix;
+use idsbench_stream::{PacketSource, PcapSource};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
-/// One detector's hot-path measurement.
+/// Maximum tolerated packets/sec drop against the `--baseline` file.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// One row's hot-path measurement (a detector or the transport path).
 struct HotPathRow {
     detector: String,
     packets: usize,
@@ -53,6 +72,18 @@ impl HotPathRow {
             self.allocs_per_packet,
             self.bytes_per_packet,
         )
+    }
+
+    fn print_csv(&self) {
+        eprintln!(
+            "{},{},{},{:.0},{:.4},{:.1}",
+            self.detector,
+            self.packets,
+            self.events_scored,
+            self.packets_per_sec,
+            self.allocs_per_packet,
+            self.bytes_per_packet,
+        );
     }
 }
 
@@ -115,15 +146,129 @@ fn measure(
     }
 }
 
+/// The feeder transport path: replay the evaluation packets from an
+/// in-memory pcap capture through a `PcapSource` (pooled payload buffers)
+/// and the pipeline's single parse site, recycling each consumed view the
+/// way the stream executor's return lane does. Steady state must mint no
+/// `Vec<u8>` per packet.
+fn measure_transport(packets: &[LabeledPacket]) -> HotPathRow {
+    let mut image = Vec::new();
+    {
+        let mut writer = PcapWriter::new(&mut image).expect("pcap header");
+        for lp in packets {
+            writer.write_packet(&lp.packet).expect("pcap record");
+        }
+    }
+
+    let measured_from = packets.len() / 2;
+    let reader = PcapReader::new(std::io::Cursor::new(&image[..])).expect("pcap image");
+    let mut source = PcapSource::benign("transport", reader);
+    let mut count = 0usize;
+    let mut before = allocation_snapshot();
+    let mut clock = Instant::now();
+    while let Some(packet) = source.next_packet().expect("pcap replay") {
+        if count == measured_from {
+            // Warmup ends here: the arena pool and parse scratch are at
+            // steady state.
+            before = allocation_snapshot();
+            clock = Instant::now();
+        }
+        let view = ParsedView::from_packet(packet);
+        std::hint::black_box(&view);
+        // What the executor's return lane does with a drained batch.
+        source.recycle_packet(view.packet.packet);
+        count += 1;
+    }
+    let seconds = clock.elapsed().as_secs_f64();
+    let after = allocation_snapshot();
+    let measured = count.saturating_sub(measured_from);
+    let (allocs, bytes) = (after.allocations_since(&before), after.bytes_since(&before));
+
+    HotPathRow {
+        detector: "Transport".to_string(),
+        packets: measured,
+        events_scored: 0,
+        packets_per_sec: measured as f64 / seconds.max(1e-12),
+        allocs_per_packet: allocs as f64 / measured.max(1) as f64,
+        bytes_per_packet: bytes as f64 / measured.max(1) as f64,
+    }
+}
+
+/// Raw microkernel rate: the HELAD-shaped row-vector product (1×100 times
+/// 100×50) through `Matrix::matmul_into`, reported as GFLOP/s.
+fn measure_kernel_gflops() -> f64 {
+    let a = Matrix::xavier(1, 100, 7);
+    let b = Matrix::xavier(100, 50, 8);
+    let mut out = Matrix::default();
+    a.matmul_into(&b, &mut out); // warm the scratch
+    let rounds = 200_000u64;
+    let clock = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..rounds {
+        a.matmul_into(&b, &mut out);
+        acc += out.get(0, 0);
+    }
+    let seconds = clock.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    let flops = 2.0 * 100.0 * 50.0 * rounds as f64;
+    flops / seconds.max(1e-12) / 1e9
+}
+
+/// Extracts `(detector, packets_per_sec)` pairs from a `BENCH_hotpath.json`
+/// object (hand-rolled scan; the workspace has no JSON parser dependency).
+fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"detector\":\"") {
+        rest = &rest[at + "\"detector\":\"".len()..];
+        let Some(name_end) = rest.find('"') else { break };
+        let name = rest[..name_end].to_string();
+        let Some(pps_at) = rest.find("\"packets_per_sec\":") else { break };
+        let tail = &rest[pps_at + "\"packets_per_sec\":".len()..];
+        let num: String =
+            tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(pps) = num.parse::<f64>() {
+            rows.push((name, pps));
+        }
+        rest = tail;
+    }
+    rows
+}
+
+/// Compares this run against the baseline file; returns the failing rows.
+fn regressions(rows: &[HotPathRow], baseline: &[(String, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in rows {
+        let Some((_, base)) = baseline.iter().find(|(name, _)| *name == row.detector) else {
+            continue; // a new row has no baseline yet
+        };
+        let floor = base * (1.0 - REGRESSION_TOLERANCE);
+        if row.packets_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} packets/sec is a >{:.0}% regression vs baseline {:.0} (floor {:.0})",
+                row.detector,
+                row.packets_per_sec,
+                REGRESSION_TOLERANCE * 100.0,
+                base,
+                floor,
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
     let seed = seed_from_args(&args);
+    let baseline_path =
+        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
 
     // One fixed scenario so the trajectory stays comparable PR over PR.
     let scenario = scenarios::stratosphere_iot(scale);
     let packets = scenario.generate(seed);
     let split = packets.len() * 3 / 10;
+    let eval_packets: Vec<LabeledPacket> = packets[split..].to_vec();
     let mut views: Vec<ParsedView> = packets.into_iter().map(ParsedView::from_packet).collect();
     let eval = views.split_off(split);
     let train = TrainView::assemble(views, FlowTableConfig::default());
@@ -133,17 +278,15 @@ fn main() {
     for (name, factory) in standard_detectors() {
         let mut detector = factory();
         let row = measure(&name, detector.as_mut(), &train, &eval);
-        eprintln!(
-            "{},{},{},{:.0},{:.4},{:.1}",
-            row.detector,
-            row.packets,
-            row.events_scored,
-            row.packets_per_sec,
-            row.allocs_per_packet,
-            row.bytes_per_packet,
-        );
+        row.print_csv();
         rows.push(row);
     }
+    let transport = measure_transport(&eval_packets);
+    transport.print_csv();
+    rows.push(transport);
+
+    let kernel_gflops = measure_kernel_gflops();
+    eprintln!("# kernel_gflops (1x100 · 100x50 row-vector matmul): {kernel_gflops:.2}");
 
     let scale_name = match scale {
         idsbench_datasets::ScenarioScale::Tiny => "tiny",
@@ -153,7 +296,7 @@ fn main() {
     let results: Vec<String> = rows.iter().map(HotPathRow::to_json).collect();
     let json = format!(
         "{{\"bench\":\"fig_hotpath\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
-         \"scenario\":\"{}\",\"results\":[{}]}}",
+         \"scenario\":\"{}\",\"kernel_gflops\":{kernel_gflops:.2},\"results\":[{}]}}",
         scenario.info().name,
         results.join(","),
     );
@@ -161,4 +304,23 @@ fn main() {
         eprintln!("# failed to write BENCH_hotpath.json: {e}");
     }
     println!("BENCH {json}");
+
+    if let Some(path) = baseline_path {
+        let baseline_json = match std::fs::read_to_string(&path) {
+            Ok(contents) => contents,
+            Err(e) => {
+                eprintln!("# cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let failures = regressions(&rows, &parse_baseline(&baseline_json));
+        if failures.is_empty() {
+            eprintln!("# baseline gate passed ({path})");
+        } else {
+            for failure in &failures {
+                eprintln!("# REGRESSION {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

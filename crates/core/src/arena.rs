@@ -1,0 +1,210 @@
+//! A recycling slab for packet payload buffers.
+//!
+//! The parse-once data plane allocates exactly one buffer per packet: the
+//! frame bytes a [`ParsedView`](crate::ParsedView) carries (everything else
+//! on the scoring path is pooled — see the `hot_path_allocs` test). For
+//! replayed in-memory scenarios that buffer is created once up front, but a
+//! *capture-fed* pipeline (pcap file today, a live ring tomorrow) would
+//! mint and drop one `Vec<u8>` per packet, forever. [`PayloadArena`] closes
+//! that last hole: capture buffers are drawn from a pool, filled in place
+//! ([`bytes::Bytes::refill`]), shipped through the pipeline as ordinary
+//! shared [`Bytes`], and pushed back when the stream executor's return lane
+//! hands the drained views back to the feeder.
+//!
+//! Reuse is safe by construction: a buffer is rewritten only while its
+//! handle is *unique* (`Arc` count of one). A consumer that keeps a clone
+//! of a payload alive simply causes that buffer to fall out of the pool —
+//! correctness never depends on the recycler.
+//!
+//! # Examples
+//!
+//! ```
+//! use idsbench_core::arena::PayloadArena;
+//!
+//! let mut arena = PayloadArena::new();
+//! let (n, payload) = arena
+//!     .take_fill(|buf| {
+//!         buf.extend_from_slice(b"frame bytes");
+//!         Ok::<usize, ()>(buf.len())
+//!     })
+//!     .unwrap();
+//! assert_eq!(n, 11);
+//! assert_eq!(&payload[..], b"frame bytes");
+//! arena.recycle(payload);
+//! assert_eq!(arena.pooled(), 1);
+//! // The next take reuses the same backing buffer: zero allocations.
+//! let (_, again) = arena.take_fill(|_| Ok::<(), ()>(())).unwrap();
+//! assert_eq!(arena.minted(), 1, "second take came from the pool");
+//! drop(again);
+//! ```
+
+use bytes::Bytes;
+
+/// Default pre-sized capacity of a freshly minted buffer: the standard
+/// Ethernet MTU plus headers, so ordinary frames never grow it.
+const DEFAULT_CHUNK: usize = 2048;
+
+/// Default pool bound: buffers beyond this are dropped instead of kept,
+/// capping idle memory at `max_pooled × chunk` bytes.
+const DEFAULT_MAX_POOLED: usize = 4096;
+
+/// A pool of reusable payload buffers (see module docs).
+#[derive(Debug)]
+pub struct PayloadArena {
+    /// Idle buffers, each a unique-handled `Bytes` whose backing vector is
+    /// rewritten in place on the next take.
+    pool: Vec<Bytes>,
+    /// Capacity given to freshly minted buffers.
+    chunk: usize,
+    /// Upper bound on `pool.len()`.
+    max_pooled: usize,
+    /// Buffers created because the pool was empty (or every pooled buffer
+    /// was still shared).
+    minted: u64,
+    /// Successful reuses.
+    recycled: u64,
+}
+
+impl Default for PayloadArena {
+    fn default() -> Self {
+        PayloadArena::new()
+    }
+}
+
+impl PayloadArena {
+    /// Creates an empty arena with default sizing (2 KiB chunks, up to
+    /// 4096 pooled buffers). Allocates nothing until the first take.
+    pub fn new() -> Self {
+        PayloadArena::with_chunk_size(DEFAULT_CHUNK)
+    }
+
+    /// Creates an arena minting buffers of `chunk` bytes capacity.
+    pub fn with_chunk_size(chunk: usize) -> Self {
+        PayloadArena {
+            pool: Vec::new(),
+            chunk,
+            max_pooled: DEFAULT_MAX_POOLED,
+            minted: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Takes a buffer (pooled when possible, freshly minted otherwise),
+    /// lets `fill` write the payload into it, and returns `fill`'s value
+    /// alongside the filled handle. On a pool hit the whole operation
+    /// performs zero heap allocations (provided `fill` stays within the
+    /// buffer's capacity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fill`'s error; the buffer involved returns to the pool.
+    pub fn take_fill<T, E>(
+        &mut self,
+        fill: impl FnOnce(&mut Vec<u8>) -> Result<T, E>,
+    ) -> Result<(T, Bytes), E> {
+        let mut bytes = loop {
+            match self.pool.pop() {
+                // A consumer kept a clone alive: this buffer is not ours to
+                // rewrite (drop it and keep looking).
+                Some(pooled) if !pooled.is_unique() => continue,
+                Some(pooled) => {
+                    self.recycled += 1;
+                    break pooled;
+                }
+                None => {
+                    self.minted += 1;
+                    break Bytes::from(Vec::with_capacity(self.chunk));
+                }
+            }
+        };
+        let result = bytes.refill(fill).expect("arena buffers are unique by construction");
+        match result {
+            Ok(value) => Ok((value, bytes)),
+            Err(e) => {
+                self.recycle(bytes);
+                Err(e)
+            }
+        }
+    }
+
+    /// Returns a payload buffer to the pool. Shared handles (a consumer
+    /// still holds a clone) and overflow beyond the pool bound are simply
+    /// dropped — recycling is an optimisation, never a requirement.
+    pub fn recycle(&mut self, bytes: Bytes) {
+        if bytes.is_unique() && self.pool.len() < self.max_pooled {
+            self.pool.push(bytes);
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Buffers created so far (pool misses).
+    pub fn minted(&self) -> u64 {
+        self.minted
+    }
+
+    /// Successful buffer reuses so far (pool hits).
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_reuses_one_buffer() {
+        let mut arena = PayloadArena::with_chunk_size(256);
+        let mut last_ptr = None;
+        for round in 0..100u8 {
+            let (len, payload) = arena
+                .take_fill(|buf| {
+                    buf.extend_from_slice(&[round; 60]);
+                    Ok::<usize, ()>(buf.len())
+                })
+                .unwrap();
+            assert_eq!(len, 60);
+            assert_eq!(payload[0], round);
+            if let Some(ptr) = last_ptr {
+                assert_eq!(payload.as_ptr(), ptr, "round {round} did not reuse the buffer");
+            }
+            last_ptr = Some(payload.as_ptr());
+            arena.recycle(payload);
+        }
+        assert_eq!(arena.minted(), 1);
+        assert_eq!(arena.recycled(), 99);
+    }
+
+    #[test]
+    fn shared_handles_fall_out_of_the_pool() {
+        let mut arena = PayloadArena::new();
+        let (_, payload) = arena
+            .take_fill(|b| {
+                b.push(1);
+                Ok::<(), ()>(())
+            })
+            .unwrap();
+        let keeper = payload.clone();
+        arena.recycle(payload); // shared: dropped, not pooled
+        assert_eq!(arena.pooled(), 0);
+        assert_eq!(&keeper[..], &[1], "the kept clone is untouched");
+        let (_, second) = arena.take_fill(|_| Ok::<(), ()>(())).unwrap();
+        assert_eq!(arena.minted(), 2, "a fresh buffer was minted");
+        drop(second);
+    }
+
+    #[test]
+    fn fill_errors_return_the_buffer() {
+        let mut arena = PayloadArena::new();
+        let err = arena.take_fill(|_| Err::<(), &str>("truncated")).unwrap_err();
+        assert_eq!(err, "truncated");
+        assert_eq!(arena.pooled(), 1, "errored buffer goes back to the pool");
+        let (_, ok) = arena.take_fill(|_| Ok::<(), ()>(())).unwrap();
+        assert_eq!(arena.minted(), 1);
+        drop(ok);
+    }
+}

@@ -62,9 +62,8 @@
 //! assert_eq!(detector.on_event(&Event::Packet(&view)), Some(60.0));
 //! ```
 
-use std::collections::HashMap;
-
 use idsbench_flow::{FlowFeatures, FlowKey, FlowRecord, FlowTable, FlowTableConfig};
+use idsbench_net::fasthash::FastMap;
 use idsbench_net::ParsedPacket;
 
 use crate::detector::{InputFormat, LabeledFlow};
@@ -249,13 +248,13 @@ pub type EventFactory<'a> = Box<dyn Fn() -> Box<dyn EventDetector> + Send + Sync
 #[derive(Debug)]
 pub struct FlowEventAssembler {
     table: FlowTable,
-    labels: HashMap<FlowKey, Label>,
+    labels: FastMap<FlowKey, Label>,
 }
 
 impl FlowEventAssembler {
     /// Creates an assembler with an empty flow table.
     pub fn new(config: FlowTableConfig) -> Self {
-        FlowEventAssembler { table: FlowTable::new(config), labels: HashMap::new() }
+        FlowEventAssembler { table: FlowTable::new(config), labels: FastMap::new() }
     }
 
     /// Feeds one parsed view; evicted flows (if any) are handed to `emit`
@@ -266,14 +265,16 @@ impl FlowEventAssembler {
             return;
         };
         if let Some(key) = view.flow_key {
-            self.labels
-                .entry(key)
-                .and_modify(|existing| {
+            match self.labels.get_mut(&key) {
+                Some(existing) => {
                     if !existing.is_attack() && view.packet.label.is_attack() {
                         *existing = view.packet.label;
                     }
-                })
-                .or_insert(view.packet.label);
+                }
+                None => {
+                    self.labels.insert(key, view.packet.label);
+                }
+            }
         }
         let labels = &self.labels;
         self.table.observe_with(parsed, |record| emit(Self::labeled(labels, record)));
@@ -290,7 +291,7 @@ impl FlowEventAssembler {
         self.table.active_flows()
     }
 
-    fn labeled(labels: &HashMap<FlowKey, Label>, record: FlowRecord) -> LabeledFlow {
+    fn labeled(labels: &FastMap<FlowKey, Label>, record: FlowRecord) -> LabeledFlow {
         let label = labels.get(&record.key).copied().unwrap_or(Label::Benign);
         let features = FlowFeatures::from_record(&record);
         LabeledFlow { record, features, label }

@@ -29,7 +29,14 @@
 #![deny(missing_debug_implementations)]
 
 pub mod allocwatch;
+pub mod arena;
 mod dataset;
+pub mod fasthash {
+    //! Fast hashing for per-packet state maps — re-exported from
+    //! [`idsbench_net::fasthash`], which lives at the bottom of the crate
+    //! stack so the flow layer can share it.
+    pub use idsbench_net::fasthash::{fx_hash, FastMap, FxBuildHasher, FxHasher};
+}
 mod detector;
 mod error;
 pub mod event;
@@ -41,6 +48,7 @@ pub mod report;
 pub mod runner;
 pub mod threshold;
 
+pub use arena::PayloadArena;
 pub use dataset::{Dataset, DatasetInfo};
 pub use detector::{DetectorInput, InputFormat, LabeledFlow, Verdict};
 pub use error::CoreError;

@@ -178,6 +178,9 @@ impl EventDetector for Dnn {
             }
         }
 
+        // Training is done: pack the layer weights for the fused inference
+        // kernel (bit-identical predictions, no column striding).
+        mlp.pack();
         let ws = mlp.workspace();
         self.model = Some(DnnModel {
             norm,

@@ -1,5 +1,4 @@
-use std::collections::HashMap;
-
+use idsbench_net::fasthash::FastMap;
 use idsbench_net::{Duration, ParsedPacket, Timestamp};
 
 use crate::key::FlowKey;
@@ -44,9 +43,16 @@ impl Default for FlowTableConfig {
 #[derive(Debug)]
 pub struct FlowTable {
     config: FlowTableConfig,
-    flows: HashMap<FlowKey, FlowRecord>,
+    /// FxHash open-addressing map: the flow lookup runs once per packet, so
+    /// SipHash here is pure tax (`max_flows` bounds the table, not an
+    /// attacker).
+    flows: FastMap<FlowKey, FlowRecord>,
     last_sweep: Timestamp,
     emitted: u64,
+    /// Sweep scratch, reused so the once-per-trace-second expiry scan stays
+    /// off the heap (the last steady-state allocation of the eviction path).
+    sweep_keys: Vec<FlowKey>,
+    sweep_records: Vec<FlowRecord>,
 }
 
 impl FlowTable {
@@ -57,7 +63,14 @@ impl FlowTable {
     /// Panics if `max_flows` is zero.
     pub fn new(config: FlowTableConfig) -> Self {
         assert!(config.max_flows > 0, "max_flows must be at least 1");
-        FlowTable { config, flows: HashMap::new(), last_sweep: Timestamp::ZERO, emitted: 0 }
+        FlowTable {
+            config,
+            flows: FastMap::new(),
+            last_sweep: Timestamp::ZERO,
+            emitted: 0,
+            sweep_keys: Vec::new(),
+            sweep_records: Vec::new(),
+        }
     }
 
     /// Number of flows currently being tracked.
@@ -92,9 +105,7 @@ impl FlowTable {
             return;
         };
         let (canonical, direction) = key.canonical();
-        for record in self.sweep(packet.ts) {
-            emit(record);
-        }
+        self.sweep_into(packet.ts, &mut emit);
 
         // An existing flow that idled out must be emitted before this packet
         // opens a fresh one (the sweep above already handled that case).
@@ -104,33 +115,52 @@ impl FlowTable {
                 if h.flags.contains(idsbench_net::TcpFlags::SYN)
                     && !h.flags.contains(idsbench_net::TcpFlags::ACK)
         );
-        let record = match self.flows.entry(canonical) {
-            std::collections::hash_map::Entry::Occupied(mut entry) => {
-                if entry.get().closing && is_fresh_syn {
-                    // TIME_WAIT ended by a new connection on the same tuple.
-                    let mut old = entry.insert(FlowRecord::open(canonical, direction, packet));
-                    old.termination = FlowTermination::TcpClose;
-                    Some(old)
+        /// What the (rare) emitting outcomes of the lookup defer until the
+        /// map borrow is released.
+        enum Outcome {
+            None,
+            /// TIME_WAIT ended by a new connection on the same tuple.
+            Reopen,
+            ActiveTimeout,
+        }
+        let outcome = match self.flows.get_mut(&canonical) {
+            Some(flow) => {
+                if flow.closing && is_fresh_syn {
+                    Outcome::Reopen
                 } else {
-                    entry.get_mut().update(direction, packet);
-                    if entry.get().tcp_closed() {
+                    flow.update(direction, packet);
+                    if flow.tcp_closed() {
                         // Linger in TIME_WAIT; trailing ACKs join this flow.
-                        entry.get_mut().closing = true;
-                        None
-                    } else if packet.ts.saturating_since(entry.get().first_seen)
+                        flow.closing = true;
+                        Outcome::None
+                    } else if packet.ts.saturating_since(flow.first_seen)
                         >= self.config.active_timeout
                     {
-                        let mut record = entry.remove();
-                        record.termination = FlowTermination::ActiveTimeout;
-                        Some(record)
+                        Outcome::ActiveTimeout
                     } else {
-                        None
+                        Outcome::None
                     }
                 }
             }
-            std::collections::hash_map::Entry::Vacant(entry) => {
-                entry.insert(FlowRecord::open(canonical, direction, packet));
-                None
+            None => {
+                self.flows.insert(canonical, FlowRecord::open(canonical, direction, packet));
+                Outcome::None
+            }
+        };
+        let record = match outcome {
+            Outcome::None => None,
+            Outcome::Reopen => {
+                let mut old = self
+                    .flows
+                    .insert(canonical, FlowRecord::open(canonical, direction, packet))
+                    .expect("reopened flow was present");
+                old.termination = FlowTermination::TcpClose;
+                Some(old)
+            }
+            Outcome::ActiveTimeout => {
+                let mut record = self.flows.remove(&canonical).expect("timed-out flow was present");
+                record.termination = FlowTermination::ActiveTimeout;
+                Some(record)
             }
         };
         if let Some(record) = record {
@@ -163,38 +193,48 @@ impl FlowTable {
     }
 
     /// Lazily emits idle flows. Runs at most once per second of trace time
-    /// to keep `observe` amortized O(1).
-    fn sweep(&mut self, now: Timestamp) -> Vec<FlowRecord> {
+    /// to keep `observe` amortized O(1), and entirely in reused scratch
+    /// buffers so the steady-state eviction path performs no heap
+    /// allocation (`sort_unstable` included — flow keys are unique, so the
+    /// unstable sort is deterministic).
+    fn sweep_into(&mut self, now: Timestamp, emit: &mut impl FnMut(FlowRecord)) {
         if now.saturating_since(self.last_sweep) < Duration::from_secs(1) {
-            return Vec::new();
+            return;
         }
         self.last_sweep = now;
         let idle = self.config.idle_timeout;
         let time_wait = self.config.time_wait;
-        let expired: Vec<FlowKey> = self
-            .flows
-            .iter()
-            .filter(|(_, record)| {
-                let quiet = now.saturating_since(record.last_seen);
-                quiet >= if record.closing { time_wait } else { idle }
-            })
-            .map(|(key, _)| *key)
-            .collect();
-        let mut records: Vec<FlowRecord> = expired
-            .into_iter()
-            .filter_map(|key| self.flows.remove(&key))
-            .map(|mut record| {
+        self.sweep_keys.clear();
+        for (key, record) in self.flows.iter() {
+            let quiet = now.saturating_since(record.last_seen);
+            if quiet >= if record.closing { time_wait } else { idle } {
+                self.sweep_keys.push(*key);
+            }
+        }
+        if self.sweep_keys.is_empty() {
+            return;
+        }
+        let mut keys = std::mem::take(&mut self.sweep_keys);
+        let mut records = std::mem::take(&mut self.sweep_records);
+        records.clear();
+        for key in &keys {
+            if let Some(mut record) = self.flows.remove(key) {
                 record.termination = if record.closing {
                     FlowTermination::TcpClose
                 } else {
                     FlowTermination::IdleTimeout
                 };
-                record
-            })
-            .collect();
-        records.sort_by_key(|r| (r.first_seen, r.key));
+                records.push(record);
+            }
+        }
+        records.sort_unstable_by_key(|r| (r.first_seen, r.key));
         self.emitted += records.len() as u64;
-        records
+        for record in records.drain(..) {
+            emit(record);
+        }
+        keys.clear();
+        self.sweep_keys = keys;
+        self.sweep_records = records;
     }
 
     fn evict_stalest(&mut self) -> Option<FlowRecord> {

@@ -217,6 +217,9 @@ impl Helad {
         for &score in history.iter().rev().take(window).rev() {
             recent.push(score);
         }
+        // Training is done: pack the autoencoder weights for the fused
+        // inference kernels (bit-identical scores, no column striding).
+        autoencoder.pack();
         let ws = autoencoder.workspace();
         HeladEngine {
             extractor,
@@ -224,7 +227,7 @@ impl Helad {
             autoencoder,
             lstm,
             recent,
-            channel_history: std::collections::HashMap::new(),
+            channel_history: idsbench_core::fasthash::FastMap::new(),
             window,
             smooth: self.config.smooth_window.max(1),
             weight_ae: self.config.weight_ae,
@@ -247,8 +250,9 @@ pub struct HeladEngine {
     lstm: LstmRegressor,
     /// Rolling window of recent reconstruction errors fed to the LSTM.
     recent: ScoreRing,
-    /// Recent errors per src↔dst channel for the smoothing term.
-    channel_history: std::collections::HashMap<
+    /// Recent errors per src↔dst channel for the smoothing term (FxHash:
+    /// one lookup per packet, channel count bounded by the traffic).
+    channel_history: idsbench_core::fasthash::FastMap<
         (std::net::IpAddr, std::net::IpAddr),
         std::collections::VecDeque<f64>,
     >,
@@ -295,7 +299,7 @@ impl HeladEngine {
         let smoothed = match (parsed.src_ip(), parsed.dst_ip()) {
             (Some(a), Some(b)) => {
                 let key = if a <= b { (a, b) } else { (b, a) };
-                let history = self.channel_history.entry(key).or_default();
+                let history = self.channel_history.entry_or_insert_with(key, Default::default);
                 history.push_back(rmse);
                 if history.len() > self.smooth {
                     history.pop_front();

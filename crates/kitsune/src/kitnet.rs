@@ -173,6 +173,16 @@ impl KitNet {
         self.output.train_sample(&self.scaled_buf)
     }
 
+    /// Packs every autoencoder's weights for the fused inference kernel
+    /// (training is over, execution begins). Scores are bit-identical
+    /// either way; a later [`KitNet::train`] drops the packs automatically.
+    pub fn freeze(&mut self) {
+        for ae in &mut self.ensemble {
+            ae.pack();
+        }
+        self.output.pack();
+    }
+
     /// Scores a sample without updating weights (execution phase). The
     /// input normalizer still widens, matching the reference behaviour of
     /// normalizing by the range observed so far.

@@ -133,6 +133,9 @@ impl Kitsune {
             }
         }
 
+        // Training is done: pack the ensemble weights for the fused
+        // inference kernel (bit-identical scores, no column striding).
+        net.freeze();
         KitsuneEngine { extractor, net, feat_buf: Vec::with_capacity(width) }
     }
 }

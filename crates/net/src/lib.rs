@@ -10,7 +10,9 @@
 //! * a [`PacketBuilder`] that assembles valid frames (lengths and checksums
 //!   computed for you),
 //! * classic libpcap file I/O ([`pcap::PcapReader`], [`pcap::PcapWriter`])
-//!   supporting both byte orders and microsecond/nanosecond resolution.
+//!   supporting both byte orders and microsecond/nanosecond resolution,
+//! * fast hashing for the per-packet state maps of the layers above
+//!   ([`fasthash::FastMap`], [`fasthash::FxHasher`]).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ mod builder;
 mod checksum;
 mod error;
 mod ethernet;
+pub mod fasthash;
 mod icmp;
 mod ipv4;
 mod ipv6;

@@ -119,6 +119,23 @@ impl<R: Read> PcapReader<R> {
     /// read fails, and [`NetError::InvalidField`] if a record claims a
     /// capture length beyond the snap length (corrupt file).
     pub fn next_packet(&mut self) -> Result<Option<Packet>> {
+        let mut data = Vec::new();
+        Ok(self.read_record_into(&mut data)?.map(|ts| Packet { ts, data: Bytes::from(data) }))
+    }
+
+    /// [`PcapReader::next_packet`] into a caller-owned buffer: the record's
+    /// frame bytes replace `data`'s contents and the capture timestamp is
+    /// returned (`Ok(None)` at a clean end of file, with `data` cleared).
+    ///
+    /// This is the pooled-transport entry point — a feeder drawing buffers
+    /// from a `PayloadArena` replays a capture without allocating a
+    /// `Vec<u8>` per packet, the way [`PcapReader::next_packet`] must.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PcapReader::next_packet`].
+    pub fn read_record_into(&mut self, data: &mut Vec<u8>) -> Result<Option<Timestamp>> {
+        data.clear();
         let mut record = [0u8; 16];
         match self.source.read(&mut record[..1])? {
             0 => return Ok(None), // clean EOF
@@ -144,10 +161,10 @@ impl<R: Read> PcapReader<R> {
             Resolution::Micros => u64::from(ts_secs) * 1_000_000 + u64::from(ts_frac),
             Resolution::Nanos => u64::from(ts_secs) * 1_000_000 + u64::from(ts_frac) / 1_000,
         };
-        let mut data = vec![0u8; cap_len as usize];
-        self.source.read_exact(&mut data)?;
+        data.resize(cap_len as usize, 0);
+        self.source.read_exact(data)?;
         self.packets_read += 1;
-        Ok(Some(Packet { ts: Timestamp::from_micros(micros), data: Bytes::from(data) }))
+        Ok(Some(Timestamp::from_micros(micros)))
     }
 
     /// Consumes the reader and returns the underlying source.

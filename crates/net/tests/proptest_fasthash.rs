@@ -1,0 +1,113 @@
+//! Property-based parity of [`FastMap`] against `std::collections::HashMap`
+//! under arbitrary operation sequences — the open-addressing map must be a
+//! behavioural drop-in (insert/get/remove/iterate), tombstones, probe
+//! chains, growth and all.
+
+use idsbench_net::fasthash::{fx_hash, FastMap};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One scripted map operation. Key space is kept small (0..48) so probe
+/// chains, overwrites, and remove-reinsert cycles are actually exercised.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    (0u8..3, 0u16..48, any::<u32>()).prop_map(|(kind, key, value)| match kind {
+        0 => Op::Insert(key, value),
+        1 => Op::Remove(key),
+        _ => Op::Get(key),
+    })
+}
+
+proptest! {
+    /// Every operation returns exactly what `HashMap` returns, and the
+    /// final contents are identical.
+    #[test]
+    fn matches_std_hashmap(ops in proptest::collection::vec(op(), 1..400)) {
+        let mut fast: FastMap<u16, u32> = FastMap::new();
+        let mut std_map: HashMap<u16, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(fast.insert(k, v), std_map.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(fast.remove(&k), std_map.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(fast.get(&k), std_map.get(&k));
+                    prop_assert_eq!(fast.contains_key(&k), std_map.contains_key(&k));
+                }
+            }
+            prop_assert_eq!(fast.len(), std_map.len());
+            prop_assert_eq!(fast.is_empty(), std_map.is_empty());
+        }
+        // Iteration parity: same multiset of entries (order is unspecified
+        // in both maps).
+        let mut got: Vec<(u16, u32)> = fast.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut want: Vec<(u16, u32)> = std_map.iter().map(|(k, v)| (*k, *v)).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Drain parity: everything comes out exactly once.
+        let mut drained: Vec<(u16, u32)> = fast.drain().collect();
+        drained.sort_unstable();
+        let mut expected: Vec<(u16, u32)> = std_map.drain().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(drained, expected);
+        prop_assert!(fast.is_empty());
+    }
+
+    /// `entry_or_insert_with` matches `entry().or_insert_with()`.
+    #[test]
+    fn entry_matches_std(keys in proptest::collection::vec(0u16..32, 1..200)) {
+        let mut fast: FastMap<u16, u32> = FastMap::new();
+        let mut std_map: HashMap<u16, u32> = HashMap::new();
+        for (i, k) in keys.into_iter().enumerate() {
+            let fast_v = fast.entry_or_insert_with(k, || i as u32);
+            let std_v = std_map.entry(k).or_insert_with(|| i as u32);
+            prop_assert_eq!(&*fast_v, &*std_v);
+            *fast_v += 1;
+            *std_v += 1;
+        }
+        for (k, v) in std_map {
+            prop_assert_eq!(fast.get(&k), Some(&v));
+        }
+    }
+
+    /// `retain` keeps exactly what `HashMap::retain` keeps.
+    #[test]
+    fn retain_matches_std(
+        entries in proptest::collection::vec((0u16..64, any::<u32>()), 0..150),
+        modulus in 2u32..7,
+    ) {
+        let mut fast: FastMap<u16, u32> = FastMap::new();
+        let mut std_map: HashMap<u16, u32> = HashMap::new();
+        for (k, v) in entries {
+            fast.insert(k, v);
+            std_map.insert(k, v);
+        }
+        fast.retain(|_, v| *v % modulus == 0);
+        std_map.retain(|_, v| *v % modulus == 0);
+        prop_assert_eq!(fast.len(), std_map.len());
+        for (k, v) in &std_map {
+            prop_assert_eq!(fast.get(k), Some(v));
+        }
+        // Survivors stay reachable through the tombstones retain left.
+        for (k, v) in std_map {
+            prop_assert_eq!(fast.remove(&k), Some(v));
+        }
+        prop_assert!(fast.is_empty());
+    }
+
+    /// The hasher is a pure function of the key.
+    #[test]
+    fn fx_hash_is_stable(key in any::<u64>()) {
+        prop_assert_eq!(fx_hash(&key), fx_hash(&key));
+    }
+}

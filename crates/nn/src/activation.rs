@@ -25,14 +25,26 @@ impl Activation {
     /// Applies the activation element-wise in place — the allocation-free
     /// kernel behind [`Activation::apply`] and the inference hot path.
     pub fn apply_assign(self, x: &mut Matrix) {
-        let f: fn(f64) -> f64 = match self {
-            Activation::Sigmoid => sigmoid,
-            Activation::Relu => |v| v.max(0.0),
-            Activation::Tanh => f64::tanh,
-            Activation::Linear => return,
-        };
+        if self == Activation::Linear {
+            return;
+        }
         for v in x.as_mut_slice() {
-            *v = f(*v);
+            *v = self.eval(*v);
+        }
+    }
+
+    /// Applies the activation to one scalar — the per-element kernel the
+    /// fused affine-activate inference pass inlines (see
+    /// [`crate::Dense::forward_into`]). Exactly the function
+    /// [`Activation::apply_assign`] maps, so fused and staged paths stay
+    /// bit-identical.
+    #[inline]
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
         }
     }
 

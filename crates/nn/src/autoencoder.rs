@@ -95,6 +95,15 @@ impl Autoencoder {
         Workspace::with_max_width(self.input_size.max(self.hidden_size()))
     }
 
+    /// Packs both layers' weights for the fused inference kernel (see
+    /// [`crate::Dense::pack_weights`]). Call when training is finished;
+    /// scores are bit-identical either way, packed is just faster. A later
+    /// [`Autoencoder::train_sample`] drops the packs automatically.
+    pub fn pack(&mut self) {
+        self.encoder.pack_weights();
+        self.decoder.pack_weights();
+    }
+
     /// Reconstruction RMSE of `x` without updating weights.
     ///
     /// # Panics
@@ -106,17 +115,18 @@ impl Autoencoder {
 
     /// [`Autoencoder::score`] through caller-owned scratch: bitwise the
     /// same RMSE, zero heap allocations once `ws` is warm. This is the
-    /// steady-state entry point of the Kitsune/HELAD scoring hot path.
+    /// steady-state entry point of the Kitsune/HELAD scoring hot path —
+    /// the feature slice feeds the layer kernels directly, with no staging
+    /// copy.
     ///
     /// # Panics
     ///
     /// Panics if `x` has the wrong width.
     pub fn score_with(&self, x: &[f64], ws: &mut Workspace) -> f64 {
         assert_eq!(x.len(), self.input_size, "input width mismatch");
-        ws.input.set_row(x);
-        self.encoder.forward_into(&ws.input, &mut ws.ping);
-        self.decoder.forward_into(&ws.ping, &mut ws.pong);
-        rmse(&ws.input, &ws.pong)
+        self.encoder.forward_row_into(x, &mut ws.ping);
+        self.decoder.forward_row_into(ws.ping.row(0), &mut ws.pong);
+        rmse_slices(x, ws.pong.as_slice())
     }
 
     /// One online SGD step on `x`; returns the RMSE measured *before* the
@@ -141,16 +151,19 @@ impl Autoencoder {
 }
 
 fn rmse(x: &Matrix, reconstruction: &Matrix) -> f64 {
+    rmse_slices(x.as_slice(), reconstruction.as_slice())
+}
+
+fn rmse_slices(x: &[f64], reconstruction: &[f64]) -> f64 {
     let sum: f64 = x
-        .as_slice()
         .iter()
-        .zip(reconstruction.as_slice())
+        .zip(reconstruction)
         .map(|(a, b)| {
             let d = a - b;
             d * d
         })
         .sum();
-    (sum / x.cols() as f64).sqrt()
+    (sum / x.len() as f64).sqrt()
 }
 
 #[cfg(test)]

@@ -1,12 +1,21 @@
 use crate::activation::Activation;
-use crate::matrix::Matrix;
+use crate::matrix::{dot, Matrix, PackedB};
 use crate::optimizer::Optimizer;
+
+/// Output widths up to this use the transposed-weight dot kernel; beyond
+/// it the broadcast matmul vectorizes across the row and wins.
+const NARROW_OUTPUT: usize = 2;
 
 /// A fully connected layer: `y = f(x·W + b)`.
 ///
 /// Holds its weights and, transiently, the cached forward values needed by
 /// backprop. Parameter ids for the optimizer are `base_id` (weights) and
 /// `base_id + 1` (bias).
+///
+/// After training, [`Dense::pack_weights`] snapshots the weights into the
+/// column-packed layout the fused inference kernel consumes; any further
+/// [`Dense::backward`] step invalidates the pack, so a stale fast path can
+/// never be consulted.
 #[derive(Debug, Clone)]
 pub struct Dense {
     weights: Matrix,
@@ -15,6 +24,9 @@ pub struct Dense {
     base_id: usize,
     cached_input: Option<Matrix>,
     cached_output: Option<Matrix>,
+    /// Column-packed weights for the fused inference kernel; present only
+    /// while in sync with `weights`.
+    packed: Option<PackedB>,
 }
 
 impl Dense {
@@ -34,7 +46,28 @@ impl Dense {
             base_id,
             cached_input: None,
             cached_output: None,
+            packed: None,
         }
+    }
+
+    /// Snapshots the weights into the column-packed layout consumed by the
+    /// fused inference pass of [`Dense::forward_into`]. Call once when a
+    /// model finishes fitting; training afterwards drops the pack.
+    ///
+    /// Only narrow layers (regression/classifier heads, where the dot
+    /// kernel is the one that runs) actually pack — for wide layers the
+    /// broadcast kernel reads the row-major weights directly, so a pack
+    /// would be a dead duplicate of the weight memory and this call is a
+    /// no-op.
+    pub fn pack_weights(&mut self) {
+        if self.output_size() <= NARROW_OUTPUT {
+            self.packed = Some(PackedB::pack(&self.weights));
+        }
+    }
+
+    /// Whether a current (in-sync) weight pack exists.
+    pub fn is_packed(&self) -> bool {
+        self.packed.is_some()
     }
 
     /// Input width.
@@ -68,10 +101,99 @@ impl Dense {
     /// `x.rows() × output_size` and filled with `f(x·W + b)` without any
     /// heap allocation (once `out` has capacity). Bitwise-identical to
     /// [`Dense::forward`].
+    ///
+    /// The product picks the kernel by output width. Wide layers run the
+    /// cache-blocked broadcast matmul (SIMD across the output row — no
+    /// per-element dependency chain) followed by one fused bias+activation
+    /// pass instead of the staged broadcast-then-activate pair. Narrow
+    /// layers (the regressor/classifier heads, where a broadcast pass would
+    /// serialize through one or two memory cells `K` times) use the
+    /// transposed-weight dot kernel over the pack from
+    /// [`Dense::pack_weights`]. Same floating-point operations in the same
+    /// order either way, so every path is bit-for-bit identical.
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
-        x.matmul_into(&self.weights, out);
-        out.add_assign_row_broadcast(&self.bias);
-        self.activation.apply_assign(out);
+        match &self.packed {
+            Some(packed) if packed.cols() <= NARROW_OUTPUT => {
+                self.affine_activate_into(x, packed, out);
+            }
+            _ => {
+                x.matmul_into(&self.weights, out);
+                self.bias_activate_assign(out);
+            }
+        }
+    }
+
+    /// [`Dense::forward_into`] for a bare feature slice: the row is handed
+    /// straight to the kernel, skipping the copy into a staging matrix.
+    /// Bitwise identical to `forward_into(&row_vector(x), out)` — this is
+    /// the per-sample inference entry point of the scoring hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width.
+    pub fn forward_row_into(&self, x: &[f64], out: &mut Matrix) {
+        match &self.packed {
+            Some(packed) if packed.cols() <= NARROW_OUTPUT => {
+                self.affine_activate_row(x, packed, out);
+            }
+            _ => {
+                self.weights.row_matmul_into(x, out);
+                self.bias_activate_assign(out);
+            }
+        }
+    }
+
+    /// Fused epilogue: `out[j] = f(out[j] + b[j])` in one pass over the
+    /// output, replacing the staged broadcast-add + activate pair.
+    fn bias_activate_assign(&self, out: &mut Matrix) {
+        let n = self.bias.cols();
+        let bias = self.bias.as_slice();
+        let act = self.activation;
+        for row in out.as_mut_slice().chunks_exact_mut(n) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o = act.eval(*o + b);
+            }
+        }
+    }
+
+    /// The fused narrow-output kernel: `out[i][j] = f(dot(x[i], W[:,j]) +
+    /// b[j])` over the packed weight columns.
+    fn affine_activate_into(&self, x: &Matrix, packed: &PackedB, out: &mut Matrix) {
+        let kd = packed.rows();
+        let n = packed.cols();
+        assert_eq!(x.cols(), kd, "input width mismatch: {} vs {}", x.cols(), kd);
+        out.reshape(x.rows(), n);
+        for i in 0..x.rows() {
+            let (x_row, out_slice) = (x.row(i), &mut out.as_mut_slice()[i * n..(i + 1) * n]);
+            // Split borrows: `x` and `out` are distinct matrices.
+            self.affine_row_kernel(x_row, packed, out_slice);
+        }
+    }
+
+    /// Single-row variant of [`Dense::affine_activate_into`] over a bare
+    /// slice.
+    fn affine_activate_row(&self, x: &[f64], packed: &PackedB, out: &mut Matrix) {
+        assert_eq!(
+            x.len(),
+            packed.rows(),
+            "input width mismatch: {} vs {}",
+            x.len(),
+            packed.rows()
+        );
+        out.reshape(1, packed.cols());
+        self.affine_row_kernel(x, packed, out.as_mut_slice());
+    }
+
+    /// `out_row[j] = f(dot(x_row, W[:,j]) + b[j])` for one row. At most
+    /// [`NARROW_OUTPUT`] columns ever reach this kernel, so a plain loop
+    /// of contiguous dots is the whole story (wider packed products go
+    /// through the multi-chain [`Matrix::matmul_packed_into`]).
+    fn affine_row_kernel(&self, x_row: &[f64], packed: &PackedB, out_row: &mut [f64]) {
+        let bias = self.bias.as_slice();
+        let act = self.activation;
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o = act.eval(dot(x_row, packed.col(j)) + bias[j]);
+        }
     }
 
     /// Forward pass that caches activations for a subsequent
@@ -104,6 +226,8 @@ impl Dense {
         let grad_input = delta.matmul(&self.weights.transpose());
         opt.step(self.base_id, &mut self.weights, &grad_weights);
         opt.step(self.base_id + 1, &mut self.bias, &grad_bias);
+        // The weights moved: any packed snapshot is stale.
+        self.packed = None;
         grad_input
     }
 }
@@ -178,6 +302,54 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn packed_forward_is_bitwise_identical() {
+        for activation in
+            [Activation::Sigmoid, Activation::Relu, Activation::Tanh, Activation::Linear]
+        {
+            // A narrow head (2 outputs): the shape the dot kernel serves.
+            let mut layer = Dense::new(5, 2, activation, 0, 23);
+            let x = Matrix::xavier(3, 5, 99);
+            let staged = layer.forward(&x);
+            layer.pack_weights();
+            assert!(layer.is_packed());
+            let fused = layer.forward(&x);
+            assert_eq!(staged, fused, "{activation:?} fused path diverged");
+            // Slice-input entry point agrees too.
+            let mut row_out = Matrix::default();
+            layer.forward_row_into(x.row(1), &mut row_out);
+            assert_eq!(row_out.row(0), staged.row(1));
+        }
+    }
+
+    #[test]
+    fn wide_layers_skip_the_pack() {
+        // The broadcast kernel reads row-major weights directly; a pack
+        // would only duplicate the weight memory.
+        let mut layer = Dense::new(5, 7, Activation::Relu, 0, 23);
+        let x = Matrix::xavier(1, 5, 99);
+        let before = layer.forward(&x);
+        layer.pack_weights();
+        assert!(!layer.is_packed(), "wide layers must not hold a dead pack");
+        assert_eq!(layer.forward(&x), before);
+    }
+
+    #[test]
+    fn training_invalidates_the_pack() {
+        let mut layer = Dense::new(2, 2, Activation::Linear, 0, 1);
+        layer.pack_weights();
+        assert!(layer.is_packed());
+        let mut opt = Sgd::new(0.1);
+        let out = layer.forward_training(Matrix::zeros(1, 2));
+        layer.backward(&out, &mut opt);
+        assert!(!layer.is_packed(), "stale pack must not survive a weight update");
+        // Unpacked inference still agrees with a repack.
+        let x = Matrix::from_rows(&[&[0.5, -0.5]]);
+        let unpacked = layer.forward(&x);
+        layer.pack_weights();
+        assert_eq!(layer.forward(&x), unpacked);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use autoencoder::{Autoencoder, AutoencoderConfig};
 pub use dense::Dense;
 pub use loss::Loss;
 pub use lstm::{Lstm, LstmRegressor, LstmRegressorConfig};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, PackedB};
 pub use mlp::{Mlp, MlpBuilder};
 pub use normalize::{MinMaxNormalizer, ZScoreNormalizer};
 pub use optimizer::{Adam, Optimizer, Sgd};

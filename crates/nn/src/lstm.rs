@@ -120,21 +120,43 @@ impl Lstm {
         ws.cell.reshape_zeroed(1, h);
         for x in steps {
             assert_eq!(x.len(), self.input_size, "input width mismatch");
-            ws.input.set_row(x);
             // z = (x·Wx + b) + h·Wh, summed in exactly the order the
-            // allocating `step` uses so both paths stay bit-identical.
-            ws.input.matmul_into(&self.w_x, &mut ws.gates);
-            ws.gates.add_assign_row_broadcast(&self.bias);
-            ws.hidden.matmul_into(&self.w_h, &mut ws.gates_h);
-            ws.gates.add_assign(&ws.gates_h);
-            let gates = ws.gates.as_slice();
-            let hidden = ws.hidden.as_mut_slice();
-            let cell = ws.cell.as_mut_slice();
+            // allocating `step` uses so both paths stay bit-identical: the
+            // two products land in separate buffers and the final `+` is
+            // fused into the gate loop below instead of a separate pass.
+            // (The transposed-weight dot kernel is deliberately *not* used
+            // here: the gate matrices are wide, and the broadcast matmul's
+            // SIMD-across-columns beats serial dot chains on them — see
+            // `Dense::forward_into` for where the packed path pays off.)
+            if self.input_size == 1 {
+                // Width-one input (the HELAD score history): x·Wx is a
+                // scalar broadcast, fused with the bias add in one pass.
+                let x0 = x[0];
+                ws.gates.reshape(1, 4 * h);
+                let wx = self.w_x.row(0);
+                let bias = self.bias.row(0);
+                for ((g, &w), &b) in ws.gates.as_mut_slice().iter_mut().zip(wx).zip(bias) {
+                    *g = (0.0 + x0 * w) + b;
+                }
+            } else {
+                self.w_x.row_matmul_into(x, &mut ws.gates);
+                ws.gates.add_assign_row_broadcast(&self.bias);
+            }
+            self.w_h.row_matmul_into(ws.hidden.row(0), &mut ws.gates_h);
+            // Exact-width gate slices: no bounds checks inside the loop.
+            let (z_i, rest) = ws.gates.as_slice().split_at(h);
+            let (z_f, rest) = rest.split_at(h);
+            let (z_g, z_o) = rest.split_at(h);
+            let (zh_i, rest_h) = ws.gates_h.as_slice().split_at(h);
+            let (zh_f, rest_h) = rest_h.split_at(h);
+            let (zh_g, zh_o) = rest_h.split_at(h);
+            let hidden = &mut ws.hidden.as_mut_slice()[..h];
+            let cell = &mut ws.cell.as_mut_slice()[..h];
             for j in 0..h {
-                let i_gate = sigmoid(gates[j]);
-                let f_gate = sigmoid(gates[h + j]);
-                let g_gate = gates[2 * h + j].tanh();
-                let o_gate = sigmoid(gates[3 * h + j]);
+                let i_gate = sigmoid(z_i[j] + zh_i[j]);
+                let f_gate = sigmoid(z_f[j] + zh_f[j]);
+                let g_gate = (z_g[j] + zh_g[j]).tanh();
+                let o_gate = sigmoid(z_o[j] + zh_o[j]);
                 let c = f_gate * cell[j] + i_gate * g_gate;
                 cell[j] = c;
                 hidden[j] = o_gate * c.tanh();

@@ -172,6 +172,14 @@ impl Matrix {
     /// Matrix product `self · other` written into `out` (reshaped as
     /// needed), allocating nothing once `out` has the right capacity.
     ///
+    /// The kernel is cache-blocked over the output columns and unrolled
+    /// eight-wide over the inner dimension: each pass over an output-row
+    /// tile folds eight rows of `other` in, so the tile is loaded and
+    /// stored `⌈K/8⌉` times instead of `K`. Every output element still
+    /// accumulates its `k` terms in ascending order from `0.0`, so the
+    /// result is bitwise identical to the naive triple loop (the invariant
+    /// the score-digest tests pin).
+    ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
@@ -181,15 +189,97 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        out.reshape_zeroed(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(other_row) {
-                    *o += a * b;
-                }
+        let (m, kd, n) = (self.rows, self.cols, other.cols);
+        if kd == 0 {
+            out.reshape_zeroed(m, n);
+            return;
+        }
+        out.reshape(m, n);
+        // Output-column tile sized so the tile plus the unroll window of
+        // `other` rows stay L1-resident (see `NC`).
+        for j0 in (0..n).step_by(NC) {
+            let jn = (j0 + NC).min(n);
+            for i in 0..m {
+                let a_row = &self.data[i * kd..(i + 1) * kd];
+                let out_row = &mut out.data[i * n + j0..i * n + jn];
+                broadcast_tile(a_row, &other.data, n, j0, jn, out_row);
+            }
+        }
+    }
+
+    /// `x · self` for a bare row slice, written into `out` (reshaped to
+    /// `1 × cols`): [`Matrix::matmul_into`] without wrapping `x` in a
+    /// matrix first. This is the inference entry point — the scoring hot
+    /// paths hand their feature slices straight to the kernel instead of
+    /// copying them into a staging row. Bitwise identical to
+    /// `row_vector(x).matmul_into(self, out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the matrix's row count.
+    pub fn row_matmul_into(&self, x: &[f64], out: &mut Matrix) {
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "matmul dimension mismatch: 1x{} · {}x{}",
+            x.len(),
+            self.rows,
+            self.cols
+        );
+        let n = self.cols;
+        if self.rows == 0 {
+            out.reshape_zeroed(1, n);
+            return;
+        }
+        out.reshape(1, n);
+        for j0 in (0..n).step_by(NC) {
+            let jn = (j0 + NC).min(n);
+            broadcast_tile(x, &self.data, n, j0, jn, &mut out.data[j0..jn]);
+        }
+    }
+
+    /// Matrix product `self · B` against a [`PackedB`] (column-packed)
+    /// right-hand side, written into `out`.
+    ///
+    /// This is the inference fast path: with `B` transposed at pack time,
+    /// each output element is a dot product over two contiguous slices, and
+    /// the kernel runs four independent accumulator chains (four output
+    /// columns) per pass — instruction-level parallelism without touching
+    /// any element's addition order, so the product is bitwise identical to
+    /// [`Matrix::matmul_into`] against the unpacked matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_packed_into(&self, packed: &PackedB, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, packed.k,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, packed.k, packed.n
+        );
+        let (m, kd, n) = (self.rows, self.cols, packed.n);
+        out.reshape(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * kd..(i + 1) * kd];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + 4 <= n {
+                let (acc0, acc1, acc2, acc3) = dot4(
+                    a_row,
+                    packed.col(j),
+                    packed.col(j + 1),
+                    packed.col(j + 2),
+                    packed.col(j + 3),
+                );
+                out_row[j] = acc0;
+                out_row[j + 1] = acc1;
+                out_row[j + 2] = acc2;
+                out_row[j + 3] = acc3;
+                j += 4;
+            }
+            while j < n {
+                out_row[j] = dot(a_row, packed.col(j));
+                j += 1;
             }
         }
     }
@@ -290,6 +380,186 @@ impl Default for Matrix {
     fn default() -> Self {
         Matrix::zeros(0, 0)
     }
+}
+
+/// A right-hand-side matrix packed column-major for the inference
+/// microkernel: column `j` of the original matrix is the contiguous slice
+/// [`PackedB::col`]`(j)`.
+///
+/// Row-major `x · W` inference walks the columns of `W`; packing the
+/// transpose once (at fit time — see [`crate::Dense::pack_weights`]) turns
+/// every output element into a dot product over two contiguous slices, so
+/// the steady-state score loop never strides memory. Products computed
+/// through a pack are bitwise identical to the unpacked path: packing
+/// permutes the *layout*, never any element's accumulation order.
+///
+/// # Examples
+///
+/// ```
+/// use idsbench_nn::{Matrix, PackedB};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+/// let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let packed = PackedB::pack(&b);
+/// let mut out = Matrix::default();
+/// a.matmul_packed_into(&packed, &mut out);
+/// assert_eq!(out, a.matmul(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB {
+    /// Inner dimension (rows of the original matrix).
+    k: usize,
+    /// Output dimension (columns of the original matrix).
+    n: usize,
+    /// Column-major data: column `j` lives at `data[j*k..(j+1)*k]`.
+    data: Vec<f64>,
+}
+
+impl PackedB {
+    /// Packs `b` (the right-hand side of a product) column-major.
+    pub fn pack(b: &Matrix) -> Self {
+        let (k, n) = (b.rows, b.cols);
+        let mut data = Vec::with_capacity(k * n);
+        for j in 0..n {
+            for i in 0..k {
+                data.push(b.data[i * n + j]);
+            }
+        }
+        PackedB { k, n, data }
+    }
+
+    /// Inner dimension (rows of the packed matrix).
+    pub fn rows(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension (columns of the packed matrix).
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Column `j` of the original matrix, contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    #[inline]
+    pub fn col(&self, col: usize) -> &[f64] {
+        &self.data[col * self.k..(col + 1) * self.k]
+    }
+}
+
+/// Output-column tile width: the tile plus the eight right-hand-side rows
+/// of one unrolled pass stay L1-resident (9 × 256 × 8 B = 18 KiB against a
+/// typical 32 KiB L1d, leaving room for the left-hand row and stack).
+const NC: usize = 256;
+
+/// The broadcast microkernel: accumulates `a_row · B` into one output-row
+/// tile (columns `j0..jn` of a `B` with `n` columns), up to eight `k` rows
+/// per pass. The first pass *writes* (`0.0 + a·b`, the zero-init chain
+/// spelled out) so the tile never needs a zeroing pass; every element
+/// accumulates
+/// its `k` terms in ascending order from `0.0`, bitwise identical to the
+/// naive triple loop.
+#[inline]
+fn broadcast_tile(
+    a_row: &[f64],
+    bdata: &[f64],
+    n: usize,
+    j0: usize,
+    jn: usize,
+    out_row: &mut [f64],
+) {
+    let kd = a_row.len();
+    debug_assert!(kd > 0);
+    let len = out_row.len();
+    debug_assert_eq!(len, jn - j0);
+    // `row(k)` is row `k` of the right-hand side, tile-aligned.
+    let row = |k: usize| &bdata[k * n + j0..k * n + jn][..len];
+    // First chunk writes instead of accumulating (`0.0 + a·b` is the
+    // zero-init chain spelled out), so the tile needs no zeroing pass.
+    let mut k;
+    if kd >= 4 {
+        let (a0, a1, a2, a3) = (a_row[0], a_row[1], a_row[2], a_row[3]);
+        let (b0, b1, b2, b3) = (row(0), row(1), row(2), row(3));
+        for j in 0..len {
+            out_row[j] = (((0.0 + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        k = 4;
+    } else {
+        let a = a_row[0];
+        let b = row(0);
+        for (o, &bv) in out_row.iter_mut().zip(b) {
+            *o = 0.0 + a * bv;
+        }
+        k = 1;
+    }
+    // Main unroll: eight dependent adds per element per pass, ascending-k
+    // — the same chain the naive loop builds, an eighth of the passes.
+    while k + 8 <= kd {
+        let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+        let (a4, a5, a6, a7) = (a_row[k + 4], a_row[k + 5], a_row[k + 6], a_row[k + 7]);
+        let (b0, b1, b2, b3) = (row(k), row(k + 1), row(k + 2), row(k + 3));
+        let (b4, b5, b6, b7) = (row(k + 4), row(k + 5), row(k + 6), row(k + 7));
+        for j in 0..len {
+            let acc = (((out_row[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+            out_row[j] = (((acc + a4 * b4[j]) + a5 * b5[j]) + a6 * b6[j]) + a7 * b7[j];
+        }
+        k += 8;
+    }
+    if k + 4 <= kd {
+        let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+        let (b0, b1, b2, b3) = (row(k), row(k + 1), row(k + 2), row(k + 3));
+        for j in 0..len {
+            out_row[j] = (((out_row[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        k += 4;
+    }
+    while k < kd {
+        let a = a_row[k];
+        let b = row(k);
+        for (o, &bv) in out_row.iter_mut().zip(b) {
+            *o += a * bv;
+        }
+        k += 1;
+    }
+}
+
+/// Sequential dot product: the exact addition chain one output element of
+/// the naive matmul builds (ascending `k`, starting from `0.0`).
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Four sequential dot products over one shared left-hand side — four
+/// independent accumulator chains advancing in lockstep, which is where the
+/// microkernel's instruction-level parallelism comes from. Each chain is
+/// element-for-element the chain [`dot`] builds.
+#[inline]
+pub(crate) fn dot4(
+    a: &[f64],
+    b0: &[f64],
+    b1: &[f64],
+    b2: &[f64],
+    b3: &[f64],
+) -> (f64, f64, f64, f64) {
+    let n = a.len();
+    debug_assert!(b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n);
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0, 0.0, 0.0, 0.0);
+    for (i, &x) in a.iter().enumerate() {
+        acc0 += x * b0[i];
+        acc1 += x * b1[i];
+        acc2 += x * b2[i];
+        acc3 += x * b3[i];
+    }
+    (acc0, acc1, acc2, acc3)
 }
 
 impl Add for &Matrix {
@@ -434,6 +704,44 @@ mod tests {
         assert_eq!(r, Matrix::row_vector(&[7.0, 8.0, 9.0]));
         r.set_row(&[1.0]);
         assert_eq!(r, Matrix::row_vector(&[1.0]));
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_product_bitwise() {
+        // Shapes straddling the 4-wide unroll boundary and the remainder
+        // loop, including the row-vector inference shape.
+        for (m, k, n) in [(1, 1, 1), (1, 100, 75), (3, 5, 7), (4, 8, 4), (2, 9, 13), (7, 4, 1)] {
+            let a = Matrix::xavier(m, k, (m * 100 + k * 10 + n) as u64);
+            let b = Matrix::xavier(k, n, (n * 100 + k) as u64);
+            // Naive reference: the pre-blocking triple loop.
+            let mut naive = Matrix::zeros(m, n);
+            for i in 0..m {
+                for kk in 0..k {
+                    for j in 0..n {
+                        let v = naive.get(i, j) + a.get(i, kk) * b.get(kk, j);
+                        naive.set(i, j, v);
+                    }
+                }
+            }
+            let blocked = a.matmul(&b);
+            assert_eq!(blocked, naive, "blocked kernel diverged at {m}x{k}x{n}");
+
+            let packed = PackedB::pack(&b);
+            assert_eq!((packed.rows(), packed.cols()), (k, n));
+            let mut via_pack = Matrix::default();
+            a.matmul_packed_into(&packed, &mut via_pack);
+            assert_eq!(via_pack, naive, "packed kernel diverged at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_columns_are_original_columns() {
+        let b = Matrix::xavier(5, 3, 11);
+        let packed = PackedB::pack(&b);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..5).map(|i| b.get(i, j)).collect();
+            assert_eq!(packed.col(j), &col[..]);
+        }
     }
 
     #[test]

@@ -61,6 +61,16 @@ impl Mlp {
         Workspace::with_max_width(widest)
     }
 
+    /// Packs every layer's weights for the fused inference kernel (see
+    /// [`crate::Dense::pack_weights`]). Call when training is finished;
+    /// predictions are bit-identical either way. A later
+    /// [`Mlp::train_batch`] drops the packs automatically.
+    pub fn pack(&mut self) {
+        for layer in &mut self.layers {
+            layer.pack_weights();
+        }
+    }
+
     /// One optimization step on a batch; returns the pre-step loss.
     ///
     /// # Panics

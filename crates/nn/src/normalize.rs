@@ -53,13 +53,13 @@ impl MinMaxNormalizer {
     /// Panics if `x` has the wrong width.
     pub fn observe(&mut self, x: &[f64]) {
         assert_eq!(x.len(), self.width(), "vector width mismatch");
-        for (min, &v) in self.mins.iter_mut().zip(x) {
+        // One fused pass: min and max updates are independent comparisons,
+        // so fusing the loops changes no result, only the traffic.
+        for ((min, max), &v) in self.mins.iter_mut().zip(&mut self.maxs).zip(x) {
             // NaN guards: NaN comparisons are false, so NaN never widens.
             if v < *min {
                 *min = v;
             }
-        }
-        for (max, &v) in self.maxs.iter_mut().zip(x) {
             if v > *max {
                 *max = v;
             }

@@ -37,8 +37,6 @@ use crate::matrix::Matrix;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Workspace {
-    /// Staged input row (the caller's slice copied into matrix shape).
-    pub(crate) input: Matrix,
     /// Ping/pong activation buffers for layered forward passes.
     pub(crate) ping: Matrix,
     pub(crate) pong: Matrix,
@@ -66,16 +64,17 @@ impl Workspace {
     /// [`Mlp`](crate::Mlp) expose their widths for this).
     pub fn with_max_width(max_width: usize) -> Self {
         let mut ws = Workspace::new();
-        ws.input.reshape(1, max_width);
         ws.ping.reshape(1, max_width);
         ws.pong.reshape(1, max_width);
         ws
     }
 
     /// Preallocates the recurrent buffers for an LSTM of the given sizes.
-    pub fn for_lstm(input_size: usize, hidden_size: usize) -> Self {
+    /// (Input rows feed the kernels as bare slices, so only the hidden
+    /// size determines buffer shapes; the input size is kept for signature
+    /// stability.)
+    pub fn for_lstm(_input_size: usize, hidden_size: usize) -> Self {
         let mut ws = Workspace::new();
-        ws.input.reshape(1, input_size);
         ws.gates.reshape(1, 4 * hidden_size);
         ws.gates_h.reshape(1, 4 * hidden_size);
         ws.hidden.reshape(1, hidden_size);

@@ -34,10 +34,16 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::net::IpAddr;
 
+use idsbench_core::fasthash::{FastMap, FxBuildHasher};
 use idsbench_core::{Event, EventDetector, InputFormat, LabeledFlow, TrainView};
+
+/// A `HashSet` hashed with Fx instead of SipHash (window counters sit on
+/// the flow-eviction path; their sizes are bounded by the windowing, not by
+/// an attacker).
+type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
 /// Evidence weights per module (relative importance, as in Slips'
 /// `evidence` severity levels).
@@ -152,13 +158,13 @@ const MAX_GROUP_HISTORY: usize = 256;
 struct BehaviourState {
     /// (profile, dst, dport) → most recent first-seen times of the group's
     /// flows, kept sorted for the gap statistics.
-    groups: HashMap<(IpAddr, IpAddr, u16), Vec<f64>>,
+    groups: FastMap<(IpAddr, IpAddr, u16), Vec<f64>>,
     /// (profile, window, dst) → distinct unanswered destination ports.
-    vertical: HashMap<(IpAddr, u64, IpAddr), HashSet<u16>>,
+    vertical: FastMap<(IpAddr, u64, IpAddr), FxHashSet<u16>>,
     /// (profile, window, dport) → distinct unanswered destinations.
-    horizontal: HashMap<(IpAddr, u64, u16), HashSet<IpAddr>>,
+    horizontal: FastMap<(IpAddr, u64, u16), FxHashSet<IpAddr>>,
     /// (profile, window, dst, auth port) → sessions so far.
-    auth: HashMap<(IpAddr, u64, IpAddr, u16), usize>,
+    auth: FastMap<(IpAddr, u64, IpAddr, u16), usize>,
 }
 
 /// The Slips-style behavioural NIDS (see crate docs).
@@ -234,18 +240,23 @@ impl Slips {
         if self.is_external(key.dst_ip)
             && !self.config.periodic_port_whitelist.contains(&key.dst_port)
         {
-            let members = self.state.groups.entry((profile, key.dst_ip, key.dst_port)).or_default();
+            let members = self
+                .state
+                .groups
+                .entry_or_insert_with((profile, key.dst_ip, key.dst_port), Vec::new);
             let at = members.partition_point(|&t| t <= start);
             members.insert(at, start);
             if members.len() > MAX_GROUP_HISTORY {
                 members.remove(0); // slide the window: drop the oldest start
             }
             if members.len() >= self.config.c2_min_flows {
-                let gaps: Vec<f64> = members.windows(2).map(|w| w[1] - w[0]).collect();
-                let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                // Gap mean and variance computed streaming over adjacent
+                // pairs — no materialized gap vector on the eviction path.
+                let count = (members.len() - 1) as f64;
+                let mean = members.windows(2).map(|w| w[1] - w[0]).sum::<f64>() / count;
                 if mean > 0.0 {
-                    let var =
-                        gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+                    let var = members.windows(2).map(|w| (w[1] - w[0] - mean).powi(2)).sum::<f64>()
+                        / count;
                     if var.sqrt() / mean <= self.config.c2_max_cv {
                         evidence += weights.periodicity;
                     }
@@ -256,13 +267,19 @@ impl Slips {
         // Scan modules: evidence lands on the probe flows from the moment
         // the per-window counters cross their thresholds.
         if is_unanswered(flow) {
-            let ports = self.state.vertical.entry((profile, window, key.dst_ip)).or_default();
+            let ports = self
+                .state
+                .vertical
+                .entry_or_insert_with((profile, window, key.dst_ip), Default::default);
             ports.insert(key.dst_port);
             if ports.len() >= self.config.scan_port_threshold {
                 evidence += weights.port_scan
                     * (ports.len() as f64 / self.config.scan_port_threshold as f64);
             }
-            let hosts = self.state.horizontal.entry((profile, window, key.dst_port)).or_default();
+            let hosts = self
+                .state
+                .horizontal
+                .entry_or_insert_with((profile, window, key.dst_port), Default::default);
             hosts.insert(key.dst_ip);
             if hosts.len() >= self.config.sweep_host_threshold {
                 evidence +=
@@ -272,8 +289,10 @@ impl Slips {
 
         // Brute force: repeated sessions to one authentication service.
         if self.config.auth_ports.contains(&key.dst_port) {
-            let count =
-                self.state.auth.entry((profile, window, key.dst_ip, key.dst_port)).or_default();
+            let count = self
+                .state
+                .auth
+                .entry_or_insert_with((profile, window, key.dst_ip, key.dst_port), || 0);
             *count += 1;
             if *count >= self.config.brute_force_threshold {
                 evidence += weights.brute_force;

@@ -246,7 +246,7 @@ struct ShardLoop {
 }
 
 impl ShardLoop {
-    fn on_packet(&mut self, item: StreamItem) {
+    fn on_packet(&mut self, item: &StreamItem) {
         self.packets += 1;
         if let Some(key) = item.view.flow_key {
             self.flows.insert(key);
@@ -343,11 +343,13 @@ pub fn run_stream(
         channels.push(tx);
         receivers.push(rx);
     }
-    // Drained batch buffers flow back to the feeder through this channel,
-    // so the steady-state fan-out allocates no fresh `Vec` per batch — the
-    // per-item cost is channel transfer plus detector arithmetic. Both ends
-    // use the non-blocking ops: recycling is an optimisation, never a stall
-    // (a full return lane just drops the buffer).
+    // Consumed batches flow back to the feeder through this channel: the
+    // feeder hands each view's payload buffer to the source's arena
+    // (`PacketSource::recycle_packet`) and reuses the vector, so the
+    // steady-state fan-out allocates neither a `Vec` per batch nor a
+    // payload per packet. Both ends use the non-blocking ops: recycling is
+    // an optimisation, never a stall (a full return lane just drops the
+    // buffer).
     let (recycle_tx, recycle_rx) =
         channel::bounded::<Vec<StreamItem>>(shards * config.channel_capacity + shards);
 
@@ -394,10 +396,13 @@ pub fn run_stream(
                     score_nanos: 0,
                     packets: 0,
                 };
-                for mut batch in rx.iter() {
-                    for item in batch.drain(..) {
+                for batch in rx.iter() {
+                    for item in &batch {
                         state.on_packet(item);
                     }
+                    // The batch goes back *full*: the feeder recycles each
+                    // view's payload buffer into its source's arena before
+                    // reusing the vector.
                     let _ = recycle.try_send(batch);
                 }
                 state.finish();
@@ -429,8 +434,13 @@ pub fn run_stream(
                     seq += 1;
                     if batches[shard].len() >= config.batch_size {
                         // Swap in a recycled buffer (or an empty placeholder
-                        // that first pushes grow) before shipping the full one.
-                        let replacement = recycle_rx.try_recv().unwrap_or_default();
+                        // that first pushes grow) before shipping the full
+                        // one; consumed views give their payload buffers
+                        // back to the source on the way.
+                        let mut replacement = recycle_rx.try_recv().unwrap_or_default();
+                        for item in replacement.drain(..) {
+                            source.recycle_packet(item.view.packet.packet);
+                        }
                         let batch = std::mem::replace(&mut batches[shard], replacement);
                         if channels[shard].send(batch).is_err() {
                             source_error = Some(CoreError::stream(format!("shard {shard} died")));

@@ -14,10 +14,16 @@
 //! other's measurement windows.
 
 use idsbench::core::allocwatch::{allocation_snapshot, CountingAllocator};
-use idsbench::core::{Event, EventDetector, Label, LabeledPacket, ParsedView, TrainView};
+use idsbench::core::{
+    Event, EventDetector, FlowEventAssembler, Label, LabeledFlow, LabeledPacket, ParsedView,
+    TrainView,
+};
+use idsbench::dnn::Dnn;
+use idsbench::flow::FlowTableConfig;
 use idsbench::helad::Helad;
 use idsbench::kitsune::Kitsune;
 use idsbench::net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
+use idsbench::slips::Slips;
 use std::net::Ipv4Addr;
 
 #[global_allocator]
@@ -97,4 +103,108 @@ fn steady_state_scoring_allocates_nothing() {
          over {} packets)",
         measure.len()
     );
+
+    // ---- Flow-format detectors: the eviction path must be clean too ----
+    flow_detectors_evict_without_allocating();
+}
+
+/// One complete TCP session (handshake, data, orderly close) on a stable
+/// per-device 5-tuple to an external service. Each later session on the
+/// same tuple ends the previous one's TIME_WAIT, so the flow table emits
+/// exactly one eviction per session — recurring evictions over a fixed
+/// entity set, the steady state of the flow-input hot path. The whole
+/// trace spans well under one Slips profile window, so no per-window
+/// counter state is minted mid-measurement.
+fn session_at(s: u64) -> Vec<ParsedView> {
+    let device = (s % 2) as u8 + 1;
+    let src = Ipv4Addr::new(10, 0, 0, device);
+    let dst = Ipv4Addr::new(198, 51, 100, 7);
+    let sport = 40_000 + u16::from(device);
+    let base_micros = s * 5_000;
+    let mut views = Vec::new();
+    let mut push = |flags: TcpFlags, forward: bool, payload: usize, offset: u64| {
+        let (s_ip, d_ip, s_mac, d_mac, sp, dp) = if forward {
+            (src, dst, u32::from(device), 99, sport, 8080)
+        } else {
+            (dst, src, 99, u32::from(device), 8080, sport)
+        };
+        let p = PacketBuilder::new()
+            .ethernet(MacAddr::from_host_id(s_mac), MacAddr::from_host_id(d_mac))
+            .ipv4(s_ip, d_ip)
+            .tcp(sp, dp, flags)
+            .payload_len(payload)
+            .build(Timestamp::from_micros(base_micros + offset));
+        views.push(ParsedView::from_packet(LabeledPacket::new(p, Label::Benign)));
+    };
+    push(TcpFlags::SYN, true, 0, 0);
+    push(TcpFlags::SYN | TcpFlags::ACK, false, 0, 400);
+    push(TcpFlags::PSH | TcpFlags::ACK, true, 120, 800);
+    push(TcpFlags::FIN | TcpFlags::ACK, true, 0, 1_200);
+    push(TcpFlags::FIN | TcpFlags::ACK, false, 0, 1_600);
+    views
+}
+
+/// Replays `views` through detector + per-driver flow assembler (the exact
+/// event order both drivers produce), returning `(allocations, bytes,
+/// evictions)` of the pass.
+fn replay_flow_events(
+    detector: &mut dyn EventDetector,
+    assembler: &mut FlowEventAssembler,
+    evicted: &mut Vec<LabeledFlow>,
+    views: &[ParsedView],
+) -> (u64, u64, usize) {
+    let before = allocation_snapshot();
+    let mut evictions = 0usize;
+    let mut checksum = 0.0;
+    for view in views {
+        assert_eq!(detector.on_event(&Event::Packet(view)), None, "flow detectors skip packets");
+        assembler.observe(view, |flow| evicted.push(flow));
+        for flow in evicted.drain(..) {
+            evictions += 1;
+            checksum += detector.on_event(&Event::FlowEvicted(&flow)).expect("flow event scored");
+        }
+    }
+    let after = allocation_snapshot();
+    assert!(checksum.is_finite());
+    (after.allocations_since(&before), after.bytes_since(&before), evictions)
+}
+
+/// Warmed DNN and Slips must score recurring flow evictions without heap
+/// allocations — per eviction, not just per packet: the eviction machinery
+/// (flow table, label fold, feature vector, evidence accumulation) is on
+/// the budget alongside the model inference.
+fn flow_detectors_evict_without_allocating() {
+    let sessions: Vec<Vec<ParsedView>> = (0..1_000).map(session_at).collect();
+    // 100 sessions to fit on, 600 to reach steady state (group histories
+    // hit their 256-entry caps), 300 measured.
+    let train_views: Vec<ParsedView> = sessions[..100].iter().flatten().cloned().collect();
+    let train = TrainView::assemble(train_views, FlowTableConfig::default());
+
+    for factory in [
+        || Box::new(Dnn::default()) as Box<dyn EventDetector>,
+        || Box::new(Slips::default()) as Box<dyn EventDetector>,
+    ] {
+        let mut detector = factory();
+        let name = detector.name().to_string();
+        detector.fit(&train);
+        let mut assembler = FlowEventAssembler::new(FlowTableConfig::default());
+        let mut evicted = Vec::new();
+        for session in &sessions[100..700] {
+            replay_flow_events(detector.as_mut(), &mut assembler, &mut evicted, session);
+        }
+        let (mut allocs, mut bytes, mut evictions) = (0, 0, 0);
+        for session in &sessions[700..] {
+            let (a, b, e) =
+                replay_flow_events(detector.as_mut(), &mut assembler, &mut evicted, session);
+            allocs += a;
+            bytes += b;
+            evictions += e;
+        }
+        assert!(evictions >= 299, "{name}: expected ~one eviction per session, got {evictions}");
+        assert_eq!(
+            allocs, 0,
+            "{name}: warmed eviction path must not allocate ({allocs} allocations, {bytes} \
+             bytes over {evictions} evictions)"
+        );
+    }
 }

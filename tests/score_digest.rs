@@ -1,0 +1,103 @@
+//! Pins a bit-level digest of every batch score for all four systems.
+//!
+//! The scoring hot path is under continuous optimisation — blocked matmul
+//! kernels, packed weight layouts, fused activation passes, fast-hash state
+//! maps — and every one of those rewrites promises *bitwise identical*
+//! scores. This test makes that promise enforceable: the digests below were
+//! produced by the straightforward pre-optimisation implementations, and
+//! any kernel change that silently perturbs a single bit of a single score
+//! fails here.
+//!
+//! If a change is *supposed* to alter scores (a detector fix, a scenario
+//! change, a different default), re-pin by running
+//! `cargo run --release --example score_digest` and updating the constants
+//! — deliberately, in the same commit, with the reason in its message.
+//!
+//! The pinned bits are a function of the platform's libm (`tanh`/`exp`
+//! resolve to the system math library, and implementations differ by
+//! ULPs) *and* of the optimisation level (pre-existing opt-sensitive ops
+//! like `powi` fold differently under `-O`), so the pinning test only runs
+//! in release mode on `linux-gnu` — the environment the constants were
+//! produced under; CI runs it explicitly via
+//! `cargo test --release --test score_digest`. Every other configuration
+//! still verifies self-consistency (two replays agree bit-for-bit).
+
+use idsbench::core::preprocess::Pipeline;
+use idsbench::core::runner::{replay, EvalConfig};
+use idsbench::core::{Dataset, EventDetector};
+use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::dnn::Dnn;
+use idsbench::helad::Helad;
+use idsbench::kitsune::Kitsune;
+use idsbench::slips::Slips;
+
+/// `(detector, scored events, digest)` for the Tiny Stratosphere scenario
+/// with default `EvalConfig` on `linux-gnu`, release profile — the same
+/// run `examples/score_digest.rs` prints under `--release`.
+#[cfg(all(target_os = "linux", target_env = "gnu", not(debug_assertions)))]
+const PINNED: [(&str, usize, u64); 4] = [
+    ("Kitsune", 3843, 0xbee0_d72c_99be_4018),
+    ("HELAD", 3843, 0x5316_207f_2b23_b7b4),
+    ("DNN", 240, 0x7368_c0ba_5647_599b),
+    ("Slips", 240, 0x1f30_458e_5d0a_79fa),
+];
+
+/// The digest fold: rotate-xor over the raw bits of each score in replay
+/// order (must match `examples/score_digest.rs`).
+fn digest_of(scores: &[f64]) -> u64 {
+    let mut digest = 0u64;
+    for s in scores {
+        digest = digest.rotate_left(7) ^ s.to_bits();
+    }
+    digest
+}
+
+/// Runs the canonical replay and returns `(name, events, digest)` per
+/// system.
+fn replay_digests() -> Vec<(String, usize, u64)> {
+    let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
+    let config = EvalConfig::default();
+    let pipeline = Pipeline::new(config.pipeline).expect("pipeline");
+    let input = pipeline
+        .prepare_events(&scenario.info().name, scenario.generate(config.dataset_seed))
+        .expect("preprocess");
+    let detectors: Vec<Box<dyn EventDetector>> = vec![
+        Box::new(Kitsune::default()),
+        Box::new(Helad::default()),
+        Box::new(Dnn::default()),
+        Box::new(Slips::default()),
+    ];
+    detectors
+        .into_iter()
+        .map(|mut detector| {
+            let scores = replay(detector.as_mut(), &input).expect("replay").scores;
+            (detector.name().to_string(), scores.len(), digest_of(&scores))
+        })
+        .collect()
+}
+
+#[cfg(all(target_os = "linux", target_env = "gnu", not(debug_assertions)))]
+#[test]
+fn batch_scores_are_bitwise_pinned() {
+    let digests = replay_digests();
+    assert_eq!(digests.len(), PINNED.len());
+    for ((name, events, digest), &(want_name, want_events, pinned)) in
+        digests.into_iter().zip(PINNED.iter())
+    {
+        assert_eq!(name, want_name, "roster order changed");
+        assert_eq!(events, want_events, "{name}: scored-event count changed");
+        assert_eq!(
+            digest, pinned,
+            "{name}: score digest {digest:016x} != pinned {pinned:016x} — a kernel change \
+             altered scores bit-for-bit (see module docs for how to re-pin deliberately)"
+        );
+    }
+}
+
+/// Platform-independent half of the invariant: the replay is a pure
+/// function — two runs agree bit-for-bit regardless of which libm the
+/// platform links.
+#[test]
+fn batch_scores_are_self_consistent() {
+    assert_eq!(replay_digests(), replay_digests());
+}

@@ -2,10 +2,17 @@
 //!
 //! The build environment has no route to crates.io, so the workspace vendors
 //! the small slice of the `bytes` API it actually uses: [`Bytes`], a
-//! reference-counted immutable byte buffer whose clones share one backing
-//! allocation. Semantics match the real crate for every operation exposed
-//! here; swap this directory for the real dependency when a registry is
-//! available.
+//! reference-counted immutable byte buffer whose clones (and, like the real
+//! crate, sub-slices) share one backing allocation, plus [`BytesMut`] and
+//! [`BufMut`] for building buffers. Semantics match the real crate for every
+//! operation exposed here; swap this directory for the real dependency when
+//! a registry is available.
+//!
+//! Two additions carry the payload-pooling hot path ([`Bytes::is_unique`]
+//! and [`Bytes::refill`]); with the real crate they map onto
+//! `Bytes::try_into_mut` + `BytesMut::freeze` (a buffer round-trip through
+//! `BytesMut` when the handle is unique), so call sites need only that
+//! mechanical translation.
 
 #![deny(missing_docs)]
 
@@ -13,16 +20,33 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The shared empty backing buffer: `Bytes::new()`/`default()` must not
+/// allocate per call.
+fn empty_arc() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
 
 /// A cheaply cloneable, immutable byte buffer.
 ///
-/// Clones share the same backing allocation (an `Arc<[u8]>`), which is the
-/// property the packet substrate relies on: a captured frame can be handed to
-/// several shards without copying the wire bytes.
-#[derive(Clone, Default)]
+/// Clones and sub-slices share the same backing allocation (an
+/// `Arc<Vec<u8>>` plus a byte range), which is the property the packet
+/// substrate relies on: a captured frame can be handed to several shards
+/// without copying the wire bytes, and a pooled capture buffer can be
+/// reused once every handle is gone (see [`Bytes::refill`]).
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    inner: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes { inner: empty_arc(), start: 0, end: 0 }
+    }
 }
 
 impl Bytes {
@@ -33,20 +57,31 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes::from(data.to_vec())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
-    /// Returns a sub-buffer covering `range` (copies; the real crate shares).
+    /// The viewed bytes.
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.inner[self.start..self.end]
+    }
+
+    /// Returns a sub-buffer covering `range`, sharing the backing
+    /// allocation (zero-copy, like the real crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -57,9 +92,44 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len(),
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        assert!(start <= end && end <= self.len(), "slice range out of bounds");
+        Bytes { inner: self.inner.clone(), start: self.start + start, end: self.start + end }
+    }
+
+    /// Whether this handle is the only one referencing the backing buffer —
+    /// the precondition for reusing it via [`Bytes::refill`].
+    ///
+    /// Stand-in extension (see crate docs): with the real crate this is the
+    /// success case of `Bytes::try_into_mut`.
+    pub fn is_unique(&self) -> bool {
+        Arc::strong_count(&self.inner) == 1
+    }
+
+    /// Hands the backing buffer to `fill` for rewriting, then re-spans this
+    /// handle over the refilled contents — the zero-allocation buffer reuse
+    /// behind `PayloadArena`. Returns `None` (without calling `fill`) when
+    /// other handles still share the buffer.
+    ///
+    /// The buffer is cleared before `fill` runs; on `Err` the handle is
+    /// left spanning the empty buffer.
+    ///
+    /// Stand-in extension (see crate docs): with the real crate this is
+    /// `try_into_mut` → clear/extend → `freeze`.
+    pub fn refill<T, E>(
+        &mut self,
+        fill: impl FnOnce(&mut Vec<u8>) -> Result<T, E>,
+    ) -> Option<Result<T, E>> {
+        let buf = Arc::get_mut(&mut self.inner)?;
+        buf.clear();
+        self.start = 0;
+        self.end = 0;
+        let result = fill(buf);
+        if result.is_ok() {
+            self.end = self.inner.len();
+        }
+        Some(result)
     }
 }
 
@@ -67,25 +137,28 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the vector without copying its contents (the
+    /// real crate's behaviour).
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(data) }
+        let end = data.len();
+        Bytes { inner: Arc::new(data), start: 0, end }
     }
 }
 
@@ -115,7 +188,7 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -123,13 +196,13 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.data[..] == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -141,20 +214,20 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data[..].hash(state);
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -287,9 +360,51 @@ mod tests {
     }
 
     #[test]
-    fn slice_extracts_range() {
+    fn slice_extracts_range_and_shares() {
         let a = Bytes::from(vec![1u8, 2, 3, 4]);
         assert_eq!(&a.slice(1..3)[..], &[2, 3]);
         assert_eq!(&a.slice(..)[..], &[1, 2, 3, 4]);
+        // Sub-slices share the allocation (real-crate semantics).
+        let sub = a.slice(2..4);
+        assert_eq!(sub.as_ptr(), a[2..].as_ptr());
+        assert_eq!(sub.slice(1..2), Bytes::from(vec![4u8]));
+    }
+
+    #[test]
+    fn refill_reuses_a_unique_buffer() {
+        let mut a = Bytes::from(Vec::with_capacity(64));
+        let clone = a.clone();
+        assert!(!a.is_unique());
+        assert!(a.refill(|_| Ok::<(), ()>(())).is_none(), "shared buffers must not be rewritten");
+        drop(clone);
+        assert!(a.is_unique());
+        let ptr_before = a.as_ptr();
+        let filled = a.refill(|buf| {
+            buf.extend_from_slice(&[9, 8, 7]);
+            Ok::<(), ()>(())
+        });
+        assert_eq!(filled, Some(Ok(())));
+        assert_eq!(&a[..], &[9, 8, 7]);
+        assert_eq!(a.as_ptr(), ptr_before, "capacity-reusing refill must not reallocate");
+    }
+
+    #[test]
+    fn refill_error_leaves_empty_span() {
+        let mut a = Bytes::from(vec![1u8, 2, 3]);
+        let result = a.refill(|buf| {
+            buf.extend_from_slice(&[5]);
+            Err::<(), &str>("boom")
+        });
+        assert_eq!(result, Some(Err("boom")));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn empty_default_is_shared_not_unique() {
+        // The static empty backing is shared by design; a refill must not
+        // touch it.
+        let mut a = Bytes::new();
+        assert!(a.is_empty());
+        assert!(a.refill(|_| Ok::<(), ()>(())).is_none());
     }
 }
