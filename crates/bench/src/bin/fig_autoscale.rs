@@ -1,0 +1,230 @@
+//! Elastic-sharding figure: shard count and event rate over the traffic
+//! timeline of a bursty replay, with every autoscale action's rebalance
+//! latency — the evidence that the engine grows under attack bursts and
+//! shrinks back in the quiet, without losing score parity (the parity
+//! itself is pinned by `tests/stream_batch_parity.rs`).
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_autoscale -- --scale tiny --require-scaling
+//! cargo run --release -p idsbench-bench --bin fig_autoscale -- --scale small \
+//!     --baseline BENCH_autoscale.json   # CI rebalance-latency gate
+//! ```
+//!
+//! The workload alternates quiet benign phases with attack bursts (one
+//! traffic-second each, complete TCP sessions on unique 5-tuples), pulled
+//! through a [`BoundedSource`] the way a live deployment decouples capture
+//! from scoring. Slips — flow-format, so every rebalance migrates real
+//! flow-table records and label folds — scores the stream while the
+//! autoscaler moves the pool between 1 and 4 shards on the windowed event
+//! rate.
+//!
+//! With `--require-scaling` the run exits non-zero unless at least one
+//! scale-up *and* one scale-down fired — the CI smoke gate. With
+//! `--baseline <path>` it additionally compares mean rebalance latency
+//! against the committed `BENCH_autoscale.json` and exits non-zero past
+//! 3× the baseline (generous: the latency is a wall-clock drain barrier,
+//! machine-relative and noisy; the gate catches order-of-magnitude
+//! regressions such as an accidental full-state migration, not jitter).
+//!
+//! One `BENCH `-prefixed JSON line goes to stdout and the same object is
+//! written to `BENCH_autoscale.json` in the working directory; the
+//! per-window timeline goes to stderr as CSV.
+
+use idsbench_bench::{scale_from_args, seed_from_args, workload};
+use idsbench_core::{EventDetector, ScaleEvent};
+use idsbench_datasets::ScenarioScale;
+use idsbench_net::Timestamp;
+use idsbench_slips::Slips;
+use idsbench_stream::{
+    run_stream, AutoscalePolicy, BoundedSource, StreamConfig, StreamReport, VecSource,
+};
+
+/// Tolerated mean-rebalance-latency growth against the `--baseline` file.
+const LATENCY_TOLERANCE: f64 = 3.0;
+
+/// Phase counts and per-phase session counts per scale.
+struct Workload {
+    phases: u64,
+    quiet_sessions: u64,
+    burst_sessions: u64,
+}
+
+impl Workload {
+    fn for_scale(scale: ScenarioScale) -> Self {
+        match scale {
+            ScenarioScale::Tiny => Workload { phases: 10, quiet_sessions: 8, burst_sessions: 120 },
+            ScenarioScale::Small => {
+                Workload { phases: 20, quiet_sessions: 20, burst_sessions: 400 }
+            }
+            ScenarioScale::Full => {
+                Workload { phases: 60, quiet_sessions: 40, burst_sessions: 1200 }
+            }
+        }
+    }
+
+    /// Multi-stage attack bursts: three burst seconds, then two quiet ones
+    /// — long enough that a reactive (completed-window) policy scales up
+    /// while the burst is still running, then steps back down in the lull.
+    fn is_burst(phase: u64) -> bool {
+        matches!(phase % 5, 1..=3)
+    }
+
+    /// Events per traffic-second in a burst phase (six packets a session).
+    fn burst_pps(&self) -> f64 {
+        (self.burst_sessions * 6) as f64
+    }
+
+    fn quiet_pps(&self) -> f64 {
+        (self.quiet_sessions * 6) as f64
+    }
+}
+
+/// Reconstructs the shard count in force at the end of each metrics window.
+fn shards_after_window(report: &StreamReport, window: u64) -> usize {
+    let mut shards = report.shards as isize;
+    for event in &report.scale_events {
+        if event.window <= window {
+            shards += event.to_shards as isize - event.from_shards as isize;
+        }
+    }
+    shards.max(1) as usize
+}
+
+/// Pulls one numeric field out of a committed `BENCH_autoscale.json`.
+fn parse_field(json: &str, field: &str) -> Option<f64> {
+    let tag = format!("\"{field}\":");
+    let at = json.find(&tag)?;
+    let tail = &json[at + tag.len()..];
+    let num: String =
+        tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let baseline_path =
+        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
+    let require_scaling = args.iter().any(|a| a == "--require-scaling");
+
+    let plan = Workload::for_scale(scale);
+    let policy = AutoscalePolicy {
+        min_shards: 1,
+        max_shards: 4,
+        scale_up_pps: plan.burst_pps() / 2.0,
+        scale_down_pps: plan.quiet_pps() * 2.0,
+        cooldown_windows: 0,
+        vnodes: 32,
+        ..Default::default()
+    };
+    let config =
+        StreamConfig { shards: 1, window_secs: 1.0, autoscale: Some(policy), ..Default::default() };
+
+    let trace = workload::bursty_trace(
+        plan.phases,
+        plan.quiet_sessions,
+        plan.burst_sessions,
+        seed,
+        Workload::is_burst,
+    );
+    // Warmup on the first quiet+burst pair so Slips sees both classes.
+    let split = trace.partition_point(|lp| lp.packet.ts < Timestamp::from_micros(2_000_000));
+    let (warmup, eval) = trace.split_at(split);
+    let source = BoundedSource::spawn(VecSource::new("bursty-tcp", eval.to_vec()), 256);
+    let run = run_stream(
+        &|| Box::new(Slips::default()) as Box<dyn EventDetector>,
+        warmup,
+        source,
+        &config,
+    )
+    .expect("autoscaled streaming run");
+    let report = &run.report;
+
+    eprintln!("window,start_secs,events,events_per_sec,shards");
+    for window in &report.windows {
+        eprintln!(
+            "{},{:.0},{},{:.0},{}",
+            window.index,
+            window.start_secs,
+            window.packets,
+            window.packets as f64 / config.window_secs,
+            shards_after_window(report, window.index),
+        );
+    }
+    let ups = report.scale_events.iter().filter(|e| e.is_scale_up()).count();
+    let downs = report.scale_events.iter().filter(|e| e.is_scale_down()).count();
+    let migrated: usize = report.scale_events.iter().map(|e| e.migrated_flows).sum();
+    let mean_rebalance = if report.scale_events.is_empty() {
+        0.0
+    } else {
+        report.scale_events.iter().map(|e| e.rebalance_micros as f64).sum::<f64>()
+            / report.scale_events.len() as f64
+    };
+    let max_rebalance = report.scale_events.iter().map(|e| e.rebalance_micros).max().unwrap_or(0);
+    for ScaleEvent { at_secs, from_shards, to_shards, migrated_flows, rebalance_micros, .. } in
+        &report.scale_events
+    {
+        eprintln!(
+            "# t={at_secs:.2}s {from_shards}->{to_shards} shards, \
+             {migrated_flows} flows migrated in {rebalance_micros}us"
+        );
+    }
+    eprintln!(
+        "# {ups} scale-ups, {downs} scale-downs, {migrated} flows migrated, \
+         mean rebalance {mean_rebalance:.0}us, peak pool {} shards",
+        report.scale_events.iter().map(|e| e.to_shards).max().unwrap_or(report.shards),
+    );
+
+    let scale_name = match scale {
+        ScenarioScale::Tiny => "tiny",
+        ScenarioScale::Small => "small",
+        ScenarioScale::Full => "full",
+    };
+    let json = format!(
+        "{{\"bench\":\"fig_autoscale\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
+         \"policy\":{{\"min_shards\":{},\"max_shards\":{},\"scale_up_pps\":{},\
+         \"scale_down_pps\":{},\"vnodes\":{}}},\
+         \"summary\":{{\"scale_ups\":{ups},\"scale_downs\":{downs},\
+         \"migrated_flows\":{migrated},\"mean_rebalance_micros\":{mean_rebalance:.1},\
+         \"max_rebalance_micros\":{max_rebalance}}},\"report\":{}}}",
+        policy.min_shards,
+        policy.max_shards,
+        policy.scale_up_pps,
+        policy.scale_down_pps,
+        policy.vnodes,
+        report.to_json(),
+    );
+    if let Err(e) = std::fs::write("BENCH_autoscale.json", format!("{json}\n")) {
+        eprintln!("# failed to write BENCH_autoscale.json: {e}");
+    }
+    println!("BENCH {json}");
+
+    if require_scaling && (ups == 0 || downs == 0) {
+        eprintln!(
+            "# GATE FAILED: expected >=1 scale-up and >=1 scale-down, got {ups} up / {downs} down"
+        );
+        std::process::exit(1);
+    }
+    if let Some(path) = baseline_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(contents) => contents,
+            Err(e) => {
+                eprintln!("# cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let base_mean = parse_field(&baseline, "mean_rebalance_micros").unwrap_or(0.0);
+        // A sub-millisecond baseline is below measurement noise; gate from
+        // a 1ms floor so tiny baselines don't produce spurious failures.
+        let ceiling = base_mean.max(1_000.0) * LATENCY_TOLERANCE;
+        if mean_rebalance > ceiling {
+            eprintln!(
+                "# REGRESSION: mean rebalance {mean_rebalance:.0}us exceeds {ceiling:.0}us \
+                 ({LATENCY_TOLERANCE}x baseline {base_mean:.0}us from {path})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("# rebalance-latency gate passed ({path})");
+    }
+}

@@ -92,6 +92,87 @@ pub fn paper_cell(detector: &str, dataset: &str) -> Option<&'static PaperCell> {
     PAPER_TABLE4.iter().find(|c| c.detector == detector && c.dataset == dataset)
 }
 
+pub mod workload {
+    //! Synthetic bursty operational traffic — the one generator behind the
+    //! `fig_autoscale` bench and the autoscale parity tests, so the CI
+    //! workload and the pinned-invariant workload cannot silently diverge.
+
+    use idsbench_core::{AttackKind, Label, LabeledPacket};
+    use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn packet(
+        src: (u8, u16),
+        dst: (u8, u16),
+        flags: TcpFlags,
+        t_micros: u64,
+        label: Label,
+        payload: usize,
+    ) -> LabeledPacket {
+        let p = PacketBuilder::new()
+            .ethernet(MacAddr::from_host_id(src.0 as u32), MacAddr::from_host_id(dst.0 as u32))
+            .ipv4(Ipv4Addr::new(10, 0, 0, src.0), Ipv4Addr::new(10, 0, 0, dst.0))
+            .tcp(src.1, dst.1, flags)
+            .payload_len(payload)
+            .build(Timestamp::from_micros(t_micros));
+        LabeledPacket::new(p, label)
+    }
+
+    /// Appends one complete six-packet TCP session (handshake, payload,
+    /// orderly close) starting at `t0_micros`, client `host:port` against
+    /// the fixed server `10.0.0.200:80`.
+    pub fn tcp_session(
+        host: u8,
+        port: u16,
+        t0_micros: u64,
+        label: Label,
+        payload: usize,
+        out: &mut Vec<LabeledPacket>,
+    ) {
+        let (client, server) = ((host, port), (200u8, 80u16));
+        out.push(packet(client, server, TcpFlags::SYN, t0_micros, label, 0));
+        out.push(packet(server, client, TcpFlags::SYN | TcpFlags::ACK, t0_micros + 100, label, 0));
+        out.push(packet(client, server, TcpFlags::ACK, t0_micros + 200, label, payload));
+        out.push(packet(client, server, TcpFlags::FIN | TcpFlags::ACK, t0_micros + 300, label, 0));
+        out.push(packet(server, client, TcpFlags::FIN | TcpFlags::ACK, t0_micros + 400, label, 0));
+        out.push(packet(client, server, TcpFlags::ACK, t0_micros + 500, label, 0));
+    }
+
+    /// Phased bursty trace, StealthCup-style: one traffic-second per
+    /// phase, `is_burst(phase)` choosing between `quiet_sessions` benign
+    /// sessions and `burst_sessions` sessions (half of them SYN-flood
+    /// labelled, with large payloads). Every session rides a 5-tuple of
+    /// its own — flow identity stays sharding-independent — and `seed`
+    /// rotates the port space so different seeds exercise different ring
+    /// placements. Packets come out in timestamp order.
+    pub fn bursty_trace(
+        phases: u64,
+        quiet_sessions: u64,
+        burst_sessions: u64,
+        seed: u64,
+        is_burst: impl Fn(u64) -> bool,
+    ) -> Vec<LabeledPacket> {
+        let mut packets = Vec::new();
+        for phase in 0..phases {
+            let burst = is_burst(phase);
+            let sessions = if burst { burst_sessions } else { quiet_sessions };
+            for s in 0..sessions {
+                let host = (s % 23) as u8 + 1;
+                let port = (seed % 1000) as u16 + 2000 + (phase * 1511 + s) as u16 % 60_000;
+                let t0 = phase * 1_000_000 + s * (1_000_000 / sessions).max(1);
+                let label = if burst && s % 2 == 0 {
+                    Label::Attack(AttackKind::SynFlood)
+                } else {
+                    Label::Benign
+                };
+                tcp_session(host, port, t0, label, if burst { 600 } else { 64 }, &mut packets);
+            }
+        }
+        packets.sort_by_key(|lp| lp.packet.ts);
+        packets
+    }
+}
+
 /// Parses `--scale tiny|small|full` from CLI args (default `small`).
 pub fn scale_from_args(args: &[String]) -> ScenarioScale {
     match args.iter().position(|a| a == "--scale").and_then(|i| args.get(i + 1)).map(String::as_str)

@@ -211,6 +211,26 @@ pub trait EventDetector: Send {
     /// them); flow detectors always receive the packet events too, since
     /// real deployments see the packets their flows are made of.
     fn on_event(&mut self, event: &Event<'_>) -> Option<f64>;
+
+    /// Surrenders any private per-flow state this detector keeps for
+    /// `key`, removing it locally. The streaming executor calls this when
+    /// consistent-hash ownership of the flow moves to another shard, and
+    /// delivers the returned state to the new owner's
+    /// [`EventDetector::absorb_flow_state`].
+    ///
+    /// Only state keyed *by this exact flow* belongs here. Entity-keyed
+    /// state (per-host profiles, per-channel statistics) is deliberately
+    /// shard-local and must not be extracted — it is shared across flows,
+    /// so multi-shard partitioning of it is an evaluation variable, not a
+    /// bug. The default (no per-flow state) returns `None`.
+    fn extract_flow_state(&mut self, _key: &FlowKey) -> Option<Box<dyn std::any::Any + Send>> {
+        None
+    }
+
+    /// Adopts per-flow state extracted from another instance of the same
+    /// detector by [`EventDetector::extract_flow_state`]. The default drops
+    /// it.
+    fn absorb_flow_state(&mut self, _key: &FlowKey, _state: Box<dyn std::any::Any + Send>) {}
 }
 
 impl EventDetector for Box<dyn EventDetector> {
@@ -228,6 +248,45 @@ impl EventDetector for Box<dyn EventDetector> {
 
     fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
         self.as_mut().on_event(event)
+    }
+
+    fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Box<dyn std::any::Any + Send>> {
+        self.as_mut().extract_flow_state(key)
+    }
+
+    fn absorb_flow_state(&mut self, key: &FlowKey, state: Box<dyn std::any::Any + Send>) {
+        self.as_mut().absorb_flow_state(key, state);
+    }
+}
+
+/// One flow's migratable state, in flight from the shard that owned it to
+/// the shard the consistent-hash ring now assigns it — the payload of the
+/// streaming executor's `FlowMigration` handoff message.
+///
+/// A migration carries up to three pieces, any of which may be absent:
+/// the open [`FlowRecord`] (absent when the flow already evicted and only
+/// its label fold persists), the folded ground-truth [`Label`], and the
+/// detector's private per-flow state
+/// ([`EventDetector::extract_flow_state`]).
+pub struct FlowMigration {
+    /// Canonical flow key whose ownership moved.
+    pub key: FlowKey,
+    /// The open flow record, mid-aggregation, if the flow is still live.
+    pub record: Option<FlowRecord>,
+    /// The label fold accumulated for this key so far.
+    pub label: Label,
+    /// Opaque detector per-flow state, if the detector keeps any.
+    pub detector: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl std::fmt::Debug for FlowMigration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowMigration")
+            .field("key", &self.key)
+            .field("record", &self.record)
+            .field("label", &self.label)
+            .field("detector", &self.detector.as_ref().map(|_| "<opaque>"))
+            .finish()
     }
 }
 
@@ -284,6 +343,59 @@ impl FlowEventAssembler {
     pub fn flush(&mut self) -> Vec<LabeledFlow> {
         let labels = &self.labels;
         self.table.flush().into_iter().map(|record| Self::labeled(labels, record)).collect()
+    }
+
+    /// Extracts every flow this assembler no longer owns: each key for
+    /// which `owned` returns `false` leaves with its open record (if the
+    /// flow is still live) and its accumulated label fold, as a
+    /// [`FlowMigration`] with no detector state attached (the caller owns
+    /// the detector and fills that field).
+    ///
+    /// The label fold is the inventory, not the flow table: labels persist
+    /// beyond eviction so a reopened 5-tuple inherits the attack fold, and
+    /// that persistence must survive an ownership move too — otherwise an
+    /// autoscaled run could label a reopened flow differently than a
+    /// single-shard run. Migrations are returned sorted by key, so the
+    /// handoff is deterministic regardless of map iteration order.
+    ///
+    /// Cost note: because the fold persists, this scan (and the migration
+    /// volume) grows with every flow the shard has *ever* seen, not its
+    /// live flows — on very long streams, rebalance latency therefore
+    /// creeps up with history. Bounding that (range-bucketing the fold by
+    /// ring position, or expiring dead-tuple labels once reopen is
+    /// impossible) is a named ROADMAP follow-on.
+    pub fn extract_departing(&mut self, owned: impl Fn(&FlowKey) -> bool) -> Vec<FlowMigration> {
+        let mut departing: Vec<FlowKey> =
+            self.labels.keys().filter(|key| !owned(key)).copied().collect();
+        departing.sort_unstable();
+        departing
+            .into_iter()
+            .map(|key| FlowMigration {
+                key,
+                record: self.table.extract(&key),
+                label: self.labels.remove(&key).expect("departing key came from the label fold"),
+                detector: None,
+            })
+            .collect()
+    }
+
+    /// Adopts one migrated flow: the label fold merges (attack wins, the
+    /// same rule [`FlowEventAssembler::observe`] applies) and the open
+    /// record, if any, resumes aggregating in this assembler's table.
+    pub fn absorb(&mut self, migration: FlowMigration) {
+        match self.labels.get_mut(&migration.key) {
+            Some(existing) => {
+                if !existing.is_attack() && migration.label.is_attack() {
+                    *existing = migration.label;
+                }
+            }
+            None => {
+                self.labels.insert(migration.key, migration.label);
+            }
+        }
+        if let Some(record) = migration.record {
+            self.table.absorb(record);
+        }
     }
 
     /// Number of flows currently being tracked.
@@ -356,6 +468,41 @@ mod tests {
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].label.attack_kind(), Some(AttackKind::Exfiltration));
         assert_eq!(flows[0].record.total_packets(), 2);
+    }
+
+    #[test]
+    fn assembler_handoff_migrates_record_and_label_fold() {
+        let mut donor = FlowEventAssembler::new(FlowTableConfig::default());
+        let mut heir = FlowEventAssembler::new(FlowTableConfig::default());
+        // Two flows on the donor; one carries an attack label.
+        let moving = [
+            tcp_view((1, 40_000), (2, 80), 0.0, Label::Attack(AttackKind::PortScan)),
+            tcp_view((2, 80), (1, 40_000), 0.1, Label::Benign),
+        ];
+        let staying = tcp_view((3, 41_000), (2, 80), 0.05, Label::Benign);
+        for view in moving.iter().chain(std::iter::once(&staying)) {
+            donor.observe(view, |_| panic!("nothing evicts yet"));
+        }
+        assert_eq!(donor.active_flows(), 2);
+
+        let moving_key = moving[0].flow_key.unwrap();
+        let migrations = donor.extract_departing(|key| *key != moving_key);
+        assert_eq!(migrations.len(), 1);
+        assert_eq!(migrations[0].key, moving_key);
+        assert!(migrations[0].record.is_some(), "open flow travels with its record");
+        assert_eq!(donor.active_flows(), 1, "donor keeps only what it still owns");
+
+        for migration in migrations {
+            heir.absorb(migration);
+        }
+        // The flow continues on the heir as if nothing happened.
+        heir.observe(&tcp_view((1, 40_000), (2, 80), 0.2, Label::Benign), |_| {
+            panic!("nothing evicts yet")
+        });
+        let flows = heir.flush();
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].record.total_packets(), 3, "pre-handoff packets survive");
+        assert!(flows[0].label.is_attack(), "label fold survives the handoff");
     }
 
     #[test]

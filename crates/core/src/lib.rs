@@ -52,8 +52,11 @@ pub use arena::PayloadArena;
 pub use dataset::{Dataset, DatasetInfo};
 pub use detector::{DetectorInput, InputFormat, LabeledFlow, Verdict};
 pub use error::CoreError;
-pub use event::{Event, EventDetector, EventFactory, FlowEventAssembler, ParsedView, TrainView};
+pub use event::{
+    Event, EventDetector, EventFactory, FlowEventAssembler, FlowMigration, ParsedView, TrainView,
+};
 pub use label::{AttackKind, Label, LabeledPacket};
+pub use report::ScaleEvent;
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -12,6 +12,49 @@ use std::fmt::Write as _;
 use crate::metrics::Metrics;
 use crate::runner::Experiment;
 
+/// One elastic-sharding action taken by a streaming run's autoscaler: the
+/// shard pool grew or shrank, and consistent-hash flow ownership was
+/// rebalanced accordingly.
+///
+/// Recorded by the streaming executor (`idsbench-stream`) in its
+/// `StreamReport`, so scale behaviour is a first-class evaluation output
+/// next to detection quality — the paper's point that the harness itself is
+/// part of what is being measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleEvent {
+    /// Arrival index of the first packet routed under the new ring.
+    pub seq: u64,
+    /// Traffic-timeline seconds of that packet.
+    pub at_secs: f64,
+    /// Metrics-window index whose rate triggered the decision.
+    pub window: u64,
+    /// Shard count before the action.
+    pub from_shards: usize,
+    /// Shard count after the action.
+    pub to_shards: usize,
+    /// Windowed event rate (events/sec of traffic time) that fired the
+    /// policy.
+    pub trigger_pps: f64,
+    /// Flow-state entries (open records and/or label-fold entries) whose
+    /// ring ownership moved in the rebalance.
+    pub migrated_flows: usize,
+    /// Wall-clock microseconds the drain + migrate barrier took — the
+    /// rebalance latency the `fig_autoscale` bench gates on.
+    pub rebalance_micros: u64,
+}
+
+impl ScaleEvent {
+    /// Whether this event grew the pool.
+    pub fn is_scale_up(&self) -> bool {
+        self.to_shards > self.from_shards
+    }
+
+    /// Whether this event shrank the pool.
+    pub fn is_scale_down(&self) -> bool {
+        self.to_shards < self.from_shards
+    }
+}
+
 /// Renders the Table IV layout as Markdown (see module docs).
 ///
 /// Experiments must be detector-major ordered, as produced by

@@ -175,6 +175,29 @@ impl FlowTable {
         }
     }
 
+    /// Removes the open flow for `key` *without* emitting it — the record
+    /// keeps its in-progress state (no termination is assigned and
+    /// [`FlowTable::flows_emitted`] does not advance). This is the donor
+    /// half of shard rebalancing: ownership of the flow is moving to
+    /// another table, which will [`FlowTable::absorb`] the record and
+    /// continue aggregating as if the handoff never happened.
+    pub fn extract(&mut self, key: &FlowKey) -> Option<FlowRecord> {
+        self.flows.remove(key)
+    }
+
+    /// Adopts a record extracted from another table ([`FlowTable::extract`])
+    /// under its own key. The record resumes exactly where the donor left
+    /// off: subsequent packets, timeouts, and the final flush treat it as if
+    /// it had always lived here.
+    ///
+    /// The key must not already be tracked — ring-based ownership guarantees
+    /// a flow lives in exactly one table at a time (checked in debug
+    /// builds).
+    pub fn absorb(&mut self, record: FlowRecord) {
+        let previous = self.flows.insert(record.key, record);
+        debug_assert!(previous.is_none(), "absorbed a flow the table already owned");
+    }
+
     /// Emits every flow still open, in first-seen order. Flows already in
     /// TIME_WAIT report [`FlowTermination::TcpClose`].
     pub fn flush(&mut self) -> Vec<FlowRecord> {
@@ -418,6 +441,40 @@ mod tests {
         let parsed = ParsedPacket::parse(&arp).unwrap();
         assert!(table.observe(&parsed).is_empty());
         assert_eq!(table.active_flows(), 0);
+    }
+
+    #[test]
+    fn extract_and_absorb_hand_off_mid_flow() {
+        // A flow split across two tables by an extract/absorb handoff must
+        // come out identical to one that lived in a single table throughout.
+        let mut single = FlowTable::new(FlowTableConfig::default());
+        let mut donor = FlowTable::new(FlowTableConfig::default());
+        let mut heir = FlowTable::new(FlowTableConfig::default());
+        let first_half = [
+            tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, 0.0),
+            tcp_packet((2, 80), (1, 5000), TcpFlags::SYN | TcpFlags::ACK, 0.01),
+        ];
+        let second_half = [
+            tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, 0.02),
+            tcp_packet((1, 5000), (2, 80), TcpFlags::ACK, 0.03),
+        ];
+        for p in &first_half {
+            assert!(single.observe(p).is_empty());
+            assert!(donor.observe(p).is_empty());
+        }
+        let key = FlowKey::from_packet(&first_half[0]).unwrap().canonical().0;
+        let record = donor.extract(&key).expect("open flow is extractable");
+        assert_eq!(donor.active_flows(), 0);
+        assert_eq!(donor.flows_emitted(), 0, "extraction is not an emission");
+        heir.absorb(record);
+        for p in &second_half {
+            assert!(single.observe(p).is_empty());
+            assert!(heir.observe(p).is_empty());
+        }
+        let expected = single.flush();
+        let migrated = heir.flush();
+        assert_eq!(expected, migrated, "handoff must be invisible to the record");
+        assert_eq!(migrated[0].total_packets(), 4);
     }
 
     #[test]

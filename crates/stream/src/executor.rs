@@ -17,10 +17,22 @@
 //!   view to the shard. Detectors and per-shard flow tables all consume
 //!   that same view; nothing downstream re-parses.
 //! * **Per-flow locality.** Packets are routed by the canonical 5-tuple
-//!   hash, so both directions of a conversation always reach the same shard
-//!   and each shard's detector (and flow table) sees every flow it owns in
-//!   arrival order. Flow-eviction events therefore fire on the shard that
-//!   owns the flow.
+//!   over a consistent-hash ring ([`HashRing`]), so both directions of a
+//!   conversation always reach the flow's owning shard and each shard's
+//!   detector (and flow table) sees every flow it owns in arrival order.
+//!   Flow-eviction events therefore fire on the shard that owns the flow.
+//! * **Elastic sharding.** With an [`AutoscalePolicy`] configured, the
+//!   feeder runs an [`Autoscaler`] control loop over the live windowed
+//!   event rate (plus optional channel-depth / p99 signals) and grows or
+//!   shrinks the pool mid-stream. Ownership moves are a drain-then-migrate
+//!   barrier: every packet routed under the old ring is flushed, departing
+//!   shards extract the affected flow-table entries, label folds, and
+//!   detector per-flow state as [`FlowMigration`]s, and the new owner
+//!   absorbs them *before* the first packet routed under the new ring — so
+//!   per-flow event order survives every scale action, and a flow-format
+//!   detector's per-flow score multiset is invariant to when (or whether)
+//!   scaling happens. Each action is recorded as a [`ScaleEvent`] in the
+//!   report.
 //! * **One contract, two drivers.** Shards deliver the same event stream
 //!   the batch runner replays — packet events in order, flow evictions at
 //!   flow-table eviction time, flush at end of stream — to the same
@@ -41,21 +53,25 @@
 //! [`BoundedSource`]: crate::source::BoundedSource
 
 use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use crossbeam::channel;
 use idsbench_core::metrics::{auc, roc_curve, ConfusionMatrix};
 use idsbench_core::threshold::ThresholdPolicy;
 use idsbench_core::{
-    CoreError, Event, EventDetector, FlowEventAssembler, InputFormat, LabeledPacket, ParsedView,
-    Result, TrainView,
+    CoreError, Event, EventDetector, FlowEventAssembler, FlowMigration, InputFormat, LabeledPacket,
+    ParsedView, Result, ScaleEvent, TrainView,
 };
 use idsbench_flow::{FlowKey, FlowTableConfig};
 
-use crate::metrics::{family_recall, window_metrics, OnlineStats, ScoredEvent, Throughput};
+use crate::autoscale::{AutoscalePolicy, Autoscaler, LiveSignals, ScaleDirection};
+use crate::metrics::{
+    family_recall, window_metrics, LatencyHistogram, OnlineStats, ScoredEvent, Throughput,
+};
 use crate::report::{ShardStats, StreamReport};
+use crate::ring::{HashRing, DEFAULT_VNODES};
 use crate::source::PacketSource;
 
 /// How the alert threshold is resolved at the end of a run.
@@ -96,6 +112,11 @@ pub struct StreamConfig {
     /// detectors only). Must match the batch pipeline's
     /// `PipelineConfig::flow_config` for parity.
     pub flow: FlowTableConfig,
+    /// Elastic-sharding policy. `None` (the default) keeps the pool fixed
+    /// at [`StreamConfig::shards`]; `Some` lets the run grow/shrink the
+    /// pool between `min_shards` and `max_shards`, starting from
+    /// [`StreamConfig::shards`].
+    pub autoscale: Option<AutoscalePolicy>,
 }
 
 impl Default for StreamConfig {
@@ -110,6 +131,7 @@ impl Default for StreamConfig {
             window_secs: 10.0,
             threshold: ThresholdMode::default(),
             flow: FlowTableConfig::default(),
+            autoscale: None,
         }
     }
 }
@@ -136,6 +158,9 @@ impl StreamConfig {
                 return Err(CoreError::stream("fixed threshold must not be NaN"));
             }
         }
+        if let Some(policy) = &self.autoscale {
+            policy.validate(self.shards)?;
+        }
         Ok(())
     }
 }
@@ -160,6 +185,23 @@ pub struct StreamRun {
 struct StreamItem {
     seq: u64,
     view: ParsedView,
+}
+
+/// Everything that travels the feeder→shard channel. Control messages ride
+/// the same ordered channel as the data, which is what makes the rebalance
+/// protocol correct: a `Rebalance` is provably behind every packet routed
+/// under the old ring, and a `Migrate` provably ahead of every packet
+/// routed under the new one.
+enum ShardMsg {
+    /// A batch of routed packets.
+    Batch(Vec<StreamItem>),
+    /// The ring changed: extract every flow you no longer own and reply
+    /// with the migrations. Receipt doubles as the drain barrier — by the
+    /// time a shard answers, it has processed its entire old-ring backlog.
+    Rebalance { ring: Arc<HashRing>, reply: channel::Sender<Vec<FlowMigration>> },
+    /// Flows whose ownership moved here: absorb their records, label
+    /// folds, and detector per-flow state before scoring anything newer.
+    Migrate(Vec<FlowMigration>),
 }
 
 /// Per-shard recording state, chosen by threshold mode.
@@ -213,28 +255,14 @@ struct ShardOutcome {
     flows: usize,
 }
 
-/// Deterministic shard routing: canonical flow-key hash, stable across runs
-/// (`DefaultHasher` with default keys). Non-IP packets ride on shard 0.
-fn shard_of(key: &Option<FlowKey>, shards: usize) -> usize {
-    match key {
-        None => 0,
-        Some(key) => {
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            key.hash(&mut hasher);
-            (hasher.finish() % shards as u64) as usize
-        }
-    }
-}
-
-fn window_of_micros(micros: u64, window_secs: f64) -> u64 {
-    let window_micros = (window_secs * 1e6) as u64;
-    micros / window_micros.max(1)
-}
+use crate::metrics::window_index as window_of_micros;
 
 /// The per-shard event loop: scores the packet event, feeds the shard's
 /// flow table (flow-format detectors only), and scores the evictions — the
 /// exact event order the batch driver replays.
 struct ShardLoop {
+    /// Stable shard id — the identity the ring routes to.
+    id: usize,
     detector: Box<dyn EventDetector>,
     recorder: Recorder,
     assembler: Option<FlowEventAssembler>,
@@ -243,6 +271,9 @@ struct ShardLoop {
     window_secs: f64,
     score_nanos: u128,
     packets: usize,
+    /// Live latency histogram feeding the autoscaler's p99 signal; absent
+    /// (zero overhead) when the run is not autoscaling.
+    live_latency: Option<LatencyHistogram>,
 }
 
 impl ShardLoop {
@@ -258,6 +289,9 @@ impl ShardLoop {
         if let Some(score) = score {
             let window = window_of_micros(item.view.packet.packet.ts.as_micros(), self.window_secs);
             let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(hist) = &mut self.live_latency {
+                hist.record(latency_nanos);
+            }
             self.recorder.push(item.seq, 0, window, score, latency_nanos, item.view.label());
         }
         if let Some(assembler) = &mut self.assembler {
@@ -282,7 +316,58 @@ impl ShardLoop {
         if let Some(score) = score {
             let window = window_of_micros(flow.record.last_seen.as_micros(), self.window_secs);
             let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(hist) = &mut self.live_latency {
+                hist.record(latency_nanos);
+            }
             self.recorder.push(seq, sub, window, score, latency_nanos, flow.label);
+        }
+    }
+
+    /// Ring membership changed: extract every flow this shard no longer
+    /// owns — open records and label folds from the assembler (flow-format
+    /// detectors), the owned-key inventory otherwise — plus whatever
+    /// per-flow state the detector keeps, as the migration payload.
+    fn on_rebalance(&mut self, ring: &HashRing) -> Vec<FlowMigration> {
+        let mut migrations = match &mut self.assembler {
+            Some(assembler) => assembler.extract_departing(|key| ring.owner_of(key) == self.id),
+            None => {
+                let mut departing: Vec<FlowKey> = self
+                    .flows
+                    .iter()
+                    .filter(|key| ring.owner_of(key) != self.id)
+                    .copied()
+                    .collect();
+                departing.sort_unstable();
+                departing
+                    .into_iter()
+                    .map(|key| FlowMigration {
+                        key,
+                        record: None,
+                        label: idsbench_core::Label::Benign,
+                        detector: None,
+                    })
+                    .collect()
+            }
+        };
+        for migration in &mut migrations {
+            migration.detector = self.detector.extract_flow_state(&migration.key);
+            self.flows.remove(&migration.key);
+        }
+        migrations
+    }
+
+    /// Flows whose ownership moved here: adopt them before any packet
+    /// routed under the new ring (message order on the channel guarantees
+    /// the "before").
+    fn on_migrate(&mut self, migrations: Vec<FlowMigration>) {
+        for mut migration in migrations {
+            self.flows.insert(migration.key);
+            if let Some(state) = migration.detector.take() {
+                self.detector.absorb_flow_state(&migration.key, state);
+            }
+            if let Some(assembler) = &mut self.assembler {
+                assembler.absorb(migration);
+            }
         }
     }
 
@@ -294,6 +379,232 @@ impl ShardLoop {
             }
         }
     }
+}
+
+/// Everything a shard worker needs from the run environment; cloned per
+/// spawn so mid-stream scale-ups reuse the exact setup of the initial pool.
+struct ShardContext<'scope> {
+    factory: &'scope (dyn Fn() -> Box<dyn EventDetector> + Sync),
+    train: &'scope TrainView,
+    start_line: &'scope Barrier,
+    recycle: channel::Sender<Vec<StreamItem>>,
+    threshold: ThresholdMode,
+    flow: FlowTableConfig,
+    window_secs: f64,
+    format: InputFormat,
+    /// Whether shards publish a live per-batch scoring p99 — only when the
+    /// policy's `scale_up_p99_us` trigger is finite, so runs that don't
+    /// use the signal don't pay for it.
+    live_p99: bool,
+}
+
+impl Clone for ShardContext<'_> {
+    fn clone(&self) -> Self {
+        ShardContext { recycle: self.recycle.clone(), ..*self }
+    }
+}
+
+/// Feeder-side handle to one live shard.
+struct ShardSlot {
+    id: usize,
+    tx: channel::Sender<ShardMsg>,
+    /// The partial batch accumulating for this shard.
+    batch: Vec<StreamItem>,
+    /// Latest scoring p99 (nanoseconds) published by the worker — the
+    /// autoscaler's live latency signal. Absent without autoscaling.
+    p99_nanos: Option<Arc<AtomicU64>>,
+}
+
+/// Spawns one scoring worker. Initial-pool shards pass the start barrier
+/// after fitting so the throughput clock excludes training; shards added
+/// mid-stream (`use_barrier = false`) fit on the clock — elastic capacity
+/// is not free, and the run measures that honestly.
+fn spawn_shard<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    ctx: ShardContext<'scope>,
+    id: usize,
+    rx: channel::Receiver<ShardMsg>,
+    use_barrier: bool,
+    p99_nanos: Option<Arc<AtomicU64>>,
+) -> std::thread::ScopedJoinHandle<'scope, Option<ShardOutcome>> {
+    scope.spawn(move || -> Option<ShardOutcome> {
+        // A fit panic must not strand the barrier (the feeder would
+        // deadlock behind it): catch it, pass the start line, and
+        // disconnect so the feeder sees the shard as dead.
+        let fit_started = Instant::now();
+        let fitted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut detector = (ctx.factory)();
+            detector.fit(ctx.train);
+            detector
+        }));
+        let fit_seconds = fit_started.elapsed().as_secs_f64();
+        if use_barrier {
+            ctx.start_line.wait();
+        }
+        let detector = match fitted {
+            Ok(detector) => detector,
+            Err(_) => {
+                drop(rx);
+                return None;
+            }
+        };
+
+        let recorder = match ctx.threshold {
+            ThresholdMode::Fixed(threshold) => Recorder::Online(Box::default(), threshold),
+            ThresholdMode::Calibrated(_) => Recorder::Full(Vec::new()),
+        };
+        let mut state = ShardLoop {
+            id,
+            detector,
+            recorder,
+            assembler: matches!(ctx.format, InputFormat::Flows)
+                .then(|| FlowEventAssembler::new(ctx.flow)),
+            evicted: Vec::new(),
+            flows: HashSet::new(),
+            window_secs: ctx.window_secs,
+            score_nanos: 0,
+            packets: 0,
+            live_latency: p99_nanos.is_some().then(LatencyHistogram::default),
+        };
+        for msg in rx.iter() {
+            match msg {
+                ShardMsg::Batch(batch) => {
+                    for item in &batch {
+                        state.on_packet(item);
+                    }
+                    // Publish this batch's p99, then reset: the signal must
+                    // track *current* latency — a cumulative histogram would
+                    // let one early slow burst pin `overloaded` for the rest
+                    // of the run.
+                    if let (Some(hist), Some(out)) = (&mut state.live_latency, &p99_nanos) {
+                        out.store(hist.percentile(0.99), Ordering::Relaxed);
+                        hist.clear();
+                    }
+                    // The batch goes back *full*: the feeder recycles each
+                    // view's payload buffer into its source's arena before
+                    // reusing the vector.
+                    let _ = ctx.recycle.try_send(batch);
+                }
+                ShardMsg::Rebalance { ring, reply } => {
+                    let _ = reply.send(state.on_rebalance(&ring));
+                }
+                ShardMsg::Migrate(migrations) => state.on_migrate(migrations),
+            }
+        }
+        state.finish();
+        Some(ShardOutcome {
+            shard: id,
+            recorder: state.recorder,
+            score_seconds: state.score_nanos as f64 / 1e9,
+            fit_seconds,
+            packets: state.packets,
+            flows: state.flows.len(),
+        })
+    })
+}
+
+/// Enacts one scale decision: flushes every old-ring batch, reshapes the
+/// pool, runs the drain + migrate barrier, and returns how many flow-state
+/// entries moved.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Stream`] when a shard dies mid-protocol (the join
+/// path surfaces the underlying panic as the root cause).
+#[allow(clippy::too_many_arguments)]
+fn apply_scale<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    ctx: &ShardContext<'scope>,
+    direction: ScaleDirection,
+    channel_capacity: usize,
+    ring: &mut HashRing,
+    slots: &mut Vec<ShardSlot>,
+    workers: &mut Vec<std::thread::ScopedJoinHandle<'scope, Option<ShardOutcome>>>,
+    next_id: &mut usize,
+) -> Result<usize> {
+    // Every packet routed under the old ring must be in its shard's channel
+    // before any control message follows it: flush the partial batches.
+    for slot in slots.iter_mut() {
+        if !slot.batch.is_empty() {
+            let batch = std::mem::take(&mut slot.batch);
+            if slot.tx.send(ShardMsg::Batch(batch)).is_err() {
+                return Err(CoreError::stream(format!("shard {} died", slot.id)));
+            }
+        }
+    }
+    let migrations = match direction {
+        ScaleDirection::Up => {
+            let id = *next_id;
+            *next_id += 1;
+            let (tx, rx) = channel::bounded(channel_capacity);
+            let p99 = ctx.live_p99.then(|| Arc::new(AtomicU64::new(0)));
+            workers.push(spawn_shard(scope, ctx.clone(), id, rx, false, p99.clone()));
+            ring.add_shard(id);
+            let snapshot = Arc::new(ring.clone());
+            // Ask every pre-existing shard for the flows it just lost; the
+            // replies double as the drain barrier.
+            let (reply_tx, reply_rx) = channel::bounded(slots.len().max(1));
+            for slot in slots.iter() {
+                let message =
+                    ShardMsg::Rebalance { ring: snapshot.clone(), reply: reply_tx.clone() };
+                if slot.tx.send(message).is_err() {
+                    return Err(CoreError::stream(format!("shard {} died", slot.id)));
+                }
+            }
+            drop(reply_tx);
+            let mut moved = Vec::new();
+            for _ in 0..slots.len() {
+                match reply_rx.recv() {
+                    Ok(mut flows) => moved.append(&mut flows),
+                    Err(_) => return Err(CoreError::stream("a shard died during rebalance")),
+                }
+            }
+            slots.push(ShardSlot { id, tx, batch: Vec::new(), p99_nanos: p99 });
+            moved
+        }
+        ScaleDirection::Down => {
+            // Retire the youngest shard: consistent hashing moves only its
+            // own key ranges, and ids stay a compact history.
+            let victim_at = slots
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, slot)| slot.id)
+                .map(|(at, _)| at)
+                .expect("scale-down on an empty pool");
+            let victim = slots.remove(victim_at);
+            ring.remove_shard(victim.id);
+            let snapshot = Arc::new(ring.clone());
+            let (reply_tx, reply_rx) = channel::bounded(1);
+            if victim.tx.send(ShardMsg::Rebalance { ring: snapshot, reply: reply_tx }).is_err() {
+                return Err(CoreError::stream(format!("shard {} died", victim.id)));
+            }
+            let moved = reply_rx
+                .recv()
+                .map_err(|_| CoreError::stream("departing shard died during rebalance"))?;
+            // Dropping the sender ends the victim's message stream; it
+            // flushes its now-empty state and reports at join time.
+            drop(victim);
+            moved
+        }
+    };
+    let count = migrations.len();
+    // Deliver each migration to its new owner ahead of any packet routed
+    // under the new ring.
+    let mut groups: Vec<(usize, Vec<FlowMigration>)> = Vec::new();
+    for migration in migrations {
+        let owner = ring.owner_of(&migration.key);
+        match groups.iter_mut().find(|(id, _)| *id == owner) {
+            Some((_, flows)) => flows.push(migration),
+            None => groups.push((owner, vec![migration])),
+        }
+    }
+    for (owner, flows) in groups {
+        let slot = slots.iter().find(|slot| slot.id == owner).expect("ring owner is live");
+        if slot.tx.send(ShardMsg::Migrate(flows)).is_err() {
+            return Err(CoreError::stream(format!("shard {owner} died")));
+        }
+    }
+    Ok(count)
 }
 
 /// Runs one streaming evaluation: assembles the shared [`TrainView`] from
@@ -316,6 +627,8 @@ pub fn run_stream(
 ) -> Result<StreamRun> {
     config.validate()?;
     let shards = config.shards;
+    let vnodes = config.autoscale.map_or(DEFAULT_VNODES, |policy| policy.vnodes);
+    let max_pool = config.autoscale.map_or(shards, |policy| policy.max_shards.max(shards));
     let source_name = source.name().to_string();
     let (detector_name, format) = {
         let probe = factory();
@@ -332,107 +645,126 @@ pub fn run_stream(
     let assembly_seconds = assembly_started.elapsed().as_secs_f64();
     let train = &train;
 
-    // Everyone (shards + feeder) meets here after fit, so the throughput
-    // clock starts only when scoring can actually proceed.
+    // Everyone (initial shards + feeder) meets here after fit, so the
+    // throughput clock starts only when scoring can actually proceed.
     let start_line = Barrier::new(shards + 1);
 
-    let mut channels: Vec<channel::Sender<Vec<StreamItem>>> = Vec::new();
-    let mut receivers: Vec<channel::Receiver<Vec<StreamItem>>> = Vec::new();
-    for _ in 0..shards {
-        let (tx, rx) = channel::bounded(config.channel_capacity);
-        channels.push(tx);
-        receivers.push(rx);
-    }
     // Consumed batches flow back to the feeder through this channel: the
     // feeder hands each view's payload buffer to the source's arena
     // (`PacketSource::recycle_packet`) and reuses the vector, so the
     // steady-state fan-out allocates neither a `Vec` per batch nor a
     // payload per packet. Both ends use the non-blocking ops: recycling is
     // an optimisation, never a stall (a full return lane just drops the
-    // buffer).
+    // buffer). Sized for the autoscaler's ceiling, not the initial pool.
     let (recycle_tx, recycle_rx) =
-        channel::bounded::<Vec<StreamItem>>(shards * config.channel_capacity + shards);
+        channel::bounded::<Vec<StreamItem>>(max_pool * config.channel_capacity + max_pool);
 
-    let window_secs = config.window_secs;
-    let threshold_mode = config.threshold;
-    let flow_config = config.flow;
-    let run = std::thread::scope(|scope| -> Result<(Vec<ShardOutcome>, u64, f64)> {
+    type RunOutput = (Vec<ShardOutcome>, u64, f64, Vec<ScaleEvent>, usize);
+    let run = std::thread::scope(|scope| -> Result<RunOutput> {
+        let ctx = ShardContext {
+            factory,
+            train,
+            start_line: &start_line,
+            recycle: recycle_tx.clone(),
+            threshold: config.threshold,
+            flow: config.flow,
+            window_secs: config.window_secs,
+            format,
+            live_p99: config.autoscale.is_some_and(|policy| policy.scale_up_p99_us.is_finite()),
+        };
+        let mut ring = HashRing::with_shards(vnodes, shards);
         let mut workers = Vec::new();
-        for (shard, rx) in receivers.into_iter().enumerate() {
-            let start_line = &start_line;
-            let recycle = recycle_tx.clone();
-            workers.push(scope.spawn(move || -> Option<ShardOutcome> {
-                // A fit panic must not strand the barrier (the feeder would
-                // deadlock behind it): catch it, pass the start line, and
-                // disconnect so the feeder sees the shard as dead.
-                let fit_started = Instant::now();
-                let fitted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut detector = factory();
-                    detector.fit(train);
-                    detector
-                }));
-                let fit_seconds = fit_started.elapsed().as_secs_f64();
-                start_line.wait();
-                let detector = match fitted {
-                    Ok(detector) => detector,
-                    Err(_) => {
-                        drop(rx);
-                        return None;
-                    }
-                };
-
-                let recorder = match threshold_mode {
-                    ThresholdMode::Fixed(threshold) => Recorder::Online(Box::default(), threshold),
-                    ThresholdMode::Calibrated(_) => Recorder::Full(Vec::new()),
-                };
-                let mut state = ShardLoop {
-                    detector,
-                    recorder,
-                    assembler: matches!(format, InputFormat::Flows)
-                        .then(|| FlowEventAssembler::new(flow_config)),
-                    evicted: Vec::new(),
-                    flows: HashSet::new(),
-                    window_secs,
-                    score_nanos: 0,
-                    packets: 0,
-                };
-                for batch in rx.iter() {
-                    for item in &batch {
-                        state.on_packet(item);
-                    }
-                    // The batch goes back *full*: the feeder recycles each
-                    // view's payload buffer into its source's arena before
-                    // reusing the vector.
-                    let _ = recycle.try_send(batch);
-                }
-                state.finish();
-                Some(ShardOutcome {
-                    shard,
-                    recorder: state.recorder,
-                    score_seconds: state.score_nanos as f64 / 1e9,
-                    fit_seconds,
-                    packets: state.packets,
-                    flows: state.flows.len(),
-                })
-            }));
+        let mut slots: Vec<ShardSlot> = Vec::with_capacity(shards);
+        for id in 0..shards {
+            let (tx, rx) = channel::bounded(config.channel_capacity);
+            let p99 = ctx.live_p99.then(|| Arc::new(AtomicU64::new(0)));
+            workers.push(spawn_shard(scope, ctx.clone(), id, rx, true, p99.clone()));
+            slots.push(ShardSlot { id, tx, batch: Vec::new(), p99_nanos: p99 });
         }
+        let mut next_id = shards;
+        let mut scaler = config.autoscale.map(|policy| Autoscaler::new(policy, config.window_secs));
+        let mut scale_events: Vec<ScaleEvent> = Vec::new();
 
-        // ---- Feeder (this thread): parse once, route, batch, apply
-        // backpressure. ----
+        // ---- Feeder (this thread): parse once, autoscale at window
+        // boundaries, route over the ring, batch, apply backpressure. ----
         start_line.wait();
         let clock = Instant::now();
-        let mut batches: Vec<Vec<StreamItem>> = (0..shards).map(|_| Vec::new()).collect();
         let mut seq = 0u64;
         let mut source_error: Option<CoreError> = None;
-        loop {
+        'feed: loop {
             match source.next_packet() {
                 Ok(Some(packet)) => {
                     // The eval stream's single parse per packet.
                     let view = ParsedView::from_packet(packet);
-                    let shard = shard_of(&view.flow_key, shards);
-                    batches[shard].push(StreamItem { seq, view });
+                    let ts_micros = view.packet.packet.ts.as_micros();
+                    if let Some(scaler) = &mut scaler {
+                        scaler.observe_packet(ts_micros);
+                        // Drain every due decision before routing, so this
+                        // packet already travels under the rebalanced ring.
+                        // The `has_pending` pre-check keeps the per-packet
+                        // fast path free of signal sampling (channel-depth
+                        // reads take the channel lock).
+                        while scaler.has_pending() {
+                            let live = LiveSignals {
+                                max_channel_depth: slots
+                                    .iter()
+                                    .map(|slot| slot.tx.len())
+                                    .max()
+                                    .unwrap_or(0),
+                                max_p99_us: slots
+                                    .iter()
+                                    .filter_map(|slot| slot.p99_nanos.as_ref())
+                                    .map(|p99| p99.load(Ordering::Relaxed) as f64 / 1_000.0)
+                                    .fold(0.0, f64::max),
+                            };
+                            let Some(decision) = scaler.poll(slots.len(), live) else {
+                                break;
+                            };
+                            let rebalance_clock = Instant::now();
+                            let from_shards = slots.len();
+                            match apply_scale(
+                                scope,
+                                &ctx,
+                                decision.direction,
+                                config.channel_capacity,
+                                &mut ring,
+                                &mut slots,
+                                &mut workers,
+                                &mut next_id,
+                            ) {
+                                Ok(migrated_flows) => scale_events.push(ScaleEvent {
+                                    seq,
+                                    at_secs: ts_micros as f64 / 1e6,
+                                    window: decision.window,
+                                    from_shards,
+                                    to_shards: slots.len(),
+                                    trigger_pps: decision.trigger_pps,
+                                    migrated_flows,
+                                    rebalance_micros: rebalance_clock.elapsed().as_micros() as u64,
+                                }),
+                                Err(e) => {
+                                    source_error = Some(e);
+                                    break 'feed;
+                                }
+                            }
+                        }
+                    }
+                    let owner = match &view.flow_key {
+                        // Keyless (non-IP/malformed) packets carry no flow
+                        // state; they ride on the lowest live shard.
+                        None => ring.first_shard(),
+                        Some(key) => ring.owner_of(key),
+                    };
+                    // Slots stay sorted by id (scale-up appends the next
+                    // fresh id, scale-down removes one), so the per-packet
+                    // lookup is a binary search, not a scan.
+                    let at = slots
+                        .binary_search_by_key(&owner, |slot| slot.id)
+                        .expect("ring owner is live");
+                    let slot = &mut slots[at];
+                    slot.batch.push(StreamItem { seq, view });
                     seq += 1;
-                    if batches[shard].len() >= config.batch_size {
+                    if slot.batch.len() >= config.batch_size {
                         // Swap in a recycled buffer (or an empty placeholder
                         // that first pushes grow) before shipping the full
                         // one; consumed views give their payload buffers
@@ -441,9 +773,9 @@ pub fn run_stream(
                         for item in replacement.drain(..) {
                             source.recycle_packet(item.view.packet.packet);
                         }
-                        let batch = std::mem::replace(&mut batches[shard], replacement);
-                        if channels[shard].send(batch).is_err() {
-                            source_error = Some(CoreError::stream(format!("shard {shard} died")));
+                        let batch = std::mem::replace(&mut slot.batch, replacement);
+                        if slot.tx.send(ShardMsg::Batch(batch)).is_err() {
+                            source_error = Some(CoreError::stream(format!("shard {owner} died")));
                             break;
                         }
                     }
@@ -456,12 +788,14 @@ pub fn run_stream(
             }
         }
         // Flush partial batches and close the channels so shards drain out.
-        for (shard, batch) in batches.into_iter().enumerate() {
+        for slot in &mut slots {
+            let batch = std::mem::take(&mut slot.batch);
             if !batch.is_empty() {
-                let _ = channels[shard].send(batch);
+                let _ = slot.tx.send(ShardMsg::Batch(batch));
             }
         }
-        channels.clear(); // drops every sender
+        let final_shards = slots.len();
+        slots.clear(); // drops every sender
 
         let mut outcomes = Vec::new();
         let mut worker_failure = None;
@@ -483,9 +817,9 @@ pub fn run_stream(
         if let Some(e) = source_error {
             return Err(e);
         }
-        Ok((outcomes, seq, wall_seconds))
+        Ok((outcomes, seq, wall_seconds, scale_events, final_shards))
     });
-    let (mut outcomes, fed, wall_seconds) = run?;
+    let (mut outcomes, fed, wall_seconds, scale_events, final_shards) = run?;
     outcomes.sort_by_key(|o| o.shard);
 
     Ok(finalise(
@@ -496,6 +830,8 @@ pub fn run_stream(
         wall_seconds,
         assembly_seconds,
         outcomes,
+        scale_events,
+        final_shards,
         config,
     ))
 }
@@ -510,6 +846,8 @@ fn finalise(
     wall_seconds: f64,
     assembly_seconds: f64,
     outcomes: Vec<ShardOutcome>,
+    scale_events: Vec<ScaleEvent>,
+    final_shards: usize,
     config: &StreamConfig,
 ) -> StreamRun {
     let mut shard_stats = Vec::with_capacity(outcomes.len());
@@ -578,6 +916,8 @@ fn finalise(
                 train_seconds,
             ),
             shard_stats,
+            scale_events,
+            final_shards,
         };
         return StreamRun { report, scores: Vec::new(), labels: Vec::new() };
     }
@@ -620,6 +960,8 @@ fn finalise(
             train_seconds,
         ),
         shard_stats,
+        scale_events,
+        final_shards,
     };
     StreamRun { report, scores, labels }
 }
@@ -905,6 +1247,209 @@ mod tests {
         ));
         assert!(matches!(
             bad(StreamConfig { threshold: ThresholdMode::Fixed(f64::NAN), ..Default::default() }),
+            CoreError::Stream { .. }
+        ));
+    }
+
+    /// Alternating quiet/burst phases on a fixed flow population, one
+    /// traffic-second per phase: quiet phases run ~20 events/sec, bursts
+    /// ~600 — enough contrast to drive any sane autoscale policy.
+    fn bursty_workload(phases: u64) -> Vec<LabeledPacket> {
+        let mut packets = Vec::new();
+        for phase in 0..phases {
+            let (count, attack) = if phase % 2 == 1 { (600u64, true) } else { (20u64, false) };
+            let spacing = (1_000_000 / count).max(1);
+            for i in 0..count {
+                let host = (i % 7) as u8 + 1;
+                let port = 1000 + (i % 23) as u16;
+                let t = phase * 1_000_000 + i * spacing;
+                packets.push(flow_packet(host, port, t, attack && i % 3 == 0));
+            }
+        }
+        packets
+    }
+
+    /// A policy the bursty workload reliably trips in both directions.
+    fn bursty_policy() -> crate::autoscale::AutoscalePolicy {
+        crate::autoscale::AutoscalePolicy {
+            min_shards: 1,
+            max_shards: 3,
+            scale_up_pps: 300.0,
+            scale_down_pps: 100.0,
+            cooldown_windows: 0,
+            vnodes: 16,
+            ..Default::default()
+        }
+    }
+
+    fn autoscaled_config() -> StreamConfig {
+        StreamConfig {
+            shards: 1,
+            batch_size: 16,
+            window_secs: 1.0,
+            autoscale: Some(bursty_policy()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn autoscaled_flow_scores_match_single_shard_multiset() {
+        let packets = bursty_workload(6);
+        let single = run_stream(
+            &flow_factory,
+            &[],
+            VecSource::new("bursty", packets.clone()),
+            &StreamConfig { window_secs: 1.0, ..Default::default() },
+        )
+        .unwrap();
+        let auto = run_stream(
+            &flow_factory,
+            &[],
+            VecSource::new("bursty", packets.clone()),
+            &autoscaled_config(),
+        )
+        .unwrap();
+
+        // The pool must actually move, both ways.
+        let ups = auto.report.scale_events.iter().filter(|e| e.is_scale_up()).count();
+        let downs = auto.report.scale_events.iter().filter(|e| e.is_scale_down()).count();
+        assert!(ups >= 1, "bursts must trigger a scale-up: {:?}", auto.report.scale_events);
+        assert!(downs >= 1, "quiet phases must trigger a scale-down");
+        assert!(
+            auto.report.scale_events.iter().any(|e| e.migrated_flows > 0),
+            "rebalancing must migrate live flow state"
+        );
+        assert_eq!(auto.report.shards, 1);
+        assert!(auto.report.final_shards >= 1);
+
+        // The acceptance invariant: per-flow scores are indifferent to when
+        // (or whether) the pool scaled — the sorted multiset is bitwise
+        // identical to the single-shard run.
+        let mut a = single.scores.clone();
+        let mut b = auto.scores.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b, "autoscaling changed the per-flow score multiset");
+
+        // Migration accounting: each flow counts once, for its final owner,
+        // so per-shard distinct-flow counts still sum to the global count.
+        let global: HashSet<FlowKey> = packets
+            .iter()
+            .filter_map(|lp| idsbench_net::ParsedPacket::parse(&lp.packet).ok())
+            .filter_map(|p| FlowKey::from_packet(&p))
+            .map(|k| k.canonical().0)
+            .collect();
+        let sharded: usize = auto.report.shard_stats.iter().map(|s| s.flows).sum();
+        assert_eq!(sharded, global.len(), "a migrated flow was double- or zero-counted");
+    }
+
+    #[test]
+    fn autoscaled_runs_are_deterministic() {
+        let packets = bursty_workload(6);
+        let first = run_stream(
+            &flow_factory,
+            &[],
+            VecSource::new("bursty", packets.clone()),
+            &autoscaled_config(),
+        )
+        .unwrap();
+        let second =
+            run_stream(&flow_factory, &[], VecSource::new("bursty", packets), &autoscaled_config())
+                .unwrap();
+        assert_eq!(first.scores, second.scores);
+        assert_eq!(first.report.metrics, second.report.metrics);
+        // Same decisions at the same packets, shard for shard (wall-clock
+        // fields excluded: the default policy uses only traffic-time rates).
+        let shape = |run: &StreamRun| {
+            run.report
+                .scale_events
+                .iter()
+                .map(|e| (e.seq, e.window, e.from_shards, e.to_shards, e.migrated_flows))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&first), shape(&second));
+        assert!(!first.report.scale_events.is_empty());
+    }
+
+    #[test]
+    fn detector_per_flow_state_migrates_with_ownership() {
+        use std::any::Any;
+        use std::collections::HashMap;
+
+        /// Packet detector whose score is the packet's 1-based position
+        /// within its flow — pure per-flow state, so a dropped migration
+        /// resets a counter mid-flow and the scores give it away.
+        #[derive(Debug, Default)]
+        struct FlowSeq {
+            counts: HashMap<FlowKey, u64>,
+        }
+
+        impl EventDetector for FlowSeq {
+            fn name(&self) -> &str {
+                "flow-seq"
+            }
+            fn input_format(&self) -> InputFormat {
+                InputFormat::Packets
+            }
+            fn fit(&mut self, _train: &TrainView) {}
+            fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+                match event {
+                    Event::Packet(view) => match view.flow_key {
+                        Some(key) => {
+                            let count = self.counts.entry(key).or_insert(0);
+                            *count += 1;
+                            Some(*count as f64)
+                        }
+                        None => Some(0.0),
+                    },
+                    Event::FlowEvicted(_) => None,
+                }
+            }
+            fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Box<dyn Any + Send>> {
+                self.counts.remove(key).map(|count| Box::new(count) as Box<dyn Any + Send>)
+            }
+            fn absorb_flow_state(&mut self, key: &FlowKey, state: Box<dyn Any + Send>) {
+                if let Ok(count) = state.downcast::<u64>() {
+                    self.counts.insert(*key, *count);
+                }
+            }
+        }
+
+        let factory = || Box::new(FlowSeq::default()) as Box<dyn EventDetector>;
+        let packets = bursty_workload(6);
+        let single = run_stream(
+            &factory,
+            &[],
+            VecSource::new("bursty", packets.clone()),
+            &StreamConfig { window_secs: 1.0, ..Default::default() },
+        )
+        .unwrap();
+        let auto =
+            run_stream(&factory, &[], VecSource::new("bursty", packets), &autoscaled_config())
+                .unwrap();
+        assert!(auto.report.scale_events.iter().any(|e| e.is_scale_up()));
+        // Per-flow order is preserved and the counters moved with their
+        // flows, so even the seq-ordered score stream is identical.
+        assert_eq!(single.scores, auto.scores, "a per-flow counter reset across a rebalance");
+    }
+
+    #[test]
+    fn autoscale_rejects_invalid_policies() {
+        let bad = |config: StreamConfig| {
+            run_stream(&factory, &[], VecSource::new("x", Vec::new()), &config).unwrap_err()
+        };
+        let policy = crate::autoscale::AutoscalePolicy { min_shards: 2, ..Default::default() };
+        assert!(matches!(
+            bad(StreamConfig { shards: 1, autoscale: Some(policy), ..Default::default() }),
+            CoreError::Stream { .. }
+        ));
+        let flappy = crate::autoscale::AutoscalePolicy {
+            scale_up_pps: 10.0,
+            scale_down_pps: 20.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bad(StreamConfig { autoscale: Some(flappy), ..Default::default() }),
             CoreError::Stream { .. }
         ));
     }

@@ -13,12 +13,20 @@
 //!   [`BoundedSource`] adds bounded-channel backpressure between producer
 //!   and scorer.
 //! * [`executor`] — [`run_stream`] parses each packet exactly once in the
-//!   feeder, hashes the resulting view by canonical flow key onto N shard
-//!   workers — each owning an independent detector instance *and flow
-//!   table* — and delivers the same event stream batch evaluation replays:
-//!   packet events in order, flow-eviction events the moment the shard's
-//!   flow table emits them. Flow-input systems (Slips, DNN) are therefore
-//!   streaming-native, not batch adapters.
+//!   feeder, routes the resulting view by canonical flow key over a
+//!   consistent-hash ring onto N shard workers — each owning an independent
+//!   detector instance *and flow table* — and delivers the same event
+//!   stream batch evaluation replays: packet events in order, flow-eviction
+//!   events the moment the shard's flow table emits them. Flow-input
+//!   systems (Slips, DNN) are therefore streaming-native, not batch
+//!   adapters.
+//! * [`ring`] + [`autoscale`] — elastic sharding: a vnode consistent-hash
+//!   [`HashRing`] bounds ownership movement to the minimum when the pool
+//!   changes, and an [`AutoscalePolicy`]-driven control loop grows/shrinks
+//!   the pool mid-stream from the run's own windowed event rate (plus
+//!   optional live channel-depth / p99 signals), migrating the affected
+//!   flow state shard-to-shard without breaking per-flow event order.
+//!   Every action lands in the report as a [`ScaleEvent`].
 //! * [`metrics`] — windowed precision/recall/FPR over the traffic timeline
 //!   plus per-event scoring latency and packets/sec; with a fixed
 //!   deployment threshold the engine runs *zero-buffer* ([`OnlineStats`]):
@@ -63,12 +71,17 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod autoscale;
 pub mod executor;
 pub mod metrics;
 pub mod report;
+pub mod ring;
 pub mod source;
 
+pub use autoscale::{AutoscalePolicy, Autoscaler, LiveSignals, ScaleDecision, ScaleDirection};
 pub use executor::{run_stream, StreamConfig, StreamRun, ThresholdMode};
+pub use idsbench_core::ScaleEvent;
 pub use metrics::{LatencyHistogram, OnlineStats, ScoredEvent, Throughput, WindowMetrics};
 pub use report::{ShardStats, StreamReport};
+pub use ring::{HashRing, DEFAULT_VNODES};
 pub use source::{BoundedSource, PacketSource, PcapLabeler, PcapSource, ScenarioSource, VecSource};

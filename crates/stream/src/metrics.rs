@@ -22,6 +22,15 @@ use std::collections::BTreeMap;
 use idsbench_core::metrics::ConfusionMatrix;
 use idsbench_core::AttackKind;
 
+/// Tumbling-window index of a traffic timestamp — the one boundary rule
+/// shared by the metrics windows, the executor's event windowing, and the
+/// autoscaler's control loop, so `ScaleEvent::window` and
+/// [`WindowMetrics::index`] always join on the same axis.
+pub fn window_index(ts_micros: u64, window_secs: f64) -> u64 {
+    let window_micros = (window_secs * 1e6) as u64;
+    ts_micros / window_micros.max(1)
+}
+
 /// One scored evaluation event, as recorded inside a shard in replay mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoredEvent {
@@ -269,6 +278,13 @@ impl LatencyHistogram {
     /// Whether the histogram is empty.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Resets every bucket — the histogram is reusable for windowed
+    /// signals (e.g. the autoscaler's per-batch p99) without reallocating.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
     }
 
     /// Adds another histogram's counts into this one.

@@ -3,6 +3,7 @@
 
 use idsbench_core::metrics::Metrics;
 use idsbench_core::runner::Experiment;
+use idsbench_core::ScaleEvent;
 
 use crate::metrics::{Throughput, WindowMetrics};
 
@@ -32,7 +33,8 @@ pub struct StreamReport {
     pub detector: String,
     /// Packet-source (dataset/capture) name.
     pub source: String,
-    /// Shard count the run used.
+    /// Shard count the run started with (the pool may move between
+    /// `scale_events`; see `final_shards`).
     pub shards: usize,
     /// Per-shard feeder batch size.
     pub batch_size: usize,
@@ -61,8 +63,15 @@ pub struct StreamReport {
     pub windows: Vec<WindowMetrics>,
     /// Wall-clock throughput and latency summary.
     pub throughput: Throughput,
-    /// Per-shard load breakdown.
+    /// Per-shard load breakdown. Under autoscaling this includes retired
+    /// shards; a migrated flow counts only for its final owner.
     pub shard_stats: Vec<ShardStats>,
+    /// Every elastic-sharding action the run took, in order. Empty for
+    /// fixed-pool runs.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Shard count when the stream ended (equals `shards` without
+    /// autoscaling).
+    pub final_shards: usize,
 }
 
 impl StreamReport {
@@ -189,6 +198,31 @@ impl StreamReport {
             json_num(&mut out, "score_seconds", s.score_seconds);
             out.push('}');
         }
+        out.push_str("],");
+        json_num(&mut out, "final_shards", self.final_shards as f64);
+        out.push_str(",\"scale_events\":[");
+        for (i, e) in self.scale_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_num(&mut out, "seq", e.seq as f64);
+            out.push(',');
+            json_num(&mut out, "at_secs", e.at_secs);
+            out.push(',');
+            json_num(&mut out, "window", e.window as f64);
+            out.push(',');
+            json_num(&mut out, "from_shards", e.from_shards as f64);
+            out.push(',');
+            json_num(&mut out, "to_shards", e.to_shards as f64);
+            out.push(',');
+            json_num(&mut out, "trigger_pps", e.trigger_pps);
+            out.push(',');
+            json_num(&mut out, "migrated_flows", e.migrated_flows as f64);
+            out.push(',');
+            json_num(&mut out, "rebalance_micros", e.rebalance_micros as f64);
+            out.push('}');
+        }
         out.push_str("]}");
         out
     }
@@ -270,6 +304,17 @@ mod tests {
                 ShardStats { shard: 0, packets: 50, items: 50, flows: 3, score_seconds: 0.2 },
                 ShardStats { shard: 1, packets: 40, items: 40, flows: 2, score_seconds: 0.2 },
             ],
+            scale_events: vec![ScaleEvent {
+                seq: 30,
+                at_secs: 1.5,
+                window: 2,
+                from_shards: 1,
+                to_shards: 2,
+                trigger_pps: 4000.0,
+                migrated_flows: 3,
+                rebalance_micros: 250,
+            }],
+            final_shards: 2,
         }
     }
 
@@ -282,6 +327,9 @@ mod tests {
         assert!(json.contains("\"packets_per_sec\":180"));
         assert!(json.contains("\"windows\":[{"));
         assert!(json.contains("\"shard_stats\":[{\"shard\":0"));
+        assert!(json.contains("\"final_shards\":2"));
+        assert!(json.contains("\"scale_events\":[{\"seq\":30"));
+        assert!(json.contains("\"rebalance_micros\":250"));
         // Balanced braces/brackets (cheap structural sanity).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

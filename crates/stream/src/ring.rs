@@ -1,0 +1,278 @@
+//! The consistent-hash flow→shard ring: elastic ownership for the sharded
+//! executor.
+//!
+//! The static executor mapped flows to shards with `hash % shards` — fine
+//! while the pool is fixed, catastrophic when it is not: changing `shards`
+//! by one remaps almost *every* flow, so an autoscaler built on modulo
+//! routing would have to migrate nearly all live state on every step. A
+//! consistent-hash ring bounds the damage to the minimum: each shard owns
+//! [`HashRing::vnodes_per_shard`] pseudo-random points on a `u64` circle,
+//! a key belongs to the first point at or clockwise of its hash, and
+//! adding or removing one shard moves only the key ranges adjacent to that
+//! shard's own points (≈ `1/n` of the space) — every other flow keeps its
+//! owner, so its per-flow state never moves. The `proptest_ring`
+//! integration test pins exactly that minimal-movement property.
+//!
+//! Hashing is [`fx_hash`] on the canonical [`FlowKey`] — the same
+//! non-cryptographic multiply-fold hash the per-packet state maps use
+//! (routing is not attacker-facing: shard counts are bounded by policy, and
+//! a skewed adversarial key set degrades balance, not correctness).
+
+use idsbench_core::fasthash::fx_hash;
+use idsbench_flow::FlowKey;
+
+/// Default virtual nodes per shard: enough that ownership spread stays
+/// within a few percent of uniform for single-digit shard counts.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// A vnode-based consistent-hash ring mapping canonical flow keys onto
+/// shard ids (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// Sorted vnode points: `(position, shard id)`. Ties (vanishingly rare
+    /// with 64-bit points) order by shard id, keeping lookups deterministic.
+    points: Vec<(u64, usize)>,
+    /// Live shard ids, sorted.
+    shards: Vec<usize>,
+    vnodes_per_shard: usize,
+}
+
+impl HashRing {
+    /// Creates an empty ring placing `vnodes_per_shard` points per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vnodes_per_shard` is zero.
+    pub fn new(vnodes_per_shard: usize) -> Self {
+        assert!(vnodes_per_shard > 0, "a shard needs at least one vnode");
+        HashRing { points: Vec::new(), shards: Vec::new(), vnodes_per_shard }
+    }
+
+    /// Creates a ring already holding shards `0..shards`.
+    pub fn with_shards(vnodes_per_shard: usize, shards: usize) -> Self {
+        let mut ring = HashRing::new(vnodes_per_shard);
+        for shard in 0..shards {
+            ring.add_shard(shard);
+        }
+        ring
+    }
+
+    /// Vnode points each shard places on the ring.
+    pub fn vnodes_per_shard(&self) -> usize {
+        self.vnodes_per_shard
+    }
+
+    /// Adds a shard's vnodes to the ring. Adding an id twice is a caller
+    /// bug (ownership would double), so it panics.
+    pub fn add_shard(&mut self, shard: usize) {
+        assert!(!self.contains(shard), "shard {shard} is already on the ring");
+        self.shards.insert(self.shards.partition_point(|&s| s < shard), shard);
+        for replica in 0..self.vnodes_per_shard {
+            let point = vnode_point(shard, replica);
+            let at = self.points.partition_point(|&p| p < (point, shard));
+            self.points.insert(at, (point, shard));
+        }
+    }
+
+    /// Removes a shard's vnodes from the ring; its key ranges fall to the
+    /// clockwise successors. Removing an absent id is a no-op.
+    pub fn remove_shard(&mut self, shard: usize) {
+        self.points.retain(|&(_, s)| s != shard);
+        self.shards.retain(|&s| s != shard);
+    }
+
+    /// Whether `shard` is on the ring.
+    pub fn contains(&self, shard: usize) -> bool {
+        self.shards.binary_search(&shard).is_ok()
+    }
+
+    /// Live shard ids, ascending.
+    pub fn shards(&self) -> &[usize] {
+        &self.shards
+    }
+
+    /// Number of live shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The lowest live shard id — the designated owner of keyless (non-IP
+    /// or malformed) packets, which carry no flow state to migrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring.
+    pub fn first_shard(&self) -> usize {
+        *self.shards.first().expect("ring has no shards")
+    }
+
+    /// The shard owning `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring.
+    pub fn owner_of(&self, key: &FlowKey) -> usize {
+        self.owner_of_hash(fx_hash(key))
+    }
+
+    /// The shard owning an already-computed key hash: the first vnode at or
+    /// clockwise of `hash`, wrapping at the top of the `u64` circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty ring.
+    pub fn owner_of_hash(&self, hash: u64) -> usize {
+        assert!(!self.points.is_empty(), "ring has no shards");
+        let at = self.points.partition_point(|&(point, _)| point < hash);
+        let at = if at == self.points.len() { 0 } else { at };
+        self.points[at].1
+    }
+}
+
+/// Position of one shard replica on the ring.
+///
+/// Vnode inputs are tiny structured integers, the worst case for the
+/// multiply-fold FxHash (consecutive `(shard, replica)` pairs land on
+/// correlated points — measured: an 89/11 ownership split at 32 vnodes).
+/// A splitmix64 finalizer decorrelates them; keys keep FxHash, where the
+/// 5-tuple provides real entropy.
+fn vnode_point(shard: usize, replica: usize) -> u64 {
+    let mut z = ((shard as u64) << 32 | replica as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idsbench_net::IpProtocol;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn key(host: u8, port: u16) -> FlowKey {
+        FlowKey {
+            src_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, host)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 200)),
+            src_port: port,
+            dst_port: 80,
+            protocol: IpProtocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = HashRing::with_shards(DEFAULT_VNODES, 1);
+        for port in 0..100 {
+            assert_eq!(ring.owner_of(&key(1, port)), 0);
+        }
+        assert_eq!(ring.first_shard(), 0);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_spreads() {
+        let ring = HashRing::with_shards(DEFAULT_VNODES, 4);
+        let again = HashRing::with_shards(DEFAULT_VNODES, 4);
+        let mut owned = [0usize; 4];
+        for host in 1..50u8 {
+            for port in 1000..1040u16 {
+                let k = key(host, port);
+                let owner = ring.owner_of(&k);
+                assert_eq!(owner, again.owner_of(&k), "ring construction must be deterministic");
+                owned[owner] += 1;
+            }
+        }
+        for (shard, count) in owned.iter().enumerate() {
+            assert!(
+                *count > 0,
+                "shard {shard} owns no keys out of {}",
+                owned.iter().sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn vnode_placement_balances_two_shards() {
+        // The regression this pins: structured vnode inputs through a weak
+        // hash gave one shard ~89% of the ring. With the finalizer, a
+        // two-shard split must stay within sane bounds.
+        let ring = HashRing::with_shards(DEFAULT_VNODES, 2);
+        let total = 49 * 40;
+        let first: usize = (1..50u8)
+            .flat_map(|host| (1000..1040u16).map(move |port| key(host, port)))
+            .filter(|k| ring.owner_of(k) == 0)
+            .count();
+        let share = first as f64 / total as f64;
+        assert!((0.25..=0.75).contains(&share), "two-shard split degenerated: {share:.3}");
+    }
+
+    #[test]
+    fn adding_a_shard_moves_keys_only_to_it() {
+        let before = HashRing::with_shards(DEFAULT_VNODES, 3);
+        let mut after = before.clone();
+        after.add_shard(3);
+        let mut moved = 0usize;
+        let mut total = 0usize;
+        for host in 1..40u8 {
+            for port in 1000..1050u16 {
+                let k = key(host, port);
+                let (old, new) = (before.owner_of(&k), after.owner_of(&k));
+                total += 1;
+                if old != new {
+                    moved += 1;
+                    assert_eq!(new, 3, "a key moved between two surviving shards");
+                }
+            }
+        }
+        assert!(moved > 0, "the new shard must take some load");
+        assert!(moved < total / 2, "consistent hashing must move a minority of keys");
+    }
+
+    #[test]
+    fn removing_a_shard_moves_only_its_keys() {
+        let before = HashRing::with_shards(DEFAULT_VNODES, 4);
+        let mut after = before.clone();
+        after.remove_shard(2);
+        assert!(!after.contains(2));
+        for host in 1..40u8 {
+            for port in 1000..1050u16 {
+                let k = key(host, port);
+                let (old, new) = (before.owner_of(&k), after.owner_of(&k));
+                if old != 2 {
+                    assert_eq!(old, new, "a surviving shard's key moved");
+                } else {
+                    assert_ne!(new, 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ids_need_not_be_contiguous() {
+        let mut ring = HashRing::with_shards(DEFAULT_VNODES, 2);
+        ring.remove_shard(0);
+        ring.add_shard(7);
+        assert_eq!(ring.shards(), &[1, 7]);
+        assert_eq!(ring.first_shard(), 1);
+        let owner = ring.owner_of(&key(1, 1000));
+        assert!(owner == 1 || owner == 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already on the ring")]
+    fn double_add_panics() {
+        let mut ring = HashRing::with_shards(DEFAULT_VNODES, 2);
+        ring.add_shard(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring has no shards")]
+    fn empty_ring_panics_on_lookup() {
+        HashRing::new(4).owner_of_hash(12345);
+    }
+}

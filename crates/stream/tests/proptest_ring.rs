@@ -1,0 +1,84 @@
+//! Property-based pinning of the consistent-hash ring's contract: when the
+//! shard pool changes, ownership moves *only* where it must — the property
+//! that bounds how much flow state an autoscale rebalance may migrate.
+
+use idsbench_stream::HashRing;
+use proptest::prelude::*;
+
+/// Vnode resolution used throughout (the executor's default is the same
+/// order of magnitude; the properties hold for any positive count).
+const VNODES: usize = 32;
+
+proptest! {
+    /// Adding a shard reassigns keys only to the new shard; every key that
+    /// moved was claimed by it, every other key keeps its owner.
+    #[test]
+    fn adding_a_shard_moves_keys_only_to_it(
+        hashes in proptest::collection::vec(any::<u64>(), 1..400),
+        shards in 1usize..7,
+    ) {
+        let before = HashRing::with_shards(VNODES, shards);
+        let mut after = before.clone();
+        after.add_shard(shards);
+        for &hash in &hashes {
+            let (old, new) = (before.owner_of_hash(hash), after.owner_of_hash(hash));
+            if old != new {
+                prop_assert_eq!(new, shards, "key moved between surviving shards");
+            }
+        }
+    }
+
+    /// Removing a shard reassigns only the keys it owned; survivors keep
+    /// every key they had.
+    #[test]
+    fn removing_a_shard_moves_only_its_keys(
+        hashes in proptest::collection::vec(any::<u64>(), 1..400),
+        shards in 2usize..8,
+        victim_pick in any::<u64>(),
+    ) {
+        let victim = (victim_pick % shards as u64) as usize;
+        let before = HashRing::with_shards(VNODES, shards);
+        let mut after = before.clone();
+        after.remove_shard(victim);
+        for &hash in &hashes {
+            let (old, new) = (before.owner_of_hash(hash), after.owner_of_hash(hash));
+            if old != victim {
+                prop_assert_eq!(old, new, "a surviving shard's key moved");
+            } else {
+                prop_assert_ne!(new, victim, "a removed shard still owns keys");
+            }
+        }
+    }
+
+    /// Under any add/remove churn, every key resolves to a live shard, and
+    /// lookups are a pure function of membership (rebuilding the ring from
+    /// the surviving membership gives identical ownership).
+    #[test]
+    fn churned_ring_matches_freshly_built_membership(
+        hashes in proptest::collection::vec(any::<u64>(), 1..200),
+        ops in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let mut ring = HashRing::with_shards(VNODES, 1);
+        let mut next_id = 1usize;
+        for &op in &ops {
+            let (grow, pick) = (op & 1 == 1, op >> 1);
+            if grow {
+                ring.add_shard(next_id);
+                next_id += 1;
+            } else if ring.len() > 1 {
+                let victim = ring.shards()[(pick % ring.len() as u64) as usize];
+                ring.remove_shard(victim);
+            }
+        }
+        let mut rebuilt = HashRing::new(VNODES);
+        for &shard in ring.shards() {
+            rebuilt.add_shard(shard);
+        }
+        for &hash in &hashes {
+            let owner = ring.owner_of_hash(hash);
+            prop_assert!(ring.contains(owner), "owner {} is not live", owner);
+            prop_assert_eq!(owner, rebuilt.owner_of_hash(hash),
+                "ownership depends on churn history, not membership");
+        }
+    }
+}

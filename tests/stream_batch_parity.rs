@@ -16,15 +16,18 @@ use std::collections::HashSet;
 
 use idsbench::core::preprocess::Pipeline;
 use idsbench::core::runner::{evaluate, replay, EvalConfig};
-use idsbench::core::{Dataset, EventDetector};
+use idsbench::core::{Dataset, EventDetector, LabeledPacket};
 use idsbench::datasets::{scenarios, ScenarioScale};
-use idsbench::dnn::Dnn;
+use idsbench::dnn::{Dnn, DnnConfig};
 use idsbench::flow::FlowKey;
 use idsbench::helad::Helad;
 use idsbench::kitsune::Kitsune;
-use idsbench::net::ParsedPacket;
+use idsbench::net::{ParsedPacket, Timestamp};
 use idsbench::slips::Slips;
-use idsbench::stream::{run_stream, PacketSource, ScenarioSource, StreamConfig, StreamRun};
+use idsbench::stream::{
+    run_stream, AutoscalePolicy, BoundedSource, PacketSource, ScenarioSource, StreamConfig,
+    StreamRun, VecSource,
+};
 
 fn kitsune() -> Box<dyn EventDetector> {
     Box::new(Kitsune::default())
@@ -176,6 +179,124 @@ fn multi_shard_runs_are_deterministic_and_flow_consistent() {
         first.report.shard_stats.iter().filter(|s| s.packets > 0).count() > 1,
         "the Tiny trace must spread across more than one shard"
     );
+}
+
+/// Bursty operational traffic, StealthCup-style: quiet benign phases
+/// alternate with attack bursts, one traffic-second per phase — the same
+/// generator the `fig_autoscale` CI bench replays, so the pinned invariant
+/// and the bench figure exercise identical traffic.
+fn bursty_sessions(phases: u64) -> Vec<LabeledPacket> {
+    idsbench_bench::workload::bursty_trace(phases, 8, 120, 0, |phase| phase % 2 == 1)
+}
+
+/// A cheap DNN and a policy the bursty trace trips in both directions.
+fn autoscale_fixture() -> (impl Fn() -> Box<dyn EventDetector> + Sync, StreamConfig) {
+    let factory = || {
+        Box::new(Dnn::new(DnnConfig {
+            hidden_layers: vec![8],
+            epochs: 4,
+            batch_size: 32,
+            ..Default::default()
+        })) as Box<dyn EventDetector>
+    };
+    let config = StreamConfig {
+        shards: 1,
+        window_secs: 1.0,
+        autoscale: Some(AutoscalePolicy {
+            min_shards: 1,
+            max_shards: 3,
+            scale_up_pps: 400.0,
+            scale_down_pps: 150.0,
+            cooldown_windows: 0,
+            vnodes: 16,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    (factory, config)
+}
+
+/// The elastic-sharding acceptance invariant, on a real flow-format system:
+/// a bursty replay with autoscaling enabled — scale-ups mid-burst,
+/// scale-downs in the quiet phases, flow state migrating every time — emits
+/// the bitwise-identical sorted per-flow score multiset of the single-shard
+/// run, with the pool verifiably moving in both directions.
+#[test]
+fn autoscaled_bursty_replay_is_score_parity_with_single_shard() {
+    let packets = bursty_sessions(10);
+    let split = packets.partition_point(|lp| lp.packet.ts < Timestamp::from_micros(2_000_000));
+    let (warmup, eval) = packets.split_at(split);
+    let (factory, auto_config) = autoscale_fixture();
+
+    let single = run_stream(
+        &factory,
+        warmup,
+        VecSource::new("bursty", eval.to_vec()),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .expect("single-shard run");
+    assert!(single.report.eval_items > 0, "flow events must be scored");
+    assert!(single.report.scale_events.is_empty());
+
+    // The autoscaled run pulls through a BoundedSource, as a live deployment
+    // would decouple capture from scoring.
+    let auto = run_stream(
+        &factory,
+        warmup,
+        BoundedSource::spawn(VecSource::new("bursty", eval.to_vec()), 256),
+        &auto_config,
+    )
+    .expect("autoscaled run");
+
+    let ups = auto.report.scale_events.iter().filter(|e| e.is_scale_up()).count();
+    let downs = auto.report.scale_events.iter().filter(|e| e.is_scale_down()).count();
+    assert!(ups >= 1, "attack bursts must scale the pool up: {:?}", auto.report.scale_events);
+    assert!(downs >= 1, "quiet phases must scale the pool down");
+    assert!(
+        auto.report.scale_events.iter().any(|e| e.migrated_flows > 0),
+        "rebalances must migrate flow state"
+    );
+
+    let mut expected = single.scores.clone();
+    let mut got = auto.scores.clone();
+    expected.sort_by(f64::total_cmp);
+    got.sort_by(f64::total_cmp);
+    assert_eq!(expected.len(), got.len(), "autoscaling changed the flow-event count");
+    for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+        assert_eq!(
+            e.to_bits(),
+            g.to_bits(),
+            "sorted flow score {i} diverged: single-shard {e} vs autoscaled {g}"
+        );
+    }
+}
+
+/// Scale decisions key off the traffic timeline, so the whole elastic run —
+/// scores, metrics, and the scale trajectory itself — replays identically.
+#[test]
+fn autoscaled_runs_replay_deterministically() {
+    let packets = bursty_sessions(8);
+    let split = packets.partition_point(|lp| lp.packet.ts < Timestamp::from_micros(2_000_000));
+    let (warmup, eval) = packets.split_at(split);
+    let (factory, config) = autoscale_fixture();
+
+    let run = |packets: Vec<LabeledPacket>| {
+        run_stream(&factory, warmup, VecSource::new("bursty", packets), &config)
+            .expect("autoscaled run")
+    };
+    let first = run(eval.to_vec());
+    let second = run(eval.to_vec());
+    assert_eq!(first.scores, second.scores);
+    assert_eq!(first.report.metrics, second.report.metrics);
+    let shape = |r: &StreamRun| {
+        r.report
+            .scale_events
+            .iter()
+            .map(|e| (e.seq, e.window, e.from_shards, e.to_shards, e.migrated_flows))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(shape(&first), shape(&second), "scale trajectory must be deterministic");
+    assert!(!first.report.scale_events.is_empty(), "the fixture policy must fire");
 }
 
 #[test]

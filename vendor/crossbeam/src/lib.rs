@@ -202,6 +202,18 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Number of items currently queued in the channel (a live
+        /// backpressure signal; racy by nature, like the real crate's
+        /// `Sender::len`).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).items.len()
+        }
+
+        /// Whether the channel currently holds no items.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {
