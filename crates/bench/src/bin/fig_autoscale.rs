@@ -26,9 +26,23 @@
 //! machine-relative and noisy; the gate catches order-of-magnitude
 //! regressions such as an accidental full-state migration, not jitter).
 //!
+//! The run always carries an `idsbench-telemetry` runtime, and the timeline
+//! output is journal-backed and structured: one JSON line per metrics
+//! window on stdout, followed by one JSON line per journal event (scale
+//! actions, flow migrations, feeder stalls, suppressed threshold
+//! crossings). Pass `--verbose` for the old human-readable stderr timeline.
+//! With `--telemetry` the run additionally serves the live exposition
+//! endpoint on a loopback port, scrapes itself (`/metrics` must expose
+//! per-shard `score` stage p99s, the JSON snapshot must journal at least
+//! one scale event — exit non-zero otherwise), and writes the final
+//! snapshot to `TELEMETRY_autoscale.json`.
+//!
 //! One `BENCH `-prefixed JSON line goes to stdout and the same object is
-//! written to `BENCH_autoscale.json` in the working directory; the
-//! per-window timeline goes to stderr as CSV.
+//! written to `BENCH_autoscale.json` in the working directory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 
 use idsbench_bench::{scale_from_args, seed_from_args, workload};
 use idsbench_core::{EventDetector, ScaleEvent};
@@ -36,8 +50,10 @@ use idsbench_datasets::ScenarioScale;
 use idsbench_net::Timestamp;
 use idsbench_slips::Slips;
 use idsbench_stream::{
-    run_stream, AutoscalePolicy, BoundedSource, StreamConfig, StreamReport, VecSource,
+    run_stream_with_telemetry, AutoscalePolicy, BoundedSource, StreamConfig, StreamReport,
+    VecSource,
 };
+use idsbench_telemetry::{Telemetry, TelemetrySink};
 
 /// Tolerated mean-rebalance-latency growth against the `--baseline` file.
 const LATENCY_TOLERANCE: f64 = 3.0;
@@ -100,6 +116,39 @@ fn parse_field(json: &str, field: &str) -> Option<f64> {
     num.parse().ok()
 }
 
+/// One plain HTTP/1.0 GET against the exposition endpoint; returns the body.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to exposition endpoint");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    match response.find("\r\n\r\n") {
+        Some(at) => response[at + 4..].to_string(),
+        None => response,
+    }
+}
+
+/// Self-scrapes the live endpoint and checks the acceptance shape: the
+/// Prometheus text must carry per-shard `score` stage p99s and the JSON
+/// snapshot must journal at least one scale event. Returns the failures.
+fn validate_exposition(addr: std::net::SocketAddr) -> Vec<String> {
+    let mut failures = Vec::new();
+    let metrics = http_get(addr, "/metrics");
+    if !metrics
+        .contains("idsbench_stage_latency_nanos{stage=\"score\",shard=\"0\",quantile=\"0.99\"}")
+    {
+        failures.push("scrape of /metrics lacks a per-shard score-stage p99".to_string());
+    }
+    if !metrics.contains("idsbench_packets_total") {
+        failures.push("scrape of /metrics lacks the packets counter".to_string());
+    }
+    let snapshot = http_get(addr, "/snapshot");
+    if !snapshot.contains("\"type\":\"scale\"") {
+        failures.push("JSON snapshot journals no scale event".to_string());
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
@@ -107,6 +156,8 @@ fn main() {
     let baseline_path =
         args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
     let require_scaling = args.iter().any(|a| a == "--require-scaling");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let serve_telemetry = args.iter().any(|a| a == "--telemetry");
 
     let plan = Workload::for_scale(scale);
     let policy = AutoscalePolicy {
@@ -132,25 +183,47 @@ fn main() {
     let split = trace.partition_point(|lp| lp.packet.ts < Timestamp::from_micros(2_000_000));
     let (warmup, eval) = trace.split_at(split);
     let source = BoundedSource::spawn(VecSource::new("bursty-tcp", eval.to_vec()), 256);
-    let run = run_stream(
+    let telemetry = Arc::new(Telemetry::default());
+    let run = run_stream_with_telemetry(
         &|| Box::new(Slips::default()) as Box<dyn EventDetector>,
         warmup,
         source,
         &config,
+        Some(telemetry.as_ref()),
     )
     .expect("autoscaled streaming run");
     let report = &run.report;
+    let journal = telemetry.journal().snapshot();
 
-    eprintln!("window,start_secs,events,events_per_sec,shards");
+    // Journal-backed structured timeline: one JSON line per metrics window,
+    // then one per journal event (scale actions, migrations, stalls,
+    // suppressed threshold crossings), in journal order.
     for window in &report.windows {
-        eprintln!(
-            "{},{:.0},{},{:.0},{}",
+        println!(
+            "{{\"type\":\"window\",\"window\":{},\"start_secs\":{},\"events\":{},\
+             \"events_per_sec\":{},\"shards\":{}}}",
             window.index,
             window.start_secs,
             window.packets,
             window.packets as f64 / config.window_secs,
             shards_after_window(report, window.index),
         );
+    }
+    for event in &journal.events {
+        println!("{}", event.to_json());
+    }
+    if verbose {
+        eprintln!("window,start_secs,events,events_per_sec,shards");
+        for window in &report.windows {
+            eprintln!(
+                "{},{:.0},{},{:.0},{}",
+                window.index,
+                window.start_secs,
+                window.packets,
+                window.packets as f64 / config.window_secs,
+                shards_after_window(report, window.index),
+            );
+        }
     }
     let ups = report.scale_events.iter().filter(|e| e.is_scale_up()).count();
     let downs = report.scale_events.iter().filter(|e| e.is_scale_down()).count();
@@ -162,19 +235,26 @@ fn main() {
             / report.scale_events.len() as f64
     };
     let max_rebalance = report.scale_events.iter().map(|e| e.rebalance_micros).max().unwrap_or(0);
-    for ScaleEvent { at_secs, from_shards, to_shards, migrated_flows, rebalance_micros, .. } in
-        &report.scale_events
-    {
+    if verbose {
+        for ScaleEvent {
+            at_secs, from_shards, to_shards, migrated_flows, rebalance_micros, ..
+        } in &report.scale_events
+        {
+            eprintln!(
+                "# t={at_secs:.2}s {from_shards}->{to_shards} shards, \
+                 {migrated_flows} flows migrated in {rebalance_micros}us"
+            );
+        }
+        let stalls: usize = report.shard_stats.iter().map(|s| s.stalls).sum();
         eprintln!(
-            "# t={at_secs:.2}s {from_shards}->{to_shards} shards, \
-             {migrated_flows} flows migrated in {rebalance_micros}us"
+            "# {ups} scale-ups, {downs} scale-downs, {migrated} flows migrated, \
+             mean rebalance {mean_rebalance:.0}us, peak pool {} shards, \
+             {stalls} feeder stalls, {} journal events ({} dropped)",
+            report.scale_events.iter().map(|e| e.to_shards).max().unwrap_or(report.shards),
+            journal.pushed,
+            journal.dropped,
         );
     }
-    eprintln!(
-        "# {ups} scale-ups, {downs} scale-downs, {migrated} flows migrated, \
-         mean rebalance {mean_rebalance:.0}us, peak pool {} shards",
-        report.scale_events.iter().map(|e| e.to_shards).max().unwrap_or(report.shards),
-    );
 
     let scale_name = match scale {
         ScenarioScale::Tiny => "tiny",
@@ -199,6 +279,28 @@ fn main() {
         eprintln!("# failed to write BENCH_autoscale.json: {e}");
     }
     println!("BENCH {json}");
+
+    if serve_telemetry {
+        let sink = TelemetrySink::serve(Arc::clone(&telemetry), "127.0.0.1:0")
+            .expect("bind exposition endpoint");
+        let addr = sink.local_addr().expect("exposition endpoint address");
+        eprintln!("# telemetry exposition live at http://{addr}/metrics");
+        let failures = validate_exposition(addr);
+        sink.stop();
+        if let Err(e) =
+            std::fs::write("TELEMETRY_autoscale.json", format!("{}\n", telemetry.json_snapshot()))
+        {
+            eprintln!("# failed to write TELEMETRY_autoscale.json: {e}");
+        }
+        if failures.is_empty() {
+            eprintln!("# telemetry self-scrape passed");
+        } else {
+            for failure in &failures {
+                eprintln!("# TELEMETRY GATE FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
 
     if require_scaling && (ups == 0 || downs == 0) {
         eprintln!(

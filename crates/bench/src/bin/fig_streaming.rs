@@ -12,12 +12,17 @@
 //! hardware*: on a single-core host the 4-shard run degrades gracefully to
 //! ~1× (the `parallelism` field records what the host offered, so results
 //! stay interpretable).
+//!
+//! With `--telemetry` every run carries one shared `idsbench-telemetry`
+//! runtime (counters, per-shard stage latencies, journal) and the final
+//! snapshot is written to `TELEMETRY_streaming.json`.
 
 use idsbench_bench::{scale_from_args, seed_from_args};
 use idsbench_core::EventDetector;
 use idsbench_datasets::{scenarios, Scenario};
 use idsbench_kitsune::Kitsune;
-use idsbench_stream::{run_stream, ScenarioSource, StreamConfig, StreamReport};
+use idsbench_stream::{run_stream_with_telemetry, ScenarioSource, StreamConfig, StreamReport};
+use idsbench_telemetry::Telemetry;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WARMUP_FRACTION: f64 = 0.3;
@@ -26,16 +31,24 @@ fn kitsune() -> Box<dyn EventDetector> {
     Box::new(Kitsune::default())
 }
 
-fn stream_once(scenario: &Scenario, seed: u64, shards: usize) -> StreamReport {
+fn stream_once(
+    scenario: &Scenario,
+    seed: u64,
+    shards: usize,
+    telemetry: Option<&Telemetry>,
+) -> StreamReport {
     let (warmup, source) = ScenarioSource::new(scenario, seed).split_warmup(WARMUP_FRACTION);
     let config = StreamConfig { shards, ..Default::default() };
-    run_stream(&kitsune, &warmup, source, &config).expect("streaming run").report
+    run_stream_with_telemetry(&kitsune, &warmup, source, &config, telemetry)
+        .expect("streaming run")
+        .report
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(&args);
     let seed = seed_from_args(&args);
+    let telemetry = args.iter().any(|a| a == "--telemetry").then(Telemetry::default);
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     eprintln!("scenario,shards,packets,packets_per_sec,p50_us,p99_us,f1,auc");
@@ -43,7 +56,7 @@ fn main() {
     for scenario in [scenarios::mirai(scale), scenarios::stratosphere_iot(scale)] {
         let mut baseline_pps = 0.0;
         for shards in SHARD_COUNTS {
-            let report = stream_once(&scenario, seed, shards);
+            let report = stream_once(&scenario, seed, shards, telemetry.as_ref());
             eprintln!(
                 "{},{},{},{:.0},{:.1},{:.1},{:.4},{:.4}",
                 report.source,
@@ -80,4 +93,14 @@ fn main() {
          \"parallelism\":{parallelism},\"shard_counts\":[{shard_counts}],\"results\":[{}]}}",
         results.join(","),
     );
+
+    if let Some(telemetry) = &telemetry {
+        if let Err(e) =
+            std::fs::write("TELEMETRY_streaming.json", format!("{}\n", telemetry.json_snapshot()))
+        {
+            eprintln!("# failed to write TELEMETRY_streaming.json: {e}");
+        } else {
+            eprintln!("# telemetry snapshot written to TELEMETRY_streaming.json");
+        }
+    }
 }

@@ -53,6 +53,49 @@ impl ScaleEvent {
     pub fn is_scale_down(&self) -> bool {
         self.to_shards < self.from_shards
     }
+
+    /// Hand-rolled JSON object for this event — the single encoding shared
+    /// by the stream report's `scale_events` array and the telemetry
+    /// journal, so the two outputs join byte-for-byte. Integral floats
+    /// print without a fraction; non-finite values encode as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        scale_json_num(&mut out, "seq", self.seq as f64);
+        out.push(',');
+        scale_json_num(&mut out, "at_secs", self.at_secs);
+        out.push(',');
+        scale_json_num(&mut out, "window", self.window as f64);
+        out.push(',');
+        scale_json_num(&mut out, "from_shards", self.from_shards as f64);
+        out.push(',');
+        scale_json_num(&mut out, "to_shards", self.to_shards as f64);
+        out.push(',');
+        scale_json_num(&mut out, "trigger_pps", self.trigger_pps);
+        out.push(',');
+        scale_json_num(&mut out, "migrated_flows", self.migrated_flows as f64);
+        out.push(',');
+        scale_json_num(&mut out, "rebalance_micros", self.rebalance_micros as f64);
+        out.push('}');
+        out
+    }
+}
+
+/// `"key":value` with the report JSON conventions (kept in sync with
+/// `idsbench-stream`'s `report::json_num`).
+fn scale_json_num(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    if value.is_finite() {
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            let _ = write!(out, "{}", value as i64);
+        } else {
+            let _ = write!(out, "{value}");
+        }
+    } else {
+        out.push_str("null");
+    }
 }
 
 /// Renders the Table IV layout as Markdown (see module docs).
@@ -351,5 +394,24 @@ mod tests {
         let table = render_table4(&[]);
         assert!(table.contains("| Dataset |"));
         assert!(render_csv(&[]).starts_with("detector,"));
+    }
+
+    #[test]
+    fn scale_event_json_is_stable() {
+        let event = ScaleEvent {
+            seq: 30,
+            at_secs: 1.5,
+            window: 2,
+            from_shards: 1,
+            to_shards: 2,
+            trigger_pps: 4000.0,
+            migrated_flows: 3,
+            rebalance_micros: 250,
+        };
+        assert_eq!(
+            event.to_json(),
+            "{\"seq\":30,\"at_secs\":1.5,\"window\":2,\"from_shards\":1,\"to_shards\":2,\
+             \"trigger_pps\":4000,\"migrated_flows\":3,\"rebalance_micros\":250}"
+        );
     }
 }

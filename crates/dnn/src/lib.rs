@@ -98,6 +98,8 @@ impl DnnModel {
 pub struct Dnn {
     config: DnnConfig,
     model: Option<DnnModel>,
+    /// Optional sampled timer around the inference kernel.
+    probe: Option<idsbench_telemetry::SpanTimer>,
 }
 
 impl Dnn {
@@ -108,7 +110,15 @@ impl Dnn {
     /// Panics if no hidden layers are configured.
     pub fn new(config: DnnConfig) -> Self {
         assert!(!config.hidden_layers.is_empty(), "at least one hidden layer required");
-        Dnn { config, model: None }
+        Dnn { config, model: None, probe: None }
+    }
+
+    /// Attaches a sampled [`SpanTimer`](idsbench_telemetry::SpanTimer)
+    /// around the per-flow inference kernel. Purely observational — scores
+    /// are bit-identical with or without it — and allocation-free on the
+    /// scoring path.
+    pub fn attach_inference_probe(&mut self, probe: idsbench_telemetry::SpanTimer) {
+        self.probe = Some(probe);
     }
 }
 
@@ -195,10 +205,17 @@ impl EventDetector for Dnn {
     fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
         match event {
             Event::Packet(_) => None,
-            Event::FlowEvicted(flow) => Some(match &mut self.model {
-                Some(model) => model.score_flow(flow),
-                None => 0.5,
-            }),
+            Event::FlowEvicted(flow) => {
+                let started = self.probe.as_ref().and_then(|probe| probe.begin());
+                let score = match &mut self.model {
+                    Some(model) => model.score_flow(flow),
+                    None => 0.5,
+                };
+                if let (Some(probe), Some(started)) = (&self.probe, started) {
+                    probe.end(started);
+                }
+                Some(score)
+            }
         }
     }
 }

@@ -139,6 +139,8 @@ pub struct Helad {
     config: HeladConfig,
     /// The fitted online engine, populated by [`EventDetector::fit`].
     engine: Option<HeladEngine>,
+    /// Optional sampled timer around the inference kernel.
+    probe: Option<idsbench_telemetry::SpanTimer>,
 }
 
 impl Helad {
@@ -153,7 +155,15 @@ impl Helad {
             config.weight_ae + config.weight_lstm > 0.0,
             "at least one ensemble weight must be positive"
         );
-        Helad { config, engine: None }
+        Helad { config, engine: None, probe: None }
+    }
+
+    /// Attaches a sampled [`SpanTimer`](idsbench_telemetry::SpanTimer)
+    /// around the per-packet inference kernel ([`HeladEngine::score_view`]).
+    /// Purely observational — scores are bit-identical with or without it —
+    /// and allocation-free on the scoring path.
+    pub fn attach_inference_probe(&mut self, probe: idsbench_telemetry::SpanTimer) {
+        self.probe = Some(probe);
     }
 
     /// Trains the autoencoder and LSTM over the (assumed benign) training
@@ -344,7 +354,13 @@ impl EventDetector for Helad {
                 if self.engine.is_none() {
                     self.engine = Some(Helad::fit(self, &TrainView::default()));
                 }
-                Some(self.engine.as_mut().expect("engine fitted above").score_view(view))
+                let engine = self.engine.as_mut().expect("engine fitted above");
+                let started = self.probe.as_ref().and_then(|probe| probe.begin());
+                let score = engine.score_view(view);
+                if let (Some(probe), Some(started)) = (&self.probe, started) {
+                    probe.end(started);
+                }
+                Some(score)
             }
             Event::FlowEvicted(_) => None,
         }

@@ -75,12 +75,22 @@ pub struct Kitsune {
     config: KitsuneConfig,
     /// The fitted online engine, populated by [`EventDetector::fit`].
     engine: Option<KitsuneEngine>,
+    /// Optional sampled timer around the inference kernel.
+    probe: Option<idsbench_telemetry::SpanTimer>,
 }
 
 impl Kitsune {
     /// Creates a Kitsune instance with the given configuration.
     pub fn new(config: KitsuneConfig) -> Self {
-        Kitsune { config, engine: None }
+        Kitsune { config, engine: None, probe: None }
+    }
+
+    /// Attaches a sampled [`SpanTimer`](idsbench_telemetry::SpanTimer)
+    /// around the per-packet inference kernel ([`KitsuneEngine::score_view`]).
+    /// Purely observational — scores are bit-identical with or without it —
+    /// and allocation-free on the scoring path.
+    pub fn attach_inference_probe(&mut self, probe: idsbench_telemetry::SpanTimer) {
+        self.probe = Some(probe);
     }
 
     /// Runs feature mapping and online ensemble training over the training
@@ -216,7 +226,13 @@ impl EventDetector for Kitsune {
                 if self.engine.is_none() {
                     self.engine = Some(Kitsune::fit(self, &TrainView::default()));
                 }
-                Some(self.engine.as_mut().expect("engine fitted above").score_view(view))
+                let engine = self.engine.as_mut().expect("engine fitted above");
+                let started = self.probe.as_ref().and_then(|probe| probe.begin());
+                let score = engine.score_view(view);
+                if let (Some(probe), Some(started)) = (&self.probe, started) {
+                    probe.end(started);
+                }
+                Some(score)
             }
             Event::FlowEvicted(_) => None,
         }

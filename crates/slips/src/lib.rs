@@ -172,6 +172,8 @@ struct BehaviourState {
 pub struct Slips {
     config: SlipsConfig,
     state: BehaviourState,
+    /// Optional sampled timer around the inference kernel.
+    probe: Option<idsbench_telemetry::SpanTimer>,
 }
 
 impl Slips {
@@ -182,7 +184,15 @@ impl Slips {
     /// Panics if the window length is not positive.
     pub fn new(config: SlipsConfig) -> Self {
         assert!(config.window_secs > 0.0, "window length must be positive");
-        Slips { config, state: BehaviourState::default() }
+        Slips { config, state: BehaviourState::default(), probe: None }
+    }
+
+    /// Attaches a sampled [`SpanTimer`](idsbench_telemetry::SpanTimer)
+    /// around the per-flow evidence fold. Purely observational — scores
+    /// are bit-identical with or without it — and allocation-free on the
+    /// scoring path.
+    pub fn attach_inference_probe(&mut self, probe: idsbench_telemetry::SpanTimer) {
+        self.probe = Some(probe);
     }
 
     fn matches_prefix(ip: IpAddr, prefix: (std::net::Ipv4Addr, u8)) -> bool {
@@ -337,7 +347,14 @@ impl EventDetector for Slips {
         match event {
             // Slips builds its state from flows; packets pass through.
             Event::Packet(_) => None,
-            Event::FlowEvicted(flow) => Some(self.observe_flow(flow)),
+            Event::FlowEvicted(flow) => {
+                let started = self.probe.as_ref().and_then(|probe| probe.begin());
+                let score = self.observe_flow(flow);
+                if let (Some(probe), Some(started)) = (&self.probe, started) {
+                    probe.end(started);
+                }
+                Some(score)
+            }
         }
     }
 }

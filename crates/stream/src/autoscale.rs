@@ -141,6 +141,20 @@ pub struct ScaleDecision {
     pub trigger_pps: f64,
 }
 
+/// A window whose event rate crossed a scale threshold without producing a
+/// decision — swallowed by the cooldown or clamped at a pool bound. Only
+/// recorded when [`Autoscaler::log_crossings`] is enabled (the telemetry
+/// journal's feed); the default path keeps zero bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdCrossing {
+    /// Index of the completed window that crossed.
+    pub window: u64,
+    /// That window's event rate (events/sec of traffic time).
+    pub pps: f64,
+    /// `true` for an up-crossing (overload), `false` for a down-crossing.
+    pub up: bool,
+}
+
 /// Live signals sampled by the feeder at poll time — the wall-clock half
 /// of the policy inputs (the traffic-window rate is carried per window
 /// inside the [`Autoscaler`]).
@@ -169,6 +183,10 @@ pub struct Autoscaler {
     pending: VecDeque<(u64, usize)>,
     /// Completed windows since the last scale action (starts satisfied).
     windows_since_scale: u64,
+    /// Whether suppressed crossings are collected (telemetry opt-in).
+    log_crossings: bool,
+    /// Suppressed crossings since the last [`Autoscaler::take_crossings`].
+    crossings: Vec<ThresholdCrossing>,
 }
 
 impl Autoscaler {
@@ -180,12 +198,35 @@ impl Autoscaler {
             current: None,
             pending: VecDeque::new(),
             windows_since_scale: policy.cooldown_windows,
+            log_crossings: false,
+            crossings: Vec::new(),
         }
     }
 
     /// The policy this loop runs.
     pub fn policy(&self) -> &AutoscalePolicy {
         &self.policy
+    }
+
+    /// Enables (or disables) collection of suppressed threshold crossings.
+    /// Off by default: without a telemetry journal to drain them into, the
+    /// control loop keeps no history.
+    pub fn log_crossings(&mut self, enabled: bool) {
+        self.log_crossings = enabled;
+        if !enabled {
+            self.crossings = Vec::new();
+        }
+    }
+
+    /// Whether suppressed crossings await [`Autoscaler::take_crossings`].
+    pub fn has_crossings(&self) -> bool {
+        !self.crossings.is_empty()
+    }
+
+    /// Drains the suppressed crossings collected since the last call
+    /// (always empty unless [`Autoscaler::log_crossings`] is on).
+    pub fn take_crossings(&mut self) -> Vec<ThresholdCrossing> {
+        std::mem::take(&mut self.crossings)
     }
 
     /// Whether any completed window awaits evaluation — the feeder's cheap
@@ -224,19 +265,17 @@ impl Autoscaler {
     pub fn poll(&mut self, live_shards: usize, live: LiveSignals) -> Option<ScaleDecision> {
         while let Some((window, count)) = self.pending.pop_front() {
             self.windows_since_scale = self.windows_since_scale.saturating_add(1);
-            if self.windows_since_scale <= self.policy.cooldown_windows {
-                continue;
-            }
+            let in_cooldown = self.windows_since_scale <= self.policy.cooldown_windows;
             let pps = count as f64 / self.window_secs;
             let overloaded = pps >= self.policy.scale_up_pps
                 || live.max_channel_depth >= self.policy.scale_up_depth
                 || live.max_p99_us >= self.policy.scale_up_p99_us;
-            let decision = if overloaded && live_shards < self.policy.max_shards {
+            let underloaded = !overloaded && pps < self.policy.scale_down_pps;
+            let decision = if in_cooldown {
+                None
+            } else if overloaded && live_shards < self.policy.max_shards {
                 Some(ScaleDirection::Up)
-            } else if !overloaded
-                && pps < self.policy.scale_down_pps
-                && live_shards > self.policy.min_shards
-            {
+            } else if underloaded && live_shards > self.policy.min_shards {
                 Some(ScaleDirection::Down)
             } else {
                 None
@@ -244,6 +283,11 @@ impl Autoscaler {
             if let Some(direction) = decision {
                 self.windows_since_scale = 0;
                 return Some(ScaleDecision { direction, window, trigger_pps: pps });
+            }
+            if self.log_crossings && (overloaded || underloaded) {
+                // A crossing the policy swallowed (cooldown or bound) —
+                // exactly the divergence the trace journal exists to show.
+                self.crossings.push(ThresholdCrossing { window, pps, up: overloaded });
             }
         }
         None
@@ -342,6 +386,26 @@ mod tests {
             .poll(1, LiveSignals { max_channel_depth: 9, max_p99_us: 0.0 })
             .expect("deep channel forces scale-up");
         assert_eq!(decision.direction, ScaleDirection::Up);
+    }
+
+    #[test]
+    fn suppressed_crossings_are_logged_only_when_enabled() {
+        // At max_shards already: the burst crosses the up threshold but no
+        // decision can fire.
+        let mut scaler = Autoscaler::new(bursty_policy(), 1.0);
+        feed_window(&mut scaler, 0, 5000);
+        feed_window(&mut scaler, 1, 1);
+        assert!(scaler.poll(4, LiveSignals::default()).is_none());
+        assert!(!scaler.has_crossings(), "logging is off by default");
+
+        let mut scaler = Autoscaler::new(bursty_policy(), 1.0);
+        scaler.log_crossings(true);
+        feed_window(&mut scaler, 0, 5000);
+        feed_window(&mut scaler, 1, 1);
+        assert!(scaler.poll(4, LiveSignals::default()).is_none(), "clamped at max");
+        let crossings = scaler.take_crossings();
+        assert_eq!(crossings, vec![ThresholdCrossing { window: 0, pps: 5000.0, up: true }]);
+        assert!(!scaler.has_crossings(), "drained");
     }
 
     #[test]

@@ -65,6 +65,9 @@ use idsbench_core::{
     ParsedView, Result, ScaleEvent, TrainView,
 };
 use idsbench_flow::{FlowKey, FlowTableConfig};
+use idsbench_telemetry::{
+    Counter, Gauge, JournalEvent, SpanTimer, Stage, StageHistogram, Telemetry,
+};
 
 use crate::autoscale::{AutoscalePolicy, Autoscaler, LiveSignals, ScaleDirection};
 use crate::metrics::{
@@ -257,6 +260,15 @@ struct ShardOutcome {
 
 use crate::metrics::window_index as window_of_micros;
 
+/// Per-shard stage histograms; present only when the run carries telemetry.
+/// Score and evict reuse the latencies the recorder already measures, so
+/// attaching them adds no clock reads to the scoring path.
+struct ShardSpans {
+    score: Arc<StageHistogram>,
+    evict: Arc<StageHistogram>,
+    migrate: Arc<StageHistogram>,
+}
+
 /// The per-shard event loop: scores the packet event, feeds the shard's
 /// flow table (flow-format detectors only), and scores the evictions — the
 /// exact event order the batch driver replays.
@@ -274,6 +286,8 @@ struct ShardLoop {
     /// Live latency histogram feeding the autoscaler's p99 signal; absent
     /// (zero overhead) when the run is not autoscaling.
     live_latency: Option<LatencyHistogram>,
+    /// Per-stage telemetry histograms; absent without telemetry.
+    spans: Option<ShardSpans>,
 }
 
 impl ShardLoop {
@@ -286,6 +300,9 @@ impl ShardLoop {
         let score = self.detector.on_event(&Event::Packet(&item.view));
         let latency = started.elapsed();
         self.score_nanos += latency.as_nanos();
+        if let Some(spans) = &self.spans {
+            spans.score.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
         if let Some(score) = score {
             let window = window_of_micros(item.view.packet.packet.ts.as_micros(), self.window_secs);
             let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -313,6 +330,9 @@ impl ShardLoop {
         let score = self.detector.on_event(&Event::FlowEvicted(&flow));
         let latency = started.elapsed();
         self.score_nanos += latency.as_nanos();
+        if let Some(spans) = &self.spans {
+            spans.evict.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
         if let Some(score) = score {
             let window = window_of_micros(flow.record.last_seen.as_micros(), self.window_secs);
             let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -396,6 +416,9 @@ struct ShardContext<'scope> {
     /// policy's `scale_up_p99_us` trigger is finite, so runs that don't
     /// use the signal don't pay for it.
     live_p99: bool,
+    /// Runtime telemetry shared by every thread of the run; `None` (the
+    /// [`run_stream`] default) keeps the hot path exactly as before.
+    telemetry: Option<&'scope Telemetry>,
 }
 
 impl Clone for ShardContext<'_> {
@@ -413,6 +436,83 @@ struct ShardSlot {
     /// Latest scoring p99 (nanoseconds) published by the worker — the
     /// autoscaler's live latency signal. Absent without autoscaling.
     p99_nanos: Option<Arc<AtomicU64>>,
+    /// How often a full channel forced the feeder to block behind this
+    /// shard (the backpressure design working as intended, but visible).
+    stalls: usize,
+}
+
+/// Feeder-side telemetry handles, resolved once before the stream starts so
+/// the per-packet path touches only relaxed atomics and sampled clocks.
+struct FeederTelemetry<'run> {
+    telemetry: &'run Telemetry,
+    parse: SpanTimer,
+    route: SpanTimer,
+    rebalance: Arc<StageHistogram>,
+    packets: Arc<Counter>,
+    batches: Arc<Counter>,
+    stalls: Arc<Counter>,
+    live_shards: Arc<Gauge>,
+}
+
+impl<'run> FeederTelemetry<'run> {
+    fn new(telemetry: &'run Telemetry) -> Self {
+        FeederTelemetry {
+            telemetry,
+            parse: telemetry.span(Stage::Parse, None),
+            route: telemetry.span(Stage::Route, None),
+            rebalance: telemetry.stage(Stage::Rebalance, None),
+            packets: telemetry.counter("packets_total"),
+            batches: telemetry.counter("batches_total"),
+            stalls: telemetry.counter("feeder_stalls_total"),
+            live_shards: telemetry.gauge("live_shards"),
+        }
+    }
+}
+
+/// Runs `body` under a sampled stage span when one is attached.
+#[inline]
+fn with_span<T>(span: Option<&SpanTimer>, body: impl FnOnce() -> T) -> T {
+    match span {
+        Some(span) => match span.begin() {
+            Some(started) => {
+                let out = body();
+                span.end(started);
+                out
+            }
+            None => body(),
+        },
+        None => body(),
+    }
+}
+
+/// Ships one full batch to its shard, accounting the stall when the channel
+/// is full: a non-blocking attempt first, then the blocking send the
+/// backpressure design requires. Returns `Err` when the shard is gone.
+fn dispatch_batch(
+    slot: &mut ShardSlot,
+    batch: Vec<StreamItem>,
+    seq: u64,
+    feeder: Option<&FeederTelemetry<'_>>,
+) -> std::result::Result<(), ()> {
+    if let Some(feeder) = feeder {
+        feeder.batches.inc();
+    }
+    match slot.tx.try_send(ShardMsg::Batch(batch)) {
+        Ok(()) => Ok(()),
+        Err(channel::TrySendError::Disconnected(_)) => Err(()),
+        Err(channel::TrySendError::Full(msg)) => {
+            slot.stalls += 1;
+            if let Some(feeder) = feeder {
+                feeder.stalls.inc();
+                feeder.telemetry.journal().push(JournalEvent::FeederStall {
+                    seq,
+                    shard: slot.id,
+                    depth: slot.tx.len(),
+                });
+            }
+            slot.tx.send(msg).map_err(|_| ())
+        }
+    }
 }
 
 /// Spawns one scoring worker. Initial-pool shards pass the start barrier
@@ -465,6 +565,11 @@ fn spawn_shard<'scope>(
             score_nanos: 0,
             packets: 0,
             live_latency: p99_nanos.is_some().then(LatencyHistogram::default),
+            spans: ctx.telemetry.map(|telemetry| ShardSpans {
+                score: telemetry.stage(Stage::Score, Some(id)),
+                evict: telemetry.stage(Stage::Evict, Some(id)),
+                migrate: telemetry.stage(Stage::Migrate, Some(id)),
+            }),
         };
         for msg in rx.iter() {
             match msg {
@@ -488,7 +593,14 @@ fn spawn_shard<'scope>(
                 ShardMsg::Rebalance { ring, reply } => {
                     let _ = reply.send(state.on_rebalance(&ring));
                 }
-                ShardMsg::Migrate(migrations) => state.on_migrate(migrations),
+                ShardMsg::Migrate(migrations) => {
+                    let started = state.spans.as_ref().map(|_| Instant::now());
+                    state.on_migrate(migrations);
+                    if let (Some(spans), Some(started)) = (&state.spans, started) {
+                        let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        spans.migrate.record(nanos);
+                    }
+                }
             }
         }
         state.finish();
@@ -521,6 +633,7 @@ fn apply_scale<'scope>(
     slots: &mut Vec<ShardSlot>,
     workers: &mut Vec<std::thread::ScopedJoinHandle<'scope, Option<ShardOutcome>>>,
     next_id: &mut usize,
+    retired_stalls: &mut Vec<(usize, usize)>,
 ) -> Result<usize> {
     // Every packet routed under the old ring must be in its shard's channel
     // before any control message follows it: flush the partial batches.
@@ -559,7 +672,7 @@ fn apply_scale<'scope>(
                     Err(_) => return Err(CoreError::stream("a shard died during rebalance")),
                 }
             }
-            slots.push(ShardSlot { id, tx, batch: Vec::new(), p99_nanos: p99 });
+            slots.push(ShardSlot { id, tx, batch: Vec::new(), p99_nanos: p99, stalls: 0 });
             moved
         }
         ScaleDirection::Down => {
@@ -582,7 +695,9 @@ fn apply_scale<'scope>(
                 .recv()
                 .map_err(|_| CoreError::stream("departing shard died during rebalance"))?;
             // Dropping the sender ends the victim's message stream; it
-            // flushes its now-empty state and reports at join time.
+            // flushes its now-empty state and reports at join time. Its
+            // stall count survives retirement so the report stays complete.
+            retired_stalls.push((victim.id, victim.stalls));
             drop(victim);
             moved
         }
@@ -599,6 +714,11 @@ fn apply_scale<'scope>(
         }
     }
     for (owner, flows) in groups {
+        if let Some(telemetry) = ctx.telemetry {
+            telemetry
+                .journal()
+                .push(JournalEvent::Migration { to_shard: owner, flows: flows.len() });
+        }
         let slot = slots.iter().find(|slot| slot.id == owner).expect("ring owner is live");
         if slot.tx.send(ShardMsg::Migrate(flows)).is_err() {
             return Err(CoreError::stream(format!("shard {owner} died")));
@@ -622,8 +742,40 @@ fn apply_scale<'scope>(
 pub fn run_stream(
     factory: &(dyn Fn() -> Box<dyn EventDetector> + Sync),
     warmup: &[LabeledPacket],
+    source: impl PacketSource,
+    config: &StreamConfig,
+) -> Result<StreamRun> {
+    run_stream_with_telemetry(factory, warmup, source, config, None)
+}
+
+/// [`run_stream`] with runtime telemetry attached.
+///
+/// When `telemetry` is `Some`, the run additionally:
+///
+/// * counts packets, batches, feeder stalls, and source-side drops into the
+///   registry's [`Counter`]s and tracks the live pool size in a
+///   [`Gauge`] named `live_shards`;
+/// * records sampled `parse`/`route` spans on the feeder and full-coverage
+///   `score`/`evict`/`migrate`/`rebalance` stage latencies (the scoring
+///   stages reuse latencies the recorder already measures, so no clock
+///   reads are added to the per-event path);
+/// * journals structured [`JournalEvent`]s — scale actions, flow
+///   migrations, feeder stalls, dropped packets, and the autoscaler's
+///   suppressed threshold crossings.
+///
+/// `None` is byte-for-byte the plain [`run_stream`] behaviour: scores,
+/// thresholds, and reports are unaffected either way — telemetry observes
+/// the run, it never steers it.
+///
+/// # Errors
+///
+/// Same contract as [`run_stream`].
+pub fn run_stream_with_telemetry(
+    factory: &(dyn Fn() -> Box<dyn EventDetector> + Sync),
+    warmup: &[LabeledPacket],
     mut source: impl PacketSource,
     config: &StreamConfig,
+    telemetry: Option<&Telemetry>,
 ) -> Result<StreamRun> {
     config.validate()?;
     let shards = config.shards;
@@ -659,8 +811,14 @@ pub fn run_stream(
     let (recycle_tx, recycle_rx) =
         channel::bounded::<Vec<StreamItem>>(max_pool * config.channel_capacity + max_pool);
 
-    type RunOutput = (Vec<ShardOutcome>, u64, f64, Vec<ScaleEvent>, usize);
+    let feeder_telemetry = telemetry.map(FeederTelemetry::new);
+    if let Some(feeder) = &feeder_telemetry {
+        feeder.live_shards.set(shards as u64);
+    }
+
+    type RunOutput = (Vec<ShardOutcome>, u64, f64, Vec<ScaleEvent>, usize, Vec<(usize, usize)>);
     let run = std::thread::scope(|scope| -> Result<RunOutput> {
+        let feeder = feeder_telemetry.as_ref();
         let ctx = ShardContext {
             factory,
             train,
@@ -671,6 +829,7 @@ pub fn run_stream(
             window_secs: config.window_secs,
             format,
             live_p99: config.autoscale.is_some_and(|policy| policy.scale_up_p99_us.is_finite()),
+            telemetry,
         };
         let mut ring = HashRing::with_shards(vnodes, shards);
         let mut workers = Vec::new();
@@ -679,11 +838,19 @@ pub fn run_stream(
             let (tx, rx) = channel::bounded(config.channel_capacity);
             let p99 = ctx.live_p99.then(|| Arc::new(AtomicU64::new(0)));
             workers.push(spawn_shard(scope, ctx.clone(), id, rx, true, p99.clone()));
-            slots.push(ShardSlot { id, tx, batch: Vec::new(), p99_nanos: p99 });
+            slots.push(ShardSlot { id, tx, batch: Vec::new(), p99_nanos: p99, stalls: 0 });
         }
         let mut next_id = shards;
         let mut scaler = config.autoscale.map(|policy| Autoscaler::new(policy, config.window_secs));
+        if telemetry.is_some() {
+            if let Some(scaler) = &mut scaler {
+                // The journal wants the near-misses too: windows that
+                // crossed a threshold but produced no decision.
+                scaler.log_crossings(true);
+            }
+        }
         let mut scale_events: Vec<ScaleEvent> = Vec::new();
+        let mut retired_stalls: Vec<(usize, usize)> = Vec::new();
 
         // ---- Feeder (this thread): parse once, autoscale at window
         // boundaries, route over the ring, batch, apply backpressure. ----
@@ -695,7 +862,11 @@ pub fn run_stream(
             match source.next_packet() {
                 Ok(Some(packet)) => {
                     // The eval stream's single parse per packet.
-                    let view = ParsedView::from_packet(packet);
+                    let view =
+                        with_span(feeder.map(|f| &f.parse), || ParsedView::from_packet(packet));
+                    if let Some(feeder) = feeder {
+                        feeder.packets.inc();
+                    }
                     let ts_micros = view.packet.packet.ts.as_micros();
                     if let Some(scaler) = &mut scaler {
                         scaler.observe_packet(ts_micros);
@@ -731,36 +902,68 @@ pub fn run_stream(
                                 &mut slots,
                                 &mut workers,
                                 &mut next_id,
+                                &mut retired_stalls,
                             ) {
-                                Ok(migrated_flows) => scale_events.push(ScaleEvent {
-                                    seq,
-                                    at_secs: ts_micros as f64 / 1e6,
-                                    window: decision.window,
-                                    from_shards,
-                                    to_shards: slots.len(),
-                                    trigger_pps: decision.trigger_pps,
-                                    migrated_flows,
-                                    rebalance_micros: rebalance_clock.elapsed().as_micros() as u64,
-                                }),
+                                Ok(migrated_flows) => {
+                                    let rebalance_elapsed = rebalance_clock.elapsed();
+                                    let event = ScaleEvent {
+                                        seq,
+                                        at_secs: ts_micros as f64 / 1e6,
+                                        window: decision.window,
+                                        from_shards,
+                                        to_shards: slots.len(),
+                                        trigger_pps: decision.trigger_pps,
+                                        migrated_flows,
+                                        rebalance_micros: rebalance_elapsed.as_micros() as u64,
+                                    };
+                                    if let Some(feeder) = feeder {
+                                        let nanos =
+                                            rebalance_elapsed.as_nanos().min(u128::from(u64::MAX))
+                                                as u64;
+                                        feeder.rebalance.record(nanos);
+                                        feeder.live_shards.set(slots.len() as u64);
+                                        feeder
+                                            .telemetry
+                                            .journal()
+                                            .push(JournalEvent::Scale(event.clone()));
+                                    }
+                                    scale_events.push(event);
+                                }
                                 Err(e) => {
                                     source_error = Some(e);
                                     break 'feed;
                                 }
                             }
                         }
+                        if let Some(feeder) = feeder {
+                            if scaler.has_crossings() {
+                                for crossing in scaler.take_crossings() {
+                                    feeder.telemetry.journal().push(
+                                        JournalEvent::ThresholdCrossing {
+                                            window: crossing.window,
+                                            pps: crossing.pps,
+                                            up: crossing.up,
+                                        },
+                                    );
+                                }
+                            }
+                        }
                     }
-                    let owner = match &view.flow_key {
-                        // Keyless (non-IP/malformed) packets carry no flow
-                        // state; they ride on the lowest live shard.
-                        None => ring.first_shard(),
-                        Some(key) => ring.owner_of(key),
-                    };
-                    // Slots stay sorted by id (scale-up appends the next
-                    // fresh id, scale-down removes one), so the per-packet
-                    // lookup is a binary search, not a scan.
-                    let at = slots
-                        .binary_search_by_key(&owner, |slot| slot.id)
-                        .expect("ring owner is live");
+                    let (owner, at) = with_span(feeder.map(|f| &f.route), || {
+                        let owner = match &view.flow_key {
+                            // Keyless (non-IP/malformed) packets carry no
+                            // flow state; they ride on the lowest live shard.
+                            None => ring.first_shard(),
+                            Some(key) => ring.owner_of(key),
+                        };
+                        // Slots stay sorted by id (scale-up appends the next
+                        // fresh id, scale-down removes one), so the
+                        // per-packet lookup is a binary search, not a scan.
+                        let at = slots
+                            .binary_search_by_key(&owner, |slot| slot.id)
+                            .expect("ring owner is live");
+                        (owner, at)
+                    });
                     let slot = &mut slots[at];
                     slot.batch.push(StreamItem { seq, view });
                     seq += 1;
@@ -774,7 +977,7 @@ pub fn run_stream(
                             source.recycle_packet(item.view.packet.packet);
                         }
                         let batch = std::mem::replace(&mut slot.batch, replacement);
-                        if slot.tx.send(ShardMsg::Batch(batch)).is_err() {
+                        if dispatch_batch(slot, batch, seq, feeder).is_err() {
                             source_error = Some(CoreError::stream(format!("shard {owner} died")));
                             break;
                         }
@@ -795,6 +998,8 @@ pub fn run_stream(
             }
         }
         let final_shards = slots.len();
+        let mut shard_stalls = retired_stalls;
+        shard_stalls.extend(slots.iter().map(|slot| (slot.id, slot.stalls)));
         slots.clear(); // drops every sender
 
         let mut outcomes = Vec::new();
@@ -817,10 +1022,18 @@ pub fn run_stream(
         if let Some(e) = source_error {
             return Err(e);
         }
-        Ok((outcomes, seq, wall_seconds, scale_events, final_shards))
+        Ok((outcomes, seq, wall_seconds, scale_events, final_shards, shard_stalls))
     });
-    let (mut outcomes, fed, wall_seconds, scale_events, final_shards) = run?;
+    let (mut outcomes, fed, wall_seconds, scale_events, final_shards, shard_stalls) = run?;
     outcomes.sort_by_key(|o| o.shard);
+
+    let dropped_packets = source.dropped_packets();
+    if let Some(telemetry) = telemetry {
+        if dropped_packets > 0 {
+            telemetry.counter("dropped_packets_total").add(dropped_packets);
+            telemetry.journal().push(JournalEvent::PacketDrops { dropped: dropped_packets });
+        }
+    }
 
     Ok(finalise(
         detector_name,
@@ -832,6 +1045,8 @@ pub fn run_stream(
         outcomes,
         scale_events,
         final_shards,
+        shard_stalls,
+        dropped_packets,
         config,
     ))
 }
@@ -848,6 +1063,8 @@ fn finalise(
     outcomes: Vec<ShardOutcome>,
     scale_events: Vec<ScaleEvent>,
     final_shards: usize,
+    shard_stalls: Vec<(usize, usize)>,
+    dropped_packets: u64,
     config: &StreamConfig,
 ) -> StreamRun {
     let mut shard_stats = Vec::with_capacity(outcomes.len());
@@ -867,6 +1084,10 @@ fn finalise(
             items,
             flows: outcome.flows,
             score_seconds: outcome.score_seconds,
+            stalls: shard_stalls
+                .iter()
+                .find(|(id, _)| *id == outcome.shard)
+                .map_or(0, |(_, stalls)| *stalls),
         });
         score_seconds += outcome.score_seconds;
         fit_seconds = fit_seconds.max(outcome.fit_seconds);
@@ -897,6 +1118,7 @@ fn finalise(
             warmup_packets,
             eval_packets: fed as usize,
             eval_items: stats.events,
+            dropped_packets,
             attack_share: if stats.events == 0 {
                 0.0
             } else {
@@ -945,6 +1167,7 @@ fn finalise(
         warmup_packets,
         eval_packets: fed as usize,
         eval_items: records.len(),
+        dropped_packets,
         attack_share: if labels.is_empty() { 0.0 } else { attacks as f64 / labels.len() as f64 },
         threshold,
         metrics: cm.metrics(),
@@ -1369,6 +1592,52 @@ mod tests {
         };
         assert_eq!(shape(&first), shape(&second));
         assert!(!first.report.scale_events.is_empty());
+    }
+
+    #[test]
+    fn telemetry_observes_the_run_without_changing_it() {
+        use idsbench_telemetry::TelemetryConfig;
+
+        let packets = bursty_workload(6);
+        let plain = run_stream(
+            &flow_factory,
+            &[],
+            VecSource::new("bursty", packets.clone()),
+            &autoscaled_config(),
+        )
+        .unwrap();
+        let telemetry = Telemetry::new(TelemetryConfig { sample_every: 4, ..Default::default() });
+        let observed = run_stream_with_telemetry(
+            &flow_factory,
+            &[],
+            VecSource::new("bursty", packets),
+            &autoscaled_config(),
+            Some(&telemetry),
+        )
+        .unwrap();
+        // The acceptance invariant: identical scores and identical scale
+        // history with telemetry attached.
+        assert_eq!(plain.scores, observed.scores, "telemetry must not steer the run");
+        assert_eq!(
+            plain.report.scale_events.len(),
+            observed.report.scale_events.len(),
+            "telemetry must not change scaling decisions"
+        );
+
+        // And the observers actually observed.
+        assert_eq!(telemetry.counter("packets_total").get(), observed.report.eval_packets as u64);
+        assert_eq!(telemetry.gauge("live_shards").get(), observed.report.final_shards as u64);
+        let journal = telemetry.journal().snapshot();
+        assert_eq!(journal.dropped, 0);
+        let scales = journal.events.iter().filter(|e| matches!(e, JournalEvent::Scale(_))).count();
+        assert_eq!(scales, observed.report.scale_events.len());
+        let evictions: u64 = telemetry
+            .stages()
+            .iter()
+            .filter(|s| s.stage() == Stage::Evict)
+            .map(|s| s.histogram().len())
+            .sum();
+        assert!(evictions > 0, "per-shard stage histograms must record");
     }
 
     #[test]

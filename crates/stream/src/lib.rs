@@ -37,6 +37,14 @@
 //!   `stream_batch_parity` integration test pins single-shard streaming to
 //!   batch `evaluate()` bitwise — for all four systems, flow-input ones
 //!   included.
+//! * **Telemetry** — [`run_stream_with_telemetry`] attaches an
+//!   `idsbench-telemetry` [`Telemetry`](idsbench_telemetry::Telemetry)
+//!   runtime to the same pipeline: lock-free counters and gauges, sampled
+//!   feeder spans plus per-shard stage latency histograms, and a bounded
+//!   journal of structured events (scale actions, feeder stalls, flow
+//!   migrations, packet drops, suppressed threshold crossings). Telemetry
+//!   observes the run without steering it — scores and reports are
+//!   byte-identical with it on or off.
 //!
 //! # Quickstart
 //!
@@ -78,8 +86,10 @@ pub mod report;
 pub mod ring;
 pub mod source;
 
-pub use autoscale::{AutoscalePolicy, Autoscaler, LiveSignals, ScaleDecision, ScaleDirection};
-pub use executor::{run_stream, StreamConfig, StreamRun, ThresholdMode};
+pub use autoscale::{
+    AutoscalePolicy, Autoscaler, LiveSignals, ScaleDecision, ScaleDirection, ThresholdCrossing,
+};
+pub use executor::{run_stream, run_stream_with_telemetry, StreamConfig, StreamRun, ThresholdMode};
 pub use idsbench_core::ScaleEvent;
 pub use metrics::{LatencyHistogram, OnlineStats, ScoredEvent, Throughput, WindowMetrics};
 pub use report::{ShardStats, StreamReport};

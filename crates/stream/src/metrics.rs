@@ -141,7 +141,7 @@ pub fn family_recall(records: &[ScoredEvent], threshold: f64) -> Vec<(String, f6
 /// events arrive; nothing is replayed afterwards.
 ///
 /// [`StreamReport`]: crate::report::StreamReport
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineStats {
     /// Overall confusion counts at the fixed threshold.
     pub cm: ConfusionMatrix,
@@ -214,104 +214,11 @@ impl OnlineStats {
     }
 }
 
-/// Number of linear sub-buckets per power of two in [`LatencyHistogram`].
-const SUBBUCKETS: usize = 8;
-/// Bucket count: 61 octaves above the exact small-value range, 8 sub-buckets
-/// each, plus the 8 exact buckets for 0–7 ns.
-const BUCKETS: usize = SUBBUCKETS + 61 * SUBBUCKETS;
-
-/// A fixed-size logarithmic histogram of per-event scoring latencies.
-///
-/// Values bucket by their top three significand bits (8 linear sub-buckets
-/// per power of two), so any percentile read back is within 12.5% of the
-/// true value — plenty for deployment-mode monitoring, with no per-event
-/// allocation.
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    buckets: Box<[u64; BUCKETS]>,
-    count: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: Box::new([0; BUCKETS]), count: 0 }
-    }
-}
-
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LatencyHistogram").field("count", &self.count).finish_non_exhaustive()
-    }
-}
-
-fn bucket_of(nanos: u64) -> usize {
-    if nanos < SUBBUCKETS as u64 {
-        return nanos as usize;
-    }
-    let log = 63 - nanos.leading_zeros() as usize; // floor(log2), >= 3 here
-    let sub = ((nanos >> (log - 3)) & 0x7) as usize;
-    SUBBUCKETS + (log - 3) * SUBBUCKETS + sub
-}
-
-fn bucket_value(bucket: usize) -> u64 {
-    if bucket < SUBBUCKETS {
-        return bucket as u64;
-    }
-    let log = (bucket - SUBBUCKETS) / SUBBUCKETS + 3;
-    let sub = ((bucket - SUBBUCKETS) % SUBBUCKETS) as u64;
-    // Midpoint of the bucket's value range.
-    ((8 + sub) << (log - 3)) + (1u64 << (log - 3)) / 2
-}
-
-impl LatencyHistogram {
-    /// Records one latency value.
-    pub fn record(&mut self, nanos: u64) {
-        self.buckets[bucket_of(nanos)] += 1;
-        self.count += 1;
-    }
-
-    /// Values recorded.
-    pub fn len(&self) -> u64 {
-        self.count
-    }
-
-    /// Whether the histogram is empty.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Resets every bucket — the histogram is reusable for windowed
-    /// signals (e.g. the autoscaler's per-batch p99) without reallocating.
-    pub fn clear(&mut self) {
-        self.buckets.fill(0);
-        self.count = 0;
-    }
-
-    /// Adds another histogram's counts into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-    }
-
-    /// Approximate percentile (`q` in `[0, 1]`) in nanoseconds; 0 when
-    /// empty. Accurate to within one bucket (≤ 12.5% relative error).
-    pub fn percentile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
-        let mut seen = 0u64;
-        for (bucket, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if n > 0 && seen > rank {
-                return bucket_value(bucket);
-            }
-        }
-        bucket_value(BUCKETS - 1)
-    }
-}
+/// The log-bucketed latency histogram, re-exported from
+/// `idsbench-telemetry` — the stream engine's per-shard latency unit and
+/// the telemetry stage-span unit are one type, so merges and percentile
+/// semantics cannot drift apart.
+pub use idsbench_telemetry::LatencyHistogram;
 
 /// Exact percentile over per-event scoring latencies (nanoseconds).
 /// `q` in `[0, 1]`; returns 0 for an empty set.
@@ -463,39 +370,6 @@ mod tests {
         assert_eq!(latency_percentile(&sorted, 0.99), 99);
         assert_eq!(latency_percentile(&sorted, 1.0), 100);
         assert_eq!(latency_percentile(&[], 0.5), 0);
-    }
-
-    #[test]
-    fn histogram_percentiles_are_close() {
-        let mut hist = LatencyHistogram::default();
-        for n in 1..=10_000u64 {
-            hist.record(n);
-        }
-        assert_eq!(hist.len(), 10_000);
-        let p50 = hist.percentile(0.50) as f64;
-        let p99 = hist.percentile(0.99) as f64;
-        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.13, "p50 ≈ {p50}");
-        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.13, "p99 ≈ {p99}");
-        assert_eq!(LatencyHistogram::default().percentile(0.5), 0);
-    }
-
-    #[test]
-    fn histogram_merge_adds_counts() {
-        let mut a = LatencyHistogram::default();
-        let mut b = LatencyHistogram::default();
-        for n in 0..100u64 {
-            a.record(n);
-            b.record(n * 1000);
-        }
-        a.merge(&b);
-        assert_eq!(a.len(), 200);
-    }
-
-    #[test]
-    fn small_latencies_bucket_exactly() {
-        for n in 0..8u64 {
-            assert_eq!(bucket_value(bucket_of(n)), n);
-        }
     }
 
     #[test]

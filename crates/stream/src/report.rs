@@ -21,6 +21,9 @@ pub struct ShardStats {
     pub flows: usize,
     /// Busy seconds inside this shard's `on_event` calls.
     pub score_seconds: f64,
+    /// Times the feeder found this shard's channel full and had to block —
+    /// the backpressure count. Zero means the shard kept up.
+    pub stalls: usize,
 }
 
 /// The merged outcome of one streaming run — the streaming counterpart of a
@@ -45,6 +48,9 @@ pub struct StreamReport {
     /// Evaluation events scored — equals `eval_packets` for packet-format
     /// detectors, the flow-eviction count for flow-format detectors.
     pub eval_items: usize,
+    /// Packets the source dropped before the feeder saw them (lossy
+    /// live-capture sources; always 0 for replay sources, which block).
+    pub dropped_packets: u64,
     /// Fraction of scored evaluation events that are attacks.
     pub attack_share: f64,
     /// Resolved alert threshold.
@@ -118,6 +124,8 @@ impl StreamReport {
         json_num(&mut out, "eval_packets", self.eval_packets as f64);
         out.push(',');
         json_num(&mut out, "eval_items", self.eval_items as f64);
+        out.push(',');
+        json_num(&mut out, "dropped_packets", self.dropped_packets as f64);
         out.push(',');
         json_num(&mut out, "attack_share", self.attack_share);
         out.push(',');
@@ -196,6 +204,8 @@ impl StreamReport {
             json_num(&mut out, "flows", s.flows as f64);
             out.push(',');
             json_num(&mut out, "score_seconds", s.score_seconds);
+            out.push(',');
+            json_num(&mut out, "stalls", s.stalls as f64);
             out.push('}');
         }
         out.push_str("],");
@@ -205,23 +215,9 @@ impl StreamReport {
             if i > 0 {
                 out.push(',');
             }
-            out.push('{');
-            json_num(&mut out, "seq", e.seq as f64);
-            out.push(',');
-            json_num(&mut out, "at_secs", e.at_secs);
-            out.push(',');
-            json_num(&mut out, "window", e.window as f64);
-            out.push(',');
-            json_num(&mut out, "from_shards", e.from_shards as f64);
-            out.push(',');
-            json_num(&mut out, "to_shards", e.to_shards as f64);
-            out.push(',');
-            json_num(&mut out, "trigger_pps", e.trigger_pps);
-            out.push(',');
-            json_num(&mut out, "migrated_flows", e.migrated_flows as f64);
-            out.push(',');
-            json_num(&mut out, "rebalance_micros", e.rebalance_micros as f64);
-            out.push('}');
+            // One encoding for scale events everywhere: the report array and
+            // the telemetry journal both delegate to `ScaleEvent::to_json`.
+            out.push_str(&e.to_json());
         }
         out.push_str("]}");
         out
@@ -276,6 +272,7 @@ mod tests {
             warmup_packets: 10,
             eval_packets: 90,
             eval_items: 90,
+            dropped_packets: 4,
             attack_share: 0.1,
             threshold: f64::INFINITY,
             metrics: Metrics { accuracy: 0.9, precision: 1.0, recall: 0.5, f1: 2.0 / 3.0 },
@@ -301,8 +298,22 @@ mod tests {
                 train_seconds: 0.1,
             },
             shard_stats: vec![
-                ShardStats { shard: 0, packets: 50, items: 50, flows: 3, score_seconds: 0.2 },
-                ShardStats { shard: 1, packets: 40, items: 40, flows: 2, score_seconds: 0.2 },
+                ShardStats {
+                    shard: 0,
+                    packets: 50,
+                    items: 50,
+                    flows: 3,
+                    score_seconds: 0.2,
+                    stalls: 1,
+                },
+                ShardStats {
+                    shard: 1,
+                    packets: 40,
+                    items: 40,
+                    flows: 2,
+                    score_seconds: 0.2,
+                    stalls: 0,
+                },
             ],
             scale_events: vec![ScaleEvent {
                 seq: 30,
@@ -327,6 +338,8 @@ mod tests {
         assert!(json.contains("\"packets_per_sec\":180"));
         assert!(json.contains("\"windows\":[{"));
         assert!(json.contains("\"shard_stats\":[{\"shard\":0"));
+        assert!(json.contains("\"stalls\":1"));
+        assert!(json.contains("\"dropped_packets\":4"));
         assert!(json.contains("\"final_shards\":2"));
         assert!(json.contains("\"scale_events\":[{\"seq\":30"));
         assert!(json.contains("\"rebalance_micros\":250"));

@@ -41,6 +41,15 @@ pub trait PacketSource {
     fn recycle_packet(&mut self, packet: Packet) {
         drop(packet);
     }
+
+    /// Packets this source dropped before the consumer saw them. Replay
+    /// sources never drop (backpressure blocks instead), so the default is
+    /// 0; lossy live-capture-style sources
+    /// ([`BoundedSource::spawn_lossy`]) override it. The executor surfaces
+    /// the final value as `StreamReport::dropped_packets`.
+    fn dropped_packets(&self) -> u64 {
+        0
+    }
 }
 
 /// An in-memory source: replays a vector of labeled packets.
@@ -241,28 +250,70 @@ pub struct BoundedSource {
     receiver: channel::Receiver<Result<LabeledPacket>>,
     recycle: channel::Sender<Packet>,
     producer: Option<std::thread::JoinHandle<()>>,
+    dropped: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl BoundedSource {
     /// Spawns the producer thread for `source` with room for `capacity`
-    /// in-flight packets.
+    /// in-flight packets. The producer blocks when the channel is full
+    /// (lossless backpressure — replay semantics).
     ///
     /// # Panics
     ///
     /// Panics when `capacity` is zero.
-    pub fn spawn(mut source: impl PacketSource + Send + 'static, capacity: usize) -> Self {
+    pub fn spawn(source: impl PacketSource + Send + 'static, capacity: usize) -> Self {
+        BoundedSource::spawn_inner(source, capacity, false)
+    }
+
+    /// Like [`BoundedSource::spawn`], but the producer *drops* packets when
+    /// the channel is full instead of blocking — the behaviour of a live
+    /// capture whose kernel buffer overruns when the consumer falls behind.
+    /// Dropped packets are counted and surfaced through
+    /// [`PacketSource::dropped_packets`] (and from there into
+    /// `StreamReport::dropped_packets`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn spawn_lossy(source: impl PacketSource + Send + 'static, capacity: usize) -> Self {
+        BoundedSource::spawn_inner(source, capacity, true)
+    }
+
+    fn spawn_inner(
+        mut source: impl PacketSource + Send + 'static,
+        capacity: usize,
+        lossy: bool,
+    ) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
         let name = source.name().to_string();
         let (tx, rx) = channel::bounded(capacity);
         // Consumed packets flow back on this lane so the inner source's
         // arena (if any) gets its payload buffers returned.
         let (recycle_tx, recycle_rx) = channel::bounded::<Packet>(capacity);
+        let dropped = Arc::new(AtomicU64::new(0));
+        let drop_count = Arc::clone(&dropped);
         let producer = std::thread::spawn(move || loop {
             while let Ok(packet) = recycle_rx.try_recv() {
                 source.recycle_packet(packet);
             }
             match source.next_packet() {
                 Ok(Some(packet)) => {
-                    if tx.send(Ok(packet)).is_err() {
+                    if lossy {
+                        match tx.try_send(Ok(packet)) {
+                            Ok(()) => {}
+                            Err(channel::TrySendError::Full(overflow)) => {
+                                // Consumer behind: count the loss and hand
+                                // the payload straight back to the source.
+                                drop_count.fetch_add(1, Ordering::Relaxed);
+                                if let Ok(packet) = overflow {
+                                    source.recycle_packet(packet.packet);
+                                }
+                            }
+                            Err(channel::TrySendError::Disconnected(_)) => return,
+                        }
+                    } else if tx.send(Ok(packet)).is_err() {
                         return; // consumer gone
                     }
                 }
@@ -273,7 +324,7 @@ impl BoundedSource {
                 }
             }
         });
-        BoundedSource { name, receiver: rx, recycle: recycle_tx, producer: Some(producer) }
+        BoundedSource { name, receiver: rx, recycle: recycle_tx, producer: Some(producer), dropped }
     }
 }
 
@@ -293,6 +344,10 @@ impl PacketSource for BoundedSource {
     fn recycle_packet(&mut self, packet: Packet) {
         // Non-blocking: a full lane (or a finished producer) just drops it.
         let _ = self.recycle.try_send(packet);
+    }
+
+    fn dropped_packets(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -383,6 +438,31 @@ mod tests {
     fn bounded_source_drop_does_not_hang() {
         let bounded = BoundedSource::spawn(VecSource::new("v", packets(10_000)), 2);
         drop(bounded); // producer blocked on a full channel must still exit
+    }
+
+    #[test]
+    fn lossy_source_counts_drops_instead_of_blocking() {
+        // A tiny channel and a slow consumer: the producer must race ahead,
+        // fail try_send, and count drops rather than stall.
+        let total = 2_000;
+        let mut bounded = BoundedSource::spawn_lossy(VecSource::new("live", packets(total)), 2);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut seen = 0;
+        while bounded.next_packet().unwrap().is_some() {
+            seen += 1;
+        }
+        let dropped = bounded.dropped_packets();
+        assert_eq!(seen as u64 + dropped, total as u64, "every packet seen or counted dropped");
+        assert!(dropped > 0, "a 2-slot channel over {total} packets must overflow");
+
+        // Lossless spawn never drops.
+        let mut lossless = BoundedSource::spawn(VecSource::new("replay", packets(100)), 2);
+        let mut seen = 0;
+        while lossless.next_packet().unwrap().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+        assert_eq!(lossless.dropped_packets(), 0);
     }
 
     #[test]

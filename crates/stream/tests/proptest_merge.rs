@@ -1,0 +1,135 @@
+//! Property-based pinning of the aggregation algebra the sharded executor
+//! relies on: per-shard [`OnlineStats`] (and the [`LatencyHistogram`] inside
+//! them) are merged in whatever order shards finish, so the merge must be
+//! associative and order-insensitive or the report would depend on thread
+//! scheduling.
+
+use idsbench_core::AttackKind;
+use idsbench_stream::{LatencyHistogram, OnlineStats};
+use proptest::prelude::*;
+
+/// One scored event as the executor would fold it into a shard's stats.
+#[derive(Debug, Clone)]
+struct Event {
+    window: u64,
+    score: f64,
+    label: bool,
+    kind: Option<AttackKind>,
+    latency_nanos: u64,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0u64..6, 0.0f64..1.0, any::<bool>(), 0u8..8, 0u64..5_000_000).prop_map(
+        |(window, score, label, kind_pick, latency_nanos)| Event {
+            window,
+            score,
+            label,
+            kind: match kind_pick {
+                0 => Some(AttackKind::SynFlood),
+                1 => Some(AttackKind::UdpFlood),
+                2 => Some(AttackKind::PortScan),
+                3 => Some(AttackKind::BotnetC2),
+                _ => None,
+            },
+            latency_nanos,
+        },
+    )
+}
+
+const THRESHOLD: f64 = 0.5;
+
+fn fold(events: &[Event]) -> OnlineStats {
+    let mut stats = OnlineStats::default();
+    for e in events {
+        stats.record(e.window, e.score, THRESHOLD, e.label, e.kind, e.latency_nanos);
+    }
+    stats
+}
+
+fn hist(nanos: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &n in nanos {
+        h.record(n);
+    }
+    h
+}
+
+proptest! {
+    /// Merging latency histograms commutes: `a ∪ b == b ∪ a`.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (ha, hb) = (hist(&a), hist(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.len(), (a.len() + b.len()) as u64);
+    }
+
+    /// Merging latency histograms is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`,
+    /// and both equal folding every sample into one histogram directly.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+        c in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &hist(&all));
+    }
+
+    /// Merging per-shard stats commutes, and matches folding the union of
+    /// events into a single stats instance — shard assignment is invisible.
+    #[test]
+    fn stats_merge_is_order_insensitive(
+        a in proptest::collection::vec(event_strategy(), 0..120),
+        b in proptest::collection::vec(event_strategy(), 0..120),
+    ) {
+        let (sa, sb) = (fold(&a), fold(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &fold(&all));
+    }
+
+    /// Three-way shard merges are associative — the executor may merge
+    /// shard outputs in any grouping as they finish.
+    #[test]
+    fn stats_merge_is_associative(
+        a in proptest::collection::vec(event_strategy(), 0..80),
+        b in proptest::collection::vec(event_strategy(), 0..80),
+        c in proptest::collection::vec(event_strategy(), 0..80),
+    ) {
+        let (sa, sb, sc) = (fold(&a), fold(&b), fold(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right_tail = sb.clone();
+        right_tail.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.events, a.len() + b.len() + c.len());
+    }
+}

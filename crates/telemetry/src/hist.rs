@@ -1,0 +1,252 @@
+//! Fixed-size logarithmic latency histograms — the single bucketing scheme
+//! shared by the stream engine's per-shard latency accounting and the
+//! telemetry stage spans.
+//!
+//! Values bucket by their top three significand bits (8 linear sub-buckets
+//! per power of two), so any percentile read back is within 12.5% of the
+//! true value — plenty for deployment-mode monitoring, with no per-value
+//! allocation. Two variants share the scheme:
+//!
+//! * [`LatencyHistogram`] — single-owner, `&mut self` recording; the unit
+//!   the stream engine merges across shards and the multi-node roadmap item
+//!   would put on the wire (its merge is associative and order-insensitive,
+//!   property-tested in `crates/stream/tests/proptest_merge.rs`).
+//! * [`AtomicHistogram`] — shared-reader recording with relaxed atomics, so
+//!   a live exposition endpoint can read percentiles while shard threads
+//!   keep recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of linear sub-buckets per power of two.
+pub(crate) const SUBBUCKETS: usize = 8;
+/// Bucket count: 61 octaves above the exact small-value range, 8 sub-buckets
+/// each, plus the 8 exact buckets for 0–7 ns.
+pub(crate) const BUCKETS: usize = SUBBUCKETS + 61 * SUBBUCKETS;
+
+pub(crate) fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUBBUCKETS as u64 {
+        return nanos as usize;
+    }
+    let log = 63 - nanos.leading_zeros() as usize; // floor(log2), >= 3 here
+    let sub = ((nanos >> (log - 3)) & 0x7) as usize;
+    SUBBUCKETS + (log - 3) * SUBBUCKETS + sub
+}
+
+pub(crate) fn bucket_value(bucket: usize) -> u64 {
+    if bucket < SUBBUCKETS {
+        return bucket as u64;
+    }
+    let log = (bucket - SUBBUCKETS) / SUBBUCKETS + 3;
+    let sub = ((bucket - SUBBUCKETS) % SUBBUCKETS) as u64;
+    // Midpoint of the bucket's value range.
+    ((8 + sub) << (log - 3)) + (1u64 << (log - 3)) / 2
+}
+
+fn percentile_of(buckets: &[u64; BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+    let mut seen = 0u64;
+    for (bucket, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if n > 0 && seen > rank {
+            return bucket_value(bucket);
+        }
+    }
+    bucket_value(BUCKETS - 1)
+}
+
+/// A fixed-size logarithmic histogram of per-event scoring latencies.
+///
+/// See the [module docs](self) for the bucketing scheme and accuracy bound.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: Box::new([0; BUCKETS]), count: 0 }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram").field("count", &self.count).finish_non_exhaustive()
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency value.
+    pub fn record(&mut self, nanos: u64) {
+        self.buckets[bucket_of(nanos)] += 1;
+        self.count += 1;
+    }
+
+    /// Values recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Resets every bucket — the histogram is reusable for windowed
+    /// signals (e.g. the autoscaler's per-batch p99) without reallocating.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.count = 0;
+    }
+
+    /// Adds another histogram's counts into this one. Merging is
+    /// associative and order-insensitive: any merge tree over the same
+    /// multiset of recorded values yields an identical histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`) in nanoseconds; 0 when
+    /// empty. Accurate to within one bucket (≤ 12.5% relative error).
+    pub fn percentile(&self, q: f64) -> u64 {
+        percentile_of(&self.buckets, self.count, q)
+    }
+}
+
+/// A shared-reader variant of [`LatencyHistogram`]: recording uses relaxed
+/// atomic increments, so shard threads record through an `Arc` while a sink
+/// thread reads percentiles live.
+///
+/// All operations are relaxed — a concurrent read may observe a value whose
+/// bucket increment landed but whose count increment has not (or vice
+/// versa), skewing a percentile by at most the in-flight values. That is
+/// monitoring-grade accuracy by design; nothing here is on a correctness
+/// path.
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        let buckets: Box<[AtomicU64]> =
+            (0..BUCKETS).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            buckets.try_into().unwrap_or_else(|_| unreachable!("exact length"));
+        AtomicHistogram { buckets, count: AtomicU64::new(0) }
+    }
+}
+
+impl std::fmt::Debug for AtomicHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHistogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one latency value (relaxed; shared-reference safe).
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn len(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets every bucket (relaxed; concurrent records may survive).
+    pub fn clear(&self) {
+        for bucket in self.buckets.iter() {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// Approximate percentile over a relaxed point-in-time read; same
+    /// accuracy bound as [`LatencyHistogram::percentile`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.snapshot().percentile(q)
+    }
+
+    /// Copies the current counts into an owned [`LatencyHistogram`] (one
+    /// relaxed load per bucket — not a consistent cut, see type docs).
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        let mut count = 0u64;
+        for (mine, theirs) in out.buckets.iter_mut().zip(self.buckets.iter()) {
+            *mine = theirs.load(Ordering::Relaxed);
+            count += *mine;
+        }
+        // Derive the count from the buckets so the snapshot is internally
+        // consistent even if `self.count` lags an in-flight record.
+        out.count = count;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_close() {
+        let mut hist = LatencyHistogram::default();
+        for n in 1..=10_000u64 {
+            hist.record(n);
+        }
+        assert_eq!(hist.len(), 10_000);
+        let p50 = hist.percentile(0.50) as f64;
+        let p99 = hist.percentile(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.13, "p50 ≈ {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.13, "p99 ≈ {p99}");
+        assert_eq!(LatencyHistogram::default().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        for n in 0..100u64 {
+            a.record(n);
+            b.record(n * 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn small_latencies_bucket_exactly() {
+        for n in 0..8u64 {
+            assert_eq!(bucket_value(bucket_of(n)), n);
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_matches_single_owner() {
+        let atomic = AtomicHistogram::default();
+        let mut plain = LatencyHistogram::default();
+        for n in [0u64, 7, 8, 100, 1_000, 123_456, 9_999_999] {
+            atomic.record(n);
+            plain.record(n);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+        assert_eq!(atomic.percentile(0.5), plain.percentile(0.5));
+        assert_eq!(atomic.len(), plain.len());
+        atomic.clear();
+        assert!(atomic.is_empty());
+    }
+}

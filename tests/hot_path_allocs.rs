@@ -12,6 +12,11 @@
 //! Everything runs inside a single `#[test]` because the counters are
 //! process-global: parallel test threads would bleed allocations into each
 //! other's measurement windows.
+//!
+//! The invariant is pinned **with telemetry enabled** too: a live counter,
+//! sampled inference probes, and per-stage histograms join the measured
+//! window, and the budget stays zero — observability must be free on the
+//! hot path.
 
 use idsbench::core::allocwatch::{allocation_snapshot, CountingAllocator};
 use idsbench::core::{
@@ -24,6 +29,7 @@ use idsbench::helad::Helad;
 use idsbench::kitsune::Kitsune;
 use idsbench::net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
 use idsbench::slips::Slips;
+use idsbench::telemetry::{Counter, Stage, Telemetry, TelemetryConfig};
 use std::net::Ipv4Addr;
 
 #[global_allocator]
@@ -58,6 +64,30 @@ fn measured_allocations(
     let before = allocation_snapshot();
     let mut checksum = 0.0;
     for view in measure {
+        checksum += detector.on_event(&Event::Packet(view)).expect("packet event scored");
+    }
+    let after = allocation_snapshot();
+    assert!(checksum.is_finite(), "{}: scores must stay finite", detector.name());
+    (after.allocations_since(&before), after.bytes_since(&before))
+}
+
+/// Like [`measured_allocations`], but with live telemetry on the budget:
+/// bumps `packets` once per scored packet (exactly what the stream feeder
+/// does) while the detector's attached inference probe samples spans.
+fn measured_allocations_instrumented(
+    detector: &mut dyn EventDetector,
+    warmup: &[ParsedView],
+    measure: &[ParsedView],
+    packets: &Counter,
+) -> (u64, u64) {
+    for view in warmup {
+        let score = detector.on_event(&Event::Packet(view)).expect("packet event scored");
+        assert!(score.is_finite(), "{}: warmup score must be finite", detector.name());
+    }
+    let before = allocation_snapshot();
+    let mut checksum = 0.0;
+    for view in measure {
+        packets.inc();
         checksum += detector.on_event(&Event::Packet(view)).expect("packet event scored");
     }
     let after = allocation_snapshot();
@@ -102,6 +132,38 @@ fn steady_state_scoring_allocates_nothing() {
         "HELAD steady-state scoring must not allocate ({allocs} allocations, {bytes} bytes \
          over {} packets)",
         measure.len()
+    );
+
+    // ---- Same pass with telemetry attached: observability must be free ----
+    let telemetry = Telemetry::new(TelemetryConfig { sample_every: 8, ..Default::default() });
+    let packets = telemetry.counter("packets_total");
+
+    let mut kitsune = Kitsune::default();
+    kitsune.fit(&train);
+    kitsune.attach_inference_probe(telemetry.span(Stage::Infer, Some(0)));
+    let (allocs, bytes) = measured_allocations_instrumented(&mut kitsune, warm, measure, &packets);
+    assert_eq!(
+        allocs, 0,
+        "Kitsune with telemetry probes must not allocate ({allocs} allocations, {bytes} bytes)"
+    );
+
+    let mut helad = Helad::default();
+    helad.fit(&train);
+    helad.attach_inference_probe(telemetry.span(Stage::Infer, Some(1)));
+    let (allocs, bytes) = measured_allocations_instrumented(&mut helad, warm, measure, &packets);
+    assert_eq!(
+        allocs, 0,
+        "HELAD with telemetry probes must not allocate ({allocs} allocations, {bytes} bytes)"
+    );
+
+    assert_eq!(packets.get(), 2 * measure.len() as u64, "counter must see every measured packet");
+    assert!(
+        !telemetry.stage(Stage::Infer, Some(0)).histogram().is_empty(),
+        "Kitsune's sampled inference spans must have recorded"
+    );
+    assert!(
+        !telemetry.stage(Stage::Infer, Some(1)).histogram().is_empty(),
+        "HELAD's sampled inference spans must have recorded"
     );
 
     // ---- Flow-format detectors: the eviction path must be clean too ----
@@ -172,7 +234,9 @@ fn replay_flow_events(
 /// Warmed DNN and Slips must score recurring flow evictions without heap
 /// allocations — per eviction, not just per packet: the eviction machinery
 /// (flow table, label fold, feature vector, evidence accumulation) is on
-/// the budget alongside the model inference.
+/// the budget alongside the model inference. Both run with sampled
+/// telemetry inference probes attached, so the instrumented eviction path
+/// is what gets pinned.
 fn flow_detectors_evict_without_allocating() {
     let sessions: Vec<Vec<ParsedView>> = (0..1_000).map(session_at).collect();
     // 100 sessions to fit on, 600 to reach steady state (group histories
@@ -180,11 +244,15 @@ fn flow_detectors_evict_without_allocating() {
     let train_views: Vec<ParsedView> = sessions[..100].iter().flatten().cloned().collect();
     let train = TrainView::assemble(train_views, FlowTableConfig::default());
 
-    for factory in [
-        || Box::new(Dnn::default()) as Box<dyn EventDetector>,
-        || Box::new(Slips::default()) as Box<dyn EventDetector>,
-    ] {
-        let mut detector = factory();
+    let telemetry = Telemetry::new(TelemetryConfig { sample_every: 8, ..Default::default() });
+    let mut dnn = Dnn::default();
+    dnn.attach_inference_probe(telemetry.span(Stage::Infer, Some(0)));
+    let mut slips = Slips::default();
+    slips.attach_inference_probe(telemetry.span(Stage::Infer, Some(1)));
+
+    for mut detector in
+        [Box::new(dnn) as Box<dyn EventDetector>, Box::new(slips) as Box<dyn EventDetector>]
+    {
         let name = detector.name().to_string();
         detector.fit(&train);
         let mut assembler = FlowEventAssembler::new(FlowTableConfig::default());
@@ -205,6 +273,13 @@ fn flow_detectors_evict_without_allocating() {
             allocs, 0,
             "{name}: warmed eviction path must not allocate ({allocs} allocations, {bytes} \
              bytes over {evictions} evictions)"
+        );
+    }
+
+    for shard in [0, 1] {
+        assert!(
+            !telemetry.stage(Stage::Infer, Some(shard)).histogram().is_empty(),
+            "sampled inference spans must have recorded for probe {shard}"
         );
     }
 }

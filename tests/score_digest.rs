@@ -30,6 +30,7 @@ use idsbench::dnn::Dnn;
 use idsbench::helad::Helad;
 use idsbench::kitsune::Kitsune;
 use idsbench::slips::Slips;
+use idsbench::telemetry::{Stage, Telemetry, TelemetryConfig};
 
 /// `(detector, scored events, digest)` for the Tiny Stratosphere scenario
 /// with default `EvalConfig` on `linux-gnu`, release profile — the same
@@ -53,20 +54,27 @@ fn digest_of(scores: &[f64]) -> u64 {
 }
 
 /// Runs the canonical replay and returns `(name, events, digest)` per
-/// system.
-fn replay_digests() -> Vec<(String, usize, u64)> {
+/// system. With `telemetry` supplied, every detector carries a sampled
+/// inference probe during the replay — the digests must not notice.
+fn replay_digests(telemetry: Option<&Telemetry>) -> Vec<(String, usize, u64)> {
     let scenario = scenarios::stratosphere_iot(ScenarioScale::Tiny);
     let config = EvalConfig::default();
     let pipeline = Pipeline::new(config.pipeline).expect("pipeline");
     let input = pipeline
         .prepare_events(&scenario.info().name, scenario.generate(config.dataset_seed))
         .expect("preprocess");
-    let detectors: Vec<Box<dyn EventDetector>> = vec![
-        Box::new(Kitsune::default()),
-        Box::new(Helad::default()),
-        Box::new(Dnn::default()),
-        Box::new(Slips::default()),
-    ];
+    let mut kitsune = Kitsune::default();
+    let mut helad = Helad::default();
+    let mut dnn = Dnn::default();
+    let mut slips = Slips::default();
+    if let Some(telemetry) = telemetry {
+        kitsune.attach_inference_probe(telemetry.span(Stage::Infer, Some(0)));
+        helad.attach_inference_probe(telemetry.span(Stage::Infer, Some(1)));
+        dnn.attach_inference_probe(telemetry.span(Stage::Infer, Some(2)));
+        slips.attach_inference_probe(telemetry.span(Stage::Infer, Some(3)));
+    }
+    let detectors: Vec<Box<dyn EventDetector>> =
+        vec![Box::new(kitsune), Box::new(helad), Box::new(dnn), Box::new(slips)];
     detectors
         .into_iter()
         .map(|mut detector| {
@@ -79,7 +87,7 @@ fn replay_digests() -> Vec<(String, usize, u64)> {
 #[cfg(all(target_os = "linux", target_env = "gnu", not(debug_assertions)))]
 #[test]
 fn batch_scores_are_bitwise_pinned() {
-    let digests = replay_digests();
+    let digests = replay_digests(None);
     assert_eq!(digests.len(), PINNED.len());
     for ((name, events, digest), &(want_name, want_events, pinned)) in
         digests.into_iter().zip(PINNED.iter())
@@ -99,5 +107,21 @@ fn batch_scores_are_bitwise_pinned() {
 /// platform links.
 #[test]
 fn batch_scores_are_self_consistent() {
-    assert_eq!(replay_digests(), replay_digests());
+    assert_eq!(replay_digests(None), replay_digests(None));
+}
+
+/// Telemetry half of the invariant: attaching sampled inference probes to
+/// every detector changes no score bit — telemetry observes the replay, it
+/// never steers it.
+#[test]
+fn telemetry_probes_do_not_perturb_scores() {
+    let telemetry = Telemetry::new(TelemetryConfig { sample_every: 4, ..Default::default() });
+    let instrumented = replay_digests(Some(&telemetry));
+    assert_eq!(instrumented, replay_digests(None), "probes perturbed a score digest");
+    for probe in 0..4 {
+        assert!(
+            !telemetry.stage(Stage::Infer, Some(probe)).histogram().is_empty(),
+            "probe {probe} sampled no inference spans"
+        );
+    }
 }
