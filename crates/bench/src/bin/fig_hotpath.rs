@@ -75,10 +75,10 @@ struct HotPathRow {
 impl HotPathRow {
     fn to_json(&self) -> String {
         format!(
-            "{{\"detector\":\"{}\",\"packets\":{},\"events_scored\":{},\
+            "{{\"detector\":{},\"packets\":{},\"events_scored\":{},\
              \"packets_per_sec\":{:.1},\"allocs_per_packet\":{:.4},\
              \"bytes_per_packet\":{:.1}}}",
-            self.detector,
+            idsbench_core::json::quoted(&self.detector),
             self.packets,
             self.events_scored,
             self.packets_per_sec,

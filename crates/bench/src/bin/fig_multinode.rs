@@ -1,0 +1,344 @@
+//! Multi-node fabric figure: the bursty autoscale scenario stretched across
+//! real worker *processes*, with score parity against the single-process
+//! run as the headline number.
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_multinode -- --scale tiny --require-parity
+//! ```
+//!
+//! The binary is its own worker: invoked as `fig_multinode --worker
+//! <endpoint>` it dials in and runs the `idsbench-fabric` worker loop with
+//! the standard detector roster. The parent run:
+//!
+//! 1. Scores the bursty trace single-process (`run_stream`, one shard) —
+//!    the parity baseline.
+//! 2. Binds a TCP listener on an ephemeral loopback port, spawns two worker
+//!    processes of itself, and drives the same trace through
+//!    `run_fabric` under the `fig_autoscale` policy (1..=4 shards). The
+//!    pool must scale up, migrate flow state across the process boundary
+//!    (`fabric_cross_peer_migrations_total` > 0), and reproduce the exact
+//!    sorted score multiset.
+//! 3. Repeats over a Unix domain socket with a fixed two-shard pool and a
+//!    mid-stream [`DrainPlan`] decommissioning worker 1 — the drained
+//!    worker's flows must all survive the migration barrier (parity again).
+//!
+//! Slips scores the stream: flow-format, so every rebalance moves real
+//! flow-table records and the per-flow score multiset is partition-
+//! invariant — any lost or double-counted flow breaks parity.
+//!
+//! With `--require-parity` any failed check exits non-zero (the CI gate).
+//! One `BENCH `-prefixed JSON line goes to stdout and the same object is
+//! written to `BENCH_multinode.json`; the final telemetry snapshot (fabric
+//! frame/byte/migration counters, per-peer rebalance RTTs) lands in
+//! `TELEMETRY_multinode.json`.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors, workload};
+use idsbench_core::{EventDetector, LabeledPacket};
+use idsbench_datasets::ScenarioScale;
+use idsbench_fabric::{run_fabric, run_worker, DrainPlan, Endpoint, FabricConfig, FabricListener};
+use idsbench_net::Timestamp;
+use idsbench_slips::Slips;
+use idsbench_stream::{
+    run_stream, AutoscalePolicy, BoundedSource, StreamConfig, StreamRun, VecSource,
+};
+use idsbench_telemetry::Telemetry;
+
+/// Phase counts and per-phase session counts per scale (mirrors
+/// `fig_autoscale` so the two figures describe the same traffic).
+struct Workload {
+    phases: u64,
+    quiet_sessions: u64,
+    burst_sessions: u64,
+}
+
+impl Workload {
+    fn for_scale(scale: ScenarioScale) -> Self {
+        match scale {
+            ScenarioScale::Tiny => Workload { phases: 10, quiet_sessions: 8, burst_sessions: 120 },
+            ScenarioScale::Small => {
+                Workload { phases: 20, quiet_sessions: 20, burst_sessions: 400 }
+            }
+            ScenarioScale::Full => {
+                Workload { phases: 60, quiet_sessions: 40, burst_sessions: 1200 }
+            }
+        }
+    }
+
+    fn is_burst(phase: u64) -> bool {
+        matches!(phase % 5, 1..=3)
+    }
+
+    fn burst_pps(&self) -> f64 {
+        (self.burst_sessions * 6) as f64
+    }
+
+    fn quiet_pps(&self) -> f64 {
+        (self.quiet_sessions * 6) as f64
+    }
+}
+
+/// Worker-process entry: resolve detectors from the standard roster and run
+/// the fabric worker loop until the coordinator says `Finish`.
+fn worker_main(endpoint: &str) -> ! {
+    let endpoint = Endpoint::parse(endpoint).unwrap_or_else(|e| {
+        eprintln!("# worker: bad endpoint: {e}");
+        std::process::exit(2);
+    });
+    let roster = standard_detectors();
+    let resolve = |name: &str| -> Option<Box<dyn EventDetector>> {
+        roster.iter().find(|(n, _)| n == name).map(|(_, factory)| factory())
+    };
+    match run_worker(&endpoint, &resolve, None) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("# worker failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Re-invokes this binary as `--worker <endpoint>`, `count` times.
+fn spawn_workers(endpoint: &Endpoint, count: usize) -> Vec<Child> {
+    let exe = std::env::current_exe().expect("current executable path");
+    (0..count)
+        .map(|_| {
+            Command::new(&exe)
+                .arg("--worker")
+                .arg(endpoint.to_string())
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn worker process")
+        })
+        .collect()
+}
+
+/// Runs the coordinator against `workers` freshly spawned worker processes
+/// and reaps them, failing loudly if any exited non-zero.
+fn fabric_run(
+    bind: &Endpoint,
+    packets: &[LabeledPacket],
+    warmup: &[LabeledPacket],
+    config: &StreamConfig,
+    fabric: &FabricConfig,
+    telemetry: &Telemetry,
+    failures: &mut Vec<String>,
+) -> Option<StreamRun> {
+    let listener = match FabricListener::bind(bind) {
+        Ok(listener) => listener,
+        Err(e) => {
+            failures.push(format!("bind {bind}: {e}"));
+            return None;
+        }
+    };
+    let endpoint = listener.local_endpoint().expect("listener endpoint");
+    let mut children = spawn_workers(&endpoint, fabric.workers);
+    let source = BoundedSource::spawn(VecSource::new("bursty-tcp", packets.to_vec()), 256);
+    let run = run_fabric("Slips", warmup, source, config, fabric, listener, Some(telemetry));
+    for (index, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("worker {index} exited {status}")),
+            Err(e) => failures.push(format!("worker {index} unreaped: {e}")),
+        }
+    }
+    match run {
+        Ok(run) => Some(run),
+        Err(e) => {
+            failures.push(format!("coordinator over {bind}: {e}"));
+            None
+        }
+    }
+}
+
+fn sorted(mut scores: Vec<f64>) -> Vec<f64> {
+    scores.sort_by(f64::total_cmp);
+    scores
+}
+
+/// Sorted-multiset parity plus merged-metrics equality against the
+/// single-process baseline.
+fn check_parity(tag: &str, single: &StreamRun, fabric: &StreamRun, failures: &mut Vec<String>) {
+    if sorted(single.scores.clone()) != sorted(fabric.scores.clone()) {
+        failures.push(format!(
+            "{tag}: score multiset diverged ({} single vs {} fabric scores)",
+            single.scores.len(),
+            fabric.scores.len()
+        ));
+    }
+    if single.report.metrics != fabric.report.metrics {
+        failures.push(format!("{tag}: merged metrics diverged"));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(at) = args.iter().position(|a| a == "--worker") {
+        let endpoint = args.get(at + 1).cloned().unwrap_or_else(|| {
+            eprintln!("# usage: fig_multinode --worker <endpoint>");
+            std::process::exit(2);
+        });
+        worker_main(&endpoint);
+    }
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let require_parity = args.iter().any(|a| a == "--require-parity");
+
+    let plan = Workload::for_scale(scale);
+    let policy = AutoscalePolicy {
+        min_shards: 1,
+        max_shards: 4,
+        scale_up_pps: plan.burst_pps() / 2.0,
+        scale_down_pps: plan.quiet_pps() * 2.0,
+        cooldown_windows: 0,
+        vnodes: 32,
+        ..Default::default()
+    };
+    let trace = workload::bursty_trace(
+        plan.phases,
+        plan.quiet_sessions,
+        plan.burst_sessions,
+        seed,
+        Workload::is_burst,
+    );
+    // Warmup on the first quiet+burst pair so Slips sees both classes.
+    let split = trace.partition_point(|lp| lp.packet.ts < Timestamp::from_micros(2_000_000));
+    let (warmup, eval) = trace.split_at(split);
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1. Single-process parity baseline: one shard, same window.
+    let single = run_stream(
+        &|| Box::new(Slips::default()) as Box<dyn EventDetector>,
+        warmup,
+        BoundedSource::spawn(VecSource::new("bursty-tcp", eval.to_vec()), 256),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .expect("single-process baseline run");
+
+    // 2. TCP fabric under autoscale: two worker processes, 1..=4 shards.
+    let telemetry = Arc::new(Telemetry::default());
+    let tcp_config =
+        StreamConfig { shards: 1, window_secs: 1.0, autoscale: Some(policy), ..Default::default() };
+    let tcp = fabric_run(
+        &Endpoint::parse("tcp://127.0.0.1:0").expect("tcp endpoint"),
+        eval,
+        warmup,
+        &tcp_config,
+        &FabricConfig { workers: 2, ..Default::default() },
+        &telemetry,
+        &mut failures,
+    );
+    let cross_peer = telemetry.counter("fabric_cross_peer_migrations_total").get();
+    let (mut ups, mut downs, mut migrated) = (0usize, 0usize, 0usize);
+    if let Some(tcp) = &tcp {
+        check_parity("tcp", &single, tcp, &mut failures);
+        ups = tcp.report.scale_events.iter().filter(|e| e.is_scale_up()).count();
+        downs = tcp.report.scale_events.iter().filter(|e| e.is_scale_down()).count();
+        migrated = tcp.report.scale_events.iter().map(|e| e.migrated_flows).sum();
+        if ups == 0 {
+            failures.push("tcp: autoscaler never scaled up under the burst".to_string());
+        }
+        if cross_peer == 0 {
+            failures.push(
+                "tcp: no flow state crossed the process boundary \
+                 (fabric_cross_peer_migrations_total == 0)"
+                    .to_string(),
+            );
+        }
+    }
+
+    // 3. UDS fabric with a fixed two-shard pool and a mid-stream drain of
+    //    worker 1 — the decommission-without-loss path.
+    let mut drains = 0usize;
+    let mut drain_migrated = 0usize;
+    #[cfg(unix)]
+    let uds = {
+        let path =
+            std::env::temp_dir().join(format!("idsbench-multinode-{}.sock", std::process::id()));
+        let uds = fabric_run(
+            &Endpoint::Uds(path),
+            eval,
+            warmup,
+            &StreamConfig { shards: 2, window_secs: 1.0, ..Default::default() },
+            &FabricConfig {
+                workers: 2,
+                drain: Some(DrainPlan { peer: 1, at_seq: eval.len() as u64 / 2 }),
+                ..Default::default()
+            },
+            &telemetry,
+            &mut failures,
+        );
+        if let Some(uds) = &uds {
+            check_parity("uds", &single, uds, &mut failures);
+            let drain_events: Vec<_> =
+                uds.report.scale_events.iter().filter(|e| e.trigger_pps == 0.0).collect();
+            drains = drain_events.len();
+            drain_migrated = drain_events.iter().map(|e| e.migrated_flows).sum();
+            if drains == 0 {
+                failures.push("uds: drain plan retired no shards".to_string());
+            }
+            if drain_migrated == 0 {
+                failures.push("uds: drained worker surrendered no flow state".to_string());
+            }
+        }
+        uds
+    };
+    #[cfg(not(unix))]
+    let uds: Option<StreamRun> = None;
+
+    let frames = telemetry.counter("fabric_frames_total").get();
+    let bytes = telemetry.counter("fabric_bytes_total").get();
+    let reconnects = telemetry.counter("fabric_reconnects_total").get();
+
+    let scale_name = match scale {
+        ScenarioScale::Tiny => "tiny",
+        ScenarioScale::Small => "small",
+        ScenarioScale::Full => "full",
+    };
+    let tcp_parity = tcp.is_some() && !failures.iter().any(|f| f.starts_with("tcp"));
+    let uds_parity = uds.is_some() && !failures.iter().any(|f| f.starts_with("uds"));
+    let json = format!(
+        "{{\"bench\":\"fig_multinode\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
+         \"workers\":2,\"detector\":\"Slips\",\
+         \"policy\":{{\"min_shards\":1,\"max_shards\":4,\"scale_up_pps\":{},\
+         \"scale_down_pps\":{},\"vnodes\":32}},\
+         \"fabric\":{{\"frames\":{frames},\"bytes\":{bytes},\"reconnects\":{reconnects},\
+         \"cross_peer_migrations\":{cross_peer}}},\
+         \"summary\":{{\"tcp_parity\":{tcp_parity},\"uds_parity\":{uds_parity},\
+         \"scale_ups\":{ups},\"scale_downs\":{downs},\"migrated_flows\":{migrated},\
+         \"drain_events\":{drains},\"drain_migrated_flows\":{drain_migrated}}},\
+         \"report\":{}}}",
+        plan.burst_pps() / 2.0,
+        plan.quiet_pps() * 2.0,
+        match &tcp {
+            Some(run) => run.report.to_json(),
+            None => "null".to_string(),
+        },
+    );
+    if let Err(e) = std::fs::write("BENCH_multinode.json", format!("{json}\n")) {
+        eprintln!("# failed to write BENCH_multinode.json: {e}");
+    }
+    println!("BENCH {json}");
+    if let Err(e) =
+        std::fs::write("TELEMETRY_multinode.json", format!("{}\n", telemetry.json_snapshot()))
+    {
+        eprintln!("# failed to write TELEMETRY_multinode.json: {e}");
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "# multinode parity holds: {} scores over tcp+uds, {cross_peer} cross-peer \
+             migrations, {drains} drain retirements",
+            single.scores.len()
+        );
+    } else {
+        for failure in &failures {
+            eprintln!("# PARITY GATE FAILED: {failure}");
+        }
+        if require_parity {
+            std::process::exit(1);
+        }
+    }
+}

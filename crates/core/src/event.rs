@@ -64,7 +64,7 @@
 
 use idsbench_flow::{FlowFeatures, FlowKey, FlowRecord, FlowTable, FlowTableConfig};
 use idsbench_net::fasthash::FastMap;
-use idsbench_net::ParsedPacket;
+use idsbench_net::{Duration, ParsedPacket, Timestamp};
 
 use crate::detector::{InputFormat, LabeledFlow};
 use crate::label::{Label, LabeledPacket};
@@ -218,19 +218,25 @@ pub trait EventDetector: Send {
     /// delivers the returned state to the new owner's
     /// [`EventDetector::absorb_flow_state`].
     ///
+    /// The state is a detector-private byte encoding: the receiving side is
+    /// always another instance of the *same* detector, so the format needs
+    /// no self-description — but it must be bytes, because ownership moves
+    /// can now cross process (and host) boundaries over the fabric wire,
+    /// where a `Box<dyn Any>` cannot travel.
+    ///
     /// Only state keyed *by this exact flow* belongs here. Entity-keyed
     /// state (per-host profiles, per-channel statistics) is deliberately
     /// shard-local and must not be extracted — it is shared across flows,
     /// so multi-shard partitioning of it is an evaluation variable, not a
     /// bug. The default (no per-flow state) returns `None`.
-    fn extract_flow_state(&mut self, _key: &FlowKey) -> Option<Box<dyn std::any::Any + Send>> {
+    fn extract_flow_state(&mut self, _key: &FlowKey) -> Option<Vec<u8>> {
         None
     }
 
     /// Adopts per-flow state extracted from another instance of the same
     /// detector by [`EventDetector::extract_flow_state`]. The default drops
     /// it.
-    fn absorb_flow_state(&mut self, _key: &FlowKey, _state: Box<dyn std::any::Any + Send>) {}
+    fn absorb_flow_state(&mut self, _key: &FlowKey, _state: Vec<u8>) {}
 }
 
 impl EventDetector for Box<dyn EventDetector> {
@@ -250,11 +256,11 @@ impl EventDetector for Box<dyn EventDetector> {
         self.as_mut().on_event(event)
     }
 
-    fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Box<dyn std::any::Any + Send>> {
+    fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Vec<u8>> {
         self.as_mut().extract_flow_state(key)
     }
 
-    fn absorb_flow_state(&mut self, key: &FlowKey, state: Box<dyn std::any::Any + Send>) {
+    fn absorb_flow_state(&mut self, key: &FlowKey, state: Vec<u8>) {
         self.as_mut().absorb_flow_state(key, state);
     }
 }
@@ -268,6 +274,7 @@ impl EventDetector for Box<dyn EventDetector> {
 /// its label fold persists), the folded ground-truth [`Label`], and the
 /// detector's private per-flow state
 /// ([`EventDetector::extract_flow_state`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowMigration {
     /// Canonical flow key whose ownership moved.
     pub key: FlowKey,
@@ -275,25 +282,36 @@ pub struct FlowMigration {
     pub record: Option<FlowRecord>,
     /// The label fold accumulated for this key so far.
     pub label: Label,
-    /// Opaque detector per-flow state, if the detector keeps any.
-    pub detector: Option<Box<dyn std::any::Any + Send>>,
-}
-
-impl std::fmt::Debug for FlowMigration {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FlowMigration")
-            .field("key", &self.key)
-            .field("record", &self.record)
-            .field("label", &self.label)
-            .field("detector", &self.detector.as_ref().map(|_| "<opaque>"))
-            .finish()
-    }
+    /// Traffic time of the last packet that touched the label fold —
+    /// carried so the new owner expires the fold on the same clock the old
+    /// owner would have ([`FlowEventAssembler`] dead-tuple expiry).
+    pub label_seen: Timestamp,
+    /// Opaque detector per-flow state, if the detector keeps any
+    /// ([`EventDetector::extract_flow_state`]'s private byte encoding).
+    pub detector: Option<Vec<u8>>,
 }
 
 /// A named factory producing fresh [`EventDetector`] instances — one per
 /// grid cell in the batch runner, one per shard in the streaming executor,
 /// so no state leaks between datasets or flow partitions.
 pub type EventFactory<'a> = Box<dyn Fn() -> Box<dyn EventDetector> + Send + Sync + 'a>;
+
+/// One key's accumulated ground-truth fold plus the traffic time of the
+/// last packet that touched it — the unit of the bounded label inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LabelEntry {
+    label: Label,
+    last_seen: Timestamp,
+}
+
+/// Default dead-tuple horizon for the label fold: a tuple silent this long
+/// is treated as gone for good, and a later reopen starts a fresh label.
+/// Chosen well above the flow-table timeouts so every shipped scenario's
+/// scores are unchanged by the bound.
+const DEFAULT_LABEL_HORIZON: Duration = Duration::from_secs(600);
+
+/// Minimum label-fold size before the amortized physical purge first runs.
+const LABEL_PURGE_MIN: usize = 1024;
 
 /// Turns a parsed packet stream into labeled [`Event::FlowEvicted`] events.
 ///
@@ -304,16 +322,53 @@ pub type EventFactory<'a> = Box<dyn Fn() -> Box<dyn EventDetector> + Send + Sync
 /// datasets. Both replay drivers — batch and each streaming shard — run one
 /// assembler over the packets they own, which is what makes their flow
 /// event streams identical for identically-routed traffic.
+///
+/// # Bounded label fold
+///
+/// Labels persist beyond flow eviction so a reopened 5-tuple inherits the
+/// attack fold — but not forever. A tuple with no traffic for the *label
+/// horizon* (default 10 minutes, always at least `idle_timeout +
+/// time_wait`) is considered gone for good: a later reopen starts a fresh
+/// label, and the entry becomes purgeable. The expiry predicate is pure
+/// traffic time on the tuple's own packets, so every run shape — batch,
+/// single shard, autoscaled, multi-process — makes the identical label
+/// decisions no matter when the physical purge happens to run.
 #[derive(Debug)]
 pub struct FlowEventAssembler {
     table: FlowTable,
-    labels: FastMap<FlowKey, Label>,
+    labels: FastMap<FlowKey, LabelEntry>,
+    /// Dead-tuple expiry horizon, clamped to at least `label_floor`.
+    label_horizon: Duration,
+    /// `idle_timeout + time_wait`: the longest a tuple can sit in the flow
+    /// table between packets, hence the shortest sound horizon.
+    label_floor: Duration,
+    /// Latest packet timestamp observed (the purge/migration clock).
+    last_ts: Timestamp,
+    /// Next fold size at which the amortized purge fires.
+    purge_at: usize,
 }
 
 impl FlowEventAssembler {
     /// Creates an assembler with an empty flow table.
     pub fn new(config: FlowTableConfig) -> Self {
-        FlowEventAssembler { table: FlowTable::new(config), labels: FastMap::new() }
+        let floor = config.idle_timeout + config.time_wait;
+        FlowEventAssembler {
+            table: FlowTable::new(config),
+            labels: FastMap::new(),
+            label_horizon: DEFAULT_LABEL_HORIZON.max(floor),
+            label_floor: floor,
+            last_ts: Timestamp::ZERO,
+            purge_at: LABEL_PURGE_MIN,
+        }
+    }
+
+    /// Sets the dead-tuple label horizon (see the type docs). Clamped up to
+    /// `idle_timeout + time_wait`: anything shorter could expire the label
+    /// of a flow that is still sitting in the table, which would let the
+    /// purge schedule change scores.
+    pub fn with_label_horizon(mut self, horizon: Duration) -> Self {
+        self.label_horizon = horizon.max(self.label_floor);
+        self
     }
 
     /// Feeds one parsed view; evicted flows (if any) are handed to `emit`
@@ -323,20 +378,39 @@ impl FlowEventAssembler {
         let Some(parsed) = &view.parsed else {
             return;
         };
+        let now = parsed.ts;
+        // Fold this packet's label — unless the tuple's fold has expired.
+        // An expired fold must stay intact through the table sweep below
+        // (the sweep may still emit the tuple's *previous* record, which
+        // belongs to the old fold) and is replaced afterwards.
+        let mut expired_reopen: Option<FlowKey> = None;
         if let Some(key) = view.flow_key {
             match self.labels.get_mut(&key) {
-                Some(existing) => {
-                    if !existing.is_attack() && view.packet.label.is_attack() {
-                        *existing = view.packet.label;
+                Some(entry) => {
+                    if now.saturating_since(entry.last_seen) > self.label_horizon {
+                        expired_reopen = Some(key);
+                    } else {
+                        if !entry.label.is_attack() && view.packet.label.is_attack() {
+                            entry.label = view.packet.label;
+                        }
+                        entry.last_seen = now;
                     }
                 }
                 None => {
-                    self.labels.insert(key, view.packet.label);
+                    self.labels
+                        .insert(key, LabelEntry { label: view.packet.label, last_seen: now });
                 }
             }
         }
         let labels = &self.labels;
         self.table.observe_with(parsed, |record| emit(Self::labeled(labels, record)));
+        if let Some(key) = expired_reopen {
+            self.labels.insert(key, LabelEntry { label: view.packet.label, last_seen: now });
+        }
+        self.last_ts = now;
+        if self.labels.len() >= self.purge_at {
+            self.purge_expired();
+        }
     }
 
     /// Emits every flow still open, in first-seen order (end of stream).
@@ -358,39 +432,52 @@ impl FlowEventAssembler {
     /// single-shard run. Migrations are returned sorted by key, so the
     /// handoff is deterministic regardless of map iteration order.
     ///
-    /// Cost note: because the fold persists, this scan (and the migration
-    /// volume) grows with every flow the shard has *ever* seen, not its
-    /// live flows — on very long streams, rebalance latency therefore
-    /// creeps up with history. Bounding that (range-bucketing the fold by
-    /// ring position, or expiring dead-tuple labels once reopen is
-    /// impossible) is a named ROADMAP follow-on.
+    /// Expired dead tuples (no open record, silent past the label horizon)
+    /// are dropped rather than migrated: any reopen resets their fold
+    /// anyway, so shipping them would only re-seed the new owner with
+    /// history it is about to discard. Together with the amortized purge
+    /// this bounds the scan and the migration volume by recent traffic, not
+    /// by everything the shard has ever seen.
     pub fn extract_departing(&mut self, owned: impl Fn(&FlowKey) -> bool) -> Vec<FlowMigration> {
         let mut departing: Vec<FlowKey> =
             self.labels.keys().filter(|key| !owned(key)).copied().collect();
         departing.sort_unstable();
-        departing
-            .into_iter()
-            .map(|key| FlowMigration {
+        let now = self.last_ts;
+        let mut migrations = Vec::with_capacity(departing.len());
+        for key in departing {
+            let entry = self.labels.remove(&key).expect("departing key came from the label fold");
+            let record = self.table.extract(&key);
+            if record.is_none() && now.saturating_since(entry.last_seen) > self.label_horizon {
+                continue;
+            }
+            migrations.push(FlowMigration {
                 key,
-                record: self.table.extract(&key),
-                label: self.labels.remove(&key).expect("departing key came from the label fold"),
+                record,
+                label: entry.label,
+                label_seen: entry.last_seen,
                 detector: None,
-            })
-            .collect()
+            });
+        }
+        migrations
     }
 
     /// Adopts one migrated flow: the label fold merges (attack wins, the
-    /// same rule [`FlowEventAssembler::observe`] applies) and the open
-    /// record, if any, resumes aggregating in this assembler's table.
+    /// same rule [`FlowEventAssembler::observe`] applies), the fold clock
+    /// keeps the later of the two `label_seen` times, and the open record,
+    /// if any, resumes aggregating in this assembler's table.
     pub fn absorb(&mut self, migration: FlowMigration) {
         match self.labels.get_mut(&migration.key) {
-            Some(existing) => {
-                if !existing.is_attack() && migration.label.is_attack() {
-                    *existing = migration.label;
+            Some(entry) => {
+                if !entry.label.is_attack() && migration.label.is_attack() {
+                    entry.label = migration.label;
                 }
+                entry.last_seen = entry.last_seen.max(migration.label_seen);
             }
             None => {
-                self.labels.insert(migration.key, migration.label);
+                self.labels.insert(
+                    migration.key,
+                    LabelEntry { label: migration.label, last_seen: migration.label_seen },
+                );
             }
         }
         if let Some(record) = migration.record {
@@ -403,8 +490,28 @@ impl FlowEventAssembler {
         self.table.active_flows()
     }
 
-    fn labeled(labels: &FastMap<FlowKey, Label>, record: FlowRecord) -> LabeledFlow {
-        let label = labels.get(&record.key).copied().unwrap_or(Label::Benign);
+    /// Number of keys currently held by the label fold (live flows plus
+    /// dead tuples still within the label horizon, up to purge slack).
+    pub fn label_entries(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Physically drops expired dead tuples from the fold. Entries whose
+    /// record is still in the flow table are always kept (their eventual
+    /// eviction must read the old fold), so purge timing is unobservable:
+    /// every read path either finds the entry live or would have reset it.
+    fn purge_expired(&mut self) {
+        let table = &self.table;
+        let horizon = self.label_horizon;
+        let now = self.last_ts;
+        self.labels.retain(|key, entry| {
+            now.saturating_since(entry.last_seen) <= horizon || table.contains(key)
+        });
+        self.purge_at = (self.labels.len() * 2).max(LABEL_PURGE_MIN);
+    }
+
+    fn labeled(labels: &FastMap<FlowKey, LabelEntry>, record: FlowRecord) -> LabeledFlow {
+        let label = labels.get(&record.key).map(|entry| entry.label).unwrap_or(Label::Benign);
         let features = FlowFeatures::from_record(&record);
         LabeledFlow { record, features, label }
     }
@@ -503,6 +610,100 @@ mod tests {
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].record.total_packets(), 3, "pre-handoff packets survive");
         assert!(flows[0].label.is_attack(), "label fold survives the handoff");
+    }
+
+    #[test]
+    fn label_fold_plateaus_under_short_lived_flow_churn() {
+        let config = FlowTableConfig {
+            idle_timeout: Duration::from_secs(1),
+            active_timeout: Duration::from_secs(60),
+            time_wait: Duration::from_secs(1),
+            max_flows: 4096,
+        };
+        let mut assembler =
+            FlowEventAssembler::new(config).with_label_horizon(Duration::from_secs(4));
+        // A long stream of one-packet flows: a fresh source port every
+        // packet, ten packets per traffic-second. Before the bound, the
+        // fold kept every tuple ever seen and this grew without limit.
+        let total = 8_000u32;
+        let mut peak = 0usize;
+        for i in 0..total {
+            let t = f64::from(i) * 0.1;
+            let port = 2_000 + (i % 60_000) as u16;
+            let view = tcp_view((1, port), (2, 80), t, Label::Benign);
+            assembler.observe(&view, |_| {});
+            peak = peak.max(assembler.label_entries());
+        }
+        assert!(
+            peak <= 2 * 1024 + 64,
+            "label fold failed to plateau: peak {peak} of {total} tuples"
+        );
+        assert!(assembler.label_entries() < total as usize / 4);
+    }
+
+    #[test]
+    fn expired_dead_tuple_reopens_with_a_fresh_label() {
+        let config = FlowTableConfig {
+            idle_timeout: Duration::from_secs(1),
+            active_timeout: Duration::from_secs(60),
+            time_wait: Duration::from_secs(1),
+            max_flows: 4096,
+        };
+        let mut assembler =
+            FlowEventAssembler::new(config).with_label_horizon(Duration::from_secs(4));
+        // An attack-labeled flow dies, then the same 5-tuple reopens far
+        // past the horizon with benign traffic.
+        let mut evicted = Vec::new();
+        assembler.observe(
+            &tcp_view((1, 40_000), (2, 80), 0.0, Label::Attack(AttackKind::PortScan)),
+            |flow| evicted.push(flow),
+        );
+        assembler.observe(&tcp_view((1, 40_000), (2, 80), 100.0, Label::Benign), |flow| {
+            evicted.push(flow)
+        });
+        // The old record idled out, swept by the reopening packet — and it
+        // must still carry the old attack fold.
+        assert_eq!(evicted.len(), 1);
+        assert!(evicted[0].label.is_attack(), "old segment keeps the old fold");
+        // The reopened segment starts fresh: no inherited attack label.
+        let flows = assembler.flush();
+        assert_eq!(flows.len(), 1);
+        assert!(!flows[0].label.is_attack(), "expired fold must not leak into the reopen");
+
+        // Inside the horizon the fold still carries over (unchanged rule).
+        let mut assembler =
+            FlowEventAssembler::new(config).with_label_horizon(Duration::from_secs(400));
+        let mut evicted = Vec::new();
+        assembler.observe(
+            &tcp_view((1, 40_000), (2, 80), 0.0, Label::Attack(AttackKind::PortScan)),
+            |flow| evicted.push(flow),
+        );
+        assembler.observe(&tcp_view((1, 40_000), (2, 80), 100.0, Label::Benign), |flow| {
+            evicted.push(flow)
+        });
+        let flows = assembler.flush();
+        assert_eq!(flows.len(), 1);
+        assert!(flows[0].label.is_attack(), "in-horizon reopen inherits the fold");
+    }
+
+    #[test]
+    fn expired_dead_tuples_are_dropped_from_migration() {
+        let config = FlowTableConfig {
+            idle_timeout: Duration::from_secs(1),
+            active_timeout: Duration::from_secs(60),
+            time_wait: Duration::from_secs(1),
+            max_flows: 4096,
+        };
+        let mut donor = FlowEventAssembler::new(config).with_label_horizon(Duration::from_secs(4));
+        // One tuple dies early, another stays live until the handoff.
+        donor.observe(&tcp_view((1, 40_000), (2, 80), 0.0, Label::Benign), |_| {});
+        donor.observe(&tcp_view((3, 41_000), (2, 80), 50.0, Label::Benign), |_| {});
+        let migrations = donor.extract_departing(|_| false);
+        assert_eq!(migrations.len(), 1, "expired dead tuple must not be shipped");
+        assert_eq!(
+            migrations[0].key,
+            tcp_view((3, 41_000), (2, 80), 0.0, Label::Benign).flow_key.unwrap()
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod fasthash {
 mod detector;
 mod error;
 pub mod event;
+pub mod json;
 mod label;
 pub mod metrics;
 pub mod preprocess;

@@ -59,42 +59,26 @@ impl ScaleEvent {
     /// journal, so the two outputs join byte-for-byte. Integral floats
     /// print without a fraction; non-finite values encode as `null`.
     pub fn to_json(&self) -> String {
+        use crate::json::num_field;
         let mut out = String::with_capacity(128);
         out.push('{');
-        scale_json_num(&mut out, "seq", self.seq as f64);
+        num_field(&mut out, "seq", self.seq as f64);
         out.push(',');
-        scale_json_num(&mut out, "at_secs", self.at_secs);
+        num_field(&mut out, "at_secs", self.at_secs);
         out.push(',');
-        scale_json_num(&mut out, "window", self.window as f64);
+        num_field(&mut out, "window", self.window as f64);
         out.push(',');
-        scale_json_num(&mut out, "from_shards", self.from_shards as f64);
+        num_field(&mut out, "from_shards", self.from_shards as f64);
         out.push(',');
-        scale_json_num(&mut out, "to_shards", self.to_shards as f64);
+        num_field(&mut out, "to_shards", self.to_shards as f64);
         out.push(',');
-        scale_json_num(&mut out, "trigger_pps", self.trigger_pps);
+        num_field(&mut out, "trigger_pps", self.trigger_pps);
         out.push(',');
-        scale_json_num(&mut out, "migrated_flows", self.migrated_flows as f64);
+        num_field(&mut out, "migrated_flows", self.migrated_flows as f64);
         out.push(',');
-        scale_json_num(&mut out, "rebalance_micros", self.rebalance_micros as f64);
+        num_field(&mut out, "rebalance_micros", self.rebalance_micros as f64);
         out.push('}');
         out
-    }
-}
-
-/// `"key":value` with the report JSON conventions (kept in sync with
-/// `idsbench-stream`'s `report::json_num`).
-fn scale_json_num(out: &mut String, key: &str, value: f64) {
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\":");
-    if value.is_finite() {
-        if value.fract() == 0.0 && value.abs() < 9e15 {
-            let _ = write!(out, "{}", value as i64);
-        } else {
-            let _ = write!(out, "{value}");
-        }
-    } else {
-        out.push_str("null");
     }
 }
 

@@ -1,0 +1,579 @@
+//! The fabric coordinator: the feeder half of the sharded executor, driving
+//! remote shard pools over sockets instead of threads over channels.
+//!
+//! [`run_fabric`] accepts `workers` connections, handshakes each peer,
+//! streams the warmup slice to all of them (every worker assembles the same
+//! shared train view, like the in-process executor's single
+//! `TrainView::assemble`), spawns the initial shards round-robin across
+//! peers, and then runs the *same* feed loop as
+//! [`run_stream`](idsbench_stream::run_stream): parse once for routing,
+//! observe the [`Autoscaler`], route by canonical flow key over the
+//! [`HashRing`], batch per shard, and enact scale decisions behind the
+//! drain-then-migrate barrier — here a socket round-trip per affected
+//! shard, whose per-peer latency lands in the `rebalance` stage histogram
+//! when telemetry is attached.
+//!
+//! Ordering gives the same correctness argument as the channel executor:
+//! per-socket FIFO means a `Rebalance` provably trails every batch routed
+//! under the old ring (the worker's `Migrations` reply is the drain
+//! proof), and a `Migrate` provably precedes every batch routed under the
+//! new ring. Cross-peer migrations ride through the coordinator, which
+//! counts them into `fabric_cross_peer_migrations_total`.
+//!
+//! A [`DrainPlan`] retires an entire worker mid-stream — every shard it
+//! hosts is drained and its flow state (detector per-flow blobs included)
+//! migrated to survivors — after which the peer receives no new shards.
+//! The drained worker stays connected so its earlier outcomes are already
+//! safe and its `Bye` still closes the run cleanly.
+
+use std::time::Instant;
+
+use idsbench_core::{FlowMigration, ScaleEvent};
+use idsbench_stream::{
+    merge_outcomes, Autoscaler, HashRing, LiveSignals, PacketSource, ScaleDirection, ShardOutcome,
+    StreamConfig, StreamRun, DEFAULT_VNODES,
+};
+use idsbench_telemetry::{Stage, StageHistogram, Telemetry};
+
+use crate::transport::FabricListener;
+use crate::wire::{CoordMsg, HelloConfig, RingSnapshot, WireItem, WirePacket};
+use crate::{recv_body, send_msg, FabricCounters, FabricError, ShardTransport, WorkerMsg};
+
+use idsbench_core::LabeledPacket;
+use idsbench_core::ParsedView;
+use std::sync::Arc;
+
+/// Warmup packets per `Train` frame: large enough to amortize framing,
+/// small enough to keep peak frame size well under [`crate::FRAME_MAX`].
+const TRAIN_CHUNK: usize = 512;
+
+/// Retire one worker mid-stream: when the feeder reaches `at_seq`, every
+/// shard hosted on peer `peer` is drained (rebalance barrier, state
+/// migrated to survivors) and the peer stops receiving shards. Models a
+/// planned node decommission — the acceptance bar is zero lost flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainPlan {
+    /// Peer index in accept order.
+    pub peer: usize,
+    /// Global packet sequence at (or after) which the drain runs.
+    pub at_seq: u64,
+}
+
+/// Fabric-level run parameters, alongside the per-run [`StreamConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricConfig {
+    /// Worker connections to accept before the run starts.
+    pub workers: usize,
+    /// How long to wait for each worker to dial in.
+    pub accept_timeout: std::time::Duration,
+    /// Per-peer socket send/receive timeout; `None` blocks forever. A peer
+    /// that stalls longer than this fails the run instead of hanging it.
+    pub io_timeout: Option<std::time::Duration>,
+    /// Optional mid-stream worker decommission.
+    pub drain: Option<DrainPlan>,
+}
+
+impl Default for FabricConfig {
+    /// Two workers, 30 s accept window, 60 s per-peer I/O timeout, no
+    /// drain.
+    fn default() -> Self {
+        FabricConfig {
+            workers: 2,
+            accept_timeout: std::time::Duration::from_secs(30),
+            io_timeout: Some(std::time::Duration::from_secs(60)),
+            drain: None,
+        }
+    }
+}
+
+/// One connected worker process.
+struct Peer {
+    transport: ShardTransport,
+    /// Shard ids currently hosted here.
+    shards: Vec<usize>,
+    /// A drained peer keeps its socket (for `Finish`/`Bye`) but receives
+    /// no new shards.
+    drained: bool,
+    /// Rebalance barrier round-trip latencies to this peer.
+    rtt: Option<Arc<StageHistogram>>,
+}
+
+impl std::fmt::Debug for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Peer")
+            .field("shards", &self.shards)
+            .field("drained", &self.drained)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Feeder-side handle to one remote shard: which peer hosts it and the
+/// partial batch accumulating for it. Kept sorted by shard id.
+struct CoordSlot {
+    shard: usize,
+    peer: usize,
+    batch: Vec<WireItem>,
+}
+
+fn wire_packet(lp: &LabeledPacket) -> WirePacket {
+    WirePacket {
+        ts_micros: lp.packet.ts.as_micros(),
+        label: lp.label,
+        data: lp.packet.data.to_vec(),
+    }
+}
+
+fn send_to(
+    peer: &mut Peer,
+    msg: &CoordMsg,
+    counters: Option<&FabricCounters>,
+) -> Result<(), FabricError> {
+    send_msg(&mut peer.transport, &msg.encode(), counters)
+}
+
+fn recv_from(peer: &mut Peer, counters: Option<&FabricCounters>) -> Result<WorkerMsg, FabricError> {
+    let body = recv_body(&mut peer.transport, counters)?;
+    Ok(WorkerMsg::decode(&body)?)
+}
+
+/// Runs the drain barrier for one shard against the new ring: sends
+/// `Rebalance`, awaits `Migrations`, records the round-trip on the peer's
+/// RTT histogram, and returns the extracted flows tagged with their source
+/// peer.
+fn rebalance_shard(
+    peers: &mut [Peer],
+    peer_index: usize,
+    shard: usize,
+    snapshot: &RingSnapshot,
+    counters: Option<&FabricCounters>,
+) -> Result<Vec<(usize, FlowMigration)>, FabricError> {
+    let peer = &mut peers[peer_index];
+    let started = Instant::now();
+    send_to(peer, &CoordMsg::Rebalance { shard: shard as u32, ring: snapshot.clone() }, counters)?;
+    let reply = recv_from(peer, counters)?;
+    if let Some(rtt) = &peer.rtt {
+        rtt.record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    match reply {
+        WorkerMsg::Migrations { shard: echoed, migrations } if echoed as usize == shard => {
+            Ok(migrations.into_iter().map(|m| (peer_index, m)).collect())
+        }
+        other => Err(FabricError::Protocol(format!(
+            "expected Migrations for shard {shard}, got {other:?}"
+        ))),
+    }
+}
+
+/// Delivers extracted flows to their new owners, counting the ones that
+/// crossed a process boundary.
+fn deliver_migrations(
+    peers: &mut [Peer],
+    slots: &[CoordSlot],
+    ring: &HashRing,
+    moved: Vec<(usize, FlowMigration)>,
+    counters: Option<&FabricCounters>,
+) -> Result<usize, FabricError> {
+    let count = moved.len();
+    let mut groups: Vec<(usize, Vec<(usize, FlowMigration)>)> = Vec::new();
+    for (source_peer, migration) in moved {
+        let owner = ring.owner_of(&migration.key);
+        match groups.iter_mut().find(|(shard, _)| *shard == owner) {
+            Some((_, flows)) => flows.push((source_peer, migration)),
+            None => groups.push((owner, vec![(source_peer, migration)])),
+        }
+    }
+    for (owner, tagged) in groups {
+        let slot = slots.iter().find(|slot| slot.shard == owner).expect("ring owner is live");
+        if let Some(counters) = counters {
+            let crossed =
+                tagged.iter().filter(|(source_peer, _)| *source_peer != slot.peer).count();
+            counters.cross_peer_migrations.add(crossed as u64);
+        }
+        let migrations = tagged.into_iter().map(|(_, migration)| migration).collect();
+        send_to(
+            &mut peers[slot.peer],
+            &CoordMsg::Migrate { shard: owner as u32, migrations },
+            counters,
+        )?;
+    }
+    Ok(count)
+}
+
+/// Flushes every partial batch so all packets routed under the current
+/// ring are on their sockets before any control frame follows them.
+fn flush_batches(
+    peers: &mut [Peer],
+    slots: &mut [CoordSlot],
+    counters: Option<&FabricCounters>,
+) -> Result<(), FabricError> {
+    for slot in slots.iter_mut() {
+        if !slot.batch.is_empty() {
+            let items = std::mem::take(&mut slot.batch);
+            send_to(
+                &mut peers[slot.peer],
+                &CoordMsg::Batch { shard: slot.shard as u32, items },
+                counters,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Retires one shard behind the drain barrier: rebalance → migrations →
+/// `Retire` → stored outcome → state handed to survivors. The ring must
+/// already have the shard removed and `slots` must still contain it.
+fn retire_shard(
+    peers: &mut [Peer],
+    slots: &mut Vec<CoordSlot>,
+    ring: &HashRing,
+    victim: usize,
+    outcomes: &mut Vec<ShardOutcome>,
+    counters: Option<&FabricCounters>,
+) -> Result<usize, FabricError> {
+    let at = slots
+        .binary_search_by_key(&victim, |slot| slot.shard)
+        .map_err(|_| FabricError::Protocol(format!("retiring unknown shard {victim}")))?;
+    let slot = slots.remove(at);
+    debug_assert!(slot.batch.is_empty(), "retire without flushing first");
+    let snapshot = RingSnapshot::from_ring(ring);
+    let moved = rebalance_shard(peers, slot.peer, victim, &snapshot, counters)?;
+    let peer = &mut peers[slot.peer];
+    send_to(peer, &CoordMsg::Retire { shard: victim as u32 }, counters)?;
+    match recv_from(peer, counters)? {
+        WorkerMsg::Outcome(outcome) if outcome.shard == victim => outcomes.push(outcome),
+        other => {
+            return Err(FabricError::Protocol(format!(
+                "expected Outcome for retired shard {victim}, got {other:?}"
+            )))
+        }
+    }
+    let index = peers[slot.peer].shards.iter().position(|&s| s == victim);
+    if let Some(index) = index {
+        peers[slot.peer].shards.remove(index);
+    }
+    deliver_migrations(peers, slots, ring, moved, counters)
+}
+
+/// The live non-drained peer hosting the fewest shards (ties go to the
+/// lowest index) — where the next scale-up shard spawns.
+fn least_loaded_peer(peers: &[Peer]) -> Result<usize, FabricError> {
+    peers
+        .iter()
+        .enumerate()
+        .filter(|(_, peer)| !peer.drained)
+        .min_by_key(|(index, peer)| (peer.shards.len(), *index))
+        .map(|(index, _)| index)
+        .ok_or_else(|| FabricError::Protocol("every peer is drained".to_string()))
+}
+
+/// Spawns shard `id` on `peer_index` and waits for its `Ready`.
+fn spawn_shard(
+    peers: &mut [Peer],
+    peer_index: usize,
+    id: usize,
+    counters: Option<&FabricCounters>,
+) -> Result<(), FabricError> {
+    let peer = &mut peers[peer_index];
+    send_to(peer, &CoordMsg::Spawn { shard: id as u32 }, counters)?;
+    match recv_from(peer, counters)? {
+        WorkerMsg::Ready { shard, .. } if shard as usize == id => {
+            peer.shards.push(id);
+            Ok(())
+        }
+        other => {
+            Err(FabricError::Protocol(format!("expected Ready for shard {id}, got {other:?}")))
+        }
+    }
+}
+
+/// Runs one multi-node streaming evaluation over an already-bound
+/// listener: accepts `fabric.workers` worker connections, drives the
+/// stream, and merges the remote outcome fragments into the same
+/// [`StreamRun`] the in-process executor produces.
+///
+/// `detector` is resolved *by the workers* (their
+/// [`DetectorResolver`](crate::worker::DetectorResolver)); the coordinator
+/// never instantiates it. Telemetry attaches the fabric counters, per-peer
+/// rebalance RTT histograms, and the `live_shards` gauge.
+///
+/// # Errors
+///
+/// [`FabricError`] when a worker fails to connect in time, a handshake or
+/// protocol step goes wrong, a socket fails (or times out under
+/// [`FabricConfig::io_timeout`]), or the packet source errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fabric(
+    detector: &str,
+    warmup: &[LabeledPacket],
+    mut source: impl PacketSource,
+    config: &StreamConfig,
+    fabric: &FabricConfig,
+    listener: FabricListener,
+    telemetry: Option<&Telemetry>,
+) -> Result<StreamRun, FabricError> {
+    if fabric.workers == 0 {
+        return Err(FabricError::Protocol("fabric needs at least one worker".to_string()));
+    }
+    if config.shards == 0 || config.batch_size == 0 {
+        return Err(FabricError::Protocol("shards and batch_size must be >= 1".to_string()));
+    }
+    if let Some(plan) = &fabric.drain {
+        if plan.peer >= fabric.workers {
+            return Err(FabricError::Protocol(format!(
+                "drain plan names peer {} of {}",
+                plan.peer, fabric.workers
+            )));
+        }
+    }
+    let source_name = source.name().to_string();
+    let counters = telemetry.map(FabricCounters::register);
+    let counters = counters.as_ref();
+    let hello = HelloConfig::from_stream(detector, config);
+
+    // ---- Accept + handshake every peer. ----
+    let mut peers: Vec<Peer> = Vec::with_capacity(fabric.workers);
+    for index in 0..fabric.workers {
+        let transport = listener.accept_timeout(fabric.accept_timeout)?;
+        transport.set_io_timeout(fabric.io_timeout)?;
+        peers.push(Peer {
+            transport,
+            shards: Vec::new(),
+            drained: false,
+            rtt: telemetry.map(|t| t.stage(Stage::Rebalance, Some(index))),
+        });
+    }
+    let mut detector_name = detector.to_string();
+    for peer in &mut peers {
+        send_to(peer, &CoordMsg::Hello(hello.clone()), counters)?;
+        match recv_from(peer, counters)? {
+            WorkerMsg::HelloOk { detector: resolved, .. } => detector_name = resolved,
+            other => {
+                return Err(FabricError::Protocol(format!("expected HelloOk, got {other:?}")));
+            }
+        }
+    }
+
+    // ---- Train phase: stream warmup to every peer, then the initial
+    // spawn barrier. `assembly_seconds` covers the whole phase (shipping +
+    // remote assembly + initial fits happen before the throughput clock).
+    let train_started = Instant::now();
+    for peer in &mut peers {
+        for chunk in warmup.chunks(TRAIN_CHUNK) {
+            let packets = chunk.iter().map(wire_packet).collect();
+            send_to(peer, &CoordMsg::Train(packets), counters)?;
+        }
+        send_to(peer, &CoordMsg::TrainDone, counters)?;
+    }
+    let vnodes = config.autoscale.map_or(DEFAULT_VNODES, |policy| policy.vnodes);
+    let mut ring = HashRing::with_shards(vnodes, config.shards);
+    let mut slots: Vec<CoordSlot> = Vec::with_capacity(config.shards);
+    for id in 0..config.shards {
+        let peer_index = id % peers.len();
+        spawn_shard(&mut peers, peer_index, id, counters)?;
+        slots.push(CoordSlot { shard: id, peer: peer_index, batch: Vec::new() });
+    }
+    let assembly_seconds = train_started.elapsed().as_secs_f64();
+    let live_shards = telemetry.map(|t| t.gauge("live_shards"));
+    if let Some(gauge) = &live_shards {
+        gauge.set(slots.len() as u64);
+    }
+
+    // ---- Feed loop: the socket-backed mirror of the executor's feeder.
+    // The coordinator's autoscaler runs on traffic-time rates only
+    // (`LiveSignals::default()`) — channel depth and shard p99 are
+    // process-local signals with no remote analog here, and their absence
+    // keeps multi-node scale decisions deterministic.
+    let clock = Instant::now();
+    let mut scaler = config.autoscale.map(|policy| Autoscaler::new(policy, config.window_secs));
+    let mut scale_events: Vec<ScaleEvent> = Vec::new();
+    let mut retired_outcomes: Vec<ShardOutcome> = Vec::new();
+    let mut next_id = config.shards;
+    let mut drain = fabric.drain;
+    let mut seq = 0u64;
+    loop {
+        let packet = match source.next_packet() {
+            Ok(Some(packet)) => packet,
+            Ok(None) => break,
+            Err(err) => return Err(FabricError::Protocol(format!("packet source failed: {err}"))),
+        };
+        // Parse for routing; the worker re-parses on arrival (one parse
+        // per process — raw bytes are what travel the wire).
+        let view = ParsedView::from_packet(packet);
+        let ts_micros = view.packet.packet.ts.as_micros();
+
+        // A planned drain fires like a scale decision: before this packet
+        // is routed, so it already travels under the post-drain ring.
+        if let Some(plan) = drain {
+            if seq >= plan.at_seq {
+                drain = None;
+                flush_batches(&mut peers, &mut slots, counters)?;
+                peers[plan.peer].drained = true;
+                let victims = peers[plan.peer].shards.clone();
+                for victim in victims {
+                    let from_shards = slots.len();
+                    let barrier = Instant::now();
+                    ring.remove_shard(victim);
+                    let moved = retire_shard(
+                        &mut peers,
+                        &mut slots,
+                        &ring,
+                        victim,
+                        &mut retired_outcomes,
+                        counters,
+                    )?;
+                    scale_events.push(ScaleEvent {
+                        seq,
+                        at_secs: ts_micros as f64 / 1e6,
+                        window: (ts_micros as f64 / 1e6 / config.window_secs) as u64,
+                        from_shards,
+                        to_shards: slots.len(),
+                        // A drain is an operator action, not a rate
+                        // trigger.
+                        trigger_pps: 0.0,
+                        migrated_flows: moved,
+                        rebalance_micros: barrier.elapsed().as_micros() as u64,
+                    });
+                }
+                if let Some(gauge) = &live_shards {
+                    gauge.set(slots.len() as u64);
+                }
+            }
+        }
+
+        if let Some(scaler) = &mut scaler {
+            scaler.observe_packet(ts_micros);
+            while scaler.has_pending() {
+                let Some(decision) = scaler.poll(slots.len(), LiveSignals::default()) else {
+                    break;
+                };
+                flush_batches(&mut peers, &mut slots, counters)?;
+                let from_shards = slots.len();
+                let barrier = Instant::now();
+                let moved = match decision.direction {
+                    ScaleDirection::Up => {
+                        let id = next_id;
+                        next_id += 1;
+                        let peer_index = least_loaded_peer(&peers)?;
+                        spawn_shard(&mut peers, peer_index, id, counters)?;
+                        ring.add_shard(id);
+                        let snapshot = RingSnapshot::from_ring(&ring);
+                        // Drain barrier across every pre-existing shard;
+                        // sequential round-trips keep per-socket ordering
+                        // trivially correct.
+                        let mut moved = Vec::new();
+                        let existing: Vec<(usize, usize)> =
+                            slots.iter().map(|slot| (slot.peer, slot.shard)).collect();
+                        for (peer_index, shard) in existing {
+                            moved.extend(rebalance_shard(
+                                &mut peers, peer_index, shard, &snapshot, counters,
+                            )?);
+                        }
+                        let at = slots.partition_point(|slot| slot.shard < id);
+                        slots.insert(
+                            at,
+                            CoordSlot { shard: id, peer: peer_index, batch: Vec::new() },
+                        );
+                        deliver_migrations(&mut peers, &slots, &ring, moved, counters)?
+                    }
+                    ScaleDirection::Down => {
+                        let victim =
+                            slots.iter().map(|slot| slot.shard).max().expect("pool is not empty");
+                        ring.remove_shard(victim);
+                        retire_shard(
+                            &mut peers,
+                            &mut slots,
+                            &ring,
+                            victim,
+                            &mut retired_outcomes,
+                            counters,
+                        )?
+                    }
+                };
+                scale_events.push(ScaleEvent {
+                    seq,
+                    at_secs: ts_micros as f64 / 1e6,
+                    window: decision.window,
+                    from_shards,
+                    to_shards: slots.len(),
+                    trigger_pps: decision.trigger_pps,
+                    migrated_flows: moved,
+                    rebalance_micros: barrier.elapsed().as_micros() as u64,
+                });
+                if let Some(gauge) = &live_shards {
+                    gauge.set(slots.len() as u64);
+                }
+            }
+        }
+
+        let owner = match &view.flow_key {
+            None => ring.first_shard(),
+            Some(key) => ring.owner_of(key),
+        };
+        let at = slots.binary_search_by_key(&owner, |slot| slot.shard).expect("ring owner is live");
+        let slot = &mut slots[at];
+        slot.batch.push(WireItem {
+            seq,
+            ts_micros,
+            label: view.packet.label,
+            data: view.packet.packet.data.to_vec(),
+        });
+        seq += 1;
+        if slot.batch.len() >= config.batch_size {
+            let items = std::mem::take(&mut slot.batch);
+            let shard = slot.shard as u32;
+            let peer = slot.peer;
+            send_to(&mut peers[peer], &CoordMsg::Batch { shard, items }, counters)?;
+        }
+    }
+
+    // ---- End of stream: flush, finish every peer (drained included),
+    // collect outcomes until each peer's Bye. ----
+    flush_batches(&mut peers, &mut slots, counters)?;
+    for peer in &mut peers {
+        send_to(peer, &CoordMsg::Finish, counters)?;
+    }
+    let mut outcomes = retired_outcomes;
+    for peer in &mut peers {
+        loop {
+            match recv_from(peer, counters)? {
+                WorkerMsg::Outcome(outcome) => outcomes.push(outcome),
+                WorkerMsg::Bye => break,
+                other => {
+                    return Err(FabricError::Protocol(format!(
+                        "expected Outcome or Bye, got {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+    let wall_seconds = clock.elapsed().as_secs_f64();
+    let final_shards = slots.len();
+    drop(peers); // closes every socket; workers unblock from their final read
+
+    outcomes.sort_by_key(|outcome| outcome.shard);
+    if outcomes.len() != next_id {
+        return Err(FabricError::Protocol(format!(
+            "collected {} outcomes for {next_id} shards",
+            outcomes.len()
+        )));
+    }
+    // Remote shards report no feeder-side stalls — TCP backpressure plays
+    // that role on the fabric; the report keeps the per-shard slots so the
+    // shapes match the in-process run.
+    let shard_stalls = (0..next_id).map(|shard| (shard, 0)).collect();
+    let dropped = source.dropped_packets();
+    Ok(merge_outcomes(
+        detector_name,
+        source_name,
+        warmup.len(),
+        seq,
+        wall_seconds,
+        assembly_seconds,
+        outcomes,
+        scale_events,
+        final_shards,
+        shard_stalls,
+        dropped,
+        config,
+    ))
+}

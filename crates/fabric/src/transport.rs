@@ -1,0 +1,439 @@
+//! Socket transport for the fabric: endpoint addressing, the
+//! coordinator-side listener, the worker-side connector, and length-prefixed
+//! frame I/O with byte/frame accounting.
+//!
+//! Two backends share one [`ShardTransport`] enum: TCP (with `TCP_NODELAY`,
+//! for cross-host pools) and Unix domain sockets (for co-located worker
+//! processes, Unix only). Workers dial **in** to the coordinator's listener
+//! — the coordinator binds first (`tcp://127.0.0.1:0` works: the resolved
+//! port is in [`FabricListener::local_endpoint`]) and spawns or announces
+//! the endpoint to its workers, so worker processes never need a
+//! pre-agreed port.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+use crate::wire::FRAME_MAX;
+use crate::FabricCounters;
+
+/// A fabric address: `tcp://host:port` or `uds:///path/to/socket`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP, `host:port` as accepted by [`std::net::ToSocketAddrs`].
+    Tcp(String),
+    /// Unix domain socket path (Unix only).
+    Uds(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `tcp://host:port` or `uds:///path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description when the scheme is unknown or
+    /// the address part is empty.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(addr) = s.strip_prefix("tcp://") {
+            if addr.is_empty() {
+                return Err(format!("empty tcp address in {s:?}"));
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else if let Some(path) = s.strip_prefix("uds://") {
+            if path.is_empty() {
+                return Err(format!("empty uds path in {s:?}"));
+            }
+            Ok(Endpoint::Uds(PathBuf::from(path)))
+        } else {
+            Err(format!("endpoint {s:?} must start with tcp:// or uds://"))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Uds(path) => write!(f, "uds://{}", path.display()),
+        }
+    }
+}
+
+/// The coordinator's accept socket, one per pool.
+#[derive(Debug)]
+pub enum FabricListener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener (Unix only).
+    #[cfg(unix)]
+    Uds(UnixListener, PathBuf),
+}
+
+impl FabricListener {
+    /// Binds the listener. For TCP, port `0` asks the OS for an ephemeral
+    /// port — read the result back with [`FabricListener::local_endpoint`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `bind`, or `Unsupported` for `uds://` off Unix.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(FabricListener::Tcp(TcpListener::bind(addr.as_str())?)),
+            #[cfg(unix)]
+            Endpoint::Uds(path) => {
+                // A previous run's socket file would make bind fail with
+                // AddrInUse even though nobody is listening.
+                let _ = std::fs::remove_file(path);
+                Ok(FabricListener::Uds(UnixListener::bind(path)?, path.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Uds(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix domain sockets are unavailable on this platform",
+            )),
+        }
+    }
+
+    /// The bound address — for TCP this reflects the OS-assigned port.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `local_addr`.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            FabricListener::Tcp(listener) => Ok(Endpoint::Tcp(listener.local_addr()?.to_string())),
+            #[cfg(unix)]
+            FabricListener::Uds(_, path) => Ok(Endpoint::Uds(path.clone())),
+        }
+    }
+
+    /// Accepts one worker connection (blocking).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `accept` or socket-option setup.
+    pub fn accept(&self) -> io::Result<ShardTransport> {
+        match self {
+            FabricListener::Tcp(listener) => {
+                let (stream, _) = listener.accept()?;
+                // Accepted streams can inherit non-blocking mode from a
+                // listener mid `accept_timeout` on some platforms.
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                Ok(ShardTransport::Tcp(stream))
+            }
+            #[cfg(unix)]
+            FabricListener::Uds(listener, _) => {
+                let (stream, _) = listener.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(ShardTransport::Uds(stream))
+            }
+        }
+    }
+
+    /// Accepts one worker connection, giving up after `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when no worker dialed in before the deadline, otherwise
+    /// the same errors as [`FabricListener::accept`].
+    pub fn accept_timeout(&self, timeout: std::time::Duration) -> io::Result<ShardTransport> {
+        let deadline = std::time::Instant::now() + timeout;
+        self.set_nonblocking(true)?;
+        let accepted = loop {
+            match self.accept() {
+                Ok(transport) => break Ok(transport),
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    if std::time::Instant::now() >= deadline {
+                        break Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no worker connected before the accept deadline",
+                        ));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                Err(err) => break Err(err),
+            }
+        };
+        self.set_nonblocking(false)?;
+        accepted
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            FabricListener::Tcp(listener) => listener.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            FabricListener::Uds(listener, _) => listener.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for FabricListener {
+    fn drop(&mut self) {
+        if let FabricListener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One connected coordinator↔worker socket.
+#[derive(Debug)]
+pub enum ShardTransport {
+    /// TCP stream with `TCP_NODELAY` set.
+    Tcp(TcpStream),
+    /// Unix-domain stream (Unix only).
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl ShardTransport {
+    /// Connects to a coordinator endpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from `connect`, or `Unsupported` for `uds://` off Unix.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                stream.set_nodelay(true)?;
+                Ok(ShardTransport::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Endpoint::Uds(path) => Ok(ShardTransport::Uds(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Endpoint::Uds(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix domain sockets are unavailable on this platform",
+            )),
+        }
+    }
+
+    /// Connects with bounded retries — a worker process typically races the
+    /// coordinator's bind, so the first attempts may be refused. Every
+    /// attempt after the first counts as a reconnect in `counters`.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once `attempts` are exhausted.
+    pub fn connect_retry(
+        endpoint: &Endpoint,
+        attempts: usize,
+        backoff: std::time::Duration,
+        counters: Option<&FabricCounters>,
+    ) -> io::Result<Self> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                if let Some(counters) = counters {
+                    counters.reconnects.inc();
+                }
+                std::thread::sleep(backoff);
+            }
+            match ShardTransport::connect(endpoint) {
+                Ok(transport) => return Ok(transport),
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last.expect("at least one connect attempt"))
+    }
+
+    /// Applies a read+write timeout to the socket (`None` blocks forever).
+    /// On the coordinator this bounds how long one peer can stall the pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the socket-option calls.
+    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        match self {
+            ShardTransport::Tcp(stream) => {
+                stream.set_read_timeout(timeout)?;
+                stream.set_write_timeout(timeout)
+            }
+            #[cfg(unix)]
+            ShardTransport::Uds(stream) => {
+                stream.set_read_timeout(timeout)?;
+                stream.set_write_timeout(timeout)
+            }
+        }
+    }
+}
+
+impl Read for ShardTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ShardTransport::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            ShardTransport::Uds(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for ShardTransport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ShardTransport::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            ShardTransport::Uds(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ShardTransport::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            ShardTransport::Uds(stream) => stream.flush(),
+        }
+    }
+}
+
+/// Writes one `[u32 LE length][body]` frame.
+///
+/// # Errors
+///
+/// `InvalidInput` when the body exceeds [`FRAME_MAX`], otherwise socket
+/// errors.
+pub fn write_frame(
+    w: &mut impl Write,
+    body: &[u8],
+    counters: Option<&FabricCounters>,
+) -> io::Result<()> {
+    if body.len() > FRAME_MAX {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds FRAME_MAX", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()?;
+    if let Some(counters) = counters {
+        counters.frames.inc();
+        counters.bytes.add(4 + body.len() as u64);
+    }
+    Ok(())
+}
+
+/// Reads one frame body. A clean EOF *before any length byte* returns
+/// `Ok(None)` (peer closed between messages); EOF mid-frame is
+/// `UnexpectedEof`.
+///
+/// # Errors
+///
+/// `InvalidData` when the length prefix exceeds [`FRAME_MAX`], otherwise
+/// socket errors.
+pub fn read_frame(
+    r: &mut impl Read,
+    counters: Option<&FabricCounters>,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < len.len() {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
+    let body_len = u32::from_le_bytes(len) as usize;
+    if body_len > FRAME_MAX {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {body_len} exceeds FRAME_MAX"),
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    if let Some(counters) = counters {
+        counters.frames.inc();
+        counters.bytes.add(4 + body_len as u64);
+    }
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_and_display_roundtrip() {
+        for text in ["tcp://127.0.0.1:4000", "uds:///tmp/fabric.sock"] {
+            assert_eq!(Endpoint::parse(text).unwrap().to_string(), text);
+        }
+        assert!(Endpoint::parse("http://x").is_err());
+        assert!(Endpoint::parse("tcp://").is_err());
+        assert!(Endpoint::parse("uds://").is_err());
+    }
+
+    #[test]
+    fn tcp_frame_roundtrip_over_localhost() {
+        let listener = FabricListener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap())
+            .expect("bind ephemeral");
+        let endpoint = listener.local_endpoint().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut transport = ShardTransport::connect(&endpoint).expect("connect");
+            write_frame(&mut transport, b"ping", None).unwrap();
+            let body = read_frame(&mut transport, None).unwrap().expect("reply");
+            assert_eq!(body, b"pong");
+            assert!(read_frame(&mut transport, None).unwrap().is_none(), "clean EOF");
+        });
+        let mut server = listener.accept().expect("accept");
+        let body = read_frame(&mut server, None).unwrap().expect("request");
+        assert_eq!(body, b"ping");
+        write_frame(&mut server, b"pong", None).unwrap();
+        drop(server);
+        client.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_frame_roundtrip() {
+        let path =
+            std::env::temp_dir().join(format!("idsbench-fabric-test-{}.sock", std::process::id()));
+        let listener = FabricListener::bind(&Endpoint::Uds(path.clone())).expect("bind uds");
+        let endpoint = listener.local_endpoint().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut transport = ShardTransport::connect(&endpoint).expect("connect uds");
+            write_frame(&mut transport, &[7u8; 100_000], None).unwrap();
+        });
+        let mut server = listener.accept().expect("accept uds");
+        let body = read_frame(&mut server, None).unwrap().expect("frame");
+        assert_eq!(body.len(), 100_000);
+        client.join().unwrap();
+        drop(listener);
+        assert!(!path.exists(), "listener drop removes the socket file");
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected_both_ways() {
+        let mut sink = Vec::new();
+        let huge = vec![0u8; FRAME_MAX + 1];
+        assert!(write_frame(&mut sink, &huge, None).is_err());
+
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((FRAME_MAX as u32) + 1).to_le_bytes());
+        let err = read_frame(&mut wire.as_slice(), None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_header_is_unexpected_eof() {
+        let mut wire: &[u8] = &[5, 0];
+        let err = read_frame(&mut wire, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let mut wire: &[u8] = &[5, 0, 0, 0, 1, 2];
+        let err = read_frame(&mut wire, None).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,779 @@
+//! The fabric message codec: every frame that crosses a coordinator↔worker
+//! socket, encoded with the little-endian primitives of
+//! [`idsbench_net::wire`].
+//!
+//! A frame on the wire is `[u32 LE body length][body]`, capped at
+//! [`FRAME_MAX`]; the first body byte is the message tag. Coordinator→worker
+//! tags live in `0x01..=0x0F`, worker→coordinator tags in `0x40..=0x4F`, so
+//! a crossed stream fails immediately with a [`WireError::BadTag`] instead
+//! of mis-decoding. Every decoder demands full consumption of the body —
+//! trailing bytes are rejected, which is what lets the property tests pin
+//! "decode ∘ encode = id" and "any truncation is an error".
+//!
+//! Scores, thresholds, and statistics travel as IEEE-754 bit patterns
+//! ([`put_f64`]), so the multiset-parity guarantee of the multi-node
+//! executor is bitwise, not approximate.
+
+use idsbench_core::{AttackKind, FlowMigration, Label};
+use idsbench_flow::{FlowKey, FlowRecord, FlowTableConfig};
+use idsbench_net::wire::{
+    put_bool, put_bytes, put_f64, put_ip, put_str, put_u16, put_u32, put_u64, put_u8, WireError,
+    WireReader, WireResult,
+};
+use idsbench_net::IpProtocol;
+use idsbench_net::{Duration, Timestamp};
+use idsbench_stream::{HashRing, StreamConfig, ThresholdMode};
+use idsbench_stream::{LatencyHistogram, OnlineStats, Recorder, ScoredEvent, ShardOutcome};
+
+/// Hard ceiling on one frame body, bytes. Large enough for a full-recorder
+/// outcome of millions of scored events, small enough that a corrupt length
+/// prefix cannot trigger a runaway allocation.
+pub const FRAME_MAX: usize = 1 << 26;
+
+/// First four bytes of every `Hello` body after the tag: `"IDSB"`.
+pub const PROTOCOL_MAGIC: u32 = 0x4244_5349;
+
+/// Protocol revision; bumped on any wire-visible change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Sanity bounds for decoded element counts (see [`WireReader::count`]).
+const MAX_ITEMS: usize = 1 << 20;
+const MAX_MIGRATIONS: usize = 1 << 20;
+const MAX_SHARDS: usize = 4096;
+const MAX_EVENTS: usize = 1 << 22;
+const MAX_WINDOWS: usize = 1 << 20;
+
+/// The run parameters a worker needs before it can host shards: which
+/// detector to instantiate, the metrics-window length, the recording mode,
+/// and the flow-table geometry (which must match the coordinator's for
+/// parity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloConfig {
+    /// Registry name of the detector every hosted shard instantiates.
+    pub detector: String,
+    /// Tumbling metrics-window length, seconds.
+    pub window_secs: f64,
+    /// `Some(threshold)` selects the zero-buffer online recorder at that
+    /// fixed threshold; `None` selects full score recording (the
+    /// coordinator calibrates after the merge).
+    pub fixed_threshold: Option<f64>,
+    /// Flow-table parameters for the per-shard eviction path.
+    pub flow: FlowTableConfig,
+}
+
+impl HelloConfig {
+    /// Derives the wire config from a [`StreamConfig`] and a detector name.
+    pub fn from_stream(detector: &str, config: &StreamConfig) -> Self {
+        HelloConfig {
+            detector: detector.to_string(),
+            window_secs: config.window_secs,
+            fixed_threshold: match config.threshold {
+                ThresholdMode::Fixed(threshold) => Some(threshold),
+                ThresholdMode::Calibrated(_) => None,
+            },
+            flow: config.flow,
+        }
+    }
+
+    /// The recorder a hosted shard starts with under this config.
+    pub fn recorder(&self) -> Recorder {
+        match self.fixed_threshold {
+            Some(threshold) => Recorder::Online(Box::default(), threshold),
+            None => Recorder::Full(Vec::new()),
+        }
+    }
+}
+
+/// One evaluation packet as shipped to a remote shard: the feeder's global
+/// sequence number plus the raw frame. The worker re-parses the bytes on
+/// arrival — its own single `ParsedView::from_packet` site, mirroring the
+/// in-process feeder's parse-once rule per process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireItem {
+    /// Global feed order assigned by the coordinator.
+    pub seq: u64,
+    /// Capture timestamp, microseconds.
+    pub ts_micros: u64,
+    /// Ground-truth label.
+    pub label: Label,
+    /// Raw frame bytes starting at the Ethernet header.
+    pub data: Vec<u8>,
+}
+
+/// One training packet (same shape as [`WireItem`] minus the sequence
+/// number — warmup packets are not part of the scored stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePacket {
+    /// Capture timestamp, microseconds.
+    pub ts_micros: u64,
+    /// Ground-truth label.
+    pub label: Label,
+    /// Raw frame bytes starting at the Ethernet header.
+    pub data: Vec<u8>,
+}
+
+/// A consistent-hash ring snapshot: vnode resolution plus the live shard
+/// ids. The receiver rebuilds the ring with [`RingSnapshot::to_ring`];
+/// vnode placement is a pure function of `(shard, vnodes)`, so both sides
+/// always agree on ownership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSnapshot {
+    /// Virtual nodes per shard.
+    pub vnodes: usize,
+    /// Live shard ids.
+    pub shards: Vec<usize>,
+}
+
+impl RingSnapshot {
+    /// Captures a ring's membership.
+    pub fn from_ring(ring: &HashRing) -> Self {
+        RingSnapshot { vnodes: ring.vnodes_per_shard(), shards: ring.shards().to_vec() }
+    }
+
+    /// Rebuilds the ring (identical vnode placement) from the snapshot.
+    pub fn to_ring(&self) -> HashRing {
+        let mut ring = HashRing::new(self.vnodes);
+        for &shard in &self.shards {
+            ring.add_shard(shard);
+        }
+        ring
+    }
+}
+
+/// Coordinator→worker messages, in protocol order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordMsg {
+    /// Handshake: magic, version, and the run parameters.
+    Hello(HelloConfig),
+    /// A chunk of warmup packets for the shared train view.
+    Train(Vec<WirePacket>),
+    /// End of warmup: assemble the train view; shards may now spawn.
+    TrainDone,
+    /// Host a new shard: fit a fresh detector and reply [`WorkerMsg::Ready`].
+    Spawn {
+        /// Stable shard id.
+        shard: u32,
+    },
+    /// A batch of routed evaluation packets for one hosted shard.
+    Batch {
+        /// Target shard id.
+        shard: u32,
+        /// The routed packets, in feed order.
+        items: Vec<WireItem>,
+    },
+    /// Ring membership changed: the shard extracts every flow it no longer
+    /// owns and replies [`WorkerMsg::Migrations`]. Receipt doubles as the
+    /// drain barrier — the reply proves the shard's old-ring backlog is
+    /// fully scored.
+    Rebalance {
+        /// Target shard id.
+        shard: u32,
+        /// The new ring membership.
+        ring: RingSnapshot,
+    },
+    /// Flows whose ownership moved to this shard; absorb before scoring
+    /// anything routed under the new ring (socket order guarantees this).
+    Migrate {
+        /// Target shard id.
+        shard: u32,
+        /// The migrated flow state.
+        migrations: Vec<FlowMigration>,
+    },
+    /// Retire one shard: flush it and reply [`WorkerMsg::Outcome`].
+    Retire {
+        /// Target shard id.
+        shard: u32,
+    },
+    /// End of stream: flush every remaining shard, reply one
+    /// [`WorkerMsg::Outcome`] per shard (ascending id) then
+    /// [`WorkerMsg::Bye`].
+    Finish,
+}
+
+/// Worker→coordinator messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerMsg {
+    /// Handshake accepted: echoes the resolved detector and its input
+    /// format (`false` = packets, `true` = flows).
+    HelloOk {
+        /// Resolved detector name.
+        detector: String,
+        /// Whether the detector consumes flow events.
+        flows: bool,
+    },
+    /// A spawned shard finished fitting and is accepting batches.
+    Ready {
+        /// The shard that fitted.
+        shard: u32,
+        /// Seconds its detector spent in `fit`.
+        fit_seconds: f64,
+    },
+    /// Reply to [`CoordMsg::Rebalance`]: the extracted departing flows.
+    Migrations {
+        /// The shard that drained.
+        shard: u32,
+        /// Everything it no longer owns.
+        migrations: Vec<FlowMigration>,
+    },
+    /// A retired or finished shard's mergeable report fragment.
+    Outcome(ShardOutcome),
+    /// All outcomes sent; the worker is exiting cleanly.
+    Bye,
+}
+
+fn put_label(out: &mut Vec<u8>, label: Label) {
+    match label {
+        Label::Benign => put_u8(out, 0),
+        Label::Attack(kind) => {
+            let index =
+                AttackKind::ALL.iter().position(|k| *k == kind).expect("kind is in ALL") as u8;
+            put_u8(out, index + 1);
+        }
+    }
+}
+
+fn read_label(r: &mut WireReader<'_>) -> WireResult<Label> {
+    match r.u8()? {
+        0 => Ok(Label::Benign),
+        tag => match AttackKind::ALL.get(tag as usize - 1) {
+            Some(kind) => Ok(Label::Attack(*kind)),
+            None => Err(WireError::BadTag(tag)),
+        },
+    }
+}
+
+fn put_kind(out: &mut Vec<u8>, kind: Option<AttackKind>) {
+    put_label(out, kind.map_or(Label::Benign, Label::Attack));
+}
+
+fn read_kind(r: &mut WireReader<'_>) -> WireResult<Option<AttackKind>> {
+    Ok(match read_label(r)? {
+        Label::Benign => None,
+        Label::Attack(kind) => Some(kind),
+    })
+}
+
+fn put_duration(out: &mut Vec<u8>, d: Duration) {
+    put_u64(out, d.as_micros());
+}
+
+fn read_duration(r: &mut WireReader<'_>) -> WireResult<Duration> {
+    Ok(Duration::from_micros(r.u64()?))
+}
+
+fn put_flow_key(out: &mut Vec<u8>, key: &FlowKey) {
+    put_ip(out, key.src_ip);
+    put_ip(out, key.dst_ip);
+    put_u16(out, key.src_port);
+    put_u16(out, key.dst_port);
+    put_u8(out, key.protocol.as_u8());
+}
+
+fn read_flow_key(r: &mut WireReader<'_>) -> WireResult<FlowKey> {
+    Ok(FlowKey {
+        src_ip: r.ip()?,
+        dst_ip: r.ip()?,
+        src_port: r.u16()?,
+        dst_port: r.u16()?,
+        protocol: IpProtocol::from(r.u8()?),
+    })
+}
+
+fn put_migration(out: &mut Vec<u8>, migration: &FlowMigration) {
+    put_flow_key(out, &migration.key);
+    put_bool(out, migration.record.is_some());
+    if let Some(record) = &migration.record {
+        record.encode_wire(out);
+    }
+    put_label(out, migration.label);
+    put_u64(out, migration.label_seen.as_micros());
+    put_bool(out, migration.detector.is_some());
+    if let Some(state) = &migration.detector {
+        put_bytes(out, state);
+    }
+}
+
+fn read_migration(r: &mut WireReader<'_>) -> WireResult<FlowMigration> {
+    let key = read_flow_key(r)?;
+    let record = if r.bool()? { Some(FlowRecord::decode_wire(r)?) } else { None };
+    let label = read_label(r)?;
+    let label_seen = Timestamp::from_micros(r.u64()?);
+    let detector = if r.bool()? { Some(r.bytes()?.to_vec()) } else { None };
+    Ok(FlowMigration { key, record, label, label_seen, detector })
+}
+
+fn put_migrations(out: &mut Vec<u8>, migrations: &[FlowMigration]) {
+    put_u32(out, migrations.len() as u32);
+    for migration in migrations {
+        put_migration(out, migration);
+    }
+}
+
+fn read_migrations(r: &mut WireReader<'_>) -> WireResult<Vec<FlowMigration>> {
+    let count = r.count(MAX_MIGRATIONS)?;
+    let mut migrations = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        migrations.push(read_migration(r)?);
+    }
+    Ok(migrations)
+}
+
+fn put_ring(out: &mut Vec<u8>, ring: &RingSnapshot) {
+    put_u32(out, ring.vnodes as u32);
+    put_u32(out, ring.shards.len() as u32);
+    for &shard in &ring.shards {
+        put_u32(out, shard as u32);
+    }
+}
+
+fn read_ring(r: &mut WireReader<'_>) -> WireResult<RingSnapshot> {
+    let vnodes = r.u32()? as usize;
+    let count = r.count(MAX_SHARDS)?;
+    let mut shards = Vec::with_capacity(count);
+    for _ in 0..count {
+        shards.push(r.u32()? as usize);
+    }
+    Ok(RingSnapshot { vnodes, shards })
+}
+
+fn put_cm(out: &mut Vec<u8>, cm: &idsbench_core::metrics::ConfusionMatrix) {
+    put_u64(out, cm.true_positives);
+    put_u64(out, cm.false_positives);
+    put_u64(out, cm.true_negatives);
+    put_u64(out, cm.false_negatives);
+}
+
+fn read_cm(r: &mut WireReader<'_>) -> WireResult<idsbench_core::metrics::ConfusionMatrix> {
+    Ok(idsbench_core::metrics::ConfusionMatrix {
+        true_positives: r.u64()?,
+        false_positives: r.u64()?,
+        true_negatives: r.u64()?,
+        false_negatives: r.u64()?,
+    })
+}
+
+fn put_online(out: &mut Vec<u8>, stats: &OnlineStats) {
+    put_cm(out, &stats.cm);
+    put_u32(out, stats.windows.len() as u32);
+    for (&window, (cm, packets)) in &stats.windows {
+        put_u64(out, window);
+        put_cm(out, cm);
+        put_u64(out, *packets as u64);
+    }
+    put_u32(out, stats.families.len() as u32);
+    for (&family, &(hit, total)) in &stats.families {
+        // Family keys are `AttackKind::name()` values; the index encoding
+        // keeps the wire independent of name spelling and restores the
+        // `&'static str` keys on decode.
+        let index =
+            AttackKind::ALL.iter().position(|k| k.name() == family).expect("family is a kind name");
+        put_u8(out, index as u8);
+        put_u64(out, hit as u64);
+        put_u64(out, total as u64);
+    }
+    let buckets: Vec<(usize, u64)> = stats.latency.nonzero_buckets().collect();
+    put_u32(out, buckets.len() as u32);
+    for (index, count) in buckets {
+        put_u32(out, index as u32);
+        put_u64(out, count);
+    }
+    put_u64(out, stats.events as u64);
+    put_u64(out, stats.attacks as u64);
+}
+
+fn read_online(r: &mut WireReader<'_>) -> WireResult<OnlineStats> {
+    let mut stats = OnlineStats { cm: read_cm(r)?, ..Default::default() };
+    for _ in 0..r.count(MAX_WINDOWS)? {
+        let window = r.u64()?;
+        let cm = read_cm(r)?;
+        let packets = r.u64()? as usize;
+        stats.windows.insert(window, (cm, packets));
+    }
+    for _ in 0..r.count(AttackKind::ALL.len())? {
+        let index = r.u8()? as usize;
+        let kind = AttackKind::ALL.get(index).ok_or(WireError::BadTag(index as u8))?;
+        let hit = r.u64()? as usize;
+        let total = r.u64()? as usize;
+        stats.families.insert(kind.name(), (hit, total));
+    }
+    for _ in 0..r.count(LatencyHistogram::bucket_slots())? {
+        let index = r.u32()? as usize;
+        let count = r.u64()?;
+        if !stats.latency.add_bucket(index, count) {
+            return Err(WireError::Oversize(index as u64));
+        }
+    }
+    stats.events = r.u64()? as usize;
+    stats.attacks = r.u64()? as usize;
+    Ok(stats)
+}
+
+fn put_event(out: &mut Vec<u8>, event: &ScoredEvent) {
+    put_u64(out, event.seq);
+    put_u32(out, event.sub);
+    put_u64(out, event.window);
+    put_f64(out, event.score);
+    put_u64(out, event.latency_nanos);
+    put_bool(out, event.label);
+    put_kind(out, event.kind);
+}
+
+fn read_event(r: &mut WireReader<'_>) -> WireResult<ScoredEvent> {
+    Ok(ScoredEvent {
+        seq: r.u64()?,
+        sub: r.u32()?,
+        window: r.u64()?,
+        score: r.f64()?,
+        latency_nanos: r.u64()?,
+        label: r.bool()?,
+        kind: read_kind(r)?,
+    })
+}
+
+fn put_outcome(out: &mut Vec<u8>, outcome: &ShardOutcome) {
+    put_u32(out, outcome.shard as u32);
+    put_u64(out, outcome.packets as u64);
+    put_u64(out, outcome.flows as u64);
+    put_f64(out, outcome.score_seconds);
+    put_f64(out, outcome.fit_seconds);
+    match &outcome.recorder {
+        Recorder::Full(records) => {
+            put_u8(out, 0);
+            put_u32(out, records.len() as u32);
+            for record in records {
+                put_event(out, record);
+            }
+        }
+        Recorder::Online(stats, threshold) => {
+            put_u8(out, 1);
+            put_f64(out, *threshold);
+            put_online(out, stats);
+        }
+    }
+}
+
+fn read_outcome(r: &mut WireReader<'_>) -> WireResult<ShardOutcome> {
+    let shard = r.u32()? as usize;
+    let packets = r.u64()? as usize;
+    let flows = r.u64()? as usize;
+    let score_seconds = r.f64()?;
+    let fit_seconds = r.f64()?;
+    let recorder = match r.u8()? {
+        0 => {
+            let count = r.count(MAX_EVENTS)?;
+            let mut records = Vec::with_capacity(count.min(65_536));
+            for _ in 0..count {
+                records.push(read_event(r)?);
+            }
+            Recorder::Full(records)
+        }
+        1 => {
+            let threshold = r.f64()?;
+            Recorder::Online(Box::new(read_online(r)?), threshold)
+        }
+        tag => return Err(WireError::BadTag(tag)),
+    };
+    Ok(ShardOutcome { shard, recorder, score_seconds, fit_seconds, packets, flows })
+}
+
+fn put_packet_body(out: &mut Vec<u8>, ts_micros: u64, label: Label, data: &[u8]) {
+    put_u64(out, ts_micros);
+    put_label(out, label);
+    put_bytes(out, data);
+}
+
+/// Demands the reader is fully consumed — a decoded message must account
+/// for every body byte.
+fn finish<T>(r: &WireReader<'_>, value: T) -> WireResult<T> {
+    if r.is_empty() {
+        Ok(value)
+    } else {
+        Err(WireError::Oversize(r.remaining() as u64))
+    }
+}
+
+impl CoordMsg {
+    /// Encodes the message body (tag byte first) for framing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            CoordMsg::Hello(config) => {
+                put_u8(&mut out, 0x01);
+                put_u32(&mut out, PROTOCOL_MAGIC);
+                put_u16(&mut out, PROTOCOL_VERSION);
+                put_str(&mut out, &config.detector);
+                put_f64(&mut out, config.window_secs);
+                put_bool(&mut out, config.fixed_threshold.is_some());
+                put_f64(&mut out, config.fixed_threshold.unwrap_or(0.0));
+                put_duration(&mut out, config.flow.idle_timeout);
+                put_duration(&mut out, config.flow.active_timeout);
+                put_duration(&mut out, config.flow.time_wait);
+                put_u64(&mut out, config.flow.max_flows as u64);
+            }
+            CoordMsg::Train(packets) => {
+                put_u8(&mut out, 0x02);
+                put_u32(&mut out, packets.len() as u32);
+                for packet in packets {
+                    put_packet_body(&mut out, packet.ts_micros, packet.label, &packet.data);
+                }
+            }
+            CoordMsg::TrainDone => put_u8(&mut out, 0x03),
+            CoordMsg::Spawn { shard } => {
+                put_u8(&mut out, 0x04);
+                put_u32(&mut out, *shard);
+            }
+            CoordMsg::Batch { shard, items } => {
+                put_u8(&mut out, 0x05);
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, items.len() as u32);
+                for item in items {
+                    put_u64(&mut out, item.seq);
+                    put_packet_body(&mut out, item.ts_micros, item.label, &item.data);
+                }
+            }
+            CoordMsg::Rebalance { shard, ring } => {
+                put_u8(&mut out, 0x06);
+                put_u32(&mut out, *shard);
+                put_ring(&mut out, ring);
+            }
+            CoordMsg::Migrate { shard, migrations } => {
+                put_u8(&mut out, 0x07);
+                put_u32(&mut out, *shard);
+                put_migrations(&mut out, migrations);
+            }
+            CoordMsg::Retire { shard } => {
+                put_u8(&mut out, 0x08);
+                put_u32(&mut out, *shard);
+            }
+            CoordMsg::Finish => put_u8(&mut out, 0x09),
+        }
+        out
+    }
+
+    /// Decodes one framed body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]: unknown tag, truncation, oversize count, bad
+    /// magic/version (reported as [`WireError::BadTag`] on the mismatched
+    /// byte), or trailing bytes.
+    pub fn decode(body: &[u8]) -> WireResult<Self> {
+        let mut r = WireReader::new(body);
+        let message = match r.u8()? {
+            0x01 => {
+                if r.u32()? != PROTOCOL_MAGIC {
+                    return Err(WireError::BadTag(0x01));
+                }
+                if r.u16()? != PROTOCOL_VERSION {
+                    return Err(WireError::BadTag(0x01));
+                }
+                let detector = r.str()?.to_string();
+                let window_secs = r.f64()?;
+                let has_threshold = r.bool()?;
+                let threshold = r.f64()?;
+                let flow = FlowTableConfig {
+                    idle_timeout: read_duration(&mut r)?,
+                    active_timeout: read_duration(&mut r)?,
+                    time_wait: read_duration(&mut r)?,
+                    max_flows: r.u64()? as usize,
+                };
+                CoordMsg::Hello(HelloConfig {
+                    detector,
+                    window_secs,
+                    fixed_threshold: has_threshold.then_some(threshold),
+                    flow,
+                })
+            }
+            0x02 => {
+                let count = r.count(MAX_ITEMS)?;
+                let mut packets = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let ts_micros = r.u64()?;
+                    let label = read_label(&mut r)?;
+                    let data = r.bytes()?.to_vec();
+                    packets.push(WirePacket { ts_micros, label, data });
+                }
+                CoordMsg::Train(packets)
+            }
+            0x03 => CoordMsg::TrainDone,
+            0x04 => CoordMsg::Spawn { shard: r.u32()? },
+            0x05 => {
+                let shard = r.u32()?;
+                let count = r.count(MAX_ITEMS)?;
+                let mut items = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let seq = r.u64()?;
+                    let ts_micros = r.u64()?;
+                    let label = read_label(&mut r)?;
+                    let data = r.bytes()?.to_vec();
+                    items.push(WireItem { seq, ts_micros, label, data });
+                }
+                CoordMsg::Batch { shard, items }
+            }
+            0x06 => {
+                let shard = r.u32()?;
+                let ring = read_ring(&mut r)?;
+                CoordMsg::Rebalance { shard, ring }
+            }
+            0x07 => {
+                let shard = r.u32()?;
+                let migrations = read_migrations(&mut r)?;
+                CoordMsg::Migrate { shard, migrations }
+            }
+            0x08 => CoordMsg::Retire { shard: r.u32()? },
+            0x09 => CoordMsg::Finish,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        finish(&r, message)
+    }
+}
+
+impl WorkerMsg {
+    /// Encodes the message body (tag byte first) for framing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WorkerMsg::HelloOk { detector, flows } => {
+                put_u8(&mut out, 0x40);
+                put_str(&mut out, detector);
+                put_bool(&mut out, *flows);
+            }
+            WorkerMsg::Ready { shard, fit_seconds } => {
+                put_u8(&mut out, 0x41);
+                put_u32(&mut out, *shard);
+                put_f64(&mut out, *fit_seconds);
+            }
+            WorkerMsg::Migrations { shard, migrations } => {
+                put_u8(&mut out, 0x42);
+                put_u32(&mut out, *shard);
+                put_migrations(&mut out, migrations);
+            }
+            WorkerMsg::Outcome(outcome) => {
+                put_u8(&mut out, 0x43);
+                put_outcome(&mut out, outcome);
+            }
+            WorkerMsg::Bye => put_u8(&mut out, 0x44),
+        }
+        out
+    }
+
+    /// Decodes one framed body.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]: unknown tag, truncation, oversize count, or
+    /// trailing bytes.
+    pub fn decode(body: &[u8]) -> WireResult<Self> {
+        let mut r = WireReader::new(body);
+        let message = match r.u8()? {
+            0x40 => {
+                let detector = r.str()?.to_string();
+                let flows = r.bool()?;
+                WorkerMsg::HelloOk { detector, flows }
+            }
+            0x41 => {
+                let shard = r.u32()?;
+                let fit_seconds = r.f64()?;
+                WorkerMsg::Ready { shard, fit_seconds }
+            }
+            0x42 => {
+                let shard = r.u32()?;
+                let migrations = read_migrations(&mut r)?;
+                WorkerMsg::Migrations { shard, migrations }
+            }
+            0x43 => WorkerMsg::Outcome(read_outcome(&mut r)?),
+            0x44 => WorkerMsg::Bye,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        finish(&r, message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrips_and_rejects_bad_magic() {
+        let config = HelloConfig {
+            detector: "Slips".to_string(),
+            window_secs: 1.5,
+            fixed_threshold: Some(0.75),
+            flow: FlowTableConfig::default(),
+        };
+        let body = CoordMsg::Hello(config.clone()).encode();
+        assert_eq!(CoordMsg::decode(&body).unwrap(), CoordMsg::Hello(config));
+
+        let mut corrupt = body.clone();
+        corrupt[1] ^= 0xFF; // first magic byte
+        assert!(CoordMsg::decode(&corrupt).is_err());
+    }
+
+    #[test]
+    fn ring_snapshot_rebuilds_identical_ownership() {
+        let mut ring = HashRing::with_shards(16, 3);
+        ring.add_shard(7);
+        ring.remove_shard(1);
+        let rebuilt = RingSnapshot::from_ring(&ring).to_ring();
+        assert_eq!(rebuilt.shards(), ring.shards());
+        // Ownership is a pure function of membership: probe a key spread.
+        for port in 0..200u16 {
+            let key = FlowKey {
+                src_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 1)),
+                dst_ip: std::net::IpAddr::V4(std::net::Ipv4Addr::new(10, 0, 0, 2)),
+                src_port: port,
+                dst_port: 80,
+                protocol: IpProtocol::Tcp,
+            };
+            assert_eq!(ring.owner_of(&key), rebuilt.owner_of(&key));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut body = CoordMsg::Finish.encode();
+        body.push(0);
+        assert_eq!(CoordMsg::decode(&body).unwrap_err(), WireError::Oversize(1));
+        let mut body = WorkerMsg::Bye.encode();
+        body.push(9);
+        assert!(WorkerMsg::decode(&body).is_err());
+    }
+
+    #[test]
+    fn online_outcome_roundtrips_bitwise() {
+        let mut stats = OnlineStats::default();
+        for i in 0..50u64 {
+            stats.record(
+                i / 7,
+                i as f64 * 0.13,
+                3.0,
+                i % 3 == 0,
+                (i % 5 == 0).then_some(AttackKind::SynFlood),
+                i * 900,
+            );
+        }
+        let outcome = ShardOutcome {
+            shard: 3,
+            recorder: Recorder::Online(Box::new(stats.clone()), 3.0),
+            score_seconds: 0.25,
+            fit_seconds: 1.5,
+            packets: 50,
+            flows: 9,
+        };
+        let body = WorkerMsg::Outcome(outcome).encode();
+        match WorkerMsg::decode(&body).unwrap() {
+            WorkerMsg::Outcome(decoded) => match decoded.recorder {
+                Recorder::Online(decoded_stats, threshold) => {
+                    assert_eq!(threshold, 3.0);
+                    assert_eq!(*decoded_stats, stats);
+                    assert_eq!(
+                        decoded_stats.latency.percentile(0.99),
+                        stats.latency.percentile(0.99)
+                    );
+                }
+                other => panic!("wrong recorder: {other:?}"),
+            },
+            other => panic!("wrong message: {other:?}"),
+        }
+    }
+}

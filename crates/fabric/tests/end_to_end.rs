@@ -1,0 +1,306 @@
+//! End-to-end fabric runs: `run_worker` on threads, `run_fabric` as the
+//! coordinator, real sockets in between — the full protocol (handshake,
+//! warmup streaming, autoscale barriers, cross-peer migration, drain,
+//! outcome merge) without process-spawn overhead. The process-level version
+//! of the same contract is the `fig_multinode` bench.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use idsbench_core::{
+    AttackKind, Event, EventDetector, InputFormat, Label, LabeledPacket, TrainView,
+};
+use idsbench_fabric::coordinator::DrainPlan;
+use idsbench_fabric::{run_fabric, run_worker, Endpoint, FabricConfig, FabricListener};
+use idsbench_flow::FlowKey;
+use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
+use idsbench_stream::{run_stream, AutoscalePolicy, StreamConfig, StreamRun, VecSource};
+use idsbench_telemetry::{Telemetry, TelemetryConfig};
+
+/// Scores each evicted flow by its packet count — the flow-format detector
+/// whose score multiset is partition-invariant.
+#[derive(Debug, Default)]
+struct FlowCounter;
+
+impl EventDetector for FlowCounter {
+    fn name(&self) -> &str {
+        "flow-counter"
+    }
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Flows
+    }
+    fn fit(&mut self, _train: &TrainView) {}
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(_) => None,
+            Event::FlowEvicted(flow) => Some(flow.record.total_packets() as f64),
+        }
+    }
+}
+
+/// Packet detector scoring each packet's 1-based position within its flow —
+/// pure per-flow state, so any dropped cross-process migration resets a
+/// counter and the seq-ordered scores give it away.
+#[derive(Debug, Default)]
+struct FlowSeq {
+    counts: HashMap<FlowKey, u64>,
+}
+
+impl EventDetector for FlowSeq {
+    fn name(&self) -> &str {
+        "flow-seq"
+    }
+    fn input_format(&self) -> InputFormat {
+        InputFormat::Packets
+    }
+    fn fit(&mut self, _train: &TrainView) {}
+    fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
+        match event {
+            Event::Packet(view) => match view.flow_key {
+                Some(key) => {
+                    let count = self.counts.entry(key).or_insert(0);
+                    *count += 1;
+                    Some(*count as f64)
+                }
+                None => Some(0.0),
+            },
+            Event::FlowEvicted(_) => None,
+        }
+    }
+    fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Vec<u8>> {
+        self.counts.remove(key).map(|count| count.to_le_bytes().to_vec())
+    }
+    fn absorb_flow_state(&mut self, key: &FlowKey, state: Vec<u8>) {
+        if let Ok(bytes) = <[u8; 8]>::try_from(state.as_slice()) {
+            self.counts.insert(*key, u64::from_le_bytes(bytes));
+        }
+    }
+}
+
+fn resolve(name: &str) -> Option<Box<dyn EventDetector>> {
+    match name {
+        "flow-counter" => Some(Box::new(FlowCounter)),
+        "flow-seq" => Some(Box::new(FlowSeq::default())),
+        _ => None,
+    }
+}
+
+fn flow_packet(host: u8, port: u16, t_micros: u64, attack: bool) -> LabeledPacket {
+    let payload = if attack { 900 } else { 40 };
+    let p = PacketBuilder::new()
+        .ethernet(MacAddr::from_host_id(host as u32), MacAddr::from_host_id(200))
+        .ipv4(Ipv4Addr::new(10, 0, 0, host), Ipv4Addr::new(10, 0, 0, 200))
+        .tcp(port, 80, TcpFlags::ACK)
+        .payload_len(payload)
+        .build(Timestamp::from_micros(t_micros));
+    let label = if attack { Label::Attack(AttackKind::SynFlood) } else { Label::Benign };
+    LabeledPacket::new(p, label)
+}
+
+/// Alternating quiet/burst phases, one traffic-second each — the workload
+/// the in-process autoscale tests use.
+fn bursty_workload(phases: u64) -> Vec<LabeledPacket> {
+    let mut packets = Vec::new();
+    for phase in 0..phases {
+        let (count, attack) = if phase % 2 == 1 { (600u64, true) } else { (20u64, false) };
+        let spacing = (1_000_000 / count).max(1);
+        for i in 0..count {
+            let host = (i % 7) as u8 + 1;
+            let port = 1000 + (i % 23) as u16;
+            let t = phase * 1_000_000 + i * spacing;
+            packets.push(flow_packet(host, port, t, attack && i % 3 == 0));
+        }
+    }
+    packets
+}
+
+fn autoscaled_config() -> StreamConfig {
+    StreamConfig {
+        shards: 1,
+        batch_size: 16,
+        window_secs: 1.0,
+        autoscale: Some(AutoscalePolicy {
+            min_shards: 1,
+            max_shards: 3,
+            scale_up_pps: 300.0,
+            scale_down_pps: 100.0,
+            cooldown_windows: 0,
+            vnodes: 16,
+            ..Default::default()
+        }),
+        ..Default::default()
+    }
+}
+
+/// Binds a listener, launches `workers` worker threads against it, runs the
+/// coordinator, and joins the workers.
+fn fabric_run(
+    bind: &Endpoint,
+    detector: &str,
+    packets: &[LabeledPacket],
+    config: &StreamConfig,
+    fabric: FabricConfig,
+    telemetry: Option<&Telemetry>,
+) -> StreamRun {
+    let listener = FabricListener::bind(bind).expect("bind");
+    let endpoint = listener.local_endpoint().unwrap();
+    let workers: Vec<_> = (0..fabric.workers)
+        .map(|_| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || run_worker(&endpoint, &resolve, None))
+        })
+        .collect();
+    let run = run_fabric(
+        detector,
+        &[],
+        VecSource::new("bursty", packets.to_vec()),
+        config,
+        &fabric,
+        listener,
+        telemetry,
+    )
+    .expect("fabric run");
+    for worker in workers {
+        worker.join().expect("worker thread").expect("worker protocol");
+    }
+    run
+}
+
+fn sorted(mut scores: Vec<f64>) -> Vec<f64> {
+    scores.sort_by(f64::total_cmp);
+    scores
+}
+
+#[test]
+fn tcp_fabric_matches_single_process_multiset_under_autoscale() {
+    let packets = bursty_workload(6);
+    let single = run_stream(
+        &|| Box::new(FlowCounter) as Box<dyn EventDetector>,
+        &[],
+        VecSource::new("bursty", packets.clone()),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .unwrap();
+
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let fabric = fabric_run(
+        &Endpoint::parse("tcp://127.0.0.1:0").unwrap(),
+        "flow-counter",
+        &packets,
+        &autoscaled_config(),
+        FabricConfig { workers: 2, ..Default::default() },
+        Some(&telemetry),
+    );
+
+    // The pool moved, and moved state across processes.
+    assert!(fabric.report.scale_events.iter().any(|e| e.is_scale_up()), "no scale-up");
+    assert!(fabric.report.scale_events.iter().any(|e| e.migrated_flows > 0), "no migrations");
+    assert!(telemetry.counter("fabric_frames_total").get() > 0);
+    assert!(telemetry.counter("fabric_bytes_total").get() > 0);
+    assert!(
+        telemetry.counter("fabric_cross_peer_migrations_total").get() > 0,
+        "two workers with spread shards must migrate across the process boundary"
+    );
+
+    // The acceptance invariant: identical sorted score multiset.
+    assert_eq!(sorted(single.scores), sorted(fabric.scores), "fabric changed flow scores");
+    assert_eq!(single.report.metrics, fabric.report.metrics);
+    assert_eq!(fabric.report.detector, "flow-counter");
+    assert_eq!(fabric.report.eval_packets, packets.len());
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_fabric_matches_single_process_multiset() {
+    let packets = bursty_workload(4);
+    let single = run_stream(
+        &|| Box::new(FlowCounter) as Box<dyn EventDetector>,
+        &[],
+        VecSource::new("bursty", packets.clone()),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .unwrap();
+    let path =
+        std::env::temp_dir().join(format!("idsbench-fabric-e2e-{}.sock", std::process::id()));
+    let fabric = fabric_run(
+        &Endpoint::Uds(path),
+        "flow-counter",
+        &packets,
+        &autoscaled_config(),
+        FabricConfig { workers: 2, ..Default::default() },
+        None,
+    );
+    assert_eq!(sorted(single.scores), sorted(fabric.scores));
+    assert_eq!(single.report.metrics, fabric.report.metrics);
+}
+
+#[test]
+fn drained_worker_loses_no_flow_state() {
+    let packets = bursty_workload(6);
+    let mid_seq = packets.len() as u64 / 2;
+    let factory = || Box::new(FlowSeq::default()) as Box<dyn EventDetector>;
+    let single = run_stream(
+        &factory,
+        &[],
+        VecSource::new("bursty", packets.clone()),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .unwrap();
+
+    let fabric = fabric_run(
+        &Endpoint::parse("tcp://127.0.0.1:0").unwrap(),
+        "flow-seq",
+        &packets,
+        // A fixed two-shard pool, one shard per peer, so the drained peer
+        // deterministically hosts live mid-stream state (autoscaling is
+        // covered separately — here the decommission itself is the test).
+        &StreamConfig { shards: 2, batch_size: 16, window_secs: 1.0, ..Default::default() },
+        FabricConfig {
+            workers: 2,
+            drain: Some(DrainPlan { peer: 1, at_seq: mid_seq }),
+            ..Default::default()
+        },
+        None,
+    );
+
+    // The drain actually happened and is visible in the scale history as
+    // operator-triggered events (trigger_pps == 0).
+    let drains: Vec<_> =
+        fabric.report.scale_events.iter().filter(|e| e.trigger_pps == 0.0).collect();
+    assert!(
+        !drains.is_empty(),
+        "drain plan produced no retirement: {:?}",
+        fabric.report.scale_events
+    );
+    assert!(drains.iter().any(|e| e.migrated_flows > 0), "drain moved no flow state");
+
+    // Zero lost flows: every per-flow counter survived the mid-stream
+    // decommission, so even the *seq-ordered* score stream is identical to
+    // the single-process run.
+    assert_eq!(single.scores, fabric.scores, "a per-flow counter reset across the drain");
+}
+
+#[test]
+fn unknown_detector_fails_the_handshake() {
+    let listener = FabricListener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).unwrap();
+    let endpoint = listener.local_endpoint().unwrap();
+    let worker = std::thread::spawn(move || run_worker(&endpoint, &resolve, None));
+    let err = run_fabric(
+        "no-such-detector",
+        &[],
+        VecSource::new("empty", Vec::new()),
+        &StreamConfig::default(),
+        &FabricConfig { workers: 1, ..Default::default() },
+        listener,
+        None,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            idsbench_fabric::FabricError::Protocol(_) | idsbench_fabric::FabricError::Io(_)
+        ),
+        "unexpected error shape: {err}"
+    );
+    assert!(worker.join().unwrap().is_err(), "worker must also fail the handshake");
+}

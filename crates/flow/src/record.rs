@@ -1,4 +1,4 @@
-use idsbench_net::{Duration, ParsedPacket, TcpFlags, Timestamp, TransportLayer};
+use idsbench_net::{Duration, IpProtocol, ParsedPacket, TcpFlags, Timestamp, TransportLayer};
 
 use crate::key::{FlowDirection, FlowKey};
 use crate::running::RunningStats;
@@ -223,6 +223,170 @@ impl FlowRecord {
             FlowDirection::Backward => self.key.reversed(),
         }
     }
+
+    /// Serializes the full record — including the private continuation state
+    /// (`closing`, last-packet timestamps) — for cross-process flow
+    /// migration. [`FlowRecord::decode_wire`] restores a bitwise-identical
+    /// record, so a migrated flow keeps accumulating IATs and teardown state
+    /// exactly as if it had never moved.
+    pub fn encode_wire(&self, out: &mut Vec<u8>) {
+        use idsbench_net::wire::{put_bool, put_f64, put_ip, put_u16, put_u64, put_u8};
+        let key = &self.key;
+        put_ip(out, key.src_ip);
+        put_ip(out, key.dst_ip);
+        put_u16(out, key.src_port);
+        put_u16(out, key.dst_port);
+        put_u8(out, key.protocol.as_u8());
+        put_u8(out, matches!(self.initiator_direction, FlowDirection::Backward) as u8);
+        put_u64(out, self.first_seen.as_micros());
+        put_u64(out, self.last_seen.as_micros());
+        put_u64(out, self.forward_packets);
+        put_u64(out, self.backward_packets);
+        put_u64(out, self.forward_bytes);
+        put_u64(out, self.backward_bytes);
+        put_u64(out, self.forward_payload_bytes);
+        put_u64(out, self.backward_payload_bytes);
+        for stats in [
+            &self.forward_len,
+            &self.backward_len,
+            &self.iat,
+            &self.forward_iat,
+            &self.backward_iat,
+        ] {
+            let (count, mean, m2, min, max, sum) = stats.to_parts();
+            put_u64(out, count);
+            put_f64(out, mean);
+            put_f64(out, m2);
+            put_f64(out, min);
+            put_f64(out, max);
+            put_f64(out, sum);
+        }
+        for count in self.flag_counts {
+            put_u64(out, count);
+        }
+        put_bool(out, self.saw_syn);
+        put_bool(out, self.saw_syn_ack);
+        put_bool(out, self.saw_fin.0);
+        put_bool(out, self.saw_fin.1);
+        put_bool(out, self.saw_rst);
+        put_u8(out, self.termination.as_wire_u8());
+        put_bool(out, self.closing);
+        put_u64(out, self.last_packet_ts.as_micros());
+        put_bool(out, self.last_forward_ts.is_some());
+        put_u64(out, self.last_forward_ts.map_or(0, |ts| ts.as_micros()));
+        put_bool(out, self.last_backward_ts.is_some());
+        put_u64(out, self.last_backward_ts.map_or(0, |ts| ts.as_micros()));
+    }
+
+    /// Decodes a record written by [`FlowRecord::encode_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`wire::WireError`](idsbench_net::wire::WireError) on a
+    /// truncated buffer or an invalid direction/protocol/termination tag.
+    pub fn decode_wire(
+        reader: &mut idsbench_net::wire::WireReader<'_>,
+    ) -> idsbench_net::wire::WireResult<Self> {
+        use idsbench_net::wire::WireError;
+        let src_ip = reader.ip()?;
+        let dst_ip = reader.ip()?;
+        let src_port = reader.u16()?;
+        let dst_port = reader.u16()?;
+        let protocol = IpProtocol::from(reader.u8()?);
+        let key = FlowKey { src_ip, dst_ip, src_port, dst_port, protocol };
+        let initiator_direction = match reader.u8()? {
+            0 => FlowDirection::Forward,
+            1 => FlowDirection::Backward,
+            tag => return Err(WireError::BadTag(tag)),
+        };
+        let first_seen = Timestamp::from_micros(reader.u64()?);
+        let last_seen = Timestamp::from_micros(reader.u64()?);
+        let forward_packets = reader.u64()?;
+        let backward_packets = reader.u64()?;
+        let forward_bytes = reader.u64()?;
+        let backward_bytes = reader.u64()?;
+        let forward_payload_bytes = reader.u64()?;
+        let backward_payload_bytes = reader.u64()?;
+        let mut stats = [RunningStats::new(); 5];
+        for slot in &mut stats {
+            let count = reader.u64()?;
+            let mean = reader.f64()?;
+            let m2 = reader.f64()?;
+            let min = reader.f64()?;
+            let max = reader.f64()?;
+            let sum = reader.f64()?;
+            *slot = RunningStats::from_parts(count, mean, m2, min, max, sum);
+        }
+        let [forward_len, backward_len, iat, forward_iat, backward_iat] = stats;
+        let mut flag_counts = [0u64; 6];
+        for slot in &mut flag_counts {
+            *slot = reader.u64()?;
+        }
+        let saw_syn = reader.bool()?;
+        let saw_syn_ack = reader.bool()?;
+        let saw_fin = (reader.bool()?, reader.bool()?);
+        let saw_rst = reader.bool()?;
+        let termination = FlowTermination::from_wire_u8(reader.u8()?)?;
+        let closing = reader.bool()?;
+        let last_packet_ts = Timestamp::from_micros(reader.u64()?);
+        let has_forward_ts = reader.bool()?;
+        let last_forward_ts =
+            Some(Timestamp::from_micros(reader.u64()?)).filter(|_| has_forward_ts);
+        let has_backward_ts = reader.bool()?;
+        let last_backward_ts =
+            Some(Timestamp::from_micros(reader.u64()?)).filter(|_| has_backward_ts);
+        Ok(FlowRecord {
+            key,
+            initiator_direction,
+            first_seen,
+            last_seen,
+            forward_packets,
+            backward_packets,
+            forward_bytes,
+            backward_bytes,
+            forward_payload_bytes,
+            backward_payload_bytes,
+            forward_len,
+            backward_len,
+            iat,
+            forward_iat,
+            backward_iat,
+            flag_counts,
+            saw_syn,
+            saw_syn_ack,
+            saw_fin,
+            saw_rst,
+            termination,
+            closing,
+            last_packet_ts,
+            last_forward_ts,
+            last_backward_ts,
+        })
+    }
+}
+
+impl FlowTermination {
+    /// Stable wire discriminant.
+    fn as_wire_u8(self) -> u8 {
+        match self {
+            FlowTermination::IdleTimeout => 0,
+            FlowTermination::ActiveTimeout => 1,
+            FlowTermination::TcpClose => 2,
+            FlowTermination::Flush => 3,
+            FlowTermination::Evicted => 4,
+        }
+    }
+
+    fn from_wire_u8(tag: u8) -> idsbench_net::wire::WireResult<Self> {
+        Ok(match tag {
+            0 => FlowTermination::IdleTimeout,
+            1 => FlowTermination::ActiveTimeout,
+            2 => FlowTermination::TcpClose,
+            3 => FlowTermination::Flush,
+            4 => FlowTermination::Evicted,
+            tag => return Err(idsbench_net::wire::WireError::BadTag(tag)),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +479,33 @@ mod tests {
         record.update(d, &rst);
         assert!(record.tcp_closed());
         assert!(record.saw_rst);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_bitwise_and_keeps_continuation_state() {
+        let mut record = open_three_way();
+        record.termination = FlowTermination::TcpClose;
+        record.closing = true;
+        let mut buf = Vec::new();
+        record.encode_wire(&mut buf);
+        let mut reader = idsbench_net::wire::WireReader::new(&buf);
+        let mut decoded = FlowRecord::decode_wire(&mut reader).unwrap();
+        assert!(reader.is_empty(), "decoder must consume the whole record");
+        assert_eq!(decoded, record);
+        // The private continuation state survived: the next packet's IAT is
+        // measured from the migrated last-packet timestamp, not reset.
+        let next = packet((1, 5000), (2, 80), TcpFlags::ACK, 10, 0.045);
+        let (_, dir) = FlowKey::from_packet(&next).unwrap().canonical();
+        decoded.update(dir, &next);
+        record.update(dir, &next);
+        assert_eq!(decoded, record);
+        assert_eq!(decoded.iat.count(), 3);
+
+        // Truncation anywhere is an error, never a panic or a bogus record.
+        for cut in 0..buf.len() {
+            let mut reader = idsbench_net::wire::WireReader::new(&buf[..cut]);
+            assert!(FlowRecord::decode_wire(&mut reader).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

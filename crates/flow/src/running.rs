@@ -110,6 +110,19 @@ impl RunningStats {
         }
     }
 
+    /// The raw accumulator state `(count, mean, m2, min, max, sum)` — the
+    /// wire representation. Round-tripping through [`RunningStats::from_parts`]
+    /// is bitwise lossless, so migrated flows keep producing identical
+    /// features.
+    pub fn to_parts(&self) -> (u64, f64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max, self.sum)
+    }
+
+    /// Rebuilds an accumulator from [`RunningStats::to_parts`] output.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64, sum: f64) -> Self {
+        RunningStats { count, mean, m2, min, max, sum }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &RunningStats) {
         if other.count == 0 {

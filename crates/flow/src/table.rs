@@ -78,6 +78,11 @@ impl FlowTable {
         self.flows.len()
     }
 
+    /// Whether a canonical key currently has an open record in the table.
+    pub fn contains(&self, key: &FlowKey) -> bool {
+        self.flows.contains_key(key)
+    }
+
     /// Total flows emitted so far (not counting those still open).
     pub fn flows_emitted(&self) -> u64 {
         self.emitted

@@ -54,6 +54,7 @@ pub mod pcap;
 mod tcp;
 mod time;
 mod udp;
+pub mod wire;
 
 pub use addr::MacAddr;
 pub use arp::{ArpOperation, ArpPacket};

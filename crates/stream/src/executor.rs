@@ -52,29 +52,25 @@
 //!
 //! [`BoundedSource`]: crate::source::BoundedSource
 
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use crossbeam::channel;
-use idsbench_core::metrics::{auc, roc_curve, ConfusionMatrix};
 use idsbench_core::threshold::ThresholdPolicy;
 use idsbench_core::{
-    CoreError, Event, EventDetector, FlowEventAssembler, FlowMigration, InputFormat, LabeledPacket,
+    CoreError, EventDetector, FlowEventAssembler, FlowMigration, InputFormat, LabeledPacket,
     ParsedView, Result, ScaleEvent, TrainView,
 };
-use idsbench_flow::{FlowKey, FlowTableConfig};
+use idsbench_flow::FlowTableConfig;
 use idsbench_telemetry::{
     Counter, Gauge, JournalEvent, SpanTimer, Stage, StageHistogram, Telemetry,
 };
 
 use crate::autoscale::{AutoscalePolicy, Autoscaler, LiveSignals, ScaleDirection};
-use crate::metrics::{
-    family_recall, window_metrics, LatencyHistogram, OnlineStats, ScoredEvent, Throughput,
-};
-use crate::report::{ShardStats, StreamReport};
+use crate::report::StreamReport;
 use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::shard::{merge_outcomes, Recorder, ShardLoop, ShardOutcome, ShardSpans, StreamItem};
 use crate::source::PacketSource;
 
 /// How the alert threshold is resolved at the end of a run.
@@ -183,13 +179,6 @@ pub struct StreamRun {
     pub labels: Vec<bool>,
 }
 
-/// One packet in flight from the feeder to a shard: the parsed view rides
-/// along, so the shard never touches raw bytes.
-struct StreamItem {
-    seq: u64,
-    view: ParsedView,
-}
-
 /// Everything that travels the feeder→shard channel. Control messages ride
 /// the same ordered channel as the data, which is what makes the rebalance
 /// protocol correct: a `Rebalance` is provably behind every packet routed
@@ -205,200 +194,6 @@ enum ShardMsg {
     /// Flows whose ownership moved here: absorb their records, label
     /// folds, and detector per-flow state before scoring anything newer.
     Migrate(Vec<FlowMigration>),
-}
-
-/// Per-shard recording state, chosen by threshold mode.
-enum Recorder {
-    /// Replay mode: keep every scored event for post-hoc calibration.
-    Full(Vec<ScoredEvent>),
-    /// Zero-buffer mode: fold into online aggregates at a fixed threshold.
-    Online(Box<OnlineStats>, f64),
-}
-
-impl Recorder {
-    #[allow(clippy::too_many_arguments)]
-    fn push(
-        &mut self,
-        seq: u64,
-        sub: u32,
-        window: u64,
-        score: f64,
-        latency_nanos: u64,
-        label: idsbench_core::Label,
-    ) {
-        match self {
-            Recorder::Full(records) => records.push(ScoredEvent {
-                seq,
-                sub,
-                window,
-                score,
-                latency_nanos,
-                label: label.is_attack(),
-                kind: label.attack_kind(),
-            }),
-            Recorder::Online(stats, threshold) => stats.record(
-                window,
-                score,
-                *threshold,
-                label.is_attack(),
-                label.attack_kind(),
-                latency_nanos,
-            ),
-        }
-    }
-}
-
-/// What a shard hands back when its channel drains.
-struct ShardOutcome {
-    shard: usize,
-    recorder: Recorder,
-    score_seconds: f64,
-    fit_seconds: f64,
-    packets: usize,
-    flows: usize,
-}
-
-use crate::metrics::window_index as window_of_micros;
-
-/// Per-shard stage histograms; present only when the run carries telemetry.
-/// Score and evict reuse the latencies the recorder already measures, so
-/// attaching them adds no clock reads to the scoring path.
-struct ShardSpans {
-    score: Arc<StageHistogram>,
-    evict: Arc<StageHistogram>,
-    migrate: Arc<StageHistogram>,
-}
-
-/// The per-shard event loop: scores the packet event, feeds the shard's
-/// flow table (flow-format detectors only), and scores the evictions — the
-/// exact event order the batch driver replays.
-struct ShardLoop {
-    /// Stable shard id — the identity the ring routes to.
-    id: usize,
-    detector: Box<dyn EventDetector>,
-    recorder: Recorder,
-    assembler: Option<FlowEventAssembler>,
-    evicted: Vec<idsbench_core::LabeledFlow>,
-    flows: HashSet<FlowKey>,
-    window_secs: f64,
-    score_nanos: u128,
-    packets: usize,
-    /// Live latency histogram feeding the autoscaler's p99 signal; absent
-    /// (zero overhead) when the run is not autoscaling.
-    live_latency: Option<LatencyHistogram>,
-    /// Per-stage telemetry histograms; absent without telemetry.
-    spans: Option<ShardSpans>,
-}
-
-impl ShardLoop {
-    fn on_packet(&mut self, item: &StreamItem) {
-        self.packets += 1;
-        if let Some(key) = item.view.flow_key {
-            self.flows.insert(key);
-        }
-        let started = Instant::now();
-        let score = self.detector.on_event(&Event::Packet(&item.view));
-        let latency = started.elapsed();
-        self.score_nanos += latency.as_nanos();
-        if let Some(spans) = &self.spans {
-            spans.score.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
-        }
-        if let Some(score) = score {
-            let window = window_of_micros(item.view.packet.packet.ts.as_micros(), self.window_secs);
-            let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-            if let Some(hist) = &mut self.live_latency {
-                hist.record(latency_nanos);
-            }
-            self.recorder.push(item.seq, 0, window, score, latency_nanos, item.view.label());
-        }
-        if let Some(assembler) = &mut self.assembler {
-            let evicted = &mut self.evicted;
-            assembler.observe(&item.view, |flow| evicted.push(flow));
-            // Take/restore so the buffer's capacity survives eviction
-            // bursts (on_flow needs &mut self, so draining in place would
-            // alias the borrow).
-            let mut evicted = std::mem::take(&mut self.evicted);
-            for (index, flow) in evicted.drain(..).enumerate() {
-                self.on_flow(item.seq, index as u32 + 1, flow);
-            }
-            self.evicted = evicted;
-        }
-    }
-
-    fn on_flow(&mut self, seq: u64, sub: u32, flow: idsbench_core::LabeledFlow) {
-        let started = Instant::now();
-        let score = self.detector.on_event(&Event::FlowEvicted(&flow));
-        let latency = started.elapsed();
-        self.score_nanos += latency.as_nanos();
-        if let Some(spans) = &self.spans {
-            spans.evict.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
-        }
-        if let Some(score) = score {
-            let window = window_of_micros(flow.record.last_seen.as_micros(), self.window_secs);
-            let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
-            if let Some(hist) = &mut self.live_latency {
-                hist.record(latency_nanos);
-            }
-            self.recorder.push(seq, sub, window, score, latency_nanos, flow.label);
-        }
-    }
-
-    /// Ring membership changed: extract every flow this shard no longer
-    /// owns — open records and label folds from the assembler (flow-format
-    /// detectors), the owned-key inventory otherwise — plus whatever
-    /// per-flow state the detector keeps, as the migration payload.
-    fn on_rebalance(&mut self, ring: &HashRing) -> Vec<FlowMigration> {
-        let mut migrations = match &mut self.assembler {
-            Some(assembler) => assembler.extract_departing(|key| ring.owner_of(key) == self.id),
-            None => {
-                let mut departing: Vec<FlowKey> = self
-                    .flows
-                    .iter()
-                    .filter(|key| ring.owner_of(key) != self.id)
-                    .copied()
-                    .collect();
-                departing.sort_unstable();
-                departing
-                    .into_iter()
-                    .map(|key| FlowMigration {
-                        key,
-                        record: None,
-                        label: idsbench_core::Label::Benign,
-                        detector: None,
-                    })
-                    .collect()
-            }
-        };
-        for migration in &mut migrations {
-            migration.detector = self.detector.extract_flow_state(&migration.key);
-            self.flows.remove(&migration.key);
-        }
-        migrations
-    }
-
-    /// Flows whose ownership moved here: adopt them before any packet
-    /// routed under the new ring (message order on the channel guarantees
-    /// the "before").
-    fn on_migrate(&mut self, migrations: Vec<FlowMigration>) {
-        for mut migration in migrations {
-            self.flows.insert(migration.key);
-            if let Some(state) = migration.detector.take() {
-                self.detector.absorb_flow_state(&migration.key, state);
-            }
-            if let Some(assembler) = &mut self.assembler {
-                assembler.absorb(migration);
-            }
-        }
-    }
-
-    /// End of stream: flush the flow table (same as the batch driver).
-    fn finish(&mut self) {
-        if let Some(mut assembler) = self.assembler.take() {
-            for (index, flow) in assembler.flush().into_iter().enumerate() {
-                self.on_flow(u64::MAX, index as u32, flow);
-            }
-        }
-    }
 }
 
 /// Everything a shard worker needs from the run environment; cloned per
@@ -549,28 +344,15 @@ fn spawn_shard<'scope>(
             }
         };
 
-        let recorder = match ctx.threshold {
-            ThresholdMode::Fixed(threshold) => Recorder::Online(Box::default(), threshold),
-            ThresholdMode::Calibrated(_) => Recorder::Full(Vec::new()),
-        };
-        let mut state = ShardLoop {
+        let mut state = ShardLoop::new(
             id,
             detector,
-            recorder,
-            assembler: matches!(ctx.format, InputFormat::Flows)
-                .then(|| FlowEventAssembler::new(ctx.flow)),
-            evicted: Vec::new(),
-            flows: HashSet::new(),
-            window_secs: ctx.window_secs,
-            score_nanos: 0,
-            packets: 0,
-            live_latency: p99_nanos.is_some().then(LatencyHistogram::default),
-            spans: ctx.telemetry.map(|telemetry| ShardSpans {
-                score: telemetry.stage(Stage::Score, Some(id)),
-                evict: telemetry.stage(Stage::Evict, Some(id)),
-                migrate: telemetry.stage(Stage::Migrate, Some(id)),
-            }),
-        };
+            Recorder::for_mode(ctx.threshold),
+            matches!(ctx.format, InputFormat::Flows).then(|| FlowEventAssembler::new(ctx.flow)),
+            ctx.window_secs,
+            p99_nanos.is_some(),
+            ctx.telemetry.map(|telemetry| ShardSpans::new(telemetry, id)),
+        );
         for msg in rx.iter() {
             match msg {
                 ShardMsg::Batch(batch) => {
@@ -581,9 +363,10 @@ fn spawn_shard<'scope>(
                     // track *current* latency — a cumulative histogram would
                     // let one early slow burst pin `overloaded` for the rest
                     // of the run.
-                    if let (Some(hist), Some(out)) = (&mut state.live_latency, &p99_nanos) {
-                        out.store(hist.percentile(0.99), Ordering::Relaxed);
-                        hist.clear();
+                    if let Some(out) = &p99_nanos {
+                        if let Some(p99) = state.batch_p99() {
+                            out.store(p99, Ordering::Relaxed);
+                        }
                     }
                     // The batch goes back *full*: the feeder recycles each
                     // view's payload buffer into its source's arena before
@@ -593,25 +376,11 @@ fn spawn_shard<'scope>(
                 ShardMsg::Rebalance { ring, reply } => {
                     let _ = reply.send(state.on_rebalance(&ring));
                 }
-                ShardMsg::Migrate(migrations) => {
-                    let started = state.spans.as_ref().map(|_| Instant::now());
-                    state.on_migrate(migrations);
-                    if let (Some(spans), Some(started)) = (&state.spans, started) {
-                        let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                        spans.migrate.record(nanos);
-                    }
-                }
+                ShardMsg::Migrate(migrations) => state.on_migrate(migrations),
             }
         }
         state.finish();
-        Some(ShardOutcome {
-            shard: id,
-            recorder: state.recorder,
-            score_seconds: state.score_nanos as f64 / 1e9,
-            fit_seconds,
-            packets: state.packets,
-            flows: state.flows.len(),
-        })
+        Some(state.into_outcome(fit_seconds))
     })
 }
 
@@ -1035,7 +804,7 @@ pub fn run_stream_with_telemetry(
         }
     }
 
-    Ok(finalise(
+    Ok(merge_outcomes(
         detector_name,
         source_name,
         warmup.len(),
@@ -1051,150 +820,15 @@ pub fn run_stream_with_telemetry(
     ))
 }
 
-/// Merges shard outcomes, resolves the threshold, and assembles the report.
-#[allow(clippy::too_many_arguments)]
-fn finalise(
-    detector: String,
-    source: String,
-    warmup_packets: usize,
-    fed: u64,
-    wall_seconds: f64,
-    assembly_seconds: f64,
-    outcomes: Vec<ShardOutcome>,
-    scale_events: Vec<ScaleEvent>,
-    final_shards: usize,
-    shard_stalls: Vec<(usize, usize)>,
-    dropped_packets: u64,
-    config: &StreamConfig,
-) -> StreamRun {
-    let mut shard_stats = Vec::with_capacity(outcomes.len());
-    let mut score_seconds = 0.0;
-    let mut fit_seconds: f64 = 0.0;
-    let mut full: Vec<(usize, ScoredEvent)> = Vec::new();
-    let mut online: Option<OnlineStats> = None;
-    let mut fixed_threshold = None;
-    for outcome in outcomes {
-        let items = match &outcome.recorder {
-            Recorder::Full(records) => records.len(),
-            Recorder::Online(stats, _) => stats.events,
-        };
-        shard_stats.push(ShardStats {
-            shard: outcome.shard,
-            packets: outcome.packets,
-            items,
-            flows: outcome.flows,
-            score_seconds: outcome.score_seconds,
-            stalls: shard_stalls
-                .iter()
-                .find(|(id, _)| *id == outcome.shard)
-                .map_or(0, |(_, stalls)| *stalls),
-        });
-        score_seconds += outcome.score_seconds;
-        fit_seconds = fit_seconds.max(outcome.fit_seconds);
-        match outcome.recorder {
-            Recorder::Full(records) => {
-                full.extend(records.into_iter().map(|r| (outcome.shard, r)));
-            }
-            Recorder::Online(stats, threshold) => {
-                fixed_threshold = Some(threshold);
-                match &mut online {
-                    Some(merged) => merged.merge(&stats),
-                    None => online = Some(*stats),
-                }
-            }
-        }
-    }
-    let train_seconds = assembly_seconds + fit_seconds;
-
-    if let Some(stats) = online {
-        // Zero-buffer path: everything was aggregated online; no scores
-        // exist to calibrate or rank, so AUC is undefined.
-        let threshold = fixed_threshold.unwrap_or(f64::INFINITY);
-        let report = StreamReport {
-            detector,
-            source,
-            shards: config.shards,
-            batch_size: config.batch_size,
-            warmup_packets,
-            eval_packets: fed as usize,
-            eval_items: stats.events,
-            dropped_packets,
-            attack_share: if stats.events == 0 {
-                0.0
-            } else {
-                stats.attacks as f64 / stats.events as f64
-            },
-            threshold,
-            metrics: stats.cm.metrics(),
-            false_positive_rate: stats.cm.false_positive_rate(),
-            auc: f64::NAN,
-            family_recall: stats.family_recall(),
-            windows: stats.window_metrics(config.window_secs),
-            throughput: Throughput::from_histogram(
-                fed as usize,
-                wall_seconds,
-                &stats.latency,
-                score_seconds,
-                train_seconds,
-            ),
-            shard_stats,
-            scale_events,
-            final_shards,
-        };
-        return StreamRun { report, scores: Vec::new(), labels: Vec::new() };
-    }
-
-    // Replay path: restore the batch driver's event order — packet seq,
-    // then the evictions it triggered; flush events (seq = MAX) ordered by
-    // shard then flush index.
-    full.sort_by_key(|(shard, r)| (r.seq, *shard, r.sub));
-    let records: Vec<ScoredEvent> = full.into_iter().map(|(_, r)| r).collect();
-
-    let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
-    let labels: Vec<bool> = records.iter().map(|r| r.label).collect();
-    let threshold = match config.threshold {
-        ThresholdMode::Fixed(t) => t,
-        ThresholdMode::Calibrated(policy) => policy.calibrate(&scores, &labels),
-    };
-
-    let cm = ConfusionMatrix::from_scores(&scores, &labels, threshold);
-    let attacks = labels.iter().filter(|&&l| l).count();
-    let report = StreamReport {
-        detector,
-        source,
-        shards: config.shards,
-        batch_size: config.batch_size,
-        warmup_packets,
-        eval_packets: fed as usize,
-        eval_items: records.len(),
-        dropped_packets,
-        attack_share: if labels.is_empty() { 0.0 } else { attacks as f64 / labels.len() as f64 },
-        threshold,
-        metrics: cm.metrics(),
-        false_positive_rate: cm.false_positive_rate(),
-        auc: auc(&roc_curve(&scores, &labels)),
-        family_recall: family_recall(&records, threshold),
-        windows: window_metrics(&records, config.window_secs, threshold),
-        throughput: Throughput::from_run(
-            fed as usize,
-            wall_seconds,
-            records.iter().map(|r| r.latency_nanos).collect(),
-            score_seconds,
-            train_seconds,
-        ),
-        shard_stats,
-        scale_events,
-        final_shards,
-    };
-    StreamRun { report, scores, labels }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::source::VecSource;
-    use idsbench_core::{AttackKind, Label};
+    use idsbench_core::metrics::ConfusionMatrix;
+    use idsbench_core::{AttackKind, Event, Label};
+    use idsbench_flow::FlowKey;
     use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
+    use std::collections::HashSet;
     use std::net::Ipv4Addr;
 
     /// Scores by wire length after counting warmup packets.
@@ -1642,7 +1276,6 @@ mod tests {
 
     #[test]
     fn detector_per_flow_state_migrates_with_ownership() {
-        use std::any::Any;
         use std::collections::HashMap;
 
         /// Packet detector whose score is the packet's 1-based position
@@ -1674,12 +1307,12 @@ mod tests {
                     Event::FlowEvicted(_) => None,
                 }
             }
-            fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Box<dyn Any + Send>> {
-                self.counts.remove(key).map(|count| Box::new(count) as Box<dyn Any + Send>)
+            fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Vec<u8>> {
+                self.counts.remove(key).map(|count| count.to_le_bytes().to_vec())
             }
-            fn absorb_flow_state(&mut self, key: &FlowKey, state: Box<dyn Any + Send>) {
-                if let Ok(count) = state.downcast::<u64>() {
-                    self.counts.insert(*key, *count);
+            fn absorb_flow_state(&mut self, key: &FlowKey, state: Vec<u8>) {
+                if let Ok(bytes) = <[u8; 8]>::try_from(state.as_slice()) {
+                    self.counts.insert(*key, u64::from_le_bytes(bytes));
                 }
             }
         }

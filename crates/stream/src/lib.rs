@@ -84,6 +84,7 @@ pub mod executor;
 pub mod metrics;
 pub mod report;
 pub mod ring;
+pub mod shard;
 pub mod source;
 
 pub use autoscale::{
@@ -94,4 +95,5 @@ pub use idsbench_core::ScaleEvent;
 pub use metrics::{LatencyHistogram, OnlineStats, ScoredEvent, Throughput, WindowMetrics};
 pub use report::{ShardStats, StreamReport};
 pub use ring::{HashRing, DEFAULT_VNODES};
+pub use shard::{merge_outcomes, Recorder, ShardLoop, ShardOutcome, ShardSpans, StreamItem};
 pub use source::{BoundedSource, PacketSource, PcapLabeler, PcapSource, ScenarioSource, VecSource};

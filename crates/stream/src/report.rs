@@ -224,40 +224,9 @@ impl StreamReport {
     }
 }
 
-fn json_str(out: &mut String, key: &str, value: &str) {
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\":\"");
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn json_num(out: &mut String, key: &str, value: f64) {
-    out.push('"');
-    out.push_str(key);
-    out.push_str("\":");
-    if value.is_finite() {
-        // Integral values print without a fraction so counts stay counts.
-        if value.fract() == 0.0 && value.abs() < 9e15 {
-            out.push_str(&format!("{}", value as i64));
-        } else {
-            out.push_str(&format!("{value}"));
-        }
-    } else {
-        // JSON has no Infinity/NaN; null is the conventional encoding.
-        out.push_str("null");
-    }
-}
+// The escaping and number conventions live in `idsbench_core::json` (shared
+// with the batch report, the telemetry sink, and the fig binaries).
+use idsbench_core::json::{num_field as json_num, str_field as json_str};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,489 @@
+//! The shard event loop as a reusable unit: one detector instance plus its
+//! flow table, label fold, and recorder, driven by routed packets and the
+//! drain-then-migrate rebalance protocol.
+//!
+//! [`ShardLoop`] is the *same* code path whether the shard lives on a
+//! thread inside [`run_stream`](crate::executor::run_stream) or inside a
+//! remote `idsbench-fabric` worker process fed over a socket — that shared
+//! body is what makes single-process and multi-node runs score-identical
+//! by construction rather than by parallel maintenance. The executor owns
+//! the threads and channels; this module owns the event semantics.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use idsbench_core::metrics::{auc, roc_curve, ConfusionMatrix};
+use idsbench_core::{
+    Event, EventDetector, FlowEventAssembler, FlowMigration, ParsedView, ScaleEvent,
+};
+use idsbench_flow::FlowKey;
+use idsbench_telemetry::{Stage, StageHistogram, Telemetry};
+
+use crate::executor::{StreamConfig, StreamRun, ThresholdMode};
+use crate::metrics::window_index as window_of_micros;
+use crate::metrics::{
+    family_recall, window_metrics, LatencyHistogram, OnlineStats, ScoredEvent, Throughput,
+};
+use crate::report::{ShardStats, StreamReport};
+use crate::ring::HashRing;
+
+use std::sync::Arc;
+
+/// One packet in flight from a feeder to a shard: the parsed view rides
+/// along, so the shard never touches raw bytes.
+#[derive(Debug)]
+pub struct StreamItem {
+    /// Global feed order of the packet (assigned by the feeder).
+    pub seq: u64,
+    /// The packet's single parse, shared by routing and scoring.
+    pub view: ParsedView,
+}
+
+/// Per-shard recording state, chosen by threshold mode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recorder {
+    /// Replay mode: keep every scored event for post-hoc calibration.
+    Full(Vec<ScoredEvent>),
+    /// Zero-buffer mode: fold into online aggregates at a fixed threshold.
+    Online(Box<OnlineStats>, f64),
+}
+
+impl Recorder {
+    /// The recorder a shard needs under `mode`: full score recording for
+    /// calibrated runs, online aggregation at the fixed threshold
+    /// otherwise.
+    pub fn for_mode(mode: ThresholdMode) -> Self {
+        match mode {
+            ThresholdMode::Fixed(threshold) => Recorder::Online(Box::default(), threshold),
+            ThresholdMode::Calibrated(_) => Recorder::Full(Vec::new()),
+        }
+    }
+
+    /// Number of events this recorder has absorbed.
+    pub fn items(&self) -> usize {
+        match self {
+            Recorder::Full(records) => records.len(),
+            Recorder::Online(stats, _) => stats.events,
+        }
+    }
+
+    /// Records one scored event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        seq: u64,
+        sub: u32,
+        window: u64,
+        score: f64,
+        latency_nanos: u64,
+        label: idsbench_core::Label,
+    ) {
+        match self {
+            Recorder::Full(records) => records.push(ScoredEvent {
+                seq,
+                sub,
+                window,
+                score,
+                latency_nanos,
+                label: label.is_attack(),
+                kind: label.attack_kind(),
+            }),
+            Recorder::Online(stats, threshold) => stats.record(
+                window,
+                score,
+                *threshold,
+                label.is_attack(),
+                label.attack_kind(),
+                latency_nanos,
+            ),
+        }
+    }
+}
+
+/// What a shard hands back when its stream drains — the associatively
+/// mergeable fragment [`merge_outcomes`] folds into the final report. The
+/// fabric worker ships exactly this (the recorder wholesale) back over the
+/// wire, so remote shards merge the same way local ones do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// Stable shard id.
+    pub shard: usize,
+    /// Everything the shard scored.
+    pub recorder: Recorder,
+    /// Busy seconds inside `on_event` calls.
+    pub score_seconds: f64,
+    /// Seconds this shard's detector instance spent in `fit`.
+    pub fit_seconds: f64,
+    /// Packets routed to this shard.
+    pub packets: usize,
+    /// Distinct canonical flows the shard owned at the end.
+    pub flows: usize,
+}
+
+/// Per-shard stage histograms; present only when the run carries telemetry.
+/// Score and evict reuse the latencies the recorder already measures, so
+/// attaching them adds no clock reads to the scoring path.
+#[derive(Debug)]
+pub struct ShardSpans {
+    score: Arc<StageHistogram>,
+    evict: Arc<StageHistogram>,
+    migrate: Arc<StageHistogram>,
+}
+
+impl ShardSpans {
+    /// Resolves the score/evict/migrate stage histograms for `shard` once,
+    /// so the event loop never touches the registry.
+    pub fn new(telemetry: &Telemetry, shard: usize) -> Self {
+        ShardSpans {
+            score: telemetry.stage(Stage::Score, Some(shard)),
+            evict: telemetry.stage(Stage::Evict, Some(shard)),
+            migrate: telemetry.stage(Stage::Migrate, Some(shard)),
+        }
+    }
+}
+
+/// The per-shard event loop: scores the packet event, feeds the shard's
+/// flow table (flow-format detectors only), and scores the evictions — the
+/// exact event order the batch driver replays.
+pub struct ShardLoop {
+    /// Stable shard id — the identity the ring routes to.
+    id: usize,
+    detector: Box<dyn EventDetector>,
+    recorder: Recorder,
+    assembler: Option<FlowEventAssembler>,
+    evicted: Vec<idsbench_core::LabeledFlow>,
+    flows: HashSet<FlowKey>,
+    window_secs: f64,
+    score_nanos: u128,
+    packets: usize,
+    /// Live latency histogram feeding the autoscaler's p99 signal; absent
+    /// (zero overhead) when the run is not autoscaling.
+    live_latency: Option<LatencyHistogram>,
+    /// Per-stage telemetry histograms; absent without telemetry.
+    spans: Option<ShardSpans>,
+}
+
+impl std::fmt::Debug for ShardLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardLoop")
+            .field("id", &self.id)
+            .field("detector", &self.detector.name())
+            .field("packets", &self.packets)
+            .field("flows", &self.flows.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardLoop {
+    /// Builds one shard's event loop around an already-fitted detector.
+    ///
+    /// `assembler` is `Some` for flow-format detectors (the shard then owns
+    /// a flow table and emits eviction events); `live_latency` attaches the
+    /// per-batch p99 histogram the autoscaler samples ([`ShardLoop::batch_p99`]).
+    pub fn new(
+        id: usize,
+        detector: Box<dyn EventDetector>,
+        recorder: Recorder,
+        assembler: Option<FlowEventAssembler>,
+        window_secs: f64,
+        live_latency: bool,
+        spans: Option<ShardSpans>,
+    ) -> Self {
+        ShardLoop {
+            id,
+            detector,
+            recorder,
+            assembler,
+            evicted: Vec::new(),
+            flows: HashSet::new(),
+            window_secs,
+            score_nanos: 0,
+            packets: 0,
+            live_latency: live_latency.then(LatencyHistogram::default),
+            spans,
+        }
+    }
+
+    /// Scores one routed packet and any flow evictions it triggers.
+    pub fn on_packet(&mut self, item: &StreamItem) {
+        self.packets += 1;
+        if let Some(key) = item.view.flow_key {
+            self.flows.insert(key);
+        }
+        let started = Instant::now();
+        let score = self.detector.on_event(&Event::Packet(&item.view));
+        let latency = started.elapsed();
+        self.score_nanos += latency.as_nanos();
+        if let Some(spans) = &self.spans {
+            spans.score.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        if let Some(score) = score {
+            let window = window_of_micros(item.view.packet.packet.ts.as_micros(), self.window_secs);
+            let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(hist) = &mut self.live_latency {
+                hist.record(latency_nanos);
+            }
+            self.recorder.push(item.seq, 0, window, score, latency_nanos, item.view.label());
+        }
+        if let Some(assembler) = &mut self.assembler {
+            let evicted = &mut self.evicted;
+            assembler.observe(&item.view, |flow| evicted.push(flow));
+            // Take/restore so the buffer's capacity survives eviction
+            // bursts (on_flow needs &mut self, so draining in place would
+            // alias the borrow).
+            let mut evicted = std::mem::take(&mut self.evicted);
+            for (index, flow) in evicted.drain(..).enumerate() {
+                self.on_flow(item.seq, index as u32 + 1, flow);
+            }
+            self.evicted = evicted;
+        }
+    }
+
+    fn on_flow(&mut self, seq: u64, sub: u32, flow: idsbench_core::LabeledFlow) {
+        let started = Instant::now();
+        let score = self.detector.on_event(&Event::FlowEvicted(&flow));
+        let latency = started.elapsed();
+        self.score_nanos += latency.as_nanos();
+        if let Some(spans) = &self.spans {
+            spans.evict.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        if let Some(score) = score {
+            let window = window_of_micros(flow.record.last_seen.as_micros(), self.window_secs);
+            let latency_nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+            if let Some(hist) = &mut self.live_latency {
+                hist.record(latency_nanos);
+            }
+            self.recorder.push(seq, sub, window, score, latency_nanos, flow.label);
+        }
+    }
+
+    /// Ring membership changed: extract every flow this shard no longer
+    /// owns — open records and label folds from the assembler (flow-format
+    /// detectors), the owned-key inventory otherwise — plus whatever
+    /// per-flow state the detector keeps, as the migration payload.
+    pub fn on_rebalance(&mut self, ring: &HashRing) -> Vec<FlowMigration> {
+        let mut migrations = match &mut self.assembler {
+            Some(assembler) => assembler.extract_departing(|key| ring.owner_of(key) == self.id),
+            None => {
+                let mut departing: Vec<FlowKey> = self
+                    .flows
+                    .iter()
+                    .filter(|key| ring.owner_of(key) != self.id)
+                    .copied()
+                    .collect();
+                departing.sort_unstable();
+                departing
+                    .into_iter()
+                    .map(|key| FlowMigration {
+                        key,
+                        record: None,
+                        label: idsbench_core::Label::Benign,
+                        label_seen: idsbench_net::Timestamp::ZERO,
+                        detector: None,
+                    })
+                    .collect()
+            }
+        };
+        for migration in &mut migrations {
+            migration.detector = self.detector.extract_flow_state(&migration.key);
+            self.flows.remove(&migration.key);
+        }
+        migrations
+    }
+
+    /// Flows whose ownership moved here: adopt them before any packet
+    /// routed under the new ring (message order — on the channel or on the
+    /// fabric socket — guarantees the "before").
+    pub fn on_migrate(&mut self, migrations: Vec<FlowMigration>) {
+        let started = self.spans.as_ref().map(|_| Instant::now());
+        for mut migration in migrations {
+            self.flows.insert(migration.key);
+            if let Some(state) = migration.detector.take() {
+                self.detector.absorb_flow_state(&migration.key, state);
+            }
+            if let Some(assembler) = &mut self.assembler {
+                assembler.absorb(migration);
+            }
+        }
+        if let (Some(spans), Some(started)) = (&self.spans, started) {
+            let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            spans.migrate.record(nanos);
+        }
+    }
+
+    /// End of stream: flush the flow table (same as the batch driver).
+    pub fn finish(&mut self) {
+        if let Some(mut assembler) = self.assembler.take() {
+            for (index, flow) in assembler.flush().into_iter().enumerate() {
+                self.on_flow(u64::MAX, index as u32, flow);
+            }
+        }
+    }
+
+    /// The scoring p99 of the batch just processed, in nanoseconds,
+    /// resetting the live histogram — the signal must track *current*
+    /// latency, not a cumulative distribution. `None` when the live
+    /// latency histogram is not attached.
+    pub fn batch_p99(&mut self) -> Option<u64> {
+        self.live_latency.as_mut().map(|hist| {
+            let p99 = hist.percentile(0.99);
+            hist.clear();
+            p99
+        })
+    }
+
+    /// Consumes the loop into its mergeable outcome fragment. Call
+    /// [`ShardLoop::finish`] first; `fit_seconds` is supplied by the
+    /// spawner, which timed the detector's `fit`.
+    pub fn into_outcome(self, fit_seconds: f64) -> ShardOutcome {
+        ShardOutcome {
+            shard: self.id,
+            recorder: self.recorder,
+            score_seconds: self.score_nanos as f64 / 1e9,
+            fit_seconds,
+            packets: self.packets,
+            flows: self.flows.len(),
+        }
+    }
+}
+
+/// Merges shard outcomes, resolves the threshold, and assembles the final
+/// [`StreamRun`] — the single merge point shared by the in-process executor
+/// and the fabric coordinator (whose outcomes arrived over sockets).
+///
+/// `fed` is the total packets the feeder routed, `shard_stalls` the
+/// per-shard backpressure counts (including retired shards), and
+/// `assembly_seconds` the shared train-view assembly time that joins the
+/// slowest shard's fit in `train_seconds`.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_outcomes(
+    detector: String,
+    source: String,
+    warmup_packets: usize,
+    fed: u64,
+    wall_seconds: f64,
+    assembly_seconds: f64,
+    outcomes: Vec<ShardOutcome>,
+    scale_events: Vec<ScaleEvent>,
+    final_shards: usize,
+    shard_stalls: Vec<(usize, usize)>,
+    dropped_packets: u64,
+    config: &StreamConfig,
+) -> StreamRun {
+    let mut shard_stats = Vec::with_capacity(outcomes.len());
+    let mut score_seconds = 0.0;
+    let mut fit_seconds: f64 = 0.0;
+    let mut full: Vec<(usize, ScoredEvent)> = Vec::new();
+    let mut online: Option<OnlineStats> = None;
+    let mut fixed_threshold = None;
+    for outcome in outcomes {
+        shard_stats.push(ShardStats {
+            shard: outcome.shard,
+            packets: outcome.packets,
+            items: outcome.recorder.items(),
+            flows: outcome.flows,
+            score_seconds: outcome.score_seconds,
+            stalls: shard_stalls
+                .iter()
+                .find(|(id, _)| *id == outcome.shard)
+                .map_or(0, |(_, stalls)| *stalls),
+        });
+        score_seconds += outcome.score_seconds;
+        fit_seconds = fit_seconds.max(outcome.fit_seconds);
+        match outcome.recorder {
+            Recorder::Full(records) => {
+                full.extend(records.into_iter().map(|r| (outcome.shard, r)));
+            }
+            Recorder::Online(stats, threshold) => {
+                fixed_threshold = Some(threshold);
+                match &mut online {
+                    Some(merged) => merged.merge(&stats),
+                    None => online = Some(*stats),
+                }
+            }
+        }
+    }
+    let train_seconds = assembly_seconds + fit_seconds;
+
+    if let Some(stats) = online {
+        // Zero-buffer path: everything was aggregated online; no scores
+        // exist to calibrate or rank, so AUC is undefined.
+        let threshold = fixed_threshold.unwrap_or(f64::INFINITY);
+        let report = StreamReport {
+            detector,
+            source,
+            shards: config.shards,
+            batch_size: config.batch_size,
+            warmup_packets,
+            eval_packets: fed as usize,
+            eval_items: stats.events,
+            dropped_packets,
+            attack_share: if stats.events == 0 {
+                0.0
+            } else {
+                stats.attacks as f64 / stats.events as f64
+            },
+            threshold,
+            metrics: stats.cm.metrics(),
+            false_positive_rate: stats.cm.false_positive_rate(),
+            auc: f64::NAN,
+            family_recall: stats.family_recall(),
+            windows: stats.window_metrics(config.window_secs),
+            throughput: Throughput::from_histogram(
+                fed as usize,
+                wall_seconds,
+                &stats.latency,
+                score_seconds,
+                train_seconds,
+            ),
+            shard_stats,
+            scale_events,
+            final_shards,
+        };
+        return StreamRun { report, scores: Vec::new(), labels: Vec::new() };
+    }
+
+    // Replay path: restore the batch driver's event order — packet seq,
+    // then the evictions it triggered; flush events (seq = MAX) ordered by
+    // shard then flush index.
+    full.sort_by_key(|(shard, r)| (r.seq, *shard, r.sub));
+    let records: Vec<ScoredEvent> = full.into_iter().map(|(_, r)| r).collect();
+
+    let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
+    let labels: Vec<bool> = records.iter().map(|r| r.label).collect();
+    let threshold = match config.threshold {
+        ThresholdMode::Fixed(t) => t,
+        ThresholdMode::Calibrated(policy) => policy.calibrate(&scores, &labels),
+    };
+
+    let cm = ConfusionMatrix::from_scores(&scores, &labels, threshold);
+    let attacks = labels.iter().filter(|&&l| l).count();
+    let report = StreamReport {
+        detector,
+        source,
+        shards: config.shards,
+        batch_size: config.batch_size,
+        warmup_packets,
+        eval_packets: fed as usize,
+        eval_items: records.len(),
+        dropped_packets,
+        attack_share: if labels.is_empty() { 0.0 } else { attacks as f64 / labels.len() as f64 },
+        threshold,
+        metrics: cm.metrics(),
+        false_positive_rate: cm.false_positive_rate(),
+        auc: auc(&roc_curve(&scores, &labels)),
+        family_recall: family_recall(&records, threshold),
+        windows: window_metrics(&records, config.window_secs, threshold),
+        throughput: Throughput::from_run(
+            fed as usize,
+            wall_seconds,
+            records.iter().map(|r| r.latency_nanos).collect(),
+            score_seconds,
+            train_seconds,
+        ),
+        shard_stats,
+        scale_events,
+        final_shards,
+    };
+    StreamRun { report, scores, labels }
+}

@@ -117,6 +117,32 @@ impl LatencyHistogram {
     pub fn percentile(&self, q: f64) -> u64 {
         percentile_of(&self.buckets, self.count, q)
     }
+
+    /// Iterates the non-empty buckets as `(bucket_index, count)` — the
+    /// sparse wire representation a report fragment ships.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().copied().enumerate().filter(|&(_, n)| n > 0)
+    }
+
+    /// Total bucket slots in the fixed scheme; any `(index, count)` pair
+    /// with `index >= bucket_slots()` is not a valid wire bucket.
+    pub fn bucket_slots() -> usize {
+        BUCKETS
+    }
+
+    /// Adds `count` observations directly into bucket `index` — the inverse
+    /// of [`LatencyHistogram::nonzero_buckets`] for wire decoding. Returns
+    /// `false` (and records nothing) when the index is out of range.
+    pub fn add_bucket(&mut self, index: usize, count: u64) -> bool {
+        match self.buckets.get_mut(index) {
+            Some(slot) => {
+                *slot += count;
+                self.count += count;
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// A shared-reader variant of [`LatencyHistogram`]: recording uses relaxed

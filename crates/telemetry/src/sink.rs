@@ -19,16 +19,10 @@ use std::time::Duration;
 
 use crate::{StageHistogram, Telemetry};
 
-/// Renders an `f64` the way `report.rs` does: integral finite values print
-/// without a fraction, non-finite values print as `null`.
+/// Renders an `f64` the way every report does — delegated to the shared
+/// [`idsbench_core::json`] helpers so the conventions can't drift apart.
 pub(crate) fn json_f64(value: f64) -> String {
-    if value.is_finite() && value.fract() == 0.0 && value.abs() < 9e15 {
-        format!("{}", value as i64)
-    } else if value.is_finite() {
-        format!("{value}")
-    } else {
-        "null".to_string()
-    }
+    idsbench_core::json::fmt_num(value)
 }
 
 fn stage_labels(stage: &StageHistogram) -> String {
