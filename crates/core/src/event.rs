@@ -237,6 +237,21 @@ pub trait EventDetector: Send {
     /// detector by [`EventDetector::extract_flow_state`]. The default drops
     /// it.
     fn absorb_flow_state(&mut self, _key: &FlowKey, _state: Vec<u8>) {}
+
+    /// Copies the per-flow state for `key` *without* removing it — the
+    /// checkpoint counterpart of [`EventDetector::extract_flow_state`],
+    /// used by fault-tolerant executors to snapshot a live shard.
+    ///
+    /// The default implementation round-trips through extract + absorb,
+    /// which is sound for any detector honouring the migration contract
+    /// (`absorb ∘ extract` must be the identity — it is exactly what a
+    /// shard handoff performs). Detectors may override it with a cheaper
+    /// read-only copy.
+    fn snapshot_flow_state(&mut self, key: &FlowKey) -> Option<Vec<u8>> {
+        let state = self.extract_flow_state(key)?;
+        self.absorb_flow_state(key, state.clone());
+        Some(state)
+    }
 }
 
 impl EventDetector for Box<dyn EventDetector> {
@@ -262,6 +277,10 @@ impl EventDetector for Box<dyn EventDetector> {
 
     fn absorb_flow_state(&mut self, key: &FlowKey, state: Vec<u8>) {
         self.as_mut().absorb_flow_state(key, state);
+    }
+
+    fn snapshot_flow_state(&mut self, key: &FlowKey) -> Option<Vec<u8>> {
+        self.as_mut().snapshot_flow_state(key)
     }
 }
 
@@ -459,6 +478,54 @@ impl FlowEventAssembler {
             });
         }
         migrations
+    }
+
+    /// Clones the *entire* live state as migrations, leaving this assembler
+    /// untouched — the checkpoint counterpart of
+    /// [`FlowEventAssembler::extract_departing`]. Open records are copied
+    /// (not extracted), label folds stay in place, and the same dead-tuple
+    /// rule applies: an expired tuple with no open record is skipped, since
+    /// a reopen would reset its fold anyway. Sorted by key.
+    ///
+    /// Restoring a fresh assembler from the result via
+    /// [`FlowEventAssembler::absorb`] plus
+    /// [`FlowEventAssembler::restore_clock`] yields a replica that makes
+    /// byte-identical decisions on a replay of the donor's packet stream.
+    pub fn snapshot_all(&self) -> Vec<FlowMigration> {
+        let mut keys: Vec<FlowKey> = self.labels.keys().copied().collect();
+        keys.sort_unstable();
+        let now = self.last_ts;
+        let mut migrations = Vec::with_capacity(keys.len());
+        for key in keys {
+            let entry = self.labels.get(&key).expect("key came from the label fold");
+            let record = self.table.get(&key).cloned();
+            if record.is_none() && now.saturating_since(entry.last_seen) > self.label_horizon {
+                continue;
+            }
+            migrations.push(FlowMigration {
+                key,
+                record,
+                label: entry.label,
+                label_seen: entry.last_seen,
+                detector: None,
+            });
+        }
+        migrations
+    }
+
+    /// The assembler's traffic clock: latest packet timestamp observed plus
+    /// the flow table's idle-sweep phase. Checkpointed alongside
+    /// [`FlowEventAssembler::snapshot_all`] so a recovered replica sweeps at
+    /// exactly the packets the donor would have.
+    pub fn clock(&self) -> (Timestamp, Timestamp) {
+        (self.last_ts, self.table.sweep_clock())
+    }
+
+    /// Restores a clock captured by [`FlowEventAssembler::clock`] onto a
+    /// fresh assembler, before any replay traffic.
+    pub fn restore_clock(&mut self, last_ts: Timestamp, sweep: Timestamp) {
+        self.last_ts = last_ts;
+        self.table.set_sweep_clock(sweep);
     }
 
     /// Adopts one migrated flow: the label fold merges (attack wins, the
@@ -704,6 +771,88 @@ mod tests {
             migrations[0].key,
             tcp_view((3, 41_000), (2, 80), 0.0, Label::Benign).flow_key.unwrap()
         );
+    }
+
+    #[test]
+    fn snapshot_restores_a_byte_identical_replica() {
+        let config = FlowTableConfig {
+            idle_timeout: Duration::from_secs(2),
+            active_timeout: Duration::from_secs(60),
+            time_wait: Duration::from_secs(1),
+            max_flows: 4096,
+        };
+        let mut donor = FlowEventAssembler::new(config);
+        donor.observe(
+            &tcp_view((1, 40_000), (2, 80), 0.0, Label::Attack(AttackKind::SynFlood)),
+            |_| {},
+        );
+        donor.observe(&tcp_view((3, 41_000), (2, 80), 0.5, Label::Benign), |_| {});
+
+        let snapshot = donor.snapshot_all();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(donor.active_flows(), 2, "snapshot must not disturb the donor");
+        assert_eq!(donor.label_entries(), 2);
+
+        let mut replica = FlowEventAssembler::new(config);
+        let (last_ts, sweep) = donor.clock();
+        for migration in snapshot {
+            replica.absorb(migration);
+        }
+        replica.restore_clock(last_ts, sweep);
+
+        // Same subsequent traffic → same evictions at the same packets,
+        // including sweep-triggered idle evictions, and an identical flush.
+        let tail = [
+            tcp_view((1, 40_000), (2, 80), 0.9, Label::Benign),
+            tcp_view((5, 42_000), (2, 80), 4.0, Label::Benign),
+            tcp_view((5, 42_000), (2, 80), 4.5, Label::Benign),
+        ];
+        let mut donor_evicted = Vec::new();
+        let mut replica_evicted = Vec::new();
+        for view in &tail {
+            donor.observe(view, |flow| donor_evicted.push(flow));
+            replica.observe(view, |flow| replica_evicted.push(flow));
+        }
+        donor_evicted.extend(donor.flush());
+        replica_evicted.extend(replica.flush());
+        assert!(!donor_evicted.is_empty(), "workload must evict something");
+        assert_eq!(donor_evicted, replica_evicted, "replica diverged from the donor");
+    }
+
+    #[test]
+    fn snapshot_flow_state_default_round_trips() {
+        // A detector with per-flow state: the default snapshot must copy
+        // without consuming.
+        #[derive(Debug, Default)]
+        struct Count(std::collections::HashMap<FlowKey, u64>);
+        impl EventDetector for Count {
+            fn name(&self) -> &str {
+                "count"
+            }
+            fn input_format(&self) -> InputFormat {
+                InputFormat::Packets
+            }
+            fn fit(&mut self, _train: &TrainView) {}
+            fn on_event(&mut self, _event: &Event<'_>) -> Option<f64> {
+                Some(0.0)
+            }
+            fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Vec<u8>> {
+                self.0.remove(key).map(|c| c.to_le_bytes().to_vec())
+            }
+            fn absorb_flow_state(&mut self, key: &FlowKey, state: Vec<u8>) {
+                if let Ok(bytes) = <[u8; 8]>::try_from(state.as_slice()) {
+                    self.0.insert(*key, u64::from_le_bytes(bytes));
+                }
+            }
+        }
+        let key = tcp_view((1, 40_000), (2, 80), 0.0, Label::Benign).flow_key.unwrap();
+        let mut detector = Count::default();
+        detector.0.insert(key, 7);
+        let snap = detector.snapshot_flow_state(&key).expect("state exists");
+        assert_eq!(snap, 7u64.to_le_bytes().to_vec());
+        assert_eq!(detector.0.get(&key), Some(&7), "snapshot must not consume");
+        let mut boxed: Box<dyn EventDetector> = Box::new(detector);
+        assert!(boxed.snapshot_flow_state(&key).is_some(), "Box forwards the hook");
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The fabric coordinator: the feeder half of the sharded executor, driving
 //! remote shard pools over sockets instead of threads over channels.
 //!
-//! [`run_fabric`] accepts `workers` connections, handshakes each peer,
-//! streams the warmup slice to all of them (every worker assembles the same
-//! shared train view, like the in-process executor's single
-//! `TrainView::assemble`), spawns the initial shards round-robin across
-//! peers, and then runs the *same* feed loop as
+//! [`run_fabric`] accepts `workers` connections (plus any configured
+//! standbys), handshakes each peer, streams the warmup slice to all of them
+//! (every worker assembles the same shared train view, like the in-process
+//! executor's single `TrainView::assemble`), spawns the initial shards
+//! across peers, and then runs the *same* feed loop as
 //! [`run_stream`](idsbench_stream::run_stream): parse once for routing,
 //! observe the [`Autoscaler`], route by canonical flow key over the
 //! [`HashRing`], batch per shard, and enact scale decisions behind the
@@ -20,24 +20,42 @@
 //! new ring. Cross-peer migrations ride through the coordinator, which
 //! counts them into `fabric_cross_peer_migrations_total`.
 //!
+//! # Crash recovery
+//!
+//! With [`FabricConfig::recovery`] set (the default), the coordinator keeps
+//! every shard re-creatable: each shard has a committed **epoch checkpoint**
+//! (flow state + traffic clock + drained score fragment, refreshed at every
+//! rebalance barrier and every `checkpoint_frames` batches) and a bounded
+//! `ReplayLog` of the state-bearing frames sent since that checkpoint,
+//! appended *before* each send. Any socket error, decode failure, or
+//! io-timeout expiry on a peer classifies it dead: its socket is shut down,
+//! its shards are re-homed one by one onto the least-loaded survivor
+//! (standbys first) via `Spawn` (deterministic re-fit from the shared train
+//! view) + `Restore` (checkpoint state and clock) + an in-order replay of
+//! the log, and the interrupted operation is retried against the new host.
+//! Because a restored replica makes byte-identical scoring decisions on the
+//! replayed frames, fragments dedup by `(shard, epoch)` and the merged
+//! scores stay exactly those of a crash-free run — `fig_faults` in
+//! `idsbench-bench` pins that with seeded kill/corrupt fault plans.
+//!
 //! A [`DrainPlan`] retires an entire worker mid-stream — every shard it
 //! hosts is drained and its flow state (detector per-flow blobs included)
 //! migrated to survivors — after which the peer receives no new shards.
-//! The drained worker stays connected so its earlier outcomes are already
-//! safe and its `Bye` still closes the run cleanly.
 
-use std::time::Instant;
+use std::io;
+use std::time::{Duration, Instant};
 
 use idsbench_core::{FlowMigration, ScaleEvent};
 use idsbench_stream::{
     merge_outcomes, Autoscaler, HashRing, LiveSignals, PacketSource, ScaleDirection, ShardOutcome,
     StreamConfig, StreamRun, DEFAULT_VNODES,
 };
-use idsbench_telemetry::{Stage, StageHistogram, Telemetry};
+use idsbench_telemetry::{JournalEvent, Stage, StageHistogram, Telemetry};
 
+use crate::checkpoint::{EntryKind, FragmentSet, RecoveryConfig, ReplayLog};
 use crate::transport::FabricListener;
 use crate::wire::{CoordMsg, HelloConfig, RingSnapshot, WireItem, WirePacket};
-use crate::{recv_body, send_msg, FabricCounters, FabricError, ShardTransport, WorkerMsg};
+use crate::{FabricCounters, FabricError, ShardTransport, WorkerMsg};
 
 use idsbench_core::LabeledPacket;
 use idsbench_core::ParsedView;
@@ -67,21 +85,26 @@ pub struct FabricConfig {
     /// How long to wait for each worker to dial in.
     pub accept_timeout: std::time::Duration,
     /// Per-peer socket send/receive timeout; `None` blocks forever. A peer
-    /// that stalls longer than this fails the run instead of hanging it.
+    /// that stalls longer than this is classified dead (recovered when
+    /// recovery is on, failing the run otherwise).
     pub io_timeout: Option<std::time::Duration>,
     /// Optional mid-stream worker decommission.
     pub drain: Option<DrainPlan>,
+    /// Epoch checkpointing + crash recovery; `None` restores the fail-fast
+    /// behavior where any peer error aborts the run.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for FabricConfig {
     /// Two workers, 30 s accept window, 60 s per-peer I/O timeout, no
-    /// drain.
+    /// drain, recovery on with [`RecoveryConfig::default`].
     fn default() -> Self {
         FabricConfig {
             workers: 2,
             accept_timeout: std::time::Duration::from_secs(30),
             io_timeout: Some(std::time::Duration::from_secs(60)),
             drain: None,
+            recovery: Some(RecoveryConfig::default()),
         }
     }
 }
@@ -94,6 +117,11 @@ struct Peer {
     /// A drained peer keeps its socket (for `Finish`/`Bye`) but receives
     /// no new shards.
     drained: bool,
+    /// A dead peer's socket is shut down and never used again; its shards
+    /// were re-homed when it was classified.
+    dead: bool,
+    /// Standbys host nothing until a recovery re-homes shards onto them.
+    standby: bool,
     /// Rebalance barrier round-trip latencies to this peer.
     rtt: Option<Arc<StageHistogram>>,
 }
@@ -103,16 +131,43 @@ impl std::fmt::Debug for Peer {
         f.debug_struct("Peer")
             .field("shards", &self.shards)
             .field("drained", &self.drained)
+            .field("dead", &self.dead)
+            .field("standby", &self.standby)
             .finish_non_exhaustive()
     }
 }
 
-/// Feeder-side handle to one remote shard: which peer hosts it and the
-/// partial batch accumulating for it. Kept sorted by shard id.
+/// The committed state a dead shard is rebuilt from.
+struct StoredCheckpoint {
+    last_ts_micros: u64,
+    sweep_micros: u64,
+    flows: Vec<FlowMigration>,
+}
+
+/// Feeder-side handle to one remote shard: which peer hosts it, the partial
+/// batch accumulating for it, and its recovery state. Kept sorted by shard
+/// id.
 struct CoordSlot {
     shard: usize,
     peer: usize,
     batch: Vec<WireItem>,
+    /// Committed checkpoint epochs so far (0 = never checkpointed).
+    epoch: u64,
+    checkpoint: Option<StoredCheckpoint>,
+    log: ReplayLog,
+}
+
+impl CoordSlot {
+    fn new(shard: usize, peer: usize) -> Self {
+        CoordSlot {
+            shard,
+            peer,
+            batch: Vec::new(),
+            epoch: 0,
+            checkpoint: None,
+            log: ReplayLog::default(),
+        }
+    }
 }
 
 fn wire_packet(lp: &LabeledPacket) -> WirePacket {
@@ -123,184 +178,541 @@ fn wire_packet(lp: &LabeledPacket) -> WirePacket {
     }
 }
 
+/// An error that classifies the peer dead (vs. a semantic protocol bug on
+/// a healthy socket, which still fails the run).
+fn is_death(err: &FabricError) -> bool {
+    matches!(err, FabricError::Io(_) | FabricError::Wire(_))
+}
+
+fn send_raw(
+    peer: &mut Peer,
+    body: &[u8],
+    counters: Option<&FabricCounters>,
+) -> Result<(), FabricError> {
+    peer.transport.send_frame(body, counters).map_err(FabricError::Io)
+}
+
 fn send_to(
     peer: &mut Peer,
     msg: &CoordMsg,
     counters: Option<&FabricCounters>,
 ) -> Result<(), FabricError> {
-    send_msg(&mut peer.transport, &msg.encode(), counters)
+    send_raw(peer, &msg.encode(), counters)
 }
 
+/// Receives one message; a clean close mid-conversation is an I/O death
+/// (a crashed process closes its socket), not a protocol nit.
 fn recv_from(peer: &mut Peer, counters: Option<&FabricCounters>) -> Result<WorkerMsg, FabricError> {
-    let body = recv_body(&mut peer.transport, counters)?;
+    let body = peer.transport.recv_frame(counters).map_err(FabricError::Io)?.ok_or_else(|| {
+        FabricError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed mid conversation",
+        ))
+    })?;
     Ok(WorkerMsg::decode(&body)?)
 }
 
-/// Runs the drain barrier for one shard against the new ring: sends
-/// `Rebalance`, awaits `Migrations`, records the round-trip on the peer's
-/// RTT histogram, and returns the extracted flows tagged with their source
-/// peer.
-fn rebalance_shard(
-    peers: &mut [Peer],
-    peer_index: usize,
-    shard: usize,
-    snapshot: &RingSnapshot,
-    counters: Option<&FabricCounters>,
-) -> Result<Vec<(usize, FlowMigration)>, FabricError> {
-    let peer = &mut peers[peer_index];
-    let started = Instant::now();
-    send_to(peer, &CoordMsg::Rebalance { shard: shard as u32, ring: snapshot.clone() }, counters)?;
-    let reply = recv_from(peer, counters)?;
-    if let Some(rtt) = &peer.rtt {
-        rtt.record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-    match reply {
-        WorkerMsg::Migrations { shard: echoed, migrations } if echoed as usize == shard => {
-            Ok(migrations.into_iter().map(|m| (peer_index, m)).collect())
-        }
-        other => Err(FabricError::Protocol(format!(
-            "expected Migrations for shard {shard}, got {other:?}"
-        ))),
-    }
-}
-
-/// Delivers extracted flows to their new owners, counting the ones that
-/// crossed a process boundary.
-fn deliver_migrations(
-    peers: &mut [Peer],
-    slots: &[CoordSlot],
-    ring: &HashRing,
-    moved: Vec<(usize, FlowMigration)>,
-    counters: Option<&FabricCounters>,
-) -> Result<usize, FabricError> {
-    let count = moved.len();
-    let mut groups: Vec<(usize, Vec<(usize, FlowMigration)>)> = Vec::new();
-    for (source_peer, migration) in moved {
-        let owner = ring.owner_of(&migration.key);
-        match groups.iter_mut().find(|(shard, _)| *shard == owner) {
-            Some((_, flows)) => flows.push((source_peer, migration)),
-            None => groups.push((owner, vec![(source_peer, migration)])),
-        }
-    }
-    for (owner, tagged) in groups {
-        let slot = slots.iter().find(|slot| slot.shard == owner).expect("ring owner is live");
-        if let Some(counters) = counters {
-            let crossed =
-                tagged.iter().filter(|(source_peer, _)| *source_peer != slot.peer).count();
-            counters.cross_peer_migrations.add(crossed as u64);
-        }
-        let migrations = tagged.into_iter().map(|(_, migration)| migration).collect();
-        send_to(
-            &mut peers[slot.peer],
-            &CoordMsg::Migrate { shard: owner as u32, migrations },
-            counters,
-        )?;
-    }
-    Ok(count)
-}
-
-/// Flushes every partial batch so all packets routed under the current
-/// ring are on their sockets before any control frame follows them.
-fn flush_batches(
-    peers: &mut [Peer],
-    slots: &mut [CoordSlot],
-    counters: Option<&FabricCounters>,
-) -> Result<(), FabricError> {
-    for slot in slots.iter_mut() {
-        if !slot.batch.is_empty() {
-            let items = std::mem::take(&mut slot.batch);
-            send_to(
-                &mut peers[slot.peer],
-                &CoordMsg::Batch { shard: slot.shard as u32, items },
-                counters,
-            )?;
-        }
-    }
-    Ok(())
-}
-
-/// Retires one shard behind the drain barrier: rebalance → migrations →
-/// `Retire` → stored outcome → state handed to survivors. The ring must
-/// already have the shard removed and `slots` must still contain it.
-fn retire_shard(
-    peers: &mut [Peer],
-    slots: &mut Vec<CoordSlot>,
-    ring: &HashRing,
-    victim: usize,
-    outcomes: &mut Vec<ShardOutcome>,
-    counters: Option<&FabricCounters>,
-) -> Result<usize, FabricError> {
-    let at = slots
-        .binary_search_by_key(&victim, |slot| slot.shard)
-        .map_err(|_| FabricError::Protocol(format!("retiring unknown shard {victim}")))?;
-    let slot = slots.remove(at);
-    debug_assert!(slot.batch.is_empty(), "retire without flushing first");
-    let snapshot = RingSnapshot::from_ring(ring);
-    let moved = rebalance_shard(peers, slot.peer, victim, &snapshot, counters)?;
-    let peer = &mut peers[slot.peer];
-    send_to(peer, &CoordMsg::Retire { shard: victim as u32 }, counters)?;
-    match recv_from(peer, counters)? {
-        WorkerMsg::Outcome(outcome) if outcome.shard == victim => outcomes.push(outcome),
-        other => {
-            return Err(FabricError::Protocol(format!(
-                "expected Outcome for retired shard {victim}, got {other:?}"
-            )))
-        }
-    }
-    let index = peers[slot.peer].shards.iter().position(|&s| s == victim);
-    if let Some(index) = index {
-        peers[slot.peer].shards.remove(index);
-    }
-    deliver_migrations(peers, slots, ring, moved, counters)
-}
-
-/// The live non-drained peer hosting the fewest shards (ties go to the
-/// lowest index) — where the next scale-up shard spawns.
-fn least_loaded_peer(peers: &[Peer]) -> Result<usize, FabricError> {
-    peers
-        .iter()
-        .enumerate()
-        .filter(|(_, peer)| !peer.drained)
-        .min_by_key(|(index, peer)| (peer.shards.len(), *index))
-        .map(|(index, _)| index)
-        .ok_or_else(|| FabricError::Protocol("every peer is drained".to_string()))
-}
-
-/// Spawns shard `id` on `peer_index` and waits for its `Ready`.
-fn spawn_shard(
-    peers: &mut [Peer],
-    peer_index: usize,
+fn spawn_exchange(
+    peer: &mut Peer,
     id: usize,
     counters: Option<&FabricCounters>,
 ) -> Result<(), FabricError> {
-    let peer = &mut peers[peer_index];
     send_to(peer, &CoordMsg::Spawn { shard: id as u32 }, counters)?;
     match recv_from(peer, counters)? {
-        WorkerMsg::Ready { shard, .. } if shard as usize == id => {
-            peer.shards.push(id);
-            Ok(())
-        }
+        WorkerMsg::Ready { shard, .. } if shard as usize == id => Ok(()),
         other => {
             Err(FabricError::Protocol(format!("expected Ready for shard {id}, got {other:?}")))
         }
     }
 }
 
+fn retire_exchange(
+    peer: &mut Peer,
+    victim: usize,
+    counters: Option<&FabricCounters>,
+) -> Result<ShardOutcome, FabricError> {
+    send_to(peer, &CoordMsg::Retire { shard: victim as u32 }, counters)?;
+    match recv_from(peer, counters)? {
+        WorkerMsg::Outcome(outcome) if outcome.shard == victim => Ok(outcome),
+        other => Err(FabricError::Protocol(format!(
+            "expected Outcome for retired shard {victim}, got {other:?}"
+        ))),
+    }
+}
+
+fn checkpoint_exchange(
+    peer: &mut Peer,
+    shard: usize,
+    epoch: u64,
+    counters: Option<&FabricCounters>,
+) -> Result<(StoredCheckpoint, ShardOutcome), FabricError> {
+    send_to(peer, &CoordMsg::Checkpoint { shard: shard as u32, epoch }, counters)?;
+    match recv_from(peer, counters)? {
+        WorkerMsg::Checkpoint {
+            shard: echoed,
+            epoch: committed,
+            last_ts_micros,
+            sweep_micros,
+            flows,
+            fragment,
+        } if echoed as usize == shard && committed == epoch => {
+            Ok((StoredCheckpoint { last_ts_micros, sweep_micros, flows }, fragment))
+        }
+        other => Err(FabricError::Protocol(format!(
+            "expected Checkpoint for shard {shard} epoch {epoch}, got {other:?}"
+        ))),
+    }
+}
+
+fn ping_exchange(
+    peer: &mut Peer,
+    nonce: u64,
+    timeout: Duration,
+    restore: Option<Duration>,
+    counters: Option<&FabricCounters>,
+) -> Result<(), FabricError> {
+    peer.transport.set_io_timeout(Some(timeout)).map_err(FabricError::Io)?;
+    let result = (|| {
+        send_to(peer, &CoordMsg::Ping { nonce }, counters)?;
+        match recv_from(peer, counters)? {
+            WorkerMsg::Pong { nonce: echoed } if echoed == nonce => Ok(()),
+            other => Err(FabricError::Protocol(format!("expected Pong({nonce}), got {other:?}"))),
+        }
+    })();
+    let _ = peer.transport.set_io_timeout(restore);
+    result
+}
+
+/// Rebuilds one shard on `peer`: fresh `Spawn` (re-fit from the shared
+/// train view), `Restore` of the committed checkpoint (when one exists),
+/// then an in-order replay of every logged frame. Replies to *replied*
+/// rebalances are consumed and discarded (the replica re-extracts the same
+/// flows the original already handed over); the reply to an un-replied
+/// trailing rebalance is left for the interrupted barrier to pick up.
+fn try_place(
+    peer: &mut Peer,
+    slot: &CoordSlot,
+    counters: Option<&FabricCounters>,
+) -> Result<(), FabricError> {
+    spawn_exchange(peer, slot.shard, counters)?;
+    if let Some(cp) = &slot.checkpoint {
+        send_to(
+            peer,
+            &CoordMsg::Restore {
+                shard: slot.shard as u32,
+                epoch: slot.epoch,
+                last_ts_micros: cp.last_ts_micros,
+                sweep_micros: cp.sweep_micros,
+                flows: cp.flows.clone(),
+            },
+            counters,
+        )?;
+    }
+    for entry in slot.log.entries() {
+        send_raw(peer, &entry.body, counters)?;
+        if let EntryKind::Rebalance { replied: true } = entry.kind {
+            match recv_from(peer, counters)? {
+                WorkerMsg::Migrations { .. } => {}
+                other => {
+                    return Err(FabricError::Protocol(format!(
+                        "expected replayed Migrations for shard {}, got {other:?}",
+                        slot.shard
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The coordinator's live state: peers, shard slots, and the fragment
+/// accumulator, with every peer interaction routed through the recovery
+/// machinery.
+struct Pool<'a> {
+    peers: Vec<Peer>,
+    slots: Vec<CoordSlot>,
+    fragments: FragmentSet,
+    recovery: Option<RecoveryConfig>,
+    io_timeout: Option<Duration>,
+    counters: Option<&'a FabricCounters>,
+    telemetry: Option<&'a Telemetry>,
+    recover_span: Option<Arc<StageHistogram>>,
+    ping_nonce: u64,
+}
+
+impl Pool<'_> {
+    fn slot_index(&self, shard: usize) -> Result<usize, FabricError> {
+        self.slots
+            .binary_search_by_key(&shard, |slot| slot.shard)
+            .map_err(|_| FabricError::StaleRing { shard })
+    }
+
+    /// Where a scale-up spawns: least-loaded live peer, regulars before
+    /// standbys (ties to the lowest accept index).
+    fn spawn_target(&self) -> Result<usize, FabricError> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, peer)| !peer.dead && !peer.drained)
+            .min_by_key(|(index, peer)| (peer.standby, peer.shards.len(), *index))
+            .map(|(index, _)| index)
+            .ok_or_else(|| FabricError::Protocol("no live peers to host a shard".to_string()))
+    }
+
+    /// Where a recovery re-homes: same rule but standbys *first* — that is
+    /// what they are held back for.
+    fn recovery_target(&self) -> Result<usize, FabricError> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, peer)| !peer.dead && !peer.drained)
+            .min_by_key(|(index, peer)| (!peer.standby, peer.shards.len(), *index))
+            .map(|(index, _)| index)
+            .ok_or_else(|| FabricError::Protocol("no live peers to host a shard".to_string()))
+    }
+
+    /// Routes a failed peer interaction: with recovery on and a
+    /// death-classifying error, recovers the peer and returns `Ok` so the
+    /// caller retries; otherwise the error propagates and fails the run.
+    fn handle_death(&mut self, peer: usize, err: FabricError) -> Result<(), FabricError> {
+        if self.recovery.is_none() || !is_death(&err) {
+            return Err(err);
+        }
+        self.recover_peer(peer)
+    }
+
+    /// Classifies `dead` as failed and re-homes every shard it hosted from
+    /// its checkpoint + replay log. Recursion through a secondary death
+    /// during placement is bounded: each call permanently retires one peer.
+    fn recover_peer(&mut self, dead: usize) -> Result<(), FabricError> {
+        if self.peers[dead].dead {
+            return Ok(());
+        }
+        let started = Instant::now();
+        self.peers[dead].dead = true;
+        self.peers[dead].transport.shutdown();
+        if let Some(counters) = self.counters {
+            counters.peer_failures.inc();
+        }
+        let orphans = std::mem::take(&mut self.peers[dead].shards);
+        if let Some(telemetry) = self.telemetry {
+            telemetry.journal().push(JournalEvent::PeerDeath { peer: dead, shards: orphans.len() });
+        }
+        let mut flows = 0usize;
+        let mut replayed = 0u64;
+        for shard in &orphans {
+            let at = self.slot_index(*shard)?;
+            flows += self.slots[at].checkpoint.as_ref().map_or(0, |cp| cp.flows.len());
+            replayed += self.slots[at].log.batches() as u64;
+            self.place_shard(at)?;
+        }
+        let latency = started.elapsed();
+        if let Some(counters) = self.counters {
+            counters.flows_rehomed.add(flows as u64);
+            counters.replayed_batches.add(replayed);
+            counters.recovery_micros.add(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        if let Some(span) = &self.recover_span {
+            span.record(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        if let Some(telemetry) = self.telemetry {
+            telemetry.journal().push(JournalEvent::RecoveryComplete {
+                peer: dead,
+                shards: orphans.len(),
+                flows,
+                replayed_batches: replayed,
+                latency_micros: latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-homes the shard at slot `at` onto a surviving peer, recovering
+    /// through secondary deaths until a placement sticks.
+    fn place_shard(&mut self, at: usize) -> Result<(), FabricError> {
+        loop {
+            let target = self.recovery_target()?;
+            match try_place(&mut self.peers[target], &self.slots[at], self.counters) {
+                Ok(()) => {
+                    let shard = self.slots[at].shard;
+                    self.slots[at].peer = target;
+                    self.peers[target].shards.push(shard);
+                    return Ok(());
+                }
+                Err(err) if is_death(&err) => self.recover_peer(target)?,
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Spawns brand-new shard `id` (scale-up path) and returns its host.
+    fn spawn_new_shard(&mut self, id: usize) -> Result<usize, FabricError> {
+        loop {
+            let target = self.spawn_target()?;
+            match spawn_exchange(&mut self.peers[target], id, self.counters) {
+                Ok(()) => {
+                    self.peers[target].shards.push(id);
+                    return Ok(target);
+                }
+                Err(err) => self.handle_death(target, err)?,
+            }
+        }
+    }
+
+    /// Ships the slot's partial batch (log-then-send), then checkpoints if
+    /// the replay log crossed its frame or byte budget.
+    fn send_batch(&mut self, at: usize) -> Result<(), FabricError> {
+        if self.slots[at].batch.is_empty() {
+            return Ok(());
+        }
+        let shard = self.slots[at].shard as u32;
+        let items = std::mem::take(&mut self.slots[at].batch);
+        let count = items.len();
+        let body = CoordMsg::Batch { shard, items }.encode();
+        if self.recovery.is_some() {
+            self.slots[at].log.push(EntryKind::Batch { count }, body.clone());
+        }
+        let peer = self.slots[at].peer;
+        if let Err(err) = send_raw(&mut self.peers[peer], &body, self.counters) {
+            // The batch is already logged: recovery replays it, so the
+            // delivery is complete either way.
+            self.handle_death(peer, err)?;
+        }
+        if let Some(recovery) = self.recovery {
+            if self.slots[at].log.batches() >= recovery.checkpoint_frames
+                || self.slots[at].log.bytes() >= recovery.max_log_bytes
+            {
+                self.checkpoint_shard(at)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every partial batch so all packets routed under the current
+    /// ring are on their sockets before any control frame follows them.
+    fn flush_batches(&mut self) -> Result<(), FabricError> {
+        for at in 0..self.slots.len() {
+            self.send_batch(at)?;
+        }
+        Ok(())
+    }
+
+    /// Commits a new checkpoint epoch for one shard, retrying through peer
+    /// deaths (a re-homed replica regenerates the exact same fragment from
+    /// the previous checkpoint + replay).
+    fn checkpoint_shard(&mut self, at: usize) -> Result<(), FabricError> {
+        loop {
+            let peer = self.slots[at].peer;
+            let shard = self.slots[at].shard;
+            let epoch = self.slots[at].epoch + 1;
+            match checkpoint_exchange(&mut self.peers[peer], shard, epoch, self.counters) {
+                Ok((checkpoint, fragment)) => {
+                    self.slots[at].checkpoint = Some(checkpoint);
+                    self.slots[at].epoch = epoch;
+                    self.slots[at].log.clear();
+                    self.absorb(epoch, fragment)?;
+                    return Ok(());
+                }
+                Err(err) => self.handle_death(peer, err)?,
+            }
+        }
+    }
+
+    /// The recovery-epoch barrier: checkpoint every live shard and probe
+    /// idle peers (standbys) for liveness. Runs after every scale event
+    /// and planned drain; a no-op with recovery off.
+    fn checkpoint_epoch(&mut self) -> Result<(), FabricError> {
+        if self.recovery.is_none() {
+            return Ok(());
+        }
+        for at in 0..self.slots.len() {
+            self.checkpoint_shard(at)?;
+        }
+        self.ping_idle_peers()
+    }
+
+    /// Liveness probe for live peers hosting no shards — a dead standby
+    /// must be discovered *before* a recovery tries to lean on it.
+    fn ping_idle_peers(&mut self) -> Result<(), FabricError> {
+        let Some(recovery) = self.recovery else { return Ok(()) };
+        for index in 0..self.peers.len() {
+            let peer = &self.peers[index];
+            if peer.dead || peer.drained || !peer.shards.is_empty() {
+                continue;
+            }
+            self.ping_nonce += 1;
+            let nonce = self.ping_nonce;
+            if let Err(err) = ping_exchange(
+                &mut self.peers[index],
+                nonce,
+                recovery.ping_timeout,
+                self.io_timeout,
+                self.counters,
+            ) {
+                // Zero shards hosted: classification only, nothing to
+                // re-home.
+                self.handle_death(index, err)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn absorb(&mut self, epoch: u64, fragment: ShardOutcome) -> Result<(), FabricError> {
+        self.fragments.absorb(epoch, fragment).map_err(FabricError::Protocol)
+    }
+
+    /// Runs the drain barrier for the shard at `at` against the new ring:
+    /// `Rebalance` (logged), await `Migrations`, record the round-trip, and
+    /// return the extracted flows tagged with their source peer.
+    fn rebalance_shard(
+        &mut self,
+        at: usize,
+        snapshot: &RingSnapshot,
+    ) -> Result<Vec<(usize, FlowMigration)>, FabricError> {
+        let shard = self.slots[at].shard;
+        let body = CoordMsg::Rebalance { shard: shard as u32, ring: snapshot.clone() }.encode();
+        if self.recovery.is_some() {
+            self.slots[at].log.push(EntryKind::Rebalance { replied: false }, body.clone());
+        }
+        let started = Instant::now();
+        let mut sent = false;
+        loop {
+            let peer = self.slots[at].peer;
+            if !sent {
+                match send_raw(&mut self.peers[peer], &body, self.counters) {
+                    Ok(()) => sent = true,
+                    Err(err) => {
+                        // Recovery replays the logged rebalance onto the
+                        // new host; only the reply remains outstanding.
+                        self.handle_death(peer, err)?;
+                        sent = true;
+                        continue;
+                    }
+                }
+            }
+            let peer = self.slots[at].peer;
+            match recv_from(&mut self.peers[peer], self.counters) {
+                Ok(WorkerMsg::Migrations { shard: echoed, migrations })
+                    if echoed as usize == shard =>
+                {
+                    if self.recovery.is_some() {
+                        self.slots[at].log.mark_replied();
+                    }
+                    if let Some(rtt) = &self.peers[peer].rtt {
+                        rtt.record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    }
+                    return Ok(migrations.into_iter().map(|m| (peer, m)).collect());
+                }
+                Ok(other) => {
+                    return Err(FabricError::Protocol(format!(
+                        "expected Migrations for shard {shard}, got {other:?}"
+                    )))
+                }
+                Err(err) => self.handle_death(peer, err)?,
+            }
+        }
+    }
+
+    /// Delivers extracted flows to their new owners (logged per destination
+    /// shard), counting the ones that crossed a process boundary.
+    fn deliver_migrations(
+        &mut self,
+        ring: &HashRing,
+        moved: Vec<(usize, FlowMigration)>,
+    ) -> Result<usize, FabricError> {
+        let count = moved.len();
+        let mut groups: Vec<(usize, Vec<(usize, FlowMigration)>)> = Vec::new();
+        for (source_peer, migration) in moved {
+            let owner = ring.owner_of(&migration.key);
+            match groups.iter_mut().find(|(shard, _)| *shard == owner) {
+                Some((_, flows)) => flows.push((source_peer, migration)),
+                None => groups.push((owner, vec![(source_peer, migration)])),
+            }
+        }
+        for (owner, tagged) in groups {
+            let at = self.slot_index(owner)?;
+            let dest_peer = self.slots[at].peer;
+            if let Some(counters) = self.counters {
+                let crossed =
+                    tagged.iter().filter(|(source_peer, _)| *source_peer != dest_peer).count();
+                counters.cross_peer_migrations.add(crossed as u64);
+            }
+            let migrations: Vec<FlowMigration> =
+                tagged.into_iter().map(|(_, migration)| migration).collect();
+            let body = CoordMsg::Migrate { shard: owner as u32, migrations }.encode();
+            if self.recovery.is_some() {
+                self.slots[at].log.push(EntryKind::Migrate, body.clone());
+            }
+            if let Err(err) = send_raw(&mut self.peers[dest_peer], &body, self.counters) {
+                self.handle_death(dest_peer, err)?;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Retires one shard behind the drain barrier: rebalance → migrations
+    /// → `Retire` → final fragment absorbed → state handed to survivors.
+    /// The ring must already have the shard removed.
+    fn retire_shard(&mut self, ring: &HashRing, victim: usize) -> Result<usize, FabricError> {
+        let at = self.slot_index(victim)?;
+        debug_assert!(self.slots[at].batch.is_empty(), "retire without flushing first");
+        let snapshot = RingSnapshot::from_ring(ring);
+        let moved = self.rebalance_shard(at, &snapshot)?;
+        let outcome = loop {
+            let peer = self.slots[at].peer;
+            match retire_exchange(&mut self.peers[peer], victim, self.counters) {
+                Ok(outcome) => break outcome,
+                Err(err) => self.handle_death(peer, err)?,
+            }
+        };
+        self.remove_slot(at, outcome)?;
+        self.deliver_migrations(ring, moved)
+    }
+
+    /// End-of-stream retire for the shard at `at`: no rebalance — the
+    /// worker's `Retire` handler flushes the flow table itself, exactly as
+    /// the old broadcast `Finish` did per shard, but recoverably.
+    fn final_retire(&mut self, at: usize) -> Result<(), FabricError> {
+        let victim = self.slots[at].shard;
+        let outcome = loop {
+            let peer = self.slots[at].peer;
+            match retire_exchange(&mut self.peers[peer], victim, self.counters) {
+                Ok(outcome) => break outcome,
+                Err(err) => self.handle_death(peer, err)?,
+            }
+        };
+        self.remove_slot(at, outcome)
+    }
+
+    /// Absorbs a retired shard's final fragment and drops its slot.
+    fn remove_slot(&mut self, at: usize, outcome: ShardOutcome) -> Result<(), FabricError> {
+        let epoch = self.slots[at].epoch + 1;
+        self.absorb(epoch, outcome)?;
+        let slot = self.slots.remove(at);
+        if let Some(index) = self.peers[slot.peer].shards.iter().position(|&s| s == slot.shard) {
+            self.peers[slot.peer].shards.remove(index);
+        }
+        Ok(())
+    }
+}
+
 /// Runs one multi-node streaming evaluation over an already-bound
-/// listener: accepts `fabric.workers` worker connections, drives the
-/// stream, and merges the remote outcome fragments into the same
-/// [`StreamRun`] the in-process executor produces.
+/// listener: accepts `fabric.workers` worker connections (plus recovery
+/// standbys), drives the stream, and merges the remote outcome fragments
+/// into the same [`StreamRun`] the in-process executor produces.
 ///
 /// `detector` is resolved *by the workers* (their
 /// [`DetectorResolver`](crate::worker::DetectorResolver)); the coordinator
 /// never instantiates it. Telemetry attaches the fabric counters, per-peer
-/// rebalance RTT histograms, and the `live_shards` gauge.
+/// rebalance RTT histograms, the `recover` stage histogram, peer-death /
+/// recovery journal events, and the `live_shards` gauge.
 ///
 /// # Errors
 ///
 /// [`FabricError`] when a worker fails to connect in time, a handshake or
-/// protocol step goes wrong, a socket fails (or times out under
-/// [`FabricConfig::io_timeout`]), or the packet source errors.
+/// protocol step goes wrong, the packet source errors, or — with recovery
+/// off, or after every peer has died — a socket fails (or times out under
+/// [`FabricConfig::io_timeout`]).
 #[allow(clippy::too_many_arguments)]
 pub fn run_fabric(
     detector: &str,
@@ -329,53 +741,76 @@ pub fn run_fabric(
     let counters = telemetry.map(FabricCounters::register);
     let counters = counters.as_ref();
     let hello = HelloConfig::from_stream(detector, config);
+    let standbys = fabric.recovery.map_or(0, |recovery| recovery.standby_workers);
 
-    // ---- Accept + handshake every peer. ----
-    let mut peers: Vec<Peer> = Vec::with_capacity(fabric.workers);
-    for index in 0..fabric.workers {
+    // ---- Accept + handshake every peer (standbys last). ----
+    let mut pool = Pool {
+        peers: Vec::with_capacity(fabric.workers + standbys),
+        slots: Vec::with_capacity(config.shards),
+        fragments: FragmentSet::default(),
+        recovery: fabric.recovery,
+        io_timeout: fabric.io_timeout,
+        counters,
+        telemetry,
+        recover_span: telemetry.map(|t| t.stage(Stage::Recover, None)),
+        ping_nonce: 0,
+    };
+    for index in 0..fabric.workers + standbys {
         let transport = listener.accept_timeout(fabric.accept_timeout)?;
         transport.set_io_timeout(fabric.io_timeout)?;
-        peers.push(Peer {
+        pool.peers.push(Peer {
             transport,
             shards: Vec::new(),
             drained: false,
+            dead: false,
+            standby: index >= fabric.workers,
             rtt: telemetry.map(|t| t.stage(Stage::Rebalance, Some(index))),
         });
     }
     let mut detector_name = detector.to_string();
-    for peer in &mut peers {
-        send_to(peer, &CoordMsg::Hello(hello.clone()), counters)?;
-        match recv_from(peer, counters)? {
-            WorkerMsg::HelloOk { detector: resolved, .. } => detector_name = resolved,
-            other => {
-                return Err(FabricError::Protocol(format!("expected HelloOk, got {other:?}")));
+    for index in 0..pool.peers.len() {
+        let result = (|peer: &mut Peer| -> Result<String, FabricError> {
+            send_to(peer, &CoordMsg::Hello(hello.clone()), counters)?;
+            match recv_from(peer, counters)? {
+                WorkerMsg::HelloOk { detector: resolved, .. } => Ok(resolved),
+                other => Err(FabricError::Protocol(format!("expected HelloOk, got {other:?}"))),
             }
+        })(&mut pool.peers[index]);
+        match result {
+            Ok(resolved) => detector_name = resolved,
+            Err(err) => pool.handle_death(index, err)?,
         }
     }
 
-    // ---- Train phase: stream warmup to every peer, then the initial
+    // ---- Train phase: stream warmup to every live peer, then the initial
     // spawn barrier. `assembly_seconds` covers the whole phase (shipping +
     // remote assembly + initial fits happen before the throughput clock).
     let train_started = Instant::now();
-    for peer in &mut peers {
-        for chunk in warmup.chunks(TRAIN_CHUNK) {
-            let packets = chunk.iter().map(wire_packet).collect();
-            send_to(peer, &CoordMsg::Train(packets), counters)?;
+    for index in 0..pool.peers.len() {
+        if pool.peers[index].dead {
+            continue;
         }
-        send_to(peer, &CoordMsg::TrainDone, counters)?;
+        let result = (|peer: &mut Peer| -> Result<(), FabricError> {
+            for chunk in warmup.chunks(TRAIN_CHUNK) {
+                let packets = chunk.iter().map(wire_packet).collect();
+                send_to(peer, &CoordMsg::Train(packets), counters)?;
+            }
+            send_to(peer, &CoordMsg::TrainDone, counters)
+        })(&mut pool.peers[index]);
+        if let Err(err) = result {
+            pool.handle_death(index, err)?;
+        }
     }
     let vnodes = config.autoscale.map_or(DEFAULT_VNODES, |policy| policy.vnodes);
     let mut ring = HashRing::with_shards(vnodes, config.shards);
-    let mut slots: Vec<CoordSlot> = Vec::with_capacity(config.shards);
     for id in 0..config.shards {
-        let peer_index = id % peers.len();
-        spawn_shard(&mut peers, peer_index, id, counters)?;
-        slots.push(CoordSlot { shard: id, peer: peer_index, batch: Vec::new() });
+        let peer_index = pool.spawn_new_shard(id)?;
+        pool.slots.push(CoordSlot::new(id, peer_index));
     }
     let assembly_seconds = train_started.elapsed().as_secs_f64();
     let live_shards = telemetry.map(|t| t.gauge("live_shards"));
     if let Some(gauge) = &live_shards {
-        gauge.set(slots.len() as u64);
+        gauge.set(pool.slots.len() as u64);
     }
 
     // ---- Feed loop: the socket-backed mirror of the executor's feeder.
@@ -386,7 +821,6 @@ pub fn run_fabric(
     let clock = Instant::now();
     let mut scaler = config.autoscale.map(|policy| Autoscaler::new(policy, config.window_secs));
     let mut scale_events: Vec<ScaleEvent> = Vec::new();
-    let mut retired_outcomes: Vec<ShardOutcome> = Vec::new();
     let mut next_id = config.shards;
     let mut drain = fabric.drain;
     let mut seq = 0u64;
@@ -406,27 +840,20 @@ pub fn run_fabric(
         if let Some(plan) = drain {
             if seq >= plan.at_seq {
                 drain = None;
-                flush_batches(&mut peers, &mut slots, counters)?;
-                peers[plan.peer].drained = true;
-                let victims = peers[plan.peer].shards.clone();
+                pool.flush_batches()?;
+                pool.peers[plan.peer].drained = true;
+                let victims = pool.peers[plan.peer].shards.clone();
                 for victim in victims {
-                    let from_shards = slots.len();
+                    let from_shards = pool.slots.len();
                     let barrier = Instant::now();
                     ring.remove_shard(victim);
-                    let moved = retire_shard(
-                        &mut peers,
-                        &mut slots,
-                        &ring,
-                        victim,
-                        &mut retired_outcomes,
-                        counters,
-                    )?;
+                    let moved = pool.retire_shard(&ring, victim)?;
                     scale_events.push(ScaleEvent {
                         seq,
                         at_secs: ts_micros as f64 / 1e6,
                         window: (ts_micros as f64 / 1e6 / config.window_secs) as u64,
                         from_shards,
-                        to_shards: slots.len(),
+                        to_shards: pool.slots.len(),
                         // A drain is an operator action, not a rate
                         // trigger.
                         trigger_pps: 0.0,
@@ -434,8 +861,9 @@ pub fn run_fabric(
                         rebalance_micros: barrier.elapsed().as_micros() as u64,
                     });
                 }
+                pool.checkpoint_epoch()?;
                 if let Some(gauge) = &live_shards {
-                    gauge.set(slots.len() as u64);
+                    gauge.set(pool.slots.len() as u64);
                 }
             }
         }
@@ -443,50 +871,41 @@ pub fn run_fabric(
         if let Some(scaler) = &mut scaler {
             scaler.observe_packet(ts_micros);
             while scaler.has_pending() {
-                let Some(decision) = scaler.poll(slots.len(), LiveSignals::default()) else {
+                let Some(decision) = scaler.poll(pool.slots.len(), LiveSignals::default()) else {
                     break;
                 };
-                flush_batches(&mut peers, &mut slots, counters)?;
-                let from_shards = slots.len();
+                pool.flush_batches()?;
+                let from_shards = pool.slots.len();
                 let barrier = Instant::now();
                 let moved = match decision.direction {
                     ScaleDirection::Up => {
                         let id = next_id;
                         next_id += 1;
-                        let peer_index = least_loaded_peer(&peers)?;
-                        spawn_shard(&mut peers, peer_index, id, counters)?;
+                        let peer_index = pool.spawn_new_shard(id)?;
                         ring.add_shard(id);
                         let snapshot = RingSnapshot::from_ring(&ring);
                         // Drain barrier across every pre-existing shard;
                         // sequential round-trips keep per-socket ordering
-                        // trivially correct.
+                        // trivially correct. The new slot is inserted
+                        // before the barrier so a mid-barrier recovery can
+                        // re-home it too.
+                        let existing: Vec<usize> =
+                            pool.slots.iter().map(|slot| slot.shard).collect();
+                        let insert_at = pool.slots.partition_point(|slot| slot.shard < id);
+                        pool.slots.insert(insert_at, CoordSlot::new(id, peer_index));
                         let mut moved = Vec::new();
-                        let existing: Vec<(usize, usize)> =
-                            slots.iter().map(|slot| (slot.peer, slot.shard)).collect();
-                        for (peer_index, shard) in existing {
-                            moved.extend(rebalance_shard(
-                                &mut peers, peer_index, shard, &snapshot, counters,
-                            )?);
+                        for shard in existing {
+                            let at = pool.slot_index(shard)?;
+                            moved.extend(pool.rebalance_shard(at, &snapshot)?);
                         }
-                        let at = slots.partition_point(|slot| slot.shard < id);
-                        slots.insert(
-                            at,
-                            CoordSlot { shard: id, peer: peer_index, batch: Vec::new() },
-                        );
-                        deliver_migrations(&mut peers, &slots, &ring, moved, counters)?
+                        pool.deliver_migrations(&ring, moved)?
                     }
                     ScaleDirection::Down => {
-                        let victim =
-                            slots.iter().map(|slot| slot.shard).max().expect("pool is not empty");
+                        let victim = pool.slots.last().map(|slot| slot.shard).ok_or_else(|| {
+                            FabricError::Protocol("scale-down on an empty pool".to_string())
+                        })?;
                         ring.remove_shard(victim);
-                        retire_shard(
-                            &mut peers,
-                            &mut slots,
-                            &ring,
-                            victim,
-                            &mut retired_outcomes,
-                            counters,
-                        )?
+                        pool.retire_shard(&ring, victim)?
                     }
                 };
                 scale_events.push(ScaleEvent {
@@ -494,13 +913,14 @@ pub fn run_fabric(
                     at_secs: ts_micros as f64 / 1e6,
                     window: decision.window,
                     from_shards,
-                    to_shards: slots.len(),
+                    to_shards: pool.slots.len(),
                     trigger_pps: decision.trigger_pps,
                     migrated_flows: moved,
                     rebalance_micros: barrier.elapsed().as_micros() as u64,
                 });
+                pool.checkpoint_epoch()?;
                 if let Some(gauge) = &live_shards {
-                    gauge.set(slots.len() as u64);
+                    gauge.set(pool.slots.len() as u64);
                 }
             }
         }
@@ -509,54 +929,60 @@ pub fn run_fabric(
             None => ring.first_shard(),
             Some(key) => ring.owner_of(key),
         };
-        let at = slots.binary_search_by_key(&owner, |slot| slot.shard).expect("ring owner is live");
-        let slot = &mut slots[at];
-        slot.batch.push(WireItem {
+        let at = pool.slot_index(owner)?;
+        pool.slots[at].batch.push(WireItem {
             seq,
             ts_micros,
             label: view.packet.label,
             data: view.packet.packet.data.to_vec(),
         });
         seq += 1;
-        if slot.batch.len() >= config.batch_size {
-            let items = std::mem::take(&mut slot.batch);
-            let shard = slot.shard as u32;
-            let peer = slot.peer;
-            send_to(&mut peers[peer], &CoordMsg::Batch { shard, items }, counters)?;
+        if pool.slots[at].batch.len() >= config.batch_size {
+            pool.send_batch(at)?;
         }
     }
 
-    // ---- End of stream: flush, finish every peer (drained included),
-    // collect outcomes until each peer's Bye. ----
-    flush_batches(&mut peers, &mut slots, counters)?;
-    for peer in &mut peers {
-        send_to(peer, &CoordMsg::Finish, counters)?;
+    // ---- End of stream: flush, then retire every remaining shard in
+    // ascending id order (each retire is individually recoverable — a peer
+    // crash here costs nothing), then `Finish` tells the now-shardless
+    // workers to exit; each answers a bare `Bye`.
+    pool.flush_batches()?;
+    let final_shards = pool.slots.len();
+    while !pool.slots.is_empty() {
+        pool.final_retire(0)?;
     }
-    let mut outcomes = retired_outcomes;
-    for peer in &mut peers {
-        loop {
+    for index in 0..pool.peers.len() {
+        if pool.peers[index].dead {
+            continue;
+        }
+        let result = (|peer: &mut Peer, counters| -> Result<(), FabricError> {
+            send_to(peer, &CoordMsg::Finish, counters)?;
             match recv_from(peer, counters)? {
-                WorkerMsg::Outcome(outcome) => outcomes.push(outcome),
-                WorkerMsg::Bye => break,
-                other => {
-                    return Err(FabricError::Protocol(format!(
-                        "expected Outcome or Bye, got {other:?}"
-                    )));
-                }
+                WorkerMsg::Bye => Ok(()),
+                other => Err(FabricError::Protocol(format!("expected Bye, got {other:?}"))),
             }
+        })(&mut pool.peers[index], counters);
+        if let Err(err) = result {
+            // Every score is already merged; a peer that dies saying
+            // goodbye costs nothing.
+            pool.handle_death(index, err)?;
         }
     }
     let wall_seconds = clock.elapsed().as_secs_f64();
-    let final_shards = slots.len();
-    drop(peers); // closes every socket; workers unblock from their final read
+    drop(pool.peers); // closes every socket; workers unblock from their final read
 
-    outcomes.sort_by_key(|outcome| outcome.shard);
-    if outcomes.len() != next_id {
+    if let Some(counters) = counters {
+        counters
+            .duplicate_fragments
+            .add(pool.fragments.duplicate_fragments() + pool.fragments.duplicate_events());
+    }
+    let missing = pool.fragments.missing(next_id);
+    if !missing.is_empty() {
         return Err(FabricError::Protocol(format!(
-            "collected {} outcomes for {next_id} shards",
-            outcomes.len()
+            "no outcome fragment for shards {missing:?} of {next_id}"
         )));
     }
+    let outcomes = pool.fragments.into_outcomes();
     // Remote shards report no feeder-side stalls — TCP backpressure plays
     // that role on the fabric; the report keeps the per-shard slots so the
     // shapes match the in-process run.

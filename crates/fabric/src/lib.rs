@@ -44,7 +44,9 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod coordinator;
+pub mod faults;
 pub mod transport;
 pub mod wire;
 pub mod worker;
@@ -55,10 +57,14 @@ use std::sync::Arc;
 use idsbench_net::wire::WireError;
 use idsbench_telemetry::{Counter, Telemetry};
 
+pub use checkpoint::RecoveryConfig;
 pub use coordinator::{run_fabric, DrainPlan, FabricConfig};
-pub use transport::{read_frame, write_frame, Endpoint, FabricListener, ShardTransport};
+pub use faults::{Fault, FaultInjector, FaultPlan};
+pub use transport::{
+    read_frame, write_frame, Endpoint, FabricListener, RetryPolicy, ShardTransport,
+};
 pub use wire::{CoordMsg, HelloConfig, RingSnapshot, WireItem, WirePacket, WorkerMsg, FRAME_MAX};
-pub use worker::{run_worker, DetectorResolver};
+pub use worker::{run_worker, run_worker_with_faults, DetectorResolver};
 
 /// Everything that can go wrong on a fabric socket.
 #[derive(Debug)]
@@ -70,6 +76,13 @@ pub enum FabricError {
     /// The peer violated the protocol (wrong message, unknown detector,
     /// handshake mismatch, premature close).
     Protocol(String),
+    /// The routing ring referenced a shard whose slot the coordinator no
+    /// longer tracks — internal bookkeeping drift that must fail loudly
+    /// instead of misrouting packets.
+    StaleRing {
+        /// The shard id the ring produced.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -78,6 +91,9 @@ impl fmt::Display for FabricError {
             FabricError::Io(err) => write!(f, "fabric i/o error: {err}"),
             FabricError::Wire(err) => write!(f, "fabric wire error: {err}"),
             FabricError::Protocol(detail) => write!(f, "fabric protocol error: {detail}"),
+            FabricError::StaleRing { shard } => {
+                write!(f, "fabric routing ring references untracked shard {shard}")
+            }
         }
     }
 }
@@ -87,7 +103,7 @@ impl std::error::Error for FabricError {
         match self {
             FabricError::Io(err) => Some(err),
             FabricError::Wire(err) => Some(err),
-            FabricError::Protocol(_) => None,
+            FabricError::Protocol(_) | FabricError::StaleRing { .. } => None,
         }
     }
 }
@@ -104,9 +120,9 @@ impl From<WireError> for FabricError {
     }
 }
 
-/// The fabric's registered telemetry counters. All four register in the
-/// shared [`Telemetry`] registry, so the exposition endpoint and JSON
-/// snapshots pick them up like any other runtime counter.
+/// The fabric's registered telemetry counters. All register in the shared
+/// [`Telemetry`] registry, so the exposition endpoint and JSON snapshots
+/// pick them up like any other runtime counter.
 #[derive(Debug, Clone)]
 pub struct FabricCounters {
     /// Frames sent + received on this side of the fabric.
@@ -118,6 +134,18 @@ pub struct FabricCounters {
     /// Flow migrations whose source and destination shard live on
     /// *different* peers — the cross-process state movements.
     pub cross_peer_migrations: Arc<Counter>,
+    /// Peers classified dead (socket error or io-timeout expiry).
+    pub peer_failures: Arc<Counter>,
+    /// Flow-state entries restored onto a new owner during recovery.
+    pub flows_rehomed: Arc<Counter>,
+    /// Batch frames replayed from the coordinator's replay buffers.
+    pub replayed_batches: Arc<Counter>,
+    /// Outcome fragments discarded as duplicates during the merge (must
+    /// stay zero — the at-least-once replay never re-delivers a committed
+    /// fragment by construction).
+    pub duplicate_fragments: Arc<Counter>,
+    /// Total wall-clock microseconds spent in peer-death recovery.
+    pub recovery_micros: Arc<Counter>,
 }
 
 impl FabricCounters {
@@ -128,25 +156,33 @@ impl FabricCounters {
             bytes: telemetry.counter("fabric_bytes_total"),
             reconnects: telemetry.counter("fabric_reconnects_total"),
             cross_peer_migrations: telemetry.counter("fabric_cross_peer_migrations_total"),
+            peer_failures: telemetry.counter("fabric_peer_failures_total"),
+            flows_rehomed: telemetry.counter("fabric_flows_rehomed_total"),
+            replayed_batches: telemetry.counter("fabric_replayed_batches_total"),
+            duplicate_fragments: telemetry.counter("fabric_duplicate_fragments_total"),
+            recovery_micros: telemetry.counter("fabric_recovery_micros_total"),
         }
     }
 }
 
 /// Sends one message and flushes (helper shared by both endpoints' loops).
+/// Routes through the transport's fault injector when one is armed.
 pub(crate) fn send_msg(
     transport: &mut ShardTransport,
     body: &[u8],
     counters: Option<&FabricCounters>,
 ) -> Result<(), FabricError> {
-    write_frame(transport, body, counters).map_err(FabricError::Io)
+    transport.send_frame(body, counters).map_err(FabricError::Io)
 }
 
 /// Receives one frame body, treating clean EOF as a protocol error (callers
-/// that expect EOF use [`read_frame`] directly).
+/// that expect EOF use [`read_frame`] directly). Routes through the
+/// transport's fault injector when one is armed.
 pub(crate) fn recv_body(
     transport: &mut ShardTransport,
     counters: Option<&FabricCounters>,
 ) -> Result<Vec<u8>, FabricError> {
-    read_frame(transport, counters)?
+    transport
+        .recv_frame(counters)?
         .ok_or_else(|| FabricError::Protocol("peer closed mid conversation".to_string()))
 }

@@ -2,21 +2,30 @@
 //! coordinator-side listener, the worker-side connector, and length-prefixed
 //! frame I/O with byte/frame accounting.
 //!
-//! Two backends share one [`ShardTransport`] enum: TCP (with `TCP_NODELAY`,
+//! Two backends share one [`ShardTransport`]: TCP (with `TCP_NODELAY`,
 //! for cross-host pools) and Unix domain sockets (for co-located worker
 //! processes, Unix only). Workers dial **in** to the coordinator's listener
 //! — the coordinator binds first (`tcp://127.0.0.1:0` works: the resolved
 //! port is in [`FabricListener::local_endpoint`]) and spawns or announces
 //! the endpoint to its workers, so worker processes never need a
 //! pre-agreed port.
+//!
+//! A transport optionally carries a [`FaultInjector`]
+//! ([`ShardTransport::inject_faults`]): the frame-level entry points
+//! [`ShardTransport::send_frame`] / [`ShardTransport::recv_frame`] consult
+//! it to kill, corrupt, drop, delay, or stall deterministically — the
+//! chaos harness behind the fabric's recovery tests. Without an injector
+//! they are exactly [`write_frame`] / [`read_frame`].
 
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
+use crate::faults::{FaultInjector, RecvAction, SendAction};
 use crate::wire::FRAME_MAX;
 use crate::FabricCounters;
 
@@ -123,13 +132,13 @@ impl FabricListener {
                 // listener mid `accept_timeout` on some platforms.
                 stream.set_nonblocking(false)?;
                 stream.set_nodelay(true)?;
-                Ok(ShardTransport::Tcp(stream))
+                Ok(ShardTransport::from_inner(TransportInner::Tcp(stream)))
             }
             #[cfg(unix)]
             FabricListener::Uds(listener, _) => {
                 let (stream, _) = listener.accept()?;
                 stream.set_nonblocking(false)?;
-                Ok(ShardTransport::Uds(stream))
+                Ok(ShardTransport::from_inner(TransportInner::Uds(stream)))
             }
         }
     }
@@ -180,9 +189,64 @@ impl Drop for FabricListener {
     }
 }
 
-/// One connected coordinator↔worker socket.
+/// Backoff schedule for [`ShardTransport::connect_retry`]: exponential
+/// with a cap, multiplicative jitter, and a hard wall-clock ceiling.
+///
+/// The jitter spreads simultaneous worker (re)starts across the backoff
+/// window — without it a pool of restarting workers would hammer the
+/// coordinator's listener in lockstep. Each sleep is the capped exponential
+/// backoff scaled by a factor in `[0.5, 1.5)` derived deterministically
+/// from `seed`, the process id, and the attempt index, so two workers with
+/// the same policy still dial at different times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum connect attempts (clamped to at least 1).
+    pub attempts: usize,
+    /// First backoff; doubles each failed attempt.
+    pub base: Duration,
+    /// Ceiling on a single backoff sleep (pre-jitter).
+    pub max_backoff: Duration,
+    /// Hard ceiling on total elapsed time: once past it, no further
+    /// attempts are made even if `attempts` remain.
+    pub max_elapsed: Duration,
+    /// Extra jitter entropy (mixed with the process id); zero is fine.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 40 attempts, 25 ms doubling to at most 500 ms per sleep, giving up
+    /// after 10 s total — generous for a worker racing the coordinator's
+    /// bind, bounded for a coordinator that never comes up.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 40,
+            base: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(500),
+            max_elapsed: Duration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before attempt `attempt` (1-based; attempt 0
+    /// never sleeps).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(self.max_backoff);
+        let mix = crate::faults::splitmix64(
+            self.seed ^ u64::from(std::process::id()) ^ u64::from(attempt),
+        );
+        // Scale by [0.5, 1.5): keep half the backoff as a floor, spread the
+        // rest uniformly.
+        let factor = 0.5 + (mix >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(factor)
+    }
+}
+
+/// The raw socket under a [`ShardTransport`].
 #[derive(Debug)]
-pub enum ShardTransport {
+pub(crate) enum TransportInner {
     /// TCP stream with `TCP_NODELAY` set.
     Tcp(TcpStream),
     /// Unix-domain stream (Unix only).
@@ -190,7 +254,25 @@ pub enum ShardTransport {
     Uds(UnixStream),
 }
 
+/// One connected coordinator↔worker socket, with an optional fault
+/// injector evaluated at the frame layer.
+#[derive(Debug)]
+pub struct ShardTransport {
+    inner: TransportInner,
+    faults: Option<FaultInjector>,
+}
+
+/// The error a kill fault surfaces: indistinguishable in kind from a real
+/// peer reset.
+fn killed_error() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, "fault injection: transport killed")
+}
+
 impl ShardTransport {
+    pub(crate) fn from_inner(inner: TransportInner) -> Self {
+        ShardTransport { inner, faults: None }
+    }
+
     /// Connects to a coordinator endpoint.
     ///
     /// # Errors
@@ -201,10 +283,12 @@ impl ShardTransport {
             Endpoint::Tcp(addr) => {
                 let stream = TcpStream::connect(addr.as_str())?;
                 stream.set_nodelay(true)?;
-                Ok(ShardTransport::Tcp(stream))
+                Ok(ShardTransport::from_inner(TransportInner::Tcp(stream)))
             }
             #[cfg(unix)]
-            Endpoint::Uds(path) => Ok(ShardTransport::Uds(UnixStream::connect(path)?)),
+            Endpoint::Uds(path) => {
+                Ok(ShardTransport::from_inner(TransportInner::Uds(UnixStream::connect(path)?)))
+            }
             #[cfg(not(unix))]
             Endpoint::Uds(_) => Err(io::Error::new(
                 io::ErrorKind::Unsupported,
@@ -213,26 +297,30 @@ impl ShardTransport {
         }
     }
 
-    /// Connects with bounded retries — a worker process typically races the
-    /// coordinator's bind, so the first attempts may be refused. Every
+    /// Connects under a [`RetryPolicy`] — a worker process typically races
+    /// the coordinator's bind, so the first attempts may be refused. Every
     /// attempt after the first counts as a reconnect in `counters`.
     ///
     /// # Errors
     ///
-    /// The last connect error once `attempts` are exhausted.
+    /// The last connect error once the policy's attempts or elapsed-time
+    /// budget is exhausted.
     pub fn connect_retry(
         endpoint: &Endpoint,
-        attempts: usize,
-        backoff: std::time::Duration,
+        policy: &RetryPolicy,
         counters: Option<&FabricCounters>,
     ) -> io::Result<Self> {
+        let started = Instant::now();
         let mut last = None;
-        for attempt in 0..attempts.max(1) {
+        for attempt in 0..policy.attempts.max(1) as u32 {
             if attempt > 0 {
+                if started.elapsed() >= policy.max_elapsed {
+                    break;
+                }
                 if let Some(counters) = counters {
                     counters.reconnects.inc();
                 }
-                std::thread::sleep(backoff);
+                std::thread::sleep(policy.backoff(attempt));
             }
             match ShardTransport::connect(endpoint) {
                 Ok(transport) => return Ok(transport),
@@ -242,52 +330,149 @@ impl ShardTransport {
         Err(last.expect("at least one connect attempt"))
     }
 
+    /// Arms a fault plan on this transport. Frames already exchanged are
+    /// not re-counted: the injector's frame indices start at the *next*
+    /// frame in each direction.
+    pub fn inject_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
     /// Applies a read+write timeout to the socket (`None` blocks forever).
     /// On the coordinator this bounds how long one peer can stall the pool.
     ///
     /// # Errors
     ///
     /// I/O errors from the socket-option calls.
-    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
-        match self {
-            ShardTransport::Tcp(stream) => {
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match &self.inner {
+            TransportInner::Tcp(stream) => {
                 stream.set_read_timeout(timeout)?;
                 stream.set_write_timeout(timeout)
             }
             #[cfg(unix)]
-            ShardTransport::Uds(stream) => {
+            TransportInner::Uds(stream) => {
                 stream.set_read_timeout(timeout)?;
                 stream.set_write_timeout(timeout)
             }
         }
     }
+
+    /// Shuts the socket down in both directions — the peer observes a
+    /// reset/EOF exactly as if this process had died.
+    pub(crate) fn shutdown(&self) {
+        let _ = match &self.inner {
+            TransportInner::Tcp(stream) => stream.shutdown(Shutdown::Both),
+            #[cfg(unix)]
+            TransportInner::Uds(stream) => stream.shutdown(Shutdown::Both),
+        };
+    }
+
+    /// Writes one frame through the fault injector (when armed). Exactly
+    /// [`write_frame`] on a fault-free transport.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, [`write_frame`]'s `InvalidInput`, or a synthetic
+    /// `ConnectionReset` when a kill fault fires (the socket is then really
+    /// shut down, so the peer sees the crash too).
+    pub fn send_frame(&mut self, body: &[u8], counters: Option<&FabricCounters>) -> io::Result<()> {
+        let Some(faults) = &mut self.faults else {
+            return write_frame(&mut self.inner, body, counters);
+        };
+        if faults.killed() {
+            return Err(killed_error());
+        }
+        let mut owned = body.to_vec();
+        match faults.on_send(&mut owned) {
+            SendAction::Deliver => write_frame(&mut self.inner, &owned, counters),
+            SendAction::Drop => Ok(()),
+            SendAction::Truncate(keep) => {
+                // Claim the full length, deliver only a prefix, die: the
+                // peer reads an unexpected EOF mid-frame.
+                let _ = self.inner.write_all(&(owned.len() as u32).to_le_bytes());
+                let _ = self.inner.write_all(&owned[..keep]);
+                let _ = self.inner.flush();
+                self.shutdown();
+                Err(killed_error())
+            }
+        }
+    }
+
+    /// Reads one frame through the fault injector (when armed). Exactly
+    /// [`read_frame`] on a fault-free transport.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, [`read_frame`]'s `InvalidData`, a synthetic
+    /// `ConnectionReset` on a kill fault, or `TimedOut` when a stall fault
+    /// expires.
+    pub fn recv_frame(&mut self, counters: Option<&FabricCounters>) -> io::Result<Option<Vec<u8>>> {
+        if self.faults.is_none() {
+            return read_frame(&mut self.inner, counters);
+        }
+        if self.faults.as_ref().is_some_and(FaultInjector::killed) {
+            return Err(killed_error());
+        }
+        let Some(mut body) = read_frame(&mut self.inner, counters)? else {
+            return Ok(None);
+        };
+        match self.faults.as_mut().expect("checked above").on_recv(&mut body) {
+            RecvAction::Deliver => Ok(Some(body)),
+            RecvAction::Kill => {
+                self.shutdown();
+                Err(killed_error())
+            }
+            RecvAction::Stall => {
+                self.shutdown();
+                Err(io::Error::new(io::ErrorKind::TimedOut, "fault injection: peer stalled"))
+            }
+        }
+    }
 }
 
-impl Read for ShardTransport {
+impl Read for TransportInner {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         match self {
-            ShardTransport::Tcp(stream) => stream.read(buf),
+            TransportInner::Tcp(stream) => stream.read(buf),
             #[cfg(unix)]
-            ShardTransport::Uds(stream) => stream.read(buf),
+            TransportInner::Uds(stream) => stream.read(buf),
         }
     }
 }
 
-impl Write for ShardTransport {
+impl Write for TransportInner {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         match self {
-            ShardTransport::Tcp(stream) => stream.write(buf),
+            TransportInner::Tcp(stream) => stream.write(buf),
             #[cfg(unix)]
-            ShardTransport::Uds(stream) => stream.write(buf),
+            TransportInner::Uds(stream) => stream.write(buf),
         }
     }
 
     fn flush(&mut self) -> io::Result<()> {
         match self {
-            ShardTransport::Tcp(stream) => stream.flush(),
+            TransportInner::Tcp(stream) => stream.flush(),
             #[cfg(unix)]
-            ShardTransport::Uds(stream) => stream.flush(),
+            TransportInner::Uds(stream) => stream.flush(),
         }
+    }
+}
+
+/// Raw byte access bypasses the fault injector (faults are frame-level).
+impl Read for ShardTransport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+/// Raw byte access bypasses the fault injector (faults are frame-level).
+impl Write for ShardTransport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
     }
 }
 

@@ -33,8 +33,10 @@ pub const FRAME_MAX: usize = 1 << 26;
 /// First four bytes of every `Hello` body after the tag: `"IDSB"`.
 pub const PROTOCOL_MAGIC: u32 = 0x4244_5349;
 
-/// Protocol revision; bumped on any wire-visible change.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol revision; bumped on any wire-visible change. Version 2 added
+/// the recovery-epoch messages (`Checkpoint`/`Restore`/`Ping` and their
+/// replies).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Sanity bounds for decoded element counts (see [`WireReader::count`]).
 const MAX_ITEMS: usize = 1 << 20;
@@ -188,6 +190,37 @@ pub enum CoordMsg {
     /// [`WorkerMsg::Outcome`] per shard (ascending id) then
     /// [`WorkerMsg::Bye`].
     Finish,
+    /// Recovery-epoch barrier: the shard snapshots its live state and
+    /// drained score fragment, replying [`WorkerMsg::Checkpoint`]. Like
+    /// `Rebalance`, receipt proves every prior batch on this socket is
+    /// fully scored.
+    Checkpoint {
+        /// Target shard id.
+        shard: u32,
+        /// Monotonic epoch the snapshot commits.
+        epoch: u64,
+    },
+    /// Re-homes a crashed shard onto this worker: absorb the checkpointed
+    /// flow state and restore the traffic clock before any replayed frame
+    /// (always preceded by a fresh `Spawn` for the same shard).
+    Restore {
+        /// Target shard id.
+        shard: u32,
+        /// The epoch the state was checkpointed at.
+        epoch: u64,
+        /// Donor assembler clock: latest packet timestamp, microseconds.
+        last_ts_micros: u64,
+        /// Donor flow-table idle-sweep phase, microseconds.
+        sweep_micros: u64,
+        /// The checkpointed per-flow state.
+        flows: Vec<FlowMigration>,
+    },
+    /// Liveness probe for peers hosting no shards (standbys, drained
+    /// workers); the worker echoes the nonce as [`WorkerMsg::Pong`].
+    Ping {
+        /// Echoed verbatim in the reply.
+        nonce: u64,
+    },
 }
 
 /// Worker→coordinator messages.
@@ -219,6 +252,28 @@ pub enum WorkerMsg {
     Outcome(ShardOutcome),
     /// All outcomes sent; the worker is exiting cleanly.
     Bye,
+    /// Reply to [`CoordMsg::Checkpoint`]: the shard's cloned flow state,
+    /// traffic clock, and the score fragment drained since its previous
+    /// checkpoint (fragments concatenate to the crash-free outcome).
+    Checkpoint {
+        /// The shard that snapshotted.
+        shard: u32,
+        /// Echo of the epoch being committed.
+        epoch: u64,
+        /// Assembler clock: latest packet timestamp, microseconds.
+        last_ts_micros: u64,
+        /// Flow-table idle-sweep phase, microseconds.
+        sweep_micros: u64,
+        /// Every live flow's state, cloned (the shard keeps scoring).
+        flows: Vec<FlowMigration>,
+        /// Scores and counters accumulated since the previous checkpoint.
+        fragment: ShardOutcome,
+    },
+    /// Reply to [`CoordMsg::Ping`], echoing its nonce.
+    Pong {
+        /// The probed nonce.
+        nonce: u64,
+    },
 }
 
 fn put_label(out: &mut Vec<u8>, label: Label) {
@@ -546,6 +601,23 @@ impl CoordMsg {
                 put_u32(&mut out, *shard);
             }
             CoordMsg::Finish => put_u8(&mut out, 0x09),
+            CoordMsg::Checkpoint { shard, epoch } => {
+                put_u8(&mut out, 0x0A);
+                put_u32(&mut out, *shard);
+                put_u64(&mut out, *epoch);
+            }
+            CoordMsg::Restore { shard, epoch, last_ts_micros, sweep_micros, flows } => {
+                put_u8(&mut out, 0x0B);
+                put_u32(&mut out, *shard);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *last_ts_micros);
+                put_u64(&mut out, *sweep_micros);
+                put_migrations(&mut out, flows);
+            }
+            CoordMsg::Ping { nonce } => {
+                put_u8(&mut out, 0x0C);
+                put_u64(&mut out, *nonce);
+            }
         }
         out
     }
@@ -622,6 +694,20 @@ impl CoordMsg {
             }
             0x08 => CoordMsg::Retire { shard: r.u32()? },
             0x09 => CoordMsg::Finish,
+            0x0A => {
+                let shard = r.u32()?;
+                let epoch = r.u64()?;
+                CoordMsg::Checkpoint { shard, epoch }
+            }
+            0x0B => {
+                let shard = r.u32()?;
+                let epoch = r.u64()?;
+                let last_ts_micros = r.u64()?;
+                let sweep_micros = r.u64()?;
+                let flows = read_migrations(&mut r)?;
+                CoordMsg::Restore { shard, epoch, last_ts_micros, sweep_micros, flows }
+            }
+            0x0C => CoordMsg::Ping { nonce: r.u64()? },
             tag => return Err(WireError::BadTag(tag)),
         };
         finish(&r, message)
@@ -653,6 +739,26 @@ impl WorkerMsg {
                 put_outcome(&mut out, outcome);
             }
             WorkerMsg::Bye => put_u8(&mut out, 0x44),
+            WorkerMsg::Checkpoint {
+                shard,
+                epoch,
+                last_ts_micros,
+                sweep_micros,
+                flows,
+                fragment,
+            } => {
+                put_u8(&mut out, 0x45);
+                put_u32(&mut out, *shard);
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *last_ts_micros);
+                put_u64(&mut out, *sweep_micros);
+                put_migrations(&mut out, flows);
+                put_outcome(&mut out, fragment);
+            }
+            WorkerMsg::Pong { nonce } => {
+                put_u8(&mut out, 0x46);
+                put_u64(&mut out, *nonce);
+            }
         }
         out
     }
@@ -683,6 +789,23 @@ impl WorkerMsg {
             }
             0x43 => WorkerMsg::Outcome(read_outcome(&mut r)?),
             0x44 => WorkerMsg::Bye,
+            0x45 => {
+                let shard = r.u32()?;
+                let epoch = r.u64()?;
+                let last_ts_micros = r.u64()?;
+                let sweep_micros = r.u64()?;
+                let flows = read_migrations(&mut r)?;
+                let fragment = read_outcome(&mut r)?;
+                WorkerMsg::Checkpoint {
+                    shard,
+                    epoch,
+                    last_ts_micros,
+                    sweep_micros,
+                    flows,
+                    fragment,
+                }
+            }
+            0x46 => WorkerMsg::Pong { nonce: r.u64()? },
             tag => return Err(WireError::BadTag(tag)),
         };
         finish(&r, message)

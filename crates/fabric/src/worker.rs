@@ -20,7 +20,8 @@ use idsbench_net::{Packet, Timestamp};
 use idsbench_stream::{ShardLoop, StreamItem};
 use idsbench_telemetry::Telemetry;
 
-use crate::transport::{read_frame, Endpoint, ShardTransport};
+use crate::faults::{FaultInjector, FaultPlan};
+use crate::transport::{read_frame, Endpoint, RetryPolicy, ShardTransport};
 use crate::wire::{CoordMsg, WireItem, WorkerMsg};
 use crate::{recv_body, send_msg, FabricCounters, FabricError};
 
@@ -70,14 +71,31 @@ pub fn run_worker(
     resolve: &DetectorResolver<'_>,
     telemetry: Option<&Telemetry>,
 ) -> Result<(), FabricError> {
+    run_worker_with_faults(endpoint, resolve, telemetry, None)
+}
+
+/// [`run_worker`] with an optional deterministic [`FaultPlan`] armed on the
+/// transport — the entry point the chaos harness (`fig_faults`) uses to
+/// crash, corrupt, or stall a worker at an exact frame or packet seq.
+///
+/// # Errors
+///
+/// Everything [`run_worker`] can return, plus the synthetic
+/// `ConnectionReset`/`TimedOut` I/O errors an armed fault raises when it
+/// fires (the socket is really shut down, so the coordinator observes a
+/// genuine peer death).
+pub fn run_worker_with_faults(
+    endpoint: &Endpoint,
+    resolve: &DetectorResolver<'_>,
+    telemetry: Option<&Telemetry>,
+    faults: Option<FaultPlan>,
+) -> Result<(), FabricError> {
     let counters = telemetry.map(FabricCounters::register);
     let counters = counters.as_ref();
-    let mut transport = ShardTransport::connect_retry(
-        endpoint,
-        40,
-        std::time::Duration::from_millis(50),
-        counters,
-    )?;
+    let mut transport = ShardTransport::connect_retry(endpoint, &RetryPolicy::default(), counters)?;
+    if let Some(plan) = faults {
+        transport.inject_faults(FaultInjector::new(plan));
+    }
 
     // Handshake: the first frame must be Hello; resolve the detector once
     // to validate the name and learn its input format.
@@ -173,6 +191,37 @@ pub fn run_worker(
             }
             CoordMsg::Migrate { shard, migrations } => {
                 hosted(&mut shards, shard)?.event_loop.on_migrate(migrations);
+            }
+            CoordMsg::Checkpoint { shard, epoch } => {
+                let hosted = hosted(&mut shards, shard)?;
+                let fit_seconds = hosted.fit_seconds;
+                let cp = hosted.event_loop.on_checkpoint(fit_seconds);
+                send_msg(
+                    &mut transport,
+                    &WorkerMsg::Checkpoint {
+                        shard,
+                        epoch,
+                        last_ts_micros: cp.last_ts.as_micros(),
+                        sweep_micros: cp.sweep.as_micros(),
+                        flows: cp.flows,
+                        fragment: cp.fragment,
+                    }
+                    .encode(),
+                    counters,
+                )?;
+            }
+            CoordMsg::Restore { shard, epoch: _, last_ts_micros, sweep_micros, flows } => {
+                let hosted = hosted(&mut shards, shard)?;
+                hosted.event_loop.on_migrate(flows);
+                // Clock restore comes after the state absorb so a replica
+                // sweeps its restored flows at exactly the donor's phase.
+                hosted.event_loop.restore_clock(
+                    Timestamp::from_micros(last_ts_micros),
+                    Timestamp::from_micros(sweep_micros),
+                );
+            }
+            CoordMsg::Ping { nonce } => {
+                send_msg(&mut transport, &WorkerMsg::Pong { nonce }.encode(), counters)?;
             }
             CoordMsg::Retire { shard } => {
                 let mut hosted = shards.remove(&(shard as usize)).ok_or_else(|| {

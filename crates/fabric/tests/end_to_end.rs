@@ -11,7 +11,10 @@ use idsbench_core::{
     AttackKind, Event, EventDetector, InputFormat, Label, LabeledPacket, TrainView,
 };
 use idsbench_fabric::coordinator::DrainPlan;
-use idsbench_fabric::{run_fabric, run_worker, Endpoint, FabricConfig, FabricListener};
+use idsbench_fabric::{
+    run_fabric, run_worker, run_worker_with_faults, Endpoint, FabricConfig, FabricListener,
+    FaultPlan, RecoveryConfig,
+};
 use idsbench_flow::FlowKey;
 use idsbench_net::{MacAddr, PacketBuilder, TcpFlags, Timestamp};
 use idsbench_stream::{run_stream, AutoscalePolicy, StreamConfig, StreamRun, VecSource};
@@ -166,6 +169,51 @@ fn fabric_run(
     run
 }
 
+/// Like [`fabric_run`], but each worker thread gets an optional fault-plan
+/// spec, threads connect in list order (a short stagger keeps accept order
+/// deterministic), and worker errors are tolerated — a worker whose plan
+/// kills it exits with an error by design.
+fn fabric_run_with_faults(
+    detector: &str,
+    packets: &[LabeledPacket],
+    config: &StreamConfig,
+    fabric: FabricConfig,
+    plans: Vec<Option<&'static str>>,
+    telemetry: Option<&Telemetry>,
+) -> StreamRun {
+    let listener =
+        FabricListener::bind(&Endpoint::parse("tcp://127.0.0.1:0").unwrap()).expect("bind");
+    let endpoint = listener.local_endpoint().unwrap();
+    let workers: Vec<_> = plans
+        .into_iter()
+        .enumerate()
+        .map(|(index, plan)| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                // Accept order is connect order: stagger so worker `index`
+                // becomes peer `index` (standbys are the last accepts).
+                std::thread::sleep(std::time::Duration::from_millis(250 * index as u64));
+                let plan = plan.map(|spec| FaultPlan::parse(spec).expect("fault plan"));
+                run_worker_with_faults(&endpoint, &resolve, None, plan)
+            })
+        })
+        .collect();
+    let run = run_fabric(
+        detector,
+        &[],
+        VecSource::new("bursty", packets.to_vec()),
+        config,
+        &fabric,
+        listener,
+        telemetry,
+    )
+    .expect("fabric run");
+    for worker in workers {
+        let _ = worker.join().expect("worker thread");
+    }
+    run
+}
+
 fn sorted(mut scores: Vec<f64>) -> Vec<f64> {
     scores.sort_by(f64::total_cmp);
     scores
@@ -278,6 +326,133 @@ fn drained_worker_loses_no_flow_state() {
     // decommission, so even the *seq-ordered* score stream is identical to
     // the single-process run.
     assert_eq!(single.scores, fabric.scores, "a per-flow counter reset across the drain");
+}
+
+#[test]
+fn killed_worker_recovers_with_identical_scores() {
+    let packets = bursty_workload(6);
+    let kill_at = packets.len() as u64 * 3 / 5;
+    let factory = || Box::new(FlowSeq::default()) as Box<dyn EventDetector>;
+    let single = run_stream(
+        &factory,
+        &[],
+        VecSource::new("bursty", packets.clone()),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .unwrap();
+
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let fabric = fabric_run_with_faults(
+        "flow-seq",
+        &packets,
+        // A fixed two-shard pool, one shard per peer, so the killed peer
+        // deterministically hosts live mid-stream per-flow state.
+        &StreamConfig { shards: 2, batch_size: 16, window_secs: 1.0, ..Default::default() },
+        FabricConfig {
+            workers: 2,
+            // Tight epochs so the kill lands well past a committed
+            // checkpoint: recovery must restore flows AND replay batches.
+            recovery: Some(RecoveryConfig { checkpoint_frames: 8, ..Default::default() }),
+            ..Default::default()
+        },
+        vec![Some(Box::leak(format!("kill-at-seq={kill_at}").into_boxed_str())), None],
+        Some(&telemetry),
+    );
+
+    assert_eq!(telemetry.counter("fabric_peer_failures_total").get(), 1, "exactly one death");
+    assert!(telemetry.counter("fabric_flows_rehomed_total").get() > 0, "no flow state restored");
+    assert!(telemetry.counter("fabric_replayed_batches_total").get() > 0, "nothing replayed");
+    assert_eq!(
+        telemetry.counter("fabric_duplicate_fragments_total").get(),
+        0,
+        "replay re-delivered a committed fragment"
+    );
+    let kinds: Vec<&str> = telemetry.journal().snapshot().events.iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"peer_death"), "no peer_death journal event: {kinds:?}");
+    assert!(kinds.contains(&"recovery_complete"), "no recovery_complete event: {kinds:?}");
+
+    // Zero lost flows, zero duplicated fragments: even the *seq-ordered*
+    // score stream is identical to the crash-free single-process run.
+    assert_eq!(single.scores, fabric.scores, "a per-flow counter diverged across the crash");
+    assert_eq!(single.report.metrics, fabric.report.metrics);
+}
+
+#[test]
+fn standby_absorbs_every_shard_after_both_regulars_die() {
+    let packets = bursty_workload(6);
+    let first_kill = packets.len() as u64 * 2 / 5;
+    let second_kill = packets.len() as u64 * 7 / 10;
+    let factory = || Box::new(FlowSeq::default()) as Box<dyn EventDetector>;
+    let single = run_stream(
+        &factory,
+        &[],
+        VecSource::new("bursty", packets.clone()),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .unwrap();
+
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let fabric = fabric_run_with_faults(
+        "flow-seq",
+        &packets,
+        &StreamConfig { shards: 2, batch_size: 16, window_secs: 1.0, ..Default::default() },
+        FabricConfig {
+            workers: 2,
+            recovery: Some(RecoveryConfig {
+                checkpoint_frames: 8,
+                standby_workers: 1,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+        // Both regular workers die mid-stream; the third (standby, last to
+        // connect) must end up hosting everything.
+        vec![
+            Some(Box::leak(format!("kill-at-seq={first_kill}").into_boxed_str())),
+            Some(Box::leak(format!("kill-at-seq={second_kill}").into_boxed_str())),
+            None,
+        ],
+        Some(&telemetry),
+    );
+
+    assert_eq!(telemetry.counter("fabric_peer_failures_total").get(), 2, "both regulars died");
+    assert_eq!(telemetry.counter("fabric_duplicate_fragments_total").get(), 0);
+    assert_eq!(single.scores, fabric.scores, "state lost across double recovery onto standby");
+    assert_eq!(single.report.metrics, fabric.report.metrics);
+}
+
+#[test]
+fn corrupted_frame_triggers_recovery_under_autoscale() {
+    let packets = bursty_workload(6);
+    let single = run_stream(
+        &|| Box::new(FlowCounter) as Box<dyn EventDetector>,
+        &[],
+        VecSource::new("bursty", packets.clone()),
+        &StreamConfig { window_secs: 1.0, ..Default::default() },
+    )
+    .unwrap();
+
+    let telemetry = Telemetry::new(TelemetryConfig::default());
+    let fabric = fabric_run_with_faults(
+        "flow-counter",
+        &packets,
+        &autoscaled_config(),
+        FabricConfig {
+            workers: 2,
+            recovery: Some(RecoveryConfig { checkpoint_frames: 8, ..Default::default() }),
+            ..Default::default()
+        },
+        // One worker corrupts its 5th reply frame: the coordinator's
+        // decoder rejects it, which must classify the peer dead and
+        // recover — mid-autoscale, scores still multiset-identical.
+        vec![Some("seed=11,corrupt-send=5"), None],
+        Some(&telemetry),
+    );
+
+    assert_eq!(telemetry.counter("fabric_peer_failures_total").get(), 1);
+    assert!(fabric.report.scale_events.iter().any(|e| e.is_scale_up()), "no scale-up");
+    assert_eq!(sorted(single.scores), sorted(fabric.scores), "corruption recovery lost scores");
+    assert_eq!(single.report.metrics, fabric.report.metrics);
 }
 
 #[test]

@@ -285,15 +285,69 @@ proptest! {
     #[test]
     fn corrupt_tags_are_rejected(tag in any::<u8>(), shard in any::<u32>()) {
         let mut body = CoordMsg::Spawn { shard }.encode();
-        if !(0x01..=0x09).contains(&tag) {
+        if !(0x01..=0x0C).contains(&tag) {
             body[0] = tag;
             prop_assert!(CoordMsg::decode(&body).is_err(), "coord accepted tag {:#x}", tag);
         }
         let mut body = WorkerMsg::Ready { shard, fit_seconds: 1.0 }.encode();
-        if !(0x40..=0x44).contains(&tag) {
+        if !(0x40..=0x46).contains(&tag) {
             body[0] = tag;
             prop_assert!(WorkerMsg::decode(&body).is_err(), "worker accepted tag {:#x}", tag);
         }
+    }
+
+    /// The recovery-epoch request/liveness messages are fixed-layout; their
+    /// codec must be canonical and truncation-safe like every other tag.
+    #[test]
+    fn checkpoint_request_and_ping_roundtrip(
+        shard in any::<u32>(),
+        epoch in any::<u64>(),
+        nonce in any::<u64>(),
+    ) {
+        assert_coord_roundtrip(&CoordMsg::Checkpoint { shard, epoch })?;
+        assert_coord_roundtrip(&CoordMsg::Ping { nonce })?;
+        assert_worker_roundtrip(&WorkerMsg::Pong { nonce })?;
+    }
+
+    /// Restore carries a full re-homing payload: flow migrations plus the
+    /// donor's trace clock and sweep phase. Every field must survive.
+    #[test]
+    fn restore_roundtrips(
+        shard in any::<u32>(),
+        epoch in any::<u64>(),
+        last_ts_micros in any::<u64>(),
+        sweep_micros in any::<u64>(),
+        flows in vec(arb_migration(), 0..8),
+    ) {
+        assert_coord_roundtrip(&CoordMsg::Restore {
+            shard,
+            epoch,
+            last_ts_micros,
+            sweep_micros,
+            flows,
+        })?;
+    }
+
+    /// A worker checkpoint reply is a flow snapshot plus an incremental
+    /// outcome fragment — the largest message in the protocol; its codec
+    /// must be canonical and reject every strict prefix.
+    #[test]
+    fn worker_checkpoint_roundtrips(
+        shard in any::<u32>(),
+        epoch in any::<u64>(),
+        last_ts_micros in any::<u64>(),
+        sweep_micros in any::<u64>(),
+        flows in vec(arb_migration(), 0..6),
+        fragment in arb_outcome(),
+    ) {
+        assert_worker_roundtrip(&WorkerMsg::Checkpoint {
+            shard,
+            epoch,
+            last_ts_micros,
+            sweep_micros,
+            flows,
+            fragment,
+        })?;
     }
 
     /// Arbitrary garbage never panics either decoder.

@@ -83,6 +83,29 @@ impl FlowTable {
         self.flows.contains_key(key)
     }
 
+    /// The open record for a canonical key, if any — a read-only peek that,
+    /// unlike [`FlowTable::extract`], leaves ownership with this table. This
+    /// is the checkpoint half of fault tolerance: a snapshot clones records
+    /// without disturbing the live flow state.
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowRecord> {
+        self.flows.get(key)
+    }
+
+    /// The timestamp of the last idle sweep ([`Timestamp::ZERO`] before the
+    /// first). Together with [`FlowTable::set_sweep_clock`] this lets a
+    /// recovered table resume with the donor's sweep phase, so replayed
+    /// packets trigger idle evictions at exactly the packets the original
+    /// table would have — byte-for-byte deterministic replay.
+    pub fn sweep_clock(&self) -> Timestamp {
+        self.last_sweep
+    }
+
+    /// Restores the sweep phase captured by [`FlowTable::sweep_clock`] on a
+    /// fresh table before replay.
+    pub fn set_sweep_clock(&mut self, ts: Timestamp) {
+        self.last_sweep = ts;
+    }
+
     /// Total flows emitted so far (not counting those still open).
     pub fn flows_emitted(&self) -> u64 {
         self.emitted
@@ -480,6 +503,32 @@ mod tests {
         let migrated = heir.flush();
         assert_eq!(expected, migrated, "handoff must be invisible to the record");
         assert_eq!(migrated[0].total_packets(), 4);
+    }
+
+    #[test]
+    fn get_peeks_without_disturbing_ownership() {
+        let mut table = FlowTable::new(FlowTableConfig::default());
+        let p = tcp_packet((1, 5000), (2, 80), TcpFlags::SYN, 0.0);
+        table.observe(&p);
+        let key = FlowKey::from_packet(&p).unwrap().canonical().0;
+        let peeked = table.get(&key).expect("open flow is visible").clone();
+        assert_eq!(table.active_flows(), 1, "get must not remove the record");
+        assert_eq!(table.flows_emitted(), 0, "get is not an emission");
+        let extracted = table.extract(&key).unwrap();
+        assert_eq!(peeked, extracted, "the peek saw the live record");
+    }
+
+    #[test]
+    fn sweep_clock_restores_the_sweep_phase() {
+        let config =
+            FlowTableConfig { idle_timeout: Duration::from_secs(10), ..Default::default() };
+        let mut donor = FlowTable::new(config);
+        donor.observe(&udp_packet((1, 999), (2, 53), 7.5));
+        assert_eq!(donor.sweep_clock(), Timestamp::from_secs_f64(7.5));
+        let mut heir = FlowTable::new(config);
+        assert_eq!(heir.sweep_clock(), Timestamp::ZERO);
+        heir.set_sweep_clock(donor.sweep_clock());
+        assert_eq!(heir.sweep_clock(), donor.sweep_clock());
     }
 
     #[test]

@@ -95,5 +95,7 @@ pub use idsbench_core::ScaleEvent;
 pub use metrics::{LatencyHistogram, OnlineStats, ScoredEvent, Throughput, WindowMetrics};
 pub use report::{ShardStats, StreamReport};
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use shard::{merge_outcomes, Recorder, ShardLoop, ShardOutcome, ShardSpans, StreamItem};
+pub use shard::{
+    merge_outcomes, Recorder, ShardCheckpoint, ShardLoop, ShardOutcome, ShardSpans, StreamItem,
+};
 pub use source::{BoundedSource, PacketSource, PcapLabeler, PcapSource, ScenarioSource, VecSource};

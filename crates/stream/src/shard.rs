@@ -120,6 +120,26 @@ pub struct ShardOutcome {
     pub flows: usize,
 }
 
+/// A consistent point-in-time image of a live shard, taken by
+/// [`ShardLoop::on_checkpoint`]: the cloned per-flow state plus traffic
+/// clock a fresh replica needs to resume scoring deterministically, and the
+/// score fragment accumulated since the previous checkpoint (the recorder
+/// is drained into the fragment, so fragments concatenate to exactly the
+/// crash-free outcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Every live flow (open record, label fold, detector per-flow state),
+    /// cloned — the shard keeps scoring untouched.
+    pub flows: Vec<FlowMigration>,
+    /// Latest packet timestamp the shard observed (assembler clock).
+    pub last_ts: idsbench_net::Timestamp,
+    /// The flow table's idle-sweep phase, so a replica sweeps at exactly
+    /// the packets the original would have.
+    pub sweep: idsbench_net::Timestamp,
+    /// Scores, packet counts, and busy time since the previous checkpoint.
+    pub fragment: ShardOutcome,
+}
+
 /// Per-shard stage histograms; present only when the run carries telemetry.
 /// Score and evict reuse the latencies the recorder already measures, so
 /// attaching them adds no clock reads to the scoring path.
@@ -308,6 +328,70 @@ impl ShardLoop {
         if let (Some(spans), Some(started)) = (&self.spans, started) {
             let nanos = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
             spans.migrate.record(nanos);
+        }
+    }
+
+    /// Takes a consistent checkpoint without disturbing the live loop:
+    /// clones every flow's state (open record, label fold, detector
+    /// per-flow bytes), captures the traffic clock, and *drains* the
+    /// recorder into an incremental [`ShardOutcome`] fragment — packet and
+    /// busy-time counters reset with it, so fragments from successive
+    /// checkpoints sum to exactly the crash-free totals. `fit_seconds` is
+    /// repeated on every fragment (a combiner takes the max).
+    pub fn on_checkpoint(&mut self, fit_seconds: f64) -> ShardCheckpoint {
+        let mut flows = match &self.assembler {
+            Some(assembler) => assembler.snapshot_all(),
+            None => {
+                let mut keys: Vec<FlowKey> = self.flows.iter().copied().collect();
+                keys.sort_unstable();
+                keys.into_iter()
+                    .map(|key| FlowMigration {
+                        key,
+                        record: None,
+                        label: idsbench_core::Label::Benign,
+                        label_seen: idsbench_net::Timestamp::ZERO,
+                        detector: None,
+                    })
+                    .collect()
+            }
+        };
+        for migration in &mut flows {
+            migration.detector = self.detector.snapshot_flow_state(&migration.key);
+        }
+        let (last_ts, sweep) = self
+            .assembler
+            .as_ref()
+            .map(|a| a.clock())
+            .unwrap_or((idsbench_net::Timestamp::ZERO, idsbench_net::Timestamp::ZERO));
+        let recorder = match &mut self.recorder {
+            Recorder::Full(records) => Recorder::Full(std::mem::take(records)),
+            Recorder::Online(stats, threshold) => {
+                Recorder::Online(Box::new(std::mem::take(stats.as_mut())), *threshold)
+            }
+        };
+        let fragment = ShardOutcome {
+            shard: self.id,
+            recorder,
+            score_seconds: self.score_nanos as f64 / 1e9,
+            fit_seconds,
+            packets: self.packets,
+            flows: self.flows.len(),
+        };
+        self.score_nanos = 0;
+        self.packets = 0;
+        ShardCheckpoint { flows, last_ts, sweep, fragment }
+    }
+
+    /// Restores a donor's traffic clock onto a freshly spawned replica
+    /// (no-op for packet-format shards, which keep no flow table). Must run
+    /// before any replayed traffic.
+    pub fn restore_clock(
+        &mut self,
+        last_ts: idsbench_net::Timestamp,
+        sweep: idsbench_net::Timestamp,
+    ) {
+        if let Some(assembler) = &mut self.assembler {
+            assembler.restore_clock(last_ts, sweep);
         }
     }
 

@@ -38,6 +38,28 @@ pub enum JournalEvent {
         /// How many flows moved.
         flows: usize,
     },
+    /// A fabric worker was classified dead (socket error or timeout); its
+    /// shards are about to be re-homed.
+    PeerDeath {
+        /// Accept-order index of the dead peer.
+        peer: usize,
+        /// Shards the peer was hosting when it died.
+        shards: usize,
+    },
+    /// A peer-death recovery finished: every orphaned shard was re-homed
+    /// from its last checkpoint and its buffered frames replayed.
+    RecoveryComplete {
+        /// Accept-order index of the dead peer.
+        peer: usize,
+        /// Shards re-homed.
+        shards: usize,
+        /// Flow-state entries restored from checkpoints.
+        flows: usize,
+        /// Batch frames replayed from the coordinator's replay buffers.
+        replayed_batches: u64,
+        /// Wall-clock recovery latency, detect-to-resume.
+        latency_micros: u64,
+    },
     /// A scale threshold was crossed but no decision fired (cooldown, or
     /// the pool was already at its bound).
     ThresholdCrossing {
@@ -58,6 +80,8 @@ impl JournalEvent {
             JournalEvent::FeederStall { .. } => "feeder_stall",
             JournalEvent::PacketDrops { .. } => "packet_drops",
             JournalEvent::Migration { .. } => "migration",
+            JournalEvent::PeerDeath { .. } => "peer_death",
+            JournalEvent::RecoveryComplete { .. } => "recovery_complete",
             JournalEvent::ThresholdCrossing { .. } => "threshold_crossing",
         }
     }
@@ -77,6 +101,20 @@ impl JournalEvent {
             }
             JournalEvent::Migration { to_shard, flows } => {
                 format!("{{\"type\":\"migration\",\"to_shard\":{to_shard},\"flows\":{flows}}}")
+            }
+            JournalEvent::PeerDeath { peer, shards } => {
+                format!("{{\"type\":\"peer_death\",\"peer\":{peer},\"shards\":{shards}}}")
+            }
+            JournalEvent::RecoveryComplete {
+                peer,
+                shards,
+                flows,
+                replayed_batches,
+                latency_micros,
+            } => {
+                format!(
+                    "{{\"type\":\"recovery_complete\",\"peer\":{peer},\"shards\":{shards},\"flows\":{flows},\"replayed_batches\":{replayed_batches},\"latency_micros\":{latency_micros}}}"
+                )
             }
             JournalEvent::ThresholdCrossing { window, pps, up } => format!(
                 "{{\"type\":\"threshold_crossing\",\"window\":{window},\"pps\":{},\"up\":{up}}}",
@@ -206,6 +244,25 @@ mod tests {
             })
             .collect();
         assert_eq!(seqs, vec![6, 7, 8, 9], "newest events, oldest-first order");
+    }
+
+    #[test]
+    fn recovery_events_export_scalar_json() {
+        let journal = Journal::new(4);
+        journal.push(JournalEvent::PeerDeath { peer: 1, shards: 2 });
+        journal.push(JournalEvent::RecoveryComplete {
+            peer: 1,
+            shards: 2,
+            flows: 37,
+            replayed_batches: 5,
+            latency_micros: 1200,
+        });
+        let snap = journal.snapshot();
+        assert_eq!(snap.events[0].kind(), "peer_death");
+        assert_eq!(snap.events[1].kind(), "recovery_complete");
+        let json = snap.to_json();
+        assert!(json.contains("{\"type\":\"peer_death\",\"peer\":1,\"shards\":2}"), "{json}");
+        assert!(json.contains("\"replayed_batches\":5,\"latency_micros\":1200}"), "{json}");
     }
 
     #[test]

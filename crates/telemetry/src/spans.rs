@@ -32,6 +32,9 @@ pub enum Stage {
     /// The model-inference portion of a detector's scoring path (attached
     /// inside the detector via its `attach_inference_probe`).
     Infer,
+    /// A fabric peer-death recovery: re-homing a dead worker's shards onto
+    /// survivors and replaying their buffered frames (coordinator side).
+    Recover,
 }
 
 impl Stage {
@@ -45,6 +48,7 @@ impl Stage {
             Stage::Migrate => "migrate",
             Stage::Rebalance => "rebalance",
             Stage::Infer => "infer",
+            Stage::Recover => "recover",
         }
     }
 }
@@ -192,6 +196,7 @@ mod tests {
             (Stage::Migrate, "migrate"),
             (Stage::Rebalance, "rebalance"),
             (Stage::Infer, "infer"),
+            (Stage::Recover, "recover"),
         ] {
             assert_eq!(stage.name(), name);
         }
