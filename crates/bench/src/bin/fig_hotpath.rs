@@ -20,6 +20,13 @@
 //! buffers the way the stream executor's return lane does, measuring the
 //! feeder's own per-packet cost (read + pooled buffer + parse).
 //!
+//! The NN-backed systems are additionally re-measured in wide-lane f32
+//! mode (rows named `<detector>+f32`), the packet-format ones through the
+//! `on_packet_batch` entry point so weight traffic amortizes across the
+//! burst; the raw kernel rate is reported per precision
+//! (`kernel_gflops`, `kernel_gflops_f32`) plus their ratio
+//! (`kernel_speedup_f32`).
+//!
 //! With `--baseline <path>` the run additionally compares its packets/sec
 //! against a previously committed `BENCH_hotpath.json` and exits non-zero
 //! on a >25% regression for any row present in both — the CI gate that
@@ -39,7 +46,9 @@
 
 use std::time::Instant;
 
-use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors};
+use idsbench_bench::{
+    detectors_with_precision, scale_from_args, seed_from_args, standard_detectors,
+};
 use idsbench_core::allocwatch::{allocation_snapshot, CountingAllocator};
 use idsbench_core::{
     Dataset, Event, EventDetector, FlowEventAssembler, InputFormat, LabeledPacket, ParsedView,
@@ -48,7 +57,8 @@ use idsbench_core::{
 use idsbench_datasets::scenarios;
 use idsbench_flow::FlowTableConfig;
 use idsbench_net::pcap::{PcapReader, PcapWriter};
-use idsbench_nn::Matrix;
+use idsbench_nn::wide::matmul_f32_into;
+use idsbench_nn::{Matrix, MatrixF32, Precision};
 use idsbench_stream::{PacketSource, PcapSource};
 use idsbench_telemetry::{Stage, Telemetry};
 
@@ -123,6 +133,56 @@ fn replay_views(
         }
     }
     scored
+}
+
+/// Batch size for the wide-lane rows: big enough to amortize weight
+/// traffic across packets, small enough to stay cache-resident.
+const BATCH_ROWS: usize = 256;
+
+/// Replays `views` through `on_packet_batch` in fixed-size bursts — the
+/// entry point the stream executor's batch lane uses — so converted
+/// weights are walked once per burst instead of once per packet. Only
+/// packet-format detectors come through here; flow-format scores ride
+/// flow evictions, which have no batch lane.
+fn replay_views_batched(detector: &mut dyn EventDetector, views: &[ParsedView]) -> usize {
+    let mut scores = Vec::with_capacity(BATCH_ROWS);
+    let mut scored = 0usize;
+    for chunk in views.chunks(BATCH_ROWS) {
+        scores.clear();
+        detector.on_packet_batch(&mut chunk.iter(), &mut scores);
+        scored += scores.len();
+    }
+    scored
+}
+
+/// `measure` for the batch-of-rows path: same warmup/measure split, but
+/// both halves replay through `on_packet_batch`.
+fn measure_batched(
+    name: &str,
+    detector: &mut dyn EventDetector,
+    train: &TrainView,
+    eval: &[ParsedView],
+) -> HotPathRow {
+    detector.fit(train);
+    let split = eval.len() / 2;
+    replay_views_batched(detector, &eval[..split]);
+
+    let measured = &eval[split..];
+    let before = allocation_snapshot();
+    let clock = Instant::now();
+    let scored = replay_views_batched(detector, measured);
+    let seconds = clock.elapsed().as_secs_f64();
+    let after = allocation_snapshot();
+
+    let packets = measured.len();
+    HotPathRow {
+        detector: name.to_string(),
+        packets,
+        events_scored: scored,
+        packets_per_sec: packets as f64 / seconds.max(1e-12),
+        allocs_per_packet: after.allocations_since(&before) as f64 / packets.max(1) as f64,
+        bytes_per_packet: after.bytes_since(&before) as f64 / packets.max(1) as f64,
+    }
 }
 
 fn measure(
@@ -220,6 +280,27 @@ fn measure_kernel_gflops() -> f64 {
     for _ in 0..rounds {
         a.matmul_into(&b, &mut out);
         acc += out.get(0, 0);
+    }
+    let seconds = clock.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    let flops = 2.0 * 100.0 * 50.0 * rounds as f64;
+    flops / seconds.max(1e-12) / 1e9
+}
+
+/// The same HELAD-shaped product through the f32 wide kernel
+/// (`matmul_f32_into`, 8-lane chunked), reported as GFLOP/s — the
+/// f32/f64 ratio in the JSON is this over `measure_kernel_gflops`.
+fn measure_kernel_gflops_f32() -> f64 {
+    let a = MatrixF32::from_f64(&Matrix::xavier(1, 100, 7));
+    let b = MatrixF32::from_f64(&Matrix::xavier(100, 50, 8));
+    let mut out = MatrixF32::zeros(1, 50);
+    matmul_f32_into(&a, &b, &mut out); // warm the scratch
+    let rounds = 200_000u64;
+    let clock = Instant::now();
+    let mut acc = 0.0f32;
+    for _ in 0..rounds {
+        matmul_f32_into(&a, &b, &mut out);
+        acc += out.row(0)[0];
     }
     let seconds = clock.elapsed().as_secs_f64();
     std::hint::black_box(acc);
@@ -325,6 +406,24 @@ fn main() {
         row.print_csv();
         rows.push(row);
     }
+    // Wide-lane rows: the NN-backed systems re-measured in f32 mode, the
+    // packet-format ones through the batch entry point (the stream
+    // executor's batch lane). Distinct `+f32` names keep these rows
+    // separate from the bitwise-f64 baselines in committed JSON.
+    for (name, factory) in detectors_with_precision(Precision::F32Wide) {
+        if !name.ends_with("+f32") {
+            continue; // Slips has no NN; its scores are identical either way
+        }
+        let mut detector = factory();
+        let row = if detector.input_format() == InputFormat::Packets {
+            measure_batched(&name, detector.as_mut(), &train, &eval)
+        } else {
+            measure(&name, detector.as_mut(), &train, &eval)
+        };
+        row.print_csv();
+        rows.push(row);
+    }
+
     let transport = measure_transport(&eval_packets);
     transport.print_csv();
     rows.push(transport);
@@ -378,7 +477,13 @@ fn main() {
     }
 
     let kernel_gflops = measure_kernel_gflops();
+    let kernel_gflops_f32 = measure_kernel_gflops_f32();
+    let kernel_speedup_f32 = kernel_gflops_f32 / kernel_gflops.max(1e-12);
     eprintln!("# kernel_gflops (1x100 · 100x50 row-vector matmul): {kernel_gflops:.2}");
+    eprintln!(
+        "# kernel_gflops_f32 (same shape, 8-lane wide kernel): {kernel_gflops_f32:.2} \
+         ({kernel_speedup_f32:.2}x f64)"
+    );
 
     let scale_name = match scale {
         idsbench_datasets::ScenarioScale::Tiny => "tiny",
@@ -388,7 +493,9 @@ fn main() {
     let results: Vec<String> = rows.iter().map(HotPathRow::to_json).collect();
     let json = format!(
         "{{\"bench\":\"fig_hotpath\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
-         \"scenario\":\"{}\",\"kernel_gflops\":{kernel_gflops:.2},\"results\":[{}]}}",
+         \"scenario\":\"{}\",\"kernel_gflops\":{kernel_gflops:.2},\
+         \"kernel_gflops_f32\":{kernel_gflops_f32:.2},\
+         \"kernel_speedup_f32\":{kernel_speedup_f32:.2},\"results\":[{}]}}",
         scenario.info().name,
         results.join(","),
     );

@@ -1,0 +1,298 @@
+//! Multi-core throughput figure: packets/sec of the stream executor at
+//! fixed shard pools of 1, 2, 4, and 8, for every detector at both
+//! inference precisions — the headline table of the README's Performance
+//! section.
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_multicore -- --scale tiny
+//! cargo run --release -p idsbench-bench --bin fig_multicore -- --scale tiny \
+//!     --shards 1,2 --baseline BENCH_multicore.json   # CI smoke + gate
+//! ```
+//!
+//! The workload is the shared bursty TCP trace (`workload::bursty_trace`,
+//! the same generator behind `fig_autoscale` and the autoscale parity
+//! tests). Each cell is one fixed-pool `run_stream` over the evaluation
+//! slice: the feeder routes by flow hash, every shard owns an independent
+//! detector instance, and the reported packets/sec is the executor's
+//! wall-clock throughput with training excluded. The NN-backed systems
+//! appear twice — bitwise-f64 default and `+f32` wide-lane mode (which
+//! also rides the `ShardLoop` batch entry point) — Slips once, since it
+//! has no neural network.
+//!
+//! `host_cores` is recorded in the JSON. On a single-core host shard
+//! scaling measures scheduling overhead rather than parallel speedup, so
+//! the `--require-scaling` gate (Kitsune at 4 shards must reach 1.5× its
+//! 1-shard rate) is enforced only when the host has at least 4 cores; on
+//! smaller hosts the run prints and records a waiver note instead — the
+//! documented 1-core fallback.
+//!
+//! With `--baseline <path>` the run compares each `detector@shards` cell
+//! against a previously committed `BENCH_multicore.json` and exits
+//! non-zero on a >25% packets/sec regression for any cell present in
+//! both.
+//!
+//! One `BENCH `-prefixed JSON line goes to stdout and the same object is
+//! written to `BENCH_multicore.json`; a human-readable table goes to
+//! stderr.
+
+use idsbench_bench::{scale_from_args, seed_from_args, workload};
+use idsbench_core::EventDetector;
+use idsbench_datasets::ScenarioScale;
+use idsbench_dnn::{Dnn, DnnConfig};
+use idsbench_helad::{Helad, HeladConfig};
+use idsbench_kitsune::{Kitsune, KitsuneConfig};
+use idsbench_net::Timestamp;
+use idsbench_nn::Precision;
+use idsbench_slips::Slips;
+use idsbench_stream::{run_stream, StreamConfig, VecSource};
+
+/// Maximum tolerated packets/sec drop against the `--baseline` file.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Required 4-shard/1-shard speedup for Kitsune under `--require-scaling`
+/// (enforced only on hosts with >= 4 cores).
+const SCALING_FLOOR: f64 = 1.5;
+
+/// The headline roster: every system at f64, the NN-backed ones again at
+/// f32. `(row name, base system, precision)`.
+const VARIANTS: [(&str, &str, Precision); 7] = [
+    ("Kitsune", "Kitsune", Precision::F64Bitwise),
+    ("Kitsune+f32", "Kitsune", Precision::F32Wide),
+    ("HELAD", "HELAD", Precision::F64Bitwise),
+    ("HELAD+f32", "HELAD", Precision::F32Wide),
+    ("DNN", "DNN", Precision::F64Bitwise),
+    ("DNN+f32", "DNN", Precision::F32Wide),
+    ("Slips", "Slips", Precision::F64Bitwise),
+];
+
+fn build(base: &str, precision: Precision) -> Box<dyn EventDetector> {
+    match base {
+        "Kitsune" => Box::new(Kitsune::new(KitsuneConfig { precision, ..Default::default() })),
+        "HELAD" => Box::new(Helad::new(HeladConfig { precision, ..Default::default() })),
+        "DNN" => Box::new(Dnn::new(DnnConfig { precision, ..Default::default() })),
+        "Slips" => Box::new(Slips::default()),
+        other => unreachable!("unknown detector {other}"),
+    }
+}
+
+/// One measured cell of the table.
+struct Cell {
+    detector: String,
+    precision: &'static str,
+    shards: usize,
+    packets: usize,
+    packets_per_sec: f64,
+    p99_latency_us: f64,
+    speedup_vs_1: f64,
+}
+
+impl Cell {
+    fn key(&self) -> String {
+        format!("{}@{}", self.detector, self.shards)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"key\":{},\"detector\":{},\"precision\":\"{}\",\"shards\":{},\
+             \"packets\":{},\"packets_per_sec\":{:.1},\"p99_latency_us\":{:.2},\
+             \"speedup_vs_1shard\":{:.3}}}",
+            idsbench_core::json::quoted(&self.key()),
+            idsbench_core::json::quoted(&self.detector),
+            self.precision,
+            self.shards,
+            self.packets,
+            self.packets_per_sec,
+            self.p99_latency_us,
+            self.speedup_vs_1,
+        )
+    }
+
+    fn print_csv(&self) {
+        eprintln!(
+            "{},{},{},{},{:.0},{:.2},{:.3}",
+            self.detector,
+            self.precision,
+            self.shards,
+            self.packets,
+            self.packets_per_sec,
+            self.p99_latency_us,
+            self.speedup_vs_1,
+        );
+    }
+}
+
+/// Parses `--shards 1,2,4,8` (default exactly that).
+fn shards_from_args(args: &[String]) -> Vec<usize> {
+    args.iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| list.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|counts: &Vec<usize>| !counts.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Extracts `(key, packets_per_sec)` pairs from a committed
+/// `BENCH_multicore.json` (hand-rolled scan; no JSON parser dependency).
+fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"key\":\"") {
+        rest = &rest[at + "\"key\":\"".len()..];
+        let Some(key_end) = rest.find('"') else { break };
+        let key = rest[..key_end].to_string();
+        let Some(pps_at) = rest.find("\"packets_per_sec\":") else { break };
+        let tail = &rest[pps_at + "\"packets_per_sec\":".len()..];
+        let num: String =
+            tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+        if let Ok(pps) = num.parse::<f64>() {
+            rows.push((key, pps));
+        }
+        rest = tail;
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let shard_counts = shards_from_args(&args);
+    let baseline_path =
+        args.iter().position(|a| a == "--baseline").and_then(|i| args.get(i + 1)).cloned();
+    let require_scaling = args.iter().any(|a| a == "--require-scaling");
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Same phased trace family as fig_autoscale, scaled down: throughput
+    // cells need steady load, not scale-up drama, so every phase bursts.
+    let (phases, sessions) = match scale {
+        ScenarioScale::Tiny => (6, 60),
+        ScenarioScale::Small => (10, 200),
+        ScenarioScale::Full => (30, 600),
+    };
+    let trace = workload::bursty_trace(phases, sessions, sessions, seed, |_| true);
+    // Warmup on the first traffic-second; the rest is the measured stream.
+    let split = trace.partition_point(|lp| lp.packet.ts < Timestamp::from_micros(1_000_000));
+    let (warmup, eval) = trace.split_at(split);
+
+    eprintln!("detector,precision,shards,packets,packets_per_sec,p99_latency_us,speedup_vs_1shard");
+    let mut cells: Vec<Cell> = Vec::new();
+    for (name, base, precision) in VARIANTS {
+        let mut single_shard_pps = None;
+        for &shards in &shard_counts {
+            let config = StreamConfig { shards, ..Default::default() };
+            let factory = move || build(base, precision);
+            let run =
+                run_stream(&factory, warmup, VecSource::new("bursty-tcp", eval.to_vec()), &config)
+                    .expect("fixed-pool streaming run");
+            let report = run.report;
+            let pps = report.throughput.packets_per_sec;
+            if shards == 1 {
+                single_shard_pps = Some(pps);
+            }
+            let cell = Cell {
+                detector: name.to_string(),
+                precision: precision.label(),
+                shards,
+                packets: report.eval_packets,
+                packets_per_sec: pps,
+                p99_latency_us: report.throughput.p99_latency_us,
+                speedup_vs_1: single_shard_pps.map_or(1.0, |base_pps| pps / base_pps.max(1e-12)),
+            };
+            cell.print_csv();
+            cells.push(cell);
+        }
+    }
+
+    let scale_name = match scale {
+        ScenarioScale::Tiny => "tiny",
+        ScenarioScale::Small => "small",
+        ScenarioScale::Full => "full",
+    };
+    let scaling_waived = host_cores < 4;
+    let note = if scaling_waived {
+        format!(
+            "host has {host_cores} core(s): shard scaling measures scheduling overhead, \
+             not parallel speedup; the {SCALING_FLOOR}x scaling gate is waived"
+        )
+    } else {
+        String::new()
+    };
+    let shard_list: Vec<String> = shard_counts.iter().map(|s| s.to_string()).collect();
+    let results: Vec<String> = cells.iter().map(Cell::to_json).collect();
+    let json = format!(
+        "{{\"bench\":\"fig_multicore\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
+         \"host_cores\":{host_cores},\"shard_counts\":[{}],\"note\":{},\
+         \"results\":[{}]}}",
+        shard_list.join(","),
+        idsbench_core::json::quoted(&note),
+        results.join(","),
+    );
+    if let Err(e) = std::fs::write("BENCH_multicore.json", format!("{json}\n")) {
+        eprintln!("# failed to write BENCH_multicore.json: {e}");
+    }
+    println!("BENCH {json}");
+
+    if require_scaling {
+        if scaling_waived {
+            eprintln!("# scaling gate waived: {note}");
+        } else {
+            let pps_at = |shards: usize| {
+                cells
+                    .iter()
+                    .find(|c| c.detector == "Kitsune" && c.shards == shards)
+                    .map(|c| c.packets_per_sec)
+            };
+            match (pps_at(1), pps_at(4)) {
+                (Some(one), Some(four)) if four >= SCALING_FLOOR * one => {
+                    eprintln!("# scaling gate passed: Kitsune {:.2}x at 4 shards", four / one);
+                }
+                (Some(one), Some(four)) => {
+                    eprintln!(
+                        "# GATE FAILED: Kitsune at 4 shards is {four:.0} pps, \
+                         {:.2}x its 1-shard {one:.0} (floor {SCALING_FLOOR}x)",
+                        four / one
+                    );
+                    std::process::exit(1);
+                }
+                _ => {
+                    eprintln!("# GATE FAILED: --require-scaling needs shard counts 1 and 4");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if let Some(path) = baseline_path {
+        let baseline_json = match std::fs::read_to_string(&path) {
+            Ok(contents) => contents,
+            Err(e) => {
+                eprintln!("# cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = parse_baseline(&baseline_json);
+        let mut failures = Vec::new();
+        for cell in &cells {
+            let key = cell.key();
+            let Some((_, base)) = baseline.iter().find(|(k, _)| *k == key) else {
+                continue; // a new cell has no baseline yet
+            };
+            let floor = base * (1.0 - REGRESSION_TOLERANCE);
+            if cell.packets_per_sec < floor {
+                failures.push(format!(
+                    "{key}: {:.0} packets/sec is a >{:.0}% regression vs baseline {base:.0} \
+                     (floor {floor:.0})",
+                    cell.packets_per_sec,
+                    REGRESSION_TOLERANCE * 100.0,
+                ));
+            }
+        }
+        if failures.is_empty() {
+            eprintln!("# baseline gate passed ({path})");
+        } else {
+            for failure in &failures {
+                eprintln!("# REGRESSION {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -11,21 +11,50 @@
 use idsbench_core::runner::DetectorFactory;
 use idsbench_core::EventDetector;
 use idsbench_datasets::{scenarios, Scenario, ScenarioScale};
-use idsbench_dnn::Dnn;
-use idsbench_helad::Helad;
-use idsbench_kitsune::Kitsune;
+use idsbench_dnn::{Dnn, DnnConfig};
+use idsbench_helad::{Helad, HeladConfig};
+use idsbench_kitsune::{Kitsune, KitsuneConfig};
+use idsbench_nn::Precision;
 use idsbench_slips::Slips;
 
 /// The four evaluated systems, in Table IV's block order, with out-of-the-
 /// box configurations.
 pub fn standard_detectors() -> Vec<(String, DetectorFactory<'static>)> {
+    detectors_with_precision(Precision::F64Bitwise)
+}
+
+/// The standard roster at a chosen inference precision. `F64Bitwise` keeps
+/// the Table IV names; `F32Wide` suffixes the NN-backed systems with
+/// `+f32` so baseline files never confuse the two modes. Slips has no
+/// neural network — its row carries the same name and the same bitwise
+/// scores in both modes.
+pub fn detectors_with_precision(precision: Precision) -> Vec<(String, DetectorFactory<'static>)> {
+    let suffix = match precision {
+        Precision::F64Bitwise => "",
+        Precision::F32Wide => "+f32",
+    };
     vec![
         (
-            "Kitsune".to_string(),
-            Box::new(|| Box::new(Kitsune::default()) as Box<dyn EventDetector>) as DetectorFactory,
+            format!("Kitsune{suffix}"),
+            Box::new(move || {
+                Box::new(Kitsune::new(KitsuneConfig { precision, ..Default::default() }))
+                    as Box<dyn EventDetector>
+            }) as DetectorFactory,
         ),
-        ("HELAD".to_string(), Box::new(|| Box::new(Helad::default()) as Box<dyn EventDetector>)),
-        ("DNN".to_string(), Box::new(|| Box::new(Dnn::default()) as Box<dyn EventDetector>)),
+        (
+            format!("HELAD{suffix}"),
+            Box::new(move || {
+                Box::new(Helad::new(HeladConfig { precision, ..Default::default() }))
+                    as Box<dyn EventDetector>
+            }),
+        ),
+        (
+            format!("DNN{suffix}"),
+            Box::new(move || {
+                Box::new(Dnn::new(DnnConfig { precision, ..Default::default() }))
+                    as Box<dyn EventDetector>
+            }),
+        ),
         ("Slips".to_string(), Box::new(|| Box::new(Slips::default()) as Box<dyn EventDetector>)),
     ]
 }
@@ -200,6 +229,13 @@ mod tests {
     fn roster_matches_table_iv_order() {
         let names: Vec<String> = standard_detectors().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["Kitsune", "HELAD", "DNN", "Slips"]);
+    }
+
+    #[test]
+    fn wide_roster_suffixes_nn_systems() {
+        let names: Vec<String> =
+            detectors_with_precision(Precision::F32Wide).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["Kitsune+f32", "HELAD+f32", "DNN+f32", "Slips"]);
     }
 
     #[test]

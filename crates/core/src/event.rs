@@ -212,6 +212,30 @@ pub trait EventDetector: Send {
     /// real deployments see the packets their flows are made of.
     fn on_event(&mut self, event: &Event<'_>) -> Option<f64>;
 
+    /// Scores a batch of parsed packets, pushing exactly one score per view
+    /// onto `scores` in order. The drivers call this instead of
+    /// [`EventDetector::on_event`] when a burst of packet events arrives
+    /// together and the detector consumes packets without flow assembly —
+    /// the batch-of-rows entry point that lets NN-backed detectors amortize
+    /// weight traffic across the burst.
+    ///
+    /// The contract mirrors scoring the views one at a time in order: the
+    /// default implementation does exactly that, and overrides in the
+    /// default f64 precision must produce bitwise-identical scores (batch
+    /// delivery sits underneath the score-digest contract without its own
+    /// pin; `tests/epsilon_parity.rs` covers the f32 mode).
+    fn on_packet_batch(
+        &mut self,
+        views: &mut dyn Iterator<Item = &ParsedView>,
+        scores: &mut Vec<f64>,
+    ) {
+        for view in views {
+            if let Some(score) = self.on_event(&Event::Packet(view)) {
+                scores.push(score);
+            }
+        }
+    }
+
     /// Surrenders any private per-flow state this detector keeps for
     /// `key`, removing it locally. The streaming executor calls this when
     /// consistent-hash ownership of the flow moves to another shard, and
@@ -269,6 +293,16 @@ impl EventDetector for Box<dyn EventDetector> {
 
     fn on_event(&mut self, event: &Event<'_>) -> Option<f64> {
         self.as_mut().on_event(event)
+    }
+
+    // Forwarded explicitly: the default body would loop `on_event` on the
+    // box and silently bypass the inner detector's batch override.
+    fn on_packet_batch(
+        &mut self,
+        views: &mut dyn Iterator<Item = &ParsedView>,
+        scores: &mut Vec<f64>,
+    ) {
+        self.as_mut().on_packet_batch(views, scores);
     }
 
     fn extract_flow_state(&mut self, key: &FlowKey) -> Option<Vec<u8>> {

@@ -20,7 +20,10 @@
 pub mod baselines;
 
 use idsbench_core::{Event, EventDetector, InputFormat, LabeledFlow, TrainView};
-use idsbench_nn::{Activation, Adam, Loss, Matrix, MinMaxNormalizer, Mlp, MlpBuilder, Workspace};
+use idsbench_nn::{
+    Activation, Adam, Loss, Matrix, MatrixF32, MinMaxNormalizer, Mlp, MlpBuilder, Precision,
+    Workspace,
+};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -44,6 +47,10 @@ pub struct DnnConfig {
     pub normalize: bool,
     /// Weight-initialization and shuffling seed.
     pub seed: u64,
+    /// Numeric mode of the inference kernels: bitwise `f64` (default) or
+    /// eight-lane `f32` under the epsilon-parity contract. Training always
+    /// runs in `f64`; this selects how the frozen network scores.
+    pub precision: Precision,
 }
 
 impl Default for DnnConfig {
@@ -56,6 +63,7 @@ impl Default for DnnConfig {
             rebalance: true,
             normalize: true,
             seed: 0,
+            precision: Precision::F64Bitwise,
         }
     }
 }
@@ -67,10 +75,13 @@ struct DnnModel {
     norm: MinMaxNormalizer,
     mlp: Mlp,
     normalize: bool,
+    precision: Precision,
     /// Reused normalized-feature buffer.
     feat_buf: Vec<f64>,
     /// Reused per-flow input row.
     input: Matrix,
+    /// Wide-lane sibling of `input` for the f32 path.
+    input32: MatrixF32,
     /// Reused NN inference scratch.
     ws: Workspace,
 }
@@ -84,7 +95,13 @@ impl DnnModel {
         } else {
             self.input.set_row(features);
         }
-        self.mlp.predict_with(&self.input, &mut self.ws).get(0, 0)
+        match self.precision {
+            Precision::F64Bitwise => self.mlp.predict_with(&self.input, &mut self.ws).get(0, 0),
+            Precision::F32Wide => {
+                self.input32.set_row_from_f64(self.input.row(0));
+                f64::from(self.mlp.predict_wide_with(&self.input32, &mut self.ws).row(0)[0])
+            }
+        }
     }
 }
 
@@ -189,15 +206,21 @@ impl EventDetector for Dnn {
         }
 
         // Training is done: pack the layer weights for the fused inference
-        // kernel (bit-identical predictions, no column striding).
+        // kernel (bit-identical predictions, no column striding) and, in
+        // f32 mode, convert the wide weight mirrors.
         mlp.pack();
+        if self.config.precision == Precision::F32Wide {
+            mlp.pack_wide();
+        }
         let ws = mlp.workspace();
         self.model = Some(DnnModel {
             norm,
             mlp,
             normalize: self.config.normalize,
+            precision: self.config.precision,
             feat_buf: Vec::with_capacity(width),
             input: Matrix::zeros(1, width),
+            input32: MatrixF32::default(),
             ws,
         });
     }
@@ -360,5 +383,20 @@ mod tests {
         let a = run(&mut Dnn::default(), &input).scores;
         let b = run(&mut Dnn::default(), &input).scores;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wide_precision_scores_track_f64_within_epsilon() {
+        let input = labelled_input();
+        let reference = run(&mut Dnn::default(), &input).scores;
+        let wide = run(
+            &mut Dnn::new(DnnConfig { precision: Precision::F32Wide, ..Default::default() }),
+            &input,
+        )
+        .scores;
+        assert_eq!(wide.len(), reference.len());
+        for (i, (w, r)) in wide.iter().zip(&reference).enumerate() {
+            assert!((w - r).abs() <= 1e-3 * r.abs().max(1e-6), "flow {i}: wide {w} vs f64 {r}");
+        }
     }
 }

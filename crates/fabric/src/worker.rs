@@ -120,6 +120,9 @@ pub fn run_worker_with_faults(
     let mut warmup: Vec<ParsedView> = Vec::new();
     let mut train: Option<TrainView> = None;
     let mut shards: BTreeMap<usize, HostedShard> = BTreeMap::new();
+    // Reused across batches so a steady stream settles into zero staging
+    // allocations, mirroring the local executor's recycled batch vectors.
+    let mut staged: Vec<StreamItem> = Vec::new();
 
     loop {
         let body = recv_body(&mut transport, counters)?;
@@ -175,9 +178,9 @@ pub fn run_worker_with_faults(
             }
             CoordMsg::Batch { shard, items } => {
                 let hosted = hosted(&mut shards, shard)?;
-                for item in items {
-                    hosted.event_loop.on_packet(&wire_item_to_stream(item));
-                }
+                staged.clear();
+                staged.extend(items.into_iter().map(wire_item_to_stream));
+                hosted.event_loop.on_batch(&staged);
             }
             CoordMsg::Rebalance { shard, ring } => {
                 let ring = ring.to_ring();

@@ -32,8 +32,12 @@
 use idsbench_core::{Event, EventDetector, InputFormat, ParsedView, TrainView};
 use idsbench_flow::{AfterImage, AfterImageConfig};
 use idsbench_nn::{
-    Autoencoder, AutoencoderConfig, LstmRegressor, LstmRegressorConfig, MinMaxNormalizer, Workspace,
+    Autoencoder, AutoencoderConfig, LstmRegressor, LstmRegressorConfig, Matrix, MatrixF32,
+    MinMaxNormalizer, Precision, Workspace,
 };
+
+/// A src↔dst channel key (ordered so both directions share one history).
+type ChannelKey = (std::net::IpAddr, std::net::IpAddr);
 
 /// A fixed-capacity ring of the most recent reconstruction errors — the
 /// LSTM's input window, kept allocation-free (the old implementation
@@ -106,6 +110,10 @@ pub struct HeladConfig {
     pub weight_lstm: f64,
     /// Weight-initialization seed.
     pub seed: u64,
+    /// Numeric mode of the inference kernels: bitwise `f64` (default) or
+    /// eight-lane `f32` under the epsilon-parity contract. Training always
+    /// runs in `f64`; this selects how the frozen ensemble scores.
+    pub precision: Precision,
 }
 
 impl Default for HeladConfig {
@@ -123,6 +131,7 @@ impl Default for HeladConfig {
             weight_ae: 0.7,
             weight_lstm: 0.3,
             seed: 0,
+            precision: Precision::F64Bitwise,
         }
     }
 }
@@ -228,8 +237,13 @@ impl Helad {
             recent.push(score);
         }
         // Training is done: pack the autoencoder weights for the fused
-        // inference kernels (bit-identical scores, no column striding).
+        // inference kernels (bit-identical scores, no column striding) and,
+        // in f32 mode, convert the wide weight mirrors of both models.
         autoencoder.pack();
+        if self.config.precision == Precision::F32Wide {
+            autoencoder.pack_wide();
+            lstm.pack_wide();
+        }
         let ws = autoencoder.workspace();
         HeladEngine {
             extractor,
@@ -242,9 +256,17 @@ impl Helad {
             smooth: self.config.smooth_window.max(1),
             weight_ae: self.config.weight_ae,
             weight_lstm: self.config.weight_lstm,
+            precision: self.config.precision,
             feat_buf: Vec::with_capacity(width),
             norm_buf: Vec::with_capacity(width),
             ws,
+            norm_buf32: Vec::new(),
+            feat_rows: Matrix::default(),
+            feat_rows32: MatrixF32::default(),
+            windows: Matrix::default(),
+            batch_rmses: Vec::new(),
+            batch_preds: Vec::new(),
+            batch_keys: Vec::new(),
         }
     }
 }
@@ -270,12 +292,29 @@ pub struct HeladEngine {
     smooth: usize,
     weight_ae: f64,
     weight_lstm: f64,
+    precision: Precision,
     /// Reused per-packet feature buffer.
     feat_buf: Vec<f64>,
     /// Reused normalized-feature buffer.
     norm_buf: Vec<f64>,
     /// Shared NN inference scratch (autoencoder and LSTM).
     ws: Workspace,
+    /// Narrowed features for the wide (f32) single-packet path.
+    norm_buf32: Vec<f32>,
+    /// Batch staging: one normalized feature row per well-formed packet.
+    feat_rows: Matrix,
+    /// Wide-lane sibling of `feat_rows`.
+    feat_rows32: MatrixF32,
+    /// Lockstep LSTM input: one score-history window per predicted row.
+    windows: Matrix,
+    /// Reconstruction errors for the valid rows of the current burst.
+    batch_rmses: Vec<f64>,
+    /// LSTM predictions for the rows whose history window was full.
+    batch_preds: Vec<f64>,
+    /// Per-view routing for the current burst: `None` = malformed (scores
+    /// 0), `Some(None)` = valid but channel-less, `Some(Some(key))` = valid
+    /// with a smoothing channel.
+    batch_keys: Vec<Option<Option<ChannelKey>>>,
 }
 
 impl HeladEngine {
@@ -295,10 +334,23 @@ impl HeladEngine {
         // eval features clamp to the boundary (and read as anomalous)
         // rather than re-scaling the whole space.
         self.norm.transform_into(&self.feat_buf, &mut self.norm_buf);
-        let rmse = self.autoencoder.score_with(&self.norm_buf, &mut self.ws);
+        let rmse = match self.precision {
+            Precision::F64Bitwise => self.autoencoder.score_with(&self.norm_buf, &mut self.ws),
+            Precision::F32Wide => {
+                self.norm_buf32.clear();
+                self.norm_buf32.extend(self.norm_buf.iter().map(|&v| v as f32));
+                self.autoencoder.score_wide_with(&self.norm_buf32, &mut self.ws)
+            }
+        };
         let surprise = if self.recent.len() == self.window {
-            let predicted =
-                self.lstm.predict_with(self.recent.iter().map(std::slice::from_ref), &mut self.ws);
+            let predicted = match self.precision {
+                Precision::F64Bitwise => self
+                    .lstm
+                    .predict_with(self.recent.iter().map(std::slice::from_ref), &mut self.ws),
+                Precision::F32Wide => self
+                    .lstm
+                    .predict_wide_with(self.recent.iter().map(std::slice::from_ref), &mut self.ws),
+            };
             (rmse - predicted).abs()
         } else {
             0.0
@@ -319,6 +371,146 @@ impl HeladEngine {
             _ => rmse,
         };
         self.weight_ae * smoothed + self.weight_lstm * surprise
+    }
+
+    /// Batch-of-rows [`HeladEngine::score_view`] over a burst of views,
+    /// pushing one score per view in order. Stateful stages (AfterImage
+    /// extraction, the score ring, per-channel smoothing) run sequentially
+    /// exactly as the one-at-a-time path does; the pure model forwards run
+    /// batched — all autoencoder RMSEs in one batch forward, then the LSTM
+    /// in lockstep over every row's history window — so both models stream
+    /// their weights through cache once per *burst* instead of once per
+    /// *packet*. In the default f64 mode the scores are bitwise identical
+    /// to scoring each view alone.
+    pub fn score_batch(
+        &mut self,
+        views: &mut dyn Iterator<Item = &ParsedView>,
+        out: &mut Vec<f64>,
+    ) {
+        let width = self.extractor.feature_count();
+        self.batch_keys.clear();
+        let mut rows = 0;
+        // Pass 1 (sequential): feature extraction and normalization into
+        // the staging rows; channel keys are captured here because the
+        // views are consumed by this pass.
+        for view in views {
+            match &view.parsed {
+                Some(parsed) => {
+                    self.extractor.update_into(parsed, &mut self.feat_buf);
+                    self.norm.transform_into(&self.feat_buf, &mut self.norm_buf);
+                    rows += 1;
+                    if self.feat_rows.rows() < rows || self.feat_rows.cols() != width {
+                        self.feat_rows.reshape(rows.max(self.feat_rows.rows()), width);
+                    }
+                    self.feat_rows.as_mut_slice()[(rows - 1) * width..rows * width]
+                        .copy_from_slice(&self.norm_buf);
+                    let key = match (parsed.src_ip(), parsed.dst_ip()) {
+                        (Some(a), Some(b)) => Some(if a <= b { (a, b) } else { (b, a) }),
+                        _ => None,
+                    };
+                    self.batch_keys.push(Some(key));
+                }
+                None => self.batch_keys.push(None),
+            }
+        }
+        if rows == 0 {
+            out.extend(self.batch_keys.iter().map(|_| 0.0));
+            return;
+        }
+        self.feat_rows.reshape(rows, width);
+
+        // Pass 2 (batched): every row's reconstruction error in one
+        // autoencoder batch forward.
+        self.batch_rmses.clear();
+        match self.precision {
+            Precision::F64Bitwise => {
+                self.autoencoder.score_rows_with(
+                    &self.feat_rows,
+                    &mut self.batch_rmses,
+                    &mut self.ws,
+                );
+            }
+            Precision::F32Wide => {
+                self.feat_rows32.reshape(rows, width);
+                for (o, &v) in
+                    self.feat_rows32.as_mut_slice().iter_mut().zip(self.feat_rows.as_slice())
+                {
+                    *o = v as f32;
+                }
+                self.autoencoder.score_rows_wide_with(
+                    &self.feat_rows32,
+                    &mut self.batch_rmses,
+                    &mut self.ws,
+                );
+            }
+        }
+
+        // Pass 3 (sequential ring, then lockstep LSTM): snapshot each row's
+        // history window in arrival order — row `i` sees the ring exactly
+        // as the one-at-a-time path would, i.e. after pushes of rows
+        // `0..i` — then predict every full window in one lockstep batch.
+        // The first `missing` rows have incomplete windows (no surprise
+        // term), matching the sequential warm-up.
+        let missing = self.window - self.recent.len().min(self.window);
+        let predicted_rows = rows - missing.min(rows);
+        self.windows.reshape(predicted_rows, self.window);
+        let mut w = 0;
+        for i in 0..rows {
+            if self.recent.len() == self.window {
+                let row = &mut self.windows.as_mut_slice()[w * self.window..(w + 1) * self.window];
+                for (slot, &score) in row.iter_mut().zip(self.recent.iter()) {
+                    *slot = score;
+                }
+                w += 1;
+            }
+            self.recent.push(self.batch_rmses[i]);
+        }
+        debug_assert_eq!(w, predicted_rows);
+        self.batch_preds.clear();
+        if predicted_rows > 0 {
+            match self.precision {
+                Precision::F64Bitwise => {
+                    self.lstm.predict_windows_with(
+                        &self.windows,
+                        &mut self.batch_preds,
+                        &mut self.ws,
+                    );
+                }
+                Precision::F32Wide => {
+                    self.lstm.predict_windows_wide_with(
+                        &self.windows,
+                        &mut self.batch_preds,
+                        &mut self.ws,
+                    );
+                }
+            }
+        }
+
+        // Pass 4 (sequential): blend and per-channel smoothing in arrival
+        // order — the channel histories are shared mutable state.
+        let mut i = 0;
+        for entry in &self.batch_keys {
+            let Some(channel) = entry else {
+                out.push(0.0);
+                continue;
+            };
+            let rmse = self.batch_rmses[i];
+            let surprise =
+                if i >= missing { (rmse - self.batch_preds[i - missing]).abs() } else { 0.0 };
+            let smoothed = match channel {
+                Some(key) => {
+                    let history = self.channel_history.entry_or_insert_with(*key, Default::default);
+                    history.push_back(rmse);
+                    if history.len() > self.smooth {
+                        history.pop_front();
+                    }
+                    history.iter().sum::<f64>() / history.len() as f64
+                }
+                None => rmse,
+            };
+            out.push(self.weight_ae * smoothed + self.weight_lstm * surprise);
+            i += 1;
+        }
     }
 }
 
@@ -363,6 +555,22 @@ impl EventDetector for Helad {
                 Some(score)
             }
             Event::FlowEvicted(_) => None,
+        }
+    }
+
+    fn on_packet_batch(
+        &mut self,
+        views: &mut dyn Iterator<Item = &ParsedView>,
+        scores: &mut Vec<f64>,
+    ) {
+        if self.engine.is_none() {
+            self.engine = Some(Helad::fit(self, &TrainView::default()));
+        }
+        let engine = self.engine.as_mut().expect("engine fitted above");
+        let started = self.probe.as_ref().and_then(|probe| probe.begin());
+        engine.score_batch(views, scores);
+        if let (Some(probe), Some(started)) = (&self.probe, started) {
+            probe.end(started);
         }
     }
 }
@@ -505,5 +713,44 @@ mod tests {
     #[should_panic(expected = "lstm window must be positive")]
     fn zero_window_panics() {
         let _ = Helad::new(HeladConfig { lstm_window: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn batch_scoring_is_bitwise_identical_to_row_scoring() {
+        let (train, eval) = clean_baseline_input();
+        let mut one_at_a_time = Helad::default();
+        let reference = score_all(&mut one_at_a_time, &train, &eval);
+
+        let mut batched = Helad::default();
+        EventDetector::fit(&mut batched, &train);
+        let mut scores = Vec::new();
+        // Uneven bursts exercise the warm-up (partial LSTM windows), full
+        // windows, and re-used staging across batch sizes.
+        for chunk in eval.chunks(89) {
+            batched.on_packet_batch(&mut chunk.iter(), &mut scores);
+        }
+        assert_eq!(scores.len(), reference.len());
+        for (i, (b, r)) in scores.iter().zip(&reference).enumerate() {
+            assert_eq!(b.to_bits(), r.to_bits(), "packet {i}: batch {b} vs row {r}");
+        }
+    }
+
+    #[test]
+    fn wide_precision_scores_track_f64_within_epsilon() {
+        let (train, eval) = clean_baseline_input();
+        let mut reference = Helad::default();
+        let f64_scores = score_all(&mut reference, &train, &eval);
+
+        let mut wide =
+            Helad::new(HeladConfig { precision: Precision::F32Wide, ..Default::default() });
+        EventDetector::fit(&mut wide, &train);
+        let mut f32_scores = Vec::new();
+        for chunk in eval.chunks(64) {
+            wide.on_packet_batch(&mut chunk.iter(), &mut f32_scores);
+        }
+        assert_eq!(f32_scores.len(), f64_scores.len());
+        for (i, (w, r)) in f32_scores.iter().zip(&f64_scores).enumerate() {
+            assert!((w - r).abs() <= 1e-3 * r.abs().max(1e-6), "packet {i}: wide {w} vs f64 {r}");
+        }
     }
 }

@@ -6,7 +6,9 @@
 //! is online single-sample SGD on min-max-normalized inputs, exactly as in
 //! the reference implementation.
 
-use idsbench_nn::{Autoencoder, AutoencoderConfig, MinMaxNormalizer, Workspace};
+use idsbench_nn::{
+    Autoencoder, AutoencoderConfig, Matrix, MatrixF32, MinMaxNormalizer, Precision, Workspace,
+};
 
 /// Configuration for [`KitNet`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,12 +19,21 @@ pub struct KitNetConfig {
     pub learning_rate: f64,
     /// Weight-initialization seed.
     pub seed: u64,
+    /// Numeric mode of the inference kernels. Training always runs in
+    /// `f64`; under [`Precision::F32Wide`] the execution phase scores
+    /// through the eight-lane `f32` kernels instead (epsilon contract).
+    pub precision: Precision,
 }
 
 impl Default for KitNetConfig {
-    /// The reference defaults: β = 0.75, learning rate 0.1.
+    /// The reference defaults: β = 0.75, learning rate 0.1, bitwise f64.
     fn default() -> Self {
-        KitNetConfig { hidden_ratio: 0.75, learning_rate: 0.1, seed: 0 }
+        KitNetConfig {
+            hidden_ratio: 0.75,
+            learning_rate: 0.1,
+            seed: 0,
+            precision: Precision::F64Bitwise,
+        }
     }
 }
 
@@ -45,6 +56,7 @@ pub struct KitNet {
     output: Autoencoder,
     input_norm: MinMaxNormalizer,
     score_norm: MinMaxNormalizer,
+    precision: Precision,
     trained: u64,
     executed: u64,
     // Scratch (reused every sample, allocation-free once warm).
@@ -53,6 +65,17 @@ pub struct KitNet {
     rmse_buf: Vec<f64>,
     scaled_buf: Vec<f64>,
     ws: Workspace,
+    // Wide-lane scratch (empty until the first f32 score).
+    part_buf32: Vec<f32>,
+    scaled_buf32: Vec<f32>,
+    // Batch-of-rows scratch (empty until the first batch).
+    part_rows: Matrix,
+    cluster_rows: Matrix,
+    cluster_rows32: MatrixF32,
+    rmse_rows: Matrix,
+    scaled_rows: Matrix,
+    scaled_rows32: MatrixF32,
+    batch_scores: Vec<f64>,
 }
 
 impl KitNet {
@@ -115,13 +138,28 @@ impl KitNet {
             output,
             input_norm: MinMaxNormalizer::new(feature_width),
             score_norm,
+            precision: config.precision,
             trained: 0,
             executed: 0,
             norm_buf: Vec::with_capacity(feature_width),
             rmse_buf: vec![0.0; cluster_count],
             scaled_buf: Vec::with_capacity(cluster_count),
             ws: Workspace::with_max_width(widest),
+            part_buf32: Vec::new(),
+            scaled_buf32: Vec::new(),
+            part_rows: Matrix::default(),
+            cluster_rows: Matrix::default(),
+            cluster_rows32: MatrixF32::default(),
+            rmse_rows: Matrix::default(),
+            scaled_rows: Matrix::default(),
+            scaled_rows32: MatrixF32::default(),
+            batch_scores: Vec::new(),
         }
+    }
+
+    /// The numeric mode the execution phase scores in.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Number of ensemble autoencoders.
@@ -174,13 +212,21 @@ impl KitNet {
     }
 
     /// Packs every autoencoder's weights for the fused inference kernel
-    /// (training is over, execution begins). Scores are bit-identical
-    /// either way; a later [`KitNet::train`] drops the packs automatically.
+    /// (training is over, execution begins) — and, under
+    /// [`Precision::F32Wide`], converts and caches the `f32` weight mirrors
+    /// the wide kernels score from. f64 scores are bit-identical either
+    /// way; a later [`KitNet::train`] drops packs and mirrors automatically.
     pub fn freeze(&mut self) {
         for ae in &mut self.ensemble {
             ae.pack();
         }
         self.output.pack();
+        if self.precision == Precision::F32Wide {
+            for ae in &mut self.ensemble {
+                ae.pack_wide();
+            }
+            self.output.pack_wide();
+        }
     }
 
     /// Scores a sample without updating weights (execution phase). The
@@ -188,20 +234,142 @@ impl KitNet {
     /// normalizing by the range observed so far.
     ///
     /// Allocation-free in steady state: every intermediate lives in the
-    /// ensemble's scratch buffers.
+    /// ensemble's scratch buffers. Under [`Precision::F32Wide`] the
+    /// autoencoder forwards run through the eight-lane `f32` kernels
+    /// (feature extraction and normalization stay `f64`; the vector narrows
+    /// once, right before the ensemble).
     ///
     /// # Panics
     ///
     /// Panics if `x` has the wrong width.
     pub fn execute(&mut self, x: &[f64]) -> f64 {
         self.stage_sample(x);
-        let KitNet { ensemble, part_buf, offsets, rmse_buf, ws, .. } = self;
-        for (k, ae) in ensemble.iter().enumerate() {
-            rmse_buf[k] = ae.score_with(&part_buf[offsets[k]..offsets[k + 1]], ws);
+        match self.precision {
+            Precision::F64Bitwise => {
+                let KitNet { ensemble, part_buf, offsets, rmse_buf, ws, .. } = self;
+                for (k, ae) in ensemble.iter().enumerate() {
+                    rmse_buf[k] = ae.score_with(&part_buf[offsets[k]..offsets[k + 1]], ws);
+                }
+                self.executed += 1;
+                self.score_norm.transform_into(&self.rmse_buf, &mut self.scaled_buf);
+                self.output.score_with(&self.scaled_buf, &mut self.ws)
+            }
+            Precision::F32Wide => {
+                narrow_into(&self.part_buf, &mut self.part_buf32);
+                let KitNet { ensemble, part_buf32, offsets, rmse_buf, ws, .. } = self;
+                for (k, ae) in ensemble.iter().enumerate() {
+                    rmse_buf[k] = ae.score_wide_with(&part_buf32[offsets[k]..offsets[k + 1]], ws);
+                }
+                self.executed += 1;
+                self.score_norm.transform_into(&self.rmse_buf, &mut self.scaled_buf);
+                narrow_into(&self.scaled_buf, &mut self.scaled_buf32);
+                self.output.score_wide_with(&self.scaled_buf32, &mut self.ws)
+            }
         }
-        self.executed += 1;
-        self.score_norm.transform_into(&self.rmse_buf, &mut self.scaled_buf);
-        self.output.score_with(&self.scaled_buf, &mut self.ws)
+    }
+
+    /// Batch-of-rows [`KitNet::execute`]: scores the `M` feature vectors in
+    /// `xs` (one per row), appending one score per row to `out`. Staging —
+    /// the order-sensitive input-normalizer updates — runs sequentially per
+    /// row first; the pure autoencoder forwards then run batched per
+    /// cluster, so each ensemble member streams its weights through cache
+    /// once per *batch* instead of once per *packet*.
+    ///
+    /// In the default f64 mode the scores are bitwise identical to calling
+    /// [`KitNet::execute`] per row (the batch kernels share the row
+    /// kernels' per-row chains); under [`Precision::F32Wide`] the same
+    /// epsilon contract as the single-row wide path applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` does not have the feature width as its column count.
+    pub fn execute_batch(&mut self, xs: &Matrix, out: &mut Vec<f64>) {
+        let m = xs.rows();
+        if m == 0 {
+            return;
+        }
+        // Sequential staging: normalizer observation order is part of the
+        // scoring semantics and must match the one-at-a-time path.
+        self.part_rows.reshape(m, self.flat.len());
+        for i in 0..m {
+            self.input_norm.observe_and_transform_into(xs.row(i), &mut self.norm_buf);
+            let row =
+                &mut self.part_rows.as_mut_slice()[i * self.flat.len()..(i + 1) * self.flat.len()];
+            for (slot, &index) in row.iter_mut().zip(&self.flat) {
+                *slot = self.norm_buf[index];
+            }
+        }
+        // Pure scoring: per-cluster batch forwards into the RMSE matrix.
+        let clusters = self.ensemble.len();
+        self.rmse_rows.reshape(m, clusters);
+        for k in 0..clusters {
+            let width = self.offsets[k + 1] - self.offsets[k];
+            gather_cluster(&self.part_rows, self.offsets[k], width, &mut self.cluster_rows);
+            self.batch_scores.clear();
+            match self.precision {
+                Precision::F64Bitwise => {
+                    self.ensemble[k].score_rows_with(
+                        &self.cluster_rows,
+                        &mut self.batch_scores,
+                        &mut self.ws,
+                    );
+                }
+                Precision::F32Wide => {
+                    narrow_rows(&self.cluster_rows, &mut self.cluster_rows32);
+                    self.ensemble[k].score_rows_wide_with(
+                        &self.cluster_rows32,
+                        &mut self.batch_scores,
+                        &mut self.ws,
+                    );
+                }
+            }
+            for (i, &score) in self.batch_scores.iter().enumerate() {
+                self.rmse_rows.set(i, k, score);
+            }
+        }
+        self.executed += m as u64;
+        // Score normalization per row (transform only — no observation in
+        // the execution phase), then the output autoencoder over the batch.
+        self.scaled_rows.reshape(m, clusters);
+        for i in 0..m {
+            self.score_norm.transform_into(self.rmse_rows.row(i), &mut self.scaled_buf);
+            self.scaled_rows.as_mut_slice()[i * clusters..(i + 1) * clusters]
+                .copy_from_slice(&self.scaled_buf);
+        }
+        match self.precision {
+            Precision::F64Bitwise => {
+                self.output.score_rows_with(&self.scaled_rows, out, &mut self.ws);
+            }
+            Precision::F32Wide => {
+                narrow_rows(&self.scaled_rows, &mut self.scaled_rows32);
+                self.output.score_rows_wide_with(&self.scaled_rows32, out, &mut self.ws);
+            }
+        }
+    }
+}
+
+/// Narrows an `f64` scratch vector into its reused `f32` sibling.
+fn narrow_into(src: &[f64], dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&v| v as f32));
+}
+
+/// Narrows an `f64` scratch matrix into its reused `f32` sibling.
+fn narrow_rows(src: &Matrix, dst: &mut MatrixF32) {
+    dst.reshape(src.rows(), src.cols());
+    for (o, &v) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *o = v as f32;
+    }
+}
+
+/// Copies the `width` columns starting at `start` out of the gathered
+/// partition matrix into a contiguous per-cluster batch.
+fn gather_cluster(part_rows: &Matrix, start: usize, width: usize, dst: &mut Matrix) {
+    let m = part_rows.rows();
+    dst.reshape(m, width);
+    for i in 0..m {
+        let src = &part_rows.row(i)[start..start + width];
+        dst.as_mut_slice()[i * width..(i + 1) * width].copy_from_slice(src);
     }
 }
 

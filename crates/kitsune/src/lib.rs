@@ -39,6 +39,7 @@ pub mod kitnet;
 
 use idsbench_core::{Event, EventDetector, InputFormat, ParsedView, TrainView};
 use idsbench_flow::{AfterImage, AfterImageConfig};
+use idsbench_nn::{Matrix, Precision};
 
 use feature_mapper::CorrelationTracker;
 use kitnet::{KitNet, KitNetConfig};
@@ -55,6 +56,11 @@ pub struct KitsuneConfig {
     pub afterimage: AfterImageConfig,
     /// Ensemble training configuration.
     pub kitnet: KitNetConfig,
+    /// Numeric mode of the inference kernels: bitwise `f64` (default, the
+    /// score-digest contract) or eight-lane `f32` (the epsilon-parity
+    /// contract). Training always runs in `f64`; this selects how the
+    /// frozen ensemble scores.
+    pub precision: Precision,
 }
 
 impl Default for KitsuneConfig {
@@ -65,6 +71,7 @@ impl Default for KitsuneConfig {
             fm_grace_fraction: 0.10,
             afterimage: AfterImageConfig::default(),
             kitnet: KitNetConfig::default(),
+            precision: Precision::F64Bitwise,
         }
     }
 }
@@ -130,7 +137,9 @@ impl Kitsune {
         };
 
         // Phase 2 — online ensemble training over the whole training slice.
-        let mut net = KitNet::new(clusters, width, self.config.kitnet);
+        // The top-level precision knob is authoritative for the ensemble.
+        let kitnet_config = KitNetConfig { precision: self.config.precision, ..self.config.kitnet };
+        let mut net = KitNet::new(clusters, width, kitnet_config);
         for features in buffered.iter().flatten() {
             net.train(features);
         }
@@ -144,9 +153,17 @@ impl Kitsune {
         }
 
         // Training is done: pack the ensemble weights for the fused
-        // inference kernel (bit-identical scores, no column striding).
+        // inference kernel (bit-identical scores, no column striding) and,
+        // in f32 mode, convert the wide weight mirrors.
         net.freeze();
-        KitsuneEngine { extractor, net, feat_buf: Vec::with_capacity(width) }
+        KitsuneEngine {
+            extractor,
+            net,
+            feat_buf: Vec::with_capacity(width),
+            feat_rows: Matrix::default(),
+            valid: Vec::new(),
+            batch_scores: Vec::new(),
+        }
     }
 }
 
@@ -163,6 +180,12 @@ pub struct KitsuneEngine {
     /// Reused per-packet feature buffer — the glue that keeps the
     /// extractor→ensemble hand-off off the heap.
     feat_buf: Vec<f64>,
+    /// Batch staging: one feature row per well-formed packet of the burst.
+    feat_rows: Matrix,
+    /// Which views of the current burst parsed (malformed ones score 0).
+    valid: Vec<bool>,
+    /// Ensemble scores for the valid rows of the current burst.
+    batch_scores: Vec<f64>,
 }
 
 impl KitsuneEngine {
@@ -178,6 +201,53 @@ impl KitsuneEngine {
             return 0.0;
         }
         self.net.execute(&self.feat_buf)
+    }
+
+    /// Batch-of-rows [`KitsuneEngine::score_view`] over a burst of views,
+    /// pushing one score per view in order. Feature extraction (stateful
+    /// AfterImage updates) runs sequentially per packet exactly as the
+    /// one-at-a-time path does; the ensemble forwards then run batched
+    /// through [`KitNet::execute_batch`], amortizing every autoencoder's
+    /// weight traffic across the burst. In the default f64 mode the scores
+    /// are bitwise identical to scoring each view alone.
+    pub fn score_batch(
+        &mut self,
+        views: &mut dyn Iterator<Item = &ParsedView>,
+        out: &mut Vec<f64>,
+    ) {
+        let width = self.extractor.feature_count();
+        self.valid.clear();
+        let mut rows = 0;
+        // First pass: sequential feature extraction into the staging rows.
+        // The row count is unknown until the iterator is drained, so rows
+        // land in the (grow-only) backing store before the final reshape.
+        for view in views {
+            let ok = features_into(&mut self.extractor, view, &mut self.feat_buf);
+            self.valid.push(ok);
+            if ok {
+                rows += 1;
+                if self.feat_rows.rows() < rows || self.feat_rows.cols() != width {
+                    self.feat_rows.reshape(rows.max(self.feat_rows.rows()), width);
+                }
+                self.feat_rows.as_mut_slice()[(rows - 1) * width..rows * width]
+                    .copy_from_slice(&self.feat_buf);
+            }
+        }
+        if rows > 0 {
+            self.feat_rows.reshape(rows, width);
+            self.batch_scores.clear();
+            self.net.execute_batch(&self.feat_rows, &mut self.batch_scores);
+        }
+        // Merge: valid views take the next batch score, malformed score 0.
+        let mut next = 0;
+        for &ok in &self.valid {
+            if ok {
+                out.push(self.batch_scores[next]);
+                next += 1;
+            } else {
+                out.push(0.0);
+            }
+        }
     }
 }
 
@@ -235,6 +305,22 @@ impl EventDetector for Kitsune {
                 Some(score)
             }
             Event::FlowEvicted(_) => None,
+        }
+    }
+
+    fn on_packet_batch(
+        &mut self,
+        views: &mut dyn Iterator<Item = &ParsedView>,
+        scores: &mut Vec<f64>,
+    ) {
+        if self.engine.is_none() {
+            self.engine = Some(Kitsune::fit(self, &TrainView::default()));
+        }
+        let engine = self.engine.as_mut().expect("engine fitted above");
+        let started = self.probe.as_ref().and_then(|probe| probe.begin());
+        engine.score_batch(views, scores);
+        if let (Some(probe), Some(started)) = (&self.probe, started) {
+            probe.end(started);
         }
     }
 }
@@ -351,5 +437,45 @@ mod tests {
         let mut kitsune = Kitsune::default();
         let score = kitsune.on_event(&Event::Packet(&eval[0]));
         assert!(score.expect("scored").is_finite());
+    }
+
+    #[test]
+    fn batch_scoring_is_bitwise_identical_to_row_scoring() {
+        let (train, eval) = toy_input();
+        let mut one_at_a_time = Kitsune::default();
+        let reference = score_all(&mut one_at_a_time, &train, &eval);
+
+        let mut batched = Kitsune::default();
+        EventDetector::fit(&mut batched, &train);
+        let mut scores = Vec::new();
+        // Deliver in uneven bursts to exercise staging across batch sizes.
+        for chunk in eval.chunks(97) {
+            batched.on_packet_batch(&mut chunk.iter(), &mut scores);
+        }
+        assert_eq!(scores.len(), reference.len());
+        for (i, (b, r)) in scores.iter().zip(&reference).enumerate() {
+            assert_eq!(b.to_bits(), r.to_bits(), "packet {i}: batch {b} vs row {r}");
+        }
+    }
+
+    #[test]
+    fn wide_precision_scores_track_f64_within_epsilon() {
+        let (train, eval) = toy_input();
+        let mut reference = Kitsune::default();
+        let f64_scores = score_all(&mut reference, &train, &eval);
+
+        let mut wide = Kitsune::new(KitsuneConfig {
+            precision: Precision::F32Wide,
+            ..KitsuneConfig::default()
+        });
+        EventDetector::fit(&mut wide, &train);
+        let mut f32_scores = Vec::new();
+        for chunk in eval.chunks(64) {
+            wide.on_packet_batch(&mut chunk.iter(), &mut f32_scores);
+        }
+        assert_eq!(f32_scores.len(), f64_scores.len());
+        for (i, (w, r)) in f32_scores.iter().zip(&f64_scores).enumerate() {
+            assert!((w - r).abs() <= 1e-3 * r.abs().max(1e-6), "packet {i}: wide {w} vs f64 {r}");
+        }
     }
 }

@@ -48,6 +48,23 @@ impl Activation {
         }
     }
 
+    /// The `f32` counterpart of [`Activation::eval`] — the per-element
+    /// kernel of the wide-lane ([`crate::Precision::F32Wide`]) inference
+    /// paths. Sigmoid runs on the vectorizable polynomial exp
+    /// ([`crate::wide::fast_exp_f32`]); results differ from [`eval`] by at
+    /// most the f32 epsilon contract, never more.
+    ///
+    /// [`eval`]: Activation::eval
+    #[inline]
+    pub fn eval_f32(self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => crate::wide::sigmoid_f32(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => crate::wide::tanh_f32(x),
+            Activation::Linear => x,
+        }
+    }
+
     /// Derivative with respect to the pre-activation, expressed in terms of
     /// the *activated* output `y = f(x)` (all four supported functions admit
     /// this form, which avoids caching pre-activations).

@@ -2,6 +2,7 @@ use crate::activation::Activation;
 use crate::dense::Dense;
 use crate::matrix::Matrix;
 use crate::optimizer::Sgd;
+use crate::wide::MatrixF32;
 use crate::workspace::Workspace;
 
 /// Configuration for [`Autoencoder`].
@@ -104,6 +105,20 @@ impl Autoencoder {
         self.decoder.pack_weights();
     }
 
+    /// Converts and caches both layers' `f32` mirrors for the wide-lane
+    /// scoring entry points (see [`crate::Dense::pack_wide`]). Call at
+    /// freeze time when running under [`crate::Precision::F32Wide`]; a
+    /// later [`Autoencoder::train_sample`] drops the mirrors automatically.
+    pub fn pack_wide(&mut self) {
+        self.encoder.pack_wide();
+        self.decoder.pack_wide();
+    }
+
+    /// Whether both layers hold current `f32` mirrors.
+    pub fn is_wide_packed(&self) -> bool {
+        self.encoder.is_wide_packed() && self.decoder.is_wide_packed()
+    }
+
     /// Reconstruction RMSE of `x` without updating weights.
     ///
     /// # Panics
@@ -129,6 +144,58 @@ impl Autoencoder {
         rmse_slices(x, ws.pong.as_slice())
     }
 
+    /// Batch-of-rows [`Autoencoder::score_with`]: scores every row of `xs`
+    /// in one pass, appending one RMSE per row to `scores`. Each layer's
+    /// weights stream through cache once per batch instead of once per
+    /// sample, and every row's score is bitwise identical to scoring that
+    /// row alone — batching reorders only pure computation (the digest
+    /// contract survives; pinned by the `batch_rows_parity` proptests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` has the wrong width.
+    pub fn score_rows_with(&self, xs: &Matrix, scores: &mut Vec<f64>, ws: &mut Workspace) {
+        assert_eq!(xs.cols(), self.input_size, "input width mismatch");
+        self.encoder.forward_rows_into(xs, &mut ws.ping);
+        self.decoder.forward_rows_into(&ws.ping, &mut ws.pong);
+        for i in 0..xs.rows() {
+            scores.push(rmse_slices(xs.row(i), ws.pong.row(i)));
+        }
+    }
+
+    /// Wide-lane ([`crate::Precision::F32Wide`]) [`Autoencoder::score_with`]
+    /// for one already-narrowed `f32` feature row. The squared-error fold
+    /// runs in `f64` over the `f32` reconstruction, so the only epsilon
+    /// sources are the kernels themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width or the `f32` mirrors are missing
+    /// (call [`Autoencoder::pack_wide`] after the last training step).
+    pub fn score_wide_with(&self, x: &[f32], ws: &mut Workspace) -> f64 {
+        assert_eq!(x.len(), self.input_size, "input width mismatch");
+        self.encoder.forward_row_wide_into(x, &mut ws.ping32);
+        self.decoder.forward_row_wide_into(ws.ping32.row(0), &mut ws.pong32);
+        rmse_slices_f32(x, ws.pong32.as_slice())
+    }
+
+    /// Batch-of-rows [`Autoencoder::score_wide_with`]: the wide-lane
+    /// counterpart of [`Autoencoder::score_rows_with`], appending one RMSE
+    /// per row. Batch and row-at-a-time wide scores agree within the
+    /// epsilon contract (different lane chains), not bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` has the wrong width or the `f32` mirrors are missing.
+    pub fn score_rows_wide_with(&self, xs: &MatrixF32, scores: &mut Vec<f64>, ws: &mut Workspace) {
+        assert_eq!(xs.cols(), self.input_size, "input width mismatch");
+        self.encoder.forward_rows_wide_into(xs, &mut ws.ping32);
+        self.decoder.forward_rows_wide_into(&ws.ping32, &mut ws.pong32);
+        for i in 0..xs.rows() {
+            scores.push(rmse_slices_f32(xs.row(i), ws.pong32.row(i)));
+        }
+    }
+
     /// One online SGD step on `x`; returns the RMSE measured *before* the
     /// update (the score Kitsune reports during its training phase).
     ///
@@ -152,6 +219,21 @@ impl Autoencoder {
 
 fn rmse(x: &Matrix, reconstruction: &Matrix) -> f64 {
     rmse_slices(x.as_slice(), reconstruction.as_slice())
+}
+
+/// RMSE of an `f32` reconstruction against its `f32` input, folded in
+/// `f64`: the handful of squared-error terms cost nothing, and keeping the
+/// fold in `f64` removes one epsilon source from the wide scoring path.
+fn rmse_slices_f32(x: &[f32], reconstruction: &[f32]) -> f64 {
+    let sum: f64 = x
+        .iter()
+        .zip(reconstruction)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum();
+    (sum / x.len() as f64).sqrt()
 }
 
 fn rmse_slices(x: &[f64], reconstruction: &[f64]) -> f64 {

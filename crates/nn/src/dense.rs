@@ -1,6 +1,7 @@
 use crate::activation::Activation;
 use crate::matrix::{dot, Matrix, PackedB};
 use crate::optimizer::Optimizer;
+use crate::wide::{dot_f32, matmul_f32_into, row_matmul_f32_into, MatrixF32, PackedBF32};
 
 /// Output widths up to this use the transposed-weight dot kernel; beyond
 /// it the broadcast matmul vectorizes across the row and wins.
@@ -12,10 +13,14 @@ const NARROW_OUTPUT: usize = 2;
 /// backprop. Parameter ids for the optimizer are `base_id` (weights) and
 /// `base_id + 1` (bias).
 ///
-/// After training, [`Dense::pack_weights`] snapshots the weights into the
-/// column-packed layout the fused inference kernel consumes; any further
-/// [`Dense::backward`] step invalidates the pack, so a stale fast path can
-/// never be consulted.
+/// Inference serves two numeric modes (see [`crate::Precision`]). The
+/// default `f64` kernels keep a fixed accumulation order so scores are
+/// bitwise-reproducible; the opt-in wide path runs the same affine shape
+/// through the eight-lane `f32` kernels of [`crate::wide`]. Both fast
+/// layouts are snapshots of the weights: [`Dense::pack_weights`] packs the
+/// `f64` columns, [`Dense::pack_wide`] converts and caches the `f32`
+/// mirror, and any further [`Dense::backward`] step invalidates *both*, so
+/// a stale fast path can never be consulted.
 #[derive(Debug, Clone)]
 pub struct Dense {
     weights: Matrix,
@@ -27,6 +32,22 @@ pub struct Dense {
     /// Column-packed weights for the fused inference kernel; present only
     /// while in sync with `weights`.
     packed: Option<PackedB>,
+    /// Converted `f32` weights for the wide-lane kernels; present only
+    /// while in sync with `weights` (same lifecycle as `packed`).
+    wide: Option<WideWeights>,
+}
+
+/// The cached `f32` mirror of a layer's parameters, converted once at
+/// [`Dense::pack_wide`] time (never per sample).
+#[derive(Debug, Clone)]
+struct WideWeights {
+    /// Row-major `input × output` weights for the broadcast kernel.
+    weights: MatrixF32,
+    /// Column-packed transpose for the narrow-head dot kernel; built under
+    /// the same width rule as the `f64` pack.
+    packed: Option<PackedBF32>,
+    /// Bias row.
+    bias: Vec<f32>,
 }
 
 impl Dense {
@@ -47,6 +68,7 @@ impl Dense {
             cached_input: None,
             cached_output: None,
             packed: None,
+            wide: None,
         }
     }
 
@@ -68,6 +90,89 @@ impl Dense {
     /// Whether a current (in-sync) weight pack exists.
     pub fn is_packed(&self) -> bool {
         self.packed.is_some()
+    }
+
+    /// Converts and caches the `f32` weight mirror the wide-lane
+    /// ([`crate::Precision::F32Wide`]) kernels consume: row-major weights
+    /// for the lane-chunked matmul, plus a column pack for narrow heads
+    /// under the same width rule as [`Dense::pack_weights`]. Call once when
+    /// a model finishes fitting (models do this from their `freeze`/`pack`
+    /// entry points); training afterwards drops the mirror.
+    pub fn pack_wide(&mut self) {
+        let packed = (self.output_size() <= NARROW_OUTPUT).then(|| PackedBF32::pack(&self.weights));
+        self.wide = Some(WideWeights {
+            weights: MatrixF32::from_f64(&self.weights),
+            packed,
+            bias: self.bias.as_slice().iter().map(|&b| b as f32).collect(),
+        });
+    }
+
+    /// Whether a current (in-sync) `f32` mirror exists.
+    pub fn is_wide_packed(&self) -> bool {
+        self.wide.is_some()
+    }
+
+    /// Wide-lane forward pass over a batch of rows: `out` is reshaped to
+    /// `x.rows() × output_size` and filled with `f(x·W + b)` through the
+    /// eight-lane `f32` kernels — the [`crate::Precision::F32Wide`]
+    /// counterpart of [`Dense::forward_into`]. Narrow heads run the
+    /// lane-chunked transposed-dot kernel over the `f32` column pack; wide
+    /// layers run the register-blocked matmul with a fused bias+activation
+    /// epilogue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width, or if the `f32` mirror is missing
+    /// — wide inference requires [`Dense::pack_wide`] after the last weight
+    /// update (the same stale-pack discipline the `f64` pack follows, made
+    /// loud instead of silently slow).
+    pub fn forward_rows_wide_into(&self, x: &MatrixF32, out: &mut MatrixF32) {
+        let wide = self.wide_or_panic();
+        match &wide.packed {
+            Some(packed) => {
+                assert_eq!(x.cols(), packed.rows(), "input width mismatch");
+                out.reshape(x.rows(), packed.cols());
+                for i in 0..x.rows() {
+                    let (x_row, n) = (x.row(i), packed.cols());
+                    // Split borrows: `x` and `out` are distinct matrices.
+                    let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+                    affine_row_kernel_f32(x_row, packed, &wide.bias, self.activation, out_row);
+                }
+            }
+            None => {
+                matmul_f32_into(x, &wide.weights, out);
+                bias_activate_f32(out, &wide.bias, self.activation);
+            }
+        }
+    }
+
+    /// [`Dense::forward_rows_wide_into`] for one bare `f32` feature slice —
+    /// the per-sample entry point of the wide scoring paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input width or the `f32` mirror
+    /// is missing (see [`Dense::forward_rows_wide_into`]).
+    pub fn forward_row_wide_into(&self, x: &[f32], out: &mut MatrixF32) {
+        let wide = self.wide_or_panic();
+        match &wide.packed {
+            Some(packed) => {
+                assert_eq!(x.len(), packed.rows(), "input width mismatch");
+                out.reshape(1, packed.cols());
+                affine_row_kernel_f32(x, packed, &wide.bias, self.activation, out.as_mut_slice());
+            }
+            None => {
+                row_matmul_f32_into(&wide.weights, x, out);
+                bias_activate_f32(out, &wide.bias, self.activation);
+            }
+        }
+    }
+
+    fn wide_or_panic(&self) -> &WideWeights {
+        self.wide.as_ref().expect(
+            "wide (f32) inference without a current mirror: call pack_wide() after the last \
+             weight update",
+        )
     }
 
     /// Input width.
@@ -102,15 +207,20 @@ impl Dense {
     /// heap allocation (once `out` has capacity). Bitwise-identical to
     /// [`Dense::forward`].
     ///
-    /// The product picks the kernel by output width. Wide layers run the
-    /// cache-blocked broadcast matmul (SIMD across the output row — no
-    /// per-element dependency chain) followed by one fused bias+activation
-    /// pass instead of the staged broadcast-then-activate pair. Narrow
-    /// layers (the regressor/classifier heads, where a broadcast pass would
-    /// serialize through one or two memory cells `K` times) use the
-    /// transposed-weight dot kernel over the pack from
-    /// [`Dense::pack_weights`]. Same floating-point operations in the same
-    /// order either way, so every path is bit-for-bit identical.
+    /// This is the `f64` half of the two-precision kernel design (the
+    /// `f32` half is [`Dense::forward_rows_wide_into`]). The product picks
+    /// the kernel by output width. Wide layers run the cache-blocked
+    /// broadcast matmul (SIMD across the output row — no per-element
+    /// dependency chain) followed by one fused bias+activation pass instead
+    /// of the staged broadcast-then-activate pair. Narrow layers (the
+    /// regressor/classifier heads, where a broadcast pass would serialize
+    /// through one or two memory cells `K` times) use the transposed-weight
+    /// dot kernel over the pack from [`Dense::pack_weights`]. Same
+    /// floating-point operations in the same order either way, so every
+    /// `f64` path is bit-for-bit identical — including across batch shapes:
+    /// feeding `M` rows at once builds each output row's chain exactly as
+    /// the row-at-a-time entry points do, which is what lets the
+    /// batch-of-rows scoring paths stay on the digest contract.
     pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
         match &self.packed {
             Some(packed) if packed.cols() <= NARROW_OUTPUT => {
@@ -121,6 +231,17 @@ impl Dense {
                 self.bias_activate_assign(out);
             }
         }
+    }
+
+    /// Batch-of-rows name for [`Dense::forward_into`]: scores `M` staged
+    /// samples through one kernel invocation, so the weight matrix streams
+    /// through cache once per batch instead of once per packet. Each output
+    /// row's accumulation chain is exactly the chain
+    /// [`Dense::forward_row_into`] builds for that sample, so batch scoring
+    /// is bitwise identical to row-at-a-time scoring (pinned by the
+    /// `batch_rows_parity` proptest suite).
+    pub fn forward_rows_into(&self, x: &Matrix, out: &mut Matrix) {
+        self.forward_into(x, out);
     }
 
     /// [`Dense::forward_into`] for a bare feature slice: the row is handed
@@ -226,9 +347,62 @@ impl Dense {
         let grad_input = delta.matmul(&self.weights.transpose());
         opt.step(self.base_id, &mut self.weights, &grad_weights);
         opt.step(self.base_id + 1, &mut self.bias, &grad_bias);
-        // The weights moved: any packed snapshot is stale.
+        // The weights moved: any packed snapshot is stale — both the f64
+        // column pack and the f32 wide mirror.
         self.packed = None;
+        self.wide = None;
         grad_input
+    }
+}
+
+/// Fused `f32` epilogue: `out[j] = f(out[j] + b[j])` in one pass — the
+/// wide-lane counterpart of [`Dense::forward_into`]'s bias+activation
+/// fusion. With the sigmoid built on arithmetic-only exp, the whole pass
+/// vectorizes.
+fn bias_activate_f32(out: &mut MatrixF32, bias: &[f32], act: Activation) {
+    let n = bias.len();
+    for row in out.as_mut_slice().chunks_exact_mut(n) {
+        for (o, &b) in row.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+    // One flat elementwise pass over the whole matrix: the activation loop
+    // runs m·n long instead of n per row, so the polynomial exp vectorizes
+    // at full width even for the narrow layers (n of 7–10) the ensemble
+    // autoencoders use. Same per-element arithmetic, same bits.
+    activate_slice_f32(act, out.as_mut_slice());
+}
+
+/// Elementwise activation over a flat `f32` slice, with the variant match
+/// hoisted out of the loop so each arm is a bare vectorizable loop.
+fn activate_slice_f32(act: Activation, xs: &mut [f32]) {
+    match act {
+        Activation::Linear => {}
+        Activation::Relu => {
+            for x in xs.iter_mut() {
+                *x = x.max(0.0);
+            }
+        }
+        _ => {
+            for x in xs.iter_mut() {
+                *x = act.eval_f32(*x);
+            }
+        }
+    }
+}
+
+/// `out_row[j] = f(dot_f32(x_row, W[:,j]) + b[j])` for one row over the
+/// `f32` column pack — the narrow-head kernel of the wide path, with the
+/// eight-lane dot inside.
+fn affine_row_kernel_f32(
+    x_row: &[f32],
+    packed: &PackedBF32,
+    bias: &[f32],
+    act: Activation,
+    out_row: &mut [f32],
+) {
+    for (j, o) in out_row.iter_mut().enumerate() {
+        *o = act.eval_f32(dot_f32(x_row, packed.col(j)) + bias[j]);
     }
 }
 

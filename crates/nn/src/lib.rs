@@ -17,8 +17,21 @@
 //! * [`Workspace`]: caller-owned scratch buffers for allocation-free
 //!   steady-state inference (`score_with`/`predict_with` entry points).
 //!
-//! Everything is deterministic given a seed; no threads, no SIMD, no
-//! external math libraries.
+//! Everything is deterministic given a seed, with no threads and no
+//! external math libraries. Inference runs in one of two numeric modes,
+//! selected per run via [`Precision`]:
+//!
+//! * **[`Precision::F64Bitwise`]** (the default): scalar/blocked `f64`
+//!   kernels with a fixed accumulation order — scores are
+//!   bitwise-reproducible across runs, shard counts, and batch shapes
+//!   (the contract the score-digest tests pin).
+//! * **[`Precision::F32Wide`]**: explicit eight-lane `f32` kernels (see
+//!   [`wide`]) that `-C target-cpu=native` autovectorizes to full-width
+//!   SIMD, plus batch-of-rows entry points that amortize weight traffic
+//!   across a whole packet batch. Roughly 2× the arithmetic throughput,
+//!   under a documented epsilon-parity contract instead of bitwise
+//!   digests. `f32` weight mirrors are converted once at pack/freeze time
+//!   and invalidated by any training step, exactly like the `f64` packs.
 //!
 //! # Examples
 //!
@@ -54,6 +67,7 @@ mod matrix;
 mod mlp;
 mod normalize;
 mod optimizer;
+pub mod wide;
 mod workspace;
 
 pub use activation::Activation;
@@ -65,4 +79,5 @@ pub use matrix::{Matrix, PackedB};
 pub use mlp::{Mlp, MlpBuilder};
 pub use normalize::{MinMaxNormalizer, ZScoreNormalizer};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use wide::{MatrixF32, PackedBF32, Precision};
 pub use workspace::Workspace;

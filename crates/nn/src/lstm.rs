@@ -1,12 +1,21 @@
 use crate::activation::sigmoid;
 use crate::matrix::Matrix;
 use crate::optimizer::{Adam, Optimizer};
+use crate::wide::{
+    dot_f32, matmul_f32_into, row_matmul_f32_into, sigmoid_f32, tanh_f32, MatrixF32,
+};
 use crate::workspace::Workspace;
 
 /// A single-layer LSTM (no peepholes, forget-gate bias initialized to 1).
 ///
 /// Gate layout in the packed matrices is `[input, forget, candidate,
 /// output]`, each `hidden_size` wide.
+///
+/// Inference follows the crate's two-precision design: the `f64` entry
+/// points ([`Lstm::final_hidden_with`] and the lockstep batch variant
+/// [`Lstm::final_hidden_windows_with`]) keep a fixed accumulation order and
+/// are bitwise-reproducible; the wide entry points run the fused gate
+/// kernel in eight-lane `f32` over mirrors cached by [`Lstm::pack_wide`].
 #[derive(Debug, Clone)]
 pub struct Lstm {
     /// Input→gates weights, `input_size × 4·hidden`.
@@ -17,6 +26,17 @@ pub struct Lstm {
     bias: Matrix,
     input_size: usize,
     hidden_size: usize,
+    /// Converted `f32` mirrors for the wide gate kernel; present only while
+    /// in sync with the weights (any training step drops them).
+    wide: Option<LstmWide>,
+}
+
+/// The cached `f32` mirror of the LSTM parameters.
+#[derive(Debug, Clone)]
+struct LstmWide {
+    w_x: MatrixF32,
+    w_h: MatrixF32,
+    bias: Vec<f32>,
 }
 
 /// Cached values for one timestep, used by BPTT.
@@ -52,7 +72,31 @@ impl Lstm {
             bias,
             input_size,
             hidden_size,
+            wide: None,
         }
+    }
+
+    /// Converts and caches the `f32` parameter mirrors the wide gate kernel
+    /// consumes. Call at freeze time when running under
+    /// [`crate::Precision::F32Wide`]; any training step drops the mirrors.
+    pub fn pack_wide(&mut self) {
+        self.wide = Some(LstmWide {
+            w_x: MatrixF32::from_f64(&self.w_x),
+            w_h: MatrixF32::from_f64(&self.w_h),
+            bias: self.bias.as_slice().iter().map(|&b| b as f32).collect(),
+        });
+    }
+
+    /// Whether a current (in-sync) `f32` mirror exists.
+    pub fn is_wide_packed(&self) -> bool {
+        self.wide.is_some()
+    }
+
+    fn wide_or_panic(&self) -> &LstmWide {
+        self.wide.as_ref().expect(
+            "wide (f32) LSTM inference without a current mirror: call pack_wide() after the \
+             last weight update",
+        )
     }
 
     /// Input width.
@@ -143,26 +187,198 @@ impl Lstm {
                 ws.gates.add_assign_row_broadcast(&self.bias);
             }
             self.w_h.row_matmul_into(ws.hidden.row(0), &mut ws.gates_h);
-            // Exact-width gate slices: no bounds checks inside the loop.
-            let (z_i, rest) = ws.gates.as_slice().split_at(h);
-            let (z_f, rest) = rest.split_at(h);
-            let (z_g, z_o) = rest.split_at(h);
-            let (zh_i, rest_h) = ws.gates_h.as_slice().split_at(h);
-            let (zh_f, rest_h) = rest_h.split_at(h);
-            let (zh_g, zh_o) = rest_h.split_at(h);
-            let hidden = &mut ws.hidden.as_mut_slice()[..h];
-            let cell = &mut ws.cell.as_mut_slice()[..h];
-            for j in 0..h {
-                let i_gate = sigmoid(z_i[j] + zh_i[j]);
-                let f_gate = sigmoid(z_f[j] + zh_f[j]);
-                let g_gate = (z_g[j] + zh_g[j]).tanh();
-                let o_gate = sigmoid(z_o[j] + zh_o[j]);
-                let c = f_gate * cell[j] + i_gate * g_gate;
-                cell[j] = c;
-                hidden[j] = o_gate * c.tanh();
+            gate_update(
+                h,
+                ws.gates.as_slice(),
+                ws.gates_h.as_slice(),
+                &mut ws.hidden.as_mut_slice()[..h],
+                &mut ws.cell.as_mut_slice()[..h],
+            );
+        }
+        &ws.hidden
+    }
+
+    /// Lockstep batch of [`Lstm::final_hidden_with`] over width-one
+    /// sequences: row `i` of `windows` is one `T`-step scalar sequence
+    /// (HELAD's score-history windows), and the returned `M × hidden`
+    /// matrix holds each sequence's final hidden state in its row.
+    ///
+    /// Per timestep the `M` hidden states advance together, so the
+    /// hidden→gates product is one `M×h · h×4h` matmul — the recurrent
+    /// weights stream through cache once per timestep instead of once per
+    /// sequence per timestep. Every row's arithmetic chain is exactly the
+    /// chain the row-at-a-time path builds for that sequence, so each
+    /// returned state is bitwise identical to running the sequence alone
+    /// (the digest contract; pinned by the `batch_rows_parity` proptests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LSTM's input width is not 1.
+    pub fn final_hidden_windows_with<'w>(
+        &self,
+        windows: &Matrix,
+        ws: &'w mut Workspace,
+    ) -> &'w Matrix {
+        assert_eq!(self.input_size, 1, "lockstep batching serves width-1 sequences");
+        let (m, t) = (windows.rows(), windows.cols());
+        let h = self.hidden_size;
+        ws.hidden.reshape_zeroed(m, h);
+        ws.cell.reshape_zeroed(m, h);
+        let wx = self.w_x.row(0);
+        for step in 0..t {
+            // x·Wx + b per row: the same scalar-broadcast fusion the row
+            // path uses, chain-for-chain.
+            ws.gates.reshape(m, 4 * h);
+            for i in 0..m {
+                let x0 = windows.get(i, step);
+                let row = &mut ws.gates.as_mut_slice()[i * 4 * h..(i + 1) * 4 * h];
+                for ((g, &w), &b) in row.iter_mut().zip(wx).zip(self.bias.row(0)) {
+                    *g = (0.0 + x0 * w) + b;
+                }
+            }
+            // All M hidden rows through one matmul; each output row's chain
+            // equals the row_matmul_into chain of the row path.
+            ws.hidden.matmul_into(&self.w_h, &mut ws.gates_h);
+            for i in 0..m {
+                let (gates, gates_h) = (ws.gates.row(i), ws.gates_h.row(i));
+                // Split borrows: gates live in different workspace fields
+                // than the hidden/cell state.
+                let hidden = &mut ws.hidden.as_mut_slice()[i * h..(i + 1) * h];
+                let cell = &mut ws.cell.as_mut_slice()[i * h..(i + 1) * h];
+                gate_update(h, gates, gates_h, hidden, cell);
             }
         }
         &ws.hidden
+    }
+
+    /// Wide-lane ([`crate::Precision::F32Wide`]) [`Lstm::final_hidden_with`]:
+    /// the fused gate kernel in eight-lane `f32` over the mirrors cached by
+    /// [`Lstm::pack_wide`]. Returns the final hidden state as a `1 × hidden`
+    /// `f32` row inside `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice has the wrong width or the mirror is
+    /// missing.
+    pub fn final_hidden_wide_with<'w, 'x>(
+        &self,
+        steps: impl Iterator<Item = &'x [f64]>,
+        ws: &'w mut Workspace,
+    ) -> &'w MatrixF32 {
+        let wide = self.wide_or_panic();
+        let h = self.hidden_size;
+        ws.hidden32.reshape_zeroed(1, h);
+        ws.cell32.reshape_zeroed(1, h);
+        for x in steps {
+            assert_eq!(x.len(), self.input_size, "input width mismatch");
+            if self.input_size == 1 {
+                let x0 = x[0] as f32;
+                ws.gates32.reshape(1, 4 * h);
+                let iter = ws.gates32.as_mut_slice().iter_mut().zip(wide.w_x.row(0));
+                for ((g, &w), &b) in iter.zip(&wide.bias) {
+                    *g = x0 * w + b;
+                }
+            } else {
+                ws.stage32.set_row_from_f64(x);
+                row_matmul_f32_into(&wide.w_x, ws.stage32.row(0), &mut ws.gates32);
+                for (g, &b) in ws.gates32.as_mut_slice().iter_mut().zip(&wide.bias) {
+                    *g += b;
+                }
+            }
+            row_matmul_f32_into(&wide.w_h, ws.hidden32.row(0), &mut ws.gates_h32);
+            gate_update_f32(
+                h,
+                ws.gates32.as_slice(),
+                ws.gates_h32.as_slice(),
+                &mut ws.hidden32.as_mut_slice()[..h],
+                &mut ws.cell32.as_mut_slice()[..h],
+            );
+        }
+        &ws.hidden32
+    }
+
+    /// Wide-lane lockstep batch: [`Lstm::final_hidden_windows_with`] in
+    /// eight-lane `f32`. The hidden→gates product per timestep is one `f32`
+    /// matmul over all `M` rows; results match the wide row path within the
+    /// epsilon contract (different lane chains), not bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width is not 1 or the mirror is missing.
+    pub fn final_hidden_windows_wide_with<'w>(
+        &self,
+        windows: &Matrix,
+        ws: &'w mut Workspace,
+    ) -> &'w MatrixF32 {
+        assert_eq!(self.input_size, 1, "lockstep batching serves width-1 sequences");
+        let wide = self.wide_or_panic();
+        let (m, t) = (windows.rows(), windows.cols());
+        let h = self.hidden_size;
+        ws.hidden32.reshape_zeroed(m, h);
+        ws.cell32.reshape_zeroed(m, h);
+        for step in 0..t {
+            ws.gates32.reshape(m, 4 * h);
+            for i in 0..m {
+                let x0 = windows.get(i, step) as f32;
+                let row = ws.gates32.row_mut(i);
+                for ((g, &w), &b) in row.iter_mut().zip(wide.w_x.row(0)).zip(&wide.bias) {
+                    *g = x0 * w + b;
+                }
+            }
+            matmul_f32_into(&ws.hidden32, &wide.w_h, &mut ws.gates_h32);
+            for i in 0..m {
+                let (gates, gates_h) = (ws.gates32.row(i), ws.gates_h32.row(i));
+                let hidden = &mut ws.hidden32.as_mut_slice()[i * h..(i + 1) * h];
+                let cell = &mut ws.cell32.as_mut_slice()[i * h..(i + 1) * h];
+                gate_update_f32(h, gates, gates_h, hidden, cell);
+            }
+        }
+        &ws.hidden32
+    }
+}
+
+/// The fused `f64` gate kernel for one sequence at one timestep: exact-width
+/// slices (no bounds checks inside the loop), `z + z_h` summed gate-wise in
+/// the order the allocating path uses, cell and hidden updated in place.
+/// Shared verbatim by the row and lockstep-batch paths so both build the
+/// same bitwise chain.
+#[inline]
+fn gate_update(h: usize, z: &[f64], z_h: &[f64], hidden: &mut [f64], cell: &mut [f64]) {
+    let (z_i, rest) = z.split_at(h);
+    let (z_f, rest) = rest.split_at(h);
+    let (z_g, z_o) = rest.split_at(h);
+    let (zh_i, rest_h) = z_h.split_at(h);
+    let (zh_f, rest_h) = rest_h.split_at(h);
+    let (zh_g, zh_o) = rest_h.split_at(h);
+    for j in 0..h {
+        let i_gate = sigmoid(z_i[j] + zh_i[j]);
+        let f_gate = sigmoid(z_f[j] + zh_f[j]);
+        let g_gate = (z_g[j] + zh_g[j]).tanh();
+        let o_gate = sigmoid(z_o[j] + zh_o[j]);
+        let c = f_gate * cell[j] + i_gate * g_gate;
+        cell[j] = c;
+        hidden[j] = o_gate * c.tanh();
+    }
+}
+
+/// The fused gate kernel in `f32`: same structure as [`gate_update`], with
+/// the sigmoid running on the vectorizable polynomial exp.
+#[inline]
+fn gate_update_f32(h: usize, z: &[f32], z_h: &[f32], hidden: &mut [f32], cell: &mut [f32]) {
+    let (z_i, rest) = z.split_at(h);
+    let (z_f, rest) = rest.split_at(h);
+    let (z_g, z_o) = rest.split_at(h);
+    let (zh_i, rest_h) = z_h.split_at(h);
+    let (zh_f, rest_h) = rest_h.split_at(h);
+    let (zh_g, zh_o) = rest_h.split_at(h);
+    for j in 0..h {
+        let i_gate = sigmoid_f32(z_i[j] + zh_i[j]);
+        let f_gate = sigmoid_f32(z_f[j] + zh_f[j]);
+        let g_gate = tanh_f32(z_g[j] + zh_g[j]);
+        let o_gate = sigmoid_f32(z_o[j] + zh_o[j]);
+        let c = f_gate * cell[j] + i_gate * g_gate;
+        cell[j] = c;
+        hidden[j] = o_gate * tanh_f32(c);
     }
 }
 
@@ -210,6 +426,9 @@ pub struct LstmRegressor {
     head_b: Matrix,
     optimizer: Adam,
     trained_sequences: u64,
+    /// `f32` mirror of the scalar head (weights column + bias); present
+    /// only while in sync, like the LSTM's own mirror.
+    wide_head: Option<(Vec<f32>, f32)>,
 }
 
 /// Parameter ids for the optimizer state.
@@ -233,7 +452,25 @@ impl LstmRegressor {
             head_b: Matrix::zeros(1, 1),
             optimizer: Adam::new(config.learning_rate),
             trained_sequences: 0,
+            wide_head: None,
         }
+    }
+
+    /// Converts and caches the `f32` mirrors (LSTM parameters and head) for
+    /// the wide prediction entry points. Call at freeze time under
+    /// [`crate::Precision::F32Wide`]; a later
+    /// [`LstmRegressor::train_sequence`] drops the mirrors automatically.
+    pub fn pack_wide(&mut self) {
+        self.lstm.pack_wide();
+        self.wide_head = Some((
+            self.head_w.as_slice().iter().map(|&w| w as f32).collect(),
+            self.head_b.get(0, 0) as f32,
+        ));
+    }
+
+    /// Whether current (in-sync) `f32` mirrors exist.
+    pub fn is_wide_packed(&self) -> bool {
+        self.lstm.is_wide_packed() && self.wide_head.is_some()
     }
 
     /// Number of training sequences consumed.
@@ -271,6 +508,70 @@ impl LstmRegressor {
         let dot =
             h.row(0).iter().zip(self.head_w.as_slice()).fold(0.0, |acc, (&a, &b)| acc + a * b);
         dot + self.head_b.get(0, 0)
+    }
+
+    /// Lockstep batch of [`LstmRegressor::predict_with`] over width-one
+    /// sequences: row `i` of `windows` is one scalar sequence, and one
+    /// prediction per row is appended to `out`. Each prediction is bitwise
+    /// identical to predicting that row alone (see
+    /// [`Lstm::final_hidden_windows_with`] for why), while the recurrent
+    /// weights stream through cache once per timestep for the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LSTM's input width is not 1.
+    pub fn predict_windows_with(&self, windows: &Matrix, out: &mut Vec<f64>, ws: &mut Workspace) {
+        let h = self.lstm.final_hidden_windows_with(windows, ws);
+        for i in 0..windows.rows() {
+            let dot =
+                h.row(i).iter().zip(self.head_w.as_slice()).fold(0.0, |acc, (&a, &b)| acc + a * b);
+            out.push(dot + self.head_b.get(0, 0));
+        }
+    }
+
+    /// Wide-lane ([`crate::Precision::F32Wide`])
+    /// [`LstmRegressor::predict_with`]: the `f32` fused gate kernel plus an
+    /// eight-lane head dot, under the epsilon contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice has the wrong width or the mirrors are
+    /// missing (call [`LstmRegressor::pack_wide`]).
+    pub fn predict_wide_with<'x>(
+        &self,
+        steps: impl Iterator<Item = &'x [f64]>,
+        ws: &mut Workspace,
+    ) -> f64 {
+        let (head_w, head_b) = self.wide_head_or_panic();
+        let h = self.lstm.final_hidden_wide_with(steps, ws);
+        f64::from(dot_f32(h.row(0), head_w) + head_b)
+    }
+
+    /// Wide-lane lockstep batch: [`LstmRegressor::predict_windows_with`] in
+    /// eight-lane `f32`, one prediction per row appended to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width is not 1 or the mirrors are missing.
+    pub fn predict_windows_wide_with(
+        &self,
+        windows: &Matrix,
+        out: &mut Vec<f64>,
+        ws: &mut Workspace,
+    ) {
+        let (head_w, head_b) = self.wide_head_or_panic();
+        let h = self.lstm.final_hidden_windows_wide_with(windows, ws);
+        for i in 0..windows.rows() {
+            out.push(f64::from(dot_f32(h.row(i), head_w) + head_b));
+        }
+    }
+
+    fn wide_head_or_panic(&self) -> (&[f32], f32) {
+        let (w, b) = self.wide_head.as_ref().expect(
+            "wide (f32) prediction without a current mirror: call pack_wide() after the last \
+             training step",
+        );
+        (w.as_slice(), *b)
     }
 
     /// A workspace presized for this regressor's LSTM (the buffers for
@@ -357,6 +658,9 @@ impl LstmRegressor {
         self.optimizer.step(PID_B, &mut self.lstm.bias, &grad_b);
         self.optimizer.step(PID_HEAD_W, &mut self.head_w, &grad_head_w);
         self.optimizer.step(PID_HEAD_B, &mut self.head_b, &grad_head_b);
+        // The parameters moved: any f32 mirrors are stale.
+        self.lstm.wide = None;
+        self.wide_head = None;
         self.trained_sequences += 1;
         loss
     }

@@ -3,6 +3,7 @@ use crate::dense::Dense;
 use crate::loss::Loss;
 use crate::matrix::Matrix;
 use crate::optimizer::Optimizer;
+use crate::wide::MatrixF32;
 use crate::workspace::Workspace;
 
 /// A feed-forward network of [`Dense`] layers.
@@ -68,6 +69,49 @@ impl Mlp {
     pub fn pack(&mut self) {
         for layer in &mut self.layers {
             layer.pack_weights();
+        }
+    }
+
+    /// Converts and caches every layer's `f32` mirror for
+    /// [`Mlp::predict_wide_with`] (see [`crate::Dense::pack_wide`]). Call
+    /// at freeze time when running under [`crate::Precision::F32Wide`]; a
+    /// later [`Mlp::train_batch`] drops the mirrors automatically.
+    pub fn pack_wide(&mut self) {
+        for layer in &mut self.layers {
+            layer.pack_wide();
+        }
+    }
+
+    /// Whether every layer holds a current `f32` mirror.
+    pub fn is_wide_packed(&self) -> bool {
+        self.layers.iter().all(Dense::is_wide_packed)
+    }
+
+    /// Wide-lane ([`crate::Precision::F32Wide`]) [`Mlp::predict_with`]:
+    /// ping-pongs the batch through the eight-lane `f32` kernels and
+    /// returns a reference to the final activation. Accepts any number of
+    /// rows, so one call serves both per-sample and batch-of-rows scoring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width, the network has no layers, or any
+    /// `f32` mirror is missing (call [`Mlp::pack_wide`] after the last
+    /// training step).
+    pub fn predict_wide_with<'w>(&self, x: &MatrixF32, ws: &'w mut Workspace) -> &'w MatrixF32 {
+        assert!(!self.layers.is_empty(), "network needs at least one layer");
+        let mut into_ping = true;
+        for (i, layer) in self.layers.iter().enumerate() {
+            match (i == 0, into_ping) {
+                (true, _) => layer.forward_rows_wide_into(x, &mut ws.ping32),
+                (false, true) => layer.forward_rows_wide_into(&ws.pong32, &mut ws.ping32),
+                (false, false) => layer.forward_rows_wide_into(&ws.ping32, &mut ws.pong32),
+            }
+            into_ping = !into_ping;
+        }
+        if into_ping {
+            &ws.pong32
+        } else {
+            &ws.ping32
         }
     }
 

@@ -1,0 +1,529 @@
+//! The `f32` wide-lane inference kernels behind [`Precision::F32Wide`].
+//!
+//! Everything in this module trades the crate's bitwise-f64 reproducibility
+//! contract for lane width: kernels accumulate in eight explicit `f32`
+//! lanes (`[f32; 8]` over `chunks_exact(8)`), which `-C target-cpu=native`
+//! compiles to full-width vector FMAs-free SIMD without any hand-written
+//! intrinsics. The lane structure is fixed by the *code*, not the hardware
+//! vector width, so f32 results are still deterministic across x86-64
+//! hosts — they are just not the f64 results. Consumers opt in per run via
+//! [`Precision`]; the default everywhere stays [`Precision::F64Bitwise`],
+//! and the f32 mode is covered by the epsilon-parity contract pinned in
+//! `tests/epsilon_parity.rs` instead of the score digests.
+//!
+//! The module provides:
+//!
+//! * [`MatrixF32`]: the `f32` mirror of [`crate::Matrix`] (row-major,
+//!   grow-only reshape — the same scratch-space contract),
+//! * [`PackedBF32`]: column-packed `f32` weights for the narrow-head
+//!   transposed-dot kernel,
+//! * the lane-chunked kernels ([`dot_f32`], [`matmul_f32_into`],
+//!   [`row_matmul_f32_into`]) the [`crate::Dense`] / [`crate::Lstm`] wide
+//!   paths call,
+//! * [`sigmoid_f32`] / [`tanh_f32`]: activation kernels built on a
+//!   polynomial `exp` ([`fast_exp_f32`]) whose every operation has a vector
+//!   equivalent, so activation loops vectorize along with the affine part
+//!   (relative error ≤ 1e-5 vs `f64` libm over the finite range — measured
+//!   by this module's tests, far inside the per-detector epsilon budget).
+
+use crate::matrix::Matrix;
+
+/// Numeric mode of the inference kernels, selected per run.
+///
+/// Models convert and cache their `f32` weight mirrors at pack/freeze time
+/// (see [`crate::Dense::pack_wide`]); any training step afterwards drops
+/// the mirrors exactly like the f64 packs, so a stale wide path can never
+/// be consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Scalar/blocked `f64` kernels with a fixed accumulation order:
+    /// bitwise-reproducible scores (the digest contract). The default.
+    #[default]
+    F64Bitwise,
+    /// Eight-lane `f32` kernels: ~2× lane width plus a vectorizable
+    /// sigmoid, under the epsilon-parity contract (per-detector relative
+    /// error bound + identical threshold decisions, pinned by
+    /// `tests/epsilon_parity.rs`).
+    F32Wide,
+}
+
+impl Precision {
+    /// Short lowercase label (`"f64"` / `"f32"`) for bench rows and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F64Bitwise => "f64",
+            Precision::F32Wide => "f32",
+        }
+    }
+}
+
+/// A dense row-major `f32` matrix: the wide-lane mirror of
+/// [`crate::Matrix`], with the same grow-only [`MatrixF32::reshape`]
+/// scratch contract so steady-state inference stays allocation-free.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        MatrixF32 { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Converts an `f64` matrix (weights, at pack time — never per sample).
+    pub fn from_f64(m: &Matrix) -> Self {
+        MatrixF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reshapes to `rows × cols` reusing the allocation (contents
+    /// unspecified, capacity never shrinks) — the scratch-space contract.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows × cols` and zeroes every element.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.reshape(rows, cols);
+        self.data.fill(0.0);
+    }
+
+    /// The elements of row `row` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable view of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// All elements in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of all elements in row-major order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes to 1×n and narrows `values` in — the per-sample f64→f32
+    /// feature conversion of the wide scoring path.
+    pub fn set_row_from_f64(&mut self, values: &[f64]) {
+        self.reshape(1, values.len());
+        for (o, &v) in self.data.iter_mut().zip(values) {
+            *o = v as f32;
+        }
+    }
+}
+
+/// Column-packed `f32` weights: the wide-lane mirror of
+/// [`crate::PackedB`]. Column `j` of the original matrix is the contiguous
+/// slice [`PackedBF32::col`]`(j)`, feeding the lane-chunked [`dot_f32`]
+/// kernel of the narrow-head inference path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedBF32 {
+    k: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl PackedBF32 {
+    /// Packs (and narrows) `b` column-major.
+    pub fn pack(b: &Matrix) -> Self {
+        let (k, n) = (b.rows(), b.cols());
+        let mut data = Vec::with_capacity(k * n);
+        let src = b.as_slice();
+        for j in 0..n {
+            for i in 0..k {
+                data.push(src[i * n + j] as f32);
+            }
+        }
+        PackedBF32 { k, n, data }
+    }
+
+    /// Inner dimension (rows of the original matrix).
+    pub fn rows(&self) -> usize {
+        self.k
+    }
+
+    /// Output dimension (columns of the original matrix).
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Column `j` of the original matrix, contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    #[inline]
+    pub fn col(&self, col: usize) -> &[f32] {
+        &self.data[col * self.k..(col + 1) * self.k]
+    }
+}
+
+/// Number of explicit accumulator lanes in the f32 kernels. Eight `f32`
+/// lanes fill one AVX2 register (or half an AVX-512 register, which the
+/// compiler then double-pumps); the reduction order over the lanes is fixed
+/// by `reduce_lanes`, so results do not depend on the host vector width.
+pub const LANES: usize = 8;
+
+/// Fixed-order reduction of the eight accumulator lanes (pairwise tree, the
+/// order a horizontal vector add performs).
+#[inline]
+fn reduce_lanes(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))
+}
+
+/// Eight-lane dot product: the lane-chunked kernel of the wide narrow-head
+/// path. Accumulates `chunks_exact(8)` into `[f32; 8]` (one vector FMA-free
+/// multiply-add per chunk once vectorized), reduces the lanes in a fixed
+/// pairwise order, then folds the scalar remainder — deterministic on any
+/// host.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut chunks_a = a.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut sum = reduce_lanes(acc);
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// Wide `f32` matmul: `out = a · b`, each output row computed by the
+/// broadcast-tile kernel (`broadcast_tile_f32`) — vectorized across
+/// output columns with an eight-step `k` unroll, every element the exact
+/// ascending-`k` chain the naive loop builds.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn matmul_f32_into(a: &MatrixF32, b: &MatrixF32, out: &mut MatrixF32) {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul dimension mismatch: {}x{} · {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    let (m, kd, n) = (a.rows, a.cols, b.cols);
+    if kd == 0 {
+        out.reshape_zeroed(m, n);
+        return;
+    }
+    out.reshape(m, n);
+    for i in 0..m {
+        let a_row = &a.data[i * kd..(i + 1) * kd];
+        let out_row = &mut out.data[i * n..(i + 1) * n];
+        row_times_f32(a_row, &b.data, n, out_row);
+    }
+}
+
+/// `x · b` for a bare `f32` row, written into `out` (reshaped to 1×n): the
+/// per-sample entry point of the wide scoring path.
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from `b`'s row count.
+pub fn row_matmul_f32_into(b: &MatrixF32, x: &[f32], out: &mut MatrixF32) {
+    assert_eq!(x.len(), b.rows, "matmul dimension mismatch: 1x{} · {}x{}", x.len(), b.rows, b.cols);
+    let n = b.cols;
+    if b.rows == 0 {
+        out.reshape_zeroed(1, n);
+        return;
+    }
+    out.reshape(1, n);
+    row_times_f32(x, &b.data, n, &mut out.data[..n]);
+}
+
+/// Output-column tile width of the f32 broadcast kernel: the tile plus the
+/// eight-row unroll window of `b` must stay L1-resident (512 f32 columns =
+/// 2 KiB per row, 18 KiB live across the window).
+const NC_F32: usize = 512;
+
+/// One output row of the wide matmul, tiled over output columns. Each
+/// output element is the same left-associated ascending-`k` chain the
+/// naive loop builds, so tiling and unrolling change no bits.
+#[inline]
+fn row_times_f32(a_row: &[f32], bdata: &[f32], n: usize, out_row: &mut [f32]) {
+    for j0 in (0..n).step_by(NC_F32) {
+        let jn = (j0 + NC_F32).min(n);
+        broadcast_tile_f32(a_row, bdata, n, j0, jn, &mut out_row[j0..jn]);
+    }
+}
+
+/// One column tile of one output row: broadcast each `a` element against a
+/// row of `b`, eight `k` steps per pass, vectorizing across the `j`
+/// (output-column) dimension — independent accumulator chains per column
+/// give the instruction-level parallelism a single lane-chunked
+/// accumulator lacks. The f32 port of the f64 kernel's `broadcast_tile`.
+#[inline]
+fn broadcast_tile_f32(
+    a_row: &[f32],
+    bdata: &[f32],
+    n: usize,
+    j0: usize,
+    jn: usize,
+    out_row: &mut [f32],
+) {
+    let kd = a_row.len();
+    debug_assert!(kd > 0);
+    let len = out_row.len();
+    debug_assert_eq!(len, jn - j0);
+    // `row(k)` is row `k` of the right-hand side, tile-aligned.
+    let row = |k: usize| &bdata[k * n + j0..k * n + jn][..len];
+    // First chunk writes instead of accumulating (`0.0 + a·b` is the
+    // zero-init chain spelled out), so the tile needs no zeroing pass.
+    let mut k;
+    if kd >= 4 {
+        let (a0, a1, a2, a3) = (a_row[0], a_row[1], a_row[2], a_row[3]);
+        let (b0, b1, b2, b3) = (row(0), row(1), row(2), row(3));
+        for j in 0..len {
+            out_row[j] = (((0.0 + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        k = 4;
+    } else {
+        let a = a_row[0];
+        let b = row(0);
+        for (o, &bv) in out_row.iter_mut().zip(b) {
+            *o = 0.0 + a * bv;
+        }
+        k = 1;
+    }
+    // Main unroll: eight dependent adds per element per pass, ascending-k
+    // — the same chain the naive loop builds, an eighth of the passes.
+    while k + 8 <= kd {
+        let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+        let (a4, a5, a6, a7) = (a_row[k + 4], a_row[k + 5], a_row[k + 6], a_row[k + 7]);
+        let (b0, b1, b2, b3) = (row(k), row(k + 1), row(k + 2), row(k + 3));
+        let (b4, b5, b6, b7) = (row(k + 4), row(k + 5), row(k + 6), row(k + 7));
+        for j in 0..len {
+            let acc = (((out_row[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+            out_row[j] = (((acc + a4 * b4[j]) + a5 * b5[j]) + a6 * b6[j]) + a7 * b7[j];
+        }
+        k += 8;
+    }
+    if k + 4 <= kd {
+        let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+        let (b0, b1, b2, b3) = (row(k), row(k + 1), row(k + 2), row(k + 3));
+        for j in 0..len {
+            out_row[j] = (((out_row[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+        }
+        k += 4;
+    }
+    while k < kd {
+        let a = a_row[k];
+        let b = row(k);
+        for (o, &bv) in out_row.iter_mut().zip(b) {
+            *o += a * bv;
+        }
+        k += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorizable f32 activations.
+// ---------------------------------------------------------------------------
+
+/// `exp(x)` for `f32` from pure arithmetic (no libm call): range-reduce to
+/// `x = k·ln2 + r` with `|r| ≤ ln2/2`, evaluate a degree-6 polynomial for
+/// `exp(r)`, and scale by `2^k` through the exponent bits. Every operation
+/// has a vector equivalent, so activation loops calling this vectorize
+/// end-to-end. Relative error ≤ 1e-5 against `f64` libm — dominated by the
+/// f32 rounding of the argument itself, not the polynomial (pinned by this
+/// module's tests). Out-of-range inputs saturate: `+∞` above, the smallest
+/// positive normal below (the input clamp keeps `2^k` representable).
+#[inline]
+pub fn fast_exp_f32(x: f32) -> f32 {
+    const LOG2_E: f32 = std::f32::consts::LOG2_E;
+    // ln2 split hi/lo so `x - k·ln2` keeps extra bits of the reduction.
+    // The hi part is written out in full: 0.693359375 is 0x1.63p-1,
+    // exactly representable, which is the whole point of the split.
+    #[allow(clippy::excessive_precision)]
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // Saturation bounds of finite f32 exp.
+    const HI: f32 = 88.722_84;
+    const LO: f32 = -87.336_54;
+    let x = x.clamp(LO, HI);
+    let kf = (x * LOG2_E).round();
+    let r = (x - kf * LN2_HI) - kf * LN2_LO;
+    // exp(r) ≈ Σ rⁿ/n! through n = 6 (Horner), |r| ≤ ln2/2: truncation
+    // ~1e-7 relative, below the f32 rounding of the evaluation itself.
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.0 / 6.0 + r * (1.0 / 24.0 + r * (1.0 / 120.0 + r * (1.0 / 720.0))))));
+    // 2^k via the exponent field; k ∈ [-127, 128] after the clamp.
+    let bits = (((kf as i32) + 127) as u32) << 23;
+    p * f32::from_bits(bits)
+}
+
+/// Logistic sigmoid over [`fast_exp_f32`], single-expression form. The
+/// saturating exp makes it stable across the whole line without the f64
+/// kernel's two-branch shape — `+∞` below the clamp gives exactly 0, the
+/// smallest positive normal above gives exactly 1 — and with one exp and
+/// no branch the activation loops vectorize end-to-end.
+#[inline]
+pub fn sigmoid_f32(x: f32) -> f32 {
+    1.0 / (1.0 + fast_exp_f32(-x))
+}
+
+/// `tanh` for `f32`. Delegates to libm: the LSTM gate loops spend their
+/// lanes in the affine part and the sigmoid; the two tanh evaluations per
+/// cell are not worth a polynomial's accuracy risk near zero (where
+/// `1 - 2/(e^{2x}+1)` cancels catastrophically).
+#[inline]
+pub fn tanh_f32(x: f32) -> f32 {
+    x.tanh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_f32_converts_and_reshapes() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let w = MatrixF32::from_f64(&m);
+        assert_eq!((w.rows(), w.cols()), (2, 2));
+        assert_eq!(w.row(1), &[3.0, 4.0]);
+        let mut s = MatrixF32::default();
+        s.set_row_from_f64(&[0.5, -0.25, 8.0]);
+        assert_eq!(s.as_slice(), &[0.5, -0.25, 8.0]);
+        s.reshape(1, 2);
+        assert_eq!(s.cols(), 2);
+    }
+
+    #[test]
+    fn packed_columns_are_original_columns() {
+        let b = Matrix::xavier(5, 3, 11);
+        let packed = PackedBF32::pack(&b);
+        for j in 0..3 {
+            let col: Vec<f32> = (0..5).map(|i| b.get(i, j) as f32).collect();
+            assert_eq!(packed.col(j), &col[..]);
+        }
+    }
+
+    #[test]
+    fn lane_dot_matches_f64_reference() {
+        for len in [1, 3, 7, 8, 9, 16, 31, 100] {
+            let a = Matrix::xavier(1, len, len as u64);
+            let b = Matrix::xavier(1, len, (len + 77) as u64);
+            let a32: Vec<f32> = a.as_slice().iter().map(|&v| v as f32).collect();
+            let b32: Vec<f32> = b.as_slice().iter().map(|&v| v as f32).collect();
+            let reference: f64 = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| x * y).sum();
+            let wide = dot_f32(&a32, &b32) as f64;
+            assert!(
+                (wide - reference).abs() <= 1e-4 * reference.abs().max(1.0),
+                "len {len}: {wide} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_matmul_matches_f64_reference() {
+        for (m, k, n) in [(1, 1, 1), (1, 100, 75), (3, 5, 7), (4, 8, 4), (2, 9, 13), (7, 4, 1)] {
+            let a = Matrix::xavier(m, k, (m * 100 + k * 10 + n) as u64);
+            let b = Matrix::xavier(k, n, (n * 100 + k) as u64);
+            let reference = a.matmul(&b);
+            let (a32, b32) = (MatrixF32::from_f64(&a), MatrixF32::from_f64(&b));
+            let mut out = MatrixF32::default();
+            matmul_f32_into(&a32, &b32, &mut out);
+            assert_eq!((out.rows(), out.cols()), (m, n));
+            for i in 0..m {
+                for j in 0..n {
+                    let (r, w) = (reference.get(i, j), out.row(i)[j] as f64);
+                    assert!(
+                        (w - r).abs() <= 1e-4 * r.abs().max(1.0),
+                        "({m}x{k}x{n}) at ({i},{j}): {w} vs {r}"
+                    );
+                }
+            }
+            // The bare-slice row entry point agrees with the matrix path
+            // exactly (same kernel, same chains).
+            let mut row_out = MatrixF32::default();
+            row_matmul_f32_into(&b32, a32.row(m - 1), &mut row_out);
+            assert_eq!(row_out.as_slice(), out.row(m - 1));
+        }
+    }
+
+    #[test]
+    fn fast_exp_stays_within_relative_epsilon() {
+        let mut worst = 0.0f64;
+        let mut x = -87.0f64;
+        while x <= 88.0 {
+            let reference = x.exp();
+            let wide = f64::from(fast_exp_f32(x as f32));
+            let rel = ((wide - reference) / reference).abs();
+            worst = worst.max(rel);
+            x += 0.037;
+        }
+        assert!(worst <= 1e-5, "worst relative error {worst}");
+        // Below the clamp the result saturates at the smallest positive
+        // normal — indistinguishable from zero for every score consumer.
+        assert!(fast_exp_f32(-1000.0) <= 2.0 * f32::MIN_POSITIVE);
+        assert!(fast_exp_f32(1000.0).is_infinite());
+        assert_eq!(fast_exp_f32(0.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_f32_is_stable_and_close() {
+        assert!((sigmoid_f32(1000.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid_f32(-1000.0).abs() < 1e-6);
+        assert!((sigmoid_f32(0.0) - 0.5).abs() < 1e-6);
+        let mut x = -30.0f64;
+        while x <= 30.0 {
+            let reference = crate::activation::sigmoid(x);
+            let wide = f64::from(sigmoid_f32(x as f32));
+            assert!(
+                (wide - reference).abs() <= 1e-5 * reference.max(1e-12) + 1e-10,
+                "sigmoid({x}): {wide} vs {reference}"
+            );
+            x += 0.043;
+        }
+    }
+
+    #[test]
+    fn precision_labels() {
+        assert_eq!(Precision::default(), Precision::F64Bitwise);
+        assert_eq!(Precision::F64Bitwise.label(), "f64");
+        assert_eq!(Precision::F32Wide.label(), "f32");
+    }
+}

@@ -21,6 +21,7 @@
 //! [`LstmRegressor::predict_with`]: crate::LstmRegressor::predict_with
 
 use crate::matrix::Matrix;
+use crate::wide::MatrixF32;
 
 /// Reusable inference scratch buffers (see module docs).
 ///
@@ -49,6 +50,16 @@ pub struct Workspace {
     pub(crate) hidden: Matrix,
     /// LSTM cell state.
     pub(crate) cell: Matrix,
+    /// `f32` mirrors of the buffers above for the wide-lane
+    /// ([`crate::Precision::F32Wide`]) inference paths. Same grow-only
+    /// contract; they stay empty until a wide entry point first runs.
+    pub(crate) ping32: MatrixF32,
+    pub(crate) pong32: MatrixF32,
+    pub(crate) stage32: MatrixF32,
+    pub(crate) gates32: MatrixF32,
+    pub(crate) gates_h32: MatrixF32,
+    pub(crate) hidden32: MatrixF32,
+    pub(crate) cell32: MatrixF32,
 }
 
 impl Workspace {

@@ -1,0 +1,215 @@
+//! Property-based parity between batch-of-rows scoring and row-at-a-time
+//! scoring, over random layer shapes and inputs.
+//!
+//! The contract the executor and fabric workers rely on:
+//!
+//! * **f64 mode is bitwise**: scoring M rows through the batch entry points
+//!   produces, per row, exactly the bits that scoring that row alone
+//!   produces. This is why batching can sit underneath the score-digest
+//!   contract without its own pin.
+//! * **f32 mode is epsilon-bounded**: the wide batch path agrees with the
+//!   wide row path exactly (same kernels, same chains per row), and both
+//!   track the f64 reference within a small relative error.
+
+use idsbench_nn::{
+    Activation, Autoencoder, AutoencoderConfig, Dense, LstmRegressor, LstmRegressorConfig, Matrix,
+    MatrixF32, MlpBuilder,
+};
+use proptest::prelude::*;
+
+fn arb_activation() -> impl Strategy<Value = Activation> {
+    (0usize..4).prop_map(|i| match i {
+        0 => Activation::Sigmoid,
+        1 => Activation::Relu,
+        2 => Activation::Tanh,
+        _ => Activation::Linear,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense: `forward_rows_into` over M rows == M× `forward_row_into`,
+    /// bitwise, packed or not (narrow outputs exercise the packed kernel).
+    #[test]
+    fn dense_batch_is_bitwise_row_equal(
+        input in 1usize..24,
+        output in 1usize..12,
+        rows in 1usize..9,
+        activation in arb_activation(),
+        seed in any::<u64>(),
+        pack in any::<bool>(),
+    ) {
+        let mut layer = Dense::new(input, output, activation, 0, seed);
+        if pack {
+            layer.pack_weights();
+        }
+        let x = Matrix::from_fn(rows, input, |r, c| ((r * input + c) as f64 * 0.37).sin());
+        let mut batch = Matrix::default();
+        layer.forward_rows_into(&x, &mut batch);
+        prop_assert_eq!((batch.rows(), batch.cols()), (rows, output));
+        let mut single = Matrix::default();
+        for r in 0..rows {
+            layer.forward_row_into(x.row(r), &mut single);
+            prop_assert_eq!(single.row(0), batch.row(r), "row {} diverged", r);
+        }
+    }
+
+    /// Dense wide path: the f32 batch kernel equals the f32 row kernel
+    /// exactly (identical chains per row), and both track f64 within
+    /// epsilon.
+    #[test]
+    fn dense_wide_batch_equals_wide_rows_and_tracks_f64(
+        input in 1usize..24,
+        output in 1usize..12,
+        rows in 1usize..9,
+        activation in arb_activation(),
+        seed in any::<u64>(),
+    ) {
+        let mut layer = Dense::new(input, output, activation, 0, seed);
+        layer.pack_wide();
+        let x = Matrix::from_fn(rows, input, |r, c| ((r * input + c) as f64 * 0.53).cos());
+        let x32 = MatrixF32::from_f64(&x);
+
+        let mut batch32 = MatrixF32::default();
+        layer.forward_rows_wide_into(&x32, &mut batch32);
+        let mut single32 = MatrixF32::default();
+        for r in 0..rows {
+            layer.forward_row_wide_into(x32.row(r), &mut single32);
+            prop_assert_eq!(single32.row(0), batch32.row(r), "wide row {} diverged", r);
+        }
+
+        let mut reference = Matrix::default();
+        layer.forward_rows_into(&x, &mut reference);
+        for (i, (&w, &f)) in batch32.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            prop_assert!(
+                (f64::from(w) - f).abs() <= 1e-4 * f.abs().max(1.0),
+                "element {}: f32 {} vs f64 {}", i, w, f
+            );
+        }
+    }
+
+    /// Autoencoder: batch scores == per-row scores bitwise in f64 mode; the
+    /// wide batch equals the wide row path and tracks f64 within epsilon.
+    #[test]
+    fn autoencoder_batch_scores_match_rows(
+        input in 2usize..20,
+        rows in 1usize..9,
+        seed in any::<u64>(),
+        train_rounds in 0usize..12,
+    ) {
+        let mut ae = Autoencoder::new(input, AutoencoderConfig { seed, ..Default::default() });
+        let sample: Vec<f64> = (0..input).map(|i| (i as f64 * 0.7).sin().abs()).collect();
+        for _ in 0..train_rounds {
+            ae.train_sample(&sample);
+        }
+        ae.pack_wide();
+        let xs = Matrix::from_fn(rows, input, |r, c| ((r + c * 3) as f64 * 0.41).sin().abs());
+        let mut ws = ae.workspace();
+
+        let mut batch = Vec::new();
+        ae.score_rows_with(&xs, &mut batch, &mut ws);
+        prop_assert_eq!(batch.len(), rows);
+        for (r, scored) in batch.iter().enumerate() {
+            let single = ae.score_with(xs.row(r), &mut ws);
+            prop_assert_eq!(single.to_bits(), scored.to_bits(), "row {} not bitwise", r);
+        }
+
+        let xs32 = MatrixF32::from_f64(&xs);
+        let mut wide_batch = Vec::new();
+        ae.score_rows_wide_with(&xs32, &mut wide_batch, &mut ws);
+        for r in 0..rows {
+            let wide_single = ae.score_wide_with(xs32.row(r), &mut ws);
+            prop_assert_eq!(
+                wide_single.to_bits(), wide_batch[r].to_bits(),
+                "wide row {} differs from wide batch", r
+            );
+            prop_assert!(
+                (wide_batch[r] - batch[r]).abs() <= 1e-4 * batch[r].max(1e-9),
+                "row {}: wide {} vs f64 {}", r, wide_batch[r], batch[r]
+            );
+        }
+    }
+
+    /// MLP over multi-row input: already batch-shaped in f64; the wide pass
+    /// tracks it within epsilon on every element.
+    #[test]
+    fn mlp_wide_batch_tracks_f64(
+        input in 1usize..12,
+        hidden in 1usize..16,
+        rows in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut mlp = MlpBuilder::new(input)
+            .layer(hidden, Activation::Relu)
+            .layer(1, Activation::Sigmoid)
+            .seed(seed)
+            .build();
+        mlp.pack_wide();
+        let x = Matrix::from_fn(rows, input, |r, c| ((r * 7 + c) as f64 * 0.29).sin());
+        let mut ws = mlp.workspace();
+        let reference = mlp.predict_with(&x, &mut ws).clone();
+        let x32 = MatrixF32::from_f64(&x);
+        let wide = mlp.predict_wide_with(&x32, &mut ws);
+        prop_assert_eq!((wide.rows(), wide.cols()), (rows, 1));
+        for (i, (&w, &f)) in wide.as_slice().iter().zip(reference.as_slice()).enumerate() {
+            prop_assert!(
+                (f64::from(w) - f).abs() <= 1e-4 * f.abs().max(1.0),
+                "row {}: f32 {} vs f64 {}", i, w, f
+            );
+        }
+    }
+
+    /// LSTM regressor lockstep batch: each row of the window matrix
+    /// predicts bitwise-identically to predicting that sequence alone
+    /// (f64), and the wide lockstep batch equals the wide row path while
+    /// tracking f64 within epsilon.
+    #[test]
+    fn lstm_windows_batch_matches_rows(
+        timesteps in 1usize..12,
+        rows in 1usize..7,
+        seed in any::<u64>(),
+        train_rounds in 0usize..6,
+    ) {
+        let mut model = LstmRegressor::new(
+            1,
+            LstmRegressorConfig { seed, ..Default::default() },
+        );
+        let seq: Vec<Vec<f64>> = (0..timesteps).map(|t| vec![(t % 2) as f64]).collect();
+        for i in 0..train_rounds {
+            model.train_sequence(&seq, (i % 2) as f64);
+        }
+        model.pack_wide();
+        let windows =
+            Matrix::from_fn(rows, timesteps, |r, t| ((r * 13 + t) as f64 * 0.47).sin());
+        let mut ws = model.workspace();
+
+        let mut batch = Vec::new();
+        model.predict_windows_with(&windows, &mut batch, &mut ws);
+        prop_assert_eq!(batch.len(), rows);
+        for (r, scored) in batch.iter().enumerate() {
+            let row: Vec<f64> = windows.row(r).to_vec();
+            let steps: Vec<[f64; 1]> = row.iter().map(|&v| [v]).collect();
+            let single =
+                model.predict_with(steps.iter().map(|s| s.as_slice()), &mut ws);
+            prop_assert_eq!(single.to_bits(), scored.to_bits(), "row {} not bitwise", r);
+        }
+
+        let mut wide_batch = Vec::new();
+        model.predict_windows_wide_with(&windows, &mut wide_batch, &mut ws);
+        for r in 0..rows {
+            let row: Vec<f64> = windows.row(r).to_vec();
+            let steps: Vec<[f64; 1]> = row.iter().map(|&v| [v]).collect();
+            let wide_single =
+                model.predict_wide_with(steps.iter().map(|s| s.as_slice()), &mut ws);
+            prop_assert_eq!(
+                wide_single.to_bits(), wide_batch[r].to_bits(),
+                "wide row {} differs from wide lockstep batch", r
+            );
+            prop_assert!(
+                (wide_batch[r] - batch[r]).abs() <= 2e-4 * batch[r].abs().max(1.0),
+                "row {}: wide {} vs f64 {}", r, wide_batch[r], batch[r]
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Regression tests for the pack lifecycle: a training step after
+//! `pack_weights()` / `pack_wide()` must drop every cached mirror (the f64
+//! column packs and the f32 wide mirrors alike), so inference can never be
+//! served from stale weights. Re-packing after training must agree with a
+//! fresh conversion of the updated weights, and the wide entry points must
+//! refuse to run (panic loudly) rather than silently fall back when the
+//! mirror is gone.
+
+use idsbench_nn::{
+    Activation, Autoencoder, AutoencoderConfig, Dense, LstmRegressor, LstmRegressorConfig, Matrix,
+    MatrixF32, Sgd, Workspace,
+};
+
+fn probe_rows(cols: usize) -> Matrix {
+    Matrix::from_fn(3, cols, |r, c| ((r * cols + c) as f64 * 0.61).sin())
+}
+
+/// One gradient step through a narrow-output Dense layer (the shape whose
+/// f64 pack is actually built — `pack_weights` is a no-op above the narrow
+/// threshold).
+fn narrow_dense() -> Dense {
+    Dense::new(16, 2, Activation::Sigmoid, 0, 7)
+}
+
+#[test]
+fn dense_backward_drops_both_pack_families() {
+    let mut layer = narrow_dense();
+    layer.pack_weights();
+    layer.pack_wide();
+    assert!(layer.is_packed());
+    assert!(layer.is_wide_packed());
+
+    // Take one real optimization step.
+    let x = probe_rows(16);
+    let out = layer.forward_training(x);
+    let grad = Matrix::from_fn(out.rows(), out.cols(), |_, _| 0.05);
+    let mut opt = Sgd::new(0.1);
+    layer.backward(&grad, &mut opt);
+
+    assert!(!layer.is_packed(), "f64 pack survived backward()");
+    assert!(!layer.is_wide_packed(), "f32 mirror survived backward()");
+}
+
+#[test]
+fn dense_repack_after_training_matches_fresh_weights() {
+    let mut layer = narrow_dense();
+    layer.pack_weights();
+    layer.pack_wide();
+
+    let x = probe_rows(16);
+    let out = layer.forward_training(x.clone());
+    let grad = Matrix::from_fn(out.rows(), out.cols(), |_, _| 0.05);
+    let mut opt = Sgd::new(0.1);
+    layer.backward(&grad, &mut opt);
+
+    // Scoring straight after training uses the updated weights (no pack)…
+    let mut unpacked = Matrix::default();
+    layer.forward_into(&x, &mut unpacked);
+
+    // …and re-packing must reproduce exactly those outputs, in both
+    // precisions: f64 bitwise, f32 identical to a fresh conversion.
+    layer.pack_weights();
+    layer.pack_wide();
+    let mut packed = Matrix::default();
+    layer.forward_into(&x, &mut packed);
+    assert_eq!(unpacked, packed, "packed f64 outputs differ from unpacked");
+
+    let x32 = MatrixF32::from_f64(&x);
+    let mut wide_out = MatrixF32::default();
+    layer.forward_rows_wide_into(&x32, &mut wide_out);
+    for (i, (&w, &r)) in wide_out.as_slice().iter().zip(packed.as_slice()).enumerate() {
+        assert!(
+            (f64::from(w) - r).abs() <= 1e-4 * r.abs().max(1.0),
+            "wide output {i} diverged after re-pack: {w} vs {r}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "pack_wide()")]
+fn dense_wide_inference_panics_when_mirror_is_stale() {
+    let mut layer = narrow_dense();
+    layer.pack_wide();
+
+    let x = probe_rows(16);
+    let out = layer.forward_training(x.clone());
+    let grad = Matrix::from_fn(out.rows(), out.cols(), |_, _| 0.05);
+    let mut opt = Sgd::new(0.1);
+    layer.backward(&grad, &mut opt);
+
+    // The mirror is gone; the wide path must refuse, not silently score
+    // from pre-training weights.
+    let x32 = MatrixF32::from_f64(&x);
+    let mut out32 = MatrixF32::default();
+    layer.forward_rows_wide_into(&x32, &mut out32);
+}
+
+#[test]
+fn autoencoder_training_drops_wide_mirrors() {
+    let mut ae = Autoencoder::new(8, AutoencoderConfig::default());
+    let sample: Vec<f64> = (0..8).map(|i| (i as f64) / 8.0).collect();
+    ae.train_sample(&sample);
+    ae.pack_wide();
+    assert!(ae.is_wide_packed());
+
+    ae.train_sample(&sample);
+    assert!(!ae.is_wide_packed(), "wide mirrors survived train_sample()");
+
+    // Re-pack and check the wide score tracks the post-training f64 score.
+    ae.pack_wide();
+    let mut ws = ae.workspace();
+    let reference = ae.score_with(&sample, &mut ws);
+    let sample32: Vec<f32> = sample.iter().map(|&v| v as f32).collect();
+    let wide = ae.score_wide_with(&sample32, &mut ws);
+    assert!(
+        (wide - reference).abs() <= 1e-4 * reference.max(1e-9),
+        "wide score {wide} diverged from f64 {reference} after re-pack"
+    );
+}
+
+#[test]
+fn lstm_regressor_training_drops_wide_mirrors() {
+    let mut model = LstmRegressor::new(1, LstmRegressorConfig::default());
+    let seq: Vec<Vec<f64>> = (0..6).map(|i| vec![f64::from(i % 2)]).collect();
+    model.train_sequence(&seq, 1.0);
+    model.pack_wide();
+    assert!(model.is_wide_packed());
+
+    model.train_sequence(&seq, 0.0);
+    assert!(!model.is_wide_packed(), "wide mirrors survived train_sequence()");
+
+    model.pack_wide();
+    let mut ws = model.workspace();
+    let reference = model.predict_with(seq.iter().map(Vec::as_slice), &mut ws);
+    let wide = model.predict_wide_with(seq.iter().map(Vec::as_slice), &mut ws);
+    assert!(
+        (wide - reference).abs() <= 1e-4 * reference.abs().max(1.0),
+        "wide prediction {wide} diverged from f64 {reference} after re-pack"
+    );
+}
+
+#[test]
+#[should_panic(expected = "pack_wide()")]
+fn lstm_wide_prediction_panics_when_mirror_is_stale() {
+    let mut model = LstmRegressor::new(1, LstmRegressorConfig::default());
+    let seq: Vec<Vec<f64>> = (0..6).map(|i| vec![f64::from(i % 3)]).collect();
+    model.pack_wide();
+    model.train_sequence(&seq, 1.0);
+    let mut ws = Workspace::new();
+    let _ = model.predict_wide_with(seq.iter().map(Vec::as_slice), &mut ws);
+}

@@ -356,9 +356,7 @@ fn spawn_shard<'scope>(
         for msg in rx.iter() {
             match msg {
                 ShardMsg::Batch(batch) => {
-                    for item in &batch {
-                        state.on_packet(item);
-                    }
+                    state.on_batch(&batch);
                     // Publish this batch's p99, then reset: the signal must
                     // track *current* latency — a cumulative histogram would
                     // let one early slow burst pin `overloaded` for the rest

@@ -181,6 +181,8 @@ pub struct ShardLoop {
     live_latency: Option<LatencyHistogram>,
     /// Per-stage telemetry histograms; absent without telemetry.
     spans: Option<ShardSpans>,
+    /// Reused score buffer for the batch scoring path.
+    batch_scores: Vec<f64>,
 }
 
 impl std::fmt::Debug for ShardLoop {
@@ -221,7 +223,55 @@ impl ShardLoop {
             packets: 0,
             live_latency: live_latency.then(LatencyHistogram::default),
             spans,
+            batch_scores: Vec::new(),
         }
+    }
+
+    /// Scores a routed burst of packets. Packet-format shards (no flow
+    /// table) deliver the whole burst through the detector's
+    /// [`EventDetector::on_packet_batch`] entry point, letting NN-backed
+    /// detectors amortize weight traffic across the burst — with scores
+    /// bitwise identical to per-packet delivery in the default f64
+    /// precision (the batch contract). Flow-format shards fall back to
+    /// per-packet delivery, which interleaves eviction events correctly.
+    ///
+    /// Per-event latency is the batch wall time divided by the burst
+    /// length: the whole burst occupies the shard for that span, so each
+    /// packet's share of it is the honest per-event cost (scores, not
+    /// latencies, are digest-pinned).
+    pub fn on_batch(&mut self, items: &[StreamItem]) {
+        if self.assembler.is_some() || items.len() <= 1 {
+            for item in items {
+                self.on_packet(item);
+            }
+            return;
+        }
+        self.packets += items.len();
+        for item in items {
+            if let Some(key) = item.view.flow_key {
+                self.flows.insert(key);
+            }
+        }
+        self.batch_scores.clear();
+        let started = Instant::now();
+        self.detector
+            .on_packet_batch(&mut items.iter().map(|item| &item.view), &mut self.batch_scores);
+        let total = started.elapsed().as_nanos();
+        self.score_nanos += total;
+        let per_event = (total / items.len() as u128).min(u128::from(u64::MAX)) as u64;
+        debug_assert_eq!(self.batch_scores.len(), items.len(), "one score per packet view");
+        let scores = std::mem::take(&mut self.batch_scores);
+        for (item, &score) in items.iter().zip(&scores) {
+            if let Some(spans) = &self.spans {
+                spans.score.record(per_event);
+            }
+            let window = window_of_micros(item.view.packet.packet.ts.as_micros(), self.window_secs);
+            if let Some(hist) = &mut self.live_latency {
+                hist.record(per_event);
+            }
+            self.recorder.push(item.seq, 0, window, score, per_event, item.view.label());
+        }
+        self.batch_scores = scores;
     }
 
     /// Scores one routed packet and any flow evictions it triggers.
