@@ -1,0 +1,176 @@
+//! Expectations-versus-reality on the adversarial workload library: every
+//! native `idsbench-trafficgen` scenario (benign mix, floods, scans,
+//! staged campaigns) streamed through all four Table IV detectors, with
+//! per-attack-family recall per cell — the matrix the paper's Section V
+//! argument predicts (volumetric families caught, spoofed floods blinding
+//! per-profile systems, low-and-slow campaigns slipping under thresholds).
+//!
+//! ```text
+//! cargo run --release -p idsbench-bench --bin fig_scenarios -- --scale tiny --require-separation
+//! ```
+//!
+//! Each scenario runs as a *stream*: the generator is never materialised —
+//! a [`ScenarioSource`] pulls the lazy model, the leading attack-free span
+//! (`spec.warmup_secs` traffic seconds) trains/calibrates the detector, and
+//! the rest is scored under the engine's default calibrated threshold so
+//! results stay comparable with `table4`/`fig_families`.
+//!
+//! With `--require-separation` the run exits non-zero unless at least one
+//! attack family separates the detectors (maximum minus minimum recall
+//! above 0.25 in some scenario) — the CI smoke gate that the matrix still
+//! *discriminates*; a workload on which every IDS scores alike measures
+//! nothing.
+//!
+//! One `BENCH `-prefixed JSON line goes to stdout and the same object is
+//! written to `BENCH_scenarios.json` in the working directory.
+
+use idsbench_bench::{scale_from_args, seed_from_args, standard_detectors};
+use idsbench_core::json::{num_field, str_field};
+use idsbench_core::metrics::FamilyOutcome;
+use idsbench_datasets::ScenarioScale;
+use idsbench_stream::{run_stream, ScenarioSource, StreamConfig};
+use idsbench_trafficgen::{registry, ScenarioSpec, Tier};
+
+/// Smallest max-minus-min recall on some family, in some scenario, that
+/// counts as detector separation for the `--require-separation` gate.
+const SEPARATION_SPREAD: f64 = 0.25;
+
+/// One detector's outcome on one scenario.
+struct Cell {
+    detector: String,
+    threshold: f64,
+    eval_packets: usize,
+    families: Vec<FamilyOutcome>,
+}
+
+fn run_cell(
+    spec: &ScenarioSpec,
+    detector: &str,
+    factory: &(dyn Fn() -> Box<dyn idsbench_core::EventDetector> + Sync),
+    scale: ScenarioScale,
+    seed: u64,
+) -> Cell {
+    let model = spec.build(scale);
+    let (warmup, source) =
+        ScenarioSource::new(model.as_ref(), seed).split_warmup_secs(spec.warmup_secs);
+    let run = run_stream(factory, &warmup, source, &StreamConfig::default())
+        .unwrap_or_else(|e| panic!("{}/{detector}: {e}", spec.name));
+    Cell {
+        detector: detector.to_string(),
+        threshold: run.report.threshold,
+        eval_packets: run.report.eval_packets,
+        families: run.report.family_recall,
+    }
+}
+
+/// Greatest max-minus-min recall across detectors on any family.
+fn max_family_spread(cells: &[Cell]) -> (f64, String) {
+    let mut best = (0.0f64, String::new());
+    let families: std::collections::BTreeSet<&str> =
+        cells.iter().flat_map(|c| c.families.iter().map(|f| f.family.as_str())).collect();
+    for family in families {
+        let recalls: Vec<f64> = cells
+            .iter()
+            .filter_map(|c| c.families.iter().find(|f| f.family == family).map(|f| f.recall))
+            .collect();
+        if recalls.len() < 2 {
+            continue;
+        }
+        let spread = recalls.iter().cloned().fold(f64::MIN, f64::max)
+            - recalls.iter().cloned().fold(f64::MAX, f64::min);
+        if spread > best.0 {
+            best = (spread, family.to_string());
+        }
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let seed = seed_from_args(&args);
+    let require_separation = args.iter().any(|a| a == "--require-separation");
+    let scale_name = match scale {
+        ScenarioScale::Tiny => "tiny",
+        ScenarioScale::Small => "small",
+        ScenarioScale::Full => "full",
+    };
+
+    let detectors = standard_detectors();
+    let native: Vec<ScenarioSpec> =
+        registry().into_iter().filter(|s| s.tier != Tier::Legacy).collect();
+
+    let mut separated = false;
+    let mut scenario_json = Vec::new();
+    for spec in &native {
+        eprintln!("## {} ({}) — {}", spec.name, spec.tier.name(), spec.summary);
+        let cells: Vec<Cell> = detectors
+            .iter()
+            .map(|(name, factory)| run_cell(spec, name, factory.as_ref(), scale, seed))
+            .collect();
+        for cell in &cells {
+            let rows: Vec<String> =
+                cell.families.iter().map(|f| format!("{}={:.3}", f.family, f.recall)).collect();
+            eprintln!(
+                "  {:<10} thr={:.4} eval={}  {}",
+                cell.detector,
+                cell.threshold,
+                cell.eval_packets,
+                if rows.is_empty() { "(benign only)".to_string() } else { rows.join("  ") }
+            );
+        }
+        let (spread, family) = max_family_spread(&cells);
+        if spread > SEPARATION_SPREAD {
+            separated = true;
+            eprintln!("  separation: {family} spread {spread:.3}");
+        }
+
+        let mut obj = String::new();
+        obj.push('{');
+        str_field(&mut obj, "scenario", spec.name);
+        obj.push(',');
+        str_field(&mut obj, "tier", spec.tier.name());
+        obj.push(',');
+        num_field(&mut obj, "warmup_secs", spec.warmup_secs);
+        obj.push(',');
+        obj.push_str("\"detectors\":[");
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                obj.push(',');
+            }
+            obj.push('{');
+            str_field(&mut obj, "detector", &cell.detector);
+            obj.push(',');
+            num_field(&mut obj, "threshold", cell.threshold);
+            obj.push(',');
+            num_field(&mut obj, "eval_packets", cell.eval_packets as f64);
+            obj.push(',');
+            obj.push_str("\"families\":[");
+            for (j, f) in cell.families.iter().enumerate() {
+                if j > 0 {
+                    obj.push(',');
+                }
+                obj.push_str(&f.to_json());
+            }
+            obj.push_str("]}");
+        }
+        obj.push_str("]}");
+        scenario_json.push(obj);
+    }
+
+    let json = format!(
+        "{{\"bench\":\"fig_scenarios\",\"scale\":\"{scale_name}\",\"seed\":{seed},\
+         \"scenarios\":[{}]}}",
+        scenario_json.join(",")
+    );
+    println!("BENCH {json}");
+    std::fs::write("BENCH_scenarios.json", format!("{json}\n"))
+        .expect("write BENCH_scenarios.json");
+
+    if require_separation && !separated {
+        eprintln!(
+            "--require-separation: no family spread above {SEPARATION_SPREAD} in any scenario"
+        );
+        std::process::exit(1);
+    }
+}

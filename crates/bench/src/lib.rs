@@ -10,7 +10,8 @@
 
 use idsbench_core::runner::DetectorFactory;
 use idsbench_core::EventDetector;
-use idsbench_datasets::{scenarios, Scenario, ScenarioScale};
+use idsbench_core::TrafficModel;
+use idsbench_datasets::ScenarioScale;
 use idsbench_dnn::{Dnn, DnnConfig};
 use idsbench_helad::{Helad, HeladConfig};
 use idsbench_kitsune::{Kitsune, KitsuneConfig};
@@ -59,9 +60,13 @@ pub fn detectors_with_precision(precision: Precision) -> Vec<(String, DetectorFa
     ]
 }
 
-/// The five dataset scenarios in Table IV's row order.
-pub fn standard_scenarios(scale: ScenarioScale) -> Vec<Scenario> {
-    scenarios::all_scenarios(scale)
+/// The five dataset scenarios in Table IV's row order, drawn from the
+/// `idsbench-trafficgen` registry (its `Legacy` tier) as streaming
+/// [`TrafficModel`]s. Any boxed model is also a batch
+/// [`Dataset`](idsbench_core::Dataset), so `run_grid` call sites keep
+/// working with `&scenario as &dyn Dataset`.
+pub fn standard_scenarios(scale: ScenarioScale) -> Vec<Box<dyn TrafficModel>> {
+    idsbench_trafficgen::table4_models(scale)
 }
 
 /// One cell of the paper's published Table IV.

@@ -15,6 +15,8 @@ pub enum AttackKind {
     SynFlood,
     /// UDP flood (BoT-IoT, Mirai).
     UdpFlood,
+    /// ICMP echo flood / ping flood (BoT-IoT "DoS-ICMP" category).
+    IcmpFlood,
     /// HTTP request flood / application-layer DoS (CICIDS2017).
     HttpFlood,
     /// Vertical port scan against one host (UNSW-NB15 "Reconnaissance",
@@ -42,9 +44,10 @@ pub enum AttackKind {
 
 impl AttackKind {
     /// All attack kinds, in declaration order.
-    pub const ALL: [AttackKind; 12] = [
+    pub const ALL: [AttackKind; 13] = [
         AttackKind::SynFlood,
         AttackKind::UdpFlood,
+        AttackKind::IcmpFlood,
         AttackKind::HttpFlood,
         AttackKind::PortScan,
         AttackKind::AddressSweep,
@@ -62,6 +65,7 @@ impl AttackKind {
         match self {
             AttackKind::SynFlood => "syn-flood",
             AttackKind::UdpFlood => "udp-flood",
+            AttackKind::IcmpFlood => "icmp-flood",
             AttackKind::HttpFlood => "http-flood",
             AttackKind::PortScan => "port-scan",
             AttackKind::AddressSweep => "address-sweep",
@@ -83,6 +87,7 @@ impl AttackKind {
             self,
             AttackKind::SynFlood
                 | AttackKind::UdpFlood
+                | AttackKind::IcmpFlood
                 | AttackKind::HttpFlood
                 | AttackKind::AddressSweep
         )

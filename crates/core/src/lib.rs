@@ -48,6 +48,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod threshold;
+pub mod traffic;
 
 pub use arena::PayloadArena;
 pub use dataset::{Dataset, DatasetInfo};
@@ -57,7 +58,9 @@ pub use event::{
     Event, EventDetector, EventFactory, FlowEventAssembler, FlowMigration, ParsedView, TrainView,
 };
 pub use label::{AttackKind, Label, LabeledPacket};
+pub use metrics::{FamilyCounts, FamilyOutcome};
 pub use report::ScaleEvent;
+pub use traffic::{PacketStream, ScenarioScale, TrafficModel};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -154,6 +154,112 @@ impl Metrics {
     }
 }
 
+/// Raw per-attack-family tallies, accumulated while scoring and merged
+/// across shards/peers exactly like confusion counts.
+///
+/// `packets` and `flows` split the family's scored items by event shape:
+/// a packet-format detector scores [`Event::Packet`]s (so `flows == 0`),
+/// a flow-format detector scores [`Event::FlowEvicted`]s (so
+/// `packets == 0`) — keeping both makes the split visible when outcomes
+/// from differently-shaped detectors sit in one table.
+///
+/// [`Event::Packet`]: crate::event::Event::Packet
+/// [`Event::FlowEvicted`]: crate::event::Event::FlowEvicted
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FamilyCounts {
+    /// Scored items of this family at or above the alert threshold.
+    pub alerts: usize,
+    /// Packet events of this family scored.
+    pub packets: usize,
+    /// Flow-eviction events of this family scored.
+    pub flows: usize,
+}
+
+impl FamilyCounts {
+    /// Tallies one scored event of this family.
+    pub fn record(&mut self, alert: bool, is_flow: bool) {
+        self.alerts += usize::from(alert);
+        if is_flow {
+            self.flows += 1;
+        } else {
+            self.packets += 1;
+        }
+    }
+
+    /// Adds another shard's tallies (the cross-shard/cross-peer merge).
+    pub fn merge(&mut self, other: &FamilyCounts) {
+        self.alerts += other.alerts;
+        self.packets += other.packets;
+        self.flows += other.flows;
+    }
+
+    /// Total scored items of this family.
+    pub fn items(&self) -> usize {
+        self.packets + self.flows
+    }
+}
+
+/// The per-attack-family outcome row of an experiment or stream report:
+/// named fields instead of the historical `(name, recall, count)` tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyOutcome {
+    /// Attack family name (`AttackKind::name()`).
+    pub family: String,
+    /// Fraction of this family's scored items that raised an alert.
+    pub recall: f64,
+    /// Scored items of this family at or above the alert threshold.
+    pub alerts: usize,
+    /// Packet events of this family scored.
+    pub packets: usize,
+    /// Flow-eviction events of this family scored.
+    pub flows: usize,
+}
+
+impl FamilyOutcome {
+    /// Builds the outcome row from raw tallies.
+    pub fn from_counts(family: &str, counts: &FamilyCounts) -> Self {
+        FamilyOutcome {
+            family: family.to_string(),
+            recall: counts.alerts as f64 / counts.items().max(1) as f64,
+            alerts: counts.alerts,
+            packets: counts.packets,
+            flows: counts.flows,
+        }
+    }
+
+    /// Total scored items of this family (packets + flows).
+    pub fn items(&self) -> usize {
+        self.packets + self.flows
+    }
+
+    /// Serializes this row as a JSON object (the hand-rolled convention
+    /// shared by `Experiment` and `StreamReport` serialization).
+    pub fn to_json(&self) -> String {
+        use crate::json::{num_field, str_field};
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        str_field(&mut out, "family", &self.family);
+        out.push(',');
+        num_field(&mut out, "recall", self.recall);
+        out.push(',');
+        num_field(&mut out, "alerts", self.alerts as f64);
+        out.push(',');
+        num_field(&mut out, "packets", self.packets as f64);
+        out.push(',');
+        num_field(&mut out, "flows", self.flows as f64);
+        out.push('}');
+        out
+    }
+}
+
+/// Folds a per-family tally map into sorted [`FamilyOutcome`] rows — the
+/// one rendering rule shared by the batch runner and the stream merge.
+pub fn family_outcomes(
+    families: &std::collections::BTreeMap<&'static str, FamilyCounts>,
+) -> Vec<FamilyOutcome> {
+    families.iter().map(|(name, counts)| FamilyOutcome::from_counts(name, counts)).collect()
+}
+
 /// One point of a ROC or precision-recall curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CurvePoint {

@@ -184,10 +184,8 @@ pub fn render_family_breakdown(dataset: &str, experiments: &[Experiment]) -> Str
     if rows.is_empty() {
         return out;
     }
-    let mut families: Vec<&str> = rows
-        .iter()
-        .flat_map(|e| e.family_recall.iter().map(|(name, _, _)| name.as_str()))
-        .collect();
+    let mut families: Vec<&str> =
+        rows.iter().flat_map(|e| e.family_recall.iter().map(|f| f.family.as_str())).collect();
     families.sort_unstable();
     families.dedup();
 
@@ -204,12 +202,13 @@ pub fn render_family_breakdown(dataset: &str, experiments: &[Experiment]) -> Str
     for family in families {
         let count = rows
             .iter()
-            .find_map(|e| e.family_recall.iter().find(|(n, _, _)| n == family).map(|(_, _, c)| *c))
+            .find_map(|e| e.family_recall.iter().find(|f| f.family == family).map(|f| f.items()))
             .unwrap_or(0);
         let _ = write!(out, "| {family} ({count}) |");
         for e in &rows {
-            match e.family_recall.iter().find(|(n, _, _)| n == family) {
-                Some((_, recall, _)) => {
+            match e.family_recall.iter().find(|f| f.family == family) {
+                Some(f) => {
+                    let recall = f.recall;
                     let _ = write!(out, " {recall:.3} |");
                 }
                 None => {
@@ -312,7 +311,17 @@ mod tests {
             false_positive_rate: 0.05,
             train_seconds: 0.08,
             score_seconds: 0.02,
-            family_recall: vec![("syn-flood".to_string(), 0.9, 100)],
+            family_recall: vec![outcome("syn-flood", 0.9, 100)],
+        }
+    }
+
+    fn outcome(family: &str, recall: f64, packets: usize) -> crate::metrics::FamilyOutcome {
+        crate::metrics::FamilyOutcome {
+            family: family.to_string(),
+            recall,
+            alerts: (packets as f64 * recall).round() as usize,
+            packets,
+            flows: 0,
         }
     }
 
@@ -346,9 +355,9 @@ mod tests {
     #[test]
     fn family_breakdown_renders_per_detector_columns() {
         let mut a = experiment("A", "d1", 0.5);
-        a.family_recall = vec![("syn-flood".into(), 0.9, 50), ("stealth".into(), 0.1, 10)];
+        a.family_recall = vec![outcome("syn-flood", 0.9, 50), outcome("stealth", 0.1, 10)];
         let mut b = experiment("B", "d1", 0.6);
-        b.family_recall = vec![("syn-flood".into(), 0.4, 50)];
+        b.family_recall = vec![outcome("syn-flood", 0.4, 50)];
         let table = render_family_breakdown("d1", &[a, b]);
         assert!(table.contains("| syn-flood (50) | 0.900 | 0.400 |"), "{table}");
         assert!(table.contains("| stealth (10) | 0.100 | – |"), "{table}");

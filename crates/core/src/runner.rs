@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 use crate::dataset::Dataset;
 use crate::detector::InputFormat;
 use crate::event::{Event, EventDetector, EventFactory, FlowEventAssembler};
-use crate::metrics::{auc, roc_curve, ConfusionMatrix, Metrics};
+use crate::metrics::{
+    auc, family_outcomes, roc_curve, ConfusionMatrix, FamilyCounts, FamilyOutcome, Metrics,
+};
 use crate::preprocess::{EventInput, Pipeline, PipelineConfig};
 use crate::threshold::ThresholdPolicy;
 use crate::{AttackKind, CoreError, Result};
@@ -61,11 +63,10 @@ pub struct Experiment {
     /// [`Experiment::train_seconds`] so practicality comparisons do not
     /// launder training time into per-packet cost (or vice versa).
     pub score_seconds: f64,
-    /// Per-attack-family recall at the calibrated threshold:
-    /// `(family name, recall, evaluation items of that family)`, sorted by
+    /// Per-attack-family outcomes at the calibrated threshold, sorted by
     /// family name. The axis along which the paper explains every
     /// detector's wins and losses (Section V factor 1).
-    pub family_recall: Vec<(String, f64, usize)>,
+    pub family_recall: Vec<FamilyOutcome>,
 }
 
 /// The raw outcome of one event replay, before threshold calibration: one
@@ -192,22 +193,18 @@ pub fn evaluate(
     let cm = ConfusionMatrix::from_scores(&replayed.scores, &replayed.labels, threshold);
     let attacks = replayed.labels.iter().filter(|&&l| l).count();
 
-    // Per-family recall at the calibrated threshold.
-    let mut per_family: std::collections::BTreeMap<&'static str, (usize, usize)> =
+    // Per-family outcomes at the calibrated threshold. Every scored event
+    // shares the detector's declared input shape: packet-format detectors
+    // score packets, flow-format detectors score flow evictions.
+    let is_flow = detector.input_format() == InputFormat::Flows;
+    let mut per_family: std::collections::BTreeMap<&'static str, FamilyCounts> =
         std::collections::BTreeMap::new();
     for (score, kind) in replayed.scores.iter().zip(&replayed.kinds) {
         if let Some(kind) = kind {
-            let entry = per_family.entry(kind.name()).or_default();
-            entry.1 += 1;
-            if *score >= threshold {
-                entry.0 += 1;
-            }
+            per_family.entry(kind.name()).or_default().record(*score >= threshold, is_flow);
         }
     }
-    let family_recall: Vec<(String, f64, usize)> = per_family
-        .into_iter()
-        .map(|(name, (hit, total))| (name.to_string(), hit as f64 / total.max(1) as f64, total))
-        .collect();
+    let family_recall = family_outcomes(&per_family);
 
     let eval_items = replayed.labels.len();
     Ok(Experiment {
@@ -436,10 +433,14 @@ mod tests {
         // The toy dataset's attacks are all SynFlood; the oracle detector
         // catches all of them.
         assert_eq!(experiment.family_recall.len(), 1);
-        let (family, recall, count) = &experiment.family_recall[0];
-        assert_eq!(family, "syn-flood");
-        assert_eq!(*recall, 1.0);
-        assert!(*count > 0);
+        let outcome = &experiment.family_recall[0];
+        assert_eq!(outcome.family, "syn-flood");
+        assert_eq!(outcome.recall, 1.0);
+        assert!(outcome.items() > 0);
+        assert_eq!(outcome.alerts, outcome.items());
+        // LengthDetector is packet-format: every scored item is a packet.
+        assert_eq!(outcome.flows, 0);
+        assert_eq!(outcome.packets, outcome.items());
     }
 
     #[test]

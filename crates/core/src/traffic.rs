@@ -1,0 +1,151 @@
+//! The streaming workload contract: [`TrafficModel`] and [`ScenarioScale`].
+//!
+//! The batch [`Dataset`] trait materializes a whole realisation into a
+//! `Vec` — fine for Table IV grids, fatal for million-packet adversarial
+//! campaigns. [`TrafficModel`] is the streaming redesign: a seeded model
+//! produces its packets through an *iterator*, in non-decreasing timestamp
+//! order, so the sharded executor (and the multi-node fabric behind it)
+//! can pull traffic on demand with bounded memory. Batch consumers keep
+//! working: any `Box<dyn TrafficModel>` is also a [`Dataset`] whose
+//! `generate` collects the stream.
+//!
+//! One contract now serves all four consumers — the batch runner, the
+//! stream executor's `ScenarioSource`, the fabric coordinator, and the
+//! `idsbench-trafficgen` workload library.
+
+use crate::dataset::{Dataset, DatasetInfo};
+use crate::label::LabeledPacket;
+
+/// A seeded, owned stream of labeled packets in timestamp order.
+///
+/// Implementations own whatever state they need (`'static`), so a stream
+/// can be handed to a feeder thread without borrowing its model.
+pub type PacketStream = Box<dyn Iterator<Item = LabeledPacket> + Send>;
+
+/// A deterministic, streaming source of labeled traffic.
+///
+/// The contract:
+///
+/// * **Deterministic in `seed`** — the same seed yields a bitwise-identical
+///   packet stream (payload bytes, timestamps, labels).
+/// * **Timestamp-ordered** — packets arrive in non-decreasing `ts` order;
+///   consumers never re-sort.
+/// * **Streaming** — `stream` must not materialize the full realisation up
+///   front; memory stays bounded by the model's *concurrency* (active
+///   sessions), not its length. (Legacy [`Dataset`]-shaped scenarios that
+///   generate eagerly may satisfy the trait by wrapping their `Vec`; new
+///   generators must not.)
+pub trait TrafficModel: Send + Sync + std::fmt::Debug {
+    /// Dataset metadata (name, characteristics, selection rationale).
+    fn info(&self) -> &DatasetInfo;
+
+    /// Opens one seeded realisation as a packet stream.
+    fn stream(&self, seed: u64) -> PacketStream;
+
+    /// Collects one seeded realisation into a vector — the bridge to batch
+    /// consumers. Prefer [`TrafficModel::stream`] wherever a pull iterator
+    /// is usable.
+    fn materialize(&self, seed: u64) -> Vec<LabeledPacket> {
+        self.stream(seed).collect()
+    }
+}
+
+/// Any boxed model is a batch [`Dataset`]: `generate` collects the stream.
+/// This is what lets the `run_grid` batch driver and the streaming executor
+/// consume one registry of scenarios.
+impl Dataset for Box<dyn TrafficModel> {
+    fn info(&self) -> &DatasetInfo {
+        TrafficModel::info(&**self)
+    }
+
+    fn generate(&self, seed: u64) -> Vec<LabeledPacket> {
+        self.materialize(seed)
+    }
+}
+
+/// How large a realisation a scenario builder generates.
+///
+/// Lives in `idsbench-core` (rather than the datasets crate) because the
+/// scale knob parameterizes *every* workload builder behind the
+/// [`TrafficModel`] registry, not just the Table II scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioScale {
+    /// A few thousand packets — unit/integration tests.
+    Tiny,
+    /// Roughly a quarter of full scale — examples and quick runs.
+    Small,
+    /// Tens of thousands of packets — the Table IV reproduction.
+    Full,
+}
+
+impl ScenarioScale {
+    /// Multiplier applied to session counts, rates, and device counts.
+    pub fn factor(self) -> f64 {
+        match self {
+            ScenarioScale::Tiny => 0.05,
+            ScenarioScale::Small => 0.25,
+            ScenarioScale::Full => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use idsbench_net::{Packet, Timestamp};
+
+    /// A trivially streaming model: `n` benign packets, 1 ms apart, with
+    /// the seed folded into the payload so determinism is observable.
+    #[derive(Debug)]
+    struct Ticks {
+        info: DatasetInfo,
+        n: usize,
+    }
+
+    impl TrafficModel for Ticks {
+        fn info(&self) -> &DatasetInfo {
+            &self.info
+        }
+
+        fn stream(&self, seed: u64) -> PacketStream {
+            let n = self.n;
+            Box::new((0..n).map(move |i| {
+                LabeledPacket::new(
+                    Packet::new(
+                        Timestamp::from_micros(i as u64 * 1_000),
+                        vec![(seed as u8).wrapping_add(i as u8); 60],
+                    ),
+                    Label::Benign,
+                )
+            }))
+        }
+    }
+
+    fn model() -> Box<dyn TrafficModel> {
+        Box::new(Ticks { info: DatasetInfo::new("ticks", "", "", 2026), n: 16 })
+    }
+
+    #[test]
+    fn boxed_model_is_a_dataset() {
+        let m = model();
+        let d: &dyn Dataset = &m;
+        assert_eq!(d.info().name, "ticks");
+        assert_eq!(d.generate(7), m.materialize(7));
+        assert_eq!(d.generate(7).len(), 16);
+    }
+
+    #[test]
+    fn stream_matches_materialize_and_is_seed_deterministic() {
+        let m = model();
+        let streamed: Vec<LabeledPacket> = m.stream(3).collect();
+        assert_eq!(streamed, m.materialize(3));
+        assert_ne!(m.materialize(3), m.materialize(4));
+    }
+
+    #[test]
+    fn scale_factors_are_ordered() {
+        assert!(ScenarioScale::Tiny.factor() < ScenarioScale::Small.factor());
+        assert!(ScenarioScale::Small.factor() < ScenarioScale::Full.factor());
+    }
+}

@@ -47,5 +47,9 @@ mod session;
 
 pub use host::{Host, HostPool};
 pub use scenario::{split_at_fraction, Scenario, ScenarioBuilder, TrafficGenerator, TrafficStats};
-pub use scenarios::{all_scenarios, ScenarioScale};
-pub use session::SessionEmitter;
+pub use scenarios::table4_scenarios;
+pub use session::{exponential_gap, pareto, SessionEmitter};
+
+/// Re-exported from `idsbench-core`, where the scale knob now lives (it
+/// parameterizes every `TrafficModel` builder, not just these scenarios).
+pub use idsbench_core::ScenarioScale;

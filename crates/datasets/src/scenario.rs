@@ -1,6 +1,6 @@
 use std::collections::BTreeMap;
 
-use idsbench_core::{Dataset, DatasetInfo, LabeledPacket};
+use idsbench_core::{Dataset, DatasetInfo, LabeledPacket, PacketStream, TrafficModel};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -86,17 +86,6 @@ impl Scenario {
     pub fn stats(&self, seed: u64) -> TrafficStats {
         TrafficStats::of(&self.generate(seed))
     }
-
-    /// Generates one realisation and splits it into a leading warmup slice
-    /// and the remainder — the generator-as-source entry point for the
-    /// streaming engine. See [`split_at_fraction`] for the split rule.
-    pub fn generate_split(
-        &self,
-        seed: u64,
-        fraction: f64,
-    ) -> (Vec<LabeledPacket>, Vec<LabeledPacket>) {
-        split_at_fraction(self.generate(seed), fraction)
-    }
 }
 
 /// The batch pipeline's train/eval split rule, re-exported so generator
@@ -122,6 +111,24 @@ impl Dataset for Scenario {
         }
         out.sort_by_key(|lp| lp.packet.ts);
         out
+    }
+}
+
+/// The legacy Table II scenarios on the streaming contract. Component
+/// [`TrafficGenerator`]s are push-shaped, so the realisation is generated
+/// (and sorted) eagerly and the stream wraps the vector — acceptable at
+/// Table IV scale. Natively streaming models live in `idsbench-trafficgen`.
+impl TrafficModel for Scenario {
+    fn info(&self) -> &DatasetInfo {
+        &self.info
+    }
+
+    fn stream(&self, seed: u64) -> PacketStream {
+        Box::new(self.generate(seed).into_iter())
+    }
+
+    fn materialize(&self, seed: u64) -> Vec<LabeledPacket> {
+        self.generate(seed)
     }
 }
 

@@ -270,16 +270,17 @@ fn chunks(total: usize, mss: usize) -> Vec<usize> {
     out
 }
 
-/// Draws from a bounded Pareto distribution (heavy-tailed sizes for
-/// enterprise traffic).
-pub(crate) fn pareto(rng: &mut SmallRng, min: f64, alpha: f64, cap: f64) -> f64 {
+/// Draws from a bounded Pareto distribution (heavy-tailed sizes and
+/// durations for realistic traffic). Shared with `idsbench-trafficgen`'s
+/// streaming generators.
+pub fn pareto(rng: &mut SmallRng, min: f64, alpha: f64, cap: f64) -> f64 {
     let u: f64 = rng.random_range(f64::EPSILON..1.0);
     (min / u.powf(1.0 / alpha)).min(cap)
 }
 
 /// Draws an exponential inter-arrival gap with the given mean (Poisson
-/// process).
-pub(crate) fn exponential_gap(rng: &mut SmallRng, mean: f64) -> f64 {
+/// process). Shared with `idsbench-trafficgen`'s streaming generators.
+pub fn exponential_gap(rng: &mut SmallRng, mean: f64) -> f64 {
     let u: f64 = rng.random_range(f64::EPSILON..1.0);
     -mean * u.ln()
 }

@@ -12,7 +12,7 @@ proptest! {
     /// Determinism: the same seed yields byte-identical traffic.
     #[test]
     fn scenarios_are_deterministic_for_any_seed(seed in any::<u64>()) {
-        for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+        for scenario in scenarios::table4_scenarios(ScenarioScale::Tiny) {
             let a = scenario.generate(seed);
             let b = scenario.generate(seed);
             prop_assert_eq!(a.len(), b.len());
@@ -31,7 +31,7 @@ proptest! {
             ("Stratosphere", 0.05, 0.55),
             ("Mirai", 0.45, 0.99),
         ];
-        for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+        for scenario in scenarios::table4_scenarios(ScenarioScale::Tiny) {
             let packets = scenario.generate(seed);
             let stats = TrafficStats::of(&packets);
             let (_, lo, hi) = bands
@@ -53,7 +53,7 @@ proptest! {
     /// Every packet of every scenario parses (byte-valid traffic).
     #[test]
     fn all_packets_parse(seed in any::<u64>()) {
-        for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+        for scenario in scenarios::table4_scenarios(ScenarioScale::Tiny) {
             for lp in scenario.generate(seed) {
                 prop_assert!(ParsedPacket::parse(&lp.packet).is_ok());
             }

@@ -416,15 +416,16 @@ fn put_online(out: &mut Vec<u8>, stats: &OnlineStats) {
         put_u64(out, *packets as u64);
     }
     put_u32(out, stats.families.len() as u32);
-    for (&family, &(hit, total)) in &stats.families {
+    for (&family, counts) in &stats.families {
         // Family keys are `AttackKind::name()` values; the index encoding
         // keeps the wire independent of name spelling and restores the
         // `&'static str` keys on decode.
         let index =
             AttackKind::ALL.iter().position(|k| k.name() == family).expect("family is a kind name");
         put_u8(out, index as u8);
-        put_u64(out, hit as u64);
-        put_u64(out, total as u64);
+        put_u64(out, counts.alerts as u64);
+        put_u64(out, counts.packets as u64);
+        put_u64(out, counts.flows as u64);
     }
     let buckets: Vec<(usize, u64)> = stats.latency.nonzero_buckets().collect();
     put_u32(out, buckets.len() as u32);
@@ -447,9 +448,12 @@ fn read_online(r: &mut WireReader<'_>) -> WireResult<OnlineStats> {
     for _ in 0..r.count(AttackKind::ALL.len())? {
         let index = r.u8()? as usize;
         let kind = AttackKind::ALL.get(index).ok_or(WireError::BadTag(index as u8))?;
-        let hit = r.u64()? as usize;
-        let total = r.u64()? as usize;
-        stats.families.insert(kind.name(), (hit, total));
+        let counts = idsbench_core::metrics::FamilyCounts {
+            alerts: r.u64()? as usize,
+            packets: r.u64()? as usize,
+            flows: r.u64()? as usize,
+        };
+        stats.families.insert(kind.name(), counts);
     }
     for _ in 0..r.count(LatencyHistogram::bucket_slots())? {
         let index = r.u32()? as usize;
@@ -872,6 +876,7 @@ mod tests {
                 3.0,
                 i % 3 == 0,
                 (i % 5 == 0).then_some(AttackKind::SynFlood),
+                i % 4 == 0,
                 i * 900,
             );
         }

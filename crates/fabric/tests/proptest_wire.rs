@@ -139,11 +139,22 @@ fn arb_event() -> impl Strategy<Value = ScoredEvent> {
 /// recording events — so every encoded field (confusion matrix, windows,
 /// families, latency buckets) is internally consistent.
 fn arb_online() -> impl Strategy<Value = (Box<OnlineStats>, f64)> {
-    (vec((0u64..16, 0.0f64..2.0, any::<bool>(), arb_kind(), any::<u64>()), 0..64), 0.1f64..1.9)
+    (
+        vec((0u64..16, 0.0f64..2.0, any::<bool>(), arb_kind(), any::<bool>(), any::<u64>()), 0..64),
+        0.1f64..1.9,
+    )
         .prop_map(|(events, threshold)| {
             let mut stats = OnlineStats::default();
-            for (window, score, label, kind, latency) in events {
-                stats.record(window, score, threshold, label, kind, latency % 1_000_000_000);
+            for (window, score, label, kind, is_flow, latency) in events {
+                stats.record(
+                    window,
+                    score,
+                    threshold,
+                    label,
+                    kind,
+                    is_flow,
+                    latency % 1_000_000_000,
+                );
             }
             (Box::new(stats), threshold)
         })

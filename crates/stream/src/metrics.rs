@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use idsbench_core::metrics::ConfusionMatrix;
+use idsbench_core::metrics::{family_outcomes, ConfusionMatrix, FamilyCounts, FamilyOutcome};
 use idsbench_core::AttackKind;
 
 /// Tumbling-window index of a traffic timestamp — the one boundary rule
@@ -93,13 +93,12 @@ fn windows_from_parts(
         .collect()
 }
 
-fn families_from_parts(
-    per_family: BTreeMap<&'static str, (usize, usize)>,
-) -> Vec<(String, f64, usize)> {
-    per_family
-        .into_iter()
-        .map(|(name, (hit, total))| (name.to_string(), hit as f64 / total.max(1) as f64, total))
-        .collect()
+/// Whether a scored event was a flow eviction rather than a packet event.
+/// Packet events carry `sub == 0` and a real feeder sequence; evictions are
+/// either triggered by a later packet (`sub > 0`) or the end-of-stream flush
+/// (`seq == u64::MAX`).
+fn is_flow_event(r: &ScoredEvent) -> bool {
+    r.sub > 0 || r.seq == u64::MAX
 }
 
 /// Folds scored events into per-window metrics at a resolved threshold.
@@ -118,21 +117,20 @@ pub fn window_metrics(
     windows_from_parts(by_window, window_secs)
 }
 
-/// Per-family recall at a resolved threshold:
-/// `(family name, recall, events of that family)`, sorted by family name —
-/// the same shape the batch runner reports.
-pub fn family_recall(records: &[ScoredEvent], threshold: f64) -> Vec<(String, f64, usize)> {
-    let mut per_family: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+/// Per-family detection outcomes at a resolved threshold, sorted by family
+/// name — the same [`FamilyOutcome`] shape the batch runner reports. Packet
+/// events count toward `packets`, flow evictions toward `flows`.
+pub fn family_recall(records: &[ScoredEvent], threshold: f64) -> Vec<FamilyOutcome> {
+    let mut per_family: BTreeMap<&'static str, FamilyCounts> = BTreeMap::new();
     for r in records {
         if let Some(kind) = r.kind {
-            let entry = per_family.entry(kind.name()).or_default();
-            entry.1 += 1;
-            if r.score >= threshold {
-                entry.0 += 1;
-            }
+            per_family
+                .entry(kind.name())
+                .or_default()
+                .record(r.score >= threshold, is_flow_event(r));
         }
     }
-    families_from_parts(per_family)
+    family_outcomes(&per_family)
 }
 
 /// Pure online aggregation of scored events against a fixed threshold —
@@ -147,8 +145,8 @@ pub struct OnlineStats {
     pub cm: ConfusionMatrix,
     /// Per-window confusion counts and event totals.
     pub windows: BTreeMap<u64, (ConfusionMatrix, usize)>,
-    /// Per-family `(alerts, total)` counts.
-    pub families: BTreeMap<&'static str, (usize, usize)>,
+    /// Per-family alert/packet/flow counts.
+    pub families: BTreeMap<&'static str, FamilyCounts>,
     /// Scoring-latency histogram (log-bucketed).
     pub latency: LatencyHistogram,
     /// Scored events folded in.
@@ -158,7 +156,9 @@ pub struct OnlineStats {
 }
 
 impl OnlineStats {
-    /// Folds one scored event in.
+    /// Folds one scored event in. `is_flow` distinguishes flow-eviction
+    /// events from packet events for the per-family item breakdown.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         window: u64,
@@ -166,6 +166,7 @@ impl OnlineStats {
         threshold: f64,
         label: bool,
         kind: Option<AttackKind>,
+        is_flow: bool,
         latency_nanos: u64,
     ) {
         let alert = score >= threshold;
@@ -174,11 +175,7 @@ impl OnlineStats {
         cm.record(alert, label);
         *packets += 1;
         if let Some(kind) = kind {
-            let entry = self.families.entry(kind.name()).or_default();
-            entry.1 += 1;
-            if alert {
-                entry.0 += 1;
-            }
+            self.families.entry(kind.name()).or_default().record(alert, is_flow);
         }
         self.latency.record(latency_nanos);
         self.events += 1;
@@ -193,10 +190,8 @@ impl OnlineStats {
             entry.0.merge(&cm);
             entry.1 += packets;
         }
-        for (&family, &(hit, total)) in &other.families {
-            let entry = self.families.entry(family).or_default();
-            entry.0 += hit;
-            entry.1 += total;
+        for (&family, counts) in &other.families {
+            self.families.entry(family).or_default().merge(counts);
         }
         self.latency.merge(&other.latency);
         self.events += other.events;
@@ -208,9 +203,9 @@ impl OnlineStats {
         windows_from_parts(self.windows.clone(), window_secs)
     }
 
-    /// Renders the per-family recall (same shape as replay mode).
-    pub fn family_recall(&self) -> Vec<(String, f64, usize)> {
-        families_from_parts(self.families.clone())
+    /// Renders the per-family outcomes (same shape as replay mode).
+    pub fn family_recall(&self) -> Vec<FamilyOutcome> {
+        family_outcomes(&self.families)
     }
 }
 
@@ -323,7 +318,28 @@ mod tests {
         records[0].kind = Some(AttackKind::SynFlood);
         records[1].kind = Some(AttackKind::SynFlood);
         let families = family_recall(&records, 0.5);
-        assert_eq!(families, vec![("syn-flood".to_string(), 0.5, 2)]);
+        assert_eq!(families.len(), 1);
+        assert_eq!(families[0].family, "syn-flood");
+        assert_eq!(families[0].recall, 0.5);
+        assert_eq!(families[0].alerts, 1);
+        assert_eq!(families[0].packets, 2);
+        assert_eq!(families[0].flows, 0);
+    }
+
+    #[test]
+    fn family_recall_splits_packets_from_flows() {
+        let mut packet_event = record(4, 0, 0.9, true);
+        packet_event.kind = Some(AttackKind::PortScan);
+        let mut eviction = record(5, 0, 0.9, true);
+        eviction.sub = 1;
+        eviction.kind = Some(AttackKind::PortScan);
+        let mut flush = record(u64::MAX, 0, 0.1, true);
+        flush.kind = Some(AttackKind::PortScan);
+        let families = family_recall(&[packet_event, eviction, flush], 0.5);
+        assert_eq!(families[0].packets, 1);
+        assert_eq!(families[0].flows, 2);
+        assert_eq!(families[0].alerts, 2);
+        assert_eq!(families[0].items(), 3);
     }
 
     #[test]
@@ -337,7 +353,7 @@ mod tests {
         let threshold = 0.5;
         let mut online = OnlineStats::default();
         for r in &records {
-            online.record(r.window, r.score, threshold, r.label, r.kind, r.latency_nanos);
+            online.record(r.window, r.score, threshold, r.label, r.kind, false, r.latency_nanos);
         }
         assert_eq!(online.events, 4);
         assert_eq!(online.attacks, 2);
@@ -353,8 +369,8 @@ mod tests {
         let mut whole = OnlineStats::default();
         for (i, r) in (0..10).map(|i| record(i, i / 3, i as f64 / 10.0, i % 2 == 0)).enumerate() {
             let half = if i % 2 == 0 { &mut a } else { &mut b };
-            half.record(r.window, r.score, threshold, r.label, r.kind, r.latency_nanos);
-            whole.record(r.window, r.score, threshold, r.label, r.kind, r.latency_nanos);
+            half.record(r.window, r.score, threshold, r.label, r.kind, false, r.latency_nanos);
+            whole.record(r.window, r.score, threshold, r.label, r.kind, false, r.latency_nanos);
         }
         a.merge(&b);
         assert_eq!(a.events, whole.events);

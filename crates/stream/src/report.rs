@@ -1,7 +1,7 @@
 //! The streaming run report and its reconciliation with the batch
 //! [`Experiment`] shape.
 
-use idsbench_core::metrics::Metrics;
+use idsbench_core::metrics::{FamilyOutcome, Metrics};
 use idsbench_core::runner::Experiment;
 use idsbench_core::ScaleEvent;
 
@@ -63,8 +63,8 @@ pub struct StreamReport {
     /// zero-buffer mode (fixed threshold), where no scores are recorded to
     /// rank.
     pub auc: f64,
-    /// Per-attack-family recall, sorted by family name.
-    pub family_recall: Vec<(String, f64, usize)>,
+    /// Per-attack-family detection outcomes, sorted by family name.
+    pub family_recall: Vec<FamilyOutcome>,
     /// Detection quality per tumbling traffic-time window.
     pub windows: Vec<WindowMetrics>,
     /// Wall-clock throughput and latency summary.
@@ -156,17 +156,11 @@ impl StreamReport {
         json_num(&mut out, "train_seconds", self.throughput.train_seconds);
         out.push(',');
         out.push_str("\"family_recall\":[");
-        for (i, (family, recall, packets)) in self.family_recall.iter().enumerate() {
+        for (i, outcome) in self.family_recall.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push('{');
-            json_str(&mut out, "family", family);
-            out.push(',');
-            json_num(&mut out, "recall", *recall);
-            out.push(',');
-            json_num(&mut out, "packets", *packets as f64);
-            out.push('}');
+            out.push_str(&outcome.to_json());
         }
         out.push_str("],\"windows\":[");
         for (i, w) in self.windows.iter().enumerate() {
@@ -247,7 +241,13 @@ mod tests {
             metrics: Metrics { accuracy: 0.9, precision: 1.0, recall: 0.5, f1: 2.0 / 3.0 },
             false_positive_rate: 0.0,
             auc: 0.95,
-            family_recall: vec![("syn-flood".to_string(), 0.5, 9)],
+            family_recall: vec![FamilyOutcome {
+                family: "syn-flood".to_string(),
+                recall: 0.5,
+                alerts: 4,
+                packets: 9,
+                flows: 0,
+            }],
             windows: vec![WindowMetrics {
                 index: 0,
                 start_secs: 0.0,

@@ -94,6 +94,10 @@ impl Recorder {
                 *threshold,
                 label.is_attack(),
                 label.attack_kind(),
+                // Flow evictions carry `sub > 0` (triggered by a later
+                // packet) or the flush sentinel; packet events carry
+                // neither. Same rule the replay path applies to records.
+                sub > 0 || seq == u64::MAX,
                 latency_nanos,
             ),
         }

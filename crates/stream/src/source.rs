@@ -12,7 +12,9 @@ use std::io::{BufReader, Read};
 use std::path::Path;
 
 use crossbeam::channel;
-use idsbench_core::{CoreError, Dataset, Label, LabeledPacket, PayloadArena, Result};
+use idsbench_core::{
+    CoreError, Label, LabeledPacket, PacketStream, PayloadArena, Result, TrafficModel,
+};
 use idsbench_net::pcap::PcapReader;
 use idsbench_net::Packet;
 
@@ -86,23 +88,36 @@ impl PacketSource for VecSource {
     }
 }
 
-/// A source backed by a dataset scenario: one seeded realisation, replayed
-/// in timestamp order.
+/// A source backed by a [`TrafficModel`]: one seeded realisation, pulled
+/// lazily in timestamp order.
 ///
-/// Generation happens eagerly at construction (scenario generators are
-/// batch-shaped); the streaming engine still *consumes* the result packet by
-/// packet, which is the property the evaluation depends on.
-#[derive(Debug)]
+/// Construction opens the model's stream but generates nothing; packets
+/// materialise one at a time as the executor pulls. Natively streaming
+/// models (the `idsbench-trafficgen` campaigns) therefore never hold a full
+/// realisation in memory; the legacy `Scenario` models realise eagerly
+/// inside their own `stream` and only the iteration is deferred.
 pub struct ScenarioSource {
-    inner: VecSource,
+    name: String,
+    stream: PacketStream,
+    /// One-packet lookahead: [`ScenarioSource::split_warmup_secs`] pulls
+    /// until it sees the first eval-side packet, which must not be lost.
+    pending: Option<LabeledPacket>,
+}
+
+impl std::fmt::Debug for ScenarioSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioSource").field("name", &self.name).finish_non_exhaustive()
+    }
 }
 
 impl ScenarioSource {
-    /// Generates one realisation of `dataset` with `seed`.
-    pub fn new(dataset: &dyn Dataset, seed: u64) -> Self {
-        let mut packets = dataset.generate(seed);
-        packets.sort_by_key(|lp| lp.packet.ts);
-        ScenarioSource { inner: VecSource::new(dataset.info().name.clone(), packets) }
+    /// Opens one realisation of `model` with `seed`.
+    pub fn new(model: &dyn TrafficModel, seed: u64) -> Self {
+        ScenarioSource {
+            name: model.info().name.clone(),
+            stream: model.stream(seed),
+            pending: None,
+        }
     }
 
     /// Splits off the leading `fraction` of packets as a warmup slice,
@@ -110,31 +125,47 @@ impl ScenarioSource {
     ///
     /// Delegates to [`idsbench_datasets::split_at_fraction`], the batch
     /// pipeline's train/eval split rule, so a streaming run over the
-    /// remainder scores exactly the packets the batch runner scores.
+    /// remainder scores exactly the packets the batch runner scores. The
+    /// fraction rule needs the total count, so this call drains the stream —
+    /// use [`ScenarioSource::split_warmup_secs`] to keep a long-running
+    /// model streaming.
     pub fn split_warmup(self, fraction: f64) -> (Vec<LabeledPacket>, Self) {
-        let packets: Vec<LabeledPacket> = self.inner.packets.into();
+        let name = self.name.clone();
+        let packets: Vec<LabeledPacket> = self.pending.into_iter().chain(self.stream).collect();
         let (warmup, rest) = idsbench_datasets::split_at_fraction(packets, fraction);
-        (warmup, ScenarioSource { inner: VecSource::new(self.inner.name, rest) })
+        (warmup, ScenarioSource { name, stream: Box::new(rest.into_iter()), pending: None })
     }
 
-    /// Packets remaining.
-    pub fn len(&self) -> usize {
-        self.inner.len()
-    }
-
-    /// Whether the source is exhausted.
-    pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+    /// Splits off every packet with a timestamp before `secs` as a warmup
+    /// slice, leaving this source streaming the remainder.
+    ///
+    /// Unlike [`ScenarioSource::split_warmup`] this never materialises the
+    /// eval side: only the warmup prefix is collected, and the stream is
+    /// consumed exactly one packet past the boundary (held in a lookahead
+    /// slot). This is the split the scenario registry's `warmup_secs`
+    /// drives.
+    pub fn split_warmup_secs(mut self, secs: f64) -> (Vec<LabeledPacket>, Self) {
+        let mut warmup = Vec::new();
+        debug_assert!(self.pending.is_none(), "split before first pull");
+        for packet in self.stream.by_ref() {
+            if packet.packet.ts.as_secs_f64() < secs {
+                warmup.push(packet);
+            } else {
+                self.pending = Some(packet);
+                break;
+            }
+        }
+        (warmup, self)
     }
 }
 
 impl PacketSource for ScenarioSource {
     fn name(&self) -> &str {
-        self.inner.name()
+        &self.name
     }
 
     fn next_packet(&mut self) -> Result<Option<LabeledPacket>> {
-        self.inner.next_packet()
+        Ok(self.pending.take().or_else(|| self.stream.next()))
     }
 }
 
@@ -384,6 +415,51 @@ mod tests {
             out.push(p);
         }
         out
+    }
+
+    /// One packet per second, benign — enough to exercise the lazy source.
+    #[derive(Debug)]
+    struct Ticks {
+        info: idsbench_core::DatasetInfo,
+        count: usize,
+    }
+
+    impl TrafficModel for Ticks {
+        fn info(&self) -> &idsbench_core::DatasetInfo {
+            &self.info
+        }
+
+        fn stream(&self, _seed: u64) -> PacketStream {
+            let count = self.count;
+            Box::new((0..count).map(|i| {
+                LabeledPacket::new(
+                    Packet::new(Timestamp::from_micros(i as u64 * 1_000_000), vec![0u8; 60]),
+                    Label::Benign,
+                )
+            }))
+        }
+    }
+
+    fn ticks(count: usize) -> Ticks {
+        Ticks { info: idsbench_core::DatasetInfo::new("ticks", "", "", 2026), count }
+    }
+
+    #[test]
+    fn scenario_source_pulls_lazily_from_the_model() {
+        let model = ticks(5);
+        let source = ScenarioSource::new(&model, 7);
+        assert_eq!(source.name(), "ticks");
+        assert_eq!(drain(source).len(), 5);
+    }
+
+    #[test]
+    fn split_warmup_secs_streams_the_eval_side() {
+        let model = ticks(10);
+        let (warmup, rest) = ScenarioSource::new(&model, 0).split_warmup_secs(3.0);
+        assert_eq!(warmup.len(), 3, "ticks at 0,1,2s are warmup");
+        let rest = drain(rest);
+        assert_eq!(rest.len(), 7, "lookahead packet at 3s must not be lost");
+        assert_eq!(rest[0].packet.ts.as_micros(), 3_000_000);
     }
 
     #[test]

@@ -15,12 +15,13 @@ struct Event {
     score: f64,
     label: bool,
     kind: Option<AttackKind>,
+    is_flow: bool,
     latency_nanos: u64,
 }
 
 fn event_strategy() -> impl Strategy<Value = Event> {
-    (0u64..6, 0.0f64..1.0, any::<bool>(), 0u8..8, 0u64..5_000_000).prop_map(
-        |(window, score, label, kind_pick, latency_nanos)| Event {
+    (0u64..6, 0.0f64..1.0, any::<bool>(), 0u8..8, any::<bool>(), 0u64..5_000_000).prop_map(
+        |(window, score, label, kind_pick, is_flow, latency_nanos)| Event {
             window,
             score,
             label,
@@ -31,6 +32,7 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                 3 => Some(AttackKind::BotnetC2),
                 _ => None,
             },
+            is_flow,
             latency_nanos,
         },
     )
@@ -41,7 +43,7 @@ const THRESHOLD: f64 = 0.5;
 fn fold(events: &[Event]) -> OnlineStats {
     let mut stats = OnlineStats::default();
     for e in events {
-        stats.record(e.window, e.score, THRESHOLD, e.label, e.kind, e.latency_nanos);
+        stats.record(e.window, e.score, THRESHOLD, e.label, e.kind, e.is_flow, e.latency_nanos);
     }
     stats
 }

@@ -1,0 +1,230 @@
+//! Trace-shaped benign processes: VOIP, video, and web session slots.
+//!
+//! Each process models one *session slot* of a client — an endless
+//! idle/session alternation with heavy-tailed (bounded-Pareto) session
+//! durations and Poisson idle gaps, truncated at the scenario horizon.
+//! Concurrency comes from spawning many slots per client mix; the
+//! [`CampaignStream`](crate::CampaignStream) merge interleaves them, so at
+//! any moment the stream carries many concurrent sessions without any
+//! process holding more than its current burst in memory.
+
+use idsbench_core::{Label, LabeledPacket};
+use idsbench_datasets::{exponential_gap, pareto, Host, SessionEmitter};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::process::Process;
+
+/// One VOIP call slot: idle gaps, then RTP-like UDP media (50 packets/s
+/// each direction, 172-byte payloads) emitted in one-second chunks, with
+/// call durations drawn from a bounded Pareto.
+#[derive(Debug, Clone)]
+pub struct VoipSlot {
+    /// Calling endpoint.
+    pub client: Host,
+    /// Media gateway / callee.
+    pub server: Host,
+    /// Mean idle time between calls, seconds.
+    pub mean_idle: f64,
+    /// No new call starts at or after this traffic time.
+    pub horizon: f64,
+    t: f64,
+    remaining_call: f64,
+    sport: u16,
+    done: bool,
+}
+
+impl VoipSlot {
+    /// Creates an idle slot starting at `start`.
+    pub fn new(client: Host, server: Host, start: f64, mean_idle: f64, horizon: f64) -> Self {
+        VoipSlot {
+            client,
+            server,
+            mean_idle,
+            horizon,
+            t: start,
+            remaining_call: 0.0,
+            sport: 0,
+            done: false,
+        }
+    }
+}
+
+impl Process for VoipSlot {
+    fn name(&self) -> &'static str {
+        "voip"
+    }
+
+    fn next_at(&self) -> Option<f64> {
+        (!self.done).then_some(self.t)
+    }
+
+    fn emit(&mut self, rng: &mut SmallRng, out: &mut Vec<LabeledPacket>) {
+        if self.remaining_call <= 0.0 {
+            self.t += exponential_gap(rng, self.mean_idle);
+            if self.t >= self.horizon {
+                self.done = true;
+                return;
+            }
+            self.remaining_call = pareto(rng, 4.0, 1.2, 90.0);
+            self.sport = rng.random_range(16_384..32_768);
+            return;
+        }
+        // One second of media (or the tail of the call), both directions.
+        let span = self.remaining_call.min(1.0).min((self.horizon - self.t).max(0.05));
+        let mut em = SessionEmitter::new(out, Label::Benign);
+        let frames = (span * 25.0).ceil() as usize;
+        for i in 0..frames {
+            let ts = self.t + i as f64 * 0.04 + rng.random_range(0.0..0.004);
+            em.udp_packet(self.client, self.server, self.sport, 7078, 172, ts);
+            em.udp_packet(self.server, self.client, 7078, self.sport, 172, ts + 0.005);
+        }
+        self.t += span;
+        self.remaining_call -= span;
+        if self.t >= self.horizon {
+            self.done = true;
+        }
+    }
+}
+
+/// One video-streaming slot: idle gaps, then a TCP session fetching a
+/// heavy-tailed number of segments (DASH-shaped request/response bursts).
+#[derive(Debug, Clone)]
+pub struct VideoSlot {
+    /// Viewing client.
+    pub client: Host,
+    /// CDN edge.
+    pub server: Host,
+    /// Mean idle time between viewing sessions, seconds.
+    pub mean_idle: f64,
+    /// No new session starts at or after this traffic time.
+    pub horizon: f64,
+    t: f64,
+    done: bool,
+}
+
+impl VideoSlot {
+    /// Creates an idle slot starting at `start`.
+    pub fn new(client: Host, server: Host, start: f64, mean_idle: f64, horizon: f64) -> Self {
+        VideoSlot { client, server, mean_idle, horizon, t: start, done: false }
+    }
+}
+
+impl Process for VideoSlot {
+    fn name(&self) -> &'static str {
+        "video"
+    }
+
+    fn next_at(&self) -> Option<f64> {
+        (!self.done).then_some(self.t)
+    }
+
+    fn emit(&mut self, rng: &mut SmallRng, out: &mut Vec<LabeledPacket>) {
+        self.t += exponential_gap(rng, self.mean_idle);
+        if self.t >= self.horizon {
+            self.done = true;
+            return;
+        }
+        let segments = pareto(rng, 2.0, 1.4, 8.0) as usize;
+        let exchanges: Vec<(usize, usize)> = (0..segments.max(1))
+            .map(|_| (400, pareto(rng, 15_000.0, 1.3, 80_000.0) as usize))
+            .collect();
+        let sport = rng.random_range(32_768..61_000);
+        let mut em = SessionEmitter::new(out, Label::Benign);
+        self.t = em.tcp_session(self.client, self.server, sport, 443, self.t, &exchanges, 1.0, rng);
+        if self.t >= self.horizon {
+            self.done = true;
+        }
+    }
+}
+
+/// One web-browsing slot: think-time gaps, then a short HTTP-shaped TCP
+/// session with a handful of heavy-tailed responses.
+#[derive(Debug, Clone)]
+pub struct WebSlot {
+    /// Browsing client.
+    pub client: Host,
+    /// Web server.
+    pub server: Host,
+    /// Mean think time between page loads, seconds.
+    pub mean_think: f64,
+    /// No new page load starts at or after this traffic time.
+    pub horizon: f64,
+    t: f64,
+    done: bool,
+}
+
+impl WebSlot {
+    /// Creates an idle slot starting at `start`.
+    pub fn new(client: Host, server: Host, start: f64, mean_think: f64, horizon: f64) -> Self {
+        WebSlot { client, server, mean_think, horizon, t: start, done: false }
+    }
+}
+
+impl Process for WebSlot {
+    fn name(&self) -> &'static str {
+        "web"
+    }
+
+    fn next_at(&self) -> Option<f64> {
+        (!self.done).then_some(self.t)
+    }
+
+    fn emit(&mut self, rng: &mut SmallRng, out: &mut Vec<LabeledPacket>) {
+        self.t += exponential_gap(rng, self.mean_think);
+        if self.t >= self.horizon {
+            self.done = true;
+            return;
+        }
+        let requests = rng.random_range(1..=3);
+        let exchanges: Vec<(usize, usize)> = (0..requests)
+            .map(|_| (rng.random_range(200..800), pareto(rng, 2_000.0, 1.2, 120_000.0) as usize))
+            .collect();
+        let sport = rng.random_range(32_768..61_000);
+        let mut em = SessionEmitter::new(out, Label::Benign);
+        self.t = em.tcp_session(self.client, self.server, sport, 80, self.t, &exchanges, 0.3, rng);
+        if self.t >= self.horizon {
+            self.done = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn drain(mut p: impl Process) -> Vec<LabeledPacket> {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        while p.next_at().is_some() {
+            p.emit(&mut rng, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn voip_slot_emits_paced_media_and_finishes() {
+        let packets = drain(VoipSlot::new(Host::new(1, 1), Host::new(1, 2), 0.0, 3.0, 30.0));
+        assert!(!packets.is_empty());
+        assert!(packets.iter().all(|p| !p.is_attack()));
+        // RTP frames are small and fixed-size.
+        assert!(packets.iter().all(|p| p.packet.data.len() < 300));
+    }
+
+    #[test]
+    fn video_sessions_are_heavy_tailed_but_bounded() {
+        let packets = drain(VideoSlot::new(Host::new(1, 3), Host::new(2, 1), 0.0, 4.0, 40.0));
+        assert!(!packets.is_empty());
+        assert!(packets.iter().all(|p| !p.is_attack()));
+    }
+
+    #[test]
+    fn web_slot_respects_the_horizon() {
+        let packets = drain(WebSlot::new(Host::new(1, 4), Host::new(2, 2), 0.0, 2.0, 25.0));
+        assert!(!packets.is_empty());
+        let last = packets.iter().map(|p| p.packet.ts.as_secs_f64()).fold(0.0, f64::max);
+        // Sessions may run a little past the horizon but never start after.
+        assert!(last < 60.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Multi-stage evasion campaigns — tier (c) of the workload library.
+//!
+//! One [`StagedCampaign`] process walks the paper's composite-attack shape:
+//! reconnaissance (vertical scan) → foothold (credential brute force) →
+//! lateral movement (C2 beaconing plus stealthy internal sessions) →
+//! exfiltration. Every packet is labeled with the attack family of its
+//! stage, so per-family recall decomposes the campaign exactly. The
+//! [`Pace`] knob stretches every inter-event gap, turning the same campaign
+//! into its low-and-slow variant.
+
+use idsbench_core::{AttackKind, Label, LabeledPacket};
+use idsbench_datasets::{Host, HostPool, SessionEmitter};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::process::Process;
+
+/// How aggressively a campaign moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pace {
+    /// Stage gaps in seconds — visible to rate- and window-based detectors.
+    Brisk,
+    /// Every gap stretched ~12×: each stage hides under the benign noise
+    /// floor of a detection window.
+    LowSlow,
+}
+
+impl Pace {
+    /// Multiplier applied to every inter-event gap.
+    pub fn stretch(self) -> f64 {
+        match self {
+            Pace::Brisk => 1.0,
+            Pace::LowSlow => 12.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Recon { next_port: u16 },
+    Foothold { attempt: u8 },
+    Lateral { beat: u8 },
+    Exfil,
+    Done,
+}
+
+/// The staged intrusion process. Stages advance in traffic time; each
+/// `emit` call produces one small burst of the current stage.
+#[derive(Debug, Clone)]
+pub struct StagedCampaign {
+    /// External attacker (recon and foothold source).
+    pub attacker: Host,
+    /// External command-and-control endpoint.
+    pub c2: Host,
+    /// Internal subnet the campaign moves through; the first host is the
+    /// initial victim.
+    pub targets: HostPool,
+    /// Traffic time the recon stage starts.
+    pub start: f64,
+    /// Gap stretch.
+    pub pace: Pace,
+    stage: Stage,
+    t: f64,
+}
+
+impl StagedCampaign {
+    /// Number of ports probed during recon.
+    const RECON_PORTS: u16 = 48;
+    /// Credential attempts during foothold.
+    const ATTEMPTS: u8 = 12;
+    /// Beacon/lateral beats during lateral movement.
+    const BEATS: u8 = 10;
+
+    /// Creates the campaign; recon begins at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` is empty.
+    pub fn new(attacker: Host, c2: Host, targets: HostPool, start: f64, pace: Pace) -> Self {
+        assert!(!targets.is_empty(), "campaign needs at least one target");
+        StagedCampaign {
+            attacker,
+            c2,
+            targets,
+            start,
+            pace,
+            stage: Stage::Recon { next_port: 1 },
+            t: start,
+        }
+    }
+
+    fn victim(&self) -> Host {
+        self.targets.get(0)
+    }
+}
+
+impl Process for StagedCampaign {
+    fn name(&self) -> &'static str {
+        match self.pace {
+            Pace::Brisk => "staged-campaign",
+            Pace::LowSlow => "lowslow-campaign",
+        }
+    }
+
+    fn next_at(&self) -> Option<f64> {
+        (self.stage != Stage::Done).then_some(self.t)
+    }
+
+    fn emit(&mut self, rng: &mut SmallRng, out: &mut Vec<LabeledPacket>) {
+        let stretch = self.pace.stretch();
+        match self.stage {
+            Stage::Recon { mut next_port } => {
+                let mut em = SessionEmitter::new(out, Label::Attack(AttackKind::PortScan));
+                for _ in 0..8 {
+                    if next_port > Self::RECON_PORTS {
+                        break;
+                    }
+                    let sport = rng.random_range(40_000..60_000);
+                    em.syn_probe(self.attacker, self.victim(), sport, next_port, self.t, 0.8, rng);
+                    next_port += 1;
+                    self.t += 0.25 * stretch * rng.random_range(0.6..1.4);
+                }
+                self.stage = if next_port > Self::RECON_PORTS {
+                    self.t += 2.0 * stretch;
+                    Stage::Foothold { attempt: 0 }
+                } else {
+                    Stage::Recon { next_port }
+                };
+            }
+            Stage::Foothold { attempt } => {
+                // One SSH credential attempt: a short, failed exchange.
+                let mut em = SessionEmitter::new(out, Label::Attack(AttackKind::BruteForce));
+                let sport = rng.random_range(40_000..60_000);
+                self.t = em.tcp_session(
+                    self.attacker,
+                    self.victim(),
+                    sport,
+                    22,
+                    self.t,
+                    &[(64, 96)],
+                    0.05,
+                    rng,
+                );
+                self.t += 0.8 * stretch * rng.random_range(0.5..1.5);
+                self.stage = if attempt + 1 >= Self::ATTEMPTS {
+                    self.t += 3.0 * stretch;
+                    Stage::Lateral { beat: 0 }
+                } else {
+                    Stage::Foothold { attempt: attempt + 1 }
+                };
+            }
+            Stage::Lateral { beat } => {
+                // Each beat: one C2 beacon from the victim, and on every
+                // other beat a stealthy benign-shaped session to another
+                // internal host.
+                {
+                    let mut em = SessionEmitter::new(out, Label::Attack(AttackKind::BotnetC2));
+                    let sport = rng.random_range(40_000..60_000);
+                    em.tcp_session(
+                        self.victim(),
+                        self.c2,
+                        sport,
+                        443,
+                        self.t,
+                        &[(48, 64)],
+                        0.02,
+                        rng,
+                    );
+                }
+                if beat % 2 == 1 && self.targets.len() > 1 {
+                    let peer =
+                        self.targets.get(1 + usize::from(beat / 2) % (self.targets.len() - 1));
+                    let mut em = SessionEmitter::new(out, Label::Attack(AttackKind::Stealth));
+                    let sport = rng.random_range(40_000..60_000);
+                    em.tcp_session(
+                        self.victim(),
+                        peer,
+                        sport,
+                        445,
+                        self.t + 1.0 * stretch,
+                        &[(300, 700), (200, 400)],
+                        0.2,
+                        rng,
+                    );
+                }
+                self.t += 4.0 * stretch * rng.random_range(0.8..1.2);
+                self.stage = if beat + 1 >= Self::BEATS {
+                    self.t += 2.0 * stretch;
+                    Stage::Exfil
+                } else {
+                    Stage::Lateral { beat: beat + 1 }
+                };
+            }
+            Stage::Exfil => {
+                // Bulk upload to the C2 host: client-heavy exchanges.
+                let mut em = SessionEmitter::new(out, Label::Attack(AttackKind::Exfiltration));
+                let sport = rng.random_range(40_000..60_000);
+                let exchanges: Vec<(usize, usize)> =
+                    (0..4).map(|_| (rng.random_range(40_000..120_000), 128)).collect();
+                self.t = em.tcp_session(
+                    self.victim(),
+                    self.c2,
+                    sport,
+                    443,
+                    self.t,
+                    &exchanges,
+                    0.5,
+                    rng,
+                );
+                self.stage = Stage::Done;
+            }
+            Stage::Done => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn drain(mut p: StagedCampaign) -> Vec<LabeledPacket> {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        while p.next_at().is_some() {
+            p.emit(&mut rng, &mut out);
+        }
+        out
+    }
+
+    fn campaign(pace: Pace) -> StagedCampaign {
+        StagedCampaign::new(
+            Host::external(7),
+            Host::external(200),
+            HostPool::subnet(1, 12),
+            30.0,
+            pace,
+        )
+    }
+
+    #[test]
+    fn campaign_walks_every_stage_family() {
+        let packets = drain(campaign(Pace::Brisk));
+        let families: BTreeSet<&str> =
+            packets.iter().filter_map(|p| p.label.attack_kind().map(|k| k.name())).collect();
+        for family in ["port-scan", "brute-force", "botnet-c2", "stealth", "exfiltration"] {
+            assert!(families.contains(family), "missing stage family {family}");
+        }
+    }
+
+    #[test]
+    fn low_and_slow_stretches_the_timeline() {
+        let brisk = drain(campaign(Pace::Brisk));
+        let slow = drain(campaign(Pace::LowSlow));
+        let span = |p: &[LabeledPacket]| {
+            p.iter().map(|lp| lp.packet.ts.as_secs_f64()).fold(0.0, f64::max) - 30.0
+        };
+        assert!(
+            span(&slow) > 5.0 * span(&brisk),
+            "low-and-slow must stretch: brisk {} slow {}",
+            span(&brisk),
+            span(&slow)
+        );
+    }
+
+    #[test]
+    fn every_packet_carries_a_stage_label() {
+        let packets = drain(campaign(Pace::Brisk));
+        assert!(packets.iter().all(|p| p.is_attack()));
+        assert!(packets.len() > 100);
+    }
+}

@@ -1,0 +1,307 @@
+//! Volumetric floods and scans with tunable rate, port spread, and target
+//! spread — tier (b) of the workload library.
+
+use idsbench_core::{AttackKind, Label, LabeledPacket};
+use idsbench_datasets::{exponential_gap, Host, HostPool, SessionEmitter};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::process::Process;
+
+/// Which flood primitive a [`Flood`] process emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodKind {
+    /// Bare TCP SYNs, never completed.
+    Syn,
+    /// UDP datagrams with junk payloads.
+    Udp,
+    /// ICMP echo requests.
+    Icmp,
+}
+
+impl FloodKind {
+    /// The attack family the flood's packets are labeled with.
+    pub fn attack_kind(self) -> AttackKind {
+        match self {
+            FloodKind::Syn => AttackKind::SynFlood,
+            FloodKind::Udp => AttackKind::UdpFlood,
+            FloodKind::Icmp => AttackKind::IcmpFlood,
+        }
+    }
+}
+
+/// A rate-controlled volumetric flood: Poisson packet arrivals at `rate`
+/// packets/second for `duration` seconds, spread over `targets` and a
+/// destination-port window, optionally with spoofed source addresses.
+/// Emitted in ~100 ms chunks so memory stays bounded at any rate.
+#[derive(Debug, Clone)]
+pub struct Flood {
+    /// Flood primitive.
+    pub kind: FloodKind,
+    /// The real attacking host (its MAC stays on spoofed packets, as a LAN
+    /// capture would see).
+    pub attacker: Host,
+    /// Victim pool — `len()` is the target spread.
+    pub targets: HostPool,
+    /// Packets per second.
+    pub rate: f64,
+    /// Destination ports are drawn from `base_port..base_port+port_spread`.
+    pub base_port: u16,
+    /// Width of the destination-port window (min 1).
+    pub port_spread: u16,
+    /// Randomise the source address per packet.
+    pub spoofed: bool,
+    /// Traffic time the flood starts.
+    pub start: f64,
+    /// Flood length, seconds.
+    pub duration: f64,
+    t: f64,
+    icmp_seq: u16,
+    started: bool,
+}
+
+impl Flood {
+    /// Creates the flood; packet emission begins at `start`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: FloodKind,
+        attacker: Host,
+        targets: HostPool,
+        rate: f64,
+        base_port: u16,
+        port_spread: u16,
+        spoofed: bool,
+        start: f64,
+        duration: f64,
+    ) -> Self {
+        Flood {
+            kind,
+            attacker,
+            targets,
+            rate,
+            base_port,
+            port_spread,
+            spoofed,
+            start,
+            duration,
+            t: start,
+            icmp_seq: 0,
+            started: false,
+        }
+    }
+
+    fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+}
+
+impl Process for Flood {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            FloodKind::Syn => "syn-flood",
+            FloodKind::Udp => "udp-flood",
+            FloodKind::Icmp => "icmp-flood",
+        }
+    }
+
+    fn next_at(&self) -> Option<f64> {
+        (self.t < self.end() || !self.started).then_some(self.t)
+    }
+
+    fn emit(&mut self, rng: &mut SmallRng, out: &mut Vec<LabeledPacket>) {
+        self.started = true;
+        let chunk_end = (self.t + 0.1).min(self.end());
+        let mut em = SessionEmitter::new(out, Label::Attack(self.kind.attack_kind()));
+        while self.t < chunk_end {
+            let src =
+                if self.spoofed { Host::spoofed(self.attacker.mac, rng) } else { self.attacker };
+            let dst = self.targets.pick(rng);
+            let dport = self.base_port.wrapping_add(rng.random_range(0..self.port_spread.max(1)));
+            match self.kind {
+                FloodKind::Syn => {
+                    // Bare SYN, no answer: half-open connection pressure.
+                    em.syn_probe(
+                        src,
+                        dst,
+                        rng.random_range(1024..u16::MAX),
+                        dport,
+                        self.t,
+                        0.0,
+                        rng,
+                    );
+                }
+                FloodKind::Udp => {
+                    let len = rng.random_range(64..1200);
+                    em.udp_packet(src, dst, rng.random_range(1024..u16::MAX), dport, len, self.t);
+                }
+                FloodKind::Icmp => {
+                    em.icmp_echo(src, dst, self.icmp_seq, self.t);
+                    self.icmp_seq = self.icmp_seq.wrapping_add(1);
+                }
+            }
+            self.t += exponential_gap(rng, 1.0 / self.rate);
+        }
+        self.t = self.t.max(chunk_end);
+    }
+}
+
+/// A vertical port scan: one attacker probes `ports` consecutive ports of
+/// one victim, pacing probes `gap` seconds apart; closed ports answer with
+/// RST. Labeled [`AttackKind::PortScan`].
+#[derive(Debug, Clone)]
+pub struct PortScanWave {
+    /// Scanning host.
+    pub attacker: Host,
+    /// Scanned victim.
+    pub target: Host,
+    /// Number of consecutive ports probed, starting at 1.
+    pub ports: u16,
+    /// Seconds between probes.
+    pub gap: f64,
+    /// Traffic time of the first probe.
+    pub start: f64,
+    t: f64,
+    next_port: u16,
+}
+
+impl PortScanWave {
+    /// Creates the scan; the first probe fires at `start`.
+    pub fn new(attacker: Host, target: Host, ports: u16, gap: f64, start: f64) -> Self {
+        PortScanWave { attacker, target, ports, gap, start, t: start, next_port: 1 }
+    }
+}
+
+impl Process for PortScanWave {
+    fn name(&self) -> &'static str {
+        "port-scan"
+    }
+
+    fn next_at(&self) -> Option<f64> {
+        (self.next_port <= self.ports).then_some(self.t)
+    }
+
+    fn emit(&mut self, rng: &mut SmallRng, out: &mut Vec<LabeledPacket>) {
+        let mut em = SessionEmitter::new(out, Label::Attack(AttackKind::PortScan));
+        for _ in 0..16 {
+            if self.next_port > self.ports {
+                break;
+            }
+            let sport = rng.random_range(40_000..60_000);
+            em.syn_probe(self.attacker, self.target, sport, self.next_port, self.t, 0.85, rng);
+            self.next_port += 1;
+            self.t += self.gap * rng.random_range(0.6..1.4);
+        }
+    }
+}
+
+/// A horizontal sweep: one attacker probes the same port across a whole
+/// victim pool. Labeled [`AttackKind::AddressSweep`].
+#[derive(Debug, Clone)]
+pub struct HostSweep {
+    /// Sweeping host.
+    pub attacker: Host,
+    /// Swept subnet — `len()` is the target spread.
+    pub targets: HostPool,
+    /// The one probed port (e.g. 23 for telnet sweeps).
+    pub port: u16,
+    /// Seconds between probes.
+    pub gap: f64,
+    /// Traffic time of the first probe.
+    pub start: f64,
+    t: f64,
+    next_host: usize,
+}
+
+impl HostSweep {
+    /// Creates the sweep; the first probe fires at `start`.
+    pub fn new(attacker: Host, targets: HostPool, port: u16, gap: f64, start: f64) -> Self {
+        HostSweep { attacker, targets, port, gap, start, t: start, next_host: 0 }
+    }
+}
+
+impl Process for HostSweep {
+    fn name(&self) -> &'static str {
+        "host-sweep"
+    }
+
+    fn next_at(&self) -> Option<f64> {
+        (self.next_host < self.targets.len()).then_some(self.t)
+    }
+
+    fn emit(&mut self, rng: &mut SmallRng, out: &mut Vec<LabeledPacket>) {
+        let mut em = SessionEmitter::new(out, Label::Attack(AttackKind::AddressSweep));
+        for _ in 0..16 {
+            if self.next_host >= self.targets.len() {
+                break;
+            }
+            let dst = self.targets.get(self.next_host);
+            let sport = rng.random_range(40_000..60_000);
+            em.syn_probe(self.attacker, dst, sport, self.port, self.t, 0.6, rng);
+            self.next_host += 1;
+            self.t += self.gap * rng.random_range(0.6..1.4);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn drain(mut p: impl Process) -> Vec<LabeledPacket> {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        while p.next_at().is_some() {
+            p.emit(&mut rng, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn flood_hits_its_rate_and_window() {
+        let flood = Flood::new(
+            FloodKind::Syn,
+            Host::external(9),
+            HostPool::subnet(1, 1),
+            200.0,
+            80,
+            1,
+            true,
+            10.0,
+            5.0,
+        );
+        let packets = drain(flood);
+        let n = packets.len() as f64;
+        assert!((n - 1000.0).abs() < 250.0, "≈200 pps × 5 s, got {n}");
+        assert!(packets.iter().all(|p| p.is_attack()));
+        let (lo, hi) = packets
+            .iter()
+            .map(|p| p.packet.ts.as_secs_f64())
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), t| (lo.min(t), hi.max(t)));
+        assert!(lo >= 10.0 && hi <= 15.2, "window [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn flood_kinds_map_to_families() {
+        assert_eq!(FloodKind::Syn.attack_kind().name(), "syn-flood");
+        assert_eq!(FloodKind::Udp.attack_kind().name(), "udp-flood");
+        assert_eq!(FloodKind::Icmp.attack_kind().name(), "icmp-flood");
+    }
+
+    #[test]
+    fn port_scan_covers_every_port_once() {
+        let scan = PortScanWave::new(Host::external(3), Host::new(1, 7), 50, 0.05, 0.0);
+        let packets = drain(scan);
+        // 50 probes plus RST answers from closed ports.
+        assert!(packets.len() >= 50);
+        assert!(packets.iter().all(|p| p.is_attack()));
+    }
+
+    #[test]
+    fn host_sweep_touches_the_whole_pool() {
+        let sweep = HostSweep::new(Host::external(4), HostPool::subnet(2, 20), 23, 0.1, 1.0);
+        let packets = drain(sweep);
+        assert!(packets.len() >= 20);
+        assert!(packets.iter().all(|p| p.is_attack()));
+    }
+}

@@ -1,0 +1,59 @@
+//! Campaign-label integrity through the streaming engine: every stage
+//! family of the staged campaign must survive the full path — flow-table
+//! assembly, eviction, sharded scoring, and the per-family merge — and
+//! come out as its own [`FamilyOutcome`] row, on both the flow-event path
+//! (Slips) and the packet-event path (Kitsune).
+
+use std::collections::BTreeMap;
+
+use idsbench_core::{EventDetector, ScenarioScale};
+use idsbench_kitsune::Kitsune;
+use idsbench_slips::Slips;
+use idsbench_stream::{run_stream, ScenarioSource, StreamConfig, ThresholdMode};
+use idsbench_trafficgen::spec;
+
+/// The five stage families the staged campaign emits, by construction.
+const STAGE_FAMILIES: [&str; 5] =
+    ["port-scan", "brute-force", "botnet-c2", "stealth", "exfiltration"];
+
+fn family_counts(
+    factory: &(dyn Fn() -> Box<dyn EventDetector> + Sync),
+    shards: usize,
+) -> BTreeMap<String, (usize, usize)> {
+    let spec = spec("stealth-campaign").expect("registered scenario");
+    let model = spec.build(ScenarioScale::Tiny);
+    let (warmup, source) =
+        ScenarioSource::new(model.as_ref(), 42).split_warmup_secs(spec.warmup_secs);
+    assert!(!warmup.is_empty(), "campaign scenario must carry a benign warmup");
+    let config =
+        StreamConfig { shards, threshold: ThresholdMode::Fixed(0.3), ..Default::default() };
+    let run = run_stream(factory, &warmup, source, &config).expect("streaming run");
+    run.report.family_recall.iter().map(|o| (o.family.clone(), (o.packets, o.flows))).collect()
+}
+
+#[test]
+fn stage_labels_survive_eviction_and_sharded_merge_on_the_flow_path() {
+    // Two shards so the per-family tallies really merge across workers;
+    // Slips is flow-format, so every scored event is a flow eviction and
+    // the label must have ridden the flow record through the table.
+    let families = family_counts(&|| Box::new(Slips::default()) as Box<dyn EventDetector>, 2);
+    for family in STAGE_FAMILIES {
+        let (packets, flows) = *families
+            .get(family)
+            .unwrap_or_else(|| panic!("family {family} missing: {families:?}"));
+        assert!(flows > 0, "{family}: no flow evictions scored ({families:?})");
+        assert_eq!(packets, 0, "{family}: flow-format run scored packet events");
+    }
+}
+
+#[test]
+fn stage_labels_survive_on_the_packet_path() {
+    let families = family_counts(&|| Box::new(Kitsune::default()) as Box<dyn EventDetector>, 1);
+    for family in STAGE_FAMILIES {
+        let (packets, flows) = *families
+            .get(family)
+            .unwrap_or_else(|| panic!("family {family} missing: {families:?}"));
+        assert!(packets > 0, "{family}: no packet events scored ({families:?})");
+        assert_eq!(flows, 0, "{family}: packet-format run scored flow events");
+    }
+}

@@ -15,7 +15,7 @@ use idsbench::kitsune::Kitsune;
 use idsbench::slips::Slips;
 
 fn main() -> Result<(), CoreError> {
-    let scenarios = scenarios::all_scenarios(ScenarioScale::Small);
+    let scenarios = scenarios::table4_scenarios(ScenarioScale::Small);
     let datasets: Vec<&dyn Dataset> = scenarios.iter().map(|s| s as &dyn Dataset).collect();
 
     let detectors: Vec<(String, DetectorFactory)> = vec![

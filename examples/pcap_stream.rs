@@ -10,8 +10,8 @@
 //! cargo run --release --example pcap_stream
 //! ```
 
-use idsbench::core::{EventDetector, Label};
-use idsbench::datasets::{scenarios, ScenarioScale};
+use idsbench::core::{Dataset, EventDetector, Label};
+use idsbench::datasets::{scenarios, split_at_fraction, ScenarioScale};
 use idsbench::kitsune::Kitsune;
 use idsbench::net::pcap::PcapWriter;
 use idsbench::stream::{run_stream, BoundedSource, PcapSource, StreamConfig, ThresholdMode};
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Produce a capture file plus out-of-band labels (pcaps carry none —
     //    half the paper's point about dataset formats).
     let dataset = scenarios::mirai(ScenarioScale::Tiny);
-    let (warmup, eval) = dataset.generate_split(42, 0.3);
+    let (warmup, eval) = split_at_fraction(dataset.generate(42), 0.3);
     let path = std::env::temp_dir().join("idsbench_stream_demo.pcap");
     let mut writer = PcapWriter::new(BufWriter::new(std::fs::File::create(&path)?))?;
     let mut labels: HashMap<u64, Label> = HashMap::new();

@@ -58,7 +58,7 @@ fn registry_tables_render() {
 fn scenario_names_align_with_registry_naming() {
     // Table IV rows must be producible for each scenario name used by the
     // bench harness.
-    let names: Vec<String> = scenarios::all_scenarios(ScenarioScale::Tiny)
+    let names: Vec<String> = scenarios::table4_scenarios(ScenarioScale::Tiny)
         .iter()
         .map(|s| s.info().name.clone())
         .collect();

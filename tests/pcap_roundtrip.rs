@@ -10,7 +10,7 @@ use idsbench::slips::Slips;
 
 #[test]
 fn every_scenario_round_trips_through_pcap() {
-    for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+    for scenario in scenarios::table4_scenarios(ScenarioScale::Tiny) {
         let labeled = scenario.generate(5);
         let packets: Vec<_> = labeled.iter().map(|lp| lp.packet.clone()).collect();
         let image = pcap::write_all(&packets).unwrap();
@@ -48,7 +48,7 @@ fn replayed_capture_yields_identical_scores() {
 #[test]
 fn all_generated_packets_parse() {
     use idsbench::net::ParsedPacket;
-    for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+    for scenario in scenarios::table4_scenarios(ScenarioScale::Tiny) {
         for lp in scenario.generate(11) {
             ParsedPacket::parse(&lp.packet).unwrap_or_else(|e| {
                 panic!("{}: generated packet failed to parse: {e}", scenario.info().name)

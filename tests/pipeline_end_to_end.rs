@@ -21,7 +21,7 @@ fn all_detectors() -> Vec<Box<dyn EventDetector>> {
 
 #[test]
 fn every_detector_runs_on_every_scenario() {
-    for scenario in scenarios::all_scenarios(ScenarioScale::Tiny) {
+    for scenario in scenarios::table4_scenarios(ScenarioScale::Tiny) {
         for mut detector in all_detectors() {
             let experiment = evaluate(detector.as_mut(), &scenario, &EvalConfig::default())
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", detector.name(), scenario.info().name));
